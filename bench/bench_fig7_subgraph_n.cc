@@ -1,0 +1,53 @@
+// Reproduces Figure 7 (Facebook, Gowalla) and Figure 11 (remaining
+// datasets): impact of the subgraph size n on PrivIM* at epsilon = 3.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/experiment.h"
+
+namespace privim {
+namespace {
+
+void Run() {
+  const size_t repeats = RepeatsFromEnv(2);
+  PrintBenchHeader("Figures 7 & 11: Impact of subgraph size n on PrivIM* (eps=3)", repeats);
+    const double scale = ScaleFromEnv();
+  const std::vector<size_t> n_grid = {10, 20, 30, 40, 50, 60, 70, 80};
+
+  std::vector<std::string> headers = {"Dataset"};
+  for (size_t n : n_grid) headers.push_back(StrFormat("n=%zu", n));
+  TablePrinter table(headers);
+
+  for (const DatasetSpec& spec : MainDatasetSpecs()) {
+    DatasetInstance instance = bench::DieOnError(
+        PrepareDataset(spec.id, /*seed=*/4000, 50, 1, scale),
+        "PrepareDataset " + spec.name);
+    std::vector<double> row;
+    for (size_t n : n_grid) {
+      PrivImConfig cfg = MakeDefaultConfig(
+          Method::kPrivImStar, 3.0, instance.train_graph.num_nodes());
+      cfg.freq.subgraph_size = n;
+      MethodEval eval = bench::DieOnError(
+          EvaluateMethod(instance, cfg, repeats, /*seed=*/67),
+          StrFormat("%s n=%zu", spec.name.c_str(), n));
+      row.push_back(eval.mean_spread);
+    }
+    table.AddRow(spec.name, row, 1);
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): spread rises with n to a peak and "
+               "then drops (fewer, larger\nsubgraphs hurt generalization); "
+               "on the largest dataset it keeps growing within range.\n";
+}
+
+}  // namespace
+}  // namespace privim
+
+int main() {
+  privim::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces Figure 8 (and Figure 12's extra datasets): theoretical values
+// of the Gamma indicator I(n, M) next to the empirical influence spread of
+// PrivIM* at epsilon = 3. The paper's claim: the indicator's peak aligns
+// with the empirically best M (given n) and n (given M).
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/experiment.h"
+#include "core/indicator.h"
+
+namespace privim {
+namespace {
+
+void RunDataset(DatasetId id, double eps, size_t repeats, double scale) {
+  DatasetInstance instance = bench::DieOnError(
+      PrepareDataset(id, /*seed=*/5000, 50, 1, scale), "PrepareDataset");
+  const DatasetSpec& spec = instance.spec;
+  // Indicator parameters are tied to the paper-scale |V| (Eq. 12 was fitted
+  // on the real dataset sizes).
+  const size_t v_paper = spec.paper_nodes;
+  IndicatorParams params;  // Paper's fitted defaults.
+
+  const std::vector<size_t> m_grid = {2, 4, 6, 8, 10};
+  for (size_t n : {40u, 60u}) {
+    std::cout << "--- " << spec.name << ", n=" << n << ", eps=" << eps
+              << " ---\n";
+    TablePrinter table({"M", "indicator I(n,M)", "empirical spread"});
+    std::vector<double> n_axis = {static_cast<double>(n)};
+    std::vector<double> m_axis;
+    for (size_t m : m_grid) m_axis.push_back(static_cast<double>(m));
+    const auto surface = IndicatorSurface(n_axis, m_axis, v_paper, params);
+
+    double best_ind = -1.0, best_ind_m = 0.0;
+    double best_emp = -1.0, best_emp_m = 0.0;
+    for (size_t j = 0; j < m_grid.size(); ++j) {
+      PrivImConfig cfg = MakeDefaultConfig(
+          Method::kPrivImStar, eps, instance.train_graph.num_nodes());
+      cfg.freq.subgraph_size = n;
+      cfg.freq.frequency_threshold = m_grid[j];
+      MethodEval eval = bench::DieOnError(
+          EvaluateMethod(instance, cfg, repeats, /*seed=*/71),
+          StrFormat("M=%zu", m_grid[j]));
+      table.AddRow(StrFormat("%zu", m_grid[j]),
+                   {surface[0][j], eval.mean_spread}, 3);
+      if (surface[0][j] > best_ind) {
+        best_ind = surface[0][j];
+        best_ind_m = m_axis[j];
+      }
+      if (eval.mean_spread > best_emp) {
+        best_emp = eval.mean_spread;
+        best_emp_m = m_axis[j];
+      }
+    }
+    table.Print(std::cout);
+    std::cout << "indicator peak at M=" << best_ind_m
+              << ", empirical peak at M=" << best_emp_m << "\n\n";
+  }
+}
+
+void Run() {
+  const size_t repeats = RepeatsFromEnv(2);
+  PrintBenchHeader("Figures 8 & 12: Gamma indicator vs empirical results (eps=3)", repeats);
+    const double scale = ScaleFromEnv();
+  for (DatasetId id : {DatasetId::kLastFm, DatasetId::kFacebook,
+                       DatasetId::kGowalla}) {
+    RunDataset(id, 3.0, repeats, scale);
+  }
+  std::cout << "Expected shape (paper): the indicator curve tracks the "
+               "empirical unimodal trend,\nwith coinciding peaks.\n";
+}
+
+}  // namespace
+}  // namespace privim
+
+int main() {
+  privim::Run();
+  return 0;
+}

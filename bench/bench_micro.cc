@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrate pieces: sampling, accounting, GNN forward/backward, CELF, and
+// the DESIGN.md ablations on oracle choice.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/loss.h"
+#include "dp/rdp_accountant.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "im/diffusion.h"
+#include "im/seed_selection.h"
+#include "nn/features.h"
+#include "nn/gnn.h"
+#include "sampling/freq_sampler.h"
+#include "sampling/rwr_sampler.h"
+#include "tensor/ops.h"
+
+namespace privim {
+namespace {
+
+Graph SharedGraph(size_t n) {
+  static Rng& rng = *new Rng(42);
+  return std::move(BarabasiAlbert(n, 5, rng)).ValueOrDie();
+}
+
+void BM_ThetaProjection(benchmark::State& state) {
+  Graph g = SharedGraph(static_cast<size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThetaBoundedProjection(g, 10, rng));
+  }
+}
+BENCHMARK(BM_ThetaProjection)->Arg(1000)->Arg(4000);
+
+void BM_RwrSampling(benchmark::State& state) {
+  Graph g = SharedGraph(2000);
+  RwrConfig cfg;
+  cfg.subgraph_size = 40;
+  cfg.sampling_rate = 0.1;
+  RwrSampler sampler(cfg);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Extract(g, rng));
+  }
+}
+BENCHMARK(BM_RwrSampling);
+
+void BM_DualStageSampling(benchmark::State& state) {
+  Graph g = SharedGraph(2000);
+  FreqSamplingConfig cfg;
+  cfg.subgraph_size = 40;
+  cfg.sampling_rate = 0.1;
+  cfg.frequency_threshold = 6;
+  FreqSampler sampler(cfg);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Extract(g, rng));
+  }
+}
+BENCHMARK(BM_DualStageSampling);
+
+void BM_AccountantCalibration(benchmark::State& state) {
+  DpSgdSpec spec;
+  spec.max_occurrences = 6;
+  spec.container_size = 300;
+  spec.batch_size = 16;
+  spec.iterations = 60;
+  spec.clip_bound = 1.0;
+  RdpAccountant acc = std::move(RdpAccountant::Create(spec)).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.CalibrateSigma({2.0, 1e-5}));
+  }
+}
+BENCHMARK(BM_AccountantCalibration);
+
+void BM_GnnForwardBackward(benchmark::State& state) {
+  Rng gen(4);
+  Graph g = std::move(ErdosRenyi(static_cast<size_t>(state.range(0)), 0.1,
+                                 false, gen))
+                .ValueOrDie();
+  GraphContext ctx = BuildGraphContext(g);
+  Matrix features = BuildNodeFeatures(g);
+  GnnConfig cfg;
+  cfg.type = GnnType::kGrat;
+  cfg.in_dim = kNodeFeatureDim;
+  Rng rng(5);
+  GnnModel model(cfg, rng);
+  ImLossConfig loss_cfg;
+  for (auto _ : state) {
+    Tensor probs = model.Forward(ctx, Tensor(features));
+    Tensor loss = ImPenaltyLoss(ctx, probs, loss_cfg);
+    model.params().ZeroGrads();
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.value()(0, 0));
+  }
+}
+BENCHMARK(BM_GnnForwardBackward)->Arg(40)->Arg(80)->Arg(200);
+
+void BM_CelfVsGreedy(benchmark::State& state) {
+  Graph g = SharedGraph(1500);
+  std::vector<NodeId> candidates(g.num_nodes());
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    candidates[u] = static_cast<NodeId>(u);
+  }
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  const bool lazy = state.range(0) != 0;
+  for (auto _ : state) {
+    if (lazy) {
+      benchmark::DoNotOptimize(CelfSelect(candidates, 20, oracle));
+    } else {
+      benchmark::DoNotOptimize(GreedySelect(candidates, 20, oracle));
+    }
+  }
+}
+BENCHMARK(BM_CelfVsGreedy)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// Ablation #4 (DESIGN.md): exact unit-weight oracle vs Monte-Carlo IC.
+void BM_SpreadOracles(benchmark::State& state) {
+  Graph g = SharedGraph(2000);
+  Rng rng(6);
+  std::vector<NodeId> seeds;
+  for (NodeId s = 0; s < 50; ++s) seeds.push_back(s * 7);
+  const bool exact = state.range(0) != 0;
+  for (auto _ : state) {
+    if (exact) {
+      benchmark::DoNotOptimize(ExactUnitWeightSpread(g, seeds, 1));
+    } else {
+      benchmark::DoNotOptimize(EstimateIcSpread(g, seeds, 100, rng, 1));
+    }
+  }
+}
+BENCHMARK(BM_SpreadOracles)->Arg(1)->Arg(0);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  const size_t edges = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  Matrix scores(edges, 1);
+  std::vector<uint32_t> group(edges);
+  const size_t groups = edges / 8 + 1;
+  for (size_t e = 0; e < edges; ++e) {
+    scores(e, 0) = static_cast<float>(rng.Uniform(-1, 1));
+    group[e] = static_cast<uint32_t>(rng.UniformInt(groups));
+  }
+  for (auto _ : state) {
+    Tensor t(scores, true);
+    Tensor alpha = SegmentSoftmax(t, group, groups);
+    benchmark::DoNotOptimize(alpha.value()(0, 0));
+  }
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace privim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+#ifndef PRIVIM_BENCH_BENCH_UTIL_H_
+#define PRIVIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace privim::bench {
+
+/// Aborts the bench with a readable message on error; bench binaries have
+/// no meaningful partial results.
+inline void DieOnError(const Status& status, const std::string& what) {
+  if (!status.ok()) {
+    std::cerr << "bench failed during " << what << ": "
+              << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T DieOnError(Result<T> result, const std::string& what) {
+  DieOnError(result.status(), what);
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace privim::bench
+
+#endif  // PRIVIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,102 @@
+// Diffusion-model extensions (the paper's future work, Section VII): the
+// same privately trained PrivIM* model scores seeds that are then evaluated
+// under Independent Cascade (exact and Monte-Carlo), Linear Threshold, and
+// SIS — plus the RR-sketch ground truth for general weighted IC.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/experiment.h"
+#include "core/privim.h"
+#include "graph/generators.h"
+#include "im/rr_sets.h"
+#include "im/seed_selection.h"
+
+int main() {
+  using namespace privim;
+
+  Result<DatasetInstance> instance_or =
+      PrepareDataset(DatasetId::kFacebook, /*seed=*/5, /*seed_count=*/30);
+  if (!instance_or.ok()) {
+    std::cerr << instance_or.status() << "\n";
+    return 1;
+  }
+  const DatasetInstance& instance = *instance_or;
+  std::cout << "network: " << instance.spec.name << " stand-in, eval half "
+            << instance.eval_graph.num_nodes() << " nodes\n\n";
+
+  // Train one private model and keep its seed set fixed; only the
+  // *evaluation* diffusion model changes (post-processing, no extra
+  // privacy cost).
+  PrivImConfig config = MakeDefaultConfig(
+      Method::kPrivImStar, /*epsilon=*/3.0,
+      instance.train_graph.num_nodes());
+  config.seed_count = 30;
+  Rng rng(99);
+  Result<PrivImRunResult> run_or =
+      RunMethod(instance.train_graph, instance.eval_graph, config, rng);
+  if (!run_or.ok()) {
+    std::cerr << run_or.status() << "\n";
+    return 1;
+  }
+  const std::vector<NodeId>& seeds = run_or->seeds;
+
+  TablePrinter table({"Diffusion model", "Spread of PrivIM* seeds",
+                      "Notes"});
+  Rng eval_rng(7);
+
+  // 1. Exact unit-weight IC, j = 1 (the paper's evaluation setting).
+  SpreadOracle exact = MakeExactUnitOracle(instance.eval_graph, 1);
+  table.AddRow({"IC (w=1, j=1, exact)", FormatDouble(exact(seeds), 1),
+                "paper's setting"});
+
+  // 2. Monte-Carlo IC with weighted-cascade probabilities w = 1/indeg.
+  Result<Graph> wc_or = WeightedCascade(instance.eval_graph);
+  if (!wc_or.ok()) {
+    std::cerr << wc_or.status() << "\n";
+    return 1;
+  }
+  SpreadOracle mc = MakeMonteCarloOracle(*wc_or, 200, eval_rng);
+  table.AddRow({"IC (weighted cascade, MC)", FormatDouble(mc(seeds), 1),
+                "200 cascades"});
+
+  // 3. RR-sketch estimate on the same weighted graph (scalable unbiased
+  //    estimator; also yields an alternative ground-truth seed set).
+  Result<RrSketch> sketch_or = RrSketch::Generate(*wc_or, 5000, eval_rng);
+  if (!sketch_or.ok()) {
+    std::cerr << sketch_or.status() << "\n";
+    return 1;
+  }
+  table.AddRow({"IC (weighted cascade, RR sketch)",
+                FormatDouble(sketch_or->EstimateSpread(seeds), 1),
+                "5000 RR sets"});
+
+  // 4. Linear Threshold.
+  SpreadOracle lt = MakeLtOracle(*wc_or, 200, eval_rng);
+  table.AddRow({"Linear Threshold (MC)", FormatDouble(lt(seeds), 1),
+                "200 cascades"});
+
+  // 5. SIS epidemic, 8 rounds, recovery 0.3.
+  SpreadOracle sis = MakeSisOracle(*wc_or, 200, 0.3, 8, eval_rng);
+  table.AddRow({"SIS (MC, 8 rounds)", FormatDouble(sis(seeds), 1),
+                "recovery prob 0.3"});
+
+  table.Print(std::cout);
+
+  // How good are the private seeds under the *weighted* objective? Compare
+  // with the RR-sketch greedy (the sampling-based ground truth).
+  Result<std::vector<NodeId>> ris_or = sketch_or->SelectSeeds(30);
+  if (ris_or.ok()) {
+    const double private_spread = sketch_or->EstimateSpread(seeds);
+    const double ris_spread = sketch_or->EstimateSpread(*ris_or);
+    std::cout << "\nRR-sketch greedy reference: " << ris_spread
+              << "; private seeds reach "
+              << FormatDouble(100.0 * private_spread / ris_spread, 1)
+              << "% of it under weighted IC.\n";
+  }
+  std::cout << "\nThe seed set is computed once under node-level DP; "
+               "re-scoring it under other\ndiffusion models is free "
+               "post-processing.\n";
+  return 0;
+}

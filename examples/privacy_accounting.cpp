@@ -1,0 +1,66 @@
+// Privacy accounting walkthrough: how PrivIM turns a target (epsilon,
+// delta) into a concrete noise scale, and why the dual-stage sampler's
+// occurrence cap M is the lever that makes node-level DP affordable for a
+// graph-level task.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "dp/rdp_accountant.h"
+#include "dp/sensitivity.h"
+
+int main() {
+  using namespace privim;
+
+  // A typical training run: m = 300 subgraphs, batches of 16, 60
+  // iterations, clip bound C = 1.
+  DpSgdSpec spec;
+  spec.container_size = 300;
+  spec.batch_size = 16;
+  spec.iterations = 60;
+  spec.clip_bound = 1.0;
+
+  std::cout << "Why the naive pipeline drowns in noise (Lemma 1):\n";
+  TablePrinter lemma({"theta", "GNN layers r", "N_g = sum theta^i",
+                      "sensitivity C*N_g"});
+  for (size_t r : {1u, 2u, 3u}) {
+    const size_t ng = OccurrenceBoundNaive(10, r);
+    lemma.AddRow({"10", StrFormat("%zu", r), StrFormat("%zu", ng),
+                  FormatDouble(NodeSensitivity(1.0, ng), 0)});
+  }
+  lemma.Print(std::cout);
+  std::cout << "\nThe dual-stage sampler replaces N_g with the frequency "
+               "cap M (Section IV):\n";
+
+  TablePrinter table({"occurrence bound N_g", "sigma for eps=2",
+                      "absolute noise stddev sigma*C*N_g",
+                      "eps actually spent"});
+  for (size_t ng : {2u, 4u, 6u, 10u, 111u, 300u}) {
+    DpSgdSpec s = spec;
+    s.max_occurrences = ng;
+    Result<RdpAccountant> acc_or = RdpAccountant::Create(s);
+    if (!acc_or.ok()) {
+      std::cerr << acc_or.status() << "\n";
+      return 1;
+    }
+    const PrivacyBudget budget{2.0, 1e-5};
+    Result<double> sigma_or = acc_or->CalibrateSigma(budget);
+    if (!sigma_or.ok()) {
+      std::cerr << sigma_or.status() << "\n";
+      return 1;
+    }
+    const double sigma = *sigma_or;
+    table.AddRow({StrFormat("%zu", ng), FormatDouble(sigma, 4),
+                  FormatDouble(sigma * NodeSensitivity(1.0, ng), 3),
+                  FormatDouble(acc_or->Epsilon(sigma, budget.delta), 4)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nReading the table: with the naive bound (N_g = 111, "
+               "theta=10 r=2) or EGN's worst\ncase (N_g = m = 300), the "
+               "absolute noise added to each gradient sum is orders of\n"
+               "magnitude above the PrivIM* regime (N_g = M <= 10) — the "
+               "quantitative version of the\npaper's Example 2.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: train a differentially private GNN for influence
+// maximization on a synthetic social network and compare its seed set
+// against the CELF ground truth.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/privim.h"
+#include "im/metrics.h"
+
+int main() {
+  using namespace privim;
+
+  // 1. Prepare a dataset: synthesizes the LastFM stand-in, splits nodes
+  //    50/50 into train/eval halves, and computes the CELF reference on
+  //    the eval half (k = 25 seeds, 1-step IC with unit weights).
+  Result<DatasetInstance> instance_or =
+      PrepareDataset(DatasetId::kLastFm, /*seed=*/7, /*seed_count=*/25);
+  if (!instance_or.ok()) {
+    std::cerr << "dataset preparation failed: " << instance_or.status()
+              << "\n";
+    return 1;
+  }
+  const DatasetInstance& instance = *instance_or;
+  std::cout << "dataset: " << instance.spec.name << " ("
+            << instance.full.num_nodes() << " nodes, "
+            << instance.full.num_edges() << " arcs)\n";
+  std::cout << "CELF ground-truth spread on the eval half: "
+            << instance.celf_spread << "\n\n";
+
+  // 2. Configure PrivIM* with the paper's defaults and a privacy budget of
+  //    (epsilon = 2, delta < 1/|V_train|).
+  PrivImConfig config = MakeDefaultConfig(
+      Method::kPrivImStar, /*epsilon=*/2.0,
+      instance.train_graph.num_nodes());
+  config.seed_count = 25;
+
+  // 3. Run the pipeline: dual-stage frequency sampling -> sigma
+  //    calibration via the Theorem-3 RDP accountant -> DP-SGD training ->
+  //    top-k seed selection on the eval graph.
+  Rng rng(42);
+  Result<PrivImRunResult> run_or =
+      RunMethod(instance.train_graph, instance.eval_graph, config, rng);
+  if (!run_or.ok()) {
+    std::cerr << "PrivIM run failed: " << run_or.status() << "\n";
+    return 1;
+  }
+  const PrivImRunResult& run = *run_or;
+
+  std::cout << "subgraph container: " << run.container_size
+            << " subgraphs (" << run.stage1_count << " SCS + "
+            << run.stage2_count << " BES)\n";
+  std::cout << "occurrence bound N_g* = " << run.occurrence_bound
+            << " (audited max: " << run.audited_max_occurrence << ")\n";
+  std::cout << "calibrated noise multiplier sigma = " << run.sigma
+            << ", epsilon spent = " << run.epsilon_spent << "\n\n";
+
+  std::cout << "private seed set (" << run.seeds.size() << " nodes):";
+  for (size_t i = 0; i < run.seeds.size(); ++i) {
+    std::cout << (i == 0 ? " " : ", ") << run.seeds[i];
+  }
+  std::cout << "\ninfluence spread: " << run.spread << " ("
+            << CoverageRatioPercent(run.spread, instance.celf_spread)
+            << "% of CELF)\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Viral marketing scenario (the paper's motivating application): a company
+// wants to seed a product campaign with k influencers chosen from a social
+// network whose follow-relations are *private*. The graph owner releases
+// only a DP-trained seed-scoring model; this example shows the campaign
+// quality at different privacy budgets and against naive baselines.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/experiment.h"
+#include "core/privim.h"
+#include "im/metrics.h"
+#include "im/seed_selection.h"
+
+int main() {
+  using namespace privim;
+
+  // Use the Facebook page-page network stand-in: the advertiser targets
+  // k = 40 pages.
+  const size_t k = 40;
+  Result<DatasetInstance> instance_or =
+      PrepareDataset(DatasetId::kFacebook, /*seed=*/11, k);
+  if (!instance_or.ok()) {
+    std::cerr << instance_or.status() << "\n";
+    return 1;
+  }
+  const DatasetInstance& instance = *instance_or;
+  std::cout << "campaign network: " << instance.spec.name << " stand-in, "
+            << instance.eval_graph.num_nodes()
+            << " candidate pages, budget k = " << k << "\n\n";
+
+  TablePrinter table({"Selection strategy", "Reach (nodes)",
+                      "% of CELF optimum", "Privacy"});
+
+  // Non-private oracles the graph owner could NOT legally run for an
+  // external advertiser — shown as reference points.
+  table.AddRow({"CELF greedy (no privacy)",
+                FormatDouble(instance.celf_spread, 0), "100.00", "none"});
+
+  std::vector<NodeId> candidates(instance.eval_graph.num_nodes());
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    candidates[u] = static_cast<NodeId>(u);
+  }
+  SpreadOracle oracle = MakeExactUnitOracle(instance.eval_graph, 1);
+  Result<SeedSelection> degree =
+      DegreeSelect(instance.eval_graph, candidates, k, oracle);
+  if (degree.ok()) {
+    table.AddRow({"Top-degree heuristic (no privacy)",
+                  FormatDouble(degree->spread, 0),
+                  FormatDouble(CoverageRatioPercent(degree->spread,
+                                                    instance.celf_spread),
+                               2),
+                  "none"});
+  }
+
+  // The DP route: PrivIM* at several budgets.
+  for (double eps : {1.0, 3.0, 6.0}) {
+    PrivImConfig config = MakeDefaultConfig(
+        Method::kPrivImStar, eps, instance.train_graph.num_nodes());
+    config.seed_count = k;
+    Rng rng(100 + static_cast<uint64_t>(eps));
+    Result<PrivImRunResult> run =
+        RunMethod(instance.train_graph, instance.eval_graph, config, rng);
+    if (!run.ok()) {
+      std::cerr << run.status() << "\n";
+      return 1;
+    }
+    table.AddRow({StrFormat("PrivIM* (eps=%.0f)", eps),
+                  FormatDouble(run->spread, 0),
+                  FormatDouble(CoverageRatioPercent(run->spread,
+                                                    instance.celf_spread),
+                               2),
+                  StrFormat("(%.1f, %.1e)-DP", run->epsilon_spent,
+                            config.budget.delta)});
+  }
+
+  table.Print(std::cout);
+  std::cout << "\nTakeaway: the advertiser keeps most of the campaign "
+               "reach while the network owner\ncan prove node-level DP for "
+               "every user in the training graph.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+#ifndef PRIVIM_COMMON_LOGGING_H_
+#define PRIVIM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace privim {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level for PRIVIM_LOG; messages below it are dropped.
+/// Defaults to kInfo, overridable via the PRIVIM_LOG_LEVEL env var (0-3).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates a log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage, but aborts the process on destruction. Used by CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace privim
+
+#define PRIVIM_LOG(level)                                                   \
+  if (::privim::LogLevel::k##level < ::privim::GetLogLevel()) {             \
+  } else                                                                    \
+    ::privim::internal::LogMessage(::privim::LogLevel::k##level, __FILE__,  \
+                                   __LINE__)                                \
+        .stream()
+
+/// Aborts with a message if `condition` is false. Active in all build modes:
+/// internal invariants in a DP library must never be silently violated.
+#define PRIVIM_CHECK(condition)                                          \
+  if (condition) {                                                       \
+  } else                                                                 \
+    ::privim::internal::FatalLogMessage(__FILE__, __LINE__, #condition)  \
+        .stream()
+
+#define PRIVIM_CHECK_EQ(a, b) PRIVIM_CHECK((a) == (b))
+#define PRIVIM_CHECK_NE(a, b) PRIVIM_CHECK((a) != (b))
+#define PRIVIM_CHECK_LT(a, b) PRIVIM_CHECK((a) < (b))
+#define PRIVIM_CHECK_LE(a, b) PRIVIM_CHECK((a) <= (b))
+#define PRIVIM_CHECK_GT(a, b) PRIVIM_CHECK((a) > (b))
+#define PRIVIM_CHECK_GE(a, b) PRIVIM_CHECK((a) >= (b))
+
+#endif  // PRIVIM_COMMON_LOGGING_H_

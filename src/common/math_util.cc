@@ -1,0 +1,106 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace privim {
+
+double LogBinomial(int64_t n, int64_t k) {
+  PRIVIM_CHECK_GE(k, 0);
+  PRIVIM_CHECK_LE(k, n);
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double LogSumExp(std::span<const double> xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  for (double x : xs) max_x = std::max(max_x, x);
+  if (!std::isfinite(max_x)) return max_x;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - max_x);
+  return max_x + std::log(sum);
+}
+
+double GammaPdf(double x, double beta, double psi) {
+  PRIVIM_CHECK_GT(beta, 0.0);
+  PRIVIM_CHECK_GT(psi, 0.0);
+  if (x <= 0.0) return 0.0;
+  // Evaluate in log space to dodge overflow for large shape parameters.
+  const double log_pdf = (beta - 1.0) * std::log(x) - x / psi -
+                         beta * std::log(psi) - std::lgamma(beta);
+  return std::exp(log_pdf);
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double L2Norm(std::span<const float> xs) {
+  double sum = 0.0;
+  for (float x : xs) sum += static_cast<double>(x) * static_cast<double>(x);
+  return std::sqrt(sum);
+}
+
+double L2Norm(std::span<const double> xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double ClipL2(std::span<float> xs, double bound) {
+  PRIVIM_CHECK_GT(bound, 0.0);
+  const double norm = L2Norm(std::span<const float>(xs.data(), xs.size()));
+  if (norm > bound) {
+    const float scale = static_cast<float>(bound / norm);
+    for (float& x : xs) x *= scale;
+  }
+  return norm;
+}
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+LinearFit LeastSquares(std::span<const double> xs,
+                       std::span<const double> ys) {
+  PRIVIM_CHECK_EQ(xs.size(), ys.size());
+  PRIVIM_CHECK_GE(xs.size(), 2u);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  PRIVIM_CHECK_GT(std::abs(denom), 1e-12) << "constant x in LeastSquares";
+  LinearFit fit;
+  fit.k = (n * sxy - sx * sy) / denom;
+  fit.b = (sy - fit.k * sx) / n;
+  return fit;
+}
+
+}  // namespace privim

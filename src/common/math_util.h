@@ -1,0 +1,48 @@
+#ifndef PRIVIM_COMMON_MATH_UTIL_H_
+#define PRIVIM_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace privim {
+
+/// log(n choose k), computed with lgamma for numerical stability.
+/// Requires 0 <= k <= n.
+double LogBinomial(int64_t n, int64_t k);
+
+/// log(sum_i exp(x_i)), stable. Returns -inf for an empty span.
+double LogSumExp(std::span<const double> xs);
+
+/// Probability density of the Gamma distribution at x (> 0) with shape
+/// `beta` and scale `psi` (Eq. 11 of the paper). Returns 0 for x <= 0.
+double GammaPdf(double x, double beta, double psi);
+
+/// Numerically stable logistic sigmoid.
+double Sigmoid(double x);
+
+/// L2 norm of a vector.
+double L2Norm(std::span<const float> xs);
+double L2Norm(std::span<const double> xs);
+
+/// Scales `xs` in place so its L2 norm is at most `bound` (DP-SGD clipping:
+/// x <- x / max(1, ||x||/bound)). Returns the pre-clip norm.
+double ClipL2(std::span<float> xs, double bound);
+
+/// Mean of a vector; 0 for empty input.
+double Mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 when fewer than 2 values.
+double StdDev(std::span<const double> xs);
+
+/// Simple ordinary least squares fit y = k*x + b. Requires xs.size() ==
+/// ys.size() >= 2 and non-constant xs.
+struct LinearFit {
+  double k = 0.0;
+  double b = 0.0;
+};
+LinearFit LeastSquares(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_MATH_UTIL_H_

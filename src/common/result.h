@@ -1,0 +1,75 @@
+#ifndef PRIVIM_COMMON_RESULT_H_
+#define PRIVIM_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace privim {
+
+/// A value-or-error outcome, the value-returning counterpart of `Status`.
+///
+/// Usage:
+///   Result<Graph> r = LoadEdgeList(path);
+///   if (!r.ok()) return r.status();
+///   Graph g = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    PRIVIM_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    PRIVIM_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    PRIVIM_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    PRIVIM_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace privim
+
+/// Assigns the value of a Result expression or propagates its error.
+#define PRIVIM_CONCAT_INNER_(a, b) a##b
+#define PRIVIM_CONCAT_(a, b) PRIVIM_CONCAT_INNER_(a, b)
+#define PRIVIM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+#define PRIVIM_ASSIGN_OR_RETURN(lhs, expr) \
+  PRIVIM_ASSIGN_OR_RETURN_IMPL_(           \
+      PRIVIM_CONCAT_(_privim_result_, __LINE__), lhs, expr)
+
+#endif  // PRIVIM_COMMON_RESULT_H_

@@ -1,0 +1,96 @@
+#ifndef PRIVIM_COMMON_RNG_H_
+#define PRIVIM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace privim {
+
+/// SplitMix64 — used for seeding and as a simple stateless mixer.
+///
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014). Deterministic across platforms.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// Deterministic pseudo-random generator (xoshiro256**) with the sampling
+/// helpers needed throughout PrivIM.
+///
+/// Every randomized component in the library (graph generators, samplers,
+/// DP noise, training) receives an `Rng` explicitly, so whole experiments are
+/// reproducible from one master seed.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 uniform random bits.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via the Box-Muller transform (deterministic, no
+  /// dependence on libstdc++'s unspecified distribution algorithms).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential with rate `lambda` (mean 1/lambda).
+  double Exponential(double lambda = 1.0);
+
+  /// Laplace with location 0 and the given scale b.
+  double Laplace(double scale);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// Non-positive weights are treated as 0. Returns weights.size() if the
+  /// total weight is not strictly positive (caller must handle).
+  size_t Discrete(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (size_t i = items.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap(items[i], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct values from [0, n) without replacement
+  /// (Floyd's algorithm). Requires k <= n.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Derives an independent child generator; handy for giving each component
+  /// of an experiment its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  // Cached second output of Box-Muller.
+  double gauss_spare_ = 0.0;
+  bool has_gauss_spare_ = false;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_RNG_H_

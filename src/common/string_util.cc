@@ -1,0 +1,72 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace privim {
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(delim, start);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > start) out.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         (text[begin] == ' ' || text[begin] == '\t' || text[begin] == '\r' ||
+          text[begin] == '\n')) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+          text[end - 1] == '\r' || text[end - 1] == '\n')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatDouble(double value, int digits) {
+  return StrFormat("%.*f", digits, value);
+}
+
+}  // namespace privim

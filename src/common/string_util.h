@@ -1,0 +1,32 @@
+#ifndef PRIVIM_COMMON_STRING_UTIL_H_
+#define PRIVIM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace privim {
+
+/// Splits `text` on `delim`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits = 2);
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,36 @@
+#ifndef PRIVIM_COMMON_TABLE_PRINTER_H_
+#define PRIVIM_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace privim {
+
+/// Renders aligned, Markdown-compatible console tables. Used by the benchmark
+/// harness to print rows in the same layout as the paper's tables/figures.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; it may have fewer cells than the header (padded).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each double with `digits` decimals after a leading
+  /// label cell.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits = 2);
+
+  /// Writes the table, aligned, with a separator under the header.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_TABLE_PRINTER_H_

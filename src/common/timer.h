@@ -1,0 +1,28 @@
+#ifndef PRIVIM_COMMON_TIMER_H_
+#define PRIVIM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace privim {
+
+/// Simple wall-clock stopwatch used by the efficiency benchmarks (Table III).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_COMMON_TIMER_H_

@@ -1,0 +1,114 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "graph/subgraph.h"
+#include "im/metrics.h"
+#include "im/seed_selection.h"
+
+namespace privim {
+
+Result<DatasetInstance> PrepareDataset(DatasetId id, uint64_t seed,
+                                       size_t seed_count, int eval_steps,
+                                       double scale) {
+  DatasetInstance instance;
+  instance.spec = GetDatasetSpec(id);
+  Rng rng(seed);
+  PRIVIM_ASSIGN_OR_RETURN(instance.full, MakeDataset(id, rng, scale));
+
+  NodeSplit split = SplitNodes(instance.full.num_nodes(), rng);
+  PRIVIM_ASSIGN_OR_RETURN(Subgraph train_sub,
+                          InduceSubgraph(instance.full, split.train));
+  PRIVIM_ASSIGN_OR_RETURN(Subgraph eval_sub,
+                          InduceSubgraph(instance.full, split.test));
+  instance.train_graph = std::move(train_sub.local);
+  instance.eval_graph = std::move(eval_sub.local);
+
+  if (instance.eval_graph.num_nodes() < seed_count) {
+    return Status::FailedPrecondition(
+        StrFormat("eval split of %s too small for k=%zu",
+                  instance.spec.name.c_str(), seed_count));
+  }
+
+  // CELF ground truth on the evaluation half (Section V-A: w=1, j=1 makes
+  // the spread exact and deterministic).
+  std::vector<NodeId> candidates(instance.eval_graph.num_nodes());
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    candidates[u] = static_cast<NodeId>(u);
+  }
+  SpreadOracle oracle = MakeExactUnitOracle(instance.eval_graph, eval_steps);
+  PRIVIM_ASSIGN_OR_RETURN(SeedSelection celf,
+                          CelfSelect(candidates, seed_count, oracle));
+  instance.celf_spread = celf.spread;
+  instance.celf_seeds = std::move(celf.seeds);
+  return instance;
+}
+
+Result<MethodEval> EvaluateMethod(const DatasetInstance& instance,
+                                  const PrivImConfig& config, size_t repeats,
+                                  uint64_t seed) {
+  if (repeats == 0) {
+    return Status::InvalidArgument("repeats must be positive");
+  }
+  MethodEval eval;
+  eval.method = config.method;
+  std::vector<double> spreads;
+  std::vector<double> coverages;
+  double pre_total = 0.0;
+  double epoch_total = 0.0;
+  for (size_t rep = 0; rep < repeats; ++rep) {
+    Rng rng(seed + 0x9e37 * (rep + 1));
+    PRIVIM_ASSIGN_OR_RETURN(
+        PrivImRunResult run,
+        RunMethod(instance.train_graph, instance.eval_graph, config, rng));
+    spreads.push_back(run.spread);
+    coverages.push_back(
+        CoverageRatioPercent(run.spread, instance.celf_spread));
+    pre_total += run.preprocessing_seconds;
+    epoch_total += run.per_epoch_seconds;
+    eval.last_run = std::move(run);
+  }
+  eval.mean_spread = Mean(spreads);
+  eval.std_spread = StdDev(spreads);
+  eval.mean_coverage = Mean(coverages);
+  eval.std_coverage = StdDev(coverages);
+  eval.mean_preprocessing_seconds =
+      pre_total / static_cast<double>(repeats);
+  eval.mean_per_epoch_seconds = epoch_total / static_cast<double>(repeats);
+  return eval;
+}
+
+size_t RepeatsFromEnv(size_t fallback) {
+  const char* env = std::getenv("PRIVIM_REPEATS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return fallback;
+}
+
+double ScaleFromEnv() {
+  const char* env = std::getenv("PRIVIM_SCALE");
+  if (env != nullptr) {
+    const double v = std::atof(env);
+    if (v >= 0.05) return v;
+  }
+  return 1.0;
+}
+
+void PrintBenchHeader(const std::string& title, size_t repeats) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "Datasets are synthetic stand-ins matched to Table I's "
+               "directedness/degree profile at reduced scale\n"
+            << "(see DESIGN.md). Compare *shapes* (method ordering, decay "
+               "with epsilon), not absolute values.\n";
+  std::cout << "repeats=" << repeats
+            << " (PRIVIM_REPEATS; paper uses 5), scale=" << ScaleFromEnv()
+            << " (PRIVIM_SCALE)\n\n";
+}
+
+}  // namespace privim

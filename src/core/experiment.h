@@ -1,0 +1,71 @@
+#ifndef PRIVIM_CORE_EXPERIMENT_H_
+#define PRIVIM_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/privim.h"
+#include "graph/datasets.h"
+
+namespace privim {
+
+/// Shared experiment plumbing for the benchmark harness (one binary per
+/// paper table/figure) and the examples.
+
+/// A fully prepared dataset instance: the synthesized graph, its 50/50 node
+/// split, the induced train/eval halves, and the CELF reference spread on
+/// the evaluation half.
+struct DatasetInstance {
+  DatasetSpec spec;
+  Graph full;
+  Graph train_graph;  // Induced on the train split.
+  Graph eval_graph;   // Induced on the test split.
+  /// CELF's spread on eval_graph (ground truth; Section V-A's |V_CELF|),
+  /// with k = seed_count and exact unit-weight j-step evaluation.
+  double celf_spread = 0.0;
+  std::vector<NodeId> celf_seeds;
+};
+
+/// Synthesizes dataset `id`, splits it, and computes the CELF reference.
+/// `scale` forwards to MakeDataset; `seed` controls all randomness.
+Result<DatasetInstance> PrepareDataset(DatasetId id, uint64_t seed,
+                                       size_t seed_count = 50,
+                                       int eval_steps = 1,
+                                       double scale = 1.0);
+
+/// Aggregated outcome of `repeats` runs of one method configuration.
+struct MethodEval {
+  Method method;
+  double mean_spread = 0.0;
+  double std_spread = 0.0;
+  /// Coverage ratio vs CELF in percent (mean/std over repeats).
+  double mean_coverage = 0.0;
+  double std_coverage = 0.0;
+  double mean_preprocessing_seconds = 0.0;
+  double mean_per_epoch_seconds = 0.0;
+  /// Telemetry of the last run.
+  PrivImRunResult last_run;
+};
+
+/// Runs `config` `repeats` times with seeds derived from `seed` and
+/// aggregates spread/coverage against the instance's CELF reference.
+Result<MethodEval> EvaluateMethod(const DatasetInstance& instance,
+                                  const PrivImConfig& config, size_t repeats,
+                                  uint64_t seed);
+
+/// Number of experiment repeats: PRIVIM_REPEATS env var, default
+/// `fallback` (the paper uses 5; benches default to 1 for runtime).
+size_t RepeatsFromEnv(size_t fallback = 1);
+
+/// Dataset scale multiplier: PRIVIM_SCALE env var, default 1.0.
+double ScaleFromEnv();
+
+/// Prints the standard bench preamble (dataset table with paper vs
+/// simulated sizes and the scale disclaimer). `repeats` is the repeat
+/// count the bench actually uses.
+void PrintBenchHeader(const std::string& title, size_t repeats);
+
+}  // namespace privim
+
+#endif  // PRIVIM_CORE_EXPERIMENT_H_

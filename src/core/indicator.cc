@@ -1,0 +1,119 @@
+#include "core/indicator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace privim {
+
+double BetaN(size_t num_nodes, const IndicatorParams& params) {
+  PRIVIM_CHECK_GE(num_nodes, 2u);
+  return params.k_n * std::log(static_cast<double>(num_nodes)) + params.b_n;
+}
+
+double BetaM(size_t num_nodes, const IndicatorParams& params) {
+  PRIVIM_CHECK_GE(num_nodes, 2u);
+  return params.k_m / std::log(static_cast<double>(num_nodes)) + params.b_m;
+}
+
+double IndicatorRaw(double n, double m, size_t num_nodes,
+                    const IndicatorParams& params) {
+  const double beta_n = std::max(BetaN(num_nodes, params), 1e-3);
+  const double beta_m = std::max(BetaM(num_nodes, params), 1e-3);
+  return GammaPdf(n, beta_n, params.psi_n) +
+         GammaPdf(m, beta_m, params.psi_m);
+}
+
+std::vector<std::vector<double>> IndicatorSurface(
+    const std::vector<double>& n_grid, const std::vector<double>& m_grid,
+    size_t num_nodes, const IndicatorParams& params) {
+  std::vector<std::vector<double>> surface(
+      n_grid.size(), std::vector<double>(m_grid.size(), 0.0));
+  double max_val = 0.0;
+  for (size_t i = 0; i < n_grid.size(); ++i) {
+    for (size_t j = 0; j < m_grid.size(); ++j) {
+      surface[i][j] = IndicatorRaw(n_grid[i], m_grid[j], num_nodes, params);
+      max_val = std::max(max_val, surface[i][j]);
+    }
+  }
+  if (max_val > 0.0) {
+    for (auto& row : surface) {
+      for (double& v : row) v /= max_val;
+    }
+  }
+  return surface;
+}
+
+IndicatorPeak FindIndicatorPeak(const std::vector<double>& n_grid,
+                                const std::vector<double>& m_grid,
+                                size_t num_nodes,
+                                const IndicatorParams& params) {
+  IndicatorPeak peak;
+  const auto surface = IndicatorSurface(n_grid, m_grid, num_nodes, params);
+  for (size_t i = 0; i < n_grid.size(); ++i) {
+    for (size_t j = 0; j < m_grid.size(); ++j) {
+      if (surface[i][j] > peak.value) {
+        peak.value = surface[i][j];
+        peak.n = n_grid[i];
+        peak.m = m_grid[j];
+      }
+    }
+  }
+  return peak;
+}
+
+namespace {
+
+Status ValidateObservations(
+    const std::vector<IndicatorObservation>& observations) {
+  if (observations.size() < 2) {
+    return Status::InvalidArgument("need at least 2 observations to fit");
+  }
+  for (const auto& obs : observations) {
+    if (obs.num_nodes < 3) {
+      return Status::InvalidArgument("observations need |V| >= 3");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<IndicatorParams> FitIndicatorN(
+    const std::vector<IndicatorObservation>& observations, double psi_n,
+    IndicatorParams base) {
+  PRIVIM_RETURN_NOT_OK(ValidateObservations(observations));
+  if (psi_n <= 0.0) return Status::InvalidArgument("psi_n must be positive");
+  // Gamma mode: n* = (beta_n - 1) psi_n  =>  n*/psi_n + 1 = k ln|V| + b.
+  std::vector<double> xs, ys;
+  for (const auto& obs : observations) {
+    xs.push_back(std::log(static_cast<double>(obs.num_nodes)));
+    ys.push_back(obs.optimal_value / psi_n + 1.0);
+  }
+  const LinearFit fit = LeastSquares(xs, ys);
+  base.psi_n = psi_n;
+  base.k_n = fit.k;
+  base.b_n = fit.b;
+  return base;
+}
+
+Result<IndicatorParams> FitIndicatorM(
+    const std::vector<IndicatorObservation>& observations, double psi_m,
+    IndicatorParams base) {
+  PRIVIM_RETURN_NOT_OK(ValidateObservations(observations));
+  if (psi_m <= 0.0) return Status::InvalidArgument("psi_m must be positive");
+  // M* = (beta_M - 1) psi_M with beta_M = k_M / ln|V| + b_M.
+  std::vector<double> xs, ys;
+  for (const auto& obs : observations) {
+    xs.push_back(1.0 / std::log(static_cast<double>(obs.num_nodes)));
+    ys.push_back(obs.optimal_value / psi_m + 1.0);
+  }
+  const LinearFit fit = LeastSquares(xs, ys);
+  base.psi_m = psi_m;
+  base.k_m = fit.k;
+  base.b_m = fit.b;
+  return base;
+}
+
+}  // namespace privim

@@ -1,0 +1,73 @@
+#ifndef PRIVIM_CORE_INDICATOR_H_
+#define PRIVIM_CORE_INDICATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace privim {
+
+/// Parameters of the Gamma-pdf parameter-selection indicator
+/// (Section IV-C, Eq. 10-12). Defaults are the paper's fitted values.
+struct IndicatorParams {
+  double psi_n = 25.0;  // Scale for the subgraph-size component.
+  double psi_m = 5.0;   // Scale for the frequency-threshold component.
+  double k_n = 0.47;    // beta_n = k_n * ln|V| + b_n          (Eq. 12)
+  double b_n = -1.03;
+  double k_m = 4.02;    // beta_M = k_M / ln|V| + b_M          (Eq. 12)
+  double b_m = 1.22;
+};
+
+/// Gamma shape parameters for a dataset of |V| = num_nodes (Eq. 12).
+double BetaN(size_t num_nodes, const IndicatorParams& params);
+double BetaM(size_t num_nodes, const IndicatorParams& params);
+
+/// Unnormalized indicator xi(n) + xi(M) (Eq. 10's numerator, using the
+/// Gamma pdfs of Eq. 11).
+double IndicatorRaw(double n, double m, size_t num_nodes,
+                    const IndicatorParams& params);
+
+/// The normalized indicator surface I(n, M) over a grid: entry [i][j] is
+/// I(n_grid[i], m_grid[j]), normalized so the maximum over the grid is 1
+/// (Eq. 10's denominator is the maximum over the evaluated value space).
+std::vector<std::vector<double>> IndicatorSurface(
+    const std::vector<double>& n_grid, const std::vector<double>& m_grid,
+    size_t num_nodes, const IndicatorParams& params);
+
+/// The (n, M) maximizing the indicator over the grid.
+struct IndicatorPeak {
+  double n = 0.0;
+  double m = 0.0;
+  double value = 0.0;
+};
+IndicatorPeak FindIndicatorPeak(const std::vector<double>& n_grid,
+                                const std::vector<double>& m_grid,
+                                size_t num_nodes,
+                                const IndicatorParams& params);
+
+/// One calibration observation: on a dataset with `num_nodes` nodes, the
+/// empirically best parameter value was `optimal_value` (n or M).
+struct IndicatorObservation {
+  size_t num_nodes;
+  double optimal_value;
+};
+
+/// Fits (k_n, b_n) from observed optimal subgraph sizes via least squares
+/// on the Gamma-mode identity n* = (beta_n - 1) psi_n with
+/// beta_n = k_n ln|V| + b_n (Appendix H, Eq. 46-49). Needs >= 2
+/// observations with distinct |V|.
+Result<IndicatorParams> FitIndicatorN(
+    const std::vector<IndicatorObservation>& observations, double psi_n,
+    IndicatorParams base = IndicatorParams());
+
+/// Fits (k_M, b_M) from observed optimal thresholds; the regressor is
+/// 1/ln|V| per Eq. 12 (Appendix H's Eq. 50 writes the regressor as
+/// ln(1/|V|); we follow Eq. 12's functional form, which is the one the
+/// indicator actually evaluates).
+Result<IndicatorParams> FitIndicatorM(
+    const std::vector<IndicatorObservation>& observations, double psi_m,
+    IndicatorParams base = IndicatorParams());
+
+}  // namespace privim
+
+#endif  // PRIVIM_CORE_INDICATOR_H_

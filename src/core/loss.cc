@@ -1,0 +1,34 @@
+#include "core/loss.h"
+
+#include "tensor/ops.h"
+
+namespace privim {
+
+Tensor ImPenaltyLoss(const GraphContext& ctx, const Tensor& seed_probs,
+                     const ImLossConfig& config) {
+  PRIVIM_CHECK_EQ(seed_probs.rows(), ctx.num_nodes);
+  PRIVIM_CHECK_EQ(seed_probs.cols(), 1u);
+  PRIVIM_CHECK_GE(config.diffusion_steps, 1);
+
+  // survival_u = prod_i (1 - p_hat_i(u)), built step by step.
+  Tensor h = seed_probs;  // h^(0) = x.
+  Tensor survival;        // Starts undefined; first factor assigns it.
+  for (int step = 0; step < config.diffusion_steps; ++step) {
+    // z_u = sum_{v in N(u)} w_vu h_v — aggregation over in-edges, which in
+    // the edge list means scattering source values into targets with the IC
+    // weights (self-loop coefficient is 0 in ic_coef).
+    Tensor z = ScatterAddRows(h, ctx.src, ctx.dst, ctx.ic_coef,
+                              ctx.num_nodes);
+    Tensor p = InfluenceProb(z);  // p_hat_step in [0,1).
+    // (1 - p).
+    Tensor one_minus_p = AddScalar(Scale(p, -1.0f), 1.0f);
+    survival = step == 0 ? one_minus_p : Mul(survival, one_minus_p);
+    h = p;  // H^(i): newly influenced mass drives the next step.
+  }
+
+  Tensor uninfluenced = MeanAll(survival);
+  Tensor seed_mass = MeanAll(seed_probs);
+  return Add(uninfluenced, Scale(seed_mass, config.lambda));
+}
+
+}  // namespace privim

@@ -1,0 +1,41 @@
+#ifndef PRIVIM_CORE_LOSS_H_
+#define PRIVIM_CORE_LOSS_H_
+
+#include "nn/graph_context.h"
+#include "tensor/tensor.h"
+
+namespace privim {
+
+/// Configuration of the probabilistic-penalty IM loss (Eq. 5).
+struct ImLossConfig {
+  /// Diffusion steps j. The paper restricts j <= r (GNN depth) and
+  /// evaluates with j = 1.
+  int diffusion_steps = 1;
+  /// Trade-off lambda between total non-influence probability and seed-set
+  /// mass.
+  float lambda = 0.25f;
+};
+
+/// Erdős probabilistic-penalty loss for influence maximization (Eq. 5):
+///
+///   L = mean_u prod_{i=1..j} (1 - p_hat_i(u))  +  lambda * mean_u x_u,
+///
+/// where x = `seed_probs` (the GNN's per-node seed probabilities, [n,1])
+/// and p_hat_i is the message-passing upper bound of the i-th step IC
+/// influence probability (Theorem 2):
+///   p_hat_i(u) = phi( sum_{v in N(u)} w_vu h_v^{(i-1)} ),  h^{(0)} = x,
+/// with phi(z) = 1 - exp(-max(z,0)) — a smooth surrogate that stays an
+/// upper-bounding companion of the IC non-activation product (the bound
+/// direction is unit-tested).
+///
+/// Means (rather than sums) keep the per-sample gradient scale independent
+/// of the subgraph size, so one clip bound C works across stage-1 (size n)
+/// and stage-2 (size n/s) subgraphs.
+///
+/// Returns a [1,1] scalar tensor wired into `seed_probs`'s tape.
+Tensor ImPenaltyLoss(const GraphContext& ctx, const Tensor& seed_probs,
+                     const ImLossConfig& config);
+
+}  // namespace privim
+
+#endif  // PRIVIM_CORE_LOSS_H_

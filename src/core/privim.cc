@@ -1,0 +1,371 @@
+#include "core/privim.h"
+
+#include "core/indicator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "dp/rdp_accountant.h"
+#include "dp/sensitivity.h"
+#include "graph/algorithms.h"
+#include "im/diffusion.h"
+#include "im/seed_selection.h"
+#include "nn/features.h"
+#include "nn/graph_context.h"
+
+namespace privim {
+
+std::string MethodName(Method method) {
+  switch (method) {
+    case Method::kPrivIm:
+      return "PrivIM";
+    case Method::kPrivImScs:
+      return "PrivIM+SCS";
+    case Method::kPrivImStar:
+      return "PrivIM*";
+    case Method::kEgn:
+      return "EGN";
+    case Method::kHp:
+      return "HP";
+    case Method::kHpGrat:
+      return "HP-GRAT";
+    case Method::kNonPrivate:
+      return "Non-Private";
+  }
+  return "?";
+}
+
+Result<Method> ParseMethod(const std::string& name) {
+  for (Method m :
+       {Method::kPrivIm, Method::kPrivImScs, Method::kPrivImStar,
+        Method::kEgn, Method::kHp, Method::kHpGrat, Method::kNonPrivate}) {
+    if (MethodName(m) == name) return m;
+  }
+  return Status::NotFound(StrFormat("unknown method '%s'", name.c_str()));
+}
+
+PrivImConfig MakeDefaultConfig(Method method, double epsilon,
+                               size_t train_nodes) {
+  PrivImConfig cfg;
+  cfg.method = method;
+  cfg.budget.epsilon = epsilon;
+  // Paper: delta < 1/|V_train|.
+  cfg.budget.delta = 0.5 / std::max<double>(1.0, static_cast<double>(
+                                                     train_nodes));
+  // q = 256/|V_train| (Section V-A), clamped to a valid probability.
+  const double q =
+      std::min(1.0, 256.0 / std::max<double>(1.0, static_cast<double>(
+                                                      train_nodes)));
+  cfg.rwr.sampling_rate = q;
+  cfg.freq.sampling_rate = q;
+  cfg.ego.sampling_rate = q;
+  cfg.theta = 10;
+  cfg.rwr.walk_length = 200;
+  cfg.freq.walk_length = 200;
+  cfg.rwr.restart_prob = 0.3;
+  cfg.freq.restart_prob = 0.3;
+  cfg.rwr.hop_bound = 3;
+  cfg.rwr.subgraph_size = 40;
+  cfg.freq.subgraph_size = 40;
+  cfg.freq.frequency_threshold = 6;
+  cfg.freq.shrink_factor = 2;
+  // HP's ego sampling with the paper's theta = 10 over 2 hops. Under the
+  // shared Theorem-3 accountant this yields N_g = 111 versus PrivIM*'s
+  // N_g = M = 6, so HP pays ~18x the noise — the quantitative form of the
+  // paper's argument that node-level schemes cannot control IM's broader
+  // dependencies (see EXPERIMENTS.md for the observed effect).
+  cfg.ego.fanout = 10;
+  cfg.ego.hops = 2;
+  cfg.ego.max_nodes = 40;
+
+  cfg.gnn.type = GnnType::kGrat;
+  if (method == Method::kEgn || method == Method::kHp) {
+    cfg.gnn.type = GnnType::kGcn;
+  }
+  cfg.gnn.in_dim = kNodeFeatureDim;
+  cfg.gnn.hidden_dim = 32;
+  cfg.gnn.num_layers = 3;
+
+  cfg.train.batch_size = 16;
+  cfg.train.iterations = 60;
+  cfg.train.learning_rate = 0.05f;
+  // Clip at the typical per-subgraph gradient norm (~0.1 for this loss and
+  // architecture); a looser bound would only inflate Delta_g = C * N_g and
+  // with it the injected noise, without changing the clean gradients.
+  cfg.train.clip_bound = 0.1;
+  cfg.train.loss.diffusion_steps = 1;
+  cfg.train.loss.lambda = 0.25f;
+
+  cfg.seed_count = 50;
+  cfg.eval_steps = 1;
+
+  if (method == Method::kNonPrivate) {
+    cfg.budget.epsilon = kNonPrivateEpsilon;
+    // The non-private reference should be the strongest achievable model:
+    // Adam handles the conditioning differences across datasets that SGD's
+    // single learning rate cannot.
+    cfg.train.optimizer = OptimizerKind::kAdam;
+    cfg.train.learning_rate = 0.04f;
+    cfg.train.iterations = 100;
+  }
+  return cfg;
+}
+
+void AutoTuneSamplingParams(size_t dataset_nodes, PrivImConfig& config) {
+  std::vector<double> n_grid, m_grid;
+  for (double n = 10; n <= 80; n += 10) n_grid.push_back(n);
+  for (double m = 2; m <= 12; m += 2) m_grid.push_back(m);
+  const IndicatorPeak peak = FindIndicatorPeak(
+      n_grid, m_grid, std::max<size_t>(dataset_nodes, 3),
+      IndicatorParams());
+  config.freq.subgraph_size = static_cast<size_t>(peak.n);
+  config.freq.frequency_threshold = static_cast<size_t>(peak.m);
+  config.rwr.subgraph_size = static_cast<size_t>(peak.n);
+}
+
+namespace {
+
+bool IsNonPrivate(const PrivImConfig& cfg) {
+  return cfg.method == Method::kNonPrivate ||
+         cfg.budget.epsilon >= kNonPrivateEpsilon;
+}
+
+/// Extracts the subgraph container per the configured method and reports
+/// the a-priori occurrence bound the accountant must use.
+Result<SubgraphContainer> ExtractContainer(const Graph& train_graph,
+                                           const PrivImConfig& cfg, Rng& rng,
+                                           PrivImRunResult* result) {
+  switch (cfg.method) {
+    case Method::kPrivIm: {
+      // Algorithm 1: theta-projection, then RWR on the bounded graph.
+      PRIVIM_ASSIGN_OR_RETURN(
+          Graph bounded, ThetaBoundedProjection(train_graph, cfg.theta, rng));
+      RwrSampler sampler(cfg.rwr);
+      PRIVIM_ASSIGN_OR_RETURN(SubgraphContainer container,
+                              sampler.Extract(bounded, rng));
+      // Lemma 1 bound, clamped by the container size (a node cannot occur
+      // more often than there are subgraphs).
+      result->occurrence_bound = std::min(
+          OccurrenceBoundNaive(cfg.theta, cfg.gnn.num_layers),
+          container.size());
+      result->stage1_count = container.size();
+      return container;
+    }
+    case Method::kPrivImScs:
+    case Method::kPrivImStar:
+    case Method::kNonPrivate: {
+      FreqSamplingConfig freq = cfg.freq;
+      freq.boundary_stage = cfg.method != Method::kPrivImScs;
+      FreqSampler sampler(freq);
+      PRIVIM_ASSIGN_OR_RETURN(DualStageResult dual,
+                              sampler.Extract(train_graph, rng));
+      result->occurrence_bound =
+          std::min(freq.frequency_threshold, dual.container.size());
+      result->stage1_count = dual.stage1_count;
+      result->stage2_count = dual.stage2_count;
+      return std::move(dual.container);
+    }
+    case Method::kEgn: {
+      const size_t n = std::min<size_t>(cfg.freq.subgraph_size,
+                                        train_graph.num_nodes());
+      PRIVIM_ASSIGN_OR_RETURN(
+          SubgraphContainer container,
+          EgnRandomSample(train_graph, cfg.egn_subgraph_count,
+                          std::max<size_t>(2, n), rng));
+      // Uniform random subsets admit no better a-priori bound than the
+      // container size itself.
+      result->occurrence_bound = container.size();
+      result->stage1_count = container.size();
+      return container;
+    }
+    case Method::kHp:
+    case Method::kHpGrat: {
+      // HP bounds the maximum in-degree theta before ego-sampling (Xiang
+      // et al.); the projection is what makes the geometric occurrence
+      // bound a-priori valid (at most sum theta^i roots can reach a node
+      // within `hops`).
+      PRIVIM_ASSIGN_OR_RETURN(
+          Graph bounded,
+          ThetaBoundedProjection(train_graph, cfg.ego.fanout, rng));
+      PRIVIM_ASSIGN_OR_RETURN(SubgraphContainer container,
+                              EgoSample(bounded, cfg.ego, rng));
+      result->occurrence_bound =
+          EgoOccurrenceBound(cfg.ego, container.size());
+      result->stage1_count = container.size();
+      return container;
+    }
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+}  // namespace
+
+Result<PrivImRunResult> RunMethod(const Graph& train_graph,
+                                  const Graph& eval_graph,
+                                  const PrivImConfig& cfg, Rng& rng,
+                                  std::unique_ptr<GnnModel>* model_out) {
+  if (eval_graph.num_nodes() < cfg.seed_count) {
+    return Status::InvalidArgument(
+        StrFormat("evaluation graph has %zu nodes < k=%zu",
+                  eval_graph.num_nodes(), cfg.seed_count));
+  }
+  PrivImRunResult result;
+  WallTimer preprocess_timer;
+
+  // ---- Module 1: subgraph extraction. ----
+  PRIVIM_ASSIGN_OR_RETURN(SubgraphContainer container,
+                          ExtractContainer(train_graph, cfg, rng, &result));
+  if (container.empty()) {
+    return Status::FailedPrecondition(
+        "sampling produced no subgraphs (graph too small or sampling rate "
+        "too low)");
+  }
+  result.container_size = container.size();
+  result.preprocessing_seconds = preprocess_timer.ElapsedSeconds();
+
+  // Audit: the realized occurrences must respect the accountant's bound
+  // for the frequency-capped pipelines. (EGN's bound is m by construction.)
+  result.audited_max_occurrence =
+      container.MaxOccurrence(train_graph.num_nodes());
+  if (result.audited_max_occurrence > result.occurrence_bound) {
+    return Status::Internal(StrFormat(
+        "occurrence audit failed: observed %zu > bound %zu",
+        result.audited_max_occurrence, result.occurrence_bound));
+  }
+
+  // ---- Module 2: privacy accounting. ----
+  TrainConfig train_cfg = cfg.train;
+  // Sparse graphs can yield fewer subgraphs than the configured batch
+  // size; the accountant requires B <= m, so clamp (this only makes the
+  // subsampling, and hence the guarantee, more conservative).
+  train_cfg.batch_size = std::min(train_cfg.batch_size, container.size());
+  const bool non_private = IsNonPrivate(cfg);
+  if (non_private) {
+    train_cfg.noise_kind = NoiseKind::kNone;
+    train_cfg.noise_stddev = 0.0;
+    train_cfg.clip_bound = 0.0;  // epsilon = inf: no clipping either.
+    result.sigma = 0.0;
+    result.epsilon_spent = kNonPrivateEpsilon;
+  } else {
+    if (cfg.auto_clip) {
+      // Dry-run a throwaway model for a few noiseless iterations to learn
+      // the per-subgraph gradient scale, and clip there.
+      GnnConfig probe_cfg = cfg.gnn;
+      probe_cfg.in_dim = kNodeFeatureDim;
+      Rng probe_rng = rng.Fork();
+      GnnModel probe(probe_cfg, probe_rng);
+      TrainConfig dry = cfg.train;
+      dry.batch_size = std::min<size_t>(train_cfg.batch_size, 8);
+      dry.iterations = std::max<size_t>(8, cfg.train.iterations / 4);
+      dry.noise_kind = NoiseKind::kNone;
+      dry.noise_stddev = 0.0;
+      dry.tail_averaging = false;
+      PRIVIM_ASSIGN_OR_RETURN(TrainStats dry_stats,
+                              TrainDpGnn(probe, container, dry, probe_rng));
+      // Gradient norms shrink after warmup; clip at the post-warmup scale
+      // (median over the second half of the dry run).
+      const size_t half = dry_stats.grad_norms.size() / 2;
+      std::vector<double> tail(dry_stats.grad_norms.begin() + half,
+                               dry_stats.grad_norms.end());
+      std::sort(tail.begin(), tail.end());
+      const double median =
+          tail.empty() ? dry_stats.mean_grad_norm : tail[tail.size() / 2];
+      if (median > 0.0) {
+        train_cfg.clip_bound = cfg.auto_clip_scale * median;
+        // Clipped SGD moves ~lr*C per step; rescale the learning rate so
+        // the per-step movement matches the configured lr at C = 0.1
+        // (keeping training speed independent of the gradient scale).
+        train_cfg.learning_rate = std::min(
+            2.0f, cfg.train.learning_rate *
+                      static_cast<float>(0.1 / train_cfg.clip_bound));
+      }
+    }
+    DpSgdSpec spec;
+    spec.max_occurrences = std::max<size_t>(1, result.occurrence_bound);
+    spec.container_size = container.size();
+    spec.batch_size = train_cfg.batch_size;
+    spec.iterations = train_cfg.iterations;
+    spec.clip_bound = train_cfg.clip_bound;
+    PRIVIM_ASSIGN_OR_RETURN(RdpAccountant accountant,
+                            RdpAccountant::Create(spec));
+    PRIVIM_ASSIGN_OR_RETURN(double sigma,
+                            accountant.CalibrateSigma(cfg.budget));
+    result.sigma = sigma;
+    result.epsilon_spent = accountant.Epsilon(sigma, cfg.budget.delta);
+    const double delta_g =
+        NodeSensitivity(train_cfg.clip_bound, spec.max_occurrences);
+    train_cfg.noise_stddev = sigma * delta_g;
+    train_cfg.noise_kind =
+        (cfg.method == Method::kHp || cfg.method == Method::kHpGrat)
+            ? NoiseKind::kSml
+            : NoiseKind::kGaussian;
+  }
+  result.noise_stddev = train_cfg.noise_stddev;
+  result.clip_bound_used = train_cfg.clip_bound;
+
+  // ---- Module 3: DP-GNN training. ----
+  GnnConfig gnn_cfg = cfg.gnn;
+  gnn_cfg.in_dim = kNodeFeatureDim;
+  Rng init_rng = rng.Fork();
+  auto model_ptr = std::make_unique<GnnModel>(gnn_cfg, init_rng);
+  GnnModel& model = *model_ptr;
+  PRIVIM_ASSIGN_OR_RETURN(TrainStats stats,
+                          TrainDpGnn(model, container, train_cfg, rng));
+  result.per_epoch_seconds = stats.seconds_per_iteration;
+  if (!stats.losses.empty()) {
+    const size_t tail = std::max<size_t>(1, stats.losses.size() / 4);
+    std::vector<double> last(stats.losses.end() - tail, stats.losses.end());
+    result.final_loss = Mean(last);
+  }
+
+  // ---- Inference: score the evaluation graph, select top-k seeds. ----
+  GraphContext eval_ctx = BuildGraphContext(eval_graph);
+  Tensor eval_x(BuildNodeFeatures(eval_graph));
+  // Rank by pre-sigmoid logits: identical ordering to the probabilities,
+  // but immune to float32 sigmoid saturation flattening the top of the
+  // ranking on graphs where most scores push toward 1.
+  Tensor logits = model.ForwardLogits(eval_ctx, eval_x);
+  std::vector<double> scores(eval_graph.num_nodes());
+  for (size_t u = 0; u < eval_graph.num_nodes(); ++u) {
+    scores[u] = logits.value()(u, 0);
+  }
+  std::vector<NodeId> candidates(eval_graph.num_nodes());
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    candidates[u] = static_cast<NodeId>(u);
+  }
+  // Random tie-breaking: a noise-destroyed model whose scores saturate to
+  // one value must degrade to *random* seed selection, not to ascending
+  // node-id order (which is hub-biased under preferential-attachment
+  // generators and would flatter weak baselines).
+  rng.Shuffle(candidates);
+  SpreadOracle oracle;
+  switch (cfg.eval_diffusion) {
+    case PrivImConfig::EvalDiffusion::kExactIc:
+      oracle = MakeExactUnitOracle(eval_graph, cfg.eval_steps);
+      break;
+    case PrivImConfig::EvalDiffusion::kMonteCarloIc:
+      oracle = MakeMonteCarloOracle(eval_graph, cfg.eval_trials, rng,
+                                    cfg.eval_steps);
+      break;
+    case PrivImConfig::EvalDiffusion::kLt:
+      oracle = MakeLtOracle(eval_graph, cfg.eval_trials, rng,
+                            cfg.eval_steps);
+      break;
+    case PrivImConfig::EvalDiffusion::kSis:
+      oracle = MakeSisOracle(eval_graph, cfg.eval_trials, cfg.sis_recovery,
+                             std::max(cfg.eval_steps, 1), rng);
+      break;
+  }
+  PRIVIM_ASSIGN_OR_RETURN(
+      SeedSelection selection,
+      TopKByScore(candidates, cfg.seed_count, scores, oracle));
+  result.seeds = std::move(selection.seeds);
+  result.spread = selection.spread;
+  if (model_out != nullptr) *model_out = std::move(model_ptr);
+  return result;
+}
+
+}  // namespace privim

@@ -1,0 +1,144 @@
+#ifndef PRIVIM_CORE_PRIVIM_H_
+#define PRIVIM_CORE_PRIVIM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/trainer.h"
+#include "dp/privacy_params.h"
+#include "graph/graph.h"
+#include "nn/gnn.h"
+#include "sampling/baseline_samplers.h"
+#include "sampling/freq_sampler.h"
+#include "sampling/rwr_sampler.h"
+
+namespace privim {
+
+/// The competitors evaluated in Section V.
+enum class Method {
+  kPrivIm,      // Naive framework (Section III): theta-projection + RWR.
+  kPrivImScs,   // Stage 1 only (Table II's "PrivIM+SCS").
+  kPrivImStar,  // Dual-stage sampling (Section IV).
+  kEgn,         // Erdos-Goes-Neural + DP-SGD, random subgraphs.
+  kHp,          // HeterPoisson ego-sampling + SML noise, GCN backbone.
+  kHpGrat,      // HP with the GRAT backbone.
+  kNonPrivate,  // PrivIM* with epsilon = infinity (no noise, no clipping).
+};
+
+std::string MethodName(Method method);
+Result<Method> ParseMethod(const std::string& name);
+
+/// Full configuration of one PrivIM-framework run.
+struct PrivImConfig {
+  Method method = Method::kPrivImStar;
+  PrivacyBudget budget;  // Ignored by kNonPrivate.
+  GnnConfig gnn;         // Backbone; kEgn/kHp override the type to GCN.
+
+  /// Naive pipeline (Algorithm 1): max in-degree theta and RWR parameters.
+  size_t theta = 10;
+  RwrConfig rwr;
+
+  /// Dual-stage pipeline (Algorithm 3).
+  FreqSamplingConfig freq;
+
+  /// EGN / HP samplers.
+  size_t egn_subgraph_count = 256;
+  EgoSamplingConfig ego;
+
+  TrainConfig train;
+
+  /// Calibrate the clip bound C to the typical per-subgraph gradient norm
+  /// (measured on a throwaway model over a few noiseless iterations)
+  /// instead of using train.clip_bound verbatim. Keeps the noise scale
+  /// sigma * C * N_g proportional to the actual signal on every dataset.
+  /// Treated as hyper-parameter tuning (like the paper's grid searches).
+  bool auto_clip = true;
+  /// C = auto_clip_scale * median post-warmup gradient norm. Values < 1
+  /// clip aggressively, which normalizes per-sample contributions and is
+  /// empirically more noise-robust.
+  double auto_clip_scale = 0.5;
+
+  /// Seed budget k and the diffusion-step count j used at evaluation.
+  size_t seed_count = 50;
+  int eval_steps = 1;
+
+  /// Diffusion model used to score the final seed set. The paper's
+  /// evaluation uses the exact unit-weight IC spread; LT and SIS implement
+  /// its future-work extensions, and Monte-Carlo IC handles fractional
+  /// edge weights.
+  enum class EvalDiffusion { kExactIc, kMonteCarloIc, kLt, kSis };
+  EvalDiffusion eval_diffusion = EvalDiffusion::kExactIc;
+  /// Monte-Carlo trials per oracle evaluation (kMonteCarloIc/kLt/kSis).
+  size_t eval_trials = 64;
+  /// SIS recovery probability (kSis only).
+  double sis_recovery = 0.3;
+};
+
+/// Outcome of one run: the private seed set plus telemetry for the paper's
+/// efficiency and accounting tables.
+struct PrivImRunResult {
+  std::vector<NodeId> seeds;
+  /// Influence spread of `seeds` on the evaluation graph (exact unit-weight
+  /// j-step spread, the paper's setting).
+  double spread = 0.0;
+  /// Occurrence bound N_g used by the accountant.
+  size_t occurrence_bound = 0;
+  /// Container size m and stage split.
+  size_t container_size = 0;
+  size_t stage1_count = 0;
+  size_t stage2_count = 0;
+  /// Noise multiplier sigma and resulting noise stddev sigma * Delta_g.
+  double sigma = 0.0;
+  double noise_stddev = 0.0;
+  /// Clip bound C actually used (after auto-calibration).
+  double clip_bound_used = 0.0;
+  /// Accountant's epsilon for the executed run (<= budget.epsilon).
+  double epsilon_spent = 0.0;
+  /// Audited maximum occurrence across the container (must be <=
+  /// occurrence_bound; checked).
+  size_t audited_max_occurrence = 0;
+  /// Timings for Table III.
+  double preprocessing_seconds = 0.0;
+  double per_epoch_seconds = 0.0;
+  /// Mean training loss of the final quarter of iterations (diagnostic).
+  double final_loss = 0.0;
+};
+
+/// Runs one method end to end:
+///   1. extracts the subgraph container from `train_graph` per the method,
+///   2. derives the occurrence bound and calibrates sigma for the budget,
+///   3. trains the GNN with Algorithm 2,
+///   4. scores `eval_graph`, picks the top-k seeds among all its nodes, and
+///      evaluates the exact unit-weight spread.
+///
+/// `train_graph` and `eval_graph` are typically the node-split induced
+/// halves of a dataset (the paper's 50/50 protocol).
+///
+/// If `model_out` is non-null it receives the trained model (the DP
+/// mechanism's output — exporting it is privacy-free post-processing).
+Result<PrivImRunResult> RunMethod(const Graph& train_graph,
+                                  const Graph& eval_graph,
+                                  const PrivImConfig& config, Rng& rng,
+                                  std::unique_ptr<GnnModel>* model_out =
+                                      nullptr);
+
+/// Builds the paper's default configuration for a method on a graph with
+/// `train_nodes` training nodes: q = 256/|V_train|, L = 200, theta = 10,
+/// tau = 0.3, three-layer 32-unit backbone (GRAT for PrivIM variants, GCN
+/// for EGN/HP), k = 50, j = 1.
+PrivImConfig MakeDefaultConfig(Method method, double epsilon,
+                               size_t train_nodes);
+
+/// Sets `config`'s subgraph size n and frequency threshold M to the peak
+/// of the Gamma indicator (Section IV-C) for a dataset with
+/// `dataset_nodes` nodes — the paper's budget-free parameter selection.
+/// Grids: n in {10..80 step 10}, M in {2..12 step 2}. The indicator was
+/// fitted on paper-scale |V|, so pass the unscaled dataset size.
+void AutoTuneSamplingParams(size_t dataset_nodes, PrivImConfig& config);
+
+}  // namespace privim
+
+#endif  // PRIVIM_CORE_PRIVIM_H_

@@ -1,0 +1,144 @@
+#include "core/trainer.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "dp/mechanisms.h"
+#include "nn/features.h"
+#include "nn/graph_context.h"
+#include "nn/optimizer.h"
+
+namespace privim {
+
+Result<TrainStats> TrainDpGnn(GnnModel& model,
+                              const SubgraphContainer& container,
+                              const TrainConfig& config, Rng& rng) {
+  if (container.empty()) {
+    return Status::FailedPrecondition("subgraph container is empty");
+  }
+  if (config.batch_size == 0 || config.iterations == 0) {
+    return Status::InvalidArgument("batch size and iterations must be > 0");
+  }
+  if (config.clip_bound < 0.0) {
+    return Status::InvalidArgument("clip bound must be non-negative");
+  }
+  if (config.clip_bound == 0.0 && config.noise_kind != NoiseKind::kNone) {
+    return Status::InvalidArgument(
+        "clipping may only be disabled for noiseless training");
+  }
+
+  // Precompute the message-passing context and structural features once per
+  // subgraph; they are constant across iterations.
+  const size_t m = container.size();
+  std::vector<GraphContext> contexts;
+  std::vector<Matrix> features;
+  contexts.reserve(m);
+  features.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    contexts.push_back(BuildGraphContext(container.at(i).local));
+    features.push_back(BuildNodeFeatures(container.at(i).local));
+  }
+
+  const size_t dim = model.params().num_scalars();
+  std::vector<float> per_sample(dim);
+  std::vector<float> batch_sum(dim);
+  std::unique_ptr<Optimizer> optimizer;
+  if (config.optimizer == OptimizerKind::kAdam) {
+    optimizer = std::make_unique<AdamOptimizer>(config.learning_rate);
+  } else {
+    optimizer = std::make_unique<SgdOptimizer>(config.learning_rate);
+  }
+
+  // Polyak tail averaging state: accumulate iterates over the last
+  // quarter of the run.
+  const size_t tail_start =
+      config.tail_averaging ? config.iterations - (config.iterations + 3) / 4
+                            : config.iterations;
+  std::vector<double> tail_sum(config.tail_averaging ? dim : 0, 0.0);
+  size_t tail_count = 0;
+  std::vector<float> snapshot(config.tail_averaging ? dim : 0);
+
+  TrainStats stats;
+  stats.losses.reserve(config.iterations);
+  double norm_accum = 0.0;
+  size_t norm_count = 0;
+  WallTimer timer;
+
+  for (size_t t = 0; t < config.iterations; ++t) {
+    std::fill(batch_sum.begin(), batch_sum.end(), 0.0f);
+    double loss_accum = 0.0;
+    double iter_norm_accum = 0.0;
+    for (size_t b = 0; b < config.batch_size; ++b) {
+      const size_t idx = static_cast<size_t>(rng.UniformInt(m));
+      Tensor x(features[idx]);
+      Tensor probs = model.Forward(contexts[idx], x);
+      Tensor loss = ImPenaltyLoss(contexts[idx], probs, config.loss);
+      loss_accum += loss.value()(0, 0);
+
+      model.params().ZeroGrads();
+      loss.Backward();
+      model.params().FlattenGrads(per_sample);
+      // Line 6: per-sample clip to C (skipped in unclipped non-private
+      // mode).
+      double pre_clip_norm;
+      if (config.clip_bound > 0.0) {
+        pre_clip_norm = ClipL2(per_sample, config.clip_bound);
+      } else {
+        pre_clip_norm = L2Norm(
+            std::span<const float>(per_sample.data(), per_sample.size()));
+      }
+      norm_accum += pre_clip_norm;
+      iter_norm_accum += pre_clip_norm;
+      ++norm_count;
+      for (size_t i = 0; i < dim; ++i) batch_sum[i] += per_sample[i];
+    }
+
+    // Line 8: perturb the summed clipped gradients.
+    switch (config.noise_kind) {
+      case NoiseKind::kNone:
+        break;
+      case NoiseKind::kGaussian:
+        AddGaussianNoise(batch_sum, config.noise_stddev, rng);
+        break;
+      case NoiseKind::kSml:
+        AddSymmetricMultivariateLaplaceNoise(batch_sum,
+                                             config.noise_stddev, rng);
+        break;
+    }
+
+    // Line 9: update with the averaged private gradient.
+    const float inv_b = 1.0f / static_cast<float>(config.batch_size);
+    for (float& v : batch_sum) v *= inv_b;
+    optimizer->Step(model.params(), batch_sum);
+
+    stats.losses.push_back(loss_accum /
+                           static_cast<double>(config.batch_size));
+    stats.grad_norms.push_back(iter_norm_accum /
+                               static_cast<double>(config.batch_size));
+
+    if (config.tail_averaging && t >= tail_start) {
+      model.params().FlattenParams(snapshot);
+      for (size_t i = 0; i < dim; ++i) tail_sum[i] += snapshot[i];
+      ++tail_count;
+    }
+  }
+
+  if (config.tail_averaging && tail_count > 0) {
+    for (size_t i = 0; i < dim; ++i) {
+      snapshot[i] =
+          static_cast<float>(tail_sum[i] / static_cast<double>(tail_count));
+    }
+    model.params().LoadParams(snapshot);
+  }
+
+  stats.mean_grad_norm =
+      norm_count > 0 ? norm_accum / static_cast<double>(norm_count) : 0.0;
+  stats.seconds_per_iteration =
+      timer.ElapsedSeconds() / static_cast<double>(config.iterations);
+  return stats;
+}
+
+}  // namespace privim

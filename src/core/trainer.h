@@ -1,0 +1,76 @@
+#ifndef PRIVIM_CORE_TRAINER_H_
+#define PRIVIM_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/loss.h"
+#include "nn/gnn.h"
+#include "sampling/container.h"
+
+namespace privim {
+
+/// Noise family injected into the summed clipped gradients.
+enum class NoiseKind {
+  kNone,      // Non-private.
+  kGaussian,  // PrivIM / PrivIM* / EGN (Algorithm 2).
+  kSml,       // HP baselines (Symmetric Multivariate Laplace).
+};
+
+/// Optimizer applied to the privatized gradient. Both are valid under the
+/// same accounting: the noisy gradient is produced first (Lines 4-8 of
+/// Algorithm 2) and the optimizer is post-processing.
+enum class OptimizerKind { kSgd, kAdam };
+
+/// Hyper-parameters of the DP training loop (Algorithm 2).
+struct TrainConfig {
+  size_t batch_size = 16;
+  size_t iterations = 40;
+  float learning_rate = 0.05f;
+  /// Algorithm 2 uses SGD; Adam is offered for the non-private reference
+  /// (with DP noise, Adam's variance normalization amplifies pure noise to
+  /// full-size steps, so SGD is the right default for private runs).
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  /// Per-sample (per-subgraph) L2 clip bound C. 0 disables clipping
+  /// (non-private training only — DP runs must clip).
+  double clip_bound = 1.0;
+  /// Standard deviation of the injected noise, i.e. sigma * Delta_g for
+  /// Gaussian (Line 8) or the SML scale for HP. 0 disables noise.
+  double noise_stddev = 0.0;
+  NoiseKind noise_kind = NoiseKind::kGaussian;
+  /// Polyak tail averaging: release the average of the parameter iterates
+  /// over the final quarter of iterations instead of the last iterate.
+  /// Pure post-processing of the DP-SGD trajectory (every iterate is
+  /// already covered by the T-fold composition), so it costs no privacy
+  /// while averaging away much of the per-iteration noise.
+  bool tail_averaging = true;
+  ImLossConfig loss;
+};
+
+/// Per-run training telemetry.
+struct TrainStats {
+  /// Mean batch loss per iteration.
+  std::vector<double> losses;
+  /// Mean pre-clip per-sample gradient norm over the run (diagnostic).
+  double mean_grad_norm = 0.0;
+  /// Mean pre-clip per-sample gradient norm per iteration (used by the
+  /// clip-bound calibration, which wants the post-warmup scale).
+  std::vector<double> grad_norms;
+  /// Wall-clock seconds per iteration ("per-epoch training" in Table III).
+  double seconds_per_iteration = 0.0;
+};
+
+/// Algorithm 2: DP-SGD over subgraph samples.
+///
+/// Each subgraph is one "per-sample": its gradient is clipped to C, the
+/// batch sum is perturbed with noise of the given kind/scale, and the model
+/// is updated with the averaged private gradient. Fails if the container is
+/// empty or smaller than the batch size.
+Result<TrainStats> TrainDpGnn(GnnModel& model,
+                              const SubgraphContainer& container,
+                              const TrainConfig& config, Rng& rng);
+
+}  // namespace privim
+
+#endif  // PRIVIM_CORE_TRAINER_H_

@@ -1,0 +1,38 @@
+#include "dp/mechanisms.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace privim {
+
+void AddGaussianNoise(std::span<float> data, double stddev, Rng& rng) {
+  PRIVIM_CHECK_GE(stddev, 0.0);
+  if (stddev == 0.0) return;
+  for (float& x : data) {
+    x += static_cast<float>(rng.Gaussian(0.0, stddev));
+  }
+}
+
+void AddSymmetricMultivariateLaplaceNoise(std::span<float> data, double scale,
+                                          Rng& rng) {
+  PRIVIM_CHECK_GE(scale, 0.0);
+  if (scale == 0.0) return;
+  // SML is a Gaussian scale mixture: X = sqrt(W) * Z, W ~ Exp(1),
+  // Z ~ N(0, I). One W per vector draw keeps coordinates exchangeable.
+  const double w = rng.Exponential(1.0);
+  const double s = scale * std::sqrt(w);
+  for (float& x : data) {
+    x += static_cast<float>(rng.Gaussian(0.0, s));
+  }
+}
+
+void AddLaplaceNoise(std::span<float> data, double scale, Rng& rng) {
+  PRIVIM_CHECK_GE(scale, 0.0);
+  if (scale == 0.0) return;
+  for (float& x : data) {
+    x += static_cast<float>(rng.Laplace(scale));
+  }
+}
+
+}  // namespace privim

@@ -1,0 +1,27 @@
+#ifndef PRIVIM_DP_MECHANISMS_H_
+#define PRIVIM_DP_MECHANISMS_H_
+
+#include <span>
+
+#include "common/rng.h"
+
+namespace privim {
+
+/// Adds i.i.d. Gaussian noise N(0, stddev^2) to every coordinate of `data`
+/// (the Gaussian mechanism; Algorithm 2, Line 8 uses
+/// stddev = sigma * Delta_g).
+void AddGaussianNoise(std::span<float> data, double stddev, Rng& rng);
+
+/// Adds Symmetric Multivariate Laplace (SML) noise as used by the HP
+/// baseline (Xiang et al., S&P 2024): a single sample of sqrt(W) * N(0, I)
+/// with W ~ Exp(1), scaled by `scale`. Heavier tails than Gaussian.
+void AddSymmetricMultivariateLaplaceNoise(std::span<float> data, double scale,
+                                          Rng& rng);
+
+/// Adds independent Laplace(scale) noise per coordinate (classical Laplace
+/// mechanism, used in Example 2's infeasibility demonstration).
+void AddLaplaceNoise(std::span<float> data, double scale, Rng& rng);
+
+}  // namespace privim
+
+#endif  // PRIVIM_DP_MECHANISMS_H_

@@ -1,0 +1,38 @@
+#ifndef PRIVIM_DP_PRIVACY_PARAMS_H_
+#define PRIVIM_DP_PRIVACY_PARAMS_H_
+
+#include <cstddef>
+
+namespace privim {
+
+/// Target privacy guarantee for a training run.
+struct PrivacyBudget {
+  /// Target epsilon of the final (epsilon, delta)-DP guarantee. An
+  /// infinite/huge value (see kNonPrivateEpsilon) disables noise.
+  double epsilon = 1.0;
+  /// Target delta; the paper uses delta < 1/|V_train|.
+  double delta = 1e-5;
+};
+
+/// Epsilon value used to denote the non-private configuration.
+inline constexpr double kNonPrivateEpsilon = 1e9;
+
+/// Everything the accountant needs to know about one DP-SGD run
+/// (Algorithm 2 + Theorem 3).
+struct DpSgdSpec {
+  /// Upper bound on any node's occurrences across the subgraph container
+  /// (Lemma 1's N_g, or the dual-stage scheme's N_g* = M).
+  size_t max_occurrences = 1;
+  /// Number of subgraphs in the container (|G_sub| = m).
+  size_t container_size = 1;
+  /// Batch size B (subgraphs per iteration).
+  size_t batch_size = 1;
+  /// Number of iterations T.
+  size_t iterations = 1;
+  /// Per-sample L2 clip bound C.
+  double clip_bound = 1.0;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_DP_PRIVACY_PARAMS_H_

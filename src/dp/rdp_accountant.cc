@@ -1,0 +1,150 @@
+#include "dp/rdp_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace privim {
+
+double RdpToEpsilon(double alpha, double gamma, double delta) {
+  PRIVIM_CHECK_GT(alpha, 1.0);
+  PRIVIM_CHECK_GT(delta, 0.0);
+  return gamma + std::log((alpha - 1.0) / alpha) -
+         (std::log(delta) + std::log(alpha)) / (alpha - 1.0);
+}
+
+const std::vector<double>& RdpAccountant::AlphaGrid() {
+  static const std::vector<double>& grid = *new std::vector<double>([] {
+    std::vector<double> g;
+    for (double a = 1.25; a < 2.0; a += 0.25) g.push_back(a);
+    for (int a = 2; a <= 64; ++a) g.push_back(static_cast<double>(a));
+    for (double a = 72; a <= 512; a *= 1.25) g.push_back(a);
+    return g;
+  }());
+  return grid;
+}
+
+Result<RdpAccountant> RdpAccountant::Create(const DpSgdSpec& spec) {
+  if (spec.max_occurrences == 0 || spec.container_size == 0 ||
+      spec.batch_size == 0 || spec.iterations == 0) {
+    return Status::InvalidArgument("DpSgdSpec counts must be positive");
+  }
+  if (spec.max_occurrences > spec.container_size) {
+    return Status::InvalidArgument(StrFormat(
+        "occurrence bound N_g=%zu exceeds container size m=%zu",
+        spec.max_occurrences, spec.container_size));
+  }
+  if (spec.batch_size > spec.container_size) {
+    return Status::InvalidArgument(
+        StrFormat("batch size B=%zu exceeds container size m=%zu",
+                  spec.batch_size, spec.container_size));
+  }
+  if (spec.clip_bound <= 0.0) {
+    return Status::InvalidArgument("clip bound must be positive");
+  }
+  return RdpAccountant(spec);
+}
+
+RdpAccountant::RdpAccountant(const DpSgdSpec& spec) : spec_(spec) {
+  // rho ~ Binomial(B, N_g/m); support truncated to i <= min(N_g, B) per
+  // Theorem 3 (a node can affect at most N_g subgraphs in the batch).
+  const double p = static_cast<double>(spec_.max_occurrences) /
+                   static_cast<double>(spec_.container_size);
+  const int64_t b = static_cast<int64_t>(spec_.batch_size);
+  const int64_t i_max = std::min<int64_t>(
+      static_cast<int64_t>(spec_.max_occurrences), b);
+  log_rho_.resize(static_cast<size_t>(i_max) + 1);
+  const double log_p = std::log(p);
+  const double log_1mp = p < 1.0 ? std::log1p(-p)
+                                 : -std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i <= i_max; ++i) {
+    double lp = LogBinomial(b, i);
+    if (i > 0) lp += static_cast<double>(i) * log_p;
+    if (b - i > 0) lp += static_cast<double>(b - i) * log_1mp;
+    log_rho_[static_cast<size_t>(i)] = lp;
+  }
+  // When B > N_g the binomial has mass beyond i = N_g, but a node affects
+  // at most N_g subgraphs in total; lump the residual tail into the
+  // worst-case bucket i = N_g so the mixture stays a probability
+  // distribution and the bound stays conservative (Theorem 3 as written
+  // silently drops this mass, which would make gamma negative for large
+  // sigma).
+  if (b > i_max) {
+    const double log_tail_complement = LogSumExp(log_rho_);
+    if (log_tail_complement < 0.0) {
+      const double tail = -std::expm1(log_tail_complement);
+      if (tail > 0.0) {
+        log_rho_.back() = LogSumExp(std::vector<double>{
+            log_rho_.back(), std::log(tail)});
+      }
+    }
+  }
+}
+
+double RdpAccountant::GammaPerIteration(double alpha, double sigma) const {
+  PRIVIM_CHECK_GT(alpha, 1.0);
+  PRIVIM_CHECK_GT(sigma, 0.0);
+  const double ng = static_cast<double>(spec_.max_occurrences);
+  std::vector<double> terms(log_rho_.size());
+  for (size_t i = 0; i < log_rho_.size(); ++i) {
+    const double di = static_cast<double>(i);
+    // Shift of the summed gradient when the changed node affects i batch
+    // subgraphs is i*C; with noise stddev sigma*C*N_g this contributes
+    // alpha * (i/N_g)^2 / (2 sigma^2) in Renyi divergence (Lemma 5), hence
+    // exp(alpha(alpha-1) i^2 / (2 N_g^2 sigma^2)) inside the mixture bound
+    // (Lemma 6).
+    terms[i] = log_rho_[i] +
+               alpha * (alpha - 1.0) * di * di /
+                   (2.0 * ng * ng * sigma * sigma);
+  }
+  return LogSumExp(terms) / (alpha - 1.0);
+}
+
+double RdpAccountant::Epsilon(double sigma, double delta) const {
+  double best = std::numeric_limits<double>::infinity();
+  const double t = static_cast<double>(spec_.iterations);
+  for (double alpha : AlphaGrid()) {
+    const double gamma = GammaPerIteration(alpha, sigma);
+    if (!std::isfinite(gamma)) continue;
+    const double eps = RdpToEpsilon(alpha, gamma * t, delta);
+    best = std::min(best, eps);
+  }
+  return best;
+}
+
+Result<double> RdpAccountant::CalibrateSigma(
+    const PrivacyBudget& budget) const {
+  if (budget.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (budget.delta <= 0.0 || budget.delta >= 1.0) {
+    return Status::InvalidArgument("delta must lie in (0,1)");
+  }
+  // Epsilon(sigma) is decreasing in sigma. Bracket then bisect.
+  double lo = 1e-3;
+  double hi = 1.0;
+  int expansions = 0;
+  while (Epsilon(hi, budget.delta) > budget.epsilon) {
+    hi *= 2.0;
+    if (++expansions > 60) {
+      return Status::Internal("sigma calibration failed to bracket target");
+    }
+  }
+  if (Epsilon(lo, budget.delta) <= budget.epsilon) {
+    return lo;  // Even minimal noise meets the target.
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (Epsilon(mid, budget.delta) > budget.epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace privim

@@ -1,0 +1,63 @@
+#ifndef PRIVIM_DP_RDP_ACCOUNTANT_H_
+#define PRIVIM_DP_RDP_ACCOUNTANT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dp/privacy_params.h"
+
+namespace privim {
+
+/// RDP accountant for PrivIM's binomially-subsampled Gaussian mechanism.
+///
+/// Implements the paper's Theorem 3: with a subgraph container of size m,
+/// batch size B, per-node occurrence bound N_g, and noise multiplier sigma,
+/// each iteration of Algorithm 2 satisfies (alpha, gamma)-RDP with
+///
+///   gamma = 1/(alpha-1) * log( sum_{i=0..N_g} rho_i *
+///                              exp(alpha(alpha-1) i^2 / (2 N_g^2 sigma^2)) )
+///   rho_i = Binomial(B, N_g/m) pmf at i,
+///
+/// composed linearly over T iterations (Definition 5), then converted to
+/// (epsilon, delta)-DP via Theorem 1.
+class RdpAccountant {
+ public:
+  /// `spec` fixes everything except sigma. Fails if N_g > m or B > m (the
+  /// binomial mixture is undefined) or any count is zero.
+  static Result<RdpAccountant> Create(const DpSgdSpec& spec);
+
+  /// Per-iteration RDP gamma at order `alpha` (> 1) for noise multiplier
+  /// `sigma` (> 0): Theorem 3's formula, evaluated in log space.
+  double GammaPerIteration(double alpha, double sigma) const;
+
+  /// Epsilon of the (epsilon, delta)-DP guarantee after `iterations()`
+  /// steps at noise multiplier `sigma`, minimized over the alpha grid
+  /// (Theorem 1 conversion).
+  double Epsilon(double sigma, double delta) const;
+
+  /// Smallest noise multiplier sigma such that the whole run is
+  /// (epsilon, delta)-DP. Fails if the target is unreachable within the
+  /// search bracket (e.g. epsilon so huge even sigma -> 0 suffices is fine;
+  /// epsilon <= 0 is rejected).
+  Result<double> CalibrateSigma(const PrivacyBudget& budget) const;
+
+  const DpSgdSpec& spec() const { return spec_; }
+
+  /// The alpha grid used for conversion; exposed for tests.
+  static const std::vector<double>& AlphaGrid();
+
+ private:
+  explicit RdpAccountant(const DpSgdSpec& spec);
+
+  DpSgdSpec spec_;
+  // Precomputed log rho_i, i = 0..min(N_g, B).
+  std::vector<double> log_rho_;
+};
+
+/// Theorem 1: converts (alpha, gamma)-RDP to epsilon at the given delta:
+/// epsilon = gamma + log((alpha-1)/alpha) - (log delta + log alpha)/(alpha-1).
+double RdpToEpsilon(double alpha, double gamma, double delta);
+
+}  // namespace privim
+
+#endif  // PRIVIM_DP_RDP_ACCOUNTANT_H_

@@ -1,0 +1,37 @@
+#include "dp/sensitivity.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace privim {
+
+size_t OccurrenceBoundNaive(size_t theta, size_t r) {
+  PRIVIM_CHECK_GE(theta, 1u);
+  // N_g = 1 + theta + theta^2 + ... + theta^r, with overflow saturation.
+  size_t total = 0;
+  size_t term = 1;
+  for (size_t i = 0; i <= r; ++i) {
+    if (total > std::numeric_limits<size_t>::max() - term) {
+      return std::numeric_limits<size_t>::max();
+    }
+    total += term;
+    if (i < r) {
+      if (theta != 0 &&
+          term > std::numeric_limits<size_t>::max() / theta) {
+        return std::numeric_limits<size_t>::max();
+      }
+      term *= theta;
+    }
+  }
+  return total;
+}
+
+double NodeSensitivity(double clip_bound, size_t occurrence_bound) {
+  PRIVIM_CHECK_GT(clip_bound, 0.0);
+  PRIVIM_CHECK_GE(occurrence_bound, 1u);
+  return clip_bound * static_cast<double>(occurrence_bound);
+}
+
+}  // namespace privim

@@ -1,0 +1,20 @@
+#ifndef PRIVIM_DP_SENSITIVITY_H_
+#define PRIVIM_DP_SENSITIVITY_H_
+
+#include <cstddef>
+
+namespace privim {
+
+/// Lemma 1: upper bound on any node's occurrences across subgraphs
+/// extracted by Algorithm 1 with maximum in-degree `theta` and an r-layer
+/// GNN: N_g = sum_{i=0..r} theta^i. Saturates (returns SIZE_MAX) on
+/// overflow for pathological inputs.
+size_t OccurrenceBoundNaive(size_t theta, size_t r);
+
+/// Lemma 2: node-level L2 sensitivity of the summed clipped per-subgraph
+/// gradients: Delta_g = C * N_g.
+double NodeSensitivity(double clip_bound, size_t occurrence_bound);
+
+}  // namespace privim
+
+#endif  // PRIVIM_DP_SENSITIVITY_H_

@@ -1,0 +1,68 @@
+#ifndef PRIVIM_GRAPH_DATASETS_H_
+#define PRIVIM_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace privim {
+
+/// Identifiers for the paper's evaluation datasets (Table I).
+enum class DatasetId {
+  kEmail,
+  kBitcoin,
+  kLastFm,
+  kHepPh,
+  kFacebook,
+  kGowalla,
+  kFriendster,
+};
+
+/// Per-dataset description. `paper_nodes`/`paper_edges` reproduce Table I;
+/// `sim_nodes` is the size this repo synthesizes (scaled so benches run on a
+/// laptop-class CPU — see DESIGN.md substitution table).
+struct DatasetSpec {
+  DatasetId id;
+  std::string name;
+  size_t paper_nodes;
+  size_t paper_edges;
+  bool directed;
+  double paper_avg_degree;
+  size_t sim_nodes;
+  /// Friendster is partitioned into this many independently processed blocks
+  /// (1 for every other dataset), mirroring the paper's memory workaround.
+  size_t partitions = 1;
+};
+
+/// All seven datasets in Table I order.
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// The six "main" datasets (without Friendster).
+std::vector<DatasetSpec> MainDatasetSpecs();
+
+/// Looks up a spec by enum.
+const DatasetSpec& GetDatasetSpec(DatasetId id);
+
+/// Parses a dataset name ("Email", "gowalla", ...) case-insensitively.
+Result<DatasetId> ParseDatasetId(const std::string& name);
+
+/// Synthesizes the stand-in graph for `id`, deterministically from `rng`.
+/// `scale` multiplies the simulated node count (>= 0.05). The returned graph
+/// carries all-ones edge weights (the paper's evaluation sets w_uv = 1);
+/// callers wanting IC weights can re-weight with WeightedCascade().
+Result<Graph> MakeDataset(DatasetId id, Rng& rng, double scale = 1.0);
+
+/// A 50/50 node split (paper's protocol). `train` and `test` partition
+/// [0, num_nodes) and are each sorted.
+struct NodeSplit {
+  std::vector<NodeId> train;
+  std::vector<NodeId> test;
+};
+NodeSplit SplitNodes(size_t num_nodes, Rng& rng, double train_fraction = 0.5);
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_DATASETS_H_

@@ -1,0 +1,250 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace privim {
+
+namespace {
+
+// Geometric skipping for sparse G(n,p): next arc index gap ~ Geometric(p).
+// Avoids O(n^2) coin flips for small p.
+size_t GeometricSkip(double p, Rng& rng) {
+  if (p >= 1.0) return 0;
+  double u = 0.0;
+  do {
+    u = rng.Uniform();
+  } while (u <= 0.0);
+  return static_cast<size_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+}  // namespace
+
+Result<Graph> ErdosRenyi(size_t n, double p, bool directed, Rng& rng) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("p must lie in [0,1]");
+  }
+  GraphBuilder builder(n);
+  if (p > 0.0) {
+    if (directed) {
+      // Iterate over ordered pairs (u, v), u != v, via geometric skipping.
+      const size_t total = n * (n - 1);
+      size_t idx = GeometricSkip(p, rng);
+      while (idx < total) {
+        const NodeId u = static_cast<NodeId>(idx / (n - 1));
+        size_t col = idx % (n - 1);
+        const NodeId v = static_cast<NodeId>(col >= u ? col + 1 : col);
+        PRIVIM_RETURN_NOT_OK(builder.AddEdge(u, v));
+        idx += 1 + GeometricSkip(p, rng);
+      }
+    } else {
+      const size_t total = n * (n - 1) / 2;
+      size_t idx = GeometricSkip(p, rng);
+      while (idx < total) {
+        // Map linear index to an unordered pair (u < v).
+        const double d = static_cast<double>(idx);
+        size_t u = static_cast<size_t>(
+            std::floor((2.0 * n - 1.0 -
+                        std::sqrt((2.0 * n - 1.0) * (2.0 * n - 1.0) -
+                                  8.0 * d)) /
+                       2.0));
+        // Correct floating point drift.
+        auto row_start = [&](size_t r) { return r * n - r * (r + 1) / 2; };
+        while (u + 1 < n && row_start(u + 1) <= idx) ++u;
+        while (u > 0 && row_start(u) > idx) --u;
+        const size_t v = u + 1 + (idx - row_start(u));
+        PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(
+            static_cast<NodeId>(u), static_cast<NodeId>(v)));
+        idx += 1 + GeometricSkip(p, rng);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> BarabasiAlbert(size_t n, size_t m, Rng& rng) {
+  if (m == 0 || n <= m) {
+    return Status::InvalidArgument(
+        StrFormat("BarabasiAlbert requires 0 < m < n, got m=%zu n=%zu", m,
+                  n));
+  }
+  GraphBuilder builder(n);
+  // repeated_nodes holds one entry per half-edge, so uniform sampling from it
+  // is degree-proportional sampling.
+  std::vector<NodeId> repeated_nodes;
+  repeated_nodes.reserve(2 * n * m);
+  // Seed clique over the first m+1 nodes keeps early degrees non-degenerate.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(u, v));
+      repeated_nodes.push_back(u);
+      repeated_nodes.push_back(v);
+    }
+  }
+  for (NodeId u = static_cast<NodeId>(m + 1); u < n; ++u) {
+    std::unordered_set<NodeId> targets;
+    while (targets.size() < m) {
+      const NodeId t =
+          repeated_nodes[rng.UniformInt(repeated_nodes.size())];
+      if (t != u) targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(u, t));
+      repeated_nodes.push_back(u);
+      repeated_nodes.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> WattsStrogatz(size_t n, size_t k, double beta, Rng& rng) {
+  if (k == 0 || 2 * k >= n) {
+    return Status::InvalidArgument(
+        StrFormat("WattsStrogatz requires 0 < 2k < n, got k=%zu n=%zu", k,
+                  n));
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("beta must lie in [0,1]");
+  }
+  // Adjacency set to avoid duplicate undirected edges after rewiring.
+  std::vector<std::unordered_set<NodeId>> adj(n);
+  auto has = [&](NodeId a, NodeId b) { return adj[a].contains(b); };
+  auto add = [&](NodeId a, NodeId b) {
+    adj[a].insert(b);
+    adj[b].insert(a);
+  };
+  auto remove = [&](NodeId a, NodeId b) {
+    adj[a].erase(b);
+    adj[b].erase(a);
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    for (size_t j = 1; j <= k; ++j) {
+      add(u, static_cast<NodeId>((u + j) % n));
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (size_t j = 1; j <= k; ++j) {
+      const NodeId v = static_cast<NodeId>((u + j) % n);
+      if (!has(u, v) || !rng.Bernoulli(beta)) continue;
+      // Rewire (u, v) to (u, w) for a random non-adjacent w.
+      NodeId w = u;
+      int attempts = 0;
+      do {
+        w = static_cast<NodeId>(rng.UniformInt(n));
+      } while ((w == u || has(u, w)) && ++attempts < 64);
+      if (w == u || has(u, w)) continue;  // Dense node; keep the edge.
+      remove(u, v);
+      add(u, w);
+    }
+  }
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : adj[u]) {
+      if (u < v) PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(u, v));
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> PlantedPartition(size_t n, size_t num_communities, double p_in,
+                               double p_out, Rng& rng) {
+  if (num_communities == 0 || num_communities > n) {
+    return Status::InvalidArgument("invalid community count");
+  }
+  if (p_in < 0 || p_in > 1 || p_out < 0 || p_out > 1) {
+    return Status::InvalidArgument("probabilities must lie in [0,1]");
+  }
+  std::vector<uint32_t> community(n);
+  for (size_t i = 0; i < n; ++i) {
+    community[i] = static_cast<uint32_t>(i % num_communities);
+  }
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double p = community[u] == community[v] ? p_in : p_out;
+      if (rng.Bernoulli(p)) {
+        PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(u, v));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> DirectedScaleFree(size_t n, size_t m_out, size_t m_in,
+                                Rng& rng) {
+  if (n < 2 || m_out == 0) {
+    return Status::InvalidArgument("DirectedScaleFree requires n>=2, m_out>0");
+  }
+  const size_t seed = std::min(n, std::max<size_t>(m_out, m_in) + 2);
+  GraphBuilder builder(n);
+  std::vector<NodeId> in_pool;   // One entry per in-degree unit (+1 smoothing).
+  std::vector<NodeId> out_pool;  // One entry per out-degree unit (+1).
+  std::unordered_set<uint64_t> seen;
+  auto key = [](NodeId a, NodeId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  auto add_arc = [&](NodeId s, NodeId d) -> Status {
+    if (s == d || seen.contains(key(s, d))) return Status::OK();
+    seen.insert(key(s, d));
+    PRIVIM_RETURN_NOT_OK(builder.AddEdge(s, d));
+    in_pool.push_back(d);
+    out_pool.push_back(s);
+    return Status::OK();
+  };
+  // Seed: directed ring over the first `seed` nodes.
+  for (NodeId u = 0; u < seed; ++u) {
+    PRIVIM_RETURN_NOT_OK(add_arc(u, static_cast<NodeId>((u + 1) % seed)));
+  }
+  for (NodeId u = static_cast<NodeId>(seed); u < n; ++u) {
+    for (size_t j = 0; j < m_out; ++j) {
+      // +1 smoothing: with small probability pick a uniform node so new
+      // nodes are reachable as targets.
+      NodeId t;
+      if (in_pool.empty() || rng.Bernoulli(0.15)) {
+        t = static_cast<NodeId>(rng.UniformInt(u));
+      } else {
+        t = in_pool[rng.UniformInt(in_pool.size())];
+      }
+      PRIVIM_RETURN_NOT_OK(add_arc(u, t));
+    }
+    for (size_t j = 0; j < m_in; ++j) {
+      NodeId s;
+      if (out_pool.empty() || rng.Bernoulli(0.15)) {
+        s = static_cast<NodeId>(rng.UniformInt(u));
+      } else {
+        s = out_pool[rng.UniformInt(out_pool.size())];
+      }
+      PRIVIM_RETURN_NOT_OK(add_arc(s, u));
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> WeightedCascade(const Graph& g) {
+  GraphBuilder builder(g.num_nodes());
+  for (const Edge& e : g.Edges()) {
+    const size_t in_deg = g.InDegree(e.dst);
+    const float w = in_deg > 0 ? 1.0f / static_cast<float>(in_deg) : 1.0f;
+    PRIVIM_RETURN_NOT_OK(builder.AddEdge(e.src, e.dst, w));
+  }
+  return builder.Build();
+}
+
+Result<Graph> WithUniformWeights(const Graph& g, float w) {
+  if (w < 0.0f || w > 1.0f) {
+    return Status::InvalidArgument("weight must lie in [0,1]");
+  }
+  GraphBuilder builder(g.num_nodes());
+  for (const Edge& e : g.Edges()) {
+    PRIVIM_RETURN_NOT_OK(builder.AddEdge(e.src, e.dst, w));
+  }
+  return builder.Build();
+}
+
+}  // namespace privim

@@ -1,0 +1,51 @@
+#ifndef PRIVIM_GRAPH_GENERATORS_H_
+#define PRIVIM_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace privim {
+
+/// Random-graph generators used to synthesize stand-ins for the paper's
+/// real-world datasets (see DESIGN.md, substitution table). All generators
+/// are deterministic given the Rng state.
+
+/// G(n, p) Erdős–Rényi. `directed` controls whether each ordered pair is an
+/// independent arc or each unordered pair becomes two mirrored arcs.
+Result<Graph> ErdosRenyi(size_t n, double p, bool directed, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to `m`
+/// existing nodes chosen proportionally to degree. Produces a power-law
+/// degree distribution like most social networks. Undirected arcs mirrored.
+Result<Graph> BarabasiAlbert(size_t n, size_t m, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per side,
+/// rewired with probability `beta`. Undirected arcs mirrored.
+Result<Graph> WattsStrogatz(size_t n, size_t k, double beta, Rng& rng);
+
+/// Planted-partition community graph: `num_communities` equal blocks,
+/// within-block edge probability `p_in`, cross-block `p_out`. Undirected.
+Result<Graph> PlantedPartition(size_t n, size_t num_communities, double p_in,
+                               double p_out, Rng& rng);
+
+/// Directed scale-free graph via a directed preferential-attachment process:
+/// each new node emits `m_out` arcs to targets chosen by in-degree
+/// preference and receives `m_in` arcs from sources chosen by out-degree
+/// preference. Models trust/communication networks (Email, Bitcoin).
+Result<Graph> DirectedScaleFree(size_t n, size_t m_out, size_t m_in,
+                                Rng& rng);
+
+/// Assigns IC influence probabilities to an existing topology using the
+/// weighted-cascade convention w_uv = 1/in_degree(v), a standard IM
+/// benchmark weighting. Returns a re-weighted copy.
+Result<Graph> WeightedCascade(const Graph& g);
+
+/// Returns a copy of `g` with every arc weight set to `w`.
+Result<Graph> WithUniformWeights(const Graph& g, float w);
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_GENERATORS_H_

@@ -1,0 +1,116 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace privim {
+
+double Graph::AverageDegree() const {
+  if (num_nodes_ == 0) return 0.0;
+  // Each arc contributes one out-degree and one in-degree; dividing the
+  // arc count by the node count yields the directed average out-degree,
+  // which equals the undirected average degree when both arcs are present.
+  return static_cast<double>(num_edges()) / static_cast<double>(num_nodes_);
+}
+
+size_t Graph::MaxInDegree() const {
+  size_t max_deg = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    max_deg = std::max(max_deg, InDegree(v));
+  }
+  return max_deg;
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    auto nbrs = OutNeighbors(u);
+    auto ws = OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      edges.push_back(Edge{u, nbrs[i], ws[i]});
+    }
+  }
+  return edges;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+GraphBuilder::GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v, float weight) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::OutOfRange(
+        StrFormat("edge (%u,%u) out of range for %zu nodes", u, v,
+                  num_nodes_));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrFormat("self-loop at node %u", u));
+  }
+  if (weight < 0.0f || weight > 1.0f) {
+    return Status::InvalidArgument(
+        StrFormat("influence probability %f outside [0,1]",
+                  static_cast<double>(weight)));
+  }
+  edges_.push_back(Edge{u, v, weight});
+  return Status::OK();
+}
+
+Status GraphBuilder::AddUndirectedEdge(NodeId u, NodeId v, float weight) {
+  PRIVIM_RETURN_NOT_OK(AddEdge(u, v, weight));
+  return AddEdge(v, u, weight);
+}
+
+Result<Graph> GraphBuilder::Build() {
+  // Sort by (src, dst) and drop duplicate arcs.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               edges_.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.out_offsets_.assign(num_nodes_ + 1, 0);
+  g.in_offsets_.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++g.out_offsets_[e.src + 1];
+    ++g.in_offsets_[e.dst + 1];
+  }
+  for (size_t i = 1; i <= num_nodes_; ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  g.out_dst_.resize(edges_.size());
+  g.out_weight_.resize(edges_.size());
+  g.in_src_.resize(edges_.size());
+  g.in_weight_.resize(edges_.size());
+
+  // Out-CSR: edges_ is already sorted by src, dst.
+  std::vector<size_t> cursor(num_nodes_, 0);
+  for (const Edge& e : edges_) {
+    const size_t pos = g.out_offsets_[e.src] + cursor[e.src]++;
+    g.out_dst_[pos] = e.dst;
+    g.out_weight_[pos] = e.weight;
+  }
+  // In-CSR.
+  std::fill(cursor.begin(), cursor.end(), 0);
+  for (const Edge& e : edges_) {
+    const size_t pos = g.in_offsets_[e.dst] + cursor[e.dst]++;
+    g.in_src_[pos] = e.src;
+    g.in_weight_[pos] = e.weight;
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return g;
+}
+
+}  // namespace privim

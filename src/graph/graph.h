@@ -1,0 +1,120 @@
+#ifndef PRIVIM_GRAPH_GRAPH_H_
+#define PRIVIM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace privim {
+
+/// Node identifier. Graphs are indexed densely in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// A weighted directed edge. `weight` is the IC influence probability
+/// w_uv in [0, 1] of the edge (src -> dst).
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  float weight = 1.0f;
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// Immutable directed weighted graph in CSR form, with both out- and
+/// in-adjacency for O(deg) neighbor scans in either direction.
+///
+/// Undirected input graphs are represented as two directed arcs per edge
+/// (the paper treats undirected graphs as directed ones, Section II-A).
+/// Build instances through `GraphBuilder`.
+class Graph {
+ public:
+  Graph() = default;
+
+  size_t num_nodes() const { return num_nodes_; }
+  /// Number of directed arcs.
+  size_t num_edges() const { return out_dst_.size(); }
+
+  /// Out-neighbors of u (targets of arcs u -> v).
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    return {out_dst_.data() + out_offsets_[u],
+            out_offsets_[u + 1] - out_offsets_[u]};
+  }
+  /// Weights aligned with OutNeighbors(u).
+  std::span<const float> OutWeights(NodeId u) const {
+    return {out_weight_.data() + out_offsets_[u],
+            out_offsets_[u + 1] - out_offsets_[u]};
+  }
+  /// In-neighbors of v (sources of arcs u -> v).
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    return {in_src_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+  /// Weights aligned with InNeighbors(v).
+  std::span<const float> InWeights(NodeId v) const {
+    return {in_weight_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  size_t OutDegree(NodeId u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  size_t InDegree(NodeId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Average total (in+out) degree over nodes; for a graph built from an
+  /// undirected edge list this matches the usual undirected average degree.
+  double AverageDegree() const;
+
+  /// Maximum in-degree over all nodes (0 for the empty graph).
+  size_t MaxInDegree() const;
+
+  /// Enumerates all arcs in CSR order.
+  std::vector<Edge> Edges() const;
+
+  /// True if the arc u -> v exists (O(out-degree of u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+ private:
+  friend class GraphBuilder;
+
+  size_t num_nodes_ = 0;
+  std::vector<size_t> out_offsets_{0};
+  std::vector<NodeId> out_dst_;
+  std::vector<float> out_weight_;
+  std::vector<size_t> in_offsets_{0};
+  std::vector<NodeId> in_src_;
+  std::vector<float> in_weight_;
+};
+
+/// Accumulates edges and finalizes them into an immutable `Graph`.
+class GraphBuilder {
+ public:
+  /// `num_nodes` fixes the node-id space [0, num_nodes).
+  explicit GraphBuilder(size_t num_nodes);
+
+  /// Adds the directed arc u -> v with weight w. Fails on out-of-range ids,
+  /// self-loops, or weights outside [0, 1].
+  Status AddEdge(NodeId u, NodeId v, float weight = 1.0f);
+
+  /// Adds both arcs u <-> v.
+  Status AddUndirectedEdge(NodeId u, NodeId v, float weight = 1.0f);
+
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Sorts, deduplicates (keeping the first weight of duplicate arcs), and
+  /// builds CSR in both directions. The builder is left empty.
+  Result<Graph> Build();
+
+ private:
+  size_t num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_GRAPH_H_

@@ -1,0 +1,107 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace privim {
+
+namespace {
+
+struct RawEdge {
+  uint64_t src;
+  uint64_t dst;
+  float weight;
+};
+
+Result<std::vector<RawEdge>> ParseLines(std::istream& in) {
+  std::vector<RawEdge> edges;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    std::istringstream ls{std::string(trimmed)};
+    uint64_t src = 0, dst = 0;
+    float weight = 1.0f;
+    // istream happily wraps negative text into uint64; reject explicitly.
+    std::string src_tok, dst_tok;
+    std::istringstream probe{std::string(trimmed)};
+    probe >> src_tok >> dst_tok;
+    const bool negative = (!src_tok.empty() && src_tok[0] == '-') ||
+                          (!dst_tok.empty() && dst_tok[0] == '-');
+    if (negative || !(ls >> src >> dst)) {
+      return Status::IoError(
+          StrFormat("malformed edge at line %zu: '%s'", line_no,
+                    std::string(trimmed).c_str()));
+    }
+    ls >> weight;  // Optional third column.
+    edges.push_back(RawEdge{src, dst, weight});
+  }
+  return edges;
+}
+
+Result<Graph> BuildFromRaw(const std::vector<RawEdge>& raw, bool undirected) {
+  std::unordered_map<uint64_t, NodeId> dense;
+  auto densify = [&](uint64_t id) {
+    auto [it, inserted] =
+        dense.emplace(id, static_cast<NodeId>(dense.size()));
+    (void)inserted;
+    return it->second;
+  };
+  // First pass assigns dense ids in first-appearance order.
+  for (const RawEdge& e : raw) {
+    densify(e.src);
+    densify(e.dst);
+  }
+  GraphBuilder builder(dense.size());
+  for (const RawEdge& e : raw) {
+    const NodeId u = dense[e.src];
+    const NodeId v = dense[e.dst];
+    if (u == v) continue;  // Drop self-loops silently, as SNAP loaders do.
+    if (undirected) {
+      PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(u, v, e.weight));
+    } else {
+      PRIVIM_RETURN_NOT_OK(builder.AddEdge(u, v, e.weight));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path, bool undirected) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  PRIVIM_ASSIGN_OR_RETURN(std::vector<RawEdge> raw, ParseLines(in));
+  return BuildFromRaw(raw, undirected);
+}
+
+Result<Graph> ParseEdgeList(const std::string& text, bool undirected) {
+  std::istringstream in(text);
+  PRIVIM_ASSIGN_OR_RETURN(std::vector<RawEdge> raw, ParseLines(in));
+  return BuildFromRaw(raw, undirected);
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  out << "# privim edge list: " << g.num_nodes() << " nodes, "
+      << g.num_edges() << " arcs\n";
+  for (const Edge& e : g.Edges()) {
+    out << e.src << " " << e.dst << " " << e.weight << "\n";
+  }
+  if (!out) {
+    return Status::IoError(StrFormat("write failed for '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace privim

@@ -1,0 +1,26 @@
+#ifndef PRIVIM_GRAPH_IO_H_
+#define PRIVIM_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace privim {
+
+/// Loads a graph from a whitespace-separated edge list. Each non-comment line
+/// is `src dst [weight]`; lines starting with '#' or '%' are skipped. Node
+/// ids may be sparse; they are densified in first-appearance order.
+/// If `undirected`, each line adds both arcs.
+Result<Graph> LoadEdgeList(const std::string& path, bool undirected = false);
+
+/// Parses an edge list from an in-memory string (same format as
+/// LoadEdgeList). Mostly useful for tests.
+Result<Graph> ParseEdgeList(const std::string& text, bool undirected = false);
+
+/// Writes `g` as a `src dst weight` edge list with a header comment.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_IO_H_

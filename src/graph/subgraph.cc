@@ -1,0 +1,44 @@
+#include "graph/subgraph.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace privim {
+
+Result<Subgraph> InduceSubgraph(const Graph& g, std::vector<NodeId> nodes) {
+  std::unordered_map<NodeId, NodeId> to_local;
+  to_local.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId u = nodes[i];
+    if (u >= g.num_nodes()) {
+      return Status::OutOfRange(StrFormat("node %u out of range", u));
+    }
+    auto [it, inserted] = to_local.emplace(u, static_cast<NodeId>(i));
+    if (!inserted) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate node %u in subgraph node list", u));
+    }
+  }
+
+  GraphBuilder builder(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId u = nodes[i];
+    auto nbrs = g.OutNeighbors(u);
+    auto ws = g.OutWeights(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      auto it = to_local.find(nbrs[k]);
+      if (it != to_local.end()) {
+        PRIVIM_RETURN_NOT_OK(
+            builder.AddEdge(static_cast<NodeId>(i), it->second, ws[k]));
+      }
+    }
+  }
+  PRIVIM_ASSIGN_OR_RETURN(Graph local, builder.Build());
+  Subgraph sub;
+  sub.nodes = std::move(nodes);
+  sub.local = std::move(local);
+  return sub;
+}
+
+}  // namespace privim

@@ -1,0 +1,29 @@
+#ifndef PRIVIM_GRAPH_SUBGRAPH_H_
+#define PRIVIM_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace privim {
+
+/// A node-induced subgraph extracted for training.
+///
+/// `nodes[i]` is the original id of local node i; `local` is the induced
+/// graph over local ids [0, nodes.size()). This is the per-sample unit of
+/// Algorithm 2: one Subgraph <=> one per-sample gradient.
+struct Subgraph {
+  std::vector<NodeId> nodes;
+  Graph local;
+
+  size_t size() const { return nodes.size(); }
+};
+
+/// Induces the subgraph of `g` on `nodes` (original ids, must be distinct).
+/// Edges of `g` with both endpoints in `nodes` are kept with their weights.
+Result<Subgraph> InduceSubgraph(const Graph& g,
+                                std::vector<NodeId> nodes);
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_SUBGRAPH_H_

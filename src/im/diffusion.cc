@@ -1,0 +1,173 @@
+#include "im/diffusion.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace privim {
+
+namespace {
+
+// Marks seeds active and enqueues them; returns initial active count.
+size_t SeedState(const Graph& g, std::span<const NodeId> seeds,
+                 std::vector<uint8_t>& active, std::deque<NodeId>& frontier) {
+  active.assign(g.num_nodes(), 0);
+  size_t count = 0;
+  for (NodeId s : seeds) {
+    PRIVIM_CHECK_LT(s, g.num_nodes());
+    if (!active[s]) {
+      active[s] = 1;
+      frontier.push_back(s);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps) {
+  std::vector<uint8_t> active;
+  std::deque<NodeId> frontier;
+  size_t count = SeedState(g, seeds, active, frontier);
+
+  int step = 0;
+  while (!frontier.empty() && (max_steps < 0 || step < max_steps)) {
+    ++step;
+    const size_t layer = frontier.size();
+    for (size_t i = 0; i < layer; ++i) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      auto nbrs = g.OutNeighbors(u);
+      auto ws = g.OutWeights(u);
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        const NodeId v = nbrs[k];
+        if (!active[v] && rng.Bernoulli(ws[k])) {
+          active[v] = 1;
+          frontier.push_back(v);
+          ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
+                        size_t trials, Rng& rng, int max_steps) {
+  PRIVIM_CHECK_GT(trials, 0u);
+  double total = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    total += static_cast<double>(
+        SimulateIcCascade(g, seeds, rng, max_steps));
+  }
+  return total / static_cast<double>(trials);
+}
+
+size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
+                             int steps) {
+  PRIVIM_CHECK_GE(steps, 0);
+  std::vector<uint8_t> active(g.num_nodes(), 0);
+  std::vector<NodeId> frontier;
+  size_t count = 0;
+  for (NodeId s : seeds) {
+    PRIVIM_CHECK_LT(s, g.num_nodes());
+    if (!active[s]) {
+      active[s] = 1;
+      frontier.push_back(s);
+      ++count;
+    }
+  }
+  for (int h = 0; h < steps && !frontier.empty(); ++h) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (!active[v]) {
+          active[v] = 1;
+          next.push_back(v);
+          ++count;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return count;
+}
+
+size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps) {
+  std::vector<double> threshold(g.num_nodes());
+  for (double& t : threshold) t = rng.Uniform();
+  std::vector<uint8_t> active;
+  std::deque<NodeId> frontier;
+  size_t count = SeedState(g, seeds, active, frontier);
+
+  std::vector<double> incoming(g.num_nodes(), 0.0);
+  int step = 0;
+  while (!frontier.empty() && (max_steps < 0 || step < max_steps)) {
+    ++step;
+    const size_t layer = frontier.size();
+    std::vector<NodeId> touched;
+    for (size_t i = 0; i < layer; ++i) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      auto nbrs = g.OutNeighbors(u);
+      auto ws = g.OutWeights(u);
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        const NodeId v = nbrs[k];
+        if (active[v]) continue;
+        incoming[v] += ws[k];
+        touched.push_back(v);
+      }
+    }
+    for (NodeId v : touched) {
+      if (!active[v] && incoming[v] >= threshold[v]) {
+        active[v] = 1;
+        frontier.push_back(v);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+size_t SimulateSisCascade(const Graph& g, std::span<const NodeId> seeds,
+                          double recovery_prob, int max_steps, Rng& rng) {
+  PRIVIM_CHECK_GE(max_steps, 0);
+  std::vector<uint8_t> infected(g.num_nodes(), 0);
+  std::vector<uint8_t> ever(g.num_nodes(), 0);
+  size_t ever_count = 0;
+  for (NodeId s : seeds) {
+    PRIVIM_CHECK_LT(s, g.num_nodes());
+    if (!infected[s]) {
+      infected[s] = 1;
+      ever[s] = 1;
+      ++ever_count;
+    }
+  }
+  for (int step = 0; step < max_steps; ++step) {
+    std::vector<uint8_t> next = infected;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (!infected[u]) continue;
+      auto nbrs = g.OutNeighbors(u);
+      auto ws = g.OutWeights(u);
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        const NodeId v = nbrs[k];
+        if (!next[v] && rng.Bernoulli(ws[k])) {
+          next[v] = 1;
+          if (!ever[v]) {
+            ever[v] = 1;
+            ++ever_count;
+          }
+        }
+      }
+      if (rng.Bernoulli(recovery_prob)) next[u] = 0;
+    }
+    infected = std::move(next);
+  }
+  return ever_count;
+}
+
+}  // namespace privim

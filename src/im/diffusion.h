@@ -1,0 +1,49 @@
+#ifndef PRIVIM_IM_DIFFUSION_H_
+#define PRIVIM_IM_DIFFUSION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace privim {
+
+/// Influence-diffusion evaluation under the Independent Cascade (IC) model
+/// (Definition 6) and the paper's future-work extensions (LT, SIS).
+
+/// One Monte-Carlo IC cascade from `seeds`; returns the number of activated
+/// nodes (including seeds). `max_steps < 0` means run to quiescence;
+/// otherwise the cascade is truncated after `max_steps` rounds (the paper's
+/// evaluation uses j = 1).
+size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps = -1);
+
+/// Monte-Carlo estimate of the IC influence spread I(S, G): the mean
+/// cascade size over `trials` simulations.
+double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
+                        size_t trials, Rng& rng, int max_steps = -1);
+
+/// Exact influence spread for the deterministic special case where every
+/// edge weight is 1 and the cascade runs `steps` rounds: the size of the
+/// `steps`-hop out-closure of the seed set. This is the paper's evaluation
+/// setting (w_uv = 1, j = 1 => |S ∪ N_out(S)|), free of MC variance.
+size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
+                             int steps = 1);
+
+/// One cascade under the Linear Threshold model: node thresholds are drawn
+/// uniformly from [0,1]; a node activates when the weight sum of its active
+/// in-neighbors reaches its threshold. Returns activated count.
+size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps = -1);
+
+/// SIS epidemic: infected nodes infect out-neighbors with the edge weight
+/// each round and recover (back to susceptible) with `recovery_prob`.
+/// Returns the total number of distinct nodes ever infected within
+/// `max_steps` rounds.
+size_t SimulateSisCascade(const Graph& g, std::span<const NodeId> seeds,
+                          double recovery_prob, int max_steps, Rng& rng);
+
+}  // namespace privim
+
+#endif  // PRIVIM_IM_DIFFUSION_H_

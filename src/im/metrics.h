@@ -1,0 +1,20 @@
+#ifndef PRIVIM_IM_METRICS_H_
+#define PRIVIM_IM_METRICS_H_
+
+#include "common/logging.h"
+
+namespace privim {
+
+/// Coverage ratio (Section V-A): |V_method| / |V_CELF| * 100, in percent.
+/// Returns 0 when the CELF reference spread is 0.
+inline double CoverageRatioPercent(double method_spread,
+                                   double celf_spread) {
+  PRIVIM_CHECK_GE(method_spread, 0.0);
+  PRIVIM_CHECK_GE(celf_spread, 0.0);
+  if (celf_spread == 0.0) return 0.0;
+  return 100.0 * method_spread / celf_spread;
+}
+
+}  // namespace privim
+
+#endif  // PRIVIM_IM_METRICS_H_

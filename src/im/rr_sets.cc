@@ -1,0 +1,116 @@
+#include "im/rr_sets.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/string_util.h"
+
+namespace privim {
+
+Result<RrSketch> RrSketch::Generate(const Graph& g, size_t count,
+                                    Rng& rng) {
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("graph has no nodes");
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("RR set count must be positive");
+  }
+  RrSketch sketch;
+  sketch.num_nodes_ = g.num_nodes();
+  sketch.sets_.reserve(count);
+  sketch.node_to_sets_.resize(g.num_nodes());
+
+  std::vector<uint8_t> visited(g.num_nodes(), 0);
+  std::deque<NodeId> queue;
+  for (size_t s = 0; s < count; ++s) {
+    const NodeId target =
+        static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    // Reverse BFS along *in*-edges; each edge is live independently with
+    // its IC probability (deferred live-edge sampling).
+    std::vector<NodeId> rr{target};
+    std::fill(visited.begin(), visited.end(), 0);
+    visited[target] = 1;
+    queue.clear();
+    queue.push_back(target);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      auto sources = g.InNeighbors(v);
+      auto weights = g.InWeights(v);
+      for (size_t i = 0; i < sources.size(); ++i) {
+        const NodeId u = sources[i];
+        if (!visited[u] && rng.Bernoulli(weights[i])) {
+          visited[u] = 1;
+          rr.push_back(u);
+          queue.push_back(u);
+        }
+      }
+    }
+    const uint32_t set_id = static_cast<uint32_t>(sketch.sets_.size());
+    for (NodeId u : rr) sketch.node_to_sets_[u].push_back(set_id);
+    sketch.sets_.push_back(std::move(rr));
+  }
+  return sketch;
+}
+
+double RrSketch::EstimateSpread(const std::vector<NodeId>& seeds) const {
+  PRIVIM_CHECK_GT(sets_.size(), 0u);
+  std::vector<uint8_t> covered(sets_.size(), 0);
+  size_t hit = 0;
+  for (NodeId s : seeds) {
+    PRIVIM_CHECK_LT(s, num_nodes_);
+    for (uint32_t set_id : node_to_sets_[s]) {
+      if (!covered[set_id]) {
+        covered[set_id] = 1;
+        ++hit;
+      }
+    }
+  }
+  return static_cast<double>(num_nodes_) * static_cast<double>(hit) /
+         static_cast<double>(sets_.size());
+}
+
+Result<std::vector<NodeId>> RrSketch::SelectSeeds(size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > num_nodes_) {
+    return Status::InvalidArgument(
+        StrFormat("k=%zu exceeds node count %zu", k, num_nodes_));
+  }
+  // Greedy max coverage with exact gain maintenance: gains[u] = number of
+  // still-uncovered RR sets containing u.
+  std::vector<size_t> gains(num_nodes_, 0);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    gains[u] = node_to_sets_[u].size();
+  }
+  std::vector<uint8_t> covered(sets_.size(), 0);
+  std::vector<uint8_t> chosen(num_nodes_, 0);
+  std::vector<NodeId> seeds;
+  seeds.reserve(k);
+  for (size_t round = 0; round < k; ++round) {
+    NodeId best = 0;
+    size_t best_gain = 0;
+    bool found = false;
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      if (chosen[u]) continue;
+      if (!found || gains[u] > best_gain) {
+        best = u;
+        best_gain = gains[u];
+        found = true;
+      }
+    }
+    PRIVIM_CHECK(found);
+    chosen[best] = 1;
+    seeds.push_back(best);
+    // Cover best's sets and decrement every member's gain.
+    for (uint32_t set_id : node_to_sets_[best]) {
+      if (covered[set_id]) continue;
+      covered[set_id] = 1;
+      for (NodeId member : sets_[set_id]) {
+        if (gains[member] > 0) --gains[member];
+      }
+    }
+  }
+  return seeds;
+}
+
+}  // namespace privim

@@ -1,0 +1,208 @@
+#include "im/seed_selection.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "common/string_util.h"
+#include "im/diffusion.h"
+
+namespace privim {
+
+namespace {
+
+Status ValidateArgs(const std::vector<NodeId>& candidates, size_t k) {
+  if (k == 0) return Status::InvalidArgument("seed budget k must be > 0");
+  if (candidates.size() < k) {
+    return Status::InvalidArgument(
+        StrFormat("need at least k=%zu candidates, have %zu", k,
+                  candidates.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SeedSelection> CelfSelect(const std::vector<NodeId>& candidates,
+                                 size_t k, const SpreadOracle& oracle) {
+  PRIVIM_RETURN_NOT_OK(ValidateArgs(candidates, k));
+  SeedSelection out;
+
+  struct Entry {
+    NodeId node;
+    double gain;
+    size_t round;  // Round the gain was last computed in.
+  };
+  // Ties break toward the smaller node id so CELF matches plain greedy's
+  // first-maximum choice exactly (tested against GreedySelect).
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+
+  // Initial marginal gains relative to the empty set.
+  std::vector<NodeId> probe(1);
+  for (NodeId v : candidates) {
+    probe[0] = v;
+    const double gain = oracle(probe);
+    ++out.oracle_calls;
+    heap.push(Entry{v, gain, 0});
+  }
+
+  double current_spread = 0.0;
+  std::vector<NodeId> with_candidate;
+  for (size_t round = 1; round <= k; ++round) {
+    for (;;) {
+      Entry top = heap.top();
+      heap.pop();
+      if (top.round == round) {
+        // Lazy evaluation: gain already fresh w.r.t. the current seed set.
+        out.seeds.push_back(top.node);
+        current_spread += top.gain;
+        break;
+      }
+      with_candidate = out.seeds;
+      with_candidate.push_back(top.node);
+      const double spread = oracle(with_candidate);
+      ++out.oracle_calls;
+      top.gain = spread - current_spread;
+      top.round = round;
+      heap.push(top);
+    }
+  }
+  out.spread = oracle(out.seeds);
+  ++out.oracle_calls;
+  return out;
+}
+
+Result<SeedSelection> GreedySelect(const std::vector<NodeId>& candidates,
+                                   size_t k, const SpreadOracle& oracle) {
+  PRIVIM_RETURN_NOT_OK(ValidateArgs(candidates, k));
+  SeedSelection out;
+  std::vector<uint8_t> used(candidates.size(), 0);
+  double current_spread = 0.0;
+  std::vector<NodeId> with_candidate;
+  for (size_t round = 0; round < k; ++round) {
+    double best_spread = -1.0;
+    size_t best_idx = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      with_candidate = out.seeds;
+      with_candidate.push_back(candidates[i]);
+      const double spread = oracle(with_candidate);
+      ++out.oracle_calls;
+      if (spread > best_spread) {
+        best_spread = spread;
+        best_idx = i;
+      }
+    }
+    PRIVIM_CHECK_LT(best_idx, candidates.size());
+    used[best_idx] = 1;
+    out.seeds.push_back(candidates[best_idx]);
+    current_spread = best_spread;
+  }
+  out.spread = current_spread;
+  return out;
+}
+
+Result<SeedSelection> DegreeSelect(const Graph& g,
+                                   const std::vector<NodeId>& candidates,
+                                   size_t k, const SpreadOracle& oracle) {
+  PRIVIM_RETURN_NOT_OK(ValidateArgs(candidates, k));
+  std::vector<NodeId> sorted = candidates;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](NodeId a, NodeId b) {
+                     return g.OutDegree(a) > g.OutDegree(b);
+                   });
+  SeedSelection out;
+  out.seeds.assign(sorted.begin(), sorted.begin() + k);
+  out.spread = oracle(out.seeds);
+  out.oracle_calls = 1;
+  return out;
+}
+
+Result<SeedSelection> RandomSelect(const std::vector<NodeId>& candidates,
+                                   size_t k, const SpreadOracle& oracle,
+                                   Rng& rng) {
+  PRIVIM_RETURN_NOT_OK(ValidateArgs(candidates, k));
+  std::vector<uint32_t> idx = rng.SampleWithoutReplacement(
+      static_cast<uint32_t>(candidates.size()), static_cast<uint32_t>(k));
+  SeedSelection out;
+  out.seeds.reserve(k);
+  for (uint32_t i : idx) out.seeds.push_back(candidates[i]);
+  out.spread = oracle(out.seeds);
+  out.oracle_calls = 1;
+  return out;
+}
+
+Result<SeedSelection> TopKByScore(const std::vector<NodeId>& candidates,
+                                  size_t k,
+                                  const std::vector<double>& scores,
+                                  const SpreadOracle& oracle) {
+  PRIVIM_RETURN_NOT_OK(ValidateArgs(candidates, k));
+  for (NodeId v : candidates) {
+    if (v >= scores.size()) {
+      return Status::OutOfRange(
+          StrFormat("candidate %u has no score (scores size %zu)", v,
+                    scores.size()));
+    }
+  }
+  std::vector<NodeId> sorted = candidates;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
+    return scores[a] > scores[b];
+  });
+  SeedSelection out;
+  out.seeds.assign(sorted.begin(), sorted.begin() + k);
+  out.spread = oracle(out.seeds);
+  out.oracle_calls = 1;
+  return out;
+}
+
+SpreadOracle MakeExactUnitOracle(const Graph& g, int steps) {
+  return [&g, steps](const std::vector<NodeId>& seeds) {
+    return static_cast<double>(ExactUnitWeightSpread(g, seeds, steps));
+  };
+}
+
+SpreadOracle MakeMonteCarloOracle(const Graph& g, size_t trials, Rng& rng,
+                                  int max_steps) {
+  // The oracle owns a forked generator so repeated calls advance it.
+  auto shared_rng = std::make_shared<Rng>(rng.Fork());
+  return [&g, trials, shared_rng, max_steps](
+             const std::vector<NodeId>& seeds) {
+    return EstimateIcSpread(g, seeds, trials, *shared_rng, max_steps);
+  };
+}
+
+SpreadOracle MakeLtOracle(const Graph& g, size_t trials, Rng& rng,
+                          int max_steps) {
+  PRIVIM_CHECK_GT(trials, 0u);
+  auto shared_rng = std::make_shared<Rng>(rng.Fork());
+  return [&g, trials, shared_rng, max_steps](
+             const std::vector<NodeId>& seeds) {
+    double total = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+      total += static_cast<double>(
+          SimulateLtCascade(g, seeds, *shared_rng, max_steps));
+    }
+    return total / static_cast<double>(trials);
+  };
+}
+
+SpreadOracle MakeSisOracle(const Graph& g, size_t trials,
+                           double recovery_prob, int max_steps, Rng& rng) {
+  PRIVIM_CHECK_GT(trials, 0u);
+  auto shared_rng = std::make_shared<Rng>(rng.Fork());
+  return [&g, trials, shared_rng, recovery_prob, max_steps](
+             const std::vector<NodeId>& seeds) {
+    double total = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+      total += static_cast<double>(SimulateSisCascade(
+          g, seeds, recovery_prob, max_steps, *shared_rng));
+    }
+    return total / static_cast<double>(trials);
+  };
+}
+
+}  // namespace privim

@@ -1,0 +1,79 @@
+#ifndef PRIVIM_IM_SEED_SELECTION_H_
+#define PRIVIM_IM_SEED_SELECTION_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace privim {
+
+/// Seed-set selection algorithms: CELF greedy (the paper's ground truth)
+/// and cheap heuristics used as sanity baselines in tests/benches.
+
+/// A spread oracle: maps a candidate seed set to its (estimated) influence
+/// spread. CELF requires it to be monotone submodular for its guarantee;
+/// the exact unit-weight j-step spread used in the paper's evaluation is.
+using SpreadOracle =
+    std::function<double(const std::vector<NodeId>& seeds)>;
+
+/// Output of a seed-selection run.
+struct SeedSelection {
+  std::vector<NodeId> seeds;
+  /// Oracle value of the final seed set.
+  double spread = 0.0;
+  /// Total number of oracle evaluations (CELF's efficiency metric).
+  size_t oracle_calls = 0;
+};
+
+/// CELF (Leskovec et al., KDD'07): lazy-greedy maximization of a monotone
+/// submodular spread function, (1 - 1/e)-approximate. `candidates` is the
+/// ground set (e.g. the test split); `k` the seed budget.
+Result<SeedSelection> CelfSelect(const std::vector<NodeId>& candidates,
+                                 size_t k, const SpreadOracle& oracle);
+
+/// Plain greedy without lazy evaluation — O(k |candidates|) oracle calls.
+/// Exists to validate CELF's equivalence in tests.
+Result<SeedSelection> GreedySelect(const std::vector<NodeId>& candidates,
+                                   size_t k, const SpreadOracle& oracle);
+
+/// Top-k candidates by out-degree (proxy heuristic).
+Result<SeedSelection> DegreeSelect(const Graph& g,
+                                   const std::vector<NodeId>& candidates,
+                                   size_t k, const SpreadOracle& oracle);
+
+/// k uniformly random candidates (floor baseline).
+Result<SeedSelection> RandomSelect(const std::vector<NodeId>& candidates,
+                                   size_t k, const SpreadOracle& oracle,
+                                   Rng& rng);
+
+/// Top-k candidates by an externally supplied per-node score (the GNN's
+/// seed probabilities). `scores` is indexed by original node id.
+Result<SeedSelection> TopKByScore(const std::vector<NodeId>& candidates,
+                                  size_t k,
+                                  const std::vector<double>& scores,
+                                  const SpreadOracle& oracle);
+
+/// Convenience oracle for the paper's evaluation setting: exact spread with
+/// unit weights truncated to `steps` rounds on `g`.
+SpreadOracle MakeExactUnitOracle(const Graph& g, int steps = 1);
+
+/// Monte-Carlo IC oracle with `trials` cascades per evaluation.
+SpreadOracle MakeMonteCarloOracle(const Graph& g, size_t trials, Rng& rng,
+                                  int max_steps = -1);
+
+/// Monte-Carlo Linear Threshold oracle (paper's future-work diffusion
+/// model): mean activated count over `trials` LT cascades.
+SpreadOracle MakeLtOracle(const Graph& g, size_t trials, Rng& rng,
+                          int max_steps = -1);
+
+/// Monte-Carlo SIS oracle: mean count of nodes ever infected within
+/// `max_steps` rounds at the given recovery probability.
+SpreadOracle MakeSisOracle(const Graph& g, size_t trials,
+                           double recovery_prob, int max_steps, Rng& rng);
+
+}  // namespace privim
+
+#endif  // PRIVIM_IM_SEED_SELECTION_H_

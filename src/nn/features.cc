@@ -1,0 +1,51 @@
+#include "nn/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privim {
+
+namespace {
+
+// Absolute scales: features must mean the same thing on a 40-node training
+// subgraph and on the full evaluation graph, so they are normalized by
+// fixed constants rather than per-graph maxima.
+constexpr double kLinearDegreeScale = 32.0;
+// log1p(deg) saturates at deg = 1023.
+const double kLogDegreeScale = std::log(1024.0);
+// log1p(two-hop mass) saturates at 2^16.
+const double kLogTwoHopScale = std::log(65536.0);
+
+inline float Saturate(double v) {
+  return static_cast<float>(std::min(1.0, std::max(0.0, v)));
+}
+
+}  // namespace
+
+Matrix BuildNodeFeatures(const Graph& g) {
+  const size_t n = g.num_nodes();
+  Matrix x(n, kNodeFeatureDim);
+  if (n == 0) return x;
+
+  for (NodeId u = 0; u < n; ++u) {
+    const double od = static_cast<double>(g.OutDegree(u));
+    const double id = static_cast<double>(g.InDegree(u));
+    double two_hop = 0.0;
+    size_t reciprocal = 0;
+    for (NodeId v : g.OutNeighbors(u)) {
+      two_hop += static_cast<double>(g.OutDegree(v));
+      if (g.HasEdge(v, u)) ++reciprocal;
+    }
+    x(u, 0) = 1.0f;
+    x(u, 1) = Saturate(od / kLinearDegreeScale);
+    x(u, 2) = Saturate(id / kLinearDegreeScale);
+    x(u, 3) = Saturate(std::log1p(od) / kLogDegreeScale);
+    x(u, 4) = Saturate(std::log1p(id) / kLogDegreeScale);
+    x(u, 5) = Saturate(std::log1p(two_hop) / kLogTwoHopScale);
+    x(u, 6) = od > 0 ? static_cast<float>(reciprocal / od) : 0.0f;
+    x(u, 7) = static_cast<float>(1.0 / (1.0 + od));
+  }
+  return x;
+}
+
+}  // namespace privim

@@ -1,0 +1,31 @@
+#ifndef PRIVIM_NN_FEATURES_H_
+#define PRIVIM_NN_FEATURES_H_
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+
+namespace privim {
+
+/// Number of structural feature columns produced by BuildNodeFeatures.
+inline constexpr size_t kNodeFeatureDim = 8;
+
+/// Builds the [num_nodes, kNodeFeatureDim] structural feature matrix used
+/// as GNN input. The paper's datasets carry no node attributes, so PrivIM
+/// derives features from local structure (degree profile and neighborhood
+/// mass). All features are scale-normalized per graph so models transfer
+/// between training subgraphs and the full evaluation graph.
+///
+/// Columns:
+///   0: constant 1 (bias channel)
+///   1: out-degree / max out-degree
+///   2: in-degree / max in-degree
+///   3: log(1 + out-degree), normalized
+///   4: log(1 + in-degree), normalized
+///   5: 2-hop out-mass (sum of out-neighbors' out-degree), normalized
+///   6: reciprocal-edge fraction among out-neighbors
+///   7: 1 / (1 + out-degree)
+Matrix BuildNodeFeatures(const Graph& g);
+
+}  // namespace privim
+
+#endif  // PRIVIM_NN_FEATURES_H_

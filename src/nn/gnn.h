@@ -1,0 +1,69 @@
+#ifndef PRIVIM_NN_GNN_H_
+#define PRIVIM_NN_GNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/graph_context.h"
+#include "nn/layers.h"
+#include "nn/param_store.h"
+#include "tensor/tensor.h"
+
+namespace privim {
+
+/// GNN backbones evaluated in the paper (Section V-E / Appendix G).
+enum class GnnType { kGcn, kSage, kGin, kGat, kGrat };
+
+/// Parses "gcn", "graphsage"/"sage", "gin", "gat", "grat".
+Result<GnnType> ParseGnnType(const std::string& name);
+std::string GnnTypeName(GnnType type);
+
+/// Hyper-parameters of the seed-scoring GNN. Defaults match the paper:
+/// three layers of 32 hidden units.
+struct GnnConfig {
+  GnnType type = GnnType::kGrat;
+  size_t in_dim = 8;
+  size_t hidden_dim = 32;
+  size_t num_layers = 3;
+};
+
+/// A stack of message-passing layers followed by a linear head and sigmoid,
+/// producing a per-node probability of inclusion in the seed set.
+///
+/// One model instance owns its ParamStore; the same parameters are used for
+/// every subgraph in training and for the full graph at inference.
+class GnnModel {
+ public:
+  /// Builds and initializes the model. Parameters are drawn from `rng`.
+  GnnModel(const GnnConfig& config, Rng& rng);
+
+  GnnModel(const GnnModel&) = delete;
+  GnnModel& operator=(const GnnModel&) = delete;
+
+  /// Forward pass: features `x` is [ctx.num_nodes, in_dim]; returns a
+  /// [num_nodes, 1] tensor of seed probabilities in (0, 1).
+  Tensor Forward(const GraphContext& ctx, const Tensor& x) const;
+
+  /// Pre-sigmoid seed scores. Monotone in Forward()'s probabilities but
+  /// free of float32 sigmoid saturation, so top-k ranking stays sharp even
+  /// when many probabilities round to 1.0 (used at inference).
+  Tensor ForwardLogits(const GraphContext& ctx, const Tensor& x) const;
+
+  const GnnConfig& config() const { return config_; }
+  ParamStore& params() { return params_; }
+  const ParamStore& params() const { return params_; }
+
+ private:
+  GnnConfig config_;
+  ParamStore params_;
+  std::vector<std::unique_ptr<GnnLayer>> layers_;
+  Tensor head_weight_;  // [hidden_dim, 1]
+  Tensor head_bias_;    // [1, 1]
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_NN_GNN_H_

@@ -1,0 +1,49 @@
+#include "nn/graph_context.h"
+
+#include <cmath>
+
+namespace privim {
+
+GraphContext BuildGraphContext(const Graph& g) {
+  GraphContext ctx;
+  ctx.num_nodes = g.num_nodes();
+  const size_t num_arcs = g.num_edges() + g.num_nodes();
+  ctx.src.reserve(num_arcs);
+  ctx.dst.reserve(num_arcs);
+  ctx.weight.reserve(num_arcs);
+  ctx.is_self_loop.reserve(num_arcs);
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto ws = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      ctx.src.push_back(u);
+      ctx.dst.push_back(nbrs[i]);
+      ctx.weight.push_back(ws[i]);
+      ctx.is_self_loop.push_back(0);
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ctx.src.push_back(u);
+    ctx.dst.push_back(u);
+    ctx.weight.push_back(1.0f);
+    ctx.is_self_loop.push_back(1);
+  }
+
+  const size_t e_count = ctx.src.size();
+  ctx.gcn_coef.resize(e_count);
+  ctx.mean_coef.resize(e_count);
+  ctx.sum_coef.resize(e_count);
+  ctx.ic_coef.resize(e_count);
+  for (size_t e = 0; e < e_count; ++e) {
+    const double d_src = static_cast<double>(g.OutDegree(ctx.src[e])) + 1.0;
+    const double d_dst = static_cast<double>(g.InDegree(ctx.dst[e])) + 1.0;
+    ctx.gcn_coef[e] = static_cast<float>(1.0 / std::sqrt(d_src * d_dst));
+    ctx.mean_coef[e] = static_cast<float>(1.0 / d_dst);
+    ctx.sum_coef[e] = ctx.is_self_loop[e] ? 0.0f : 1.0f;
+    ctx.ic_coef[e] = ctx.is_self_loop[e] ? 0.0f : ctx.weight[e];
+  }
+  return ctx;
+}
+
+}  // namespace privim

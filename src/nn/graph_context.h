@@ -1,0 +1,50 @@
+#ifndef PRIVIM_NN_GRAPH_CONTEXT_H_
+#define PRIVIM_NN_GRAPH_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace privim {
+
+/// Edge-list view of a (sub)graph preprocessed for message passing.
+///
+/// Built once per graph and shared by all layers/epochs. Contains the raw
+/// arcs plus self-loops (GNNs conventionally let each node attend to itself)
+/// and the constant aggregation coefficients each layer family needs.
+struct GraphContext {
+  size_t num_nodes = 0;
+
+  /// Arcs including one self-loop per node, ordered arbitrarily.
+  /// src[e] -> dst[e] with IC weight weight[e] (self-loops weight 1).
+  std::vector<uint32_t> src;
+  std::vector<uint32_t> dst;
+  std::vector<float> weight;
+
+  /// Symmetric-normalized coefficients 1/sqrt((d_dst+1)(d_src+1)) per arc
+  /// (GCN, Eq. 31 with self-loops).
+  std::vector<float> gcn_coef;
+
+  /// Mean-aggregation coefficients 1/(in_degree(dst)+1) per arc (GraphSAGE).
+  std::vector<float> mean_coef;
+
+  /// Plain sum coefficients: 1 for real arcs, 0 for self-loops (GIN's
+  /// neighbor sum excludes the center, which enters via (1+omega)h_v).
+  std::vector<float> sum_coef;
+
+  /// weight[e] for real arcs, 0 for self-loops: IC-weighted aggregation used
+  /// by the influence-probability head (Theorem 2: sum_v w_vu h_v).
+  std::vector<float> ic_coef;
+
+  /// True for entries that are self-loops.
+  std::vector<uint8_t> is_self_loop;
+};
+
+/// Builds a GraphContext from a graph (typically a Subgraph::local or a full
+/// evaluation graph).
+GraphContext BuildGraphContext(const Graph& g);
+
+}  // namespace privim
+
+#endif  // PRIVIM_NN_GRAPH_CONTEXT_H_

@@ -1,0 +1,76 @@
+#include "nn/layers.h"
+
+#include "tensor/ops.h"
+
+namespace privim {
+
+GcnConv::GcnConv(size_t in_dim, size_t out_dim, ParamStore& store, Rng& rng,
+                 const std::string& name)
+    : weight_(store.NewGlorot(name + ".W", in_dim, out_dim, rng)),
+      bias_(store.NewConstant(name + ".b", 1, out_dim, 0.0f)),
+      name_(name) {}
+
+Tensor GcnConv::Forward(const GraphContext& ctx, const Tensor& x) const {
+  Tensor agg =
+      ScatterAddRows(x, ctx.src, ctx.dst, ctx.gcn_coef, ctx.num_nodes);
+  return AddRowBroadcast(MatMul(agg, weight_), bias_);
+}
+
+SageConv::SageConv(size_t in_dim, size_t out_dim, ParamStore& store,
+                   Rng& rng, const std::string& name)
+    : weight_(store.NewGlorot(name + ".W", 2 * in_dim, out_dim, rng)),
+      bias_(store.NewConstant(name + ".b", 1, out_dim, 0.0f)),
+      name_(name) {}
+
+Tensor SageConv::Forward(const GraphContext& ctx, const Tensor& x) const {
+  Tensor mean =
+      ScatterAddRows(x, ctx.src, ctx.dst, ctx.mean_coef, ctx.num_nodes);
+  Tensor cat = ConcatCols(x, mean);
+  return AddRowBroadcast(MatMul(cat, weight_), bias_);
+}
+
+GinConv::GinConv(size_t in_dim, size_t out_dim, ParamStore& store, Rng& rng,
+                 const std::string& name)
+    : w1_(store.NewGlorot(name + ".W1", in_dim, out_dim, rng)),
+      b1_(store.NewConstant(name + ".b1", 1, out_dim, 0.0f)),
+      w2_(store.NewGlorot(name + ".W2", out_dim, out_dim, rng)),
+      b2_(store.NewConstant(name + ".b2", 1, out_dim, 0.0f)),
+      omega_(store.NewConstant(name + ".omega", 1, 1, 0.0f)),
+      name_(name) {}
+
+Tensor GinConv::Forward(const GraphContext& ctx, const Tensor& x) const {
+  Tensor neighbor_sum =
+      ScatterAddRows(x, ctx.src, ctx.dst, ctx.sum_coef, ctx.num_nodes);
+  // (1 + omega) * h_v: omega is a differentiable scalar.
+  Tensor self = Add(x, ScaleByScalar(x, omega_));
+  Tensor combined = Add(neighbor_sum, self);
+  Tensor hidden = Relu(AddRowBroadcast(MatMul(combined, w1_), b1_));
+  return AddRowBroadcast(MatMul(hidden, w2_), b2_);
+}
+
+AttentionConv::AttentionConv(size_t in_dim, size_t out_dim,
+                             AttentionNorm norm, ParamStore& store, Rng& rng,
+                             const std::string& name)
+    : weight_(store.NewGlorot(name + ".W", in_dim, out_dim, rng)),
+      att_src_(store.NewGlorot(name + ".a_src", out_dim, 1, rng)),
+      att_dst_(store.NewGlorot(name + ".a_dst", out_dim, 1, rng)),
+      norm_(norm),
+      name_(name) {}
+
+Tensor AttentionConv::Forward(const GraphContext& ctx,
+                              const Tensor& x) const {
+  Tensor xw = MatMul(x, weight_);  // [n, out_dim]
+  // Per-node attention logits, then gathered per arc. The standard GATv1
+  // decomposition a.[Wh_u || Wh_v] = a_src.Wh_u + a_dst.Wh_v.
+  Tensor logit_src = MatMul(xw, att_src_);  // [n, 1]
+  Tensor logit_dst = MatMul(xw, att_dst_);  // [n, 1]
+  Tensor e = LeakyRelu(
+      Add(GatherRows(logit_src, ctx.src), GatherRows(logit_dst, ctx.dst)),
+      0.2f);
+  const std::vector<uint32_t>& group =
+      norm_ == AttentionNorm::kTarget ? ctx.dst : ctx.src;
+  Tensor alpha = SegmentSoftmax(e, group, ctx.num_nodes);
+  return WeightedScatterAddRows(alpha, xw, ctx.src, ctx.dst, ctx.num_nodes);
+}
+
+}  // namespace privim

@@ -1,0 +1,104 @@
+#ifndef PRIVIM_NN_LAYERS_H_
+#define PRIVIM_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "nn/graph_context.h"
+#include "nn/param_store.h"
+#include "tensor/tensor.h"
+
+namespace privim {
+
+/// Base class for one message-passing layer (Appendix G of the paper).
+/// Layers register their parameters in a shared ParamStore at construction
+/// and are stateless afterwards: Forward() may be called on any
+/// GraphContext (subgraphs during training, the full graph at inference).
+class GnnLayer {
+ public:
+  virtual ~GnnLayer() = default;
+
+  /// Applies the layer: x is [num_nodes, in_dim]; returns
+  /// [num_nodes, out_dim] pre-activation (models apply the nonlinearity).
+  virtual Tensor Forward(const GraphContext& ctx, const Tensor& x) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// GCN (Kipf & Welling): h_v' = W * sum_{u in N(v)} h_u / sqrt(d_v d_u),
+/// with self-loops; symmetric normalization precomputed in GraphContext.
+class GcnConv : public GnnLayer {
+ public:
+  GcnConv(size_t in_dim, size_t out_dim, ParamStore& store, Rng& rng,
+          const std::string& name);
+  Tensor Forward(const GraphContext& ctx, const Tensor& x) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+  std::string name_;
+};
+
+/// GraphSAGE (mean aggregator): h_v' = W [h_v || mean_{u in N(v)} h_u].
+class SageConv : public GnnLayer {
+ public:
+  SageConv(size_t in_dim, size_t out_dim, ParamStore& store, Rng& rng,
+           const std::string& name);
+  Tensor Forward(const GraphContext& ctx, const Tensor& x) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  Tensor weight_;  // [2*in_dim, out_dim]
+  Tensor bias_;
+  std::string name_;
+};
+
+/// GIN: h_v' = MLP( (1 + omega) h_v + sum_{u in N(v)} h_u ), two-layer MLP.
+class GinConv : public GnnLayer {
+ public:
+  GinConv(size_t in_dim, size_t out_dim, ParamStore& store, Rng& rng,
+          const std::string& name);
+  Tensor Forward(const GraphContext& ctx, const Tensor& x) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  Tensor w1_;  // [in_dim, out_dim]
+  Tensor b1_;
+  Tensor w2_;  // [out_dim, out_dim]
+  Tensor b2_;
+  Tensor omega_;  // [1,1], initialised to 0
+  std::string name_;
+};
+
+/// Attention normalization direction for AttentionConv.
+enum class AttentionNorm {
+  /// GAT: softmax over each *target's* incoming arcs (Eq. 35).
+  kTarget,
+  /// GRAT: softmax over each *source's* outgoing arcs (Eq. 39) — reduces
+  /// the reward for overlapping coverage, the paper's preferred model.
+  kSource,
+};
+
+/// Single-head GAT/GRAT layer:
+///   e_uv = LeakyReLU(a1 . Wh_u + a2 . Wh_v), alpha = segment-softmax(e),
+///   h_v' = sum_u alpha_uv Wh_u.
+class AttentionConv : public GnnLayer {
+ public:
+  AttentionConv(size_t in_dim, size_t out_dim, AttentionNorm norm,
+                ParamStore& store, Rng& rng, const std::string& name);
+  Tensor Forward(const GraphContext& ctx, const Tensor& x) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  Tensor weight_;  // [in_dim, out_dim]
+  Tensor att_src_;  // [out_dim, 1]
+  Tensor att_dst_;  // [out_dim, 1]
+  AttentionNorm norm_;
+  std::string name_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_NN_LAYERS_H_

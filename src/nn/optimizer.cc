@@ -1,0 +1,35 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace privim {
+
+void SgdOptimizer::Step(ParamStore& store, std::span<const float> grad) {
+  store.ApplyUpdate(grad, lr_);
+}
+
+void AdamOptimizer::Step(ParamStore& store, std::span<const float> grad) {
+  const size_t n = store.num_scalars();
+  PRIVIM_CHECK_EQ(grad.size(), n);
+  if (m_.size() != n) {
+    m_.assign(n, 0.0f);
+    v_.assign(n, 0.0f);
+    t_ = 0;
+  }
+  ++t_;
+  std::vector<float> update(n);
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < n; ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * grad[i] * grad[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    update[i] = static_cast<float>(mhat / (std::sqrt(vhat) + eps_));
+  }
+  store.ApplyUpdate(update, lr_);
+}
+
+}  // namespace privim

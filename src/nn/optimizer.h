@@ -1,0 +1,54 @@
+#ifndef PRIVIM_NN_OPTIMIZER_H_
+#define PRIVIM_NN_OPTIMIZER_H_
+
+#include <span>
+#include <vector>
+
+#include "nn/param_store.h"
+
+namespace privim {
+
+/// Optimizers consume an externally produced flat gradient (possibly the
+/// noisy, clipped DP gradient) and update a ParamStore. Keeping them
+/// gradient-agnostic lets the DP trainer own noise injection.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from `grad` (length store.num_scalars()).
+  virtual void Step(ParamStore& store, std::span<const float> grad) = 0;
+};
+
+/// Plain SGD: w <- w - lr * g (Algorithm 2, Line 9).
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(float lr) : lr_(lr) {}
+  void Step(ParamStore& store, std::span<const float> grad) override;
+
+  float learning_rate() const { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Adam (Kingma & Ba). Used by the non-private reference configuration.
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                         float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void Step(ParamStore& store, std::span<const float> grad) override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<float> m_;
+  std::vector<float> v_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_NN_OPTIMIZER_H_

@@ -1,0 +1,82 @@
+#include "nn/param_store.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace privim {
+
+Tensor ParamStore::NewGlorot(const std::string& name, size_t rows,
+                             size_t cols, Rng& rng, size_t fan_in,
+                             size_t fan_out) {
+  if (fan_in == 0) fan_in = rows;
+  if (fan_out == 0) fan_out = cols;
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+  Tensor t(std::move(m), /*requires_grad=*/true);
+  params_.push_back(t);
+  names_.push_back(name);
+  num_scalars_ += rows * cols;
+  return t;
+}
+
+Tensor ParamStore::NewConstant(const std::string& name, size_t rows,
+                               size_t cols, float value) {
+  Tensor t(Matrix(rows, cols, value), /*requires_grad=*/true);
+  params_.push_back(t);
+  names_.push_back(name);
+  num_scalars_ += rows * cols;
+  return t;
+}
+
+void ParamStore::ZeroGrads() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+void ParamStore::FlattenGrads(std::span<float> out) const {
+  PRIVIM_CHECK_EQ(out.size(), num_scalars_);
+  size_t pos = 0;
+  for (const Tensor& p : params_) {
+    const Matrix& g = p.grad();
+    std::copy(g.data(), g.data() + g.size(), out.data() + pos);
+    pos += g.size();
+  }
+}
+
+void ParamStore::FlattenParams(std::span<float> out) const {
+  PRIVIM_CHECK_EQ(out.size(), num_scalars_);
+  size_t pos = 0;
+  for (const Tensor& p : params_) {
+    const Matrix& v = p.value();
+    std::copy(v.data(), v.data() + v.size(), out.data() + pos);
+    pos += v.size();
+  }
+}
+
+void ParamStore::LoadParams(std::span<const float> in) {
+  PRIVIM_CHECK_EQ(in.size(), num_scalars_);
+  size_t pos = 0;
+  for (Tensor& p : params_) {
+    Matrix& v = p.mutable_value();
+    std::copy(in.data() + pos, in.data() + pos + v.size(), v.data());
+    pos += v.size();
+  }
+}
+
+void ParamStore::ApplyUpdate(std::span<const float> delta, float step) {
+  PRIVIM_CHECK_EQ(delta.size(), num_scalars_);
+  size_t pos = 0;
+  for (Tensor& p : params_) {
+    Matrix& v = p.mutable_value();
+    for (size_t i = 0; i < v.size(); ++i) {
+      v.data()[i] -= step * delta[pos + i];
+    }
+    pos += v.size();
+  }
+}
+
+}  // namespace privim

@@ -1,0 +1,66 @@
+#ifndef PRIVIM_NN_PARAM_STORE_H_
+#define PRIVIM_NN_PARAM_STORE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace privim {
+
+/// Owns a model's trainable parameters and provides the flat-vector views
+/// DP-SGD needs (per-sample gradient flattening, noisy updates).
+class ParamStore {
+ public:
+  ParamStore() = default;
+
+  // Parameter tensors are shared handles; copying the store would alias
+  // them confusingly, so forbid it.
+  ParamStore(const ParamStore&) = delete;
+  ParamStore& operator=(const ParamStore&) = delete;
+  ParamStore(ParamStore&&) = default;
+  ParamStore& operator=(ParamStore&&) = default;
+
+  /// Creates a [rows, cols] parameter initialized Glorot-uniform with the
+  /// given fan-in/fan-out (pass 0/0 to use rows/cols).
+  Tensor NewGlorot(const std::string& name, size_t rows, size_t cols,
+                   Rng& rng, size_t fan_in = 0, size_t fan_out = 0);
+
+  /// Creates a parameter filled with a constant.
+  Tensor NewConstant(const std::string& name, size_t rows, size_t cols,
+                     float value);
+
+  size_t num_tensors() const { return params_.size(); }
+  /// Total number of scalar parameters.
+  size_t num_scalars() const { return num_scalars_; }
+
+  const std::vector<Tensor>& params() const { return params_; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Zeroes every parameter gradient (call between per-sample passes).
+  void ZeroGrads();
+
+  /// Copies all gradients into `out` (size must equal num_scalars()).
+  void FlattenGrads(std::span<float> out) const;
+
+  /// Copies all parameter values into `out`.
+  void FlattenParams(std::span<float> out) const;
+
+  /// Overwrites parameter values from `in`.
+  void LoadParams(std::span<const float> in);
+
+  /// In-place update: params -= step * delta (delta flat, length
+  /// num_scalars()).
+  void ApplyUpdate(std::span<const float> delta, float step);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::string> names_;
+  size_t num_scalars_ = 0;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_NN_PARAM_STORE_H_

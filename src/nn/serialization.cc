@@ -1,0 +1,136 @@
+#include "nn/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace privim {
+
+namespace {
+
+constexpr char kMagic[] = "privim-gnn-v1";
+
+}  // namespace
+
+Status SaveModel(const GnnModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  const GnnConfig& cfg = model.config();
+  out << kMagic << "\n";
+  out << "type " << GnnTypeName(cfg.type) << "\n";
+  out << "in_dim " << cfg.in_dim << "\n";
+  out << "hidden_dim " << cfg.hidden_dim << "\n";
+  out << "num_layers " << cfg.num_layers << "\n";
+  out << "tensors " << model.params().num_tensors() << "\n";
+  const ParamStore& store = model.params();
+  // Full float precision so a reloaded model reproduces scores bit-close.
+  out.precision(9);
+  for (size_t i = 0; i < store.num_tensors(); ++i) {
+    const Tensor& p = store.params()[i];
+    out << "tensor " << store.names()[i] << " " << p.rows() << " "
+        << p.cols() << "\n";
+    for (size_t r = 0; r < p.rows(); ++r) {
+      const float* row = p.value().row(r);
+      for (size_t c = 0; c < p.cols(); ++c) {
+        out << row[c] << (c + 1 == p.cols() ? '\n' : ' ');
+      }
+    }
+  }
+  if (!out) {
+    return Status::IoError(StrFormat("write failed for '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<GnnConfig> ReadHeader(std::istream& in, size_t* num_tensors) {
+  std::string magic;
+  if (!std::getline(in, magic) || Trim(magic) != kMagic) {
+    return Status::IoError("not a privim model checkpoint");
+  }
+  GnnConfig cfg;
+  std::string key, value;
+  // type
+  in >> key >> value;
+  if (key != "type") return Status::IoError("missing 'type' field");
+  PRIVIM_ASSIGN_OR_RETURN(cfg.type, ParseGnnType(value));
+  in >> key >> cfg.in_dim;
+  if (key != "in_dim") return Status::IoError("missing 'in_dim' field");
+  in >> key >> cfg.hidden_dim;
+  if (key != "hidden_dim") {
+    return Status::IoError("missing 'hidden_dim' field");
+  }
+  in >> key >> cfg.num_layers;
+  if (key != "num_layers") {
+    return Status::IoError("missing 'num_layers' field");
+  }
+  in >> key >> *num_tensors;
+  if (key != "tensors") return Status::IoError("missing 'tensors' field");
+  return cfg;
+}
+
+}  // namespace
+
+Result<GnnConfig> LoadModelConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  size_t num_tensors = 0;
+  return ReadHeader(in, &num_tensors);
+}
+
+Status LoadModelParams(const std::string& path, GnnModel& model) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  size_t num_tensors = 0;
+  PRIVIM_ASSIGN_OR_RETURN(GnnConfig cfg, ReadHeader(in, &num_tensors));
+  const GnnConfig& want = model.config();
+  if (cfg.type != want.type || cfg.in_dim != want.in_dim ||
+      cfg.hidden_dim != want.hidden_dim ||
+      cfg.num_layers != want.num_layers) {
+    return Status::FailedPrecondition(
+        "model configuration does not match checkpoint header");
+  }
+  if (num_tensors != model.params().num_tensors()) {
+    return Status::FailedPrecondition(StrFormat(
+        "checkpoint has %zu tensors, model has %zu", num_tensors,
+        model.params().num_tensors()));
+  }
+
+  std::vector<float> flat(model.params().num_scalars());
+  size_t pos = 0;
+  for (size_t i = 0; i < num_tensors; ++i) {
+    std::string tag, name;
+    size_t rows = 0, cols = 0;
+    if (!(in >> tag >> name >> rows >> cols) || tag != "tensor") {
+      return Status::IoError(
+          StrFormat("malformed tensor block %zu", i));
+    }
+    const Tensor& p = model.params().params()[i];
+    if (name != model.params().names()[i] || rows != p.rows() ||
+        cols != p.cols()) {
+      return Status::FailedPrecondition(StrFormat(
+          "tensor %zu mismatch: checkpoint %s[%zux%zu] vs model %s[%zux%zu]",
+          i, name.c_str(), rows, cols, model.params().names()[i].c_str(),
+          p.rows(), p.cols()));
+    }
+    for (size_t k = 0; k < rows * cols; ++k) {
+      if (!(in >> flat[pos])) {
+        return Status::IoError(
+            StrFormat("truncated values in tensor '%s'", name.c_str()));
+      }
+      ++pos;
+    }
+  }
+  model.params().LoadParams(flat);
+  return Status::OK();
+}
+
+}  // namespace privim

@@ -1,0 +1,31 @@
+#ifndef PRIVIM_NN_SERIALIZATION_H_
+#define PRIVIM_NN_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "nn/gnn.h"
+
+namespace privim {
+
+/// Model checkpointing. The format is a small self-describing text file:
+/// a header with the GnnConfig, then one block per parameter tensor
+/// (name, shape, row-major float values). Since a DP-trained model is the
+/// *output* of the private mechanism, persisting and sharing it does not
+/// consume additional privacy budget (post-processing).
+
+/// Writes `model`'s configuration and parameters to `path`.
+Status SaveModel(const GnnModel& model, const std::string& path);
+
+/// Reads a configuration header written by SaveModel.
+Result<GnnConfig> LoadModelConfig(const std::string& path);
+
+/// Loads parameters from `path` into `model`. The model must have been
+/// constructed with a configuration matching the checkpoint (same
+/// backbone, dims, and layer count) — validated against the header and
+/// per-tensor shapes.
+Status LoadModelParams(const std::string& path, GnnModel& model);
+
+}  // namespace privim
+
+#endif  // PRIVIM_NN_SERIALIZATION_H_

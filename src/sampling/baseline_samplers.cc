@@ -1,0 +1,80 @@
+#include "sampling/baseline_samplers.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "dp/sensitivity.h"
+#include "graph/subgraph.h"
+
+namespace privim {
+
+Result<SubgraphContainer> EgnRandomSample(const Graph& g, size_t count,
+                                          size_t subgraph_size, Rng& rng) {
+  if (subgraph_size < 2 || subgraph_size > g.num_nodes()) {
+    return Status::InvalidArgument(
+        "subgraph size must be in [2, num_nodes]");
+  }
+  SubgraphContainer container;
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<uint32_t> pick = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(g.num_nodes()),
+        static_cast<uint32_t>(subgraph_size));
+    std::vector<NodeId> nodes(pick.begin(), pick.end());
+    PRIVIM_ASSIGN_OR_RETURN(Subgraph sub, InduceSubgraph(g, nodes));
+    container.Add(std::move(sub));
+  }
+  return container;
+}
+
+Result<SubgraphContainer> EgoSample(const Graph& g,
+                                    const EgoSamplingConfig& config,
+                                    Rng& rng) {
+  if (config.sampling_rate <= 0.0 || config.sampling_rate > 1.0) {
+    return Status::InvalidArgument("sampling rate must lie in (0,1]");
+  }
+  if (config.fanout == 0 || config.max_nodes < 2) {
+    return Status::InvalidArgument("fanout and max_nodes must be positive");
+  }
+  SubgraphContainer container;
+  std::vector<NodeId> scratch;
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (!rng.Bernoulli(config.sampling_rate)) continue;
+    std::unordered_set<NodeId> in_tree{root};
+    std::vector<NodeId> nodes{root};
+    std::deque<std::pair<NodeId, int>> frontier{{root, 0}};
+    while (!frontier.empty() && nodes.size() < config.max_nodes) {
+      auto [u, depth] = frontier.front();
+      frontier.pop_front();
+      if (depth >= config.hops) continue;
+      // Keep at most `fanout` randomly chosen out-neighbors.
+      auto nbrs = g.OutNeighbors(u);
+      scratch.assign(nbrs.begin(), nbrs.end());
+      rng.Shuffle(scratch);
+      size_t kept = 0;
+      for (NodeId v : scratch) {
+        if (kept == config.fanout || nodes.size() == config.max_nodes) {
+          break;
+        }
+        if (in_tree.contains(v)) continue;
+        in_tree.insert(v);
+        nodes.push_back(v);
+        frontier.emplace_back(v, depth + 1);
+        ++kept;
+      }
+    }
+    if (nodes.size() < 2) continue;  // Isolated root: nothing to learn.
+    PRIVIM_ASSIGN_OR_RETURN(Subgraph sub, InduceSubgraph(g, nodes));
+    container.Add(std::move(sub));
+  }
+  return container;
+}
+
+size_t EgoOccurrenceBound(const EgoSamplingConfig& config,
+                          size_t container_size) {
+  const size_t geometric = OccurrenceBoundNaive(
+      config.fanout, static_cast<size_t>(std::max(config.hops, 0)));
+  return std::min(geometric, container_size);
+}
+
+}  // namespace privim

@@ -1,0 +1,46 @@
+#ifndef PRIVIM_SAMPLING_BASELINE_SAMPLERS_H_
+#define PRIVIM_SAMPLING_BASELINE_SAMPLERS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "sampling/container.h"
+
+namespace privim {
+
+/// Samplers used by the paper's baseline competitors.
+
+/// EGN (Karalias & Loukas): `count` uniformly random node subsets of size
+/// `subgraph_size` each. No per-node frequency control, so the a-priori
+/// occurrence bound is the container size itself — which is exactly why EGN
+/// needs "excessive DP noise" (Section V-B).
+Result<SubgraphContainer> EgnRandomSample(const Graph& g, size_t count,
+                                          size_t subgraph_size, Rng& rng);
+
+/// HP's HeterPoisson-style ego sampling (Xiang et al., S&P 2024): for each
+/// node selected with rate `sampling_rate`, build a rooted BFS tree up to
+/// `hops` hops keeping at most `fanout` neighbors per expanded node and at
+/// most `max_nodes` total. Node-centric, so each subgraph describes a
+/// single ego's neighborhood and global structure is discarded.
+struct EgoSamplingConfig {
+  double sampling_rate = 0.1;
+  size_t fanout = 10;  // theta.
+  int hops = 2;        // r.
+  size_t max_nodes = 40;
+};
+Result<SubgraphContainer> EgoSample(const Graph& g,
+                                    const EgoSamplingConfig& config,
+                                    Rng& rng);
+
+/// A-priori occurrence bound for EgoSample: a node joins another node's ego
+/// tree only if it lies within `hops` hops, and each expansion keeps at
+/// most `fanout` parents, giving the same geometric bound as Lemma 1,
+/// clamped by the number of subgraphs.
+size_t EgoOccurrenceBound(const EgoSamplingConfig& config,
+                          size_t container_size);
+
+}  // namespace privim
+
+#endif  // PRIVIM_SAMPLING_BASELINE_SAMPLERS_H_

@@ -1,0 +1,36 @@
+#include "sampling/container.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace privim {
+
+void SubgraphContainer::Merge(SubgraphContainer&& other) {
+  subgraphs_.reserve(subgraphs_.size() + other.subgraphs_.size());
+  for (Subgraph& s : other.subgraphs_) {
+    subgraphs_.push_back(std::move(s));
+  }
+  other.subgraphs_.clear();
+}
+
+std::vector<size_t> SubgraphContainer::OccurrenceHistogram(
+    size_t num_original_nodes) const {
+  std::vector<size_t> hist(num_original_nodes, 0);
+  for (const Subgraph& sub : subgraphs_) {
+    for (NodeId u : sub.nodes) {
+      PRIVIM_CHECK_LT(u, num_original_nodes);
+      ++hist[u];
+    }
+  }
+  return hist;
+}
+
+size_t SubgraphContainer::MaxOccurrence(size_t num_original_nodes) const {
+  const std::vector<size_t> hist = OccurrenceHistogram(num_original_nodes);
+  size_t max_occ = 0;
+  for (size_t h : hist) max_occ = std::max(max_occ, h);
+  return max_occ;
+}
+
+}  // namespace privim

@@ -1,0 +1,42 @@
+#ifndef PRIVIM_SAMPLING_CONTAINER_H_
+#define PRIVIM_SAMPLING_CONTAINER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+
+namespace privim {
+
+/// The subgraph container G_sub: the pool mini-batches are drawn from
+/// during DP training (Figure 2, Module 1 output).
+class SubgraphContainer {
+ public:
+  SubgraphContainer() = default;
+
+  void Add(Subgraph subgraph) { subgraphs_.push_back(std::move(subgraph)); }
+
+  /// Moves all subgraphs of `other` into this container (Algorithm 3,
+  /// Line 7: G_sub = G_sub,stage1 + G_sub,stage2).
+  void Merge(SubgraphContainer&& other);
+
+  size_t size() const { return subgraphs_.size(); }
+  bool empty() const { return subgraphs_.empty(); }
+  const Subgraph& at(size_t i) const { return subgraphs_.at(i); }
+  const std::vector<Subgraph>& subgraphs() const { return subgraphs_; }
+
+  /// Counts how often each original node occurs across all subgraphs.
+  /// `num_original_nodes` sizes the histogram. Used to *audit* the privacy
+  /// accountant's occurrence bound in tests and at runtime.
+  std::vector<size_t> OccurrenceHistogram(size_t num_original_nodes) const;
+
+  /// Maximum entry of OccurrenceHistogram (0 if empty).
+  size_t MaxOccurrence(size_t num_original_nodes) const;
+
+ private:
+  std::vector<Subgraph> subgraphs_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_SAMPLING_CONTAINER_H_

@@ -1,0 +1,142 @@
+#include "sampling/freq_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/subgraph.h"
+
+namespace privim {
+
+FreqSampler::FreqSampler(FreqSamplingConfig config)
+    : config_(std::move(config)) {}
+
+Status FreqSampler::FreqSamplingPass(const Graph& g,
+                                     const std::vector<NodeId>& starts,
+                                     size_t n, std::vector<size_t>& freq,
+                                     const std::vector<uint8_t>& eligible,
+                                     Rng& rng,
+                                     SubgraphContainer& container) const {
+  const size_t m_cap = config_.frequency_threshold;
+  std::vector<double> weights;
+  std::vector<NodeId> neighbors;
+
+  for (NodeId v0 : starts) {
+    if (!rng.Bernoulli(config_.sampling_rate)) continue;
+    if (!eligible[v0] || freq[v0] >= m_cap) continue;
+
+    std::unordered_set<NodeId> in_sub;
+    std::vector<NodeId> sub_nodes;
+    in_sub.insert(v0);
+    sub_nodes.push_back(v0);
+    NodeId cur = v0;
+
+    for (size_t l = 0; l < config_.walk_length; ++l) {
+      if (rng.Bernoulli(config_.restart_prob)) cur = v0;
+
+      // Eq. 9: neighbor v is drawn with weight 1/(f_v+1)^mu, excluding
+      // nodes whose frequency already reached M or that are ineligible.
+      // Nodes already inside the subgraph stay eligible as walk hops but
+      // add no new member; excluding them from the weights would distort
+      // the walk less faithfully to the pseudo-code, so we keep them.
+      neighbors.clear();
+      weights.clear();
+      for (NodeId w : g.OutNeighbors(cur)) {
+        if (!eligible[w]) continue;
+        // A node that already reached the cap may not be *added*; it may
+        // also not be walked through (its influence is saturated).
+        if (freq[w] >= m_cap && !in_sub.contains(w)) continue;
+        neighbors.push_back(w);
+        weights.push_back(
+            1.0 / std::pow(static_cast<double>(freq[w]) + 1.0,
+                           config_.decay));
+      }
+      if (neighbors.empty()) {
+        cur = v0;  // Dead end: restart and try again.
+        continue;
+      }
+      const size_t pick = rng.Discrete(weights);
+      if (pick >= neighbors.size()) {
+        cur = v0;
+        continue;
+      }
+      const NodeId next = neighbors[pick];
+      cur = next;
+      if (!in_sub.contains(next) && freq[next] < m_cap) {
+        in_sub.insert(next);
+        sub_nodes.push_back(next);
+      }
+      if (sub_nodes.size() == n) break;
+    }
+
+    if (sub_nodes.size() == n) {
+      PRIVIM_ASSIGN_OR_RETURN(Subgraph sub, InduceSubgraph(g, sub_nodes));
+      container.Add(std::move(sub));
+      // Algorithm 3, Line 26: update f with the accepted node set.
+      for (NodeId u : sub_nodes) ++freq[u];
+    }
+  }
+  return Status::OK();
+}
+
+Result<DualStageResult> FreqSampler::Extract(
+    const Graph& g, Rng& rng, const std::vector<NodeId>* restrict_to) const {
+  if (config_.subgraph_size < 2) {
+    return Status::InvalidArgument("subgraph size must be at least 2");
+  }
+  if (config_.frequency_threshold == 0) {
+    return Status::InvalidArgument("frequency threshold M must be positive");
+  }
+  if (config_.shrink_factor == 0) {
+    return Status::InvalidArgument("shrink factor s must be positive");
+  }
+  if (config_.sampling_rate <= 0.0 || config_.sampling_rate > 1.0) {
+    return Status::InvalidArgument("sampling rate must lie in (0,1]");
+  }
+
+  DualStageResult result;
+  result.frequency.assign(g.num_nodes(), 0);
+
+  std::vector<uint8_t> eligible(g.num_nodes(), restrict_to == nullptr);
+  std::vector<NodeId> starts;
+  if (restrict_to != nullptr) {
+    starts = *restrict_to;
+    for (NodeId v : starts) eligible[v] = 1;
+  } else {
+    starts.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) starts[v] = v;
+  }
+
+  // Stage 1: Sensitivity-Constrained Sampling on the full graph.
+  PRIVIM_RETURN_NOT_OK(FreqSamplingPass(g, starts, config_.subgraph_size,
+                                        result.frequency, eligible, rng,
+                                        result.container));
+  result.stage1_count = result.container.size();
+
+  if (config_.boundary_stage) {
+    // Stage 2: Boundary-Enhanced Sampling. Remove saturated nodes
+    // (f_v = M), keep the frequency vector f* so the global cap M still
+    // binds across both stages, and sample smaller subgraphs n/s from the
+    // remaining boundary regions.
+    std::vector<uint8_t> boundary_eligible = eligible;
+    std::vector<NodeId> boundary_starts;
+    for (NodeId v : starts) {
+      if (result.frequency[v] >= config_.frequency_threshold) {
+        boundary_eligible[v] = 0;
+      } else {
+        boundary_starts.push_back(v);
+      }
+    }
+    const size_t n2 = std::max<size_t>(
+        2, config_.subgraph_size / config_.shrink_factor);
+    SubgraphContainer stage2;
+    PRIVIM_RETURN_NOT_OK(FreqSamplingPass(g, boundary_starts, n2,
+                                          result.frequency,
+                                          boundary_eligible, rng, stage2));
+    result.stage2_count = stage2.size();
+    result.container.Merge(std::move(stage2));
+  }
+  return result;
+}
+
+}  // namespace privim

@@ -1,0 +1,82 @@
+#ifndef PRIVIM_SAMPLING_FREQ_SAMPLER_H_
+#define PRIVIM_SAMPLING_FREQ_SAMPLER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "sampling/container.h"
+
+namespace privim {
+
+/// Parameters of the dual-stage adaptive frequency sampling scheme
+/// (Algorithm 3 / Section IV).
+struct FreqSamplingConfig {
+  /// Subgraph size n for stage 1 (stage 2 uses n / shrink_factor).
+  size_t subgraph_size = 40;
+  /// Return probability tau of the RWR.
+  double restart_prob = 0.3;
+  /// Frequency decay factor mu in Eq. 9 (sampling prob ~ 1/(f_v+1)^mu).
+  double decay = 1.0;
+  /// Starting-node sampling rate q.
+  double sampling_rate = 0.1;
+  /// Positive integer s: boundary-stage subgraph size is n/s.
+  size_t shrink_factor = 2;
+  /// Random walk length budget L.
+  size_t walk_length = 200;
+  /// Global frequency threshold M: no node may occur in more than M
+  /// subgraphs across BOTH stages (this is N_g* of the privacy analysis).
+  size_t frequency_threshold = 6;
+  /// Run stage 2 (BES)? PrivIM+SCS sets this false; PrivIM* leaves it true.
+  bool boundary_stage = true;
+};
+
+/// Result of the dual-stage extraction, with stage attribution and the
+/// final frequency vector for auditing.
+struct DualStageResult {
+  SubgraphContainer container;
+  size_t stage1_count = 0;
+  size_t stage2_count = 0;
+  /// Final per-node occurrence counts f (indexed by original node id).
+  std::vector<size_t> frequency;
+};
+
+/// Algorithm 3: Sensitivity-Constrained Sampling (stage 1) followed by
+/// Boundary-Enhanced Sampling (stage 2).
+///
+/// Invariants enforced (and audited in tests):
+///  * every subgraph has exactly n (stage 1) or max(2, n/s) (stage 2) nodes;
+///  * no node occurs in more than `frequency_threshold` subgraphs in total,
+///    so the privacy accountant may use N_g* = M (Section IV-D).
+///
+/// Unlike Algorithm 1 there is no theta-projection and no hop bound: the
+/// frequency cap M is what limits inter-node dependency.
+class FreqSampler {
+ public:
+  explicit FreqSampler(FreqSamplingConfig config);
+
+  /// Runs both stages on `g`. `restrict_to` optionally limits sampling to a
+  /// node subset (the training split).
+  Result<DualStageResult> Extract(const Graph& g, Rng& rng,
+                                  const std::vector<NodeId>* restrict_to =
+                                      nullptr) const;
+
+  const FreqSamplingConfig& config() const { return config_; }
+
+ private:
+  /// One FreqSampling pass (Algorithm 3, Lines 9-28) over start nodes
+  /// `starts`, collecting subgraphs of `n` nodes into `container` while
+  /// updating `freq`. `eligible[v]` gates which nodes may be visited
+  /// (stage 2 removes saturated nodes).
+  Status FreqSamplingPass(const Graph& g, const std::vector<NodeId>& starts,
+                          size_t n, std::vector<size_t>& freq,
+                          const std::vector<uint8_t>& eligible, Rng& rng,
+                          SubgraphContainer& container) const;
+
+  FreqSamplingConfig config_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_SAMPLING_FREQ_SAMPLER_H_

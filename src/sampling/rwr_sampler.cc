@@ -1,0 +1,98 @@
+#include "sampling/rwr_sampler.h"
+
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+#include "graph/subgraph.h"
+
+namespace privim {
+
+RwrSampler::RwrSampler(RwrConfig config) : config_(std::move(config)) {}
+
+Result<SubgraphContainer> RwrSampler::Extract(
+    const Graph& g, Rng& rng, const std::vector<NodeId>* restrict_to) const {
+  if (config_.subgraph_size < 2) {
+    return Status::InvalidArgument("subgraph size must be at least 2");
+  }
+  if (config_.sampling_rate <= 0.0 || config_.sampling_rate > 1.0) {
+    return Status::InvalidArgument("sampling rate must lie in (0,1]");
+  }
+  SubgraphContainer container;
+
+  std::unordered_set<NodeId> allowed;
+  if (restrict_to != nullptr) {
+    allowed.insert(restrict_to->begin(), restrict_to->end());
+  }
+  auto is_allowed = [&](NodeId v) {
+    return restrict_to == nullptr || allowed.contains(v);
+  };
+
+  std::vector<NodeId> starts;
+  if (restrict_to != nullptr) {
+    starts = *restrict_to;
+  } else {
+    starts.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) starts[v] = v;
+  }
+
+  // Scratch reused across walks.
+  std::vector<int> hop_dist;  // Distance from v0, capped at hop_bound.
+  std::vector<NodeId> candidates;
+
+  for (NodeId v0 : starts) {
+    if (!rng.Bernoulli(config_.sampling_rate)) continue;
+
+    // Precompute the r-hop ball N_r(v0) once per walk (the walk's target
+    // filter, Algorithm 1 Line 10).
+    hop_dist.assign(g.num_nodes(), -1);
+    {
+      std::vector<NodeId> frontier{v0};
+      hop_dist[v0] = 0;
+      for (int h = 0; h < config_.hop_bound && !frontier.empty(); ++h) {
+        std::vector<NodeId> next;
+        for (NodeId u : frontier) {
+          for (NodeId w : g.OutNeighbors(u)) {
+            if (hop_dist[w] < 0) {
+              hop_dist[w] = h + 1;
+              next.push_back(w);
+            }
+          }
+        }
+        frontier = std::move(next);
+      }
+    }
+
+    std::unordered_set<NodeId> in_sub;
+    std::vector<NodeId> sub_nodes;
+    in_sub.insert(v0);
+    sub_nodes.push_back(v0);
+    NodeId cur = v0;
+
+    for (size_t l = 0; l < config_.walk_length; ++l) {
+      if (rng.Bernoulli(config_.restart_prob)) cur = v0;
+      // Next node from N(cur) ∩ N_r(v0), uniformly.
+      candidates.clear();
+      for (NodeId w : g.OutNeighbors(cur)) {
+        if (hop_dist[w] >= 0 && is_allowed(w)) candidates.push_back(w);
+      }
+      if (candidates.empty()) {
+        cur = v0;  // Dead end: restart.
+        continue;
+      }
+      const NodeId next = candidates[rng.UniformInt(candidates.size())];
+      cur = next;
+      if (!in_sub.contains(next)) {
+        in_sub.insert(next);
+        sub_nodes.push_back(next);
+      }
+      if (sub_nodes.size() == config_.subgraph_size) {
+        PRIVIM_ASSIGN_OR_RETURN(Subgraph sub, InduceSubgraph(g, sub_nodes));
+        container.Add(std::move(sub));
+        break;
+      }
+    }
+  }
+  return container;
+}
+
+}  // namespace privim

@@ -1,0 +1,54 @@
+#ifndef PRIVIM_SAMPLING_RWR_SAMPLER_H_
+#define PRIVIM_SAMPLING_RWR_SAMPLER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "sampling/container.h"
+
+namespace privim {
+
+/// Parameters of the naive subgraph-extraction process (Algorithm 1).
+struct RwrConfig {
+  /// Fixed subgraph size n.
+  size_t subgraph_size = 40;
+  /// Return probability tau of the random walk with restart.
+  double restart_prob = 0.3;
+  /// Starting-node sampling rate q.
+  double sampling_rate = 0.1;
+  /// Random walk length budget L.
+  size_t walk_length = 200;
+  /// Hop bound r: sampled nodes stay within the r-hop ball of the start.
+  int hop_bound = 3;
+};
+
+/// Algorithm 1: RWR subgraph extraction on a theta-bounded graph.
+///
+/// The caller is expected to pass a graph already projected with
+/// ThetaBoundedProjection (the naive PrivIM pipeline does this); the sampler
+/// itself is projection-agnostic. Each selected start node v0 yields at most
+/// one subgraph of exactly `subgraph_size` unique nodes, all within the
+/// r-hop out-ball of v0; walks that fail to collect n nodes within L steps
+/// produce nothing (matching the paper's pseudo-code).
+class RwrSampler {
+ public:
+  explicit RwrSampler(RwrConfig config);
+
+  /// Runs the extraction over every potential start node of `g` using `rng`.
+  /// `restrict_to` optionally limits start nodes and walk targets to a node
+  /// subset (the training split); pass nullptr for all nodes.
+  Result<SubgraphContainer> Extract(const Graph& g, Rng& rng,
+                                    const std::vector<NodeId>* restrict_to =
+                                        nullptr) const;
+
+  const RwrConfig& config() const { return config_; }
+
+ private:
+  RwrConfig config_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_SAMPLING_RWR_SAMPLER_H_

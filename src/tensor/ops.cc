@@ -1,0 +1,428 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privim {
+
+using internal::TensorNode;
+
+namespace {
+
+// Shorthand: parent node pointer i of the result node.
+TensorNode* Parent(TensorNode& n, size_t i) { return n.parents[i].get(); }
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Matrix out = MatMulValues(a.value(), b.value());
+  return TensorOpBuilder::Make(
+      std::move(out), {a, b}, [](TensorNode& n) {
+        TensorNode* pa = Parent(n, 0);
+        TensorNode* pb = Parent(n, 1);
+        if (pa->requires_grad) {
+          // dA = dOut * B^T
+          pa->grad.AddInPlace(MatMulTransValues(n.grad, pb->value));
+        }
+        if (pb->requires_grad) {
+          // dB = A^T * dOut
+          pb->grad.AddInPlace(MatTransMulValues(pa->value, n.grad));
+        }
+      });
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  PRIVIM_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.AddInPlace(b.value());
+  return TensorOpBuilder::Make(
+      std::move(out), {a, b}, [](TensorNode& n) {
+        for (int i = 0; i < 2; ++i) {
+          TensorNode* p = Parent(n, i);
+          if (p->requires_grad) p->grad.AddInPlace(n.grad);
+        }
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  PRIVIM_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.AddScaledInPlace(b.value(), -1.0f);
+  return TensorOpBuilder::Make(
+      std::move(out), {a, b}, [](TensorNode& n) {
+        TensorNode* pa = Parent(n, 0);
+        TensorNode* pb = Parent(n, 1);
+        if (pa->requires_grad) pa->grad.AddInPlace(n.grad);
+        if (pb->requires_grad) pb->grad.AddScaledInPlace(n.grad, -1.0f);
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  PRIVIM_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] *= b.value().data()[i];
+  }
+  return TensorOpBuilder::Make(
+      std::move(out), {a, b}, [](TensorNode& n) {
+        TensorNode* pa = Parent(n, 0);
+        TensorNode* pb = Parent(n, 1);
+        if (pa->requires_grad) {
+          for (size_t i = 0; i < n.grad.size(); ++i) {
+            pa->grad.data()[i] += n.grad.data()[i] * pb->value.data()[i];
+          }
+        }
+        if (pb->requires_grad) {
+          for (size_t i = 0; i < n.grad.size(); ++i) {
+            pb->grad.data()[i] += n.grad.data()[i] * pa->value.data()[i];
+          }
+        }
+      });
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
+  PRIVIM_CHECK_EQ(bias.rows(), 1u);
+  PRIVIM_CHECK_EQ(bias.cols(), x.cols());
+  Matrix out = x.value();
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    const float* b = bias.value().row(0);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
+  }
+  return TensorOpBuilder::Make(
+      std::move(out), {x, bias}, [](TensorNode& n) {
+        TensorNode* px = Parent(n, 0);
+        TensorNode* pb = Parent(n, 1);
+        if (px->requires_grad) px->grad.AddInPlace(n.grad);
+        if (pb->requires_grad) {
+          float* brow = pb->grad.row(0);
+          for (size_t r = 0; r < n.grad.rows(); ++r) {
+            const float* grow = n.grad.row(r);
+            for (size_t c = 0; c < n.grad.cols(); ++c) brow[c] += grow[c];
+          }
+        }
+      });
+}
+
+Tensor Scale(const Tensor& x, float c) {
+  Matrix out = x.value();
+  out.ScaleInPlace(c);
+  return TensorOpBuilder::Make(
+      std::move(out), {x}, [c](TensorNode& n) {
+        TensorNode* p = Parent(n, 0);
+        if (p->requires_grad) p->grad.AddScaledInPlace(n.grad, c);
+      });
+}
+
+Tensor AddScalar(const Tensor& x, float c) {
+  Matrix out = x.value();
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] += c;
+  return TensorOpBuilder::Make(
+      std::move(out), {x}, [](TensorNode& n) {
+        TensorNode* p = Parent(n, 0);
+        if (p->requires_grad) p->grad.AddInPlace(n.grad);
+      });
+}
+
+Tensor ScaleByScalar(const Tensor& x, const Tensor& s) {
+  PRIVIM_CHECK_EQ(s.rows(), 1u);
+  PRIVIM_CHECK_EQ(s.cols(), 1u);
+  const float sv = s.value()(0, 0);
+  Matrix out = x.value();
+  out.ScaleInPlace(sv);
+  return TensorOpBuilder::Make(
+      std::move(out), {x, s}, [](TensorNode& n) {
+        TensorNode* px = Parent(n, 0);
+        TensorNode* ps = Parent(n, 1);
+        const float sv = ps->value(0, 0);
+        if (px->requires_grad) px->grad.AddScaledInPlace(n.grad, sv);
+        if (ps->requires_grad) {
+          double acc = 0.0;
+          for (size_t i = 0; i < n.grad.size(); ++i) {
+            acc += static_cast<double>(n.grad.data()[i]) *
+                   px->value.data()[i];
+          }
+          ps->grad(0, 0) += static_cast<float>(acc);
+        }
+      });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  PRIVIM_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* orow = out.row(r);
+    const float* arow = a.value().row(r);
+    const float* brow = b.value().row(r);
+    std::copy(arow, arow + a.cols(), orow);
+    std::copy(brow, brow + b.cols(), orow + a.cols());
+  }
+  const size_t a_cols = a.cols();
+  return TensorOpBuilder::Make(
+      std::move(out), {a, b}, [a_cols](TensorNode& n) {
+        TensorNode* pa = Parent(n, 0);
+        TensorNode* pb = Parent(n, 1);
+        for (size_t r = 0; r < n.grad.rows(); ++r) {
+          const float* grow = n.grad.row(r);
+          if (pa->requires_grad) {
+            float* arow = pa->grad.row(r);
+            for (size_t c = 0; c < a_cols; ++c) arow[c] += grow[c];
+          }
+          if (pb->requires_grad) {
+            float* brow = pb->grad.row(r);
+            for (size_t c = 0; c < pb->grad.cols(); ++c) {
+              brow[c] += grow[a_cols + c];
+            }
+          }
+        }
+      });
+}
+
+namespace {
+
+/// Generic elementwise op: forward f(x), backward f'(x) computed from the
+/// *input* value.
+template <typename Fwd, typename Bwd>
+Tensor Elementwise(const Tensor& x, Fwd fwd, Bwd bwd) {
+  Matrix out = x.value();
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = fwd(out.data()[i]);
+  return TensorOpBuilder::Make(
+      std::move(out), {x}, [bwd](TensorNode& n) {
+        TensorNode* p = Parent(n, 0);
+        if (!p->requires_grad) return;
+        for (size_t i = 0; i < n.grad.size(); ++i) {
+          p->grad.data()[i] += n.grad.data()[i] * bwd(p->value.data()[i]);
+        }
+      });
+}
+
+}  // namespace
+
+Tensor Relu(const Tensor& x) {
+  return Elementwise(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& x, float slope) {
+  return Elementwise(
+      x, [slope](float v) { return v > 0.0f ? v : slope * v; },
+      [slope](float v) { return v > 0.0f ? 1.0f : slope; });
+}
+
+Tensor SigmoidOp(const Tensor& x) {
+  return Elementwise(
+      x,
+      [](float v) {
+        return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                         : std::exp(v) / (1.0f + std::exp(v));
+      },
+      [](float v) {
+        const float s = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                                  : std::exp(v) / (1.0f + std::exp(v));
+        return s * (1.0f - s);
+      });
+}
+
+Tensor TanhOp(const Tensor& x) {
+  return Elementwise(
+      x, [](float v) { return std::tanh(v); },
+      [](float v) {
+        const float t = std::tanh(v);
+        return 1.0f - t * t;
+      });
+}
+
+Tensor ExpOp(const Tensor& x) {
+  return Elementwise(
+      x, [](float v) { return std::exp(v); },
+      [](float v) { return std::exp(v); });
+}
+
+Tensor LogOp(const Tensor& x, float eps) {
+  return Elementwise(
+      x, [eps](float v) { return std::log(v + eps); },
+      [eps](float v) { return 1.0f / (v + eps); });
+}
+
+Tensor InfluenceProb(const Tensor& z) {
+  // phi(z) = 1 - exp(-max(z,0)); derivative exp(-z) for z>0, 0 otherwise.
+  return Elementwise(
+      z,
+      [](float v) { return v > 0.0f ? 1.0f - std::exp(-v) : 0.0f; },
+      [](float v) { return v > 0.0f ? std::exp(-v) : 0.0f; });
+}
+
+Tensor Sum(const Tensor& x) {
+  Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(x.value().Sum());
+  return TensorOpBuilder::Make(
+      std::move(out), {x}, [](TensorNode& n) {
+        TensorNode* p = Parent(n, 0);
+        if (!p->requires_grad) return;
+        const float g = n.grad(0, 0);
+        for (size_t i = 0; i < p->grad.size(); ++i) p->grad.data()[i] += g;
+      });
+}
+
+Tensor MeanAll(const Tensor& x) {
+  PRIVIM_CHECK_GT(x.value().size(), 0u);
+  return Scale(Sum(x), 1.0f / static_cast<float>(x.value().size()));
+}
+
+Tensor RowSum(const Tensor& x) {
+  Matrix out(x.rows(), 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.value().row(r);
+    float s = 0.0f;
+    for (size_t c = 0; c < x.cols(); ++c) s += row[c];
+    out(r, 0) = s;
+  }
+  return TensorOpBuilder::Make(
+      std::move(out), {x}, [](TensorNode& n) {
+        TensorNode* p = Parent(n, 0);
+        if (!p->requires_grad) return;
+        for (size_t r = 0; r < p->grad.rows(); ++r) {
+          const float g = n.grad(r, 0);
+          float* prow = p->grad.row(r);
+          for (size_t c = 0; c < p->grad.cols(); ++c) prow[c] += g;
+        }
+      });
+}
+
+Tensor GatherRows(const Tensor& x, const std::vector<uint32_t>& index) {
+  Matrix out(index.size(), x.cols());
+  for (size_t i = 0; i < index.size(); ++i) {
+    PRIVIM_CHECK_LT(index[i], x.rows());
+    const float* src = x.value().row(index[i]);
+    std::copy(src, src + x.cols(), out.row(i));
+  }
+  return TensorOpBuilder::Make(
+      std::move(out), {x}, [index](TensorNode& n) {
+        TensorNode* p = Parent(n, 0);
+        if (!p->requires_grad) return;
+        for (size_t i = 0; i < index.size(); ++i) {
+          const float* grow = n.grad.row(i);
+          float* prow = p->grad.row(index[i]);
+          for (size_t c = 0; c < n.grad.cols(); ++c) prow[c] += grow[c];
+        }
+      });
+}
+
+Tensor ScatterAddRows(const Tensor& x, const std::vector<uint32_t>& src,
+                      const std::vector<uint32_t>& dst,
+                      const std::vector<float>& coef, size_t num_out) {
+  PRIVIM_CHECK_EQ(src.size(), dst.size());
+  PRIVIM_CHECK_EQ(src.size(), coef.size());
+  Matrix out(num_out, x.cols());
+  for (size_t e = 0; e < src.size(); ++e) {
+    PRIVIM_CHECK_LT(src[e], x.rows());
+    PRIVIM_CHECK_LT(dst[e], num_out);
+    const float* xin = x.value().row(src[e]);
+    float* orow = out.row(dst[e]);
+    const float c = coef[e];
+    for (size_t k = 0; k < x.cols(); ++k) orow[k] += c * xin[k];
+  }
+  return TensorOpBuilder::Make(
+      std::move(out), {x}, [src, dst, coef](TensorNode& n) {
+        TensorNode* p = Parent(n, 0);
+        if (!p->requires_grad) return;
+        for (size_t e = 0; e < src.size(); ++e) {
+          const float* grow = n.grad.row(dst[e]);
+          float* prow = p->grad.row(src[e]);
+          const float c = coef[e];
+          for (size_t k = 0; k < n.grad.cols(); ++k) {
+            prow[k] += c * grow[k];
+          }
+        }
+      });
+}
+
+Tensor WeightedScatterAddRows(const Tensor& alpha, const Tensor& x,
+                              const std::vector<uint32_t>& src,
+                              const std::vector<uint32_t>& dst,
+                              size_t num_out) {
+  PRIVIM_CHECK_EQ(alpha.rows(), src.size());
+  PRIVIM_CHECK_EQ(alpha.cols(), 1u);
+  PRIVIM_CHECK_EQ(src.size(), dst.size());
+  Matrix out(num_out, x.cols());
+  for (size_t e = 0; e < src.size(); ++e) {
+    PRIVIM_CHECK_LT(src[e], x.rows());
+    PRIVIM_CHECK_LT(dst[e], num_out);
+    const float a = alpha.value()(e, 0);
+    const float* xin = x.value().row(src[e]);
+    float* orow = out.row(dst[e]);
+    for (size_t k = 0; k < x.cols(); ++k) orow[k] += a * xin[k];
+  }
+  return TensorOpBuilder::Make(
+      std::move(out), {alpha, x}, [src, dst](TensorNode& n) {
+        TensorNode* pa = Parent(n, 0);
+        TensorNode* px = Parent(n, 1);
+        for (size_t e = 0; e < src.size(); ++e) {
+          const float* grow = n.grad.row(dst[e]);
+          const float* xin = px->value.row(src[e]);
+          if (pa->requires_grad) {
+            double dot = 0.0;
+            for (size_t k = 0; k < n.grad.cols(); ++k) {
+              dot += static_cast<double>(grow[k]) * xin[k];
+            }
+            pa->grad(e, 0) += static_cast<float>(dot);
+          }
+          if (px->requires_grad) {
+            const float a = pa->value(e, 0);
+            float* prow = px->grad.row(src[e]);
+            for (size_t k = 0; k < n.grad.cols(); ++k) {
+              prow[k] += a * grow[k];
+            }
+          }
+        }
+      });
+}
+
+Tensor SegmentSoftmax(const Tensor& scores,
+                      const std::vector<uint32_t>& group,
+                      size_t num_groups) {
+  PRIVIM_CHECK_EQ(scores.cols(), 1u);
+  PRIVIM_CHECK_EQ(scores.rows(), group.size());
+  const size_t e_count = group.size();
+
+  // Per-group max for numerical stability.
+  std::vector<float> gmax(num_groups, -1e30f);
+  for (size_t e = 0; e < e_count; ++e) {
+    PRIVIM_CHECK_LT(group[e], num_groups);
+    gmax[group[e]] = std::max(gmax[group[e]], scores.value()(e, 0));
+  }
+  std::vector<double> gsum(num_groups, 0.0);
+  Matrix out(e_count, 1);
+  for (size_t e = 0; e < e_count; ++e) {
+    const float v = std::exp(scores.value()(e, 0) - gmax[group[e]]);
+    out(e, 0) = v;
+    gsum[group[e]] += v;
+  }
+  for (size_t e = 0; e < e_count; ++e) {
+    const double denom = gsum[group[e]];
+    out(e, 0) = denom > 0.0
+                    ? static_cast<float>(out(e, 0) / denom)
+                    : 0.0f;
+  }
+
+  return TensorOpBuilder::Make(
+      std::move(out), {scores},
+      [group, num_groups](TensorNode& n) {
+        TensorNode* p = Parent(n, 0);
+        if (!p->requires_grad) return;
+        // d s_e = alpha_e * (g_e - sum_{e' in group} alpha_e' g_e').
+        std::vector<double> gdot(num_groups, 0.0);
+        for (size_t e = 0; e < group.size(); ++e) {
+          gdot[group[e]] += static_cast<double>(n.value(e, 0)) *
+                            n.grad(e, 0);
+        }
+        for (size_t e = 0; e < group.size(); ++e) {
+          const float alpha = n.value(e, 0);
+          p->grad(e, 0) += alpha * (n.grad(e, 0) -
+                                    static_cast<float>(gdot[group[e]]));
+        }
+      });
+}
+
+}  // namespace privim

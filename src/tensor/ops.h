@@ -1,0 +1,110 @@
+#ifndef PRIVIM_TENSOR_OPS_H_
+#define PRIVIM_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace privim {
+
+/// Differentiable op library for the autograd `Tensor`.
+///
+/// All ops validate shapes with PRIVIM_CHECK (shape bugs are programmer
+/// errors, not recoverable conditions). Every op returns a fresh node wired
+/// into the tape; gradients flow to any parent with requires_grad.
+
+// ---------------------------------------------------------------------------
+// Linear algebra.
+// ---------------------------------------------------------------------------
+
+/// Dense matrix product: [m,k] x [k,n] -> [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Elementwise sum; shapes must match.
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise difference; shapes must match.
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise (Hadamard) product; shapes must match.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Adds a [1,n] bias row to every row of a [m,n] tensor.
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias);
+
+/// Scales every entry by the (non-differentiable) constant c.
+Tensor Scale(const Tensor& x, float c);
+
+/// Adds the (non-differentiable) constant c to every entry.
+Tensor AddScalar(const Tensor& x, float c);
+
+/// Multiplies x elementwise by the [1,1] differentiable scalar s
+/// (used for GIN's learnable (1 + omega)).
+Tensor ScaleByScalar(const Tensor& x, const Tensor& s);
+
+/// Concatenates along columns: [m,a] ++ [m,b] -> [m,a+b].
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Activations / elementwise nonlinearities.
+// ---------------------------------------------------------------------------
+
+Tensor Relu(const Tensor& x);
+Tensor LeakyRelu(const Tensor& x, float slope = 0.2f);
+Tensor SigmoidOp(const Tensor& x);
+Tensor TanhOp(const Tensor& x);
+Tensor ExpOp(const Tensor& x);
+/// log(x + eps), elementwise.
+Tensor LogOp(const Tensor& x, float eps = 1e-12f);
+
+/// The paper's phi surrogate mapping aggregated influence mass to a
+/// probability: phi(z) = 1 - exp(-max(z, 0)). Smooth, monotone, in [0, 1),
+/// and an upper-bounding companion of the IC non-activation product
+/// (Theorem 2; see tests/core/loss_test.cc for the bound check).
+Tensor InfluenceProb(const Tensor& z);
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+/// Sum of all entries -> [1,1].
+Tensor Sum(const Tensor& x);
+
+/// Mean of all entries -> [1,1].
+Tensor MeanAll(const Tensor& x);
+
+/// Row-wise sum: [m,n] -> [m,1].
+Tensor RowSum(const Tensor& x);
+
+// ---------------------------------------------------------------------------
+// Graph / edge-indexed ops (message passing).
+// ---------------------------------------------------------------------------
+
+/// Gathers rows: out[i] = x[index[i]]. index values must be < x.rows().
+Tensor GatherRows(const Tensor& x, const std::vector<uint32_t>& index);
+
+/// out[dst[e]] += coef[e] * x[src[e]] for each edge e; out has
+/// `num_out` rows. `coef` is a constant (non-differentiable) per-edge
+/// weight vector — the workhorse for GCN/SAGE/GIN aggregation.
+Tensor ScatterAddRows(const Tensor& x, const std::vector<uint32_t>& src,
+                      const std::vector<uint32_t>& dst,
+                      const std::vector<float>& coef, size_t num_out);
+
+/// Like ScatterAddRows but with a differentiable [E,1] coefficient tensor
+/// (attention weights): out[dst[e]] += alpha[e] * x[src[e]].
+Tensor WeightedScatterAddRows(const Tensor& alpha, const Tensor& x,
+                              const std::vector<uint32_t>& src,
+                              const std::vector<uint32_t>& dst,
+                              size_t num_out);
+
+/// Softmax of scores [E,1] within groups: alpha[e] =
+/// exp(s[e]) / sum_{e': group[e']==group[e]} exp(s[e']). Numerically
+/// stabilized per group. Used for GAT (group = target) and GRAT
+/// (group = source) attention normalization.
+Tensor SegmentSoftmax(const Tensor& scores,
+                      const std::vector<uint32_t>& group, size_t num_groups);
+
+}  // namespace privim
+
+#endif  // PRIVIM_TENSOR_OPS_H_

@@ -1,0 +1,106 @@
+#include "tensor/tensor.h"
+
+#include <unordered_set>
+
+namespace privim {
+
+using internal::TensorNode;
+
+Tensor::Tensor(Matrix value, bool requires_grad) {
+  node_ = std::make_shared<TensorNode>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Tensor Tensor::Scalar(float v) {
+  Matrix m(1, 1);
+  m(0, 0) = v;
+  return Tensor(std::move(m));
+}
+
+const Matrix& Tensor::value() const {
+  PRIVIM_CHECK(defined());
+  return node_->value;
+}
+
+Matrix& Tensor::mutable_value() {
+  PRIVIM_CHECK(defined());
+  return node_->value;
+}
+
+const Matrix& Tensor::grad() const {
+  PRIVIM_CHECK(defined());
+  node_->EnsureGrad();
+  return node_->grad;
+}
+
+bool Tensor::requires_grad() const {
+  PRIVIM_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Tensor::ZeroGrad() {
+  PRIVIM_CHECK(defined());
+  node_->EnsureGrad();
+  node_->grad.Fill(0.0f);
+}
+
+void Tensor::Backward() const {
+  PRIVIM_CHECK(defined());
+  PRIVIM_CHECK_EQ(node_->value.rows(), 1u);
+  PRIVIM_CHECK_EQ(node_->value.cols(), 1u);
+
+  // Iterative post-order DFS to get a topological order (children after
+  // parents in `order`, we then walk it in reverse).
+  std::vector<TensorNode*> order;
+  std::unordered_set<TensorNode*> visited;
+  struct Frame {
+    TensorNode* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      TensorNode* parent = frame.node->parents[frame.next_parent++].get();
+      if (!visited.contains(parent)) {
+        visited.insert(parent);
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed: d(loss)/d(loss) = 1. Ensure every reachable node has a zeroed
+  // grad buffer before accumulation (leaf/parameter grads persist across
+  // Backward calls by design; intermediates are fresh objects anyway).
+  for (TensorNode* n : order) n->EnsureGrad();
+  node_->grad(0, 0) += 1.0f;
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorNode* n = *it;
+    if (n->backward && n->requires_grad) n->backward(*n);
+  }
+}
+
+Tensor TensorOpBuilder::Make(
+    Matrix value, std::vector<Tensor> parents,
+    std::function<void(internal::TensorNode&)> backward) {
+  Tensor out(std::move(value));
+  for (const Tensor& p : parents) {
+    PRIVIM_CHECK(p.defined());
+    out.node_->parents.push_back(p.node_);
+    out.node_->requires_grad =
+        out.node_->requires_grad || p.node_->requires_grad;
+  }
+  if (out.node_->requires_grad) {
+    out.node_->backward = std::move(backward);
+  }
+  return out;
+}
+
+}  // namespace privim

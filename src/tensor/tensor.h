@@ -1,0 +1,98 @@
+#ifndef PRIVIM_TENSOR_TENSOR_H_
+#define PRIVIM_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace privim {
+
+namespace internal {
+struct TensorNode;
+}  // namespace internal
+
+/// A node in a dynamically built reverse-mode autodiff graph.
+///
+/// `Tensor` is a cheap shared handle: copying it aliases the same node.
+/// The value is a dense `Matrix`; gradients are materialized on demand by
+/// `Backward()`. The op library lives in tensor/ops.h.
+///
+/// Lifetime: each training step builds a fresh graph (define-by-run, like
+/// PyTorch); releasing the final handle frees the whole graph.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Wraps a value as a leaf. `requires_grad` marks trainable parameters.
+  explicit Tensor(Matrix value, bool requires_grad = false);
+
+  /// Convenience scalar constant leaf.
+  static Tensor Scalar(float v);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Matrix& value() const;
+  Matrix& mutable_value();
+
+  /// The accumulated gradient; zero-shaped until Backward() reaches it.
+  const Matrix& grad() const;
+
+  bool requires_grad() const;
+
+  size_t rows() const { return value().rows(); }
+  size_t cols() const { return value().cols(); }
+
+  /// Clears this node's gradient (used between per-sample passes).
+  void ZeroGrad();
+
+  /// Runs backpropagation from this scalar (1x1) tensor through the graph.
+  /// Accumulates into the `grad()` of every reachable node that requires
+  /// grad. Callers must zero parameter grads between calls if accumulation
+  /// across samples is not wanted.
+  void Backward() const;
+
+ private:
+  friend class TensorOpBuilder;
+  std::shared_ptr<internal::TensorNode> node_;
+};
+
+namespace internal {
+
+struct TensorNode {
+  Matrix value;
+  Matrix grad;  // Same shape as value once touched by backward.
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  /// Propagates this node's grad into its parents' grads.
+  std::function<void(TensorNode&)> backward;
+
+  void EnsureGrad() {
+    if (!grad.SameShape(value)) {
+      grad = Matrix::Zeros(value.rows(), value.cols());
+    }
+  }
+};
+
+}  // namespace internal
+
+/// Internal helper for defining ops: wires parents + backward closure.
+/// Public only for the op library in tensor/ops.cc.
+class TensorOpBuilder {
+ public:
+  /// Creates a result node holding `value` with the given parents. The
+  /// backward closure receives the result node (whose `grad` is populated)
+  /// and must scatter into `parents[i]->grad` (already allocated) for every
+  /// parent that requires grad.
+  static Tensor Make(Matrix value, std::vector<Tensor> parents,
+                     std::function<void(internal::TensorNode&)> backward);
+
+  static const std::shared_ptr<internal::TensorNode>& node(const Tensor& t) {
+    return t.node_;
+  }
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_TENSOR_TENSOR_H_

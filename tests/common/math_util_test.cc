@@ -1,0 +1,152 @@
+#include "common/math_util.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(LogBinomialTest, SmallValuesExact) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 5), std::log(252.0), 1e-12);
+  EXPECT_DOUBLE_EQ(LogBinomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomial(7, 7), 0.0);
+}
+
+TEST(LogBinomialTest, SymmetryAndPascal) {
+  for (int64_t n = 2; n <= 30; ++n) {
+    for (int64_t k = 0; k <= n; ++k) {
+      EXPECT_NEAR(LogBinomial(n, k), LogBinomial(n, n - k), 1e-9);
+    }
+  }
+  // C(n,k) = C(n-1,k-1) + C(n-1,k) spot check at n=20,k=7 in linear space.
+  const double lhs = std::exp(LogBinomial(20, 7));
+  const double rhs =
+      std::exp(LogBinomial(19, 6)) + std::exp(LogBinomial(19, 7));
+  EXPECT_NEAR(lhs, rhs, rhs * 1e-9);
+}
+
+TEST(LogBinomialTest, LargeValuesFinite) {
+  const double v = LogBinomial(1000000, 500000);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(LogSumExpTest, MatchesDirectComputationWhenSafe) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const double direct =
+      std::log(std::exp(0.0) + std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(LogSumExp(xs), direct, 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeInputs) {
+  const std::vector<double> xs = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(xs), 1000.0 + std::log(2.0), 1e-9);
+  const std::vector<double> neg = {-1000.0, -1001.0};
+  EXPECT_TRUE(std::isfinite(LogSumExp(neg)));
+}
+
+TEST(LogSumExpTest, EmptyIsMinusInfinity) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogSumExpTest, SingleElementIdentity) {
+  const std::vector<double> xs = {3.7};
+  EXPECT_NEAR(LogSumExp(xs), 3.7, 1e-12);
+}
+
+TEST(GammaPdfTest, MatchesClosedFormExponential) {
+  // Gamma(shape=1, scale=psi) is Exponential(1/psi).
+  for (double x : {0.1, 1.0, 5.0}) {
+    EXPECT_NEAR(GammaPdf(x, 1.0, 2.0), std::exp(-x / 2.0) / 2.0, 1e-12);
+  }
+}
+
+TEST(GammaPdfTest, ZeroOutsideSupport) {
+  EXPECT_EQ(GammaPdf(0.0, 2.0, 1.0), 0.0);
+  EXPECT_EQ(GammaPdf(-1.0, 2.0, 1.0), 0.0);
+}
+
+TEST(GammaPdfTest, ModeAtShapeMinusOneTimesScale) {
+  // For shape>1 the mode is (beta-1)*psi; pdf should peak there.
+  const double beta = 3.0, psi = 2.0;
+  const double mode = (beta - 1.0) * psi;
+  const double at_mode = GammaPdf(mode, beta, psi);
+  EXPECT_GT(at_mode, GammaPdf(mode - 0.5, beta, psi));
+  EXPECT_GT(at_mode, GammaPdf(mode + 0.5, beta, psi));
+}
+
+TEST(GammaPdfTest, IntegratesToOne) {
+  // Trapezoid over [0, 60] for shape 2.5, scale 3.
+  double integral = 0.0;
+  const double dx = 0.01;
+  for (double x = dx; x < 60.0; x += dx) {
+    integral += GammaPdf(x, 2.5, 3.0) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(SigmoidTest, ValuesAndSymmetry) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  for (double x : {0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(L2NormTest, FloatAndDouble) {
+  const std::vector<float> f = {3.0f, 4.0f};
+  EXPECT_NEAR(L2Norm(std::span<const float>(f)), 5.0, 1e-6);
+  const std::vector<double> d = {1.0, 2.0, 2.0};
+  EXPECT_NEAR(L2Norm(std::span<const double>(d)), 3.0, 1e-12);
+}
+
+TEST(ClipL2Test, NoOpBelowBound) {
+  std::vector<float> v = {0.3f, 0.4f};  // Norm 0.5.
+  const double pre = ClipL2(v, 1.0);
+  EXPECT_NEAR(pre, 0.5, 1e-6);
+  EXPECT_FLOAT_EQ(v[0], 0.3f);
+  EXPECT_FLOAT_EQ(v[1], 0.4f);
+}
+
+TEST(ClipL2Test, ScalesDownToBound) {
+  std::vector<float> v = {3.0f, 4.0f};  // Norm 5.
+  const double pre = ClipL2(v, 1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(L2Norm(std::span<const float>(v)), 1.0, 1e-6);
+  // Direction preserved.
+  EXPECT_NEAR(v[1] / v[0], 4.0 / 3.0, 1e-5);
+}
+
+TEST(MeanStdDevTest, KnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(Mean(xs), 5.0, 1e-12);
+  // Sample stddev with n-1: sqrt(32/7).
+  EXPECT_NEAR(StdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(StdDev(one), 0.0);
+}
+
+TEST(LeastSquaresTest, RecoversExactLine) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit fit = LeastSquares(xs, ys);
+  EXPECT_NEAR(fit.k, 2.5, 1e-12);
+  EXPECT_NEAR(fit.b, -1.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, MinimizesResidualForNoisyData) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {0.1, 0.9, 2.1, 2.9};
+  const LinearFit fit = LeastSquares(xs, ys);
+  EXPECT_NEAR(fit.k, 1.0, 0.05);
+  EXPECT_NEAR(fit.b, 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace privim

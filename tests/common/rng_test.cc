@@ -1,0 +1,193 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianMeanStddevScaling) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian(3.0, 2.0);
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, LaplaceSymmetricWithCorrectScale) {
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0.0, abs_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double l = rng.Laplace(1.5);
+    sum += l;
+    abs_sum += std::abs(l);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  // E|Laplace(b)| = b.
+  EXPECT_NEAR(abs_sum / n, 1.5, 0.05);
+}
+
+TEST(RngTest, DiscreteProportionalToWeights) {
+  Rng rng(31);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const size_t pick = rng.Discrete(weights);
+    ASSERT_LT(pick, weights.size());
+    ++counts[pick];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / trials, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / trials, 0.75, 0.01);
+}
+
+TEST(RngTest, DiscreteAllZeroReturnsSize) {
+  Rng rng(37);
+  const std::vector<double> weights = {0.0, 0.0, -1.0};
+  EXPECT_EQ(rng.Discrete(weights), weights.size());
+}
+
+TEST(RngTest, DiscreteNegativeWeightsIgnored) {
+  Rng rng(41);
+  const std::vector<double> weights = {-5.0, 2.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Discrete(weights), 1u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(47);
+  for (uint32_t k : {1u, 5u, 20u}) {
+    auto sample = rng.SampleWithoutReplacement(20, k);
+    ASSERT_EQ(sample.size(), k);
+    std::sort(sample.begin(), sample.end());
+    EXPECT_EQ(std::unique(sample.begin(), sample.end()), sample.end());
+    for (uint32_t s : sample) EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementUniform) {
+  Rng rng(53);
+  std::vector<int> counts(6, 0);
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    for (uint32_t s : rng.SampleWithoutReplacement(6, 2)) ++counts[s];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 2.0 / 6.0, 0.02);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(61);
+  Rng child = a.Fork();
+  // The child stream should not just replay the parent.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const uint64_t first = sm.Next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.Next(), first);
+  EXPECT_NE(sm.Next(), first);
+}
+
+}  // namespace
+}  // namespace privim

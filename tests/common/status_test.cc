@@ -1,0 +1,105 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace privim {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string_view name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::OutOfRange("b"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::NotFound("c"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("d"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::Internal("f"), StatusCode::kInternal, "Internal"},
+      {Status::Unimplemented("g"), StatusCode::kUnimplemented,
+       "Unimplemented"},
+      {Status::IoError("h"), StatusCode::kIoError, "IoError"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(StatusCodeToString(c.code), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Status FailsAtStep(int fail_at, int step) {
+  if (step == fail_at) return Status::Internal("boom");
+  return Status::OK();
+}
+
+Status Chain(int fail_at) {
+  PRIVIM_RETURN_NOT_OK(FailsAtStep(fail_at, 0));
+  PRIVIM_RETURN_NOT_OK(FailsAtStep(fail_at, 1));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Chain(-1).ok());
+  EXPECT_EQ(Chain(0).code(), StatusCode::kInternal);
+  EXPECT_EQ(Chain(1).code(), StatusCode::kInternal);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  PRIVIM_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return 2 * v;
+}
+
+TEST(ResultTest, HoldsValueOrError) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+
+  Result<int> err = ParsePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*DoublePositive(4), 8);
+  EXPECT_FALSE(DoublePositive(0).ok());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string moved = std::move(r).ValueOrDie();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> err = Status::Internal("boom");
+  EXPECT_DEATH((void)err.ValueOrDie(), "boom");
+}
+
+}  // namespace
+}  // namespace privim

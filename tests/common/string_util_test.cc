@@ -1,0 +1,57 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{});
+  EXPECT_EQ(Split(",,", ','), std::vector<std::string>{});
+  EXPECT_EQ(Split("solo", ','), std::vector<std::string>{"solo"});
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  const std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(Join(pieces, "-"), "x-y-z");
+  EXPECT_EQ(Split(Join(pieces, ","), ','), pieces);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", "abc"), "abc");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string big(500, 'x');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+TEST(TrimTest, StripsWhitespace) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\na b\r\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("privim", "priv"));
+  EXPECT_TRUE(StartsWith("privim", ""));
+  EXPECT_FALSE(StartsWith("priv", "privim"));
+  EXPECT_FALSE(StartsWith("privim", "rivi"));
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.005, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace privim

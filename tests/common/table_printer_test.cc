@@ -1,0 +1,56 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Name", "Value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a much longer name", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  // Header, separator, two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // All lines have equal width.
+  std::istringstream is(out);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter table({"A", "B", "C"});
+  table.AddRow({"only one"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("only one"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, DoubleRowFormatsValues) {
+  TablePrinter table({"method", "e1", "e2"});
+  table.AddRow("PrivIM*", {93.756, 94.5}, 2);
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("93.76"), std::string::npos);
+  EXPECT_NE(os.str().find("94.50"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MarkdownCompatibleSeparator) {
+  TablePrinter table({"x"});
+  table.AddRow({"1"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("|---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,81 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(PrepareDatasetTest, SplitsAndComputesCelfReference) {
+  DatasetInstance instance =
+      std::move(PrepareDataset(DatasetId::kEmail, /*seed=*/1,
+                               /*seed_count=*/20, /*eval_steps=*/1,
+                               /*scale=*/0.3))
+          .ValueOrDie();
+  EXPECT_EQ(instance.spec.id, DatasetId::kEmail);
+  EXPECT_EQ(instance.train_graph.num_nodes() +
+                instance.eval_graph.num_nodes(),
+            instance.full.num_nodes());
+  EXPECT_GT(instance.celf_spread, 20.0);  // Beyond the seeds themselves.
+  EXPECT_EQ(instance.celf_seeds.size(), 20u);
+}
+
+TEST(PrepareDatasetTest, DeterministicGivenSeed) {
+  DatasetInstance a =
+      std::move(PrepareDataset(DatasetId::kBitcoin, 7, 10, 1, 0.2))
+          .ValueOrDie();
+  DatasetInstance b =
+      std::move(PrepareDataset(DatasetId::kBitcoin, 7, 10, 1, 0.2))
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(a.celf_spread, b.celf_spread);
+  EXPECT_EQ(a.celf_seeds, b.celf_seeds);
+}
+
+TEST(EvaluateMethodTest, AggregatesRepeats) {
+  DatasetInstance instance =
+      std::move(PrepareDataset(DatasetId::kEmail, 2, 10, 1, 0.3))
+          .ValueOrDie();
+  PrivImConfig cfg = MakeDefaultConfig(
+      Method::kNonPrivate, 1.0, instance.train_graph.num_nodes());
+  cfg.train.iterations = 8;
+  cfg.train.batch_size = 4;
+  cfg.seed_count = 10;
+  cfg.freq.subgraph_size = 16;
+  MethodEval eval =
+      std::move(EvaluateMethod(instance, cfg, /*repeats=*/2, 3))
+          .ValueOrDie();
+  EXPECT_GT(eval.mean_spread, 0.0);
+  EXPECT_GT(eval.mean_coverage, 0.0);
+  EXPECT_LE(eval.mean_coverage, 130.0);
+  EXPECT_GE(eval.std_coverage, 0.0);
+}
+
+TEST(EvaluateMethodTest, RejectsZeroRepeats) {
+  DatasetInstance instance =
+      std::move(PrepareDataset(DatasetId::kEmail, 4, 10, 1, 0.3))
+          .ValueOrDie();
+  PrivImConfig cfg = MakeDefaultConfig(
+      Method::kNonPrivate, 1.0, instance.train_graph.num_nodes());
+  EXPECT_FALSE(EvaluateMethod(instance, cfg, 0, 5).ok());
+}
+
+TEST(EnvHelpersTest, DefaultsAndOverrides) {
+  unsetenv("PRIVIM_REPEATS");
+  unsetenv("PRIVIM_SCALE");
+  EXPECT_EQ(RepeatsFromEnv(3), 3u);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 1.0);
+  setenv("PRIVIM_REPEATS", "5", 1);
+  setenv("PRIVIM_SCALE", "0.5", 1);
+  EXPECT_EQ(RepeatsFromEnv(3), 5u);
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 0.5);
+  setenv("PRIVIM_REPEATS", "-2", 1);
+  setenv("PRIVIM_SCALE", "0.001", 1);
+  EXPECT_EQ(RepeatsFromEnv(3), 3u);  // Invalid -> fallback.
+  EXPECT_DOUBLE_EQ(ScaleFromEnv(), 1.0);
+  unsetenv("PRIVIM_REPEATS");
+  unsetenv("PRIVIM_SCALE");
+}
+
+}  // namespace
+}  // namespace privim

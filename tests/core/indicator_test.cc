@@ -1,0 +1,135 @@
+#include "core/indicator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(IndicatorShapeTest, Eq12FunctionalForms) {
+  IndicatorParams p;  // Paper defaults.
+  const size_t v = 7600;  // LastFM.
+  EXPECT_NEAR(BetaN(v, p), 0.47 * std::log(7600.0) - 1.03, 1e-9);
+  EXPECT_NEAR(BetaM(v, p), 4.02 / std::log(7600.0) + 1.22, 1e-9);
+}
+
+TEST(IndicatorShapeTest, BetaNGrowsWithDatasetSize) {
+  IndicatorParams p;
+  EXPECT_LT(BetaN(1000, p), BetaN(196000, p));
+  // beta_M shrinks with |V| (larger datasets -> smaller optimal M).
+  EXPECT_GT(BetaM(1000, p), BetaM(196000, p));
+}
+
+TEST(IndicatorSurfaceTest, NormalizedToUnitMax) {
+  IndicatorParams p;
+  const std::vector<double> n_grid = {10, 20, 40, 60, 80};
+  const std::vector<double> m_grid = {2, 4, 6, 8, 10};
+  const auto surface = IndicatorSurface(n_grid, m_grid, 7600, p);
+  double max_val = 0.0;
+  for (const auto& row : surface) {
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+      max_val = std::max(max_val, v);
+    }
+  }
+  EXPECT_NEAR(max_val, 1.0, 1e-12);
+}
+
+TEST(IndicatorSurfaceTest, UnimodalAlongEachAxis) {
+  // The Gamma pdf is unimodal; on a fine grid the indicator should rise to
+  // a peak then fall along each axis (with the other fixed).
+  IndicatorParams p;
+  std::vector<double> n_grid, m_grid;
+  for (double n = 5; n <= 120; n += 5) n_grid.push_back(n);
+  for (double m = 1; m <= 14; m += 1) m_grid.push_back(m);
+  const auto surface = IndicatorSurface(n_grid, m_grid, 22500, p);
+  // Check the middle column.
+  const size_t j = m_grid.size() / 2;
+  int direction_changes = 0;
+  for (size_t i = 2; i < n_grid.size(); ++i) {
+    const double d_prev = surface[i - 1][j] - surface[i - 2][j];
+    const double d_cur = surface[i][j] - surface[i - 1][j];
+    if (d_prev > 0 && d_cur < 0) ++direction_changes;
+    if (d_prev < 0 && d_cur > 0) {
+      ADD_FAILURE() << "indicator rose after falling at n=" << n_grid[i];
+    }
+  }
+  EXPECT_LE(direction_changes, 1);
+}
+
+TEST(IndicatorPeakTest, LargerDatasetsPreferLargerNSmallerM) {
+  IndicatorParams p;
+  std::vector<double> n_grid, m_grid;
+  for (double n = 5; n <= 120; n += 1) n_grid.push_back(n);
+  for (double m = 1; m <= 14; m += 0.5) m_grid.push_back(m);
+  const IndicatorPeak small = FindIndicatorPeak(n_grid, m_grid, 1000, p);
+  const IndicatorPeak large =
+      FindIndicatorPeak(n_grid, m_grid, 196000, p);
+  EXPECT_GT(large.n, small.n);
+  EXPECT_LE(large.m, small.m);
+}
+
+TEST(IndicatorPeakTest, PeakMatchesGammaMode) {
+  // Peak of the n-component is at (beta_n - 1) psi_n when that lies inside
+  // the grid.
+  IndicatorParams p;
+  std::vector<double> n_grid;
+  for (double n = 1; n <= 200; n += 0.5) n_grid.push_back(n);
+  const std::vector<double> m_grid = {4.0};
+  const size_t v = 196000;
+  const IndicatorPeak peak = FindIndicatorPeak(n_grid, m_grid, v, p);
+  const double expected_mode = (BetaN(v, p) - 1.0) * p.psi_n;
+  EXPECT_NEAR(peak.n, expected_mode, 1.0);
+}
+
+TEST(IndicatorFitTest, RecoversPlantedLineForN) {
+  // Plant k_n = 0.5, b_n = -1.2 and generate exact optimal n values from
+  // the Gamma-mode identity; the fit must recover the parameters.
+  const double psi_n = 25.0, k_true = 0.5, b_true = -1.2;
+  std::vector<IndicatorObservation> obs;
+  for (size_t v : {1000u, 5900u, 7600u, 22500u, 196000u}) {
+    const double beta = k_true * std::log(static_cast<double>(v)) + b_true;
+    obs.push_back({v, (beta - 1.0) * psi_n});
+  }
+  IndicatorParams fitted =
+      std::move(FitIndicatorN(obs, psi_n)).ValueOrDie();
+  EXPECT_NEAR(fitted.k_n, k_true, 1e-9);
+  EXPECT_NEAR(fitted.b_n, b_true, 1e-9);
+}
+
+TEST(IndicatorFitTest, RecoversPlantedLineForM) {
+  const double psi_m = 5.0, k_true = 4.0, b_true = 1.3;
+  std::vector<IndicatorObservation> obs;
+  for (size_t v : {1000u, 7600u, 22500u, 196000u}) {
+    const double beta =
+        k_true / std::log(static_cast<double>(v)) + b_true;
+    obs.push_back({v, (beta - 1.0) * psi_m});
+  }
+  IndicatorParams fitted =
+      std::move(FitIndicatorM(obs, psi_m)).ValueOrDie();
+  EXPECT_NEAR(fitted.k_m, k_true, 1e-9);
+  EXPECT_NEAR(fitted.b_m, b_true, 1e-9);
+}
+
+TEST(IndicatorFitTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(FitIndicatorN({{1000, 30.0}}, 25.0).ok());
+  EXPECT_FALSE(
+      FitIndicatorN({{1000, 30.0}, {2000, 35.0}}, 0.0).ok());
+  EXPECT_FALSE(FitIndicatorM({{2, 5.0}, {1000, 4.0}}, 5.0).ok());
+}
+
+TEST(IndicatorRawTest, HandlesTinyShapeGracefully) {
+  // For pathological params beta could go non-positive; the implementation
+  // clamps and must not crash or return NaN.
+  IndicatorParams p;
+  p.k_n = -10.0;
+  p.b_n = 0.0;
+  const double v = IndicatorRaw(20.0, 4.0, 1000, p);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GE(v, 0.0);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,132 @@
+// End-to-end integration: the full PrivIM* pipeline on a small dataset,
+// asserting the paper's qualitative claims at miniature scale.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/privim.h"
+#include "im/metrics.h"
+
+namespace privim {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    instance_ = new DatasetInstance(
+        std::move(PrepareDataset(DatasetId::kEmail, /*seed=*/11,
+                                 /*seed_count=*/15, /*eval_steps=*/1,
+                                 /*scale=*/0.5))
+            .ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete instance_;
+    instance_ = nullptr;
+  }
+
+  static PrivImConfig Config(Method method, double epsilon) {
+    PrivImConfig cfg = MakeDefaultConfig(
+        method, epsilon, instance_->train_graph.num_nodes());
+    cfg.train.iterations = 30;
+    cfg.train.batch_size = 8;
+    cfg.seed_count = 15;
+    cfg.freq.subgraph_size = 20;
+    cfg.rwr.subgraph_size = 20;
+    return cfg;
+  }
+
+  static double Coverage(Method method, double epsilon, uint64_t seed) {
+    Rng rng(seed);
+    PrivImRunResult run =
+        std::move(RunMethod(instance_->train_graph, instance_->eval_graph,
+                            Config(method, epsilon), rng))
+            .ValueOrDie();
+    return CoverageRatioPercent(run.spread, instance_->celf_spread);
+  }
+
+  static DatasetInstance* instance_;
+};
+
+DatasetInstance* PipelineTest::instance_ = nullptr;
+
+TEST_F(PipelineTest, NonPrivateApproachesCelf) {
+  // The paper's non-private GNN reaches ~97-99% of CELF. At miniature
+  // scale and training budget we require a solid majority.
+  const double coverage = Coverage(Method::kNonPrivate, 1.0, 1);
+  EXPECT_GT(coverage, 60.0);
+  EXPECT_LE(coverage, 130.0);
+}
+
+TEST_F(PipelineTest, PrivateStarIsUsableAtModerateBudget) {
+  const double coverage = Coverage(Method::kPrivImStar, 4.0, 2);
+  EXPECT_GT(coverage, 30.0);
+}
+
+TEST_F(PipelineTest, StarBeatsNaiveOnAverage) {
+  // The central claim (Table II): the dual-stage scheme beats the naive
+  // pipeline at equal epsilon. The miniature Email instance is too small
+  // to differentiate the samplers, so this check runs on a LastFM-scale
+  // graph with the most noise-stable backbone (GCN), averaged over seeds.
+  DatasetInstance instance =
+      std::move(PrepareDataset(DatasetId::kLastFm, /*seed=*/21,
+                               /*seed_count=*/30, /*eval_steps=*/1,
+                               /*scale=*/0.5))
+          .ValueOrDie();
+  double star_total = 0.0, naive_total = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (Method method : {Method::kPrivImStar, Method::kPrivIm}) {
+      PrivImConfig cfg = MakeDefaultConfig(
+          method, 2.0, instance.train_graph.num_nodes());
+      cfg.gnn.type = GnnType::kGcn;
+      cfg.seed_count = 30;
+      Rng rng(seed * 17);
+      PrivImRunResult run =
+          std::move(RunMethod(instance.train_graph, instance.eval_graph,
+                              cfg, rng))
+              .ValueOrDie();
+      (method == Method::kPrivImStar ? star_total : naive_total) +=
+          run.spread;
+    }
+  }
+  EXPECT_GT(star_total, naive_total);
+}
+
+TEST_F(PipelineTest, OccurrenceAuditHoldsAcrossMethods) {
+  for (Method method : {Method::kPrivIm, Method::kPrivImScs,
+                        Method::kPrivImStar, Method::kHpGrat}) {
+    Rng rng(77);
+    PrivImRunResult run =
+        std::move(RunMethod(instance_->train_graph, instance_->eval_graph,
+                            Config(method, 4.0), rng))
+            .ValueOrDie();
+    EXPECT_LE(run.audited_max_occurrence, run.occurrence_bound)
+        << MethodName(method);
+  }
+}
+
+TEST_F(PipelineTest, EpsilonSpentNeverExceedsBudget) {
+  for (double eps : {1.0, 3.0, 6.0}) {
+    Rng rng(88);
+    PrivImRunResult run =
+        std::move(RunMethod(instance_->train_graph, instance_->eval_graph,
+                            Config(Method::kPrivImStar, eps), rng))
+            .ValueOrDie();
+    EXPECT_LE(run.epsilon_spent, eps + 1e-6) << "epsilon " << eps;
+  }
+}
+
+TEST_F(PipelineTest, LargerBudgetGetsLessNoise) {
+  Rng ra(99), rb(99);
+  PrivImRunResult tight =
+      std::move(RunMethod(instance_->train_graph, instance_->eval_graph,
+                          Config(Method::kPrivImStar, 1.0), ra))
+          .ValueOrDie();
+  PrivImRunResult loose =
+      std::move(RunMethod(instance_->train_graph, instance_->eval_graph,
+                          Config(Method::kPrivImStar, 6.0), rb))
+          .ValueOrDie();
+  EXPECT_GT(tight.noise_stddev, loose.noise_stddev);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,154 @@
+// Additional loss tests: finite-difference gradient checks of the full
+// Eq.-5 loss (single and multi-step), scale invariance properties, and
+// behavior with fractional IC weights.
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/loss.h"
+#include "graph/generators.h"
+#include "nn/graph_context.h"
+#include "tensor/ops.h"
+
+namespace privim {
+namespace {
+
+Matrix RandomProbs(size_t n, Rng& rng) {
+  Matrix m(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    m(i, 0) = static_cast<float>(rng.Uniform(0.05, 0.95));
+  }
+  return m;
+}
+
+void CheckLossGradient(const GraphContext& ctx, Matrix probs,
+                       const ImLossConfig& cfg, double tol = 3e-2) {
+  Tensor x(std::move(probs), /*requires_grad=*/true);
+  Tensor loss = ImPenaltyLoss(ctx, x, cfg);
+  x.ZeroGrad();
+  loss.Backward();
+  const Matrix analytic = x.grad();
+
+  const double eps = 1e-3;
+  Matrix& value = x.mutable_value();
+  for (size_t i = 0; i < value.size(); ++i) {
+    const float orig = value.data()[i];
+    value.data()[i] = orig + static_cast<float>(eps);
+    const double up = ImPenaltyLoss(ctx, x, cfg).value()(0, 0);
+    value.data()[i] = orig - static_cast<float>(eps);
+    const double down = ImPenaltyLoss(ctx, x, cfg).value()(0, 0);
+    value.data()[i] = orig;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric,
+                tol * std::max(0.05, std::abs(numeric)))
+        << "node " << i;
+  }
+}
+
+class LossGradientTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossGradientTest, MatchesFiniteDifferences) {
+  Rng gen(100 + GetParam());
+  Graph g = std::move(ErdosRenyi(12, 0.25, true, gen)).ValueOrDie();
+  GraphContext ctx = BuildGraphContext(g);
+  Rng rng(7);
+  ImLossConfig cfg;
+  cfg.diffusion_steps = GetParam();
+  cfg.lambda = 0.3f;
+  CheckLossGradient(ctx, RandomProbs(g.num_nodes(), rng), cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, LossGradientTest, ::testing::Values(1, 2, 3),
+                         [](const auto& info) {
+                           return "j" + std::to_string(info.param);
+                         });
+
+TEST(LossMultiStepTest, FractionalWeightsRespected) {
+  // Two parallel chains into node 2 with different weights: the stronger
+  // edge's source gets the stronger gradient.
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 2, 0.9f).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 0.1f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  GraphContext ctx = BuildGraphContext(g);
+  Matrix x(3, 1, 0.5f);
+  Tensor xt(x, true);
+  ImLossConfig cfg;
+  cfg.lambda = 0.0f;
+  ImPenaltyLoss(ctx, xt, cfg).Backward();
+  // More negative gradient = stronger pull toward seeding.
+  EXPECT_LT(xt.grad()(0, 0), xt.grad()(1, 0));
+}
+
+TEST(LossMultiStepTest, LossIsBounded) {
+  // survival in [0,1] and seed mass in [0,1] bound the loss in
+  // [0, 1 + lambda].
+  Rng gen(5);
+  Graph g = std::move(BarabasiAlbert(60, 3, gen)).ValueOrDie();
+  GraphContext ctx = BuildGraphContext(g);
+  Rng rng(6);
+  ImLossConfig cfg;
+  cfg.diffusion_steps = 3;
+  cfg.lambda = 0.25f;
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor x(RandomProbs(g.num_nodes(), rng));
+    const double loss = ImPenaltyLoss(ctx, x, cfg).value()(0, 0);
+    EXPECT_GE(loss, 0.0);
+    EXPECT_LE(loss, 1.0 + 0.25 + 1e-6);
+  }
+}
+
+TEST(LossMultiStepTest, MoreStepsNeverIncreaseSurvival) {
+  // Adding diffusion steps multiplies survival by factors <= 1, so the
+  // coverage part of the loss is non-increasing in j for fixed x.
+  Rng gen(8);
+  Graph g = std::move(ErdosRenyi(40, 0.1, true, gen)).ValueOrDie();
+  GraphContext ctx = BuildGraphContext(g);
+  Rng rng(9);
+  Matrix probs = RandomProbs(g.num_nodes(), rng);
+  ImLossConfig cfg;
+  cfg.lambda = 0.0f;
+  double prev = 1e9;
+  for (int j = 1; j <= 4; ++j) {
+    cfg.diffusion_steps = j;
+    const double loss = ImPenaltyLoss(ctx, Tensor(probs), cfg).value()(0, 0);
+    EXPECT_LE(loss, prev + 1e-6) << "j=" << j;
+    prev = loss;
+  }
+}
+
+TEST(LossMultiStepTest, SubgraphSizeInvariantScale) {
+  // Mean normalization: duplicating a graph as two disconnected copies
+  // with the same per-node seed probabilities leaves the loss unchanged.
+  GraphBuilder small(3);
+  ASSERT_TRUE(small.AddEdge(0, 1, 1.0f).ok());
+  ASSERT_TRUE(small.AddEdge(1, 2, 1.0f).ok());
+  Graph gs = std::move(small.Build()).ValueOrDie();
+  GraphBuilder doubled(6);
+  ASSERT_TRUE(doubled.AddEdge(0, 1, 1.0f).ok());
+  ASSERT_TRUE(doubled.AddEdge(1, 2, 1.0f).ok());
+  ASSERT_TRUE(doubled.AddEdge(3, 4, 1.0f).ok());
+  ASSERT_TRUE(doubled.AddEdge(4, 5, 1.0f).ok());
+  Graph gd = std::move(doubled.Build()).ValueOrDie();
+
+  Matrix xs(3, 1);
+  xs(0, 0) = 0.8f;
+  xs(1, 0) = 0.3f;
+  xs(2, 0) = 0.1f;
+  Matrix xd(6, 1);
+  for (int copy = 0; copy < 2; ++copy) {
+    for (int i = 0; i < 3; ++i) xd(3 * copy + i, 0) = xs(i, 0);
+  }
+  ImLossConfig cfg;
+  cfg.diffusion_steps = 2;
+  const double ls =
+      ImPenaltyLoss(BuildGraphContext(gs), Tensor(xs), cfg).value()(0, 0);
+  const double ld =
+      ImPenaltyLoss(BuildGraphContext(gd), Tensor(xd), cfg).value()(0, 0);
+  EXPECT_NEAR(ls, ld, 1e-6);
+}
+
+}  // namespace
+}  // namespace privim

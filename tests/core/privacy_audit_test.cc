@@ -1,0 +1,116 @@
+// Privacy audit tests: the guarantees the accountant certifies must match
+// what the pipeline actually does. These tests cross-check the wiring
+// between sampler bounds, sensitivity, calibrated noise and the reported
+// epsilon for every method configuration.
+
+#include <gtest/gtest.h>
+
+#include "core/privim.h"
+#include "dp/rdp_accountant.h"
+#include "dp/sensitivity.h"
+#include "graph/generators.h"
+
+namespace privim {
+namespace {
+
+struct SplitGraphs {
+  Graph train;
+  Graph eval;
+};
+
+SplitGraphs MakeSplitGraphs(uint64_t seed) {
+  Rng rng(seed);
+  SplitGraphs out;
+  out.train = std::move(BarabasiAlbert(500, 4, rng)).ValueOrDie();
+  out.eval = std::move(BarabasiAlbert(500, 4, rng)).ValueOrDie();
+  return out;
+}
+
+PrivImConfig FastConfig(Method method, double epsilon,
+                        const SplitGraphs& graphs) {
+  PrivImConfig cfg =
+      MakeDefaultConfig(method, epsilon, graphs.train.num_nodes());
+  cfg.train.iterations = 10;
+  cfg.train.batch_size = 8;
+  cfg.seed_count = 10;
+  cfg.freq.subgraph_size = 16;
+  cfg.rwr.subgraph_size = 16;
+  return cfg;
+}
+
+class PrivacyAuditTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(PrivacyAuditTest, ReportedNoiseMatchesRecomputedAccounting) {
+  SplitGraphs graphs = MakeSplitGraphs(1);
+  PrivImConfig cfg = FastConfig(GetParam(), 3.0, graphs);
+  Rng rng(2);
+  PrivImRunResult run =
+      std::move(RunMethod(graphs.train, graphs.eval, cfg, rng))
+          .ValueOrDie();
+
+  // Recompute: with the run's (N_g, m, B, T, C), the reported sigma must
+  // achieve the reported epsilon under an independent accountant instance.
+  DpSgdSpec spec;
+  spec.max_occurrences = run.occurrence_bound;
+  spec.container_size = run.container_size;
+  spec.batch_size = std::min(cfg.train.batch_size, run.container_size);
+  spec.iterations = cfg.train.iterations;
+  spec.clip_bound = run.clip_bound_used;
+  RdpAccountant acc = std::move(RdpAccountant::Create(spec)).ValueOrDie();
+  EXPECT_NEAR(acc.Epsilon(run.sigma, cfg.budget.delta), run.epsilon_spent,
+              1e-9);
+  EXPECT_LE(run.epsilon_spent, cfg.budget.epsilon + 1e-6);
+  // Reported noise stddev = sigma * C * N_g.
+  EXPECT_NEAR(run.noise_stddev,
+              run.sigma * NodeSensitivity(run.clip_bound_used,
+                                          run.occurrence_bound),
+              1e-9);
+}
+
+TEST_P(PrivacyAuditTest, OccurrenceAuditUpheld) {
+  SplitGraphs graphs = MakeSplitGraphs(3);
+  PrivImConfig cfg = FastConfig(GetParam(), 2.0, graphs);
+  Rng rng(4);
+  PrivImRunResult run =
+      std::move(RunMethod(graphs.train, graphs.eval, cfg, rng))
+          .ValueOrDie();
+  EXPECT_LE(run.audited_max_occurrence, run.occurrence_bound);
+  EXPECT_GE(run.occurrence_bound, 1u);
+  EXPECT_LE(run.occurrence_bound, run.container_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrivateMethods, PrivacyAuditTest,
+    ::testing::Values(Method::kPrivIm, Method::kPrivImScs,
+                      Method::kPrivImStar, Method::kEgn, Method::kHp,
+                      Method::kHpGrat),
+    [](const auto& info) {
+      std::string name = MethodName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(PrivacyAuditTest, TighterBudgetNeverGetsLessNoise) {
+  SplitGraphs graphs = MakeSplitGraphs(5);
+  double prev_noise = 1e300;
+  for (double eps : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    PrivImConfig cfg = FastConfig(Method::kPrivImStar, eps, graphs);
+    Rng rng(6);
+    PrivImRunResult run =
+        std::move(RunMethod(graphs.train, graphs.eval, cfg, rng))
+            .ValueOrDie();
+    EXPECT_LE(run.noise_stddev, prev_noise + 1e-9) << "eps " << eps;
+    prev_noise = run.noise_stddev;
+  }
+}
+
+TEST(PrivacyAuditTest, DeltaDefaultBelowInverseTrainSize) {
+  PrivImConfig cfg = MakeDefaultConfig(Method::kPrivImStar, 2.0, 1234);
+  EXPECT_LT(cfg.budget.delta, 1.0 / 1234.0);
+  EXPECT_GT(cfg.budget.delta, 0.0);
+}
+
+}  // namespace
+}  // namespace privim

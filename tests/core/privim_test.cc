@@ -1,0 +1,196 @@
+#include "core/privim.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace privim {
+namespace {
+
+// Shared fixture graphs: one dense-enough pair for end-to-end runs.
+struct SplitGraphs {
+  Graph train;
+  Graph eval;
+};
+
+SplitGraphs MakeSplitGraphs(uint64_t seed, size_t n = 600) {
+  Rng rng(seed);
+  SplitGraphs out;
+  out.train = std::move(BarabasiAlbert(n, 4, rng)).ValueOrDie();
+  out.eval = std::move(BarabasiAlbert(n, 4, rng)).ValueOrDie();
+  return out;
+}
+
+PrivImConfig FastConfig(Method method, double epsilon, size_t train_nodes) {
+  PrivImConfig cfg = MakeDefaultConfig(method, epsilon, train_nodes);
+  cfg.train.iterations = 15;
+  cfg.train.batch_size = 8;
+  cfg.freq.subgraph_size = 16;
+  cfg.rwr.subgraph_size = 16;
+  cfg.seed_count = 10;
+  return cfg;
+}
+
+TEST(MethodNameTest, RoundTrips) {
+  for (Method m :
+       {Method::kPrivIm, Method::kPrivImScs, Method::kPrivImStar,
+        Method::kEgn, Method::kHp, Method::kHpGrat, Method::kNonPrivate}) {
+    EXPECT_EQ(*ParseMethod(MethodName(m)), m);
+  }
+  EXPECT_FALSE(ParseMethod("bogus").ok());
+}
+
+TEST(MakeDefaultConfigTest, PaperParameters) {
+  PrivImConfig cfg = MakeDefaultConfig(Method::kPrivImStar, 2.0, 512);
+  EXPECT_DOUBLE_EQ(cfg.budget.epsilon, 2.0);
+  EXPECT_LT(cfg.budget.delta, 1.0 / 512.0);
+  EXPECT_DOUBLE_EQ(cfg.rwr.sampling_rate, 0.5);  // 256/512.
+  EXPECT_EQ(cfg.rwr.walk_length, 200u);
+  EXPECT_EQ(cfg.theta, 10u);
+  EXPECT_DOUBLE_EQ(cfg.rwr.restart_prob, 0.3);
+  EXPECT_EQ(cfg.gnn.num_layers, 3u);
+  EXPECT_EQ(cfg.gnn.hidden_dim, 32u);
+  EXPECT_EQ(cfg.gnn.type, GnnType::kGrat);
+  EXPECT_EQ(cfg.seed_count, 50u);
+}
+
+TEST(MakeDefaultConfigTest, BaselineBackbones) {
+  EXPECT_EQ(MakeDefaultConfig(Method::kEgn, 2.0, 100).gnn.type,
+            GnnType::kGcn);
+  EXPECT_EQ(MakeDefaultConfig(Method::kHp, 2.0, 100).gnn.type,
+            GnnType::kGcn);
+  EXPECT_EQ(MakeDefaultConfig(Method::kHpGrat, 2.0, 100).gnn.type,
+            GnnType::kGrat);
+  EXPECT_GE(MakeDefaultConfig(Method::kNonPrivate, 2.0, 100).budget.epsilon,
+            kNonPrivateEpsilon);
+}
+
+class RunMethodTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(RunMethodTest, EndToEndProducesValidSeeds) {
+  SplitGraphs graphs = MakeSplitGraphs(1);
+  PrivImConfig cfg =
+      FastConfig(GetParam(), 4.0, graphs.train.num_nodes());
+  Rng rng(2);
+  PrivImRunResult result =
+      std::move(RunMethod(graphs.train, graphs.eval, cfg, rng))
+          .ValueOrDie();
+  EXPECT_EQ(result.seeds.size(), cfg.seed_count);
+  std::vector<NodeId> sorted = result.seeds;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (NodeId s : result.seeds) EXPECT_LT(s, graphs.eval.num_nodes());
+  EXPECT_GE(result.spread, static_cast<double>(cfg.seed_count));
+  EXPECT_GT(result.container_size, 0u);
+  EXPECT_LE(result.audited_max_occurrence, result.occurrence_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, RunMethodTest,
+    ::testing::Values(Method::kPrivIm, Method::kPrivImScs,
+                      Method::kPrivImStar, Method::kEgn, Method::kHp,
+                      Method::kHpGrat, Method::kNonPrivate),
+    [](const auto& info) {
+      std::string name = MethodName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(RunMethodTest, PrivateRunsSpendWithinBudget) {
+  SplitGraphs graphs = MakeSplitGraphs(3);
+  PrivImConfig cfg =
+      FastConfig(Method::kPrivImStar, 2.0, graphs.train.num_nodes());
+  Rng rng(4);
+  PrivImRunResult result =
+      std::move(RunMethod(graphs.train, graphs.eval, cfg, rng))
+          .ValueOrDie();
+  EXPECT_LE(result.epsilon_spent, 2.0 + 1e-6);
+  EXPECT_GT(result.sigma, 0.0);
+  EXPECT_GT(result.noise_stddev, 0.0);
+  // For the dual-stage scheme the occurrence bound is M.
+  EXPECT_LE(result.occurrence_bound, cfg.freq.frequency_threshold);
+}
+
+TEST(RunMethodTest, NonPrivateHasNoNoise) {
+  SplitGraphs graphs = MakeSplitGraphs(5);
+  PrivImConfig cfg =
+      FastConfig(Method::kNonPrivate, 1.0, graphs.train.num_nodes());
+  Rng rng(6);
+  PrivImRunResult result =
+      std::move(RunMethod(graphs.train, graphs.eval, cfg, rng))
+          .ValueOrDie();
+  EXPECT_EQ(result.sigma, 0.0);
+  EXPECT_EQ(result.noise_stddev, 0.0);
+}
+
+TEST(RunMethodTest, StarUsesBoundaryStageScsDoesNot) {
+  SplitGraphs graphs = MakeSplitGraphs(7);
+  PrivImConfig star_cfg =
+      FastConfig(Method::kPrivImStar, 4.0, graphs.train.num_nodes());
+  PrivImConfig scs_cfg =
+      FastConfig(Method::kPrivImScs, 4.0, graphs.train.num_nodes());
+  Rng ra(8), rb(8);
+  PrivImRunResult star =
+      std::move(RunMethod(graphs.train, graphs.eval, star_cfg, ra))
+          .ValueOrDie();
+  PrivImRunResult scs =
+      std::move(RunMethod(graphs.train, graphs.eval, scs_cfg, rb))
+          .ValueOrDie();
+  EXPECT_GT(star.stage2_count, 0u);
+  EXPECT_EQ(scs.stage2_count, 0u);
+}
+
+TEST(RunMethodTest, NaiveUsesLemma1Bound) {
+  SplitGraphs graphs = MakeSplitGraphs(9);
+  PrivImConfig cfg =
+      FastConfig(Method::kPrivIm, 4.0, graphs.train.num_nodes());
+  Rng rng(10);
+  PrivImRunResult result =
+      std::move(RunMethod(graphs.train, graphs.eval, cfg, rng))
+          .ValueOrDie();
+  // Lemma 1 with theta=10, r=3 is 1111, clamped to container size.
+  EXPECT_EQ(result.occurrence_bound,
+            std::min<size_t>(1111, result.container_size));
+}
+
+TEST(RunMethodTest, EgnUsesWorstCaseBound) {
+  SplitGraphs graphs = MakeSplitGraphs(11);
+  PrivImConfig cfg =
+      FastConfig(Method::kEgn, 4.0, graphs.train.num_nodes());
+  cfg.egn_subgraph_count = 64;
+  Rng rng(12);
+  PrivImRunResult result =
+      std::move(RunMethod(graphs.train, graphs.eval, cfg, rng))
+          .ValueOrDie();
+  EXPECT_EQ(result.occurrence_bound, result.container_size);
+}
+
+TEST(RunMethodTest, RejectsTooSmallEvalGraph) {
+  SplitGraphs graphs = MakeSplitGraphs(13);
+  Rng gen(14);
+  Graph tiny = std::move(ErdosRenyi(5, 0.5, true, gen)).ValueOrDie();
+  PrivImConfig cfg =
+      FastConfig(Method::kPrivImStar, 4.0, graphs.train.num_nodes());
+  Rng rng(15);
+  EXPECT_FALSE(RunMethod(graphs.train, tiny, cfg, rng).ok());
+}
+
+TEST(RunMethodTest, DeterministicGivenSeed) {
+  SplitGraphs graphs = MakeSplitGraphs(16);
+  PrivImConfig cfg =
+      FastConfig(Method::kPrivImStar, 3.0, graphs.train.num_nodes());
+  Rng ra(17), rb(17);
+  PrivImRunResult a =
+      std::move(RunMethod(graphs.train, graphs.eval, cfg, ra)).ValueOrDie();
+  PrivImRunResult b =
+      std::move(RunMethod(graphs.train, graphs.eval, cfg, rb)).ValueOrDie();
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_DOUBLE_EQ(a.spread, b.spread);
+}
+
+}  // namespace
+}  // namespace privim

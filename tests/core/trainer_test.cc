@@ -1,0 +1,170 @@
+#include "core/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "graph/generators.h"
+#include "nn/features.h"
+#include "sampling/freq_sampler.h"
+
+namespace privim {
+namespace {
+
+SubgraphContainer MakeContainer(size_t num_subgraphs, uint64_t seed) {
+  Rng rng(seed);
+  Graph g = std::move(ErdosRenyi(400, 0.04, false, rng)).ValueOrDie();
+  FreqSamplingConfig cfg;
+  cfg.subgraph_size = 12;
+  cfg.sampling_rate = 1.0;
+  cfg.frequency_threshold = 20;
+  FreqSampler sampler(cfg);
+  DualStageResult result = std::move(sampler.Extract(g, rng)).ValueOrDie();
+  SubgraphContainer out;
+  for (size_t i = 0; i < result.container.size() && i < num_subgraphs;
+       ++i) {
+    out.Add(result.container.at(i));
+  }
+  return out;
+}
+
+GnnModel MakeModel(uint64_t seed) {
+  GnnConfig cfg;
+  cfg.type = GnnType::kGrat;
+  cfg.in_dim = kNodeFeatureDim;
+  cfg.hidden_dim = 8;
+  cfg.num_layers = 2;
+  Rng rng(seed);
+  return GnnModel(cfg, rng);
+}
+
+TrainConfig FastTrainConfig() {
+  TrainConfig cfg;
+  cfg.batch_size = 4;
+  cfg.iterations = 10;
+  cfg.learning_rate = 0.05f;
+  cfg.clip_bound = 1.0;
+  cfg.noise_kind = NoiseKind::kNone;
+  return cfg;
+}
+
+TEST(TrainerTest, NoiselessTrainingReducesLoss) {
+  SubgraphContainer container = MakeContainer(40, 1);
+  ASSERT_GE(container.size(), 8u);
+  GnnModel model = MakeModel(2);
+  TrainConfig cfg = FastTrainConfig();
+  cfg.iterations = 60;
+  Rng rng(3);
+  TrainStats stats =
+      std::move(TrainDpGnn(model, container, cfg, rng)).ValueOrDie();
+  ASSERT_EQ(stats.losses.size(), 60u);
+  // Mean of the last 10 iterations below the first 10.
+  const double head =
+      Mean(std::span<const double>(stats.losses.data(), 10));
+  const double tail =
+      Mean(std::span<const double>(stats.losses.data() + 50, 10));
+  EXPECT_LT(tail, head);
+}
+
+TEST(TrainerTest, ParametersActuallyChange) {
+  SubgraphContainer container = MakeContainer(20, 4);
+  GnnModel model = MakeModel(5);
+  std::vector<float> before(model.params().num_scalars());
+  model.params().FlattenParams(before);
+  Rng rng(6);
+  ASSERT_TRUE(TrainDpGnn(model, container, FastTrainConfig(), rng).ok());
+  std::vector<float> after(model.params().num_scalars());
+  model.params().FlattenParams(after);
+  double diff = 0.0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    diff += std::abs(before[i] - after[i]);
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  SubgraphContainer container = MakeContainer(20, 7);
+  GnnModel a = MakeModel(8);
+  GnnModel b = MakeModel(8);
+  TrainConfig cfg = FastTrainConfig();
+  cfg.noise_kind = NoiseKind::kGaussian;
+  cfg.noise_stddev = 0.5;
+  Rng ra(9), rb(9);
+  ASSERT_TRUE(TrainDpGnn(a, container, cfg, ra).ok());
+  ASSERT_TRUE(TrainDpGnn(b, container, cfg, rb).ok());
+  std::vector<float> fa(a.params().num_scalars());
+  std::vector<float> fb(b.params().num_scalars());
+  a.params().FlattenParams(fa);
+  b.params().FlattenParams(fb);
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(TrainerTest, HugeNoiseDestroysTraining) {
+  // Sanity for the DP mechanism: with absurd noise the model drifts by the
+  // noise scale, i.e. the update is noise-dominated.
+  SubgraphContainer container = MakeContainer(20, 10);
+  GnnModel noisy = MakeModel(11);
+  GnnModel clean = MakeModel(11);
+  TrainConfig noisy_cfg = FastTrainConfig();
+  noisy_cfg.noise_kind = NoiseKind::kGaussian;
+  noisy_cfg.noise_stddev = 1000.0;
+  Rng rn(12), rc(13);
+  ASSERT_TRUE(TrainDpGnn(noisy, container, noisy_cfg, rn).ok());
+  ASSERT_TRUE(TrainDpGnn(clean, container, FastTrainConfig(), rc).ok());
+  std::vector<float> fn(noisy.params().num_scalars());
+  std::vector<float> fc(clean.params().num_scalars());
+  noisy.params().FlattenParams(fn);
+  clean.params().FlattenParams(fc);
+  const double norm_noisy =
+      L2Norm(std::span<const float>(fn.data(), fn.size()));
+  const double norm_clean =
+      L2Norm(std::span<const float>(fc.data(), fc.size()));
+  EXPECT_GT(norm_noisy, 10.0 * norm_clean);
+}
+
+TEST(TrainerTest, MeanGradNormReported) {
+  SubgraphContainer container = MakeContainer(20, 14);
+  GnnModel model = MakeModel(15);
+  Rng rng(16);
+  TrainStats stats =
+      std::move(TrainDpGnn(model, container, FastTrainConfig(), rng))
+          .ValueOrDie();
+  EXPECT_GT(stats.mean_grad_norm, 0.0);
+  EXPECT_GE(stats.seconds_per_iteration, 0.0);
+}
+
+TEST(TrainerTest, RejectsEmptyContainer) {
+  SubgraphContainer empty;
+  GnnModel model = MakeModel(17);
+  Rng rng(18);
+  EXPECT_FALSE(TrainDpGnn(model, empty, FastTrainConfig(), rng).ok());
+}
+
+TEST(TrainerTest, RejectsBadHyperparameters) {
+  SubgraphContainer container = MakeContainer(10, 19);
+  GnnModel model = MakeModel(20);
+  Rng rng(21);
+  TrainConfig cfg = FastTrainConfig();
+  cfg.batch_size = 0;
+  EXPECT_FALSE(TrainDpGnn(model, container, cfg, rng).ok());
+  cfg = FastTrainConfig();
+  cfg.iterations = 0;
+  EXPECT_FALSE(TrainDpGnn(model, container, cfg, rng).ok());
+  cfg = FastTrainConfig();
+  cfg.clip_bound = -1.0;
+  EXPECT_FALSE(TrainDpGnn(model, container, cfg, rng).ok());
+}
+
+TEST(TrainerTest, SmlNoiseAlsoTrains) {
+  SubgraphContainer container = MakeContainer(20, 22);
+  GnnModel model = MakeModel(23);
+  TrainConfig cfg = FastTrainConfig();
+  cfg.noise_kind = NoiseKind::kSml;
+  cfg.noise_stddev = 0.1;
+  Rng rng(24);
+  EXPECT_TRUE(TrainDpGnn(model, container, cfg, rng).ok());
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,109 @@
+#include "dp/mechanisms.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace privim {
+namespace {
+
+TEST(GaussianMechanismTest, ZeroStddevIsNoOp) {
+  std::vector<float> data = {1.0f, 2.0f, 3.0f};
+  Rng rng(1);
+  AddGaussianNoise(data, 0.0, rng);
+  EXPECT_FLOAT_EQ(data[0], 1.0f);
+  EXPECT_FLOAT_EQ(data[1], 2.0f);
+  EXPECT_FLOAT_EQ(data[2], 3.0f);
+}
+
+TEST(GaussianMechanismTest, NoiseHasRequestedScale) {
+  const size_t n = 100000;
+  std::vector<float> data(n, 0.0f);
+  Rng rng(2);
+  AddGaussianNoise(data, 2.5, rng);
+  double sum = 0.0, sumsq = 0.0;
+  for (float x : data) {
+    sum += x;
+    sumsq += static_cast<double>(x) * x;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sumsq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(stddev, 2.5, 0.05);
+}
+
+TEST(GaussianMechanismTest, CoordinatesIndependent) {
+  // Empirical correlation between adjacent coordinates should vanish.
+  const size_t n = 50000;
+  std::vector<float> data(2 * n, 0.0f);
+  Rng rng(3);
+  AddGaussianNoise(data, 1.0, rng);
+  double corr = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    corr += static_cast<double>(data[2 * i]) * data[2 * i + 1];
+  }
+  EXPECT_NEAR(corr / n, 0.0, 0.03);
+}
+
+TEST(SmlMechanismTest, ZeroScaleIsNoOp) {
+  std::vector<float> data = {5.0f};
+  Rng rng(4);
+  AddSymmetricMultivariateLaplaceNoise(data, 0.0, rng);
+  EXPECT_FLOAT_EQ(data[0], 5.0f);
+}
+
+TEST(SmlMechanismTest, VarianceMatchesScaleSquared) {
+  // X = sqrt(W) Z, W~Exp(1): Var = E[W] scale^2 = scale^2.
+  const size_t trials = 40000;
+  Rng rng(5);
+  double sumsq = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    std::vector<float> data(1, 0.0f);
+    AddSymmetricMultivariateLaplaceNoise(data, 1.5, rng);
+    sumsq += static_cast<double>(data[0]) * data[0];
+  }
+  EXPECT_NEAR(sumsq / trials, 1.5 * 1.5, 0.12);
+}
+
+TEST(SmlMechanismTest, HeavierTailsThanGaussian) {
+  // Excess kurtosis of SML is positive (it is a Laplace-type law), while
+  // the Gaussian's is 0. Estimate fourth moments.
+  const size_t trials = 60000;
+  Rng rng(6);
+  double sml_m4 = 0.0, sml_m2 = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    std::vector<float> d(1, 0.0f);
+    AddSymmetricMultivariateLaplaceNoise(d, 1.0, rng);
+    const double x = d[0];
+    sml_m2 += x * x;
+    sml_m4 += x * x * x * x;
+  }
+  sml_m2 /= trials;
+  sml_m4 /= trials;
+  const double kurtosis = sml_m4 / (sml_m2 * sml_m2);
+  EXPECT_GT(kurtosis, 4.0);  // Gaussian would be ~3.
+}
+
+TEST(LaplaceMechanismTest, ScaleMatchesMeanAbsolute) {
+  const size_t n = 80000;
+  std::vector<float> data(n, 0.0f);
+  Rng rng(7);
+  AddLaplaceNoise(data, 2.0, rng);
+  double abs_sum = 0.0;
+  for (float x : data) abs_sum += std::abs(x);
+  EXPECT_NEAR(abs_sum / n, 2.0, 0.05);
+}
+
+TEST(MechanismsTest, DeterministicGivenSeed) {
+  std::vector<float> a(10, 0.0f), b(10, 0.0f);
+  Rng ra(42), rb(42);
+  AddGaussianNoise(a, 1.0, ra);
+  AddGaussianNoise(b, 1.0, rb);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace privim

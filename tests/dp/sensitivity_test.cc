@@ -1,0 +1,49 @@
+#include "dp/sensitivity.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(OccurrenceBoundTest, MatchesLemma1ClosedForm) {
+  // N_g = (theta^{r+1} - 1) / (theta - 1).
+  EXPECT_EQ(OccurrenceBoundNaive(10, 3), 1111u);  // 1+10+100+1000.
+  EXPECT_EQ(OccurrenceBoundNaive(10, 2), 111u);
+  EXPECT_EQ(OccurrenceBoundNaive(2, 3), 15u);
+  EXPECT_EQ(OccurrenceBoundNaive(5, 1), 6u);
+}
+
+TEST(OccurrenceBoundTest, RZeroIsOne) {
+  EXPECT_EQ(OccurrenceBoundNaive(10, 0), 1u);
+  EXPECT_EQ(OccurrenceBoundNaive(1, 0), 1u);
+}
+
+TEST(OccurrenceBoundTest, ThetaOneIsLinear) {
+  // Geometric series degenerates to r+1.
+  EXPECT_EQ(OccurrenceBoundNaive(1, 5), 6u);
+}
+
+TEST(OccurrenceBoundTest, GrowsExponentiallyInLayers) {
+  size_t prev = OccurrenceBoundNaive(10, 1);
+  for (size_t r = 2; r <= 5; ++r) {
+    const size_t cur = OccurrenceBoundNaive(10, r);
+    EXPECT_GT(cur, 9 * prev);  // Roughly * theta each layer.
+    prev = cur;
+  }
+}
+
+TEST(OccurrenceBoundTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(OccurrenceBoundNaive(1000, 100),
+            std::numeric_limits<size_t>::max());
+}
+
+TEST(NodeSensitivityTest, Lemma2Product) {
+  EXPECT_DOUBLE_EQ(NodeSensitivity(1.0, 1111), 1111.0);
+  EXPECT_DOUBLE_EQ(NodeSensitivity(0.5, 6), 3.0);
+  EXPECT_DOUBLE_EQ(NodeSensitivity(2.0, 1), 2.0);
+}
+
+}  // namespace
+}  // namespace privim

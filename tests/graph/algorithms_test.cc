@@ -1,0 +1,142 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+// Path 0 -> 1 -> 2 -> 3 plus a shortcut 0 -> 2.
+Graph MakePathWithShortcut() {
+  GraphBuilder b(4);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());
+  return std::move(b.Build()).ValueOrDie();
+}
+
+TEST(RHopTest, RespectsRadius) {
+  Graph g = MakePathWithShortcut();
+  EXPECT_EQ(RHopNeighborhood(g, 0, 0), std::vector<NodeId>{0});
+  auto r1 = RHopNeighborhood(g, 0, 1);
+  std::sort(r1.begin(), r1.end());
+  EXPECT_EQ(r1, (std::vector<NodeId>{0, 1, 2}));
+  auto r2 = RHopNeighborhood(g, 0, 2);
+  std::sort(r2.begin(), r2.end());
+  EXPECT_EQ(r2, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(RHopTest, DirectednessMatters) {
+  Graph g = MakePathWithShortcut();
+  // Node 3 has no out-edges: its ball is itself.
+  EXPECT_EQ(RHopNeighborhood(g, 3, 5), std::vector<NodeId>{3});
+}
+
+TEST(BfsDistancesTest, ShortestHopCounts) {
+  Graph g = MakePathWithShortcut();
+  const std::vector<int> dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 1);  // Shortcut beats the 2-hop path.
+  EXPECT_EQ(dist[3], 2);
+}
+
+TEST(BfsDistancesTest, UnreachableIsMinusOne) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  const std::vector<int> dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(ComponentsTest, CountsWeakComponents) {
+  GraphBuilder b(6);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 1).ok());  // Weakly connects 2 to {0,1}.
+  ASSERT_TRUE(b.AddEdge(3, 4).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  const ComponentLabels cl = WeaklyConnectedComponents(g);
+  EXPECT_EQ(cl.num_components, 3u);  // {0,1,2}, {3,4}, {5}.
+  EXPECT_EQ(cl.label[0], cl.label[1]);
+  EXPECT_EQ(cl.label[1], cl.label[2]);
+  EXPECT_EQ(cl.label[3], cl.label[4]);
+  EXPECT_NE(cl.label[0], cl.label[3]);
+  EXPECT_NE(cl.label[0], cl.label[5]);
+}
+
+TEST(ThetaProjectionTest, BoundsInDegree) {
+  // Star: many sources into node 0.
+  const size_t n = 30;
+  GraphBuilder b(n);
+  for (NodeId u = 1; u < n; ++u) ASSERT_TRUE(b.AddEdge(u, 0).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(5);
+  Graph bounded = std::move(ThetaBoundedProjection(g, 10, rng)).ValueOrDie();
+  EXPECT_EQ(bounded.InDegree(0), 10u);
+  EXPECT_EQ(bounded.num_nodes(), n);
+}
+
+TEST(ThetaProjectionTest, LeavesLowDegreeNodesAlone) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5f).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3, 0.25f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(5);
+  Graph bounded = std::move(ThetaBoundedProjection(g, 10, rng)).ValueOrDie();
+  EXPECT_EQ(bounded.num_edges(), 2u);
+  // Weights preserved.
+  EXPECT_FLOAT_EQ(bounded.OutWeights(0)[0], 0.5f);
+}
+
+TEST(ThetaProjectionTest, KeptEdgesAreSubsetOfOriginal) {
+  Rng gen_rng(9);
+  GraphBuilder b(40);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId u = static_cast<NodeId>(gen_rng.UniformInt(40));
+    const NodeId v = static_cast<NodeId>(gen_rng.UniformInt(40));
+    if (u != v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(11);
+  Graph bounded = std::move(ThetaBoundedProjection(g, 3, rng)).ValueOrDie();
+  for (const Edge& e : bounded.Edges()) {
+    EXPECT_TRUE(g.HasEdge(e.src, e.dst));
+  }
+  for (NodeId v = 0; v < bounded.num_nodes(); ++v) {
+    EXPECT_LE(bounded.InDegree(v), 3u);
+  }
+}
+
+TEST(ThetaProjectionTest, RejectsZeroTheta) {
+  GraphBuilder b(2);
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(1);
+  EXPECT_FALSE(ThetaBoundedProjection(g, 0, rng).ok());
+}
+
+TEST(TransitivityTest, CompleteGraphIsOne) {
+  GraphBuilder b(5);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      if (u != v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+    }
+  }
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(3);
+  // All wedges u->v->w with u != w are closed in a complete digraph.
+  EXPECT_NEAR(TransitivityEstimate(g, rng), 1.0, 1e-9);
+}
+
+TEST(TransitivityTest, PathHasNoTriangles) {
+  Graph g = MakePathWithShortcut();
+  Rng rng(3);
+  // Wedge 0->1->2 is closed by shortcut 0->2; wedges via node 2 are open.
+  const double t = TransitivityEstimate(g, rng);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1.0);
+}
+
+}  // namespace
+}  // namespace privim

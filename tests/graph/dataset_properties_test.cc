@@ -1,0 +1,112 @@
+// Distributional properties of the synthetic dataset stand-ins: the
+// substitution argument in DESIGN.md rests on matching degree laws and
+// directedness, so assert those properties here instead of trusting the
+// generators by inspection.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/datasets.h"
+
+namespace privim {
+namespace {
+
+// Tail heaviness proxy: ratio of the maximum degree to the mean degree.
+// Power-law graphs have ratios far above Erdos-Renyi's (~2-3).
+double HubRatio(const Graph& g, bool out_degree) {
+  size_t max_deg = 0;
+  double total = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const size_t d = out_degree ? g.OutDegree(u) : g.InDegree(u);
+    max_deg = std::max(max_deg, d);
+    total += static_cast<double>(d);
+  }
+  return static_cast<double>(max_deg) /
+         std::max(1.0, total / static_cast<double>(g.num_nodes()));
+}
+
+TEST(DatasetPropertiesTest, SocialStandInsHaveHeavyTails) {
+  // LastFM / Facebook / Gowalla / Friendster mimic social graphs:
+  // preferential attachment must produce hubs (>= 8x the mean degree).
+  for (DatasetId id : {DatasetId::kLastFm, DatasetId::kFacebook,
+                       DatasetId::kGowalla, DatasetId::kFriendster}) {
+    Rng rng(1);
+    Graph g = std::move(MakeDataset(id, rng)).ValueOrDie();
+    EXPECT_GE(HubRatio(g, true), 8.0) << GetDatasetSpec(id).name;
+  }
+}
+
+TEST(DatasetPropertiesTest, BitcoinHasInDegreeHubs) {
+  // Trust networks concentrate incoming trust on a few traders.
+  Rng rng(2);
+  Graph g = std::move(MakeDataset(DatasetId::kBitcoin, rng)).ValueOrDie();
+  EXPECT_GE(HubRatio(g, false), 6.0);
+}
+
+TEST(DatasetPropertiesTest, DirectedStandInsAreAsymmetric) {
+  for (DatasetId id : {DatasetId::kEmail, DatasetId::kBitcoin}) {
+    Rng rng(3);
+    Graph g = std::move(MakeDataset(id, rng)).ValueOrDie();
+    size_t asymmetric = 0;
+    size_t checked = 0;
+    for (const Edge& e : g.Edges()) {
+      if (++checked > 5000) break;
+      if (!g.HasEdge(e.dst, e.src)) ++asymmetric;
+    }
+    // A genuinely directed graph has a sizeable one-way fraction.
+    EXPECT_GT(static_cast<double>(asymmetric) /
+                  static_cast<double>(std::min<size_t>(checked, 5000)),
+              0.2)
+        << GetDatasetSpec(id).name;
+  }
+}
+
+TEST(DatasetPropertiesTest, CollaborationStandInIsClustered) {
+  // HepPh (co-authorship) must be far more transitive than a degree-matched
+  // random graph; planted partitions deliver that.
+  Rng rng(4);
+  Graph hepph = std::move(MakeDataset(DatasetId::kHepPh, rng)).ValueOrDie();
+  Rng trng(5);
+  const double t_hepph = TransitivityEstimate(hepph, trng);
+  EXPECT_GT(t_hepph, 0.1);
+  // LastFM's BA stand-in is much less clustered.
+  Rng rng2(6);
+  Graph lastfm =
+      std::move(MakeDataset(DatasetId::kLastFm, rng2)).ValueOrDie();
+  Rng trng2(7);
+  EXPECT_GT(t_hepph, 3.0 * TransitivityEstimate(lastfm, trng2));
+}
+
+TEST(DatasetPropertiesTest, MostNodesInOneWeakComponent) {
+  // Sampling-based training assumes walks can move; the stand-ins must be
+  // dominated by a giant weakly connected component.
+  for (const DatasetSpec& spec : MainDatasetSpecs()) {
+    Rng rng(8);
+    Graph g = std::move(MakeDataset(spec.id, rng)).ValueOrDie();
+    const ComponentLabels cl = WeaklyConnectedComponents(g);
+    std::vector<size_t> sizes(cl.num_components, 0);
+    for (uint32_t label : cl.label) ++sizes[label];
+    const size_t giant = *std::max_element(sizes.begin(), sizes.end());
+    EXPECT_GT(static_cast<double>(giant) /
+                  static_cast<double>(g.num_nodes()),
+              0.9)
+        << spec.name;
+  }
+}
+
+TEST(DatasetPropertiesTest, SimulatedAverageDegreesTrackTableOne) {
+  // Within a factor of 2 of the paper's average degree (Friendster is
+  // deliberately thinned further; Email's community overlay trims dupes).
+  for (const DatasetSpec& spec : MainDatasetSpecs()) {
+    Rng rng(9);
+    Graph g = std::move(MakeDataset(spec.id, rng)).ValueOrDie();
+    EXPECT_GT(g.AverageDegree(), spec.paper_avg_degree / 2.0) << spec.name;
+    EXPECT_LT(g.AverageDegree(), spec.paper_avg_degree * 2.0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,121 @@
+#include "graph/datasets.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(DatasetSpecsTest, TableIStatisticsPresent) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 7u);
+  // Table I spot checks.
+  const DatasetSpec& email = GetDatasetSpec(DatasetId::kEmail);
+  EXPECT_EQ(email.name, "Email");
+  EXPECT_EQ(email.paper_nodes, 1000u);
+  EXPECT_TRUE(email.directed);
+  const DatasetSpec& gowalla = GetDatasetSpec(DatasetId::kGowalla);
+  EXPECT_EQ(gowalla.paper_nodes, 196000u);
+  EXPECT_FALSE(gowalla.directed);
+  const DatasetSpec& friendster = GetDatasetSpec(DatasetId::kFriendster);
+  EXPECT_EQ(friendster.partitions, 4u);
+}
+
+TEST(DatasetSpecsTest, MainExcludesFriendster) {
+  const auto main = MainDatasetSpecs();
+  EXPECT_EQ(main.size(), 6u);
+  for (const DatasetSpec& s : main) {
+    EXPECT_NE(s.id, DatasetId::kFriendster);
+  }
+}
+
+TEST(ParseDatasetIdTest, CaseInsensitive) {
+  EXPECT_EQ(*ParseDatasetId("email"), DatasetId::kEmail);
+  EXPECT_EQ(*ParseDatasetId("GOWALLA"), DatasetId::kGowalla);
+  EXPECT_EQ(*ParseDatasetId("LastFM"), DatasetId::kLastFm);
+  EXPECT_FALSE(ParseDatasetId("twitter").ok());
+}
+
+class MakeDatasetTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(MakeDatasetTest, ProducesNonTrivialConnectedishGraph) {
+  Rng rng(99);
+  Graph g = std::move(MakeDataset(GetParam(), rng)).ValueOrDie();
+  const DatasetSpec& spec = GetDatasetSpec(GetParam());
+  EXPECT_GE(g.num_nodes(), 64u);
+  EXPECT_EQ(g.num_nodes(), spec.sim_nodes);
+  EXPECT_GT(g.num_edges(), g.num_nodes());  // Denser than a tree.
+  // Average degree within a factor ~4 of the paper's (scaled generators
+  // cannot match exactly but must be the same order of magnitude).
+  EXPECT_GT(g.AverageDegree(), spec.paper_avg_degree / 4.0);
+}
+
+TEST_P(MakeDatasetTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  Graph ga = std::move(MakeDataset(GetParam(), a)).ValueOrDie();
+  Graph gb = std::move(MakeDataset(GetParam(), b)).ValueOrDie();
+  EXPECT_EQ(ga.num_edges(), gb.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, MakeDatasetTest,
+    ::testing::Values(DatasetId::kEmail, DatasetId::kBitcoin,
+                      DatasetId::kLastFm, DatasetId::kHepPh,
+                      DatasetId::kFacebook, DatasetId::kGowalla,
+                      DatasetId::kFriendster),
+    [](const ::testing::TestParamInfo<DatasetId>& info) {
+      return GetDatasetSpec(info.param).name;
+    });
+
+TEST(MakeDatasetTest, ScaleShrinksGraph) {
+  Rng a(3), b(3);
+  Graph full =
+      std::move(MakeDataset(DatasetId::kLastFm, a, 1.0)).ValueOrDie();
+  Graph half =
+      std::move(MakeDataset(DatasetId::kLastFm, b, 0.5)).ValueOrDie();
+  EXPECT_NEAR(static_cast<double>(half.num_nodes()),
+              static_cast<double>(full.num_nodes()) / 2.0,
+              static_cast<double>(full.num_nodes()) * 0.05);
+}
+
+TEST(MakeDatasetTest, RejectsTinyScale) {
+  Rng rng(3);
+  EXPECT_FALSE(MakeDataset(DatasetId::kEmail, rng, 0.01).ok());
+}
+
+TEST(MakeDatasetTest, UndirectedDatasetsAreSymmetric) {
+  Rng rng(4);
+  Graph g = std::move(MakeDataset(DatasetId::kGowalla, rng)).ValueOrDie();
+  for (const Edge& e : g.Edges()) {
+    ASSERT_TRUE(g.HasEdge(e.dst, e.src));
+  }
+}
+
+TEST(SplitNodesTest, PartitionsAllNodes) {
+  Rng rng(5);
+  const NodeSplit split = SplitNodes(101, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), 101u);
+  std::vector<NodeId> all;
+  all.insert(all.end(), split.train.begin(), split.train.end());
+  all.insert(all.end(), split.test.begin(), split.test.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(SplitNodesTest, RespectsFraction) {
+  Rng rng(6);
+  const NodeSplit split = SplitNodes(1000, rng, 0.7);
+  EXPECT_EQ(split.train.size(), 700u);
+  EXPECT_EQ(split.test.size(), 300u);
+}
+
+TEST(SplitNodesTest, OutputsSorted) {
+  Rng rng(7);
+  const NodeSplit split = SplitNodes(50, rng);
+  EXPECT_TRUE(std::is_sorted(split.train.begin(), split.train.end()));
+  EXPECT_TRUE(std::is_sorted(split.test.begin(), split.test.end()));
+}
+
+}  // namespace
+}  // namespace privim

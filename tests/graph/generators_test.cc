@@ -1,0 +1,178 @@
+#include "graph/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Rng rng(1);
+  const size_t n = 400;
+  const double p = 0.02;
+  Graph g = std::move(ErdosRenyi(n, p, /*directed=*/true, rng)).ValueOrDie();
+  const double expected = p * static_cast<double>(n * (n - 1));
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiTest, UndirectedIsSymmetric) {
+  Rng rng(2);
+  Graph g =
+      std::move(ErdosRenyi(200, 0.03, /*directed=*/false, rng)).ValueOrDie();
+  for (const Edge& e : g.Edges()) {
+    EXPECT_TRUE(g.HasEdge(e.dst, e.src));
+  }
+  EXPECT_EQ(g.num_edges() % 2, 0u);
+}
+
+TEST(ErdosRenyiTest, ExtremeProbabilities) {
+  Rng rng(3);
+  Graph empty = std::move(ErdosRenyi(50, 0.0, true, rng)).ValueOrDie();
+  EXPECT_EQ(empty.num_edges(), 0u);
+  Graph full = std::move(ErdosRenyi(20, 1.0, true, rng)).ValueOrDie();
+  EXPECT_EQ(full.num_edges(), 20u * 19u);
+}
+
+TEST(ErdosRenyiTest, RejectsBadArgs) {
+  Rng rng(4);
+  EXPECT_FALSE(ErdosRenyi(0, 0.5, true, rng).ok());
+  EXPECT_FALSE(ErdosRenyi(10, -0.1, true, rng).ok());
+  EXPECT_FALSE(ErdosRenyi(10, 1.1, true, rng).ok());
+}
+
+TEST(BarabasiAlbertTest, EdgeCountAndSymmetry) {
+  Rng rng(5);
+  const size_t n = 500, m = 4;
+  Graph g = std::move(BarabasiAlbert(n, m, rng)).ValueOrDie();
+  // Each of the n-m-1 later nodes adds m undirected edges, plus the seed
+  // clique; average degree ~ 2m.
+  EXPECT_NEAR(g.AverageDegree(), 2.0 * static_cast<double>(m),
+              0.5 * static_cast<double>(m));
+  for (const Edge& e : g.Edges()) {
+    EXPECT_TRUE(g.HasEdge(e.dst, e.src));
+  }
+}
+
+TEST(BarabasiAlbertTest, ProducesHubs) {
+  Rng rng(6);
+  Graph g = std::move(BarabasiAlbert(800, 3, rng)).ValueOrDie();
+  size_t max_deg = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_deg = std::max(max_deg, g.OutDegree(u));
+  }
+  // Scale-free graphs have hubs far above the mean degree (6).
+  EXPECT_GT(max_deg, 30u);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadArgs) {
+  Rng rng(7);
+  EXPECT_FALSE(BarabasiAlbert(5, 0, rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(5, 5, rng).ok());
+}
+
+TEST(WattsStrogatzTest, DegreePreservedOnAverage) {
+  Rng rng(8);
+  const size_t n = 300, k = 3;
+  Graph g = std::move(WattsStrogatz(n, k, 0.2, rng)).ValueOrDie();
+  // Rewiring preserves edge count up to dense-node skips.
+  EXPECT_NEAR(g.AverageDegree(), 2.0 * static_cast<double>(k), 0.5);
+  for (const Edge& e : g.Edges()) {
+    EXPECT_TRUE(g.HasEdge(e.dst, e.src));
+  }
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Rng rng(9);
+  Graph g = std::move(WattsStrogatz(20, 2, 0.0, rng)).ValueOrDie();
+  for (NodeId u = 0; u < 20; ++u) {
+    EXPECT_EQ(g.OutDegree(u), 4u);
+    EXPECT_TRUE(g.HasEdge(u, (u + 1) % 20));
+    EXPECT_TRUE(g.HasEdge(u, (u + 2) % 20));
+  }
+}
+
+TEST(WattsStrogatzTest, RejectsBadArgs) {
+  Rng rng(10);
+  EXPECT_FALSE(WattsStrogatz(10, 0, 0.1, rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 5, 0.1, rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 2, 1.5, rng).ok());
+}
+
+TEST(PlantedPartitionTest, IntraDensityExceedsInterDensity) {
+  Rng rng(11);
+  const size_t n = 200, c = 4;
+  Graph g =
+      std::move(PlantedPartition(n, c, 0.3, 0.01, rng)).ValueOrDie();
+  size_t intra = 0, inter = 0;
+  for (const Edge& e : g.Edges()) {
+    if (e.src % c == e.dst % c) {
+      ++intra;
+    } else {
+      ++inter;
+    }
+  }
+  EXPECT_GT(intra, inter);
+}
+
+TEST(PlantedPartitionTest, RejectsBadArgs) {
+  Rng rng(12);
+  EXPECT_FALSE(PlantedPartition(10, 0, 0.5, 0.1, rng).ok());
+  EXPECT_FALSE(PlantedPartition(10, 20, 0.5, 0.1, rng).ok());
+  EXPECT_FALSE(PlantedPartition(10, 2, 1.5, 0.1, rng).ok());
+}
+
+TEST(DirectedScaleFreeTest, ProducesRequestedDensity) {
+  Rng rng(13);
+  Graph g = std::move(DirectedScaleFree(600, 3, 2, rng)).ValueOrDie();
+  // ~5 arcs per non-seed node (minus dedup collisions).
+  EXPECT_GT(g.AverageDegree(), 3.0);
+  EXPECT_LT(g.AverageDegree(), 5.5);
+}
+
+TEST(DirectedScaleFreeTest, ProducesInDegreeHubs) {
+  Rng rng(14);
+  Graph g = std::move(DirectedScaleFree(800, 3, 1, rng)).ValueOrDie();
+  EXPECT_GT(g.MaxInDegree(), 20u);
+}
+
+TEST(WeightedCascadeTest, WeightsAreInverseInDegree) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 3).ok());
+  ASSERT_TRUE(b.AddEdge(1, 3).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  ASSERT_TRUE(b.AddEdge(3, 0).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Graph wc = std::move(WeightedCascade(g)).ValueOrDie();
+  // Node 3 has in-degree 3: incoming arcs get weight 1/3.
+  for (size_t i = 0; i < wc.InNeighbors(3).size(); ++i) {
+    EXPECT_FLOAT_EQ(wc.InWeights(3)[i], 1.0f / 3.0f);
+  }
+  EXPECT_FLOAT_EQ(wc.InWeights(0)[0], 1.0f);
+}
+
+TEST(WithUniformWeightsTest, OverridesAllWeights) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.3f).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 0.9f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Graph u = std::move(WithUniformWeights(g, 0.5f)).ValueOrDie();
+  for (const Edge& e : u.Edges()) EXPECT_FLOAT_EQ(e.weight, 0.5f);
+  EXPECT_FALSE(WithUniformWeights(g, 1.5f).ok());
+}
+
+class GeneratorDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorDeterminismTest, SameSeedSameGraph) {
+  Rng a(GetParam()), b(GetParam());
+  Graph ga = std::move(BarabasiAlbert(150, 3, a)).ValueOrDie();
+  Graph gb = std::move(BarabasiAlbert(150, 3, b)).ValueOrDie();
+  EXPECT_EQ(ga.Edges(), gb.Edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorDeterminismTest,
+                         ::testing::Values(1u, 42u, 12345u));
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,132 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+Graph MakeTriangle() {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.5f).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, 0.25f).ok());
+  EXPECT_TRUE(b.AddEdge(2, 0, 1.0f).ok());
+  return std::move(b.Build()).ValueOrDie();
+}
+
+TEST(GraphBuilderTest, BuildsCsrBothDirections) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  ASSERT_EQ(g.OutNeighbors(0).size(), 1u);
+  EXPECT_EQ(g.OutNeighbors(0)[0], 1u);
+  EXPECT_FLOAT_EQ(g.OutWeights(0)[0], 0.5f);
+  ASSERT_EQ(g.InNeighbors(0).size(), 1u);
+  EXPECT_EQ(g.InNeighbors(0)[0], 2u);
+  EXPECT_FLOAT_EQ(g.InWeights(0)[0], 1.0f);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRange) {
+  GraphBuilder b(2);
+  EXPECT_EQ(b.AddEdge(0, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(b.AddEdge(7, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoops) {
+  GraphBuilder b(2);
+  EXPECT_EQ(b.AddEdge(1, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsInvalidWeights) {
+  GraphBuilder b(2);
+  EXPECT_EQ(b.AddEdge(0, 1, -0.1f).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddEdge(0, 1, 1.5f).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.0f).ok());
+  EXPECT_TRUE(b.AddEdge(1, 0, 1.0f).ok());
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelArcs) {
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5f).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.9f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, UndirectedAddsBothArcs) {
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddUndirectedEdge(0, 1, 0.7f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+}
+
+TEST(GraphTest, DegreesAndAverage) {
+  Graph g = MakeTriangle();
+  for (NodeId u = 0; u < 3; ++u) {
+    EXPECT_EQ(g.OutDegree(u), 1u);
+    EXPECT_EQ(g.InDegree(u), 1u);
+  }
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.0);
+  EXPECT_EQ(g.MaxInDegree(), 1u);
+}
+
+TEST(GraphTest, HasEdgeUsesBinarySearch) {
+  GraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) ASSERT_TRUE(b.AddEdge(0, v).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  for (NodeId v = 1; v < 5; ++v) EXPECT_TRUE(g.HasEdge(0, v));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(2, 3));
+}
+
+TEST(GraphTest, EdgesEnumerationRoundTrips) {
+  Graph g = MakeTriangle();
+  const std::vector<Edge> edges = g.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  GraphBuilder b(3);
+  for (const Edge& e : edges) {
+    ASSERT_TRUE(b.AddEdge(e.src, e.dst, e.weight).ok());
+  }
+  Graph g2 = std::move(b.Build()).ValueOrDie();
+  EXPECT_EQ(g2.Edges(), edges);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder b(4);
+  Graph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.AverageDegree(), 0.0);
+  EXPECT_EQ(g.MaxInDegree(), 0u);
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_TRUE(g.OutNeighbors(u).empty());
+    EXPECT_TRUE(g.InNeighbors(u).empty());
+  }
+}
+
+TEST(GraphTest, InOutConsistency) {
+  // Every out-arc must appear exactly once as an in-arc.
+  GraphBuilder b(6);
+  ASSERT_TRUE(b.AddEdge(0, 3).ok());
+  ASSERT_TRUE(b.AddEdge(1, 3).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  ASSERT_TRUE(b.AddEdge(3, 4).ok());
+  ASSERT_TRUE(b.AddEdge(5, 0).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  size_t out_total = 0, in_total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    out_total += g.OutDegree(u);
+    in_total += g.InDegree(u);
+  }
+  EXPECT_EQ(out_total, in_total);
+  EXPECT_EQ(out_total, g.num_edges());
+  auto ins = g.InNeighbors(3);
+  EXPECT_EQ(std::vector<NodeId>(ins.begin(), ins.end()),
+            (std::vector<NodeId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,79 @@
+// Robustness tests for the edge-list parser: the loader is the library's
+// only untrusted-input surface, so hammer it with malformed, hostile, and
+// borderline inputs.
+
+#include <gtest/gtest.h>
+
+#include "graph/io.h"
+
+namespace privim {
+namespace {
+
+TEST(IoRobustnessTest, AcceptsMixedWhitespace) {
+  Graph g = std::move(ParseEdgeList("0\t1\n2   3\n")).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(IoRobustnessTest, AcceptsTrailingWhitespaceAndCrLf) {
+  Graph g = std::move(ParseEdgeList("0 1 \r\n1 2\r\n")).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(IoRobustnessTest, RejectsNegativeIds) {
+  // Negative tokens fail uint64 extraction.
+  EXPECT_FALSE(ParseEdgeList("-1 2\n").ok());
+}
+
+TEST(IoRobustnessTest, RejectsPartialLine) {
+  EXPECT_FALSE(ParseEdgeList("0 1\n2\n").ok());
+}
+
+TEST(IoRobustnessTest, RejectsTextTokens) {
+  EXPECT_FALSE(ParseEdgeList("alice bob\n").ok());
+}
+
+TEST(IoRobustnessTest, EmptyInputYieldsEmptyGraph) {
+  Graph g = std::move(ParseEdgeList("")).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  Graph g2 = std::move(ParseEdgeList("# only comments\n\n")).ValueOrDie();
+  EXPECT_EQ(g2.num_nodes(), 0u);
+}
+
+TEST(IoRobustnessTest, DuplicateEdgesDeduplicated) {
+  Graph g = std::move(ParseEdgeList("0 1\n0 1\n0 1\n")).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(IoRobustnessTest, WeightOutOfRangeRejected) {
+  // The graph builder enforces IC probabilities in [0,1].
+  EXPECT_FALSE(ParseEdgeList("0 1 1.5\n").ok());
+  EXPECT_FALSE(ParseEdgeList("0 1 -0.5\n").ok());
+}
+
+TEST(IoRobustnessTest, LargeSparseIdsDensify) {
+  Graph g = std::move(ParseEdgeList("4000000000 4000000001\n"))
+                .ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(IoRobustnessTest, ManyLinesParseLinearly) {
+  std::string text;
+  for (int i = 0; i < 5000; ++i) {
+    text += std::to_string(i) + " " + std::to_string(i + 1) + "\n";
+  }
+  Graph g = std::move(ParseEdgeList(text)).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 5001u);
+  EXPECT_EQ(g.num_edges(), 5000u);
+}
+
+TEST(IoRobustnessTest, UndirectedSelfLoopDropped) {
+  Graph g =
+      std::move(ParseEdgeList("5 5\n5 6\n", /*undirected=*/true))
+          .ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 2u);  // Only 5<->6.
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,78 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(ParseEdgeListTest, BasicDirected) {
+  Graph g = std::move(ParseEdgeList("0 1\n1 2\n2 0\n")).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(ParseEdgeListTest, CommentsAndBlankLinesSkipped) {
+  Graph g = std::move(ParseEdgeList("# header\n\n% other\n0 1\n")).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(ParseEdgeListTest, WeightsParsed) {
+  Graph g = std::move(ParseEdgeList("0 1 0.25\n")).ValueOrDie();
+  EXPECT_FLOAT_EQ(g.OutWeights(0)[0], 0.25f);
+}
+
+TEST(ParseEdgeListTest, SparseIdsDensified) {
+  Graph g = std::move(ParseEdgeList("100 200\n200 5000\n")).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(ParseEdgeListTest, SelfLoopsDropped) {
+  Graph g = std::move(ParseEdgeList("0 0\n0 1\n")).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(ParseEdgeListTest, UndirectedDoublesArcs) {
+  Graph g = std::move(ParseEdgeList("0 1\n", /*undirected=*/true))
+                .ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(ParseEdgeListTest, MalformedLineFails) {
+  EXPECT_FALSE(ParseEdgeList("0 1\nnot numbers\n").ok());
+  EXPECT_FALSE(ParseEdgeList("0\n").ok());
+}
+
+TEST(EdgeListIoTest, SaveLoadRoundTrip) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5f).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1.0f).ok());
+  ASSERT_TRUE(b.AddEdge(3, 0, 0.125f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "privim_io_test.txt")
+          .string();
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Graph loaded = std::move(LoadEdgeList(path)).ValueOrDie();
+  EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  // Weights survive (first-appearance densification preserves ids here
+  // because the save order is CSR order starting at node 0).
+  EXPECT_FLOAT_EQ(loaded.OutWeights(0)[0], 0.5f);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIoTest, LoadMissingFileFails) {
+  const auto result = LoadEdgeList("/nonexistent/definitely/missing.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,73 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+Graph MakeSquareWithDiagonal() {
+  GraphBuilder b(5);
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.1f).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, 0.2f).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3, 0.3f).ok());
+  EXPECT_TRUE(b.AddEdge(3, 0, 0.4f).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2, 0.5f).ok());
+  EXPECT_TRUE(b.AddEdge(4, 0, 0.6f).ok());
+  return std::move(b.Build()).ValueOrDie();
+}
+
+TEST(InduceSubgraphTest, KeepsOnlyInternalEdges) {
+  Graph g = MakeSquareWithDiagonal();
+  Subgraph sub = std::move(InduceSubgraph(g, {0, 1, 2})).ValueOrDie();
+  EXPECT_EQ(sub.size(), 3u);
+  // Local ids follow the node list order: 0->0, 1->1, 2->2.
+  EXPECT_EQ(sub.local.num_edges(), 3u);  // 0->1, 1->2, 0->2.
+  EXPECT_TRUE(sub.local.HasEdge(0, 1));
+  EXPECT_TRUE(sub.local.HasEdge(1, 2));
+  EXPECT_TRUE(sub.local.HasEdge(0, 2));
+  EXPECT_FALSE(sub.local.HasEdge(2, 0));
+}
+
+TEST(InduceSubgraphTest, PreservesWeights) {
+  Graph g = MakeSquareWithDiagonal();
+  Subgraph sub = std::move(InduceSubgraph(g, {0, 2})).ValueOrDie();
+  ASSERT_TRUE(sub.local.HasEdge(0, 1));  // Original 0 -> 2.
+  EXPECT_FLOAT_EQ(sub.local.OutWeights(0)[0], 0.5f);
+}
+
+TEST(InduceSubgraphTest, NodeListOrderDefinesLocalIds) {
+  Graph g = MakeSquareWithDiagonal();
+  Subgraph sub = std::move(InduceSubgraph(g, {3, 0})).ValueOrDie();
+  EXPECT_EQ(sub.nodes[0], 3u);
+  EXPECT_EQ(sub.nodes[1], 0u);
+  // Original 3 -> 0 becomes local 0 -> 1.
+  EXPECT_TRUE(sub.local.HasEdge(0, 1));
+  EXPECT_FALSE(sub.local.HasEdge(1, 0));
+}
+
+TEST(InduceSubgraphTest, SingletonHasNoEdges) {
+  Graph g = MakeSquareWithDiagonal();
+  Subgraph sub = std::move(InduceSubgraph(g, {4})).ValueOrDie();
+  EXPECT_EQ(sub.local.num_edges(), 0u);
+}
+
+TEST(InduceSubgraphTest, RejectsDuplicates) {
+  Graph g = MakeSquareWithDiagonal();
+  EXPECT_FALSE(InduceSubgraph(g, {0, 0}).ok());
+}
+
+TEST(InduceSubgraphTest, RejectsOutOfRange) {
+  Graph g = MakeSquareWithDiagonal();
+  EXPECT_FALSE(InduceSubgraph(g, {0, 99}).ok());
+}
+
+TEST(InduceSubgraphTest, FullNodeSetReproducesGraph) {
+  Graph g = MakeSquareWithDiagonal();
+  Subgraph sub =
+      std::move(InduceSubgraph(g, {0, 1, 2, 3, 4})).ValueOrDie();
+  EXPECT_EQ(sub.local.num_edges(), g.num_edges());
+  EXPECT_EQ(sub.local.Edges(), g.Edges());
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,117 @@
+// CELF behavior under noisy (Monte-Carlo) oracles and adversarial
+// structures: lazy evaluation assumes consistent oracle answers; these
+// tests document and verify the implementation's behavior when that
+// assumption is stressed.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "im/diffusion.h"
+#include "im/seed_selection.h"
+
+namespace privim {
+namespace {
+
+TEST(CelfRobustnessTest, WorksWithMonteCarloOracle) {
+  // MC oracles return noisy values; CELF must still terminate with k
+  // distinct seeds whose exact spread is competitive with degree.
+  Rng gen(1);
+  Graph ba = std::move(BarabasiAlbert(120, 3, gen)).ValueOrDie();
+  Graph g = std::move(WeightedCascade(ba)).ValueOrDie();
+  std::vector<NodeId> candidates(g.num_nodes());
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    candidates[u] = static_cast<NodeId>(u);
+  }
+  Rng rng(2);
+  SpreadOracle mc = MakeMonteCarloOracle(g, 64, rng);
+  SeedSelection celf =
+      std::move(CelfSelect(candidates, 8, mc)).ValueOrDie();
+  ASSERT_EQ(celf.seeds.size(), 8u);
+
+  // Evaluate both seed sets under an independent high-precision oracle.
+  Rng eval_rng(3);
+  const double celf_spread =
+      EstimateIcSpread(g, celf.seeds, 2000, eval_rng);
+  SeedSelection degree =
+      std::move(DegreeSelect(g, candidates, 8, mc)).ValueOrDie();
+  Rng eval_rng2(4);
+  const double degree_spread =
+      EstimateIcSpread(g, degree.seeds, 2000, eval_rng2);
+  EXPECT_GE(celf_spread, 0.85 * degree_spread);
+}
+
+TEST(CelfRobustnessTest, DisconnectedGraphSpreadsAreAdditive) {
+  // Two disjoint stars: greedy must pick both hubs first.
+  GraphBuilder b(12);
+  for (NodeId v = 1; v <= 5; ++v) ASSERT_TRUE(b.AddEdge(0, v).ok());
+  for (NodeId v = 7; v <= 11; ++v) ASSERT_TRUE(b.AddEdge(6, v).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  std::vector<NodeId> candidates(g.num_nodes());
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    candidates[u] = static_cast<NodeId>(u);
+  }
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  SeedSelection sel =
+      std::move(CelfSelect(candidates, 2, oracle)).ValueOrDie();
+  std::vector<NodeId> seeds = sel.seeds;
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(seeds, (std::vector<NodeId>{0, 6}));
+  EXPECT_DOUBLE_EQ(sel.spread, 12.0);
+}
+
+TEST(CelfRobustnessTest, OverlappingHubsRewardComplementarity) {
+  // Hub A covers {1..6}; hub B covers {4..9}; node C covers {10,11}.
+  // Greedy picks A (7 covered incl. self), then prefers C's complement
+  // only if |new(B)| < |new(C)|: new(B) = {B,7,8,9} = 4 > new(C) = 3,
+  // so the second pick is B. Third pick must be C.
+  GraphBuilder b(13);
+  const NodeId hub_a = 0, hub_b = 1, small_c = 2;
+  for (NodeId v = 3; v <= 8; ++v) ASSERT_TRUE(b.AddEdge(hub_a, v).ok());
+  for (NodeId v = 6; v <= 11; ++v) ASSERT_TRUE(b.AddEdge(hub_b, v).ok());
+  ASSERT_TRUE(b.AddEdge(small_c, 12).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  std::vector<NodeId> candidates(g.num_nodes());
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    candidates[u] = static_cast<NodeId>(u);
+  }
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  SeedSelection sel =
+      std::move(CelfSelect(candidates, 3, oracle)).ValueOrDie();
+  EXPECT_EQ(sel.seeds[0], hub_a);
+  EXPECT_EQ(sel.seeds[1], hub_b);
+  EXPECT_EQ(sel.seeds[2], small_c);
+}
+
+TEST(CelfRobustnessTest, AllCandidatesEqualFallsBackToTieOrder) {
+  // A perfect matching: every node covers exactly one other; gains tie at
+  // every round, so the smallest-id candidates win (documented
+  // tie-breaking).
+  GraphBuilder b(8);
+  for (NodeId u = 0; u < 8; u += 2) ASSERT_TRUE(b.AddEdge(u, u + 1).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  std::vector<NodeId> candidates(g.num_nodes());
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    candidates[u] = static_cast<NodeId>(u);
+  }
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  SeedSelection sel =
+      std::move(CelfSelect(candidates, 2, oracle)).ValueOrDie();
+  EXPECT_EQ(sel.seeds, (std::vector<NodeId>{0, 2}));
+}
+
+TEST(CelfRobustnessTest, KEqualsCandidateCount) {
+  Rng gen(5);
+  Graph g = std::move(ErdosRenyi(10, 0.3, true, gen)).ValueOrDie();
+  std::vector<NodeId> candidates(g.num_nodes());
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    candidates[u] = static_cast<NodeId>(u);
+  }
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  SeedSelection sel =
+      std::move(CelfSelect(candidates, 10, oracle)).ValueOrDie();
+  EXPECT_EQ(sel.seeds.size(), 10u);
+  EXPECT_DOUBLE_EQ(sel.spread, 10.0);
+}
+
+}  // namespace
+}  // namespace privim

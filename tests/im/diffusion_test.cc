@@ -1,0 +1,167 @@
+#include "im/diffusion.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace privim {
+namespace {
+
+Graph UnitPath() {
+  // 0 -> 1 -> 2 -> 3 with weight 1.
+  GraphBuilder b(4);
+  EXPECT_TRUE(b.AddEdge(0, 1, 1.0f).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, 1.0f).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3, 1.0f).ok());
+  return std::move(b.Build()).ValueOrDie();
+}
+
+TEST(IcCascadeTest, UnitWeightsActivateEverythingReachable) {
+  Graph g = UnitPath();
+  Rng rng(1);
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(SimulateIcCascade(g, seeds, rng), 4u);
+}
+
+TEST(IcCascadeTest, ZeroWeightsActivateOnlySeeds) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.0f).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 0.0f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(2);
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(SimulateIcCascade(g, seeds, rng), 1u);
+}
+
+TEST(IcCascadeTest, StepTruncationLimitsReach) {
+  Graph g = UnitPath();
+  Rng rng(3);
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(SimulateIcCascade(g, seeds, rng, 0), 1u);
+  EXPECT_EQ(SimulateIcCascade(g, seeds, rng, 1), 2u);
+  EXPECT_EQ(SimulateIcCascade(g, seeds, rng, 2), 3u);
+}
+
+TEST(IcCascadeTest, DuplicateSeedsCountOnce) {
+  Graph g = UnitPath();
+  Rng rng(4);
+  const std::vector<NodeId> seeds = {0, 0, 1};
+  EXPECT_EQ(SimulateIcCascade(g, seeds, rng, 0), 2u);
+}
+
+TEST(IcCascadeTest, EachEdgeTriedOnce) {
+  // Two paths into node 2: if activation failed via one, the other still
+  // gets its chance; with p=0.5 over many trials the mean is predictable.
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 2, 0.5f).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 0.5f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(5);
+  const std::vector<NodeId> seeds = {0, 1};
+  // P(2 active) = 1 - 0.25 = 0.75 => mean spread = 2.75.
+  const double mean = EstimateIcSpread(g, seeds, 20000, rng);
+  EXPECT_NEAR(mean, 2.75, 0.02);
+}
+
+TEST(EstimateIcSpreadTest, MatchesBernoulliExpectation) {
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.3f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(6);
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_NEAR(EstimateIcSpread(g, seeds, 30000, rng), 1.3, 0.01);
+}
+
+TEST(ExactUnitWeightSpreadTest, MatchesClosureSizes) {
+  Graph g = UnitPath();
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(ExactUnitWeightSpread(g, seeds, 0), 1u);
+  EXPECT_EQ(ExactUnitWeightSpread(g, seeds, 1), 2u);
+  EXPECT_EQ(ExactUnitWeightSpread(g, seeds, 3), 4u);
+  EXPECT_EQ(ExactUnitWeightSpread(g, seeds, 99), 4u);
+}
+
+TEST(ExactUnitWeightSpreadTest, OneStepIsSeedsPlusOutNeighbors) {
+  GraphBuilder b(6);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  ASSERT_TRUE(b.AddEdge(3, 2).ok());
+  ASSERT_TRUE(b.AddEdge(2, 4).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  const std::vector<NodeId> seeds = {0, 3};
+  // S ∪ N_out(S) = {0,3} ∪ {1,2} = 4 nodes.
+  EXPECT_EQ(ExactUnitWeightSpread(g, seeds, 1), 4u);
+}
+
+TEST(ExactUnitWeightSpreadTest, AgreesWithMonteCarloOnUnitWeights) {
+  Rng gen(7);
+  Graph g = std::move(ErdosRenyi(60, 0.05, true, gen)).ValueOrDie();
+  Rng rng(8);
+  const std::vector<NodeId> seeds = {0, 5, 10};
+  const size_t exact = ExactUnitWeightSpread(g, seeds, 2);
+  // Unit weights make every cascade deterministic.
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_EQ(SimulateIcCascade(g, seeds, rng, 2), exact);
+  }
+}
+
+TEST(LtCascadeTest, SeedsAlwaysActive) {
+  Graph g = UnitPath();
+  Rng rng(9);
+  const std::vector<NodeId> seeds = {0, 2};
+  EXPECT_GE(SimulateLtCascade(g, seeds, rng), 2u);
+}
+
+TEST(LtCascadeTest, FullWeightAlwaysPropagates) {
+  // In LT, an in-weight sum of 1 meets any threshold in [0,1) a.s.;
+  // with weight 1.0 every reachable node activates (threshold < 1 w.p. 1).
+  Graph g = UnitPath();
+  Rng rng(10);
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(SimulateLtCascade(g, seeds, rng), 4u);
+}
+
+TEST(LtCascadeTest, WeakEdgesRarelyActivate) {
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.1f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(11);
+  const std::vector<NodeId> seeds = {0};
+  size_t total = 0;
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    total += SimulateLtCascade(g, seeds, rng);
+  }
+  // Node 1 activates iff threshold <= 0.1: mean spread ~= 1.1.
+  EXPECT_NEAR(static_cast<double>(total) / trials, 1.1, 0.02);
+}
+
+TEST(SisCascadeTest, CountsEverInfected) {
+  Graph g = UnitPath();
+  Rng rng(12);
+  const std::vector<NodeId> seeds = {0};
+  // Unit infection probability, zero recovery: everything reachable gets
+  // infected within 3 steps.
+  EXPECT_EQ(SimulateSisCascade(g, seeds, 0.0, 3, rng), 4u);
+}
+
+TEST(SisCascadeTest, ZeroStepsOnlySeeds) {
+  Graph g = UnitPath();
+  Rng rng(13);
+  const std::vector<NodeId> seeds = {0, 1};
+  EXPECT_EQ(SimulateSisCascade(g, seeds, 0.5, 0, rng), 2u);
+}
+
+TEST(SisCascadeTest, RecoveryAllowsReinfection) {
+  // With recovery 1.0, the seed recovers immediately but its neighbor may
+  // reinfect it; "ever infected" is monotone so the count stays valid.
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddUndirectedEdge(0, 1, 1.0f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(14);
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(SimulateSisCascade(g, seeds, 1.0, 5, rng), 2u);
+}
+
+}  // namespace
+}  // namespace privim

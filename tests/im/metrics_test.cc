@@ -1,0 +1,24 @@
+#include "im/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(CoverageRatioTest, Percentages) {
+  EXPECT_DOUBLE_EQ(CoverageRatioPercent(50.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(CoverageRatioPercent(100.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(CoverageRatioPercent(0.0, 100.0), 0.0);
+}
+
+TEST(CoverageRatioTest, CanExceedHundredForApproximateReference) {
+  // CELF is (1-1/e)-approximate; a method may beat it occasionally.
+  EXPECT_DOUBLE_EQ(CoverageRatioPercent(110.0, 100.0), 110.0);
+}
+
+TEST(CoverageRatioTest, ZeroReferenceYieldsZero) {
+  EXPECT_DOUBLE_EQ(CoverageRatioPercent(10.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,140 @@
+#include "im/rr_sets.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "im/diffusion.h"
+#include "im/seed_selection.h"
+
+namespace privim {
+namespace {
+
+TEST(RrSketchTest, GenerateValidatesArgs) {
+  GraphBuilder b(0);
+  Graph empty = std::move(b.Build()).ValueOrDie();
+  Rng rng(1);
+  EXPECT_FALSE(RrSketch::Generate(empty, 10, rng).ok());
+
+  Rng gen(2);
+  Graph g = std::move(ErdosRenyi(10, 0.2, true, gen)).ValueOrDie();
+  EXPECT_FALSE(RrSketch::Generate(g, 0, rng).ok());
+}
+
+TEST(RrSketchTest, SetsContainTheirTargets) {
+  Rng gen(3);
+  Graph g = std::move(ErdosRenyi(30, 0.1, true, gen)).ValueOrDie();
+  Rng rng(4);
+  RrSketch sketch = std::move(RrSketch::Generate(g, 50, rng)).ValueOrDie();
+  ASSERT_EQ(sketch.num_sets(), 50u);
+  for (const auto& rr : sketch.sets()) {
+    ASSERT_FALSE(rr.empty());
+    // Distinct members.
+    std::vector<NodeId> sorted = rr;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST(RrSketchTest, ZeroWeightGraphYieldsSingletonSets) {
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.0f).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 0.0f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(5);
+  RrSketch sketch = std::move(RrSketch::Generate(g, 40, rng)).ValueOrDie();
+  for (const auto& rr : sketch.sets()) EXPECT_EQ(rr.size(), 1u);
+}
+
+TEST(RrSketchTest, UnitWeightsReverseReachability) {
+  // Path 0 -> 1 -> 2 with weight 1: the RR set of target t is {0..t}.
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1, 1.0f).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 1.0f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(6);
+  RrSketch sketch = std::move(RrSketch::Generate(g, 30, rng)).ValueOrDie();
+  for (const auto& rr : sketch.sets()) {
+    // Must contain node 0 (it reaches everything).
+    EXPECT_NE(std::find(rr.begin(), rr.end(), 0u), rr.end());
+  }
+}
+
+TEST(RrSketchTest, SpreadEstimateMatchesMonteCarlo) {
+  Rng gen(7);
+  Graph ba = std::move(BarabasiAlbert(100, 3, gen)).ValueOrDie();
+  Graph g = std::move(WeightedCascade(ba)).ValueOrDie();
+  Rng rng(8);
+  RrSketch sketch =
+      std::move(RrSketch::Generate(g, 4000, rng)).ValueOrDie();
+  const std::vector<NodeId> seeds = {0, 1, 2};
+  const double rr_estimate = sketch.EstimateSpread(seeds);
+  Rng mc_rng(9);
+  const double mc_estimate = EstimateIcSpread(g, seeds, 2000, mc_rng);
+  EXPECT_NEAR(rr_estimate, mc_estimate, 0.15 * mc_estimate);
+}
+
+TEST(RrSketchTest, EstimateMonotoneInSeeds) {
+  Rng gen(10);
+  Graph g = std::move(ErdosRenyi(50, 0.05, true, gen)).ValueOrDie();
+  Rng rng(11);
+  RrSketch sketch =
+      std::move(RrSketch::Generate(g, 500, rng)).ValueOrDie();
+  std::vector<NodeId> seeds;
+  double prev = 0.0;
+  for (NodeId s = 0; s < 10; ++s) {
+    seeds.push_back(s);
+    const double est = sketch.EstimateSpread(seeds);
+    EXPECT_GE(est, prev);
+    prev = est;
+  }
+}
+
+TEST(RrSketchTest, SelectSeedsPicksTheHub) {
+  // Star with unit weights: the hub is in every RR set, so greedy
+  // max-coverage must pick it first.
+  GraphBuilder b(20);
+  for (NodeId v = 1; v < 20; ++v) ASSERT_TRUE(b.AddEdge(0, v, 1.0f).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(12);
+  RrSketch sketch =
+      std::move(RrSketch::Generate(g, 200, rng)).ValueOrDie();
+  std::vector<NodeId> seeds =
+      std::move(sketch.SelectSeeds(1)).ValueOrDie();
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(RrSketchTest, SelectSeedsNearCelfOnUnitWeights) {
+  Rng gen(13);
+  Graph g = std::move(BarabasiAlbert(200, 3, gen)).ValueOrDie();
+  Rng rng(14);
+  RrSketch sketch =
+      std::move(RrSketch::Generate(g, 3000, rng)).ValueOrDie();
+  std::vector<NodeId> ris_seeds =
+      std::move(sketch.SelectSeeds(10)).ValueOrDie();
+
+  std::vector<NodeId> candidates(g.num_nodes());
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    candidates[u] = static_cast<NodeId>(u);
+  }
+  // Unit weights, unlimited steps: exact closure spread for both.
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1000000);
+  SeedSelection celf =
+      std::move(CelfSelect(candidates, 10, oracle)).ValueOrDie();
+  const double ris_spread = oracle(ris_seeds);
+  EXPECT_GE(ris_spread, 0.9 * celf.spread);
+}
+
+TEST(RrSketchTest, SelectSeedsValidatesK) {
+  Rng gen(15);
+  Graph g = std::move(ErdosRenyi(10, 0.2, true, gen)).ValueOrDie();
+  Rng rng(16);
+  RrSketch sketch = std::move(RrSketch::Generate(g, 50, rng)).ValueOrDie();
+  EXPECT_FALSE(sketch.SelectSeeds(0).ok());
+  EXPECT_FALSE(sketch.SelectSeeds(11).ok());
+  EXPECT_TRUE(sketch.SelectSeeds(10).ok());
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,167 @@
+#include "im/seed_selection.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "im/diffusion.h"
+
+namespace privim {
+namespace {
+
+std::vector<NodeId> AllNodes(const Graph& g) {
+  std::vector<NodeId> out(g.num_nodes());
+  for (size_t u = 0; u < g.num_nodes(); ++u) out[u] = static_cast<NodeId>(u);
+  return out;
+}
+
+TEST(CelfTest, MatchesPlainGreedyOnCoverage) {
+  // The exact unit-weight 1-step spread is monotone submodular, so CELF and
+  // plain greedy must return identical spreads (ties may reorder seeds).
+  Rng gen(1);
+  Graph g = std::move(ErdosRenyi(60, 0.06, true, gen)).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  const auto candidates = AllNodes(g);
+  SeedSelection celf =
+      std::move(CelfSelect(candidates, 5, oracle)).ValueOrDie();
+  SeedSelection greedy =
+      std::move(GreedySelect(candidates, 5, oracle)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(celf.spread, greedy.spread);
+}
+
+TEST(CelfTest, LazyEvaluationSavesOracleCalls) {
+  Rng gen(2);
+  Graph g = std::move(BarabasiAlbert(150, 3, gen)).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  const auto candidates = AllNodes(g);
+  SeedSelection celf =
+      std::move(CelfSelect(candidates, 10, oracle)).ValueOrDie();
+  SeedSelection greedy =
+      std::move(GreedySelect(candidates, 10, oracle)).ValueOrDie();
+  EXPECT_LT(celf.oracle_calls, greedy.oracle_calls / 2);
+  EXPECT_DOUBLE_EQ(celf.spread, greedy.spread);
+}
+
+TEST(CelfTest, PicksObviousHub) {
+  // Star: the hub covers everything in one step.
+  GraphBuilder b(20);
+  for (NodeId v = 1; v < 20; ++v) ASSERT_TRUE(b.AddEdge(0, v).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  SeedSelection sel =
+      std::move(CelfSelect(AllNodes(g), 1, oracle)).ValueOrDie();
+  EXPECT_EQ(sel.seeds[0], 0u);
+  EXPECT_DOUBLE_EQ(sel.spread, 20.0);
+}
+
+TEST(CelfTest, SeedsAreDistinct) {
+  Rng gen(3);
+  Graph g = std::move(ErdosRenyi(40, 0.1, true, gen)).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  SeedSelection sel =
+      std::move(CelfSelect(AllNodes(g), 8, oracle)).ValueOrDie();
+  std::vector<NodeId> seeds = sel.seeds;
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::unique(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(CelfTest, SpreadMonotoneInK) {
+  Rng gen(4);
+  Graph g = std::move(BarabasiAlbert(80, 3, gen)).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  double prev = 0.0;
+  for (size_t k : {1u, 3u, 6u, 12u}) {
+    SeedSelection sel =
+        std::move(CelfSelect(AllNodes(g), k, oracle)).ValueOrDie();
+    EXPECT_GE(sel.spread, prev);
+    prev = sel.spread;
+  }
+}
+
+TEST(CelfTest, RejectsBadArgs) {
+  Rng gen(5);
+  Graph g = std::move(ErdosRenyi(10, 0.2, true, gen)).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  EXPECT_FALSE(CelfSelect(AllNodes(g), 0, oracle).ok());
+  EXPECT_FALSE(CelfSelect(AllNodes(g), 11, oracle).ok());
+}
+
+TEST(DegreeSelectTest, PicksTopOutDegrees) {
+  GraphBuilder b(10);
+  // Node 3: degree 4; node 7: degree 3; node 1: degree 2.
+  for (NodeId v : {0u, 2u, 4u, 5u}) ASSERT_TRUE(b.AddEdge(3, v).ok());
+  for (NodeId v : {0u, 2u, 4u}) ASSERT_TRUE(b.AddEdge(7, v).ok());
+  for (NodeId v : {0u, 2u}) ASSERT_TRUE(b.AddEdge(1, v).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  SeedSelection sel =
+      std::move(DegreeSelect(g, AllNodes(g), 2, oracle)).ValueOrDie();
+  EXPECT_EQ(sel.seeds[0], 3u);
+  EXPECT_EQ(sel.seeds[1], 7u);
+}
+
+TEST(RandomSelectTest, SelectsFromCandidatesOnly) {
+  Rng gen(6);
+  Graph g = std::move(ErdosRenyi(30, 0.1, true, gen)).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  const std::vector<NodeId> candidates = {1, 3, 5, 7, 9, 11};
+  Rng rng(7);
+  SeedSelection sel =
+      std::move(RandomSelect(candidates, 3, oracle, rng)).ValueOrDie();
+  for (NodeId s : sel.seeds) {
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), s),
+              candidates.end());
+  }
+}
+
+TEST(TopKByScoreTest, OrdersByScore) {
+  Rng gen(8);
+  Graph g = std::move(ErdosRenyi(10, 0.2, true, gen)).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  std::vector<double> scores(10, 0.0);
+  scores[4] = 0.9;
+  scores[8] = 0.8;
+  scores[2] = 0.7;
+  SeedSelection sel =
+      std::move(TopKByScore(AllNodes(g), 3, scores, oracle)).ValueOrDie();
+  EXPECT_EQ(sel.seeds, (std::vector<NodeId>{4, 8, 2}));
+}
+
+TEST(TopKByScoreTest, RejectsMissingScores) {
+  Rng gen(9);
+  Graph g = std::move(ErdosRenyi(10, 0.2, true, gen)).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  const std::vector<double> scores(5, 0.5);  // Too short.
+  EXPECT_FALSE(TopKByScore(AllNodes(g), 3, scores, oracle).ok());
+}
+
+TEST(CelfTest, BeatsRandomAndAtLeastMatchesDegree) {
+  Rng gen(10);
+  Graph g = std::move(BarabasiAlbert(200, 3, gen)).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  const auto candidates = AllNodes(g);
+  SeedSelection celf =
+      std::move(CelfSelect(candidates, 10, oracle)).ValueOrDie();
+  SeedSelection degree =
+      std::move(DegreeSelect(g, candidates, 10, oracle)).ValueOrDie();
+  Rng rng(11);
+  SeedSelection random =
+      std::move(RandomSelect(candidates, 10, oracle, rng)).ValueOrDie();
+  EXPECT_GE(celf.spread, degree.spread);
+  EXPECT_GT(celf.spread, random.spread);
+}
+
+TEST(MonteCarloOracleTest, ApproximatesExactOracleOnUnitWeights) {
+  Rng gen(12);
+  Graph g = std::move(ErdosRenyi(40, 0.08, true, gen)).ValueOrDie();
+  Rng rng(13);
+  SpreadOracle mc = MakeMonteCarloOracle(g, 10, rng, 1);
+  SpreadOracle exact = MakeExactUnitOracle(g, 1);
+  const std::vector<NodeId> seeds = {0, 1, 2};
+  // Unit weights: MC is deterministic, must equal exact.
+  EXPECT_DOUBLE_EQ(mc(seeds), exact(seeds));
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,101 @@
+#include "nn/features.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace privim {
+namespace {
+
+TEST(FeaturesTest, ShapeAndRange) {
+  Rng rng(1);
+  Graph g = std::move(BarabasiAlbert(100, 3, rng)).ValueOrDie();
+  Matrix x = BuildNodeFeatures(g);
+  ASSERT_EQ(x.rows(), 100u);
+  ASSERT_EQ(x.cols(), kNodeFeatureDim);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_GE(x.data()[i], 0.0f);
+    EXPECT_LE(x.data()[i], 1.0f);
+  }
+}
+
+TEST(FeaturesTest, BiasChannelIsOne) {
+  Rng rng(2);
+  Graph g = std::move(BarabasiAlbert(50, 2, rng)).ValueOrDie();
+  Matrix x = BuildNodeFeatures(g);
+  for (size_t u = 0; u < 50; ++u) EXPECT_FLOAT_EQ(x(u, 0), 1.0f);
+}
+
+TEST(FeaturesTest, DegreeChannelsOrderNodesByDegree) {
+  // Star: node 0 has out-degree 4, others 0. Features use *absolute*
+  // scaling (deg / 32, log1p(deg)/log(1024)) so the same degree maps to
+  // the same feature value on a training subgraph and the full graph.
+  GraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) ASSERT_TRUE(b.AddEdge(0, v).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Matrix x = BuildNodeFeatures(g);
+  EXPECT_FLOAT_EQ(x(0, 1), 4.0f / 32.0f);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_FLOAT_EQ(x(v, 1), 0.0f);
+  for (NodeId v = 1; v < 5; ++v) {
+    EXPECT_FLOAT_EQ(x(v, 2), 1.0f / 32.0f);
+  }
+  EXPECT_FLOAT_EQ(x(0, 2), 0.0f);
+  // Log channels preserve the ordering.
+  EXPECT_GT(x(0, 3), x(1, 3));
+  EXPECT_GT(x(1, 4), x(0, 4));
+}
+
+TEST(FeaturesTest, AbsoluteScalingTransfersAcrossGraphSizes) {
+  // A node with identical local structure must get identical features on
+  // a small and a large graph (train-subgraph / full-graph consistency).
+  GraphBuilder small(3);
+  ASSERT_TRUE(small.AddEdge(0, 1).ok());
+  ASSERT_TRUE(small.AddEdge(0, 2).ok());
+  Graph gs = std::move(small.Build()).ValueOrDie();
+  GraphBuilder large(100);
+  ASSERT_TRUE(large.AddEdge(0, 1).ok());
+  ASSERT_TRUE(large.AddEdge(0, 2).ok());
+  for (NodeId v = 10; v < 90; ++v) {
+    ASSERT_TRUE(large.AddEdge(5, v).ok());  // Unrelated hub elsewhere.
+  }
+  Graph gl = std::move(large.Build()).ValueOrDie();
+  Matrix xs = BuildNodeFeatures(gs);
+  Matrix xl = BuildNodeFeatures(gl);
+  for (size_t c = 0; c < kNodeFeatureDim; ++c) {
+    EXPECT_FLOAT_EQ(xs(0, c), xl(0, c)) << "feature " << c;
+  }
+}
+
+TEST(FeaturesTest, ReciprocalFractionDetectsMutualEdges) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddUndirectedEdge(0, 1).ok());  // Mutual.
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());            // One-way.
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Matrix x = BuildNodeFeatures(g);
+  EXPECT_FLOAT_EQ(x(0, 6), 0.5f);  // 1 of 2 out-neighbors reciprocates.
+  EXPECT_FLOAT_EQ(x(1, 6), 1.0f);
+  EXPECT_FLOAT_EQ(x(2, 6), 0.0f);  // No out-edges.
+}
+
+TEST(FeaturesTest, EmptyGraphSafe) {
+  GraphBuilder b(0);
+  Graph g = std::move(b.Build()).ValueOrDie();
+  Matrix x = BuildNodeFeatures(g);
+  EXPECT_EQ(x.rows(), 0u);
+}
+
+TEST(FeaturesTest, IsolatedNodesGetFiniteFeatures) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();  // Node 2 isolated.
+  Matrix x = BuildNodeFeatures(g);
+  for (size_t c = 0; c < kNodeFeatureDim; ++c) {
+    EXPECT_TRUE(std::isfinite(x(2, c)));
+  }
+  EXPECT_FLOAT_EQ(x(2, 7), 1.0f);  // 1/(1+0).
+}
+
+}  // namespace
+}  // namespace privim

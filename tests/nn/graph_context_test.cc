@@ -1,0 +1,93 @@
+#include "nn/graph_context.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+Graph MakeTriangle() {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 1, 0.5f).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, 0.25f).ok());
+  EXPECT_TRUE(b.AddEdge(2, 0, 1.0f).ok());
+  return std::move(b.Build()).ValueOrDie();
+}
+
+TEST(GraphContextTest, IncludesSelfLoops) {
+  Graph g = MakeTriangle();
+  GraphContext ctx = BuildGraphContext(g);
+  EXPECT_EQ(ctx.num_nodes, 3u);
+  EXPECT_EQ(ctx.src.size(), g.num_edges() + g.num_nodes());
+  size_t self_loops = 0;
+  for (size_t e = 0; e < ctx.src.size(); ++e) {
+    if (ctx.is_self_loop[e]) {
+      EXPECT_EQ(ctx.src[e], ctx.dst[e]);
+      ++self_loops;
+    }
+  }
+  EXPECT_EQ(self_loops, 3u);
+}
+
+TEST(GraphContextTest, GcnCoefficientsSymmetricNormalized) {
+  Graph g = MakeTriangle();
+  GraphContext ctx = BuildGraphContext(g);
+  for (size_t e = 0; e < ctx.src.size(); ++e) {
+    const double d_src = static_cast<double>(g.OutDegree(ctx.src[e])) + 1.0;
+    const double d_dst = static_cast<double>(g.InDegree(ctx.dst[e])) + 1.0;
+    EXPECT_NEAR(ctx.gcn_coef[e], 1.0 / std::sqrt(d_src * d_dst), 1e-6);
+  }
+}
+
+TEST(GraphContextTest, MeanCoefficientsSumToOnePerTarget) {
+  Graph g = MakeTriangle();
+  GraphContext ctx = BuildGraphContext(g);
+  std::vector<double> sums(3, 0.0);
+  for (size_t e = 0; e < ctx.src.size(); ++e) {
+    sums[ctx.dst[e]] += ctx.mean_coef[e];
+  }
+  for (double s : sums) EXPECT_NEAR(s, 1.0, 1e-6);
+}
+
+TEST(GraphContextTest, SumCoefZeroOnSelfLoops) {
+  Graph g = MakeTriangle();
+  GraphContext ctx = BuildGraphContext(g);
+  for (size_t e = 0; e < ctx.src.size(); ++e) {
+    if (ctx.is_self_loop[e]) {
+      EXPECT_EQ(ctx.sum_coef[e], 0.0f);
+      EXPECT_EQ(ctx.ic_coef[e], 0.0f);
+    } else {
+      EXPECT_EQ(ctx.sum_coef[e], 1.0f);
+      EXPECT_EQ(ctx.ic_coef[e], ctx.weight[e]);
+    }
+  }
+}
+
+TEST(GraphContextTest, IcCoefCarriesEdgeWeights) {
+  Graph g = MakeTriangle();
+  GraphContext ctx = BuildGraphContext(g);
+  // Find arc 1->2 and check its IC weight 0.25.
+  bool found = false;
+  for (size_t e = 0; e < ctx.src.size(); ++e) {
+    if (ctx.src[e] == 1 && ctx.dst[e] == 2 && !ctx.is_self_loop[e]) {
+      EXPECT_FLOAT_EQ(ctx.ic_coef[e], 0.25f);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GraphContextTest, EmptyGraphStillHasSelfLoops) {
+  GraphBuilder b(4);
+  Graph g = std::move(b.Build()).ValueOrDie();
+  GraphContext ctx = BuildGraphContext(g);
+  EXPECT_EQ(ctx.src.size(), 4u);
+  for (size_t e = 0; e < 4; ++e) {
+    EXPECT_TRUE(ctx.is_self_loop[e]);
+    EXPECT_NEAR(ctx.gcn_coef[e], 1.0, 1e-6);  // Isolated: 1/sqrt(1*1).
+  }
+}
+
+}  // namespace
+}  // namespace privim

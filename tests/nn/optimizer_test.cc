@@ -1,0 +1,79 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(SgdOptimizerTest, AppliesLearningRate) {
+  ParamStore store;
+  store.NewConstant("w", 1, 2, 1.0f);
+  SgdOptimizer opt(0.1f);
+  std::vector<float> grad = {1.0f, -2.0f};
+  opt.Step(store, grad);
+  std::vector<float> flat(2);
+  store.FlattenParams(flat);
+  EXPECT_FLOAT_EQ(flat[0], 0.9f);
+  EXPECT_FLOAT_EQ(flat[1], 1.2f);
+}
+
+TEST(SgdOptimizerTest, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2 with exact gradient 2(w-3).
+  ParamStore store;
+  store.NewConstant("w", 1, 1, 0.0f);
+  SgdOptimizer opt(0.1f);
+  std::vector<float> flat(1), grad(1);
+  for (int i = 0; i < 200; ++i) {
+    store.FlattenParams(flat);
+    grad[0] = 2.0f * (flat[0] - 3.0f);
+    opt.Step(store, grad);
+  }
+  store.FlattenParams(flat);
+  EXPECT_NEAR(flat[0], 3.0f, 1e-4);
+}
+
+TEST(AdamOptimizerTest, ConvergesOnQuadratic) {
+  ParamStore store;
+  store.NewConstant("w", 1, 1, 0.0f);
+  AdamOptimizer opt(0.1f);
+  std::vector<float> flat(1), grad(1);
+  for (int i = 0; i < 500; ++i) {
+    store.FlattenParams(flat);
+    grad[0] = 2.0f * (flat[0] - 3.0f);
+    opt.Step(store, grad);
+  }
+  store.FlattenParams(flat);
+  EXPECT_NEAR(flat[0], 3.0f, 1e-2);
+}
+
+TEST(AdamOptimizerTest, FirstStepIsApproximatelyLearningRate) {
+  // With bias correction, the first Adam step has magnitude ~lr regardless
+  // of gradient scale.
+  for (float scale : {0.01f, 1.0f, 100.0f}) {
+    ParamStore store;
+    store.NewConstant("w", 1, 1, 0.0f);
+    AdamOptimizer opt(0.05f);
+    std::vector<float> grad = {scale};
+    opt.Step(store, grad);
+    std::vector<float> flat(1);
+    store.FlattenParams(flat);
+    EXPECT_NEAR(flat[0], -0.05f, 0.005f) << "scale " << scale;
+  }
+}
+
+TEST(AdamOptimizerTest, HandlesZeroGradient) {
+  ParamStore store;
+  store.NewConstant("w", 1, 1, 1.0f);
+  AdamOptimizer opt(0.1f);
+  std::vector<float> grad = {0.0f};
+  opt.Step(store, grad);
+  std::vector<float> flat(1);
+  store.FlattenParams(flat);
+  EXPECT_TRUE(std::isfinite(flat[0]));
+  EXPECT_NEAR(flat[0], 1.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace privim

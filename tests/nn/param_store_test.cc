@@ -1,0 +1,96 @@
+#include "nn/param_store.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace privim {
+namespace {
+
+TEST(ParamStoreTest, TracksScalarCount) {
+  ParamStore store;
+  Rng rng(1);
+  store.NewGlorot("w1", 3, 4, rng);
+  store.NewConstant("b1", 1, 4, 0.0f);
+  EXPECT_EQ(store.num_tensors(), 2u);
+  EXPECT_EQ(store.num_scalars(), 16u);
+  EXPECT_EQ(store.names()[0], "w1");
+}
+
+TEST(ParamStoreTest, GlorotBoundsRespected) {
+  ParamStore store;
+  Rng rng(2);
+  Tensor w = store.NewGlorot("w", 50, 50, rng);
+  const double bound = std::sqrt(6.0 / 100.0);
+  for (size_t i = 0; i < w.value().size(); ++i) {
+    EXPECT_LE(std::abs(w.value().data()[i]), bound);
+  }
+  // Not all identical (sanity).
+  EXPECT_NE(w.value()(0, 0), w.value()(1, 1));
+}
+
+TEST(ParamStoreTest, FlattenRoundTrip) {
+  ParamStore store;
+  Rng rng(3);
+  store.NewGlorot("a", 2, 2, rng);
+  store.NewGlorot("b", 1, 3, rng);
+  std::vector<float> flat(store.num_scalars());
+  store.FlattenParams(flat);
+  std::vector<float> modified = flat;
+  for (float& v : modified) v += 1.0f;
+  store.LoadParams(modified);
+  std::vector<float> readback(store.num_scalars());
+  store.FlattenParams(readback);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_FLOAT_EQ(readback[i], flat[i] + 1.0f);
+  }
+}
+
+TEST(ParamStoreTest, FlattenGradsAfterBackward) {
+  ParamStore store;
+  Rng rng(4);
+  Tensor w = store.NewConstant("w", 2, 2, 1.0f);
+  Tensor loss = Sum(Scale(w, 3.0f));
+  store.ZeroGrads();
+  loss.Backward();
+  std::vector<float> grads(store.num_scalars());
+  store.FlattenGrads(grads);
+  for (float g : grads) EXPECT_FLOAT_EQ(g, 3.0f);
+}
+
+TEST(ParamStoreTest, ZeroGradsClears) {
+  ParamStore store;
+  Rng rng(5);
+  Tensor w = store.NewConstant("w", 1, 2, 1.0f);
+  Sum(w).Backward();
+  store.ZeroGrads();
+  std::vector<float> grads(store.num_scalars());
+  store.FlattenGrads(grads);
+  for (float g : grads) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(ParamStoreTest, ApplyUpdateSubtractsScaledDelta) {
+  ParamStore store;
+  store.NewConstant("w", 1, 2, 10.0f);
+  std::vector<float> delta = {2.0f, 4.0f};
+  store.ApplyUpdate(delta, 0.5f);
+  std::vector<float> flat(2);
+  store.FlattenParams(flat);
+  EXPECT_FLOAT_EQ(flat[0], 9.0f);
+  EXPECT_FLOAT_EQ(flat[1], 8.0f);
+}
+
+TEST(ParamStoreTest, UpdateAffectsLiveTensor) {
+  // The tensors handed to layers alias the store's parameters; an update
+  // must be visible through the layer's handle.
+  ParamStore store;
+  Tensor w = store.NewConstant("w", 1, 1, 5.0f);
+  std::vector<float> delta = {1.0f};
+  store.ApplyUpdate(delta, 1.0f);
+  EXPECT_FLOAT_EQ(w.value()(0, 0), 4.0f);
+}
+
+}  // namespace
+}  // namespace privim

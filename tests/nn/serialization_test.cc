@@ -1,0 +1,117 @@
+#include "nn/serialization.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "nn/features.h"
+#include "nn/graph_context.h"
+
+namespace privim {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+GnnConfig SmallConfig(GnnType type = GnnType::kGrat) {
+  GnnConfig cfg;
+  cfg.type = type;
+  cfg.in_dim = kNodeFeatureDim;
+  cfg.hidden_dim = 8;
+  cfg.num_layers = 2;
+  return cfg;
+}
+
+TEST(SerializationTest, RoundTripPreservesScores) {
+  Rng rng(1);
+  GnnModel model(SmallConfig(), rng);
+  const std::string path = TempPath("privim_model_roundtrip.ckpt");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  Rng rng2(999);  // Different init; must be overwritten by the load.
+  GnnModel loaded(SmallConfig(), rng2);
+  ASSERT_TRUE(LoadModelParams(path, loaded).ok());
+
+  Rng graph_rng(3);
+  Graph g = std::move(ErdosRenyi(25, 0.2, true, graph_rng)).ValueOrDie();
+  GraphContext ctx = BuildGraphContext(g);
+  Matrix x = BuildNodeFeatures(g);
+  Tensor a = model.ForwardLogits(ctx, Tensor(x));
+  Tensor b = loaded.ForwardLogits(ctx, Tensor(x));
+  for (size_t u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_NEAR(a.value()(u, 0), b.value()(u, 0), 1e-5) << "node " << u;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ConfigHeaderReadable) {
+  Rng rng(4);
+  GnnModel model(SmallConfig(GnnType::kGin), rng);
+  const std::string path = TempPath("privim_model_header.ckpt");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  GnnConfig cfg = std::move(LoadModelConfig(path)).ValueOrDie();
+  EXPECT_EQ(cfg.type, GnnType::kGin);
+  EXPECT_EQ(cfg.in_dim, kNodeFeatureDim);
+  EXPECT_EQ(cfg.hidden_dim, 8u);
+  EXPECT_EQ(cfg.num_layers, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsMismatchedConfig) {
+  Rng rng(5);
+  GnnModel model(SmallConfig(GnnType::kGcn), rng);
+  const std::string path = TempPath("privim_model_mismatch.ckpt");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  Rng rng2(6);
+  GnnModel other(SmallConfig(GnnType::kGat), rng2);
+  EXPECT_EQ(LoadModelParams(path, other).code(),
+            StatusCode::kFailedPrecondition);
+
+  GnnConfig bigger = SmallConfig(GnnType::kGcn);
+  bigger.hidden_dim = 16;
+  Rng rng3(7);
+  GnnModel wide(bigger, rng3);
+  EXPECT_EQ(LoadModelParams(path, wide).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsGarbageFile) {
+  const std::string path = TempPath("privim_model_garbage.ckpt");
+  {
+    std::ofstream out(path);
+    out << "definitely not a checkpoint\n";
+  }
+  EXPECT_FALSE(LoadModelConfig(path).ok());
+  Rng rng(8);
+  GnnModel model(SmallConfig(), rng);
+  EXPECT_FALSE(LoadModelParams(path, model).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  EXPECT_EQ(LoadModelConfig("/no/such/file.ckpt").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(SerializationTest, AllBackbonesRoundTrip) {
+  for (GnnType type : {GnnType::kGcn, GnnType::kSage, GnnType::kGin,
+                       GnnType::kGat, GnnType::kGrat}) {
+    Rng rng(10 + static_cast<uint64_t>(type));
+    GnnModel model(SmallConfig(type), rng);
+    const std::string path = TempPath("privim_model_bb.ckpt");
+    ASSERT_TRUE(SaveModel(model, path).ok()) << GnnTypeName(type);
+    Rng rng2(99);
+    GnnModel loaded(SmallConfig(type), rng2);
+    EXPECT_TRUE(LoadModelParams(path, loaded).ok()) << GnnTypeName(type);
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,144 @@
+#include "sampling/baseline_samplers.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace privim {
+namespace {
+
+Graph DenseGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return std::move(ErdosRenyi(n, 0.08, false, rng)).ValueOrDie();
+}
+
+TEST(EgnRandomSampleTest, ProducesRequestedCountAndSize) {
+  Graph g = DenseGraph(100, 1);
+  Rng rng(2);
+  SubgraphContainer c =
+      std::move(EgnRandomSample(g, 20, 10, rng)).ValueOrDie();
+  EXPECT_EQ(c.size(), 20u);
+  for (const Subgraph& sub : c.subgraphs()) {
+    EXPECT_EQ(sub.size(), 10u);
+    std::unordered_set<NodeId> uniq(sub.nodes.begin(), sub.nodes.end());
+    EXPECT_EQ(uniq.size(), 10u);
+  }
+}
+
+TEST(EgnRandomSampleTest, NoFrequencyControl) {
+  // With enough subgraphs relative to nodes, some node must repeat —
+  // demonstrating EGN's unbounded occurrences.
+  Graph g = DenseGraph(20, 3);
+  Rng rng(4);
+  SubgraphContainer c =
+      std::move(EgnRandomSample(g, 30, 10, rng)).ValueOrDie();
+  EXPECT_GT(c.MaxOccurrence(20), 10u);
+}
+
+TEST(EgnRandomSampleTest, RejectsBadSize) {
+  Graph g = DenseGraph(10, 5);
+  Rng rng(6);
+  EXPECT_FALSE(EgnRandomSample(g, 5, 1, rng).ok());
+  EXPECT_FALSE(EgnRandomSample(g, 5, 11, rng).ok());
+}
+
+TEST(EgoSampleTest, RootsAreFirstNode) {
+  Graph g = DenseGraph(200, 7);
+  EgoSamplingConfig cfg;
+  cfg.sampling_rate = 0.5;
+  Rng rng(8);
+  SubgraphContainer c = std::move(EgoSample(g, cfg, rng)).ValueOrDie();
+  ASSERT_GT(c.size(), 0u);
+  for (const Subgraph& sub : c.subgraphs()) {
+    // All nodes lie within `hops` of the root.
+    const std::vector<int> dist = BfsDistances(g, sub.nodes[0]);
+    for (NodeId u : sub.nodes) {
+      ASSERT_GE(dist[u], 0);
+      EXPECT_LE(dist[u], cfg.hops);
+    }
+  }
+}
+
+TEST(EgoSampleTest, RespectsMaxNodes) {
+  Graph g = DenseGraph(300, 9);
+  EgoSamplingConfig cfg;
+  cfg.sampling_rate = 0.5;
+  cfg.max_nodes = 12;
+  Rng rng(10);
+  SubgraphContainer c = std::move(EgoSample(g, cfg, rng)).ValueOrDie();
+  for (const Subgraph& sub : c.subgraphs()) {
+    EXPECT_LE(sub.size(), 12u);
+    EXPECT_GE(sub.size(), 2u);
+  }
+}
+
+TEST(EgoSampleTest, FanoutBoundsChildren) {
+  // Star graph with a huge hub: each ego tree from the hub keeps at most
+  // `fanout` leaves.
+  GraphBuilder b(101);
+  for (NodeId v = 1; v <= 100; ++v) ASSERT_TRUE(b.AddEdge(0, v).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  EgoSamplingConfig cfg;
+  cfg.sampling_rate = 1.0;
+  cfg.fanout = 7;
+  cfg.max_nodes = 100;
+  Rng rng(11);
+  SubgraphContainer c = std::move(EgoSample(g, cfg, rng)).ValueOrDie();
+  for (const Subgraph& sub : c.subgraphs()) {
+    if (sub.nodes[0] == 0) {
+      EXPECT_LE(sub.size(), 1u + 7u);
+    }
+  }
+}
+
+TEST(EgoSampleTest, SkipsIsolatedRoots) {
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  EgoSamplingConfig cfg;
+  cfg.sampling_rate = 1.0;
+  Rng rng(12);
+  SubgraphContainer c = std::move(EgoSample(g, cfg, rng)).ValueOrDie();
+  for (const Subgraph& sub : c.subgraphs()) {
+    EXPECT_GE(sub.size(), 2u);
+  }
+}
+
+TEST(EgoSampleTest, RejectsBadConfig) {
+  Graph g = DenseGraph(20, 13);
+  Rng rng(14);
+  EgoSamplingConfig cfg;
+  cfg.sampling_rate = 0.0;
+  EXPECT_FALSE(EgoSample(g, cfg, rng).ok());
+  cfg = EgoSamplingConfig();
+  cfg.fanout = 0;
+  EXPECT_FALSE(EgoSample(g, cfg, rng).ok());
+  cfg = EgoSamplingConfig();
+  cfg.max_nodes = 1;
+  EXPECT_FALSE(EgoSample(g, cfg, rng).ok());
+}
+
+TEST(EgoOccurrenceBoundTest, GeometricClampedByContainer) {
+  EgoSamplingConfig cfg;
+  cfg.fanout = 10;
+  cfg.hops = 2;
+  // Lemma-1 style bound: 1 + 10 + 100 = 111.
+  EXPECT_EQ(EgoOccurrenceBound(cfg, 1000), 111u);
+  EXPECT_EQ(EgoOccurrenceBound(cfg, 50), 50u);
+}
+
+TEST(EgoSampleTest, ObservedOccurrencesRespectBound) {
+  Graph g = DenseGraph(300, 15);
+  EgoSamplingConfig cfg;
+  cfg.sampling_rate = 0.8;
+  Rng rng(16);
+  SubgraphContainer c = std::move(EgoSample(g, cfg, rng)).ValueOrDie();
+  EXPECT_LE(c.MaxOccurrence(g.num_nodes()),
+            EgoOccurrenceBound(cfg, c.size()));
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,63 @@
+#include "sampling/container.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+
+namespace privim {
+namespace {
+
+Subgraph MakeSub(const Graph& g, std::vector<NodeId> nodes) {
+  return std::move(InduceSubgraph(g, std::move(nodes))).ValueOrDie();
+}
+
+TEST(SubgraphContainerTest, AddAndAccess) {
+  Rng rng(1);
+  Graph g = std::move(ErdosRenyi(10, 0.3, true, rng)).ValueOrDie();
+  SubgraphContainer c;
+  EXPECT_TRUE(c.empty());
+  c.Add(MakeSub(g, {0, 1, 2}));
+  c.Add(MakeSub(g, {3, 4}));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.at(0).size(), 3u);
+  EXPECT_EQ(c.at(1).nodes[0], 3u);
+}
+
+TEST(SubgraphContainerTest, OccurrenceHistogramCounts) {
+  Rng rng(2);
+  Graph g = std::move(ErdosRenyi(6, 0.5, true, rng)).ValueOrDie();
+  SubgraphContainer c;
+  c.Add(MakeSub(g, {0, 1}));
+  c.Add(MakeSub(g, {0, 2}));
+  c.Add(MakeSub(g, {0, 1, 3}));
+  const std::vector<size_t> hist = c.OccurrenceHistogram(6);
+  EXPECT_EQ(hist[0], 3u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[3], 1u);
+  EXPECT_EQ(hist[4], 0u);
+  EXPECT_EQ(c.MaxOccurrence(6), 3u);
+}
+
+TEST(SubgraphContainerTest, MergeMovesAll) {
+  Rng rng(3);
+  Graph g = std::move(ErdosRenyi(6, 0.5, true, rng)).ValueOrDie();
+  SubgraphContainer a, b;
+  a.Add(MakeSub(g, {0, 1}));
+  b.Add(MakeSub(g, {2, 3}));
+  b.Add(MakeSub(g, {4, 5}));
+  a.Merge(std::move(b));
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 0u);  // NOLINT(bugprone-use-after-move): documented.
+  EXPECT_EQ(a.at(2).nodes[0], 4u);
+}
+
+TEST(SubgraphContainerTest, EmptyHistogram) {
+  SubgraphContainer c;
+  EXPECT_EQ(c.MaxOccurrence(5), 0u);
+  EXPECT_EQ(c.OccurrenceHistogram(5), std::vector<size_t>(5, 0));
+}
+
+}  // namespace
+}  // namespace privim

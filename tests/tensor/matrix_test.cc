@@ -1,0 +1,97 @@
+#include "tensor/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(m(r, c), 1.5f);
+  }
+  m(1, 2) = -4.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), -4.0f);
+  EXPECT_FLOAT_EQ(m.row(1)[2], -4.0f);
+}
+
+TEST(MatrixTest, ZerosOnesFromRows) {
+  EXPECT_EQ(Matrix::Zeros(2, 2).Sum(), 0.0);
+  EXPECT_EQ(Matrix::Ones(3, 4).Sum(), 12.0);
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_FLOAT_EQ(m(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 3.0f);
+}
+
+TEST(MatrixTest, InPlaceOps) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{10, 20}, {30, 40}});
+  a.AddInPlace(b);
+  EXPECT_FLOAT_EQ(a(1, 1), 44.0f);
+  a.AddScaledInPlace(b, -1.0f);
+  EXPECT_FLOAT_EQ(a(0, 0), 1.0f);
+  a.ScaleInPlace(2.0f);
+  EXPECT_FLOAT_EQ(a(1, 0), 6.0f);
+  a.Fill(7.0f);
+  EXPECT_EQ(a.Sum(), 28.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m = Matrix::FromRows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatMulValuesTest, KnownProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = MatMulValues(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(MatMulValuesTest, NonSquareShapes) {
+  Matrix a(2, 3, 1.0f);
+  Matrix b(3, 4, 2.0f);
+  Matrix c = MatMulValues(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_FLOAT_EQ(c(0, 0), 6.0f);
+}
+
+TEST(MatTransMulValuesTest, MatchesExplicitTranspose) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});  // [3,2]
+  Matrix b = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}});  // [3,2]
+  Matrix c = MatTransMulValues(a, b);  // a^T b: [2,2]
+  // a^T = [[1,3,5],[2,4,6]]; a^T b = [[1+5, 3+5],[2+6, 4+6]].
+  EXPECT_FLOAT_EQ(c(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 8.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 8.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 10.0f);
+}
+
+TEST(MatMulTransValuesTest, MatchesExplicitTranspose) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});  // [2,2]
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});  // [2,2]
+  Matrix c = MatMulTransValues(a, b);  // a b^T
+  EXPECT_FLOAT_EQ(c(0, 0), 17.0f);  // 1*5+2*6
+  EXPECT_FLOAT_EQ(c(0, 1), 23.0f);  // 1*7+2*8
+  EXPECT_FLOAT_EQ(c(1, 0), 39.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 53.0f);
+}
+
+TEST(MatMulIdentityTest, IdentityIsNeutral) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix eye = Matrix::Zeros(2, 2);
+  eye(0, 0) = eye(1, 1) = 1.0f;
+  Matrix c = MatMulValues(a, eye);
+  EXPECT_FLOAT_EQ(c(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 4.0f);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,133 @@
+// Edge-case and stress tests for the tensor op library beyond the
+// gradcheck suite: degenerate shapes, reuse of nodes in larger graphs, and
+// parameterized shape sweeps.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace privim {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
+  }
+  return m;
+}
+
+struct Shape {
+  size_t m, k, n;
+};
+
+class MatMulShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(MatMulShapeTest, AssociativityWithScalar) {
+  // (c * A) * B == c * (A * B) — a cheap algebraic invariant exercising
+  // all shape paths.
+  const Shape s = GetParam();
+  Rng rng(s.m * 100 + s.k * 10 + s.n);
+  Tensor a(RandomMatrix(s.m, s.k, rng));
+  Tensor b(RandomMatrix(s.k, s.n, rng));
+  Tensor lhs = MatMul(Scale(a, 2.5f), b);
+  Tensor rhs = Scale(MatMul(a, b), 2.5f);
+  for (size_t i = 0; i < lhs.value().size(); ++i) {
+    EXPECT_NEAR(lhs.value().data()[i], rhs.value().data()[i], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 8, 1}, Shape{5, 1, 7},
+                      Shape{32, 8, 32}, Shape{64, 32, 1}),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "k" +
+             std::to_string(info.param.k) + "n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(OpEdgeCasesTest, SingleElementTensorThroughFullChain) {
+  Tensor x(Matrix(1, 1, 0.5f), true);
+  Tensor y = Sum(SigmoidOp(Scale(AddScalar(x, 1.0f), 2.0f)));
+  x.ZeroGrad();
+  y.Backward();
+  // d/dx sigmoid(2(x+1)) = 2 s(1-s) at 2*1.5=3.
+  const double s = 1.0 / (1.0 + std::exp(-3.0));
+  EXPECT_NEAR(x.grad()(0, 0), 2.0 * s * (1.0 - s), 1e-5);
+}
+
+TEST(OpEdgeCasesTest, GatherWithRepeatedIndicesAccumulates) {
+  Tensor x(Matrix::Ones(2, 3), true);
+  // Gather row 0 five times; its gradient must be 5x row 1's.
+  Tensor g = GatherRows(x, {0, 0, 0, 0, 0, 1});
+  Sum(g).Backward();
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(x.grad()(1, 0), 1.0f);
+}
+
+TEST(OpEdgeCasesTest, ScatterWithNoEdgesYieldsZeros) {
+  Tensor x(Matrix::Ones(3, 2));
+  Tensor y = ScatterAddRows(x, {}, {}, {}, 4);
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.value().Sum(), 0.0);
+}
+
+TEST(OpEdgeCasesTest, SegmentSoftmaxSingleEdgePerGroupIsOne) {
+  Tensor scores(Matrix::FromRows({{-5.0f}, {100.0f}, {0.0f}}));
+  Tensor alpha = SegmentSoftmax(scores, {0, 1, 2}, 3);
+  for (size_t e = 0; e < 3; ++e) {
+    EXPECT_NEAR(alpha.value()(e, 0), 1.0f, 1e-6);
+  }
+}
+
+TEST(OpEdgeCasesTest, SharedSubexpressionGradientsAccumulateOnce) {
+  // y = sum(h * h) where h = x*W used twice: backward must traverse h
+  // once and accumulate both product paths.
+  Rng rng(3);
+  Tensor x(RandomMatrix(4, 3, rng), true);
+  Tensor w(RandomMatrix(3, 2, rng));
+  Tensor h = MatMul(x, w);
+  Tensor y = Sum(Mul(h, h));
+  x.ZeroGrad();
+  y.Backward();
+  // Numeric check on one coordinate.
+  const double eps = 1e-3;
+  Matrix& value = x.mutable_value();
+  const float orig = value(1, 1);
+  auto eval = [&]() {
+    Tensor h2 = MatMul(x, w);
+    return Sum(Mul(h2, h2)).value()(0, 0);
+  };
+  value(1, 1) = orig + static_cast<float>(eps);
+  const double up = eval();
+  value(1, 1) = orig - static_cast<float>(eps);
+  const double down = eval();
+  value(1, 1) = orig;
+  EXPECT_NEAR(x.grad()(1, 1), (up - down) / (2 * eps), 5e-2);
+}
+
+TEST(OpEdgeCasesTest, LargeGraphBackwardCompletes) {
+  // A 200-layer elementwise chain with branches exercises the iterative
+  // (non-recursive) topological sort.
+  Tensor x(Matrix::Ones(4, 4), true);
+  Tensor h = x;
+  for (int i = 0; i < 200; ++i) {
+    h = Add(Scale(h, 0.999f), Scale(h, 0.001f));
+  }
+  Sum(h).Backward();
+  EXPECT_NEAR(x.grad()(0, 0), 1.0f, 1e-3);
+}
+
+TEST(OpEdgeCasesTest, InfluenceProbFlatForNegativeInputs) {
+  Tensor x(Matrix::FromRows({{-3.0f, -0.1f}}), true);
+  Sum(InfluenceProb(x)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()(0, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,163 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(OpsTest, MatMulForward) {
+  Tensor a(Matrix::FromRows({{1, 2}, {3, 4}}));
+  Tensor b(Matrix::FromRows({{5, 6}, {7, 8}}));
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.value()(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.value()(1, 1), 50.0f);
+}
+
+TEST(OpsTest, AddSubMulForward) {
+  Tensor a(Matrix::FromRows({{1, 2}}));
+  Tensor b(Matrix::FromRows({{10, 20}}));
+  EXPECT_FLOAT_EQ(Add(a, b).value()(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(Sub(b, a).value()(0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).value()(0, 1), 40.0f);
+}
+
+TEST(OpsTest, AddRowBroadcastForward) {
+  Tensor x(Matrix::FromRows({{1, 2}, {3, 4}}));
+  Tensor bias(Matrix::FromRows({{10, 20}}));
+  Tensor y = AddRowBroadcast(x, bias);
+  EXPECT_FLOAT_EQ(y.value()(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(y.value()(1, 1), 24.0f);
+}
+
+TEST(OpsTest, ScaleAndAddScalar) {
+  Tensor x(Matrix::FromRows({{2, -2}}));
+  EXPECT_FLOAT_EQ(Scale(x, -0.5f).value()(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(AddScalar(x, 3.0f).value()(0, 1), 1.0f);
+}
+
+TEST(OpsTest, ScaleByScalarForward) {
+  Tensor x(Matrix::FromRows({{1, 2}}));
+  Tensor s = Tensor::Scalar(3.0f);
+  Tensor y = ScaleByScalar(x, s);
+  EXPECT_FLOAT_EQ(y.value()(0, 1), 6.0f);
+}
+
+TEST(OpsTest, ConcatColsForward) {
+  Tensor a(Matrix::FromRows({{1}, {2}}));
+  Tensor b(Matrix::FromRows({{3, 4}, {5, 6}}));
+  Tensor c = ConcatCols(a, b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_FLOAT_EQ(c.value()(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c.value()(1, 2), 6.0f);
+}
+
+TEST(OpsTest, ActivationsForward) {
+  Tensor x(Matrix::FromRows({{-2, 0, 2}}));
+  Tensor r = Relu(x);
+  EXPECT_FLOAT_EQ(r.value()(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(r.value()(0, 2), 2.0f);
+  Tensor l = LeakyRelu(x, 0.1f);
+  EXPECT_FLOAT_EQ(l.value()(0, 0), -0.2f);
+  EXPECT_FLOAT_EQ(l.value()(0, 2), 2.0f);
+  Tensor s = SigmoidOp(x);
+  EXPECT_NEAR(s.value()(0, 1), 0.5f, 1e-6);
+  EXPECT_NEAR(s.value()(0, 0) + s.value()(0, 2), 1.0f, 1e-6);
+  Tensor t = TanhOp(x);
+  EXPECT_NEAR(t.value()(0, 2), std::tanh(2.0f), 1e-6);
+  Tensor e = ExpOp(x);
+  EXPECT_NEAR(e.value()(0, 2), std::exp(2.0f), 1e-4);
+  Tensor lg = LogOp(e);
+  EXPECT_NEAR(lg.value()(0, 2), 2.0f, 1e-4);
+}
+
+TEST(OpsTest, InfluenceProbRangeAndMonotonicity) {
+  Tensor x(Matrix::FromRows({{-1, 0, 0.5, 1, 3, 10}}));
+  Tensor p = InfluenceProb(x);
+  // Range [0, 1).
+  for (size_t c = 0; c < 6; ++c) {
+    EXPECT_GE(p.value()(0, c), 0.0f);
+    EXPECT_LT(p.value()(0, c), 1.0f);
+  }
+  EXPECT_FLOAT_EQ(p.value()(0, 0), 0.0f);  // Negative input clamps to 0.
+  EXPECT_FLOAT_EQ(p.value()(0, 1), 0.0f);
+  // Monotone increasing.
+  for (size_t c = 2; c < 6; ++c) {
+    EXPECT_GT(p.value()(0, c), p.value()(0, c - 1));
+  }
+  EXPECT_NEAR(p.value()(0, 3), 1.0f - std::exp(-1.0f), 1e-6);
+}
+
+TEST(OpsTest, ReductionsForward) {
+  Tensor x(Matrix::FromRows({{1, 2}, {3, 4}}));
+  EXPECT_FLOAT_EQ(Sum(x).value()(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(MeanAll(x).value()(0, 0), 2.5f);
+  Tensor rs = RowSum(x);
+  EXPECT_EQ(rs.rows(), 2u);
+  EXPECT_FLOAT_EQ(rs.value()(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(rs.value()(1, 0), 7.0f);
+}
+
+TEST(OpsTest, GatherRowsForward) {
+  Tensor x(Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}}));
+  Tensor g = GatherRows(x, {2, 0, 2});
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_FLOAT_EQ(g.value()(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.value()(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g.value()(2, 1), 6.0f);
+}
+
+TEST(OpsTest, ScatterAddRowsForward) {
+  // Edges: 0->1 (coef 2), 2->1 (coef 1), 1->0 (coef 0.5).
+  Tensor x(Matrix::FromRows({{1, 0}, {0, 1}, {2, 2}}));
+  Tensor y = ScatterAddRows(x, {0, 2, 1}, {1, 1, 0}, {2.0f, 1.0f, 0.5f}, 3);
+  EXPECT_FLOAT_EQ(y.value()(1, 0), 2.0f * 1.0f + 1.0f * 2.0f);  // 4
+  EXPECT_FLOAT_EQ(y.value()(1, 1), 2.0f * 0.0f + 1.0f * 2.0f);  // 2
+  EXPECT_FLOAT_EQ(y.value()(0, 1), 0.5f);
+  EXPECT_FLOAT_EQ(y.value()(2, 0), 0.0f);
+}
+
+TEST(OpsTest, WeightedScatterAddForwardMatchesConstantVersion) {
+  Tensor x(Matrix::FromRows({{1, 2}, {3, 4}}));
+  const std::vector<uint32_t> src{0, 1};
+  const std::vector<uint32_t> dst{1, 0};
+  Tensor alpha(Matrix::FromRows({{0.5f}, {2.0f}}));
+  Tensor a = WeightedScatterAddRows(alpha, x, src, dst, 2);
+  Tensor b = ScatterAddRows(x, src, dst, {0.5f, 2.0f}, 2);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_FLOAT_EQ(a.value()(r, c), b.value()(r, c));
+    }
+  }
+}
+
+TEST(OpsTest, SegmentSoftmaxNormalizesPerGroup) {
+  // Groups: edges {0,1} in group 0, edges {2,3,4} in group 1.
+  Tensor scores(Matrix::FromRows({{1}, {2}, {-1}, {0}, {1}}));
+  Tensor alpha = SegmentSoftmax(scores, {0, 0, 1, 1, 1}, 2);
+  EXPECT_NEAR(alpha.value()(0, 0) + alpha.value()(1, 0), 1.0f, 1e-6);
+  EXPECT_NEAR(alpha.value()(2, 0) + alpha.value()(3, 0) +
+                  alpha.value()(4, 0),
+              1.0f, 1e-6);
+  // Larger score gets larger weight within its group.
+  EXPECT_GT(alpha.value()(1, 0), alpha.value()(0, 0));
+  EXPECT_GT(alpha.value()(4, 0), alpha.value()(2, 0));
+}
+
+TEST(OpsTest, SegmentSoftmaxStableForLargeScores) {
+  Tensor scores(Matrix::FromRows({{1000}, {1001}}));
+  Tensor alpha = SegmentSoftmax(scores, {0, 0}, 1);
+  EXPECT_TRUE(std::isfinite(alpha.value()(0, 0)));
+  EXPECT_NEAR(alpha.value()(0, 0) + alpha.value()(1, 0), 1.0f, 1e-6);
+}
+
+TEST(OpsTest, SegmentSoftmaxEmptyGroupYieldsNoNan) {
+  // Group 1 has no edges; group 0 gets everything.
+  Tensor scores(Matrix::FromRows({{0}, {0}}));
+  Tensor alpha = SegmentSoftmax(scores, {0, 0}, 2);
+  EXPECT_NEAR(alpha.value()(0, 0), 0.5f, 1e-6);
+}
+
+}  // namespace
+}  // namespace privim

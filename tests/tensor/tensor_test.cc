@@ -1,0 +1,95 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace privim {
+namespace {
+
+TEST(TensorTest, LeafConstruction) {
+  Tensor t(Matrix::Ones(2, 3));
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_FALSE(t.requires_grad());
+
+  Tensor p(Matrix::Ones(1, 1), /*requires_grad=*/true);
+  EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(TensorTest, ScalarHelper) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_EQ(s.cols(), 1u);
+  EXPECT_FLOAT_EQ(s.value()(0, 0), 2.5f);
+}
+
+TEST(TensorTest, CopyAliasesSameNode) {
+  Tensor a(Matrix::Ones(1, 1), true);
+  Tensor b = a;
+  b.mutable_value()(0, 0) = 9.0f;
+  EXPECT_FLOAT_EQ(a.value()(0, 0), 9.0f);
+}
+
+TEST(TensorTest, BackwardThroughSimpleChain) {
+  // loss = sum(2 * x), d loss / d x = 2 everywhere.
+  Tensor x(Matrix::Ones(2, 2), true);
+  Tensor loss = Sum(Scale(x, 2.0f));
+  loss.Backward();
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_FLOAT_EQ(x.grad()(r, c), 2.0f);
+    }
+  }
+}
+
+TEST(TensorTest, GradAccumulatesAcrossBackwardCalls) {
+  Tensor x(Matrix::Ones(1, 1), true);
+  Tensor loss1 = Sum(x);
+  loss1.Backward();
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 1.0f);
+  Tensor loss2 = Sum(x);
+  loss2.Backward();
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 2.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 0.0f);
+}
+
+TEST(TensorTest, DiamondGraphAccumulatesBothPaths) {
+  // loss = sum(x + x): gradient should be 2 per entry, not 1.
+  Tensor x(Matrix::Ones(2, 1), true);
+  Tensor loss = Sum(Add(x, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()(1, 0), 2.0f);
+}
+
+TEST(TensorTest, NoGradForConstants) {
+  Tensor c(Matrix::Ones(2, 2));  // No requires_grad.
+  Tensor p(Matrix::Ones(2, 2), true);
+  Tensor loss = Sum(Mul(c, p));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(p.grad()(0, 0), 1.0f);
+  // Constant's grad stays zero (allocated lazily as zeros).
+  EXPECT_FLOAT_EQ(c.grad()(0, 0), 0.0f);
+}
+
+TEST(TensorTest, DeepChainBackward) {
+  // 60 chained scalings: gradient is 1.01^60.
+  Tensor x(Matrix::Ones(1, 1), true);
+  Tensor h = x;
+  for (int i = 0; i < 60; ++i) h = Scale(h, 1.01f);
+  Sum(h).Backward();
+  EXPECT_NEAR(x.grad()(0, 0), std::pow(1.01, 60.0), 1e-3);
+}
+
+TEST(TensorDeathTest, BackwardRequiresScalar) {
+  Tensor x(Matrix::Ones(2, 2), true);
+  EXPECT_DEATH(x.Backward(), "");
+}
+
+}  // namespace
+}  // namespace privim
