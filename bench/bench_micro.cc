@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "core/loss.h"
+#include "core/trainer.h"
 #include "dp/rdp_accountant.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
@@ -132,6 +133,74 @@ void BM_SpreadOracles(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpreadOracles)->Arg(1)->Arg(0);
+
+// ---- Serial vs parallel runtime cases. Arg(0) is the thread count (1 =
+// serial inline path); results are bit-identical across counts, so these
+// measure pure speedup. On an n-core machine expect the Arg(n) rows to
+// approach n-fold throughput for the embarrassingly parallel loops. ----
+
+void BM_ParallelBatchGradients(benchmark::State& state) {
+  Rng gen(8);
+  Graph g = std::move(BarabasiAlbert(800, 5, gen)).ValueOrDie();
+  FreqSamplingConfig scfg;
+  scfg.subgraph_size = 40;
+  scfg.sampling_rate = 1.0;
+  scfg.frequency_threshold = 20;
+  Rng srng(9);
+  DualStageResult sampled =
+      std::move(FreqSampler(scfg).Extract(g, srng)).ValueOrDie();
+  GnnConfig gcfg;
+  gcfg.type = GnnType::kGrat;
+  gcfg.in_dim = kNodeFeatureDim;
+  Rng mrng(10);
+  GnnModel model(gcfg, mrng);
+  TrainConfig tcfg;
+  tcfg.batch_size = 16;
+  tcfg.iterations = 4;
+  tcfg.noise_kind = NoiseKind::kNone;
+  tcfg.num_threads = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrainDpGnn(model, sampled.container, tcfg,
+                                        rng));
+  }
+}
+BENCHMARK(BM_ParallelBatchGradients)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelContainerSampling(benchmark::State& state) {
+  Graph g = SharedGraph(4000);
+  FreqSamplingConfig cfg;
+  cfg.subgraph_size = 40;
+  cfg.sampling_rate = 0.5;
+  cfg.frequency_threshold = 6;
+  cfg.num_threads = static_cast<size_t>(state.range(0));
+  FreqSampler sampler(cfg);
+  Rng rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Extract(g, rng));
+  }
+}
+BENCHMARK(BM_ParallelContainerSampling)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelMcSpread(benchmark::State& state) {
+  Graph g = SharedGraph(4000);
+  Rng rng(13);
+  std::vector<NodeId> seeds;
+  for (NodeId s = 0; s < 50; ++s) seeds.push_back(s * 11);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EstimateIcSpread(g, seeds, /*trials=*/256, rng, /*max_steps=*/-1,
+                         threads));
+  }
+}
+BENCHMARK(BM_ParallelMcSpread)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SegmentSoftmax(benchmark::State& state) {
   const size_t edges = static_cast<size_t>(state.range(0));

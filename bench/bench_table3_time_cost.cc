@@ -1,22 +1,33 @@
 // Reproduces Table III: computational time cost (preprocessing and
 // per-epoch training) of PrivIM*, PrivIM, HP-GRAT and EGN over the six
-// main datasets.
+// main datasets. Timings are medians over PRIVIM_REPEATS runs on the
+// monotonic clock.
+//
+// Usage: bench_table3_time_cost [--threads=N]
+//   --threads=N  worker parallelism for sampling/training/evaluation
+//                (results are bit-identical for every N; default: the
+//                PRIVIM_THREADS env var, else serial).
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/experiment.h"
+#include "runtime/runtime.h"
 
 namespace privim {
 namespace {
 
-void Run() {
+void Run(size_t num_threads) {
   const size_t repeats = RepeatsFromEnv(1);
   PrintBenchHeader("Table III: Computational time cost (seconds)", repeats);
-    const double scale = ScaleFromEnv();
+  const double scale = ScaleFromEnv();
+  std::cout << "threads: " << ResolveNumThreads(num_threads) << "\n\n";
 
   std::vector<std::string> headers = {"Method", "Phase"};
   std::vector<DatasetInstance> instances;
@@ -34,11 +45,12 @@ void Run() {
     for (const DatasetInstance& instance : instances) {
       PrivImConfig cfg = MakeDefaultConfig(
           method, 3.0, instance.train_graph.num_nodes());
+      cfg.runtime.num_threads = num_threads;
       MethodEval eval = bench::DieOnError(
           EvaluateMethod(instance, cfg, repeats, /*seed=*/79),
           MethodName(method) + " on " + instance.spec.name);
-      preprocessing.push_back(eval.mean_preprocessing_seconds);
-      per_epoch.push_back(eval.mean_per_epoch_seconds);
+      preprocessing.push_back(eval.median_preprocessing_seconds);
+      per_epoch.push_back(eval.median_per_epoch_seconds);
     }
     auto add_phase_row = [&](const std::string& phase,
                              const std::vector<double>& values) {
@@ -60,7 +72,17 @@ void Run() {
 }  // namespace
 }  // namespace privim
 
-int main() {
-  privim::Run();
+int main(int argc, char** argv) {
+  size_t num_threads = 0;  // 0 = global runtime default.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      num_threads = static_cast<size_t>(std::atol(argv[i] + 10));
+    } else {
+      std::cerr << "unknown argument '" << argv[i]
+                << "' (supported: --threads=N)\n";
+      return 1;
+    }
+  }
+  privim::Run(num_threads);
   return 0;
 }

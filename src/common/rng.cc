@@ -137,4 +137,18 @@ std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng Rng::Split(uint64_t stream_id) {
+  return FromStreamKey(NextUint64(), stream_id);
+}
+
+Rng Rng::FromStreamKey(uint64_t base_key, uint64_t stream_id) {
+  // Weyl-step the key by the stream id (golden-ratio increment, as in
+  // SplitMix64 itself) and run one full mixing round. The first SplitMix64
+  // output is a bijection of its seed, so distinct (key, id) pairs can
+  // never collapse to the same child seed for a fixed key.
+  SplitMix64 mixer(base_key ^
+                   ((stream_id + 1) * 0x9e3779b97f4a7c15ULL));
+  return Rng(mixer.Next());
+}
+
 }  // namespace privim

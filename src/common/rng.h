@@ -84,6 +84,19 @@ class Rng {
   /// of an experiment its own stream.
   Rng Fork();
 
+  /// Counter-derived child stream: an independent generator keyed by
+  /// `stream_id`. Consumes exactly one draw of this generator's state, so
+  /// Split(0), Split(1), ... produce mutually independent streams AND
+  /// leave the parent at a position that depends only on how many times
+  /// Split was called — the backbone of the runtime's determinism
+  /// contract (see runtime/rng_streams.h for the zero-consumption batch
+  /// variant used inside parallel loops).
+  Rng Split(uint64_t stream_id);
+
+  /// Pure-function child derivation: the generator for stream `stream_id`
+  /// under `base_key`. Same inputs, same stream — on any thread.
+  static Rng FromStreamKey(uint64_t base_key, uint64_t stream_id);
+
  private:
   uint64_t s_[4];
   // Cached second output of Box-Muller.

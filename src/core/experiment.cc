@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 
@@ -58,8 +59,8 @@ Result<MethodEval> EvaluateMethod(const DatasetInstance& instance,
   eval.method = config.method;
   std::vector<double> spreads;
   std::vector<double> coverages;
-  double pre_total = 0.0;
-  double epoch_total = 0.0;
+  std::vector<double> pre_seconds;
+  std::vector<double> epoch_seconds;
   for (size_t rep = 0; rep < repeats; ++rep) {
     Rng rng(seed + 0x9e37 * (rep + 1));
     PRIVIM_ASSIGN_OR_RETURN(
@@ -68,17 +69,23 @@ Result<MethodEval> EvaluateMethod(const DatasetInstance& instance,
     spreads.push_back(run.spread);
     coverages.push_back(
         CoverageRatioPercent(run.spread, instance.celf_spread));
-    pre_total += run.preprocessing_seconds;
-    epoch_total += run.per_epoch_seconds;
+    pre_seconds.push_back(run.preprocessing_seconds);
+    epoch_seconds.push_back(run.per_epoch_seconds);
     eval.last_run = std::move(run);
   }
   eval.mean_spread = Mean(spreads);
   eval.std_spread = StdDev(spreads);
   eval.mean_coverage = Mean(coverages);
   eval.std_coverage = StdDev(coverages);
-  eval.mean_preprocessing_seconds =
-      pre_total / static_cast<double>(repeats);
-  eval.mean_per_epoch_seconds = epoch_total / static_cast<double>(repeats);
+  eval.mean_preprocessing_seconds = Mean(pre_seconds);
+  eval.mean_per_epoch_seconds = Mean(epoch_seconds);
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const size_t mid = v.size() / 2;
+    return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+  };
+  eval.median_preprocessing_seconds = median(std::move(pre_seconds));
+  eval.median_per_epoch_seconds = median(std::move(epoch_seconds));
   return eval;
 }
 

@@ -44,6 +44,11 @@ struct MethodEval {
   double std_coverage = 0.0;
   double mean_preprocessing_seconds = 0.0;
   double mean_per_epoch_seconds = 0.0;
+  /// Median-of-repeats timings (all on the monotonic clock): what the
+  /// timing benches report, since one scheduling hiccup shifts a mean but
+  /// not a median.
+  double median_preprocessing_seconds = 0.0;
+  double median_per_epoch_seconds = 0.0;
   /// Telemetry of the last run.
   PrivImRunResult last_run;
 };

@@ -143,7 +143,9 @@ Result<SubgraphContainer> ExtractContainer(const Graph& train_graph,
       // Algorithm 1: theta-projection, then RWR on the bounded graph.
       PRIVIM_ASSIGN_OR_RETURN(
           Graph bounded, ThetaBoundedProjection(train_graph, cfg.theta, rng));
-      RwrSampler sampler(cfg.rwr);
+      RwrConfig rwr = cfg.rwr;
+      rwr.num_threads = cfg.runtime.num_threads;
+      RwrSampler sampler(rwr);
       PRIVIM_ASSIGN_OR_RETURN(SubgraphContainer container,
                               sampler.Extract(bounded, rng));
       // Lemma 1 bound, clamped by the container size (a node cannot occur
@@ -159,6 +161,7 @@ Result<SubgraphContainer> ExtractContainer(const Graph& train_graph,
     case Method::kNonPrivate: {
       FreqSamplingConfig freq = cfg.freq;
       freq.boundary_stage = cfg.method != Method::kPrivImScs;
+      freq.num_threads = cfg.runtime.num_threads;
       FreqSampler sampler(freq);
       PRIVIM_ASSIGN_OR_RETURN(DualStageResult dual,
                               sampler.Extract(train_graph, rng));
@@ -238,6 +241,7 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
 
   // ---- Module 2: privacy accounting. ----
   TrainConfig train_cfg = cfg.train;
+  train_cfg.num_threads = cfg.runtime.num_threads;
   // Sparse graphs can yield fewer subgraphs than the configured batch
   // size; the accountant requires B <= m, so clamp (this only makes the
   // subsampling, and hence the guarantee, more conservative).
@@ -258,6 +262,7 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
       Rng probe_rng = rng.Fork();
       GnnModel probe(probe_cfg, probe_rng);
       TrainConfig dry = cfg.train;
+      dry.num_threads = cfg.runtime.num_threads;
       dry.batch_size = std::min<size_t>(train_cfg.batch_size, 8);
       dry.iterations = std::max<size_t>(8, cfg.train.iterations / 4);
       dry.noise_kind = NoiseKind::kNone;
@@ -348,7 +353,8 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
       break;
     case PrivImConfig::EvalDiffusion::kMonteCarloIc:
       oracle = MakeMonteCarloOracle(eval_graph, cfg.eval_trials, rng,
-                                    cfg.eval_steps);
+                                    cfg.eval_steps,
+                                    cfg.runtime.num_threads);
       break;
     case PrivImConfig::EvalDiffusion::kLt:
       oracle = MakeLtOracle(eval_graph, cfg.eval_trials, rng,

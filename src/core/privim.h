@@ -11,6 +11,7 @@
 #include "dp/privacy_params.h"
 #include "graph/graph.h"
 #include "nn/gnn.h"
+#include "runtime/runtime.h"
 #include "sampling/baseline_samplers.h"
 #include "sampling/freq_sampler.h"
 #include "sampling/rwr_sampler.h"
@@ -49,6 +50,13 @@ struct PrivImConfig {
   EgoSamplingConfig ego;
 
   TrainConfig train;
+
+  /// Worker parallelism applied across the pipeline (sampling, per-sample
+  /// gradients, Monte-Carlo evaluation). `num_threads` = 0 defers to the
+  /// global runtime default (PRIVIM_THREADS or serial); every stage is
+  /// bit-identical for every thread count, so this is a pure efficiency
+  /// knob — see docs/runtime.md.
+  RuntimeOptions runtime;
 
   /// Calibrate the clip bound C to the typical per-subgraph gradient norm
   /// (measured on a throwaway model over a few noiseless iterations)

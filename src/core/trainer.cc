@@ -1,5 +1,6 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -10,8 +11,22 @@
 #include "nn/features.h"
 #include "nn/graph_context.h"
 #include "nn/optimizer.h"
+#include "runtime/parallel_for.h"
+#include "runtime/runtime.h"
 
 namespace privim {
+
+namespace {
+
+/// Per-sample gradient state filled by the workers and reduced in index
+/// order by the main thread.
+struct SampleSlot {
+  std::vector<float> grad;
+  double loss = 0.0;
+  double pre_clip_norm = 0.0;
+};
+
+}  // namespace
 
 Result<TrainStats> TrainDpGnn(GnnModel& model,
                               const SubgraphContainer& container,
@@ -43,7 +58,6 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
   }
 
   const size_t dim = model.params().num_scalars();
-  std::vector<float> per_sample(dim);
   std::vector<float> batch_sum(dim);
   std::unique_ptr<Optimizer> optimizer;
   if (config.optimizer == OptimizerKind::kAdam) {
@@ -51,6 +65,37 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
   } else {
     optimizer = std::make_unique<SgdOptimizer>(config.learning_rate);
   }
+
+  // Parallel setup. Per-sample gradients are computed on model replicas
+  // (one per concurrent task) because forward/backward accumulates into
+  // the owning ParamStore. Replica parameters are refreshed from the main
+  // model every iteration, and the gradient of a subgraph is a
+  // deterministic function of (parameters, subgraph) alone — no RNG — so
+  // which replica computes it cannot change a single bit. The serial path
+  // (threads == 1) runs on the main model directly.
+  const size_t threads = std::max<size_t>(
+      1, std::min(ResolveNumThreads(config.num_threads), config.batch_size));
+  ThreadPool* pool = SharedPool(threads);
+  std::vector<std::unique_ptr<GnnModel>> replicas;
+  std::vector<float> param_snapshot;
+  if (pool != nullptr) {
+    replicas.reserve(threads);
+    for (size_t r = 0; r < threads; ++r) {
+      // Init randomness is discarded by LoadParams below; a fixed local
+      // seed keeps the caller's stream untouched.
+      Rng replica_rng(0x5eedu + r);
+      replicas.push_back(
+          std::make_unique<GnnModel>(model.config(), replica_rng));
+      if (replicas.back()->params().num_scalars() != dim) {
+        return Status::Internal("replica parameter layout mismatch");
+      }
+    }
+    param_snapshot.resize(dim);
+  }
+
+  std::vector<SampleSlot> samples(config.batch_size);
+  for (SampleSlot& s : samples) s.grad.resize(dim);
+  std::vector<size_t> batch_indices(config.batch_size);
 
   // Polyak tail averaging state: accumulate iterates over the last
   // quarter of the run.
@@ -67,36 +112,67 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
   size_t norm_count = 0;
   WallTimer timer;
 
+  // One per-sample pass (Lines 5-6 of Algorithm 2) against `sample_model`,
+  // writing into `slot`. Pure function of (model params, subgraph).
+  auto compute_sample = [&](GnnModel& sample_model, size_t idx,
+                            SampleSlot& slot) {
+    Tensor x(features[idx]);
+    Tensor probs = sample_model.Forward(contexts[idx], x);
+    Tensor loss = ImPenaltyLoss(contexts[idx], probs, config.loss);
+    slot.loss = loss.value()(0, 0);
+    sample_model.params().ZeroGrads();
+    loss.Backward();
+    sample_model.params().FlattenGrads(slot.grad);
+    // Line 6: per-sample clip to C (skipped in unclipped non-private
+    // mode).
+    if (config.clip_bound > 0.0) {
+      slot.pre_clip_norm = ClipL2(slot.grad, config.clip_bound);
+    } else {
+      slot.pre_clip_norm = L2Norm(
+          std::span<const float>(slot.grad.data(), slot.grad.size()));
+    }
+  };
+
   for (size_t t = 0; t < config.iterations; ++t) {
+    // Line 5: draw the batch up front. The caller's RNG consumption (B
+    // uniform draws, then the noise draw) is identical to the serial
+    // implementation for every thread count.
+    for (size_t b = 0; b < config.batch_size; ++b) {
+      batch_indices[b] = static_cast<size_t>(rng.UniformInt(m));
+    }
+
+    if (pool == nullptr) {
+      for (size_t b = 0; b < config.batch_size; ++b) {
+        compute_sample(model, batch_indices[b], samples[b]);
+      }
+    } else {
+      model.params().FlattenParams(param_snapshot);
+      for (auto& replica : replicas) {
+        replica->params().LoadParams(param_snapshot);
+      }
+      ParallelForWithSlots(
+          pool, 0, config.batch_size, /*grain=*/1, replicas.size(),
+          [&](size_t b, size_t slot) {
+            compute_sample(*replicas[slot], batch_indices[b], samples[b]);
+          });
+    }
+
+    // Reduce in index order: float summation order is fixed, so the batch
+    // sum is bit-identical to the serial loop.
     std::fill(batch_sum.begin(), batch_sum.end(), 0.0f);
     double loss_accum = 0.0;
     double iter_norm_accum = 0.0;
     for (size_t b = 0; b < config.batch_size; ++b) {
-      const size_t idx = static_cast<size_t>(rng.UniformInt(m));
-      Tensor x(features[idx]);
-      Tensor probs = model.Forward(contexts[idx], x);
-      Tensor loss = ImPenaltyLoss(contexts[idx], probs, config.loss);
-      loss_accum += loss.value()(0, 0);
-
-      model.params().ZeroGrads();
-      loss.Backward();
-      model.params().FlattenGrads(per_sample);
-      // Line 6: per-sample clip to C (skipped in unclipped non-private
-      // mode).
-      double pre_clip_norm;
-      if (config.clip_bound > 0.0) {
-        pre_clip_norm = ClipL2(per_sample, config.clip_bound);
-      } else {
-        pre_clip_norm = L2Norm(
-            std::span<const float>(per_sample.data(), per_sample.size()));
-      }
-      norm_accum += pre_clip_norm;
-      iter_norm_accum += pre_clip_norm;
+      const SampleSlot& slot = samples[b];
+      loss_accum += slot.loss;
+      norm_accum += slot.pre_clip_norm;
+      iter_norm_accum += slot.pre_clip_norm;
       ++norm_count;
-      for (size_t i = 0; i < dim; ++i) batch_sum[i] += per_sample[i];
+      for (size_t i = 0; i < dim; ++i) batch_sum[i] += slot.grad[i];
     }
 
-    // Line 8: perturb the summed clipped gradients.
+    // Line 8: perturb the summed clipped gradients — the single noise
+    // draw, after aggregation, exactly as in the serial algorithm.
     switch (config.noise_kind) {
       case NoiseKind::kNone:
         break;

@@ -45,6 +45,12 @@ struct TrainConfig {
   /// already covered by the T-fold composition), so it costs no privacy
   /// while averaging away much of the per-iteration noise.
   bool tail_averaging = true;
+  /// Worker parallelism for the per-subgraph gradient fan-out (0 = use the
+  /// global runtime default). Per-sample gradients are computed on model
+  /// replicas and reduced into the batch sum in index order before the
+  /// single noise draw, so results are bit-identical for every thread
+  /// count and the DP accounting is untouched (see docs/runtime.md).
+  size_t num_threads = 0;
   ImLossConfig loss;
 };
 
@@ -57,7 +63,9 @@ struct TrainStats {
   /// Mean pre-clip per-sample gradient norm per iteration (used by the
   /// clip-bound calibration, which wants the post-warmup scale).
   std::vector<double> grad_norms;
-  /// Wall-clock seconds per iteration ("per-epoch training" in Table III).
+  /// Seconds per iteration ("per-epoch training" in Table III), measured
+  /// on the monotonic clock of common/timer.h (never the system wall
+  /// clock, which can jump under NTP adjustments mid-run).
   double seconds_per_iteration = 0.0;
 };
 

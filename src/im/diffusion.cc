@@ -4,6 +4,9 @@
 #include <deque>
 
 #include "common/logging.h"
+#include "runtime/parallel_for.h"
+#include "runtime/rng_streams.h"
+#include "runtime/runtime.h"
 
 namespace privim {
 
@@ -56,12 +59,22 @@ size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
 }
 
 double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
-                        size_t trials, Rng& rng, int max_steps) {
+                        size_t trials, Rng& rng, int max_steps,
+                        size_t num_threads) {
   PRIVIM_CHECK_GT(trials, 0u);
+  // Trials are independent: each one runs on its own child stream and the
+  // per-trial cascade sizes are summed in trial order, so the result does
+  // not depend on the thread count (see docs/runtime.md).
+  RngStreams streams(rng);
+  std::vector<size_t> counts(trials, 0);
+  ThreadPool* pool = SharedPool(ResolveNumThreads(num_threads));
+  ParallelFor(pool, 0, trials, /*grain=*/8, [&](size_t t) {
+    Rng trial_rng = streams.Stream(t);
+    counts[t] = SimulateIcCascade(g, seeds, trial_rng, max_steps);
+  });
   double total = 0.0;
   for (size_t t = 0; t < trials; ++t) {
-    total += static_cast<double>(
-        SimulateIcCascade(g, seeds, rng, max_steps));
+    total += static_cast<double>(counts[t]);
   }
   return total / static_cast<double>(trials);
 }

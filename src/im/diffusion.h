@@ -20,9 +20,14 @@ size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps = -1);
 
 /// Monte-Carlo estimate of the IC influence spread I(S, G): the mean
-/// cascade size over `trials` simulations.
+/// cascade size over `trials` simulations. Consumes exactly one draw of
+/// `rng` (a substream base key); trial t runs on its own counter-derived
+/// child stream and the trial sum is reduced in index order, so the
+/// estimate is bit-identical for every `num_threads` (0 = global runtime
+/// default).
 double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
-                        size_t trials, Rng& rng, int max_steps = -1);
+                        size_t trials, Rng& rng, int max_steps = -1,
+                        size_t num_threads = 0);
 
 /// Exact influence spread for the deterministic special case where every
 /// edge weight is 1 and the cascade runs `steps` rounds: the size of the

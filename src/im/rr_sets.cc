@@ -4,11 +4,25 @@
 #include <deque>
 
 #include "common/string_util.h"
+#include "runtime/parallel_for.h"
+#include "runtime/rng_streams.h"
+#include "runtime/runtime.h"
 
 namespace privim {
 
-Result<RrSketch> RrSketch::Generate(const Graph& g, size_t count,
-                                    Rng& rng) {
+namespace {
+
+/// Per-worker scratch for the reverse BFS, reused across the RR sets a
+/// slot processes (the O(n) visited reset dominates re-allocation).
+struct RrScratch {
+  std::vector<uint8_t> visited;
+  std::deque<NodeId> queue;
+};
+
+}  // namespace
+
+Result<RrSketch> RrSketch::Generate(const Graph& g, size_t count, Rng& rng,
+                                    size_t num_threads) {
   if (g.num_nodes() == 0) {
     return Status::InvalidArgument("graph has no nodes");
   }
@@ -17,38 +31,52 @@ Result<RrSketch> RrSketch::Generate(const Graph& g, size_t count,
   }
   RrSketch sketch;
   sketch.num_nodes_ = g.num_nodes();
-  sketch.sets_.reserve(count);
+  sketch.sets_.resize(count);
   sketch.node_to_sets_.resize(g.num_nodes());
 
-  std::vector<uint8_t> visited(g.num_nodes(), 0);
-  std::deque<NodeId> queue;
-  for (size_t s = 0; s < count; ++s) {
-    const NodeId target =
-        static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
-    // Reverse BFS along *in*-edges; each edge is live independently with
-    // its IC probability (deferred live-edge sampling).
-    std::vector<NodeId> rr{target};
-    std::fill(visited.begin(), visited.end(), 0);
-    visited[target] = 1;
-    queue.clear();
-    queue.push_back(target);
-    while (!queue.empty()) {
-      const NodeId v = queue.front();
-      queue.pop_front();
-      auto sources = g.InNeighbors(v);
-      auto weights = g.InWeights(v);
-      for (size_t i = 0; i < sources.size(); ++i) {
-        const NodeId u = sources[i];
-        if (!visited[u] && rng.Bernoulli(weights[i])) {
-          visited[u] = 1;
-          rr.push_back(u);
-          queue.push_back(u);
+  // RR sets are independent given their child streams; the inverted index
+  // is built serially in set order below, so the sketch is a pure function
+  // of (graph, seed) regardless of the thread count.
+  RngStreams streams(rng);
+  const size_t threads = ResolveNumThreads(num_threads);
+  ThreadPool* pool = SharedPool(threads);
+  std::vector<RrScratch> scratch(pool == nullptr ? 1 : threads);
+
+  ParallelForWithSlots(
+      pool, 0, count, /*grain=*/8, scratch.size(),
+      [&](size_t s, size_t slot) {
+        Rng set_rng = streams.Stream(s);
+        RrScratch& sc = scratch[slot];
+        const NodeId target =
+            static_cast<NodeId>(set_rng.UniformInt(g.num_nodes()));
+        // Reverse BFS along *in*-edges; each edge is live independently
+        // with its IC probability (deferred live-edge sampling).
+        std::vector<NodeId> rr{target};
+        sc.visited.assign(g.num_nodes(), 0);
+        sc.visited[target] = 1;
+        sc.queue.clear();
+        sc.queue.push_back(target);
+        while (!sc.queue.empty()) {
+          const NodeId v = sc.queue.front();
+          sc.queue.pop_front();
+          auto sources = g.InNeighbors(v);
+          auto weights = g.InWeights(v);
+          for (size_t i = 0; i < sources.size(); ++i) {
+            const NodeId u = sources[i];
+            if (!sc.visited[u] && set_rng.Bernoulli(weights[i])) {
+              sc.visited[u] = 1;
+              rr.push_back(u);
+              sc.queue.push_back(u);
+            }
+          }
         }
-      }
+        sketch.sets_[s] = std::move(rr);
+      });
+
+  for (size_t s = 0; s < count; ++s) {
+    for (NodeId u : sketch.sets_[s]) {
+      sketch.node_to_sets_[u].push_back(static_cast<uint32_t>(s));
     }
-    const uint32_t set_id = static_cast<uint32_t>(sketch.sets_.size());
-    for (NodeId u : rr) sketch.node_to_sets_[u].push_back(set_id);
-    sketch.sets_.push_back(std::move(rr));
   }
   return sketch;
 }

@@ -24,8 +24,13 @@ namespace privim {
 class RrSketch {
  public:
   /// Samples `count` RR sets of `g` (must have at least one node) under
-  /// full-length IC cascades.
-  static Result<RrSketch> Generate(const Graph& g, size_t count, Rng& rng);
+  /// full-length IC cascades. Consumes exactly one draw of `rng` (a
+  /// substream base key); RR set s draws its target and its reverse BFS
+  /// from its own child stream and sets are committed in index order, so
+  /// the sketch is bit-identical for every `num_threads` (0 = global
+  /// runtime default).
+  static Result<RrSketch> Generate(const Graph& g, size_t count, Rng& rng,
+                                   size_t num_threads = 0);
 
   size_t num_sets() const { return sets_.size(); }
   size_t num_nodes() const { return num_nodes_; }

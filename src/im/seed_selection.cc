@@ -166,12 +166,13 @@ SpreadOracle MakeExactUnitOracle(const Graph& g, int steps) {
 }
 
 SpreadOracle MakeMonteCarloOracle(const Graph& g, size_t trials, Rng& rng,
-                                  int max_steps) {
+                                  int max_steps, size_t num_threads) {
   // The oracle owns a forked generator so repeated calls advance it.
   auto shared_rng = std::make_shared<Rng>(rng.Fork());
-  return [&g, trials, shared_rng, max_steps](
+  return [&g, trials, shared_rng, max_steps, num_threads](
              const std::vector<NodeId>& seeds) {
-    return EstimateIcSpread(g, seeds, trials, *shared_rng, max_steps);
+    return EstimateIcSpread(g, seeds, trials, *shared_rng, max_steps,
+                            num_threads);
   };
 }
 

@@ -60,9 +60,13 @@ Result<SeedSelection> TopKByScore(const std::vector<NodeId>& candidates,
 /// unit weights truncated to `steps` rounds on `g`.
 SpreadOracle MakeExactUnitOracle(const Graph& g, int steps = 1);
 
-/// Monte-Carlo IC oracle with `trials` cascades per evaluation.
+/// Monte-Carlo IC oracle with `trials` cascades per evaluation. The trials
+/// of each evaluation run in parallel (`num_threads`; 0 = global runtime
+/// default) with deterministic per-trial substreams, so oracle values are
+/// bit-identical for every thread count.
 SpreadOracle MakeMonteCarloOracle(const Graph& g, size_t trials, Rng& rng,
-                                  int max_steps = -1);
+                                  int max_steps = -1,
+                                  size_t num_threads = 0);
 
 /// Monte-Carlo Linear Threshold oracle (paper's future-work diffusion
 /// model): mean activated count over `trials` LT cascades.

@@ -1,0 +1,94 @@
+#include "runtime/parallel_for.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "runtime/task_group.h"
+
+namespace privim {
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  PRIVIM_CHECK_GT(grain, 0u);
+  if (pool == nullptr || pool->num_workers() == 0) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  TaskGroup group(pool);
+  for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += grain) {
+    const size_t chunk_end =
+        chunk_begin + grain < end ? chunk_begin + grain : end;
+    group.Run([&fn, chunk_begin, chunk_end] {
+      for (size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+    });
+  }
+  group.Wait();
+}
+
+namespace {
+
+/// Free-list of scratch slots; chunks block until one is available.
+class SlotPool {
+ public:
+  explicit SlotPool(size_t num_slots) {
+    for (size_t s = num_slots; s > 0; --s) free_.push_back(s - 1);
+  }
+
+  size_t Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !free_.empty(); });
+    const size_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+
+  void Release(size_t slot) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      free_.push_back(slot);
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<size_t> free_;
+};
+
+}  // namespace
+
+void ParallelForWithSlots(
+    ThreadPool* pool, size_t begin, size_t end, size_t grain,
+    size_t num_slots,
+    const std::function<void(size_t index, size_t slot)>& fn) {
+  if (begin >= end) return;
+  PRIVIM_CHECK_GT(grain, 0u);
+  PRIVIM_CHECK_GT(num_slots, 0u);
+  if (pool == nullptr || pool->num_workers() == 0) {
+    for (size_t i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+  SlotPool slots(num_slots);
+  TaskGroup group(pool);
+  for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += grain) {
+    const size_t chunk_end =
+        chunk_begin + grain < end ? chunk_begin + grain : end;
+    group.Run([&fn, &slots, chunk_begin, chunk_end] {
+      const size_t slot = slots.Acquire();
+      try {
+        for (size_t i = chunk_begin; i < chunk_end; ++i) fn(i, slot);
+      } catch (...) {
+        slots.Release(slot);  // Keep other chunks from starving.
+        throw;
+      }
+      slots.Release(slot);
+    });
+  }
+  group.Wait();
+}
+
+}  // namespace privim

@@ -1,0 +1,40 @@
+#ifndef PRIVIM_RUNTIME_PARALLEL_FOR_H_
+#define PRIVIM_RUNTIME_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "runtime/thread_pool.h"
+
+namespace privim {
+
+/// Runs fn(i) for every i in [begin, end), statically chunked: indices are
+/// split into ceil((end-begin)/grain) contiguous chunks of `grain` indices
+/// each, and each chunk is one pool task executed front to back.
+///
+/// The chunk boundaries depend only on (begin, end, grain) — never on the
+/// worker count or scheduling — and fn must write only per-index state, so
+/// the overall result is identical for any pool size, including the inline
+/// serial execution used when `pool` is null or has no workers.
+///
+/// Blocks until every index has been processed. Exceptions from fn
+/// propagate (first one wins).
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn);
+
+/// As ParallelFor, but additionally hands each chunk an exclusive "slot" id
+/// in [0, num_slots): no two chunks ever run concurrently with the same
+/// slot.
+/// Slots let fn reuse expensive scratch state (model replicas, large
+/// buffers) without locking. `num_slots` must be >= 1; chunks wait for a
+/// free slot when all are taken.
+///
+/// Determinism contract: fn's observable output must not depend on which
+/// slot it received — slots are scratch, not identity.
+void ParallelForWithSlots(
+    ThreadPool* pool, size_t begin, size_t end, size_t grain,
+    size_t num_slots, const std::function<void(size_t index, size_t slot)>& fn);
+
+}  // namespace privim
+
+#endif  // PRIVIM_RUNTIME_PARALLEL_FOR_H_

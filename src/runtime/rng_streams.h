@@ -1,0 +1,42 @@
+#ifndef PRIVIM_RUNTIME_RNG_STREAMS_H_
+#define PRIVIM_RUNTIME_RNG_STREAMS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace privim {
+
+/// Deterministic per-task RNG substreams for parallel loops.
+///
+/// Construction consumes exactly ONE draw from the parent generator —
+/// independent of how many child streams are derived afterwards — so the
+/// parent's stream position, and with it every later draw in the caller,
+/// is the same for any thread count. Stream(i) is a pure function of
+/// (base, i) and may be called concurrently from any worker.
+///
+/// Canonical use:
+///   RngStreams streams(rng);                  // one parent draw
+///   ParallelFor(pool, 0, n, grain, [&](size_t i) {
+///     Rng child = streams.Stream(i);          // bit-identical per index
+///     ...
+///   });
+class RngStreams {
+ public:
+  explicit RngStreams(Rng& parent) : base_(parent.NextUint64()) {}
+
+  /// Child generator for stream `stream_id`; same (parent state, id) pair
+  /// always yields the same child.
+  Rng Stream(uint64_t stream_id) const {
+    return Rng::FromStreamKey(base_, stream_id);
+  }
+
+  uint64_t base_key() const { return base_; }
+
+ private:
+  uint64_t base_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_RUNTIME_RNG_STREAMS_H_

@@ -1,0 +1,71 @@
+#include "runtime/runtime.h"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace privim {
+
+namespace {
+
+std::mutex g_mu;
+RuntimeOptions g_options;
+bool g_options_initialized = false;
+std::unique_ptr<ThreadPool> g_pool;
+
+/// Hardware-aware interpretation of a raw thread request.
+size_t Normalize(long value) {
+  if (value < 0) return 1;
+  if (value == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+  return static_cast<size_t>(value);
+}
+
+/// Default from the environment, read once: PRIVIM_THREADS=N (N=0 means
+/// "all hardware threads"), unset means serial.
+const RuntimeOptions& DefaultOptionsLocked() {
+  if (!g_options_initialized) {
+    g_options_initialized = true;
+    g_options.num_threads = 1;
+    if (const char* env = std::getenv("PRIVIM_THREADS")) {
+      g_options.num_threads = Normalize(std::atol(env));
+    }
+  }
+  return g_options;
+}
+
+}  // namespace
+
+void SetGlobalRuntimeOptions(const RuntimeOptions& options) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  DefaultOptionsLocked();  // Force env initialization first.
+  g_options.num_threads =
+      options.num_threads == 0
+          ? Normalize(0)
+          : options.num_threads;
+}
+
+RuntimeOptions GetGlobalRuntimeOptions() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return DefaultOptionsLocked();
+}
+
+size_t ResolveNumThreads(size_t requested) {
+  if (requested > 0) return requested;
+  return GetGlobalRuntimeOptions().num_threads;
+}
+
+ThreadPool* SharedPool(size_t num_threads) {
+  if (num_threads <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_pool == nullptr || g_pool->num_workers() < num_threads) {
+    g_pool.reset();  // Join the old workers before spawning more.
+    g_pool = std::make_unique<ThreadPool>(num_threads);
+  }
+  return g_pool.get();
+}
+
+}  // namespace privim

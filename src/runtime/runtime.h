@@ -1,0 +1,41 @@
+#ifndef PRIVIM_RUNTIME_RUNTIME_H_
+#define PRIVIM_RUNTIME_RUNTIME_H_
+
+#include <cstddef>
+
+#include "runtime/thread_pool.h"
+
+namespace privim {
+
+/// Process-wide execution options, plumbed through PrivImConfig and every
+/// parallelizable component config. See docs/runtime.md for the design and
+/// the determinism contract.
+struct RuntimeOptions {
+  /// Requested worker parallelism for the hot loops (per-sample gradients,
+  /// subgraph extraction, Monte-Carlo spread estimation).
+  ///   0 = defer to the process default (PRIVIM_THREADS env var, else 1);
+  ///   1 = serial;
+  ///   n = up to n concurrent tasks.
+  /// Results are bit-identical for every value — the thread count is a
+  /// throughput knob, never a semantics knob.
+  size_t num_threads = 0;
+};
+
+/// Overrides the process default used when a component's num_threads is 0.
+void SetGlobalRuntimeOptions(const RuntimeOptions& options);
+RuntimeOptions GetGlobalRuntimeOptions();
+
+/// Resolves a per-call request against the process default: 0 maps to the
+/// global option (itself seeded from PRIVIM_THREADS, default 1, with 0
+/// meaning std::thread::hardware_concurrency()). Never returns 0.
+size_t ResolveNumThreads(size_t requested);
+
+/// Returns the shared process-wide pool with at least `num_threads`
+/// workers, growing it lazily, or nullptr when num_threads <= 1 so callers
+/// take their inline serial path. The pool is rebuilt only while idle;
+/// orchestration is expected to happen from one thread at a time.
+ThreadPool* SharedPool(size_t num_threads);
+
+}  // namespace privim
+
+#endif  // PRIVIM_RUNTIME_RUNTIME_H_

@@ -1,0 +1,57 @@
+#include "runtime/task_group.h"
+
+#include <utility>
+
+namespace privim {
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr || pool_->num_workers() == 0) {
+    // Inline execution. Record the error like the pooled path would so
+    // Wait() behaves identically.
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      // Notify while still holding the lock: the waiter (often
+      // ~TaskGroup on a caller's stack frame) re-checks the predicate
+      // under mu_, so it cannot observe pending_ == 0 and destroy the
+      // group until this unlock — notifying after unlocking would race
+      // with that destruction.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace privim

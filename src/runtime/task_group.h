@@ -1,0 +1,52 @@
+#ifndef PRIVIM_RUNTIME_TASK_GROUP_H_
+#define PRIVIM_RUNTIME_TASK_GROUP_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "runtime/thread_pool.h"
+
+namespace privim {
+
+/// Heterogeneous fan-out: run a handful of unrelated closures concurrently
+/// and join them. ParallelFor is the right tool for index loops; TaskGroup
+/// is for "do these three different things at once".
+///
+/// With a null pool (or a pool without workers) every task runs inline at
+/// Run(), which keeps the serial path allocation- and lock-free in spirit
+/// and — more importantly — on the exact same code path as the parallel
+/// one.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Joins outstanding tasks; any stored exception is swallowed here (call
+  /// Wait() explicitly to observe it).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn`. Thread-safe; may be called from inside another task of
+  /// the same group.
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every scheduled task has finished, then rethrows the
+  /// first exception any task raised (if any). The group is reusable after
+  /// Wait() returns.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_RUNTIME_TASK_GROUP_H_

@@ -1,0 +1,51 @@
+#ifndef PRIVIM_RUNTIME_THREAD_POOL_H_
+#define PRIVIM_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace privim {
+
+/// Fixed-size worker pool with a shared FIFO task queue.
+///
+/// The pool is a pure execution vehicle: it never looks at task results and
+/// makes no ordering promises beyond FIFO dequeue, so determinism is the
+/// caller's job. ParallelFor and TaskGroup achieve it by assigning work and
+/// RNG substreams by *index*, never by worker identity.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads. 0 is allowed and means "no
+  /// workers": Submit() then runs the task inline on the calling thread.
+  explicit ThreadPool(size_t num_workers);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker. Tasks may freely submit
+  /// further tasks; they must not block waiting for a task that has not
+  /// been submitted yet.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_RUNTIME_THREAD_POOL_H_

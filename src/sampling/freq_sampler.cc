@@ -5,8 +5,24 @@
 #include <unordered_set>
 
 #include "graph/subgraph.h"
+#include "runtime/parallel_for.h"
+#include "runtime/rng_streams.h"
+#include "runtime/runtime.h"
 
 namespace privim {
+
+namespace {
+
+/// One walk's proposal: the node set it would commit (empty unless the walk
+/// collected exactly n nodes) plus every frequency entry it read, for the
+/// commit-time conflict test of the speculative parallel path.
+struct WalkProposal {
+  bool success = false;
+  std::vector<NodeId> nodes;
+  std::vector<NodeId> reads;
+};
+
+}  // namespace
 
 FreqSampler::FreqSampler(FreqSamplingConfig config)
     : config_(std::move(config)) {}
@@ -18,21 +34,36 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
                                      Rng& rng,
                                      SubgraphContainer& container) const {
   const size_t m_cap = config_.frequency_threshold;
-  std::vector<double> weights;
-  std::vector<NodeId> neighbors;
 
-  for (NodeId v0 : starts) {
-    if (!rng.Bernoulli(config_.sampling_rate)) continue;
-    if (!eligible[v0] || freq[v0] >= m_cap) continue;
+  // Unlike Algorithm 1, walks are coupled through the frequency vector: a
+  // committed subgraph changes the weights every later walk sees. The
+  // canonical (serial) semantics is: start i walks its own child stream
+  // `streams.Stream(i)` against the LIVE frequency vector, in start order.
+  // The parallel path below reproduces those semantics exactly.
+  RngStreams streams(rng);
+
+  // One walk of start index `i` against frequency view `f`, writing into
+  // `out`. When `record_reads` is set, every frequency entry the walk
+  // observes is recorded so the committer can detect stale speculation.
+  auto run_walk = [&](size_t i, const std::vector<size_t>& f,
+                      bool record_reads, WalkProposal& out) {
+    const NodeId v0 = starts[i];
+    Rng walk_rng = streams.Stream(i);
+    if (!walk_rng.Bernoulli(config_.sampling_rate)) return;
+    if (!eligible[v0]) return;
+    if (record_reads) out.reads.push_back(v0);
+    if (f[v0] >= m_cap) return;
 
     std::unordered_set<NodeId> in_sub;
     std::vector<NodeId> sub_nodes;
+    std::vector<double> weights;
+    std::vector<NodeId> neighbors;
     in_sub.insert(v0);
     sub_nodes.push_back(v0);
     NodeId cur = v0;
 
     for (size_t l = 0; l < config_.walk_length; ++l) {
-      if (rng.Bernoulli(config_.restart_prob)) cur = v0;
+      if (walk_rng.Bernoulli(config_.restart_prob)) cur = v0;
 
       // Eq. 9: neighbor v is drawn with weight 1/(f_v+1)^mu, excluding
       // nodes whose frequency already reached M or that are ineligible.
@@ -43,26 +74,26 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
       weights.clear();
       for (NodeId w : g.OutNeighbors(cur)) {
         if (!eligible[w]) continue;
+        if (record_reads) out.reads.push_back(w);
         // A node that already reached the cap may not be *added*; it may
         // also not be walked through (its influence is saturated).
-        if (freq[w] >= m_cap && !in_sub.contains(w)) continue;
+        if (f[w] >= m_cap && !in_sub.contains(w)) continue;
         neighbors.push_back(w);
         weights.push_back(
-            1.0 / std::pow(static_cast<double>(freq[w]) + 1.0,
-                           config_.decay));
+            1.0 / std::pow(static_cast<double>(f[w]) + 1.0, config_.decay));
       }
       if (neighbors.empty()) {
         cur = v0;  // Dead end: restart and try again.
         continue;
       }
-      const size_t pick = rng.Discrete(weights);
+      const size_t pick = walk_rng.Discrete(weights);
       if (pick >= neighbors.size()) {
         cur = v0;
         continue;
       }
       const NodeId next = neighbors[pick];
       cur = next;
-      if (!in_sub.contains(next) && freq[next] < m_cap) {
+      if (!in_sub.contains(next) && f[next] < m_cap) {
         in_sub.insert(next);
         sub_nodes.push_back(next);
       }
@@ -70,10 +101,73 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
     }
 
     if (sub_nodes.size() == n) {
-      PRIVIM_ASSIGN_OR_RETURN(Subgraph sub, InduceSubgraph(g, sub_nodes));
-      container.Add(std::move(sub));
-      // Algorithm 3, Line 26: update f with the accepted node set.
-      for (NodeId u : sub_nodes) ++freq[u];
+      out.success = true;
+      out.nodes = std::move(sub_nodes);
+    }
+  };
+
+  const size_t threads = ResolveNumThreads(config_.num_threads);
+  ThreadPool* pool = SharedPool(threads);
+
+  if (pool == nullptr) {
+    for (size_t i = 0; i < starts.size(); ++i) {
+      WalkProposal p;
+      run_walk(i, freq, /*record_reads=*/false, p);
+      if (p.success) {
+        PRIVIM_ASSIGN_OR_RETURN(Subgraph sub, InduceSubgraph(g, p.nodes));
+        container.Add(std::move(sub));
+        // Algorithm 3, Line 26: update f with the accepted node set.
+        for (NodeId u : p.nodes) ++freq[u];
+      }
+    }
+    return Status::OK();
+  }
+
+  // Parallel path: speculate fixed-size rounds of walks against a snapshot
+  // of the frequency vector, then commit in start order. Within a round the
+  // live vector differs from the snapshot exactly on the entries earlier
+  // commits touched (`dirty`), so a proposal whose read set avoids `dirty`
+  // is bit-identical to a live-vector walk and may commit as is; otherwise
+  // the walk is re-run on its own (fresh) child stream against the live
+  // vector — i.e. exactly what the serial path would have computed. The
+  // round size is a constant so chunking cannot influence results, and the
+  // global bound M holds exactly because every commit is serial.
+  constexpr size_t kRoundSize = 256;
+  std::vector<size_t> snapshot;
+  std::vector<WalkProposal> proposals;
+  std::unordered_set<NodeId> dirty;
+  for (size_t round = 0; round < starts.size(); round += kRoundSize) {
+    const size_t round_end = std::min(starts.size(), round + kRoundSize);
+    snapshot = freq;
+    proposals.assign(round_end - round, WalkProposal{});
+    ParallelFor(pool, round, round_end, /*grain=*/8, [&](size_t i) {
+      run_walk(i, snapshot, /*record_reads=*/true, proposals[i - round]);
+    });
+
+    dirty.clear();
+    for (size_t i = round; i < round_end; ++i) {
+      WalkProposal& p = proposals[i - round];
+      bool stale = false;
+      if (!dirty.empty()) {
+        for (NodeId r : p.reads) {
+          if (dirty.contains(r)) {
+            stale = true;
+            break;
+          }
+        }
+      }
+      if (stale) {
+        p = WalkProposal{};
+        run_walk(i, freq, /*record_reads=*/false, p);
+      }
+      if (p.success) {
+        PRIVIM_ASSIGN_OR_RETURN(Subgraph sub, InduceSubgraph(g, p.nodes));
+        container.Add(std::move(sub));
+        for (NodeId u : p.nodes) {
+          ++freq[u];
+          dirty.insert(u);
+        }
+      }
     }
   }
   return Status::OK();

@@ -30,6 +30,13 @@ struct FreqSamplingConfig {
   size_t frequency_threshold = 6;
   /// Run stage 2 (BES)? PrivIM+SCS sets this false; PrivIM* leaves it true.
   bool boundary_stage = true;
+  /// Worker parallelism for the walks (0 = global runtime default). Walks
+  /// are speculated in fixed-size rounds against a frequency snapshot and
+  /// committed in start order; a walk that observed a frequency entry
+  /// another commit changed is deterministically re-run against the live
+  /// vector. Output is therefore bit-identical to the serial execution for
+  /// every thread count, and the global bound M holds exactly.
+  size_t num_threads = 0;
 };
 
 /// Result of the dual-stage extraction, with stage attribution and the
@@ -68,7 +75,8 @@ class FreqSampler {
   /// One FreqSampling pass (Algorithm 3, Lines 9-28) over start nodes
   /// `starts`, collecting subgraphs of `n` nodes into `container` while
   /// updating `freq`. `eligible[v]` gates which nodes may be visited
-  /// (stage 2 removes saturated nodes).
+  /// (stage 2 removes saturated nodes). Consumes exactly one draw of `rng`
+  /// (the substream base key); each start node walks its own child stream.
   Status FreqSamplingPass(const Graph& g, const std::vector<NodeId>& starts,
                           size_t n, std::vector<size_t>& freq,
                           const std::vector<uint8_t>& eligible, Rng& rng,

@@ -4,8 +4,23 @@
 
 #include "graph/algorithms.h"
 #include "graph/subgraph.h"
+#include "runtime/parallel_for.h"
+#include "runtime/rng_streams.h"
+#include "runtime/runtime.h"
 
 namespace privim {
+
+namespace {
+
+/// Outcome of one start node's walk: nothing, a subgraph, or an induction
+/// error (surfaced in start order).
+struct WalkOutcome {
+  bool produced = false;
+  Status status = Status::OK();
+  Subgraph sub;
+};
+
+}  // namespace
 
 RwrSampler::RwrSampler(RwrConfig config) : config_(std::move(config)) {}
 
@@ -35,16 +50,21 @@ Result<SubgraphContainer> RwrSampler::Extract(
     for (NodeId v = 0; v < g.num_nodes(); ++v) starts[v] = v;
   }
 
-  // Scratch reused across walks.
-  std::vector<int> hop_dist;  // Distance from v0, capped at hop_bound.
-  std::vector<NodeId> candidates;
+  // Walks are mutually independent (Algorithm 1 has no cross-walk state),
+  // so each start node i runs against its own child stream `streams.
+  // Stream(i)` and the results are committed in start order — the outcome
+  // is a pure function of (graph, seed), not of the thread count.
+  RngStreams streams(rng);
 
-  for (NodeId v0 : starts) {
-    if (!rng.Bernoulli(config_.sampling_rate)) continue;
+  // One walk, fully self-contained. Returns through `out`.
+  auto run_walk = [&](size_t i, WalkOutcome& out) {
+    const NodeId v0 = starts[i];
+    Rng walk_rng = streams.Stream(i);
+    if (!walk_rng.Bernoulli(config_.sampling_rate)) return;
 
     // Precompute the r-hop ball N_r(v0) once per walk (the walk's target
     // filter, Algorithm 1 Line 10).
-    hop_dist.assign(g.num_nodes(), -1);
+    std::vector<int> hop_dist(g.num_nodes(), -1);
     {
       std::vector<NodeId> frontier{v0};
       hop_dist[v0] = 0;
@@ -64,12 +84,13 @@ Result<SubgraphContainer> RwrSampler::Extract(
 
     std::unordered_set<NodeId> in_sub;
     std::vector<NodeId> sub_nodes;
+    std::vector<NodeId> candidates;
     in_sub.insert(v0);
     sub_nodes.push_back(v0);
     NodeId cur = v0;
 
     for (size_t l = 0; l < config_.walk_length; ++l) {
-      if (rng.Bernoulli(config_.restart_prob)) cur = v0;
+      if (walk_rng.Bernoulli(config_.restart_prob)) cur = v0;
       // Next node from N(cur) ∩ N_r(v0), uniformly.
       candidates.clear();
       for (NodeId w : g.OutNeighbors(cur)) {
@@ -79,17 +100,40 @@ Result<SubgraphContainer> RwrSampler::Extract(
         cur = v0;  // Dead end: restart.
         continue;
       }
-      const NodeId next = candidates[rng.UniformInt(candidates.size())];
+      const NodeId next = candidates[walk_rng.UniformInt(candidates.size())];
       cur = next;
       if (!in_sub.contains(next)) {
         in_sub.insert(next);
         sub_nodes.push_back(next);
       }
       if (sub_nodes.size() == config_.subgraph_size) {
-        PRIVIM_ASSIGN_OR_RETURN(Subgraph sub, InduceSubgraph(g, sub_nodes));
-        container.Add(std::move(sub));
-        break;
+        Result<Subgraph> sub = InduceSubgraph(g, sub_nodes);
+        if (!sub.ok()) {
+          out.status = sub.status();
+        } else {
+          out.produced = true;
+          out.sub = std::move(sub).ValueOrDie();
+        }
+        return;
       }
+    }
+  };
+
+  const size_t threads = ResolveNumThreads(config_.num_threads);
+  ThreadPool* pool = SharedPool(threads);
+
+  // Process starts in fixed-size rounds to bound the outcome buffer; the
+  // round size is a constant, so it cannot influence results either.
+  constexpr size_t kRoundSize = 512;
+  std::vector<WalkOutcome> outcomes;
+  for (size_t round = 0; round < starts.size(); round += kRoundSize) {
+    const size_t round_end = std::min(starts.size(), round + kRoundSize);
+    outcomes.assign(round_end - round, WalkOutcome{});
+    ParallelFor(pool, round, round_end, /*grain=*/16,
+                [&](size_t i) { run_walk(i, outcomes[i - round]); });
+    for (WalkOutcome& out : outcomes) {
+      PRIVIM_RETURN_NOT_OK(out.status);
+      if (out.produced) container.Add(std::move(out.sub));
     }
   }
   return container;

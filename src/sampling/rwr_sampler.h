@@ -22,6 +22,11 @@ struct RwrConfig {
   size_t walk_length = 200;
   /// Hop bound r: sampled nodes stay within the r-hop ball of the start.
   int hop_bound = 3;
+  /// Worker parallelism for the per-start-node walks (0 = global runtime
+  /// default). Every start node owns a counter-derived RNG substream and
+  /// subgraphs are committed in start order, so the container is
+  /// bit-identical for every thread count.
+  size_t num_threads = 0;
 };
 
 /// Algorithm 1: RWR subgraph extraction on a theta-bounded graph.

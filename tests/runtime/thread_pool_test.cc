@@ -1,0 +1,194 @@
+// Unit tests for the execution runtime: pool lifecycle, ParallelFor
+// coverage and chunking, slot exclusivity, TaskGroup join/error semantics,
+// and the thread-count resolution rules.
+
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/parallel_for.h"
+#include "runtime/rng_streams.h"
+#include "runtime/runtime.h"
+#include "runtime/task_group.h"
+
+namespace privim {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Run([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  bool ran = false;
+  pool.Submit([&ran] { ran = true; });
+  EXPECT_TRUE(ran);  // Inline execution: done before Submit returns.
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // ~ThreadPool must finish what was submitted.
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(TaskGroupTest, InlineWhenPoolIsNull) {
+  TaskGroup group(nullptr);
+  int value = 0;
+  group.Run([&value] { value = 7; });
+  EXPECT_EQ(value, 7);  // Ran inline, before Wait().
+  group.Wait();
+}
+
+TEST(TaskGroupTest, WaitRethrowsFirstError) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Run([] { throw std::runtime_error("boom"); });
+  group.Run([] {});
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(TaskGroupTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  group.Run([&count] { count.fetch_add(1); });
+  group.Wait();
+  group.Run([&count] { count.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t workers : {0u, 1u, 3u}) {
+    ThreadPool pool(workers);
+    std::vector<std::atomic<int>> hits(103);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(&pool, 3, 103, /*grain=*/7,
+                [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), i >= 3 && i < 103 ? 1 : 0) << "i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsSerialInOrder) {
+  std::vector<size_t> order;
+  ParallelFor(nullptr, 0, 20, /*grain=*/4,
+              [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 20u);
+  for (size_t i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 5, 5, /*grain=*/1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(&pool, 0, 32, /*grain=*/1,
+                           [&](size_t i) {
+                             if (i == 13) throw std::runtime_error("13");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForWithSlotsTest, SlotsAreExclusive) {
+  ThreadPool pool(4);
+  constexpr size_t kSlots = 2;
+  std::atomic<int> in_use[kSlots] = {};
+  std::atomic<bool> overlap{false};
+  ParallelForWithSlots(&pool, 0, 200, /*grain=*/1, kSlots,
+                       [&](size_t, size_t slot) {
+                         ASSERT_LT(slot, kSlots);
+                         if (in_use[slot].fetch_add(1) != 0) {
+                           overlap.store(true);
+                         }
+                         in_use[slot].fetch_sub(1);
+                       });
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST(ParallelForWithSlotsTest, ExceptionReleasesSlot) {
+  // A throwing chunk must hand its slot back, or the remaining chunks
+  // would deadlock in Acquire() before the error can propagate.
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      ParallelForWithSlots(&pool, 0, 64, /*grain=*/1, /*num_slots=*/1,
+                           [&](size_t i, size_t) {
+                             if (i % 2 == 0) {
+                               throw std::runtime_error("even");
+                             }
+                           }),
+      std::runtime_error);
+}
+
+TEST(RuntimeOptionsTest, ExplicitRequestWinsOverGlobal) {
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_EQ(ResolveNumThreads(5), 5u);
+}
+
+TEST(RuntimeOptionsTest, ZeroDefersToGlobalOptions) {
+  const RuntimeOptions saved = GetGlobalRuntimeOptions();
+  RuntimeOptions opts;
+  opts.num_threads = 3;
+  SetGlobalRuntimeOptions(opts);
+  EXPECT_EQ(ResolveNumThreads(0), 3u);
+  SetGlobalRuntimeOptions(saved);
+}
+
+TEST(RuntimeOptionsTest, SharedPoolSerialIsNull) {
+  EXPECT_EQ(SharedPool(1), nullptr);
+  ThreadPool* pool = SharedPool(2);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GE(pool->num_workers(), 2u);
+  // Grow-only: asking for fewer threads keeps the larger pool.
+  ThreadPool* again = SharedPool(2);
+  EXPECT_EQ(again, pool);
+}
+
+TEST(RngStreamsTest, ConsumesExactlyOneParentDraw) {
+  Rng a(17), b(17);
+  (void)b.NextUint64();
+  RngStreams streams(a);
+  (void)streams.Stream(0);
+  (void)streams.Stream(99);  // Deriving streams costs no further draws.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngStreamsTest, StreamsArePureAndDistinct) {
+  Rng parent(19);
+  RngStreams streams(parent);
+  Rng s1 = streams.Stream(4);
+  Rng s2 = streams.Stream(4);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(s1.NextUint64(), s2.NextUint64());
+  std::set<uint64_t> firsts;
+  for (uint64_t id = 0; id < 512; ++id) {
+    firsts.insert(streams.Stream(id).NextUint64());
+  }
+  EXPECT_EQ(firsts.size(), 512u);
+}
+
+}  // namespace
+}  // namespace privim

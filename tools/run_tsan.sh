@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Builds the project with ThreadSanitizer (-DPRIVIM_SANITIZE=thread) and
+# runs the concurrency-relevant test binaries: the runtime suite plus the
+# trainer/sampler/IM tests that exercise the parallel code paths.
+#
+# PRIVIM_THREADS forces the pooled (non-serial) paths even on machines the
+# global default would leave serial; TSan then observes real cross-thread
+# interleavings of the pool, ParallelFor, the slot free-list and the
+# speculative sampler rounds.
+#
+# Usage: tools/run_tsan.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPRIVIM_SANITIZE=thread \
+  -DPRIVIM_BUILD_BENCHMARKS=OFF \
+  -DPRIVIM_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target runtime_test core_test sampling_test im_test
+
+export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
+export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
+
+"$BUILD_DIR/tests/runtime_test"
+"$BUILD_DIR/tests/core_test" --gtest_filter='Trainer*'
+"$BUILD_DIR/tests/sampling_test" \
+  --gtest_filter='SamplerDeterminism*:FreqSampler*:RwrSampler*'
+"$BUILD_DIR/tests/im_test" \
+  --gtest_filter='EstimateIcSpread*:IcCascade*:RrSketch*:MonteCarloOracle*'
+
+echo "TSan run clean."
