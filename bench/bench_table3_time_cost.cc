@@ -3,10 +3,12 @@
 // main datasets. Timings are medians over PRIVIM_REPEATS runs on the
 // monotonic clock.
 //
-// Usage: bench_table3_time_cost [--threads=N]
-//   --threads=N  worker parallelism for sampling/training/evaluation
-//                (results are bit-identical for every N; default: the
-//                PRIVIM_THREADS env var, else serial).
+// Usage: bench_table3_time_cost [--threads=N] [--telemetry=PATH]
+//   --threads=N      worker parallelism for sampling/training/evaluation
+//                    (results are bit-identical for every N; default: the
+//                    PRIVIM_THREADS env var, else serial).
+//   --telemetry=PATH accumulate run telemetry across every method/dataset
+//                    cell and write it as JSON (plus a printed summary).
 
 #include <cstdlib>
 #include <cstring>
@@ -23,7 +25,7 @@
 namespace privim {
 namespace {
 
-void Run(size_t num_threads) {
+void Run(size_t num_threads, const std::string& telemetry_path) {
   const size_t repeats = RepeatsFromEnv(1);
   PrintBenchHeader("Table III: Computational time cost (seconds)", repeats);
   const double scale = ScaleFromEnv();
@@ -38,6 +40,7 @@ void Run(size_t num_threads) {
         "PrepareDataset " + spec.name));
   }
   TablePrinter table(headers);
+  RunTelemetry telemetry;
 
   for (Method method : {Method::kPrivImStar, Method::kPrivIm,
                         Method::kHpGrat, Method::kEgn}) {
@@ -47,7 +50,8 @@ void Run(size_t num_threads) {
           method, 3.0, instance.train_graph.num_nodes());
       cfg.runtime.num_threads = num_threads;
       MethodEval eval = bench::DieOnError(
-          EvaluateMethod(instance, cfg, repeats, /*seed=*/79),
+          EvaluateMethod(instance, cfg, repeats, /*seed=*/79,
+                         telemetry_path.empty() ? nullptr : &telemetry),
           MethodName(method) + " on " + instance.spec.name);
       preprocessing.push_back(eval.median_preprocessing_seconds);
       per_epoch.push_back(eval.median_per_epoch_seconds);
@@ -67,6 +71,17 @@ void Run(size_t num_threads) {
                "per epoch than HP-GRAT/EGN, whose unconstrained sampling\n"
                "yields more subgraphs. Absolute numbers differ (CPU vs the "
                "paper's GPU).\n";
+
+  if (!telemetry_path.empty()) {
+    std::cout << "\n";
+    telemetry.PrintSummary(std::cout);
+    const Status status = telemetry.WriteJsonFile(telemetry_path);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      std::exit(1);
+    }
+    std::cout << "telemetry written to " << telemetry_path << "\n";
+  }
 }
 
 }  // namespace
@@ -74,15 +89,18 @@ void Run(size_t num_threads) {
 
 int main(int argc, char** argv) {
   size_t num_threads = 0;  // 0 = global runtime default.
+  std::string telemetry_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       num_threads = static_cast<size_t>(std::atol(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      telemetry_path = argv[i] + 12;
     } else {
       std::cerr << "unknown argument '" << argv[i]
-                << "' (supported: --threads=N)\n";
+                << "' (supported: --threads=N, --telemetry=PATH)\n";
       return 1;
     }
   }
-  privim::Run(num_threads);
+  privim::Run(num_threads, telemetry_path);
   return 0;
 }

@@ -53,7 +53,7 @@ int main() {
     const double sigma = *sigma_or;
     table.AddRow({StrFormat("%zu", ng), FormatDouble(sigma, 4),
                   FormatDouble(sigma * NodeSensitivity(1.0, ng), 3),
-                  FormatDouble(acc_or->Epsilon(sigma, budget.delta), 4)});
+                  FormatDouble(*acc_or->Epsilon(sigma, budget.delta), 4)});
   }
   table.Print(std::cout);
 

@@ -51,7 +51,7 @@ Result<DatasetInstance> PrepareDataset(DatasetId id, uint64_t seed,
 
 Result<MethodEval> EvaluateMethod(const DatasetInstance& instance,
                                   const PrivImConfig& config, size_t repeats,
-                                  uint64_t seed) {
+                                  uint64_t seed, RunTelemetry* telemetry) {
   if (repeats == 0) {
     return Status::InvalidArgument("repeats must be positive");
   }
@@ -65,7 +65,8 @@ Result<MethodEval> EvaluateMethod(const DatasetInstance& instance,
     Rng rng(seed + 0x9e37 * (rep + 1));
     PRIVIM_ASSIGN_OR_RETURN(
         PrivImRunResult run,
-        RunMethod(instance.train_graph, instance.eval_graph, config, rng));
+        RunMethod(instance.train_graph, instance.eval_graph, config, rng,
+                  /*model_out=*/nullptr, telemetry));
     spreads.push_back(run.spread);
     coverages.push_back(
         CoverageRatioPercent(run.spread, instance.celf_spread));

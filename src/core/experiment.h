@@ -55,9 +55,12 @@ struct MethodEval {
 
 /// Runs `config` `repeats` times with seeds derived from `seed` and
 /// aggregates spread/coverage against the instance's CELF reference.
+/// A non-null `telemetry` accumulates records across every repeat (one
+/// RunMethod fill per repeat; counters sum, train records append).
 Result<MethodEval> EvaluateMethod(const DatasetInstance& instance,
                                   const PrivImConfig& config, size_t repeats,
-                                  uint64_t seed);
+                                  uint64_t seed,
+                                  RunTelemetry* telemetry = nullptr);
 
 /// Number of experiment repeats: PRIVIM_REPEATS env var, default
 /// `fallback` (the paper uses 5; benches default to 1 for runtime).

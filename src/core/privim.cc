@@ -134,10 +134,12 @@ bool IsNonPrivate(const PrivImConfig& cfg) {
 }
 
 /// Extracts the subgraph container per the configured method and reports
-/// the a-priori occurrence bound the accountant must use.
+/// the a-priori occurrence bound the accountant must use. `metrics` (may be
+/// null) receives the sampler walk counters.
 Result<SubgraphContainer> ExtractContainer(const Graph& train_graph,
                                            const PrivImConfig& cfg, Rng& rng,
-                                           PrivImRunResult* result) {
+                                           PrivImRunResult* result,
+                                           MetricsRegistry* metrics) {
   switch (cfg.method) {
     case Method::kPrivIm: {
       // Algorithm 1: theta-projection, then RWR on the bounded graph.
@@ -145,6 +147,7 @@ Result<SubgraphContainer> ExtractContainer(const Graph& train_graph,
           Graph bounded, ThetaBoundedProjection(train_graph, cfg.theta, rng));
       RwrConfig rwr = cfg.rwr;
       rwr.num_threads = cfg.runtime.num_threads;
+      rwr.metrics = metrics;
       RwrSampler sampler(rwr);
       PRIVIM_ASSIGN_OR_RETURN(SubgraphContainer container,
                               sampler.Extract(bounded, rng));
@@ -162,6 +165,7 @@ Result<SubgraphContainer> ExtractContainer(const Graph& train_graph,
       FreqSamplingConfig freq = cfg.freq;
       freq.boundary_stage = cfg.method != Method::kPrivImScs;
       freq.num_threads = cfg.runtime.num_threads;
+      freq.metrics = metrics;
       FreqSampler sampler(freq);
       PRIVIM_ASSIGN_OR_RETURN(DualStageResult dual,
                               sampler.Extract(train_graph, rng));
@@ -209,18 +213,25 @@ Result<SubgraphContainer> ExtractContainer(const Graph& train_graph,
 Result<PrivImRunResult> RunMethod(const Graph& train_graph,
                                   const Graph& eval_graph,
                                   const PrivImConfig& cfg, Rng& rng,
-                                  std::unique_ptr<GnnModel>* model_out) {
+                                  std::unique_ptr<GnnModel>* model_out,
+                                  RunTelemetry* telemetry) {
   if (eval_graph.num_nodes() < cfg.seed_count) {
     return Status::InvalidArgument(
         StrFormat("evaluation graph has %zu nodes < k=%zu",
                   eval_graph.num_nodes(), cfg.seed_count));
   }
   PrivImRunResult result;
+  MetricsRegistry* metrics =
+      telemetry != nullptr ? &telemetry->metrics : nullptr;
+  // Runtime-pool counters are process-wide and monotonic; scope them to
+  // this run by differencing a before/after snapshot.
+  const RuntimeStats runtime_before = GetRuntimeStats();
   WallTimer preprocess_timer;
 
   // ---- Module 1: subgraph extraction. ----
-  PRIVIM_ASSIGN_OR_RETURN(SubgraphContainer container,
-                          ExtractContainer(train_graph, cfg, rng, &result));
+  PRIVIM_ASSIGN_OR_RETURN(
+      SubgraphContainer container,
+      ExtractContainer(train_graph, cfg, rng, &result, metrics));
   if (container.empty()) {
     return Status::FailedPrecondition(
         "sampling produced no subgraphs (graph too small or sampling rate "
@@ -242,6 +253,10 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
   // ---- Module 2: privacy accounting. ----
   TrainConfig train_cfg = cfg.train;
   train_cfg.num_threads = cfg.runtime.num_threads;
+  train_cfg.telemetry = telemetry;
+  // Cumulative epsilon after each iteration; stays empty on non-private
+  // runs (their records keep a NaN epsilon).
+  std::vector<double> epsilon_ledger;
   // Sparse graphs can yield fewer subgraphs than the configured batch
   // size; the accountant requires B <= m, so clamp (this only makes the
   // subsampling, and hence the guarantee, more conservative).
@@ -263,6 +278,9 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
       GnnModel probe(probe_cfg, probe_rng);
       TrainConfig dry = cfg.train;
       dry.num_threads = cfg.runtime.num_threads;
+      // The dry run is a calibration probe, not the released training run;
+      // its iterations must not pollute the telemetry record.
+      dry.telemetry = nullptr;
       dry.batch_size = std::min<size_t>(train_cfg.batch_size, 8);
       dry.iterations = std::max<size_t>(8, cfg.train.iterations / 4);
       dry.noise_kind = NoiseKind::kNone;
@@ -299,7 +317,12 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
     PRIVIM_ASSIGN_OR_RETURN(double sigma,
                             accountant.CalibrateSigma(cfg.budget));
     result.sigma = sigma;
-    result.epsilon_spent = accountant.Epsilon(sigma, cfg.budget.delta);
+    PRIVIM_ASSIGN_OR_RETURN(result.epsilon_spent,
+                            accountant.Epsilon(sigma, cfg.budget.delta));
+    if (telemetry != nullptr) {
+      PRIVIM_ASSIGN_OR_RETURN(
+          epsilon_ledger, accountant.EpsilonLedger(sigma, cfg.budget.delta));
+    }
     const double delta_g =
         NodeSensitivity(train_cfg.clip_bound, spec.max_occurrences);
     train_cfg.noise_stddev = sigma * delta_g;
@@ -317,8 +340,20 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
   Rng init_rng = rng.Fork();
   auto model_ptr = std::make_unique<GnnModel>(gnn_cfg, init_rng);
   GnnModel& model = *model_ptr;
+  const size_t train_records_before =
+      telemetry != nullptr ? telemetry->train.size() : 0;
   PRIVIM_ASSIGN_OR_RETURN(TrainStats stats,
                           TrainDpGnn(model, container, train_cfg, rng));
+  if (telemetry != nullptr && !epsilon_ledger.empty()) {
+    // Zip the accountant's ledger into the records this run appended:
+    // record for iteration t gets the epsilon spent after t+1 iterations.
+    for (size_t i = train_records_before; i < telemetry->train.size(); ++i) {
+      const size_t t = telemetry->train[i].iteration;
+      if (t < epsilon_ledger.size()) {
+        telemetry->train[i].epsilon = epsilon_ledger[t];
+      }
+    }
+  }
   result.per_epoch_seconds = stats.seconds_per_iteration;
   if (!stats.losses.empty()) {
     const size_t tail = std::max<size_t>(1, stats.losses.size() / 4);
@@ -354,7 +389,7 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
     case PrivImConfig::EvalDiffusion::kMonteCarloIc:
       oracle = MakeMonteCarloOracle(eval_graph, cfg.eval_trials, rng,
                                     cfg.eval_steps,
-                                    cfg.runtime.num_threads);
+                                    cfg.runtime.num_threads, metrics);
       break;
     case PrivImConfig::EvalDiffusion::kLt:
       oracle = MakeLtOracle(eval_graph, cfg.eval_trials, rng,
@@ -367,10 +402,35 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
   }
   PRIVIM_ASSIGN_OR_RETURN(
       SeedSelection selection,
-      TopKByScore(candidates, cfg.seed_count, scores, oracle));
+      TopKByScore(candidates, cfg.seed_count, scores,
+                  InstrumentedOracle(oracle, metrics)));
   result.seeds = std::move(selection.seeds);
   result.spread = selection.spread;
   if (model_out != nullptr) *model_out = std::move(model_ptr);
+
+  if (metrics != nullptr) {
+    // Headline scalars of the run (DP outputs already in `result`).
+    metrics->GetGauge("dp.sigma")->Set(result.sigma);
+    metrics->GetGauge("dp.epsilon_spent")->Set(result.epsilon_spent);
+    metrics->GetGauge("dp.noise_stddev")->Set(result.noise_stddev);
+    metrics->GetGauge("dp.clip_bound")->Set(result.clip_bound_used);
+    metrics->GetGauge("sampler.container_size")
+        ->Set(static_cast<double>(result.container_size));
+
+    // Runtime-pool usage scoped to this run (process-wide counters,
+    // differenced; the queue high-water mark cannot be differenced, so it
+    // is reported as the process-lifetime maximum).
+    const RuntimeStats after = GetRuntimeStats();
+    metrics->GetCounter("runtime.parallel_for_calls")
+        ->Add(after.parallel_for_calls - runtime_before.parallel_for_calls);
+    metrics->GetCounter("runtime.tasks_executed")
+        ->Add(after.tasks_executed - runtime_before.tasks_executed);
+    metrics->GetTimer("runtime.parallel_for")
+        ->Add(after.parallel_for_calls - runtime_before.parallel_for_calls,
+              after.parallel_for_nanos - runtime_before.parallel_for_nanos);
+    metrics->GetGauge("runtime.pool_max_queue_depth")
+        ->Set(static_cast<double>(after.max_queue_depth));
+  }
   return result;
 }
 

@@ -127,11 +127,18 @@ struct PrivImRunResult {
 ///
 /// If `model_out` is non-null it receives the trained model (the DP
 /// mechanism's output — exporting it is privacy-free post-processing).
+///
+/// If `telemetry` is non-null the run fills it with per-iteration training
+/// records (including the accountant's cumulative-epsilon ledger on private
+/// runs), sampler walk counters, oracle-call counts, and a runtime-pool
+/// usage delta scoped to this run. Recording is pure observation: results
+/// are bit-identical with telemetry on or off, for every thread count.
 Result<PrivImRunResult> RunMethod(const Graph& train_graph,
                                   const Graph& eval_graph,
                                   const PrivImConfig& config, Rng& rng,
                                   std::unique_ptr<GnnModel>* model_out =
-                                      nullptr);
+                                      nullptr,
+                                  RunTelemetry* telemetry = nullptr);
 
 /// Builds the paper's default configuration for a method on a graph with
 /// `train_nodes` training nodes: q = 256/|V_train|, L = 200, theta = 10,

@@ -1,6 +1,7 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -112,6 +113,25 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
   size_t norm_count = 0;
   WallTimer timer;
 
+  // Telemetry instruments, registered once outside the hot loop. Everything
+  // recorded here is computed from quantities the loop already releases to
+  // the trainer (pre-clip norms, the noised batch sum), so it is pure DP
+  // post-processing and bit-identical across thread counts.
+  Histogram* grad_norm_hist = nullptr;
+  TimerStat* iter_timer = nullptr;
+  Counter* clipped_counter = nullptr;
+  std::vector<float> pre_noise_sum;
+  if (config.telemetry != nullptr) {
+    MetricsRegistry& reg = config.telemetry->metrics;
+    grad_norm_hist =
+        reg.GetHistogram("train.grad_norm", ExponentialBuckets(1e-4, 2.0, 24));
+    iter_timer = reg.GetTimer("train.iteration");
+    clipped_counter = reg.GetCounter("train.clipped_samples");
+    config.telemetry->train.reserve(config.telemetry->train.size() +
+                                    config.iterations);
+    if (config.noise_kind != NoiseKind::kNone) pre_noise_sum.resize(dim);
+  }
+
   // One per-sample pass (Lines 5-6 of Algorithm 2) against `sample_model`,
   // writing into `slot`. Pure function of (model params, subgraph).
   auto compute_sample = [&](GnnModel& sample_model, size_t idx,
@@ -134,6 +154,7 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
   };
 
   for (size_t t = 0; t < config.iterations; ++t) {
+    ScopedTimer iter_scope(iter_timer);
     // Line 5: draw the batch up front. The caller's RNG consumption (B
     // uniform draws, then the noise draw) is identical to the serial
     // implementation for every thread count.
@@ -162,13 +183,24 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
     std::fill(batch_sum.begin(), batch_sum.end(), 0.0f);
     double loss_accum = 0.0;
     double iter_norm_accum = 0.0;
+    size_t clipped_in_batch = 0;
     for (size_t b = 0; b < config.batch_size; ++b) {
       const SampleSlot& slot = samples[b];
       loss_accum += slot.loss;
       norm_accum += slot.pre_clip_norm;
       iter_norm_accum += slot.pre_clip_norm;
       ++norm_count;
+      if (config.clip_bound > 0.0 && slot.pre_clip_norm > config.clip_bound) {
+        ++clipped_in_batch;
+      }
+      if (grad_norm_hist != nullptr) {
+        grad_norm_hist->Observe(slot.pre_clip_norm);
+      }
       for (size_t i = 0; i < dim; ++i) batch_sum[i] += slot.grad[i];
+    }
+    if (clipped_counter != nullptr) clipped_counter->Add(clipped_in_batch);
+    if (!pre_noise_sum.empty()) {
+      std::copy(batch_sum.begin(), batch_sum.end(), pre_noise_sum.begin());
     }
 
     // Line 8: perturb the summed clipped gradients — the single noise
@@ -185,6 +217,20 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
         break;
     }
 
+    // L2 of the injected noise vector — post-processing of the released
+    // noisy sum against the (already computed) clean sum. Must happen
+    // before the 1/B scaling below.
+    double noise_l2 = 0.0;
+    if (!pre_noise_sum.empty()) {
+      double sq = 0.0;
+      for (size_t i = 0; i < dim; ++i) {
+        const double d = static_cast<double>(batch_sum[i]) -
+                         static_cast<double>(pre_noise_sum[i]);
+        sq += d * d;
+      }
+      noise_l2 = std::sqrt(sq);
+    }
+
     // Line 9: update with the averaged private gradient.
     const float inv_b = 1.0f / static_cast<float>(config.batch_size);
     for (float& v : batch_sum) v *= inv_b;
@@ -194,6 +240,20 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
                            static_cast<double>(config.batch_size));
     stats.grad_norms.push_back(iter_norm_accum /
                                static_cast<double>(config.batch_size));
+
+    if (config.telemetry != nullptr) {
+      TrainIterationRecord rec;
+      rec.iteration = t;
+      rec.loss = stats.losses.back();
+      rec.mean_grad_norm = stats.grad_norms.back();
+      rec.clip_fraction =
+          config.clip_bound > 0.0
+              ? static_cast<double>(clipped_in_batch) /
+                    static_cast<double>(config.batch_size)
+              : 0.0;
+      rec.noise_l2 = noise_l2;
+      config.telemetry->train.push_back(rec);
+    }
 
     if (config.tail_averaging && t >= tail_start) {
       model.params().FlattenParams(snapshot);

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "core/loss.h"
 #include "nn/gnn.h"
+#include "obs/telemetry.h"
 #include "sampling/container.h"
 
 namespace privim {
@@ -52,6 +53,15 @@ struct TrainConfig {
   /// count and the DP accounting is untouched (see docs/runtime.md).
   size_t num_threads = 0;
   ImLossConfig loss;
+  /// Optional run telemetry. When set, the loop appends one
+  /// TrainIterationRecord per iteration (loss, clip fraction, mean pre-clip
+  /// gradient norm, injected-noise L2) and fills a pre-clip gradient-norm
+  /// histogram in `telemetry->metrics`. Recording reads only quantities the
+  /// loop already releases to the trainer, so it is DP post-processing
+  /// (docs/observability.md); values are bit-identical for every thread
+  /// count. The cumulative-epsilon field of each record is left NaN — the
+  /// privacy ledger is the accountant's job (RunMethod zips it in).
+  RunTelemetry* telemetry = nullptr;
 };
 
 /// Per-run training telemetry.

@@ -103,7 +103,7 @@ double RdpAccountant::GammaPerIteration(double alpha, double sigma) const {
   return LogSumExp(terms) / (alpha - 1.0);
 }
 
-double RdpAccountant::Epsilon(double sigma, double delta) const {
+double RdpAccountant::EpsilonOrInfinity(double sigma, double delta) const {
   double best = std::numeric_limits<double>::infinity();
   const double t = static_cast<double>(spec_.iterations);
   for (double alpha : AlphaGrid()) {
@@ -115,6 +115,50 @@ double RdpAccountant::Epsilon(double sigma, double delta) const {
   return best;
 }
 
+Result<double> RdpAccountant::Epsilon(double sigma, double delta) const {
+  const double eps = EpsilonOrInfinity(sigma, delta);
+  if (!std::isfinite(eps)) {
+    return Status::FailedPrecondition(StrFormat(
+        "no finite epsilon at sigma=%g, delta=%g: every alpha in the grid "
+        "yields a non-finite RDP gamma (degenerate noise multiplier or "
+        "sampling spec)",
+        sigma, delta));
+  }
+  return eps;
+}
+
+Result<std::vector<double>> RdpAccountant::EpsilonLedger(
+    double sigma, double delta) const {
+  // Gammas depend only on (alpha, sigma); composition scales them by the
+  // iteration count. Computing the grid once and re-converting per t keeps
+  // the ledger O(T * |grid|) with T trivially small.
+  const std::vector<double>& grid = AlphaGrid();
+  std::vector<double> gammas(grid.size());
+  bool any_finite = false;
+  for (size_t a = 0; a < grid.size(); ++a) {
+    gammas[a] = GammaPerIteration(grid[a], sigma);
+    any_finite = any_finite || std::isfinite(gammas[a]);
+  }
+  if (!any_finite) {
+    return Status::FailedPrecondition(StrFormat(
+        "no finite epsilon ledger at sigma=%g, delta=%g: every alpha in "
+        "the grid yields a non-finite RDP gamma",
+        sigma, delta));
+  }
+  std::vector<double> ledger(spec_.iterations);
+  for (size_t t = 1; t <= spec_.iterations; ++t) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < grid.size(); ++a) {
+      if (!std::isfinite(gammas[a])) continue;
+      best = std::min(best, RdpToEpsilon(grid[a],
+                                         gammas[a] * static_cast<double>(t),
+                                         delta));
+    }
+    ledger[t - 1] = best;
+  }
+  return ledger;
+}
+
 Result<double> RdpAccountant::CalibrateSigma(
     const PrivacyBudget& budget) const {
   if (budget.epsilon <= 0.0) {
@@ -123,22 +167,30 @@ Result<double> RdpAccountant::CalibrateSigma(
   if (budget.delta <= 0.0 || budget.delta >= 1.0) {
     return Status::InvalidArgument("delta must lie in (0,1)");
   }
-  // Epsilon(sigma) is decreasing in sigma. Bracket then bisect.
+  // Epsilon(sigma) is decreasing in sigma. Bracket then bisect. The search
+  // deliberately uses the infinity-returning variant: a non-finite epsilon
+  // at small sigma just means "keep expanding the bracket", and only a
+  // bracket that never closes is an error — which is reported loudly
+  // instead of letting a silent +inf masquerade as a calibration.
   double lo = 1e-3;
   double hi = 1.0;
   int expansions = 0;
-  while (Epsilon(hi, budget.delta) > budget.epsilon) {
+  while (EpsilonOrInfinity(hi, budget.delta) > budget.epsilon) {
     hi *= 2.0;
     if (++expansions > 60) {
-      return Status::Internal("sigma calibration failed to bracket target");
+      return Status::Internal(StrFormat(
+          "sigma calibration failed to bracket epsilon=%g, delta=%g: even "
+          "sigma=%g spends more than the target (unreachable budget for "
+          "this spec)",
+          budget.epsilon, budget.delta, hi));
     }
   }
-  if (Epsilon(lo, budget.delta) <= budget.epsilon) {
+  if (EpsilonOrInfinity(lo, budget.delta) <= budget.epsilon) {
     return lo;  // Even minimal noise meets the target.
   }
   for (int iter = 0; iter < 100; ++iter) {
     const double mid = 0.5 * (lo + hi);
-    if (Epsilon(mid, budget.delta) > budget.epsilon) {
+    if (EpsilonOrInfinity(mid, budget.delta) > budget.epsilon) {
       lo = mid;
     } else {
       hi = mid;

@@ -32,8 +32,19 @@ class RdpAccountant {
 
   /// Epsilon of the (epsilon, delta)-DP guarantee after `iterations()`
   /// steps at noise multiplier `sigma`, minimized over the alpha grid
-  /// (Theorem 1 conversion).
-  double Epsilon(double sigma, double delta) const;
+  /// (Theorem 1 conversion). Fails with FailedPrecondition when no alpha
+  /// in the grid yields a finite gamma (degenerate spec/sigma) — callers
+  /// must not mistake an unbounded guarantee for a number.
+  Result<double> Epsilon(double sigma, double delta) const;
+
+  /// Per-iteration privacy ledger: entry t is the epsilon spent after
+  /// t + 1 iterations (linear RDP composition means gamma scales by the
+  /// iteration count before the Theorem 1 conversion — NOT epsilon itself,
+  /// which is why the ledger is not a straight line). Entry
+  /// `iterations() - 1` equals Epsilon(sigma, delta). Same failure mode as
+  /// Epsilon.
+  Result<std::vector<double>> EpsilonLedger(double sigma,
+                                            double delta) const;
 
   /// Smallest noise multiplier sigma such that the whole run is
   /// (epsilon, delta)-DP. Fails if the target is unreachable within the
@@ -48,6 +59,11 @@ class RdpAccountant {
 
  private:
   explicit RdpAccountant(const DpSgdSpec& spec);
+
+  /// Epsilon as a plain double with +inf signalling "no finite guarantee";
+  /// the bracketing search in CalibrateSigma wants the infinity to compare
+  /// against, the public API wants the loud Status.
+  double EpsilonOrInfinity(double sigma, double delta) const;
 
   DpSgdSpec spec_;
   // Precomputed log rho_i, i = 0..min(N_g, B).

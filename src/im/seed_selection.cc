@@ -52,7 +52,12 @@ Result<SeedSelection> CelfSelect(const std::vector<NodeId>& candidates,
 
   double current_spread = 0.0;
   std::vector<NodeId> with_candidate;
-  for (size_t round = 1; round <= k; ++round) {
+  // Freshness invariant: a cached gain is valid iff it was computed against
+  // the current seed set, i.e. entry.round == out.seeds.size(). The initial
+  // gains above are computed against the empty set, so round counting must
+  // start at 0 — starting at 1 would treat every fresh initial entry as
+  // stale and burn at least one redundant oracle call per selection round.
+  for (size_t round = 0; round < k; ++round) {
     for (;;) {
       Entry top = heap.top();
       heap.pop();
@@ -92,7 +97,13 @@ Result<SeedSelection> GreedySelect(const std::vector<NodeId>& candidates,
       with_candidate.push_back(candidates[i]);
       const double spread = oracle(with_candidate);
       ++out.oracle_calls;
-      if (spread > best_spread) {
+      // Ties break toward the smaller node id, so the selection is
+      // invariant under candidate-order permutations and matches
+      // CelfSelect's heap tie-break exactly (tested both ways).
+      const bool better =
+          best_idx == candidates.size() || spread > best_spread ||
+          (spread == best_spread && candidates[i] < candidates[best_idx]);
+      if (better) {
         best_spread = spread;
         best_idx = i;
       }
@@ -166,13 +177,33 @@ SpreadOracle MakeExactUnitOracle(const Graph& g, int steps) {
 }
 
 SpreadOracle MakeMonteCarloOracle(const Graph& g, size_t trials, Rng& rng,
-                                  int max_steps, size_t num_threads) {
+                                  int max_steps, size_t num_threads,
+                                  MetricsRegistry* metrics) {
   // The oracle owns a forked generator so repeated calls advance it.
   auto shared_rng = std::make_shared<Rng>(rng.Fork());
-  return [&g, trials, shared_rng, max_steps, num_threads](
-             const std::vector<NodeId>& seeds) {
+  Counter* trial_counter =
+      metrics != nullptr ? metrics->GetCounter("im.mc_trials") : nullptr;
+  TimerStat* eval_timer =
+      metrics != nullptr ? metrics->GetTimer("im.mc_eval") : nullptr;
+  return [&g, trials, shared_rng, max_steps, num_threads, trial_counter,
+          eval_timer](const std::vector<NodeId>& seeds) {
+    ScopedTimer timer(eval_timer);
+    if (trial_counter != nullptr) trial_counter->Add(trials);
     return EstimateIcSpread(g, seeds, trials, *shared_rng, max_steps,
                             num_threads);
+  };
+}
+
+SpreadOracle InstrumentedOracle(SpreadOracle oracle,
+                                MetricsRegistry* metrics) {
+  if (metrics == nullptr) return oracle;
+  Counter* calls = metrics->GetCounter("im.oracle_calls");
+  TimerStat* eval_timer = metrics->GetTimer("im.oracle_eval");
+  return [oracle = std::move(oracle), calls,
+          eval_timer](const std::vector<NodeId>& seeds) {
+    ScopedTimer timer(eval_timer);
+    calls->Add(1);
+    return oracle(seeds);
   };
 }
 

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 
 namespace privim {
 
@@ -63,10 +64,19 @@ SpreadOracle MakeExactUnitOracle(const Graph& g, int steps = 1);
 /// Monte-Carlo IC oracle with `trials` cascades per evaluation. The trials
 /// of each evaluation run in parallel (`num_threads`; 0 = global runtime
 /// default) with deterministic per-trial substreams, so oracle values are
-/// bit-identical for every thread count.
+/// bit-identical for every thread count. An optional metrics sink records
+/// "im.mc_trials" (cascades simulated) and times "im.mc_eval" per call.
 SpreadOracle MakeMonteCarloOracle(const Graph& g, size_t trials, Rng& rng,
                                   int max_steps = -1,
-                                  size_t num_threads = 0);
+                                  size_t num_threads = 0,
+                                  MetricsRegistry* metrics = nullptr);
+
+/// Wraps `oracle` so every evaluation bumps "im.oracle_calls" and is timed
+/// under "im.oracle_eval" in `metrics`. Returns `oracle` unchanged when
+/// `metrics` is null. Pure observation: values pass through untouched, so
+/// selection results are unchanged by instrumentation.
+SpreadOracle InstrumentedOracle(SpreadOracle oracle,
+                                MetricsRegistry* metrics);
 
 /// Monte-Carlo Linear Threshold oracle (paper's future-work diffusion
 /// model): mean activated count over `trials` LT cascades.

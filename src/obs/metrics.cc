@@ -1,0 +1,172 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace privim {
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()) {
+  PRIVIM_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  PRIVIM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be increasing";
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double x) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  PRIVIM_CHECK(bounds_ == other.bounds_)
+      << "cannot merge histograms with different bucket bounds";
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].fetch_add(other.counts_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  const double add = other.sum();
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + add,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::counts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+uint64_t Histogram::total_count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+template <typename T, typename... Args>
+T* GetOrCreate(std::map<std::string, std::unique_ptr<T>>& map,
+               std::string_view name, Args&&... args) {
+  auto it = map.find(std::string(name));
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<T>(std::forward<Args>(args)...))
+             .first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(gauges_, name);
+}
+
+Histogram* MetricsRegistry::GetHistogram(
+    std::string_view name, std::span<const double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(std::string(name));
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(upper_bounds))
+             .first;
+  }
+  return it->second.get();
+}
+
+TimerStat* MetricsRegistry::GetTimer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(timers_, name);
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  MetricsSnapshot snap = other.Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    GetCounter(name)->Add(value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    GetGauge(name)->Set(value);
+  }
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, hist] : other.histograms_) {
+      GetHistogram(name, hist->bounds())->Merge(*hist);
+    }
+  }
+  for (const auto& [name, timer] : snap.timers) {
+    GetTimer(name)->Add(timer.calls, timer.nanos);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h->bounds();
+    data.counts = h->counts();
+    data.total = h->total_count();
+    data.sum = h->sum();
+    snap.histograms[name] = std::move(data);
+  }
+  for (const auto& [name, t] : timers_) {
+    MetricsSnapshot::TimerData data;
+    data.calls = t->calls();
+    data.nanos = t->total_nanos();
+    data.seconds = t->total_seconds();
+    snap.timers[name] = data;
+  }
+  return snap;
+}
+
+std::vector<double> LinearBuckets(double step, size_t count) {
+  PRIVIM_CHECK_GT(step, 0.0);
+  PRIVIM_CHECK_GT(count, 0u);
+  std::vector<double> bounds(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds[i] = step * static_cast<double>(i + 1);
+  }
+  return bounds;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  PRIVIM_CHECK_GT(start, 0.0);
+  PRIVIM_CHECK_GT(factor, 1.0);
+  PRIVIM_CHECK_GT(count, 0u);
+  std::vector<double> bounds(count);
+  double b = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds[i] = b;
+    b *= factor;
+  }
+  return bounds;
+}
+
+}  // namespace privim

@@ -1,0 +1,185 @@
+#ifndef PRIVIM_OBS_METRICS_H_
+#define PRIVIM_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace privim {
+
+/// Lightweight run-telemetry metrics (see docs/observability.md).
+///
+/// Design constraints, in order:
+///  * no locks on the hot path — recording is a relaxed atomic add;
+///  * deterministic values — instruments count *events*, and the runtime's
+///    determinism contract makes the event set identical for every thread
+///    count, so totals agree even though increment order does not;
+///  * merge-at-report — one registry per run; concurrent runs (or nested
+///    stages) each fill their own registry and merge into the report.
+///
+/// Registration (GetCounter & co.) takes a mutex and is expected to happen
+/// once per run outside hot loops; the returned pointers are stable for the
+/// registry's lifetime.
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. a configuration echo or a final level).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], plus
+/// one overflow bucket. Bounds are fixed at creation, so two histograms
+/// with equal bounds merge by adding counts — an associative, commutative
+/// operation (audited in tests).
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::span<const double> upper_bounds);
+
+  void Observe(double x);
+
+  /// Adds `other`'s counts into this histogram. Bucket bounds must match.
+  void Merge(const Histogram& other);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// counts() has bounds().size() + 1 entries (last = overflow).
+  std::vector<uint64_t> counts() const;
+  uint64_t total_count() const;
+  /// Sum of observed values (for mean reconstruction at report time).
+  double sum() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  // Double adds via CAS: std::atomic<double>::fetch_add needs hardware
+  // support we do not want to assume.
+  std::atomic<double> sum_{0.0};
+};
+
+/// Accumulated monotonic-clock time plus call count; fed by ScopedTimer.
+/// Timings are diagnostics, not part of the determinism contract.
+class TimerStat {
+ public:
+  void Record(std::chrono::nanoseconds elapsed) {
+    calls_.Add(1);
+    nanos_.Add(static_cast<uint64_t>(elapsed.count()));
+  }
+  /// Bulk merge used by MetricsRegistry::MergeFrom.
+  void Add(uint64_t calls, uint64_t nanos) {
+    calls_.Add(calls);
+    nanos_.Add(nanos);
+  }
+  uint64_t calls() const { return calls_.value(); }
+  double total_seconds() const {
+    return static_cast<double>(nanos_.value()) * 1e-9;
+  }
+  uint64_t total_nanos() const { return nanos_.value(); }
+
+ private:
+  Counter calls_;
+  Counter nanos_;
+};
+
+/// RAII timer: records the scope's monotonic wall time into a TimerStat on
+/// destruction. A null target makes it a no-op so call sites need no
+/// branching when telemetry is disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat* target)
+      : target_(target),
+        start_(target ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point()) {}
+  ~ScopedTimer() {
+    if (target_ != nullptr) {
+      target_->Record(std::chrono::steady_clock::now() - start_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerStat* target_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Immutable copy of a registry's state, for export and assertions.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1, last = overflow.
+    uint64_t total = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, HistogramData> histograms;
+  struct TimerData {
+    uint64_t calls = 0;
+    uint64_t nanos = 0;
+    double seconds = 0.0;
+  };
+  std::map<std::string, TimerData> timers;
+};
+
+/// Named instrument directory. Get* registers on first use and returns a
+/// stable pointer; recording through that pointer never takes the mutex.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// Re-registering an existing histogram ignores `upper_bounds` and
+  /// returns the original (bounds are fixed for mergeability).
+  Histogram* GetHistogram(std::string_view name,
+                          std::span<const double> upper_bounds);
+  TimerStat* GetTimer(std::string_view name);
+
+  /// Adds every instrument of `other` into this registry (counters and
+  /// histograms sum; gauges take `other`'s value; timers sum).
+  void MergeFrom(const MetricsRegistry& other);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // Guards the maps, never the instruments.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<TimerStat>> timers_;
+};
+
+/// Equally spaced bucket bounds {step, 2*step, ..., count*step} —
+/// convenience for frequency-vs-cap and norm histograms.
+std::vector<double> LinearBuckets(double step, size_t count);
+
+/// Exponential bounds {start, start*factor, ...} (count entries).
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+
+}  // namespace privim
+
+#endif  // PRIVIM_OBS_METRICS_H_

@@ -1,0 +1,238 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace privim {
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+namespace {
+
+/// Minimal append-only JSON writer: the schema is fixed and flat enough
+/// that a full serializer would be overkill.
+class JsonBuilder {
+ public:
+  void OpenObject() { Punct('{'); }
+  void CloseObject() {
+    out_.push_back('}');
+    needs_comma_ = true;
+  }
+  void OpenArray() { Punct('['); }
+  void CloseArray() {
+    out_.push_back(']');
+    needs_comma_ = true;
+  }
+  void Key(std::string_view name) {
+    Comma();
+    out_ += JsonQuote(name);
+    out_.push_back(':');
+    needs_comma_ = false;
+  }
+  void Value(double v) {
+    Comma();
+    out_ += JsonNumber(v);
+    needs_comma_ = true;
+  }
+  void Value(uint64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+    needs_comma_ = true;
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Punct(char open) {
+    Comma();
+    out_.push_back(open);
+    needs_comma_ = false;
+  }
+  void Comma() {
+    if (needs_comma_) out_.push_back(',');
+  }
+
+  std::string out_;
+  bool needs_comma_ = false;
+};
+
+}  // namespace
+
+std::string RunTelemetry::ToJson() const {
+  const MetricsSnapshot snap = metrics.Snapshot();
+  JsonBuilder json;
+  json.OpenObject();
+
+  json.Key("train");
+  json.OpenArray();
+  for (const TrainIterationRecord& rec : train) {
+    json.OpenObject();
+    json.Key("iteration");
+    json.Value(rec.iteration);
+    json.Key("loss");
+    json.Value(rec.loss);
+    json.Key("clip_fraction");
+    json.Value(rec.clip_fraction);
+    json.Key("mean_grad_norm");
+    json.Value(rec.mean_grad_norm);
+    json.Key("noise_l2");
+    json.Value(rec.noise_l2);
+    json.Key("epsilon");
+    json.Value(rec.epsilon);
+    json.CloseObject();
+  }
+  json.CloseArray();
+
+  json.Key("counters");
+  json.OpenObject();
+  for (const auto& [name, value] : snap.counters) {
+    json.Key(name);
+    json.Value(value);
+  }
+  json.CloseObject();
+
+  json.Key("gauges");
+  json.OpenObject();
+  for (const auto& [name, value] : snap.gauges) {
+    json.Key(name);
+    json.Value(value);
+  }
+  json.CloseObject();
+
+  json.Key("histograms");
+  json.OpenObject();
+  for (const auto& [name, hist] : snap.histograms) {
+    json.Key(name);
+    json.OpenObject();
+    json.Key("bounds");
+    json.OpenArray();
+    for (double b : hist.bounds) json.Value(b);
+    json.CloseArray();
+    json.Key("counts");
+    json.OpenArray();
+    for (uint64_t c : hist.counts) json.Value(c);
+    json.CloseArray();
+    json.Key("total");
+    json.Value(hist.total);
+    json.Key("sum");
+    json.Value(hist.sum);
+    json.CloseObject();
+  }
+  json.CloseObject();
+
+  json.Key("timers");
+  json.OpenObject();
+  for (const auto& [name, timer] : snap.timers) {
+    json.Key(name);
+    json.OpenObject();
+    json.Key("calls");
+    json.Value(timer.calls);
+    json.Key("seconds");
+    json.Value(timer.seconds);
+    json.CloseObject();
+  }
+  json.CloseObject();
+
+  json.CloseObject();
+  return json.Take();
+}
+
+Status RunTelemetry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open telemetry output file " + path);
+  }
+  out << ToJson() << "\n";
+  if (!out.good()) {
+    return Status::IoError("failed writing telemetry to " + path);
+  }
+  return Status::OK();
+}
+
+void RunTelemetry::PrintSummary(std::ostream& os) const {
+  const MetricsSnapshot snap = metrics.Snapshot();
+  TablePrinter table({"metric", "value"});
+  for (const auto& [name, value] : snap.counters) {
+    table.AddRow({name, std::to_string(value)});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    table.AddRow({name, FormatDouble(value, 4)});
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const double mean =
+        hist.total > 0 ? hist.sum / static_cast<double>(hist.total) : 0.0;
+    table.AddRow({name, StrFormat("n=%llu mean=%s",
+                                  static_cast<unsigned long long>(hist.total),
+                                  FormatDouble(mean, 4).c_str())});
+  }
+  for (const auto& [name, timer] : snap.timers) {
+    table.AddRow({name, StrFormat("%llu calls, %ss",
+                                  static_cast<unsigned long long>(timer.calls),
+                                  FormatDouble(timer.seconds, 4).c_str())});
+  }
+  if (!train.empty()) {
+    const TrainIterationRecord& last = train.back();
+    double clip_sum = 0.0;
+    for (const TrainIterationRecord& rec : train) {
+      clip_sum += rec.clip_fraction;
+    }
+    table.AddRow({"train.iterations", std::to_string(train.size())});
+    table.AddRow({"train.final_loss", FormatDouble(last.loss, 4)});
+    table.AddRow(
+        {"train.mean_clip_fraction",
+         FormatDouble(clip_sum / static_cast<double>(train.size()), 4)});
+    if (std::isfinite(last.epsilon)) {
+      table.AddRow({"train.epsilon_spent", FormatDouble(last.epsilon, 4)});
+    }
+  }
+  table.Print(os);
+}
+
+}  // namespace privim

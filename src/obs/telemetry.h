@@ -1,0 +1,71 @@
+#ifndef PRIVIM_OBS_TELEMETRY_H_
+#define PRIVIM_OBS_TELEMETRY_H_
+
+#include <limits>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace privim {
+
+/// One DP-SGD iteration's released diagnostics. Every field is derived
+/// from quantities the training loop already releases to the (trusted)
+/// trainer — loss, per-sample pre-clip norms, the realized noise vector —
+/// so recording them is DP post-processing and costs no additional budget
+/// (docs/observability.md discusses this in detail).
+struct TrainIterationRecord {
+  size_t iteration = 0;
+  /// Mean batch loss.
+  double loss = 0.0;
+  /// Fraction of per-sample gradients whose pre-clip L2 norm exceeded the
+  /// clip bound C (1.0 = everything clipped; the DP-SGD tuning signal).
+  double clip_fraction = 0.0;
+  /// Mean pre-clip per-sample gradient L2 norm.
+  double mean_grad_norm = 0.0;
+  /// L2 norm of the injected noise vector (0 for noiseless iterations).
+  /// Together with mean_grad_norm this gives the noise-to-signal ratio.
+  double noise_l2 = 0.0;
+  /// Cumulative privacy spend epsilon(t) after this iteration, from the
+  /// RDP accountant's ledger. NaN when the run is non-private.
+  double epsilon = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Structured record of one pipeline run: a metrics registry filled by the
+/// instrumented components plus the per-iteration training ledger.
+///
+/// Ownership model: the caller creates one RunTelemetry per run and hands
+/// `&metrics` / `this` down through the component configs. Components
+/// register instruments once per call and record lock-free; the training
+/// loop appends iteration records from its (single) orchestration thread.
+struct RunTelemetry {
+  MetricsRegistry metrics;
+  std::vector<TrainIterationRecord> train;
+
+  /// Serializes everything as a self-contained JSON object:
+  /// {"train": [...], "counters": {...}, "gauges": {...},
+  ///  "histograms": {...}, "timers": {...}}.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` (overwriting), with a trailing newline.
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// Prints a compact human-readable summary (counters, timers, and the
+  /// train ledger's endpoints) through TablePrinter.
+  void PrintSummary(std::ostream& os) const;
+};
+
+/// Escapes a string for embedding in a JSON document (quotes included).
+std::string JsonQuote(std::string_view s);
+
+/// Formats a double as a JSON number token: finite values round-trip
+/// (max_digits10); NaN and infinities — which JSON cannot represent —
+/// become null.
+std::string JsonNumber(double v);
+
+}  // namespace privim
+
+#endif  // PRIVIM_OBS_TELEMETRY_H_

@@ -1,18 +1,40 @@
 #include "runtime/parallel_for.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <vector>
 
 #include "common/logging.h"
+#include "runtime/runtime.h"
 #include "runtime/task_group.h"
 
 namespace privim {
+
+namespace {
+
+/// Reports the enclosing ParallelFor's wall time to the runtime stats.
+class LoopTimer {
+ public:
+  LoopTimer() : start_(std::chrono::steady_clock::now()) {}
+  ~LoopTimer() {
+    internal::RecordParallelFor(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t)>& fn) {
   if (begin >= end) return;
   PRIVIM_CHECK_GT(grain, 0u);
+  LoopTimer timer;
   if (pool == nullptr || pool->num_workers() == 0) {
     for (size_t i = begin; i < end; ++i) fn(i);
     return;
@@ -68,6 +90,7 @@ void ParallelForWithSlots(
   if (begin >= end) return;
   PRIVIM_CHECK_GT(grain, 0u);
   PRIVIM_CHECK_GT(num_slots, 0u);
+  LoopTimer timer;
   if (pool == nullptr || pool->num_workers() == 0) {
     for (size_t i = begin; i < end; ++i) fn(i, 0);
     return;

@@ -1,5 +1,6 @@
 #include "runtime/runtime.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -66,6 +67,47 @@ ThreadPool* SharedPool(size_t num_threads) {
     g_pool = std::make_unique<ThreadPool>(num_threads);
   }
   return g_pool.get();
+}
+
+namespace {
+
+std::atomic<uint64_t> g_parallel_for_calls{0};
+std::atomic<uint64_t> g_parallel_for_nanos{0};
+std::atomic<uint64_t> g_tasks_executed{0};
+std::atomic<uint64_t> g_max_queue_depth{0};
+
+}  // namespace
+
+namespace internal {
+
+void RecordParallelFor(uint64_t nanos) {
+  g_parallel_for_calls.fetch_add(1, std::memory_order_relaxed);
+  g_parallel_for_nanos.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+void RecordTaskExecuted() {
+  g_tasks_executed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RecordQueueDepth(size_t depth) {
+  uint64_t cur = g_max_queue_depth.load(std::memory_order_relaxed);
+  while (cur < depth && !g_max_queue_depth.compare_exchange_weak(
+                            cur, depth, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+RuntimeStats GetRuntimeStats() {
+  RuntimeStats stats;
+  stats.parallel_for_calls =
+      g_parallel_for_calls.load(std::memory_order_relaxed);
+  stats.parallel_for_nanos =
+      g_parallel_for_nanos.load(std::memory_order_relaxed);
+  stats.tasks_executed = g_tasks_executed.load(std::memory_order_relaxed);
+  stats.max_queue_depth =
+      g_max_queue_depth.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace privim

@@ -2,6 +2,7 @@
 #define PRIVIM_RUNTIME_RUNTIME_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "runtime/thread_pool.h"
 
@@ -35,6 +36,31 @@ size_t ResolveNumThreads(size_t requested);
 /// take their inline serial path. The pool is rebuilt only while idle;
 /// orchestration is expected to happen from one thread at a time.
 ThreadPool* SharedPool(size_t num_threads);
+
+/// Cumulative process-wide execution statistics (monotonic counters).
+/// Scope a run by snapshotting before and after and differencing —
+/// RunMethod does exactly that when telemetry is enabled. These are
+/// throughput diagnostics, NOT part of the cross-thread determinism
+/// contract: the serial inline path executes zero pool tasks, so
+/// tasks_executed and queue depth legitimately vary with the thread count.
+struct RuntimeStats {
+  /// ParallelFor / ParallelForWithSlots invocations, serial path included.
+  uint64_t parallel_for_calls = 0;
+  /// Total monotonic wall nanoseconds spent inside those invocations.
+  uint64_t parallel_for_nanos = 0;
+  /// Tasks executed by pool workers (0 on the serial path).
+  uint64_t tasks_executed = 0;
+  /// High-water mark of the shared pool's task queue depth.
+  uint64_t max_queue_depth = 0;
+};
+RuntimeStats GetRuntimeStats();
+
+namespace internal {
+/// Recording hooks used by the pool and ParallelFor; relaxed atomics only.
+void RecordParallelFor(uint64_t nanos);
+void RecordTaskExecuted();
+void RecordQueueDepth(size_t depth);
+}  // namespace internal
 
 }  // namespace privim
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "runtime/runtime.h"
+
 namespace privim {
 
 ThreadPool::ThreadPool(size_t num_workers) {
@@ -28,6 +30,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    internal::RecordQueueDepth(queue_.size());
   }
   cv_.notify_one();
 }
@@ -45,6 +48,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    internal::RecordTaskExecuted();
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <unordered_set>
 
 #include "graph/subgraph.h"
@@ -15,11 +16,46 @@ namespace {
 
 /// One walk's proposal: the node set it would commit (empty unless the walk
 /// collected exactly n nodes) plus every frequency entry it read, for the
-/// commit-time conflict test of the speculative parallel path.
+/// commit-time conflict test of the speculative parallel path. Walk
+/// statistics ride along and are folded into the metrics registry only at
+/// commit time — a stale proposal is discarded wholesale and replaced by
+/// its re-run, so recorded counts always describe the walk that actually
+/// committed (i.e. the serial semantics).
 struct WalkProposal {
   bool success = false;
+  /// The walk got past the sampling-rate / eligibility / saturation gates
+  /// and actually stepped.
+  bool attempted = false;
+  /// Restarts forced by an empty eligible-neighbor set.
+  uint64_t dead_ends = 0;
   std::vector<NodeId> nodes;
   std::vector<NodeId> reads;
+};
+
+/// Commit-time walk counters (all nullptr when metrics are disabled).
+struct WalkCounters {
+  Counter* accepted = nullptr;
+  Counter* rejected = nullptr;
+  Counter* dead_ends = nullptr;
+  Counter* stale_replays = nullptr;
+
+  explicit WalkCounters(MetricsRegistry* metrics) {
+    if (metrics == nullptr) return;
+    accepted = metrics->GetCounter("sampler.freq.walks_accepted");
+    rejected = metrics->GetCounter("sampler.freq.walks_rejected");
+    dead_ends = metrics->GetCounter("sampler.freq.dead_end_restarts");
+    stale_replays = metrics->GetCounter("sampler.freq.stale_replays");
+  }
+
+  void RecordCommit(const WalkProposal& p) const {
+    if (accepted == nullptr) return;
+    if (p.success) {
+      accepted->Add(1);
+    } else if (p.attempted) {
+      rejected->Add(1);
+    }
+    dead_ends->Add(p.dead_ends);
+  }
 };
 
 }  // namespace
@@ -53,6 +89,7 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
     if (!eligible[v0]) return;
     if (record_reads) out.reads.push_back(v0);
     if (f[v0] >= m_cap) return;
+    out.attempted = true;
 
     std::unordered_set<NodeId> in_sub;
     std::vector<NodeId> sub_nodes;
@@ -83,6 +120,7 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
             1.0 / std::pow(static_cast<double>(f[w]) + 1.0, config_.decay));
       }
       if (neighbors.empty()) {
+        ++out.dead_ends;
         cur = v0;  // Dead end: restart and try again.
         continue;
       }
@@ -108,11 +146,13 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
 
   const size_t threads = ResolveNumThreads(config_.num_threads);
   ThreadPool* pool = SharedPool(threads);
+  const WalkCounters counters(config_.metrics);
 
   if (pool == nullptr) {
     for (size_t i = 0; i < starts.size(); ++i) {
       WalkProposal p;
       run_walk(i, freq, /*record_reads=*/false, p);
+      counters.RecordCommit(p);
       if (p.success) {
         PRIVIM_ASSIGN_OR_RETURN(Subgraph sub, InduceSubgraph(g, p.nodes));
         container.Add(std::move(sub));
@@ -157,9 +197,11 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
         }
       }
       if (stale) {
+        if (counters.stale_replays != nullptr) counters.stale_replays->Add(1);
         p = WalkProposal{};
         run_walk(i, freq, /*record_reads=*/false, p);
       }
+      counters.RecordCommit(p);
       if (p.success) {
         PRIVIM_ASSIGN_OR_RETURN(Subgraph sub, InduceSubgraph(g, p.nodes));
         container.Add(std::move(sub));
@@ -194,6 +236,16 @@ Result<DualStageResult> FreqSampler::Extract(
   std::vector<uint8_t> eligible(g.num_nodes(), restrict_to == nullptr);
   std::vector<NodeId> starts;
   if (restrict_to != nullptr) {
+    // Validate before touching `eligible`: an unchecked id would index past
+    // the end of every per-node vector below (out-of-bounds write).
+    for (NodeId v : *restrict_to) {
+      if (v >= g.num_nodes()) {
+        return Status::InvalidArgument(
+            "restrict_to contains node id " + std::to_string(v) +
+            " but the graph has only " + std::to_string(g.num_nodes()) +
+            " nodes");
+      }
+    }
     starts = *restrict_to;
     for (NodeId v : starts) eligible[v] = 1;
   } else {
@@ -229,6 +281,17 @@ Result<DualStageResult> FreqSampler::Extract(
                                           boundary_eligible, rng, stage2));
     result.stage2_count = stage2.size();
     result.container.Merge(std::move(stage2));
+  }
+
+  if (config_.metrics != nullptr) {
+    // Final occurrence counts against the cap M: bucket i holds nodes with
+    // f = i, the overflow bucket would indicate a violated cap.
+    Histogram* freq_hist = config_.metrics->GetHistogram(
+        "sampler.freq.frequency",
+        LinearBuckets(1.0, config_.frequency_threshold + 1));
+    for (NodeId v : starts) {
+      freq_hist->Observe(static_cast<double>(result.frequency[v]));
+    }
   }
   return result;
 }

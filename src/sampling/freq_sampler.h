@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "sampling/container.h"
 
 namespace privim {
@@ -37,6 +38,12 @@ struct FreqSamplingConfig {
   /// vector. Output is therefore bit-identical to the serial execution for
   /// every thread count, and the global bound M holds exactly.
   size_t num_threads = 0;
+  /// Optional metrics sink ("sampler.freq.*"): walk accept/reject/dead-end
+  /// counters and the final frequency-vector histogram against the cap M.
+  /// Walk outcomes are recorded at (serial) commit time, so every counter
+  /// except sampler.freq.stale_replays — which counts thread-scheduling
+  /// artifacts by definition — is bit-identical across thread counts.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Result of the dual-stage extraction, with stage attribution and the

@@ -1,5 +1,6 @@
 #include "sampling/rwr_sampler.h"
 
+#include <string>
 #include <unordered_set>
 
 #include "graph/algorithms.h"
@@ -13,9 +14,15 @@ namespace privim {
 namespace {
 
 /// Outcome of one start node's walk: nothing, a subgraph, or an induction
-/// error (surfaced in start order).
+/// error (surfaced in start order). Walk statistics ride along and are
+/// folded into the metrics registry only at commit time so the counts do
+/// not depend on the thread count.
 struct WalkOutcome {
   bool produced = false;
+  /// The walk got past the sampling-rate gate and actually stepped.
+  bool attempted = false;
+  /// Restarts forced by an empty candidate set.
+  uint64_t dead_ends = 0;
   Status status = Status::OK();
   Subgraph sub;
 };
@@ -36,6 +43,16 @@ Result<SubgraphContainer> RwrSampler::Extract(
 
   std::unordered_set<NodeId> allowed;
   if (restrict_to != nullptr) {
+    // Validate before walking: an unchecked start id would index past the
+    // end of the per-node hop_dist vector below (out-of-bounds write).
+    for (NodeId v : *restrict_to) {
+      if (v >= g.num_nodes()) {
+        return Status::InvalidArgument(
+            "restrict_to contains node id " + std::to_string(v) +
+            " but the graph has only " + std::to_string(g.num_nodes()) +
+            " nodes");
+      }
+    }
     allowed.insert(restrict_to->begin(), restrict_to->end());
   }
   auto is_allowed = [&](NodeId v) {
@@ -61,6 +78,7 @@ Result<SubgraphContainer> RwrSampler::Extract(
     const NodeId v0 = starts[i];
     Rng walk_rng = streams.Stream(i);
     if (!walk_rng.Bernoulli(config_.sampling_rate)) return;
+    out.attempted = true;
 
     // Precompute the r-hop ball N_r(v0) once per walk (the walk's target
     // filter, Algorithm 1 Line 10).
@@ -97,6 +115,7 @@ Result<SubgraphContainer> RwrSampler::Extract(
         if (hop_dist[w] >= 0 && is_allowed(w)) candidates.push_back(w);
       }
       if (candidates.empty()) {
+        ++out.dead_ends;
         cur = v0;  // Dead end: restart.
         continue;
       }
@@ -122,6 +141,16 @@ Result<SubgraphContainer> RwrSampler::Extract(
   const size_t threads = ResolveNumThreads(config_.num_threads);
   ThreadPool* pool = SharedPool(threads);
 
+  Counter* accepted = nullptr;
+  Counter* rejected = nullptr;
+  Counter* dead_end_restarts = nullptr;
+  if (config_.metrics != nullptr) {
+    accepted = config_.metrics->GetCounter("sampler.rwr.walks_accepted");
+    rejected = config_.metrics->GetCounter("sampler.rwr.walks_rejected");
+    dead_end_restarts =
+        config_.metrics->GetCounter("sampler.rwr.dead_end_restarts");
+  }
+
   // Process starts in fixed-size rounds to bound the outcome buffer; the
   // round size is a constant, so it cannot influence results either.
   constexpr size_t kRoundSize = 512;
@@ -133,6 +162,14 @@ Result<SubgraphContainer> RwrSampler::Extract(
                 [&](size_t i) { run_walk(i, outcomes[i - round]); });
     for (WalkOutcome& out : outcomes) {
       PRIVIM_RETURN_NOT_OK(out.status);
+      if (accepted != nullptr) {
+        if (out.produced) {
+          accepted->Add(1);
+        } else if (out.attempted) {
+          rejected->Add(1);
+        }
+        dead_end_restarts->Add(out.dead_ends);
+      }
       if (out.produced) container.Add(std::move(out.sub));
     }
   }

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "sampling/container.h"
 
 namespace privim {
@@ -27,6 +28,10 @@ struct RwrConfig {
   /// subgraphs are committed in start order, so the container is
   /// bit-identical for every thread count.
   size_t num_threads = 0;
+  /// Optional metrics sink ("sampler.rwr.*"): walk accept/reject and
+  /// dead-end-restart counters, recorded from the walk outcomes at (serial)
+  /// commit time, so the counts are bit-identical across thread counts.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Algorithm 1: RWR subgraph extraction on a theta-bounded graph.

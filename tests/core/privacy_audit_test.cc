@@ -57,7 +57,7 @@ TEST_P(PrivacyAuditTest, ReportedNoiseMatchesRecomputedAccounting) {
   spec.iterations = cfg.train.iterations;
   spec.clip_bound = run.clip_bound_used;
   RdpAccountant acc = std::move(RdpAccountant::Create(spec)).ValueOrDie();
-  EXPECT_NEAR(acc.Epsilon(run.sigma, cfg.budget.delta), run.epsilon_spent,
+  EXPECT_NEAR(*acc.Epsilon(run.sigma, cfg.budget.delta), run.epsilon_spent,
               1e-9);
   EXPECT_LE(run.epsilon_spent, cfg.budget.epsilon + 1e-6);
   // Reported noise stddev = sigma * C * N_g.

@@ -46,9 +46,9 @@ TEST_P(AccountantGridTest, GammaPositiveAndFinite) {
 
 TEST_P(AccountantGridTest, EpsilonStrictlyDecreasingInSigma) {
   RdpAccountant acc = Make();
-  double prev = acc.Epsilon(0.3, 1e-5);
+  double prev = *acc.Epsilon(0.3, 1e-5);
   for (double sigma : {0.6, 1.2, 2.4, 4.8}) {
-    const double cur = acc.Epsilon(sigma, 1e-5);
+    const double cur = *acc.Epsilon(sigma, 1e-5);
     EXPECT_LT(cur, prev) << "sigma " << sigma;
     prev = cur;
   }
@@ -56,7 +56,7 @@ TEST_P(AccountantGridTest, EpsilonStrictlyDecreasingInSigma) {
 
 TEST_P(AccountantGridTest, EpsilonDecreasingInDelta) {
   RdpAccountant acc = Make();
-  EXPECT_GT(acc.Epsilon(2.0, 1e-8), acc.Epsilon(2.0, 1e-4));
+  EXPECT_GT(*acc.Epsilon(2.0, 1e-8), *acc.Epsilon(2.0, 1e-4));
 }
 
 TEST_P(AccountantGridTest, CalibrationInvertsEpsilon) {
@@ -64,7 +64,7 @@ TEST_P(AccountantGridTest, CalibrationInvertsEpsilon) {
   for (double target : {1.0, 3.0, 6.0}) {
     const double sigma =
         std::move(acc.CalibrateSigma({target, 1e-5})).ValueOrDie();
-    EXPECT_LE(acc.Epsilon(sigma, 1e-5), target + 1e-6);
+    EXPECT_LE(*acc.Epsilon(sigma, 1e-5), target + 1e-6);
   }
 }
 
@@ -96,7 +96,7 @@ TEST(AccountantCompositionTest, GammaComposesLinearlyInIterations) {
     const double gamma = acc.GammaPerIteration(alpha, sigma);
     manual = std::min(manual, RdpToEpsilon(alpha, gamma * 40.0, delta));
   }
-  EXPECT_NEAR(acc.Epsilon(sigma, delta), manual, 1e-12);
+  EXPECT_NEAR(*acc.Epsilon(sigma, delta), manual, 1e-12);
 }
 
 TEST(AccountantAmplificationTest, SmallerSamplingFractionHelps) {
@@ -114,7 +114,7 @@ TEST(AccountantAmplificationTest, SmallerSamplingFractionHelps) {
       std::move(RdpAccountant::Create(dense)).ValueOrDie();
   RdpAccountant acc_sparse =
       std::move(RdpAccountant::Create(sparse)).ValueOrDie();
-  EXPECT_LT(acc_sparse.Epsilon(1.0, 1e-5), acc_dense.Epsilon(1.0, 1e-5));
+  EXPECT_LT(*acc_sparse.Epsilon(1.0, 1e-5), *acc_dense.Epsilon(1.0, 1e-5));
 }
 
 TEST(AccountantLimitTest, HugeSigmaDrivesEpsilonTowardZero) {
@@ -125,7 +125,7 @@ TEST(AccountantLimitTest, HugeSigmaDrivesEpsilonTowardZero) {
   spec.iterations = 60;
   spec.clip_bound = 1.0;
   RdpAccountant acc = std::move(RdpAccountant::Create(spec)).ValueOrDie();
-  EXPECT_LT(acc.Epsilon(1e4, 1e-5), 0.05);
+  EXPECT_LT(*acc.Epsilon(1e4, 1e-5), 0.05);
 }
 
 TEST(AccountantLimitTest, TinySigmaExplodes) {
@@ -136,7 +136,7 @@ TEST(AccountantLimitTest, TinySigmaExplodes) {
   spec.iterations = 60;
   spec.clip_bound = 1.0;
   RdpAccountant acc = std::move(RdpAccountant::Create(spec)).ValueOrDie();
-  EXPECT_GT(acc.Epsilon(1e-3, 1e-5), 100.0);
+  EXPECT_GT(*acc.Epsilon(1e-3, 1e-5), 100.0);
 }
 
 TEST(AccountantScaleInvarianceTest, ClipBoundDoesNotEnterGamma) {
@@ -153,7 +153,7 @@ TEST(AccountantScaleInvarianceTest, ClipBoundDoesNotEnterGamma) {
   b.clip_bound = 10.0;
   RdpAccountant acc_a = std::move(RdpAccountant::Create(a)).ValueOrDie();
   RdpAccountant acc_b = std::move(RdpAccountant::Create(b)).ValueOrDie();
-  EXPECT_DOUBLE_EQ(acc_a.Epsilon(2.0, 1e-5), acc_b.Epsilon(2.0, 1e-5));
+  EXPECT_DOUBLE_EQ(*acc_a.Epsilon(2.0, 1e-5), *acc_b.Epsilon(2.0, 1e-5));
 }
 
 }  // namespace

@@ -52,7 +52,7 @@ TEST(ConversionTest, GridSearchBeatsAnyFixedAlpha) {
   spec.clip_bound = 1.0;
   RdpAccountant acc = std::move(RdpAccountant::Create(spec)).ValueOrDie();
   const double sigma = 2.0, delta = 1e-5;
-  const double best = acc.Epsilon(sigma, delta);
+  const double best = *acc.Epsilon(sigma, delta);
   for (double alpha : {2.0, 8.0, 32.0, 128.0}) {
     const double gamma = acc.GammaPerIteration(alpha, sigma);
     EXPECT_LE(best, RdpToEpsilon(alpha, gamma * 60.0, delta) + 1e-9);

@@ -107,14 +107,14 @@ TEST(RdpAccountantTest, EpsilonMonotoneInSigmaAndIterations) {
   DpSgdSpec spec = BasicSpec();
   RdpAccountant acc = std::move(RdpAccountant::Create(spec)).ValueOrDie();
   const double delta = 1e-5;
-  EXPECT_GT(acc.Epsilon(1.0, delta), acc.Epsilon(2.0, delta));
-  EXPECT_GT(acc.Epsilon(2.0, delta), acc.Epsilon(8.0, delta));
+  EXPECT_GT(*acc.Epsilon(1.0, delta), *acc.Epsilon(2.0, delta));
+  EXPECT_GT(*acc.Epsilon(2.0, delta), *acc.Epsilon(8.0, delta));
 
   DpSgdSpec more_iters = spec;
   more_iters.iterations = 4 * spec.iterations;
   RdpAccountant acc4 =
       std::move(RdpAccountant::Create(more_iters)).ValueOrDie();
-  EXPECT_GT(acc4.Epsilon(2.0, delta), acc.Epsilon(2.0, delta));
+  EXPECT_GT(*acc4.Epsilon(2.0, delta), *acc.Epsilon(2.0, delta));
 }
 
 TEST(RdpAccountantTest, SmallerOccurrenceBoundNeedsLessAbsoluteNoise) {
@@ -146,12 +146,12 @@ TEST_P(CalibrationTest, CalibratedSigmaMeetsTargetTightly) {
       std::move(RdpAccountant::Create(BasicSpec())).ValueOrDie();
   PrivacyBudget budget{target_eps, 1e-5};
   const double sigma = std::move(acc.CalibrateSigma(budget)).ValueOrDie();
-  const double achieved = acc.Epsilon(sigma, budget.delta);
+  const double achieved = *acc.Epsilon(sigma, budget.delta);
   EXPECT_LE(achieved, target_eps + 1e-6);
   // Tight: 1% less noise would overshoot (unless we hit the minimum
   // bracket where even tiny noise suffices).
   if (sigma > 2e-3) {
-    EXPECT_GT(acc.Epsilon(sigma * 0.95, budget.delta), target_eps * 0.99);
+    EXPECT_GT(*acc.Epsilon(sigma * 0.95, budget.delta), target_eps * 0.99);
   }
 }
 
@@ -202,6 +202,60 @@ TEST(AlphaGridTest, CoversLowAndHighOrders) {
   EXPECT_LT(grid.front(), 2.0);
   EXPECT_GE(grid.back(), 256.0);
   for (double a : grid) EXPECT_GT(a, 1.0);
+}
+
+// Regression: Epsilon used to return +inf silently when every alpha in the
+// grid produced a non-finite gamma (degenerate noise multiplier), and the
+// +inf then flowed into reports as if it were a real privacy guarantee. It
+// must be a loud FailedPrecondition instead.
+TEST(RdpAccountantTest, DegenerateSigmaFailsLoudly) {
+  DpSgdSpec spec;
+  spec.max_occurrences = 4;
+  spec.container_size = 4;  // p = N_g/m = 1: every node in every batch.
+  spec.batch_size = 4;
+  spec.iterations = 10;
+  spec.clip_bound = 1.0;
+  RdpAccountant acc = std::move(RdpAccountant::Create(spec)).ValueOrDie();
+
+  const Result<double> eps = acc.Epsilon(1e-160, 1e-5);
+  ASSERT_FALSE(eps.ok());
+  EXPECT_EQ(eps.status().code(), StatusCode::kFailedPrecondition);
+
+  const Result<std::vector<double>> ledger = acc.EpsilonLedger(1e-160, 1e-5);
+  ASSERT_FALSE(ledger.ok());
+  EXPECT_EQ(ledger.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RdpAccountantTest, CalibrateSigmaFailsLoudlyOnUnreachableTarget) {
+  // The Theorem 1 conversion has a floor of roughly
+  // -(log delta + log alpha)/(alpha - 1) even as sigma -> inf, so a target
+  // epsilon below that floor can never bracket. The old code would have
+  // looped on +inf comparisons; now the bracket expansion gives up with an
+  // explicit error.
+  RdpAccountant acc =
+      std::move(RdpAccountant::Create(BasicSpec())).ValueOrDie();
+  const Result<double> sigma = acc.CalibrateSigma({1e-3, 1e-5});
+  ASSERT_FALSE(sigma.ok());
+  EXPECT_EQ(sigma.status().code(), StatusCode::kInternal);
+}
+
+TEST(RdpAccountantTest, EpsilonLedgerIsMonotoneAndEndsAtEpsilon) {
+  RdpAccountant acc =
+      std::move(RdpAccountant::Create(BasicSpec())).ValueOrDie();
+  const double sigma = 2.0, delta = 1e-5;
+  const std::vector<double> ledger =
+      std::move(acc.EpsilonLedger(sigma, delta)).ValueOrDie();
+  ASSERT_EQ(ledger.size(), BasicSpec().iterations);
+  double prev = 0.0;
+  for (double eps : ledger) {
+    ASSERT_TRUE(std::isfinite(eps));
+    EXPECT_GE(eps, prev);  // Spending only accumulates.
+    prev = eps;
+  }
+  // Entry T-1 is the full-run epsilon, and the run costs strictly more
+  // than its first iteration.
+  EXPECT_DOUBLE_EQ(ledger.back(), *acc.Epsilon(sigma, delta));
+  EXPECT_LT(ledger.front(), ledger.back());
 }
 
 }  // namespace

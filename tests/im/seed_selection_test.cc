@@ -1,6 +1,7 @@
 #include "im/seed_selection.h"
 
 #include <algorithm>
+#include <random>
 
 #include <gtest/gtest.h>
 
@@ -150,6 +151,103 @@ TEST(CelfTest, BeatsRandomAndAtLeastMatchesDegree) {
       std::move(RandomSelect(candidates, 10, oracle, rng)).ValueOrDie();
   EXPECT_GE(celf.spread, degree.spread);
   EXPECT_GT(celf.spread, random.spread);
+}
+
+// Regression for the lazy-evaluation round-freshness off-by-one: the
+// initial gains are computed against the empty seed set (round 0), so the
+// freshest entries must be accepted in round 0 without recomputation. The
+// bug (round counting starting at 1) produced identical seeds but burned
+// at least one redundant oracle call per round; pinning the exact counts
+// on a star graph catches any regression.
+TEST(CelfTest, OracleCallCountIsExactOnStar) {
+  // Star: hub 0 points at 19 leaves.
+  GraphBuilder b(20);
+  for (NodeId v = 1; v < 20; ++v) ASSERT_TRUE(b.AddEdge(0, v).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  const auto candidates = AllNodes(g);
+
+  // k = 1: 20 initial gains + 0 recomputations (the hub's round-0 gain is
+  // fresh) + 1 final spread evaluation.
+  SeedSelection k1 =
+      std::move(CelfSelect(candidates, 1, oracle)).ValueOrDie();
+  EXPECT_EQ(k1.seeds, (std::vector<NodeId>{0}));
+  EXPECT_EQ(k1.oracle_calls, 21u);
+
+  // k = 2: after the hub every leaf's cached gain is stale, so all 19 are
+  // recomputed once in round 1; 20 + 19 + 1 final evaluation.
+  SeedSelection k2 =
+      std::move(CelfSelect(candidates, 2, oracle)).ValueOrDie();
+  ASSERT_EQ(k2.seeds.size(), 2u);
+  EXPECT_EQ(k2.seeds[0], 0u);
+  EXPECT_EQ(k2.seeds[1], 1u);  // All gains tie at 0; smallest id wins.
+  EXPECT_EQ(k2.oracle_calls, 40u);
+}
+
+// Regression for the CELF/greedy tie-break divergence: GreedySelect used
+// strict improvement only (first maximum in candidate order), so its output
+// depended on the order of `candidates` while CelfSelect's heap broke ties
+// toward the smaller node id. Both now tie-break on node id, which makes
+// greedy order-invariant and the two selectors seed-for-seed identical on
+// a submodular oracle.
+TEST(GreedyTest, TieBreakIsCandidateOrderInvariant) {
+  Rng gen(20);
+  Graph g = std::move(ErdosRenyi(60, 0.06, true, gen)).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  const auto sorted = AllNodes(g);
+
+  std::vector<NodeId> shuffled = sorted;
+  std::mt19937 shuffle_rng(21);
+  std::shuffle(shuffled.begin(), shuffled.end(), shuffle_rng);
+  std::vector<NodeId> reversed = sorted;
+  std::reverse(reversed.begin(), reversed.end());
+
+  SeedSelection base =
+      std::move(GreedySelect(sorted, 6, oracle)).ValueOrDie();
+  SeedSelection from_shuffled =
+      std::move(GreedySelect(shuffled, 6, oracle)).ValueOrDie();
+  SeedSelection from_reversed =
+      std::move(GreedySelect(reversed, 6, oracle)).ValueOrDie();
+  EXPECT_EQ(base.seeds, from_shuffled.seeds);
+  EXPECT_EQ(base.seeds, from_reversed.seeds);
+}
+
+TEST(GreedyTest, MatchesCelfSeedForSeed) {
+  Rng gen(22);
+  Graph g = std::move(ErdosRenyi(60, 0.06, true, gen)).ValueOrDie();
+  SpreadOracle oracle = MakeExactUnitOracle(g, 1);
+  const auto candidates = AllNodes(g);
+  SeedSelection celf =
+      std::move(CelfSelect(candidates, 6, oracle)).ValueOrDie();
+  SeedSelection greedy =
+      std::move(GreedySelect(candidates, 6, oracle)).ValueOrDie();
+  // Identical tie-breaks: not just the same spread, the same seeds in the
+  // same order.
+  EXPECT_EQ(celf.seeds, greedy.seeds);
+  EXPECT_DOUBLE_EQ(celf.spread, greedy.spread);
+}
+
+TEST(InstrumentedOracleTest, CountsAndTimesEveryCall) {
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  MetricsRegistry metrics;
+  SpreadOracle oracle =
+      InstrumentedOracle(MakeExactUnitOracle(g, 1), &metrics);
+  const std::vector<NodeId> seeds = {0};
+  oracle(seeds);
+  oracle(seeds);
+  EXPECT_EQ(metrics.GetCounter("im.oracle_calls")->value(), 2u);
+  EXPECT_EQ(metrics.GetTimer("im.oracle_eval")->calls(), 2u);
+}
+
+TEST(InstrumentedOracleTest, NullRegistryReturnsOracleUnchanged) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  SpreadOracle oracle = InstrumentedOracle(MakeExactUnitOracle(g, 1),
+                                           nullptr);
+  EXPECT_DOUBLE_EQ(oracle({0}), 2.0);
 }
 
 TEST(MonteCarloOracleTest, ApproximatesExactOracleOnUnitWeights) {

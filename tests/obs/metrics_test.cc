@@ -1,0 +1,199 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter c;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(1.5);
+  g.Set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST(HistogramTest, BucketsByUpperBoundInclusive) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  Histogram h(bounds);
+  h.Observe(0.5);  // bucket 0 (<= 1)
+  h.Observe(1.0);  // bucket 0 (bounds are inclusive)
+  h.Observe(1.5);  // bucket 1
+  h.Observe(4.0);  // bucket 2
+  h.Observe(9.0);  // overflow
+  const std::vector<uint64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsSumExactly) {
+  const std::vector<double> bounds = {10.0, 20.0};
+  Histogram h(bounds);
+  constexpr size_t kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(1.0);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.total_count(), kThreads * kPerThread);
+  // The CAS loop on the double sum must not drop updates either.
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kPerThread));
+}
+
+// Merge is associative and commutative: (a+b)+c == a+(b+c) == (c+a)+b for
+// every bucket. This is what makes merge-at-report safe regardless of how
+// per-stage registries are combined.
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  const std::vector<double> bounds = {1.0, 2.0, 3.0};
+  auto fill = [&bounds](std::initializer_list<double> xs) {
+    auto h = std::make_unique<Histogram>(bounds);
+    for (double x : xs) h->Observe(x);
+    return h;
+  };
+  auto a1 = fill({0.5, 2.5}), b1 = fill({1.5, 9.0}), c1 = fill({3.0});
+  auto a2 = fill({0.5, 2.5}), b2 = fill({1.5, 9.0}), c2 = fill({3.0});
+
+  // Left fold: ((a+b)+c).
+  a1->Merge(*b1);
+  a1->Merge(*c1);
+  // Right-then-swap fold: (c+(b)) then into a? Use c2 as accumulator:
+  // ((c+a)+b).
+  c2->Merge(*a2);
+  c2->Merge(*b2);
+
+  EXPECT_EQ(a1->counts(), c2->counts());
+  EXPECT_EQ(a1->total_count(), c2->total_count());
+  EXPECT_DOUBLE_EQ(a1->sum(), c2->sum());
+}
+
+TEST(TimerStatTest, RecordAccumulatesCallsAndTime) {
+  TimerStat t;
+  t.Record(std::chrono::nanoseconds(1500));
+  t.Record(std::chrono::nanoseconds(500));
+  EXPECT_EQ(t.calls(), 2u);
+  EXPECT_EQ(t.total_nanos(), 2000u);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 2e-6);
+}
+
+TEST(ScopedTimerTest, NullTargetIsANoOp) {
+  // Must not crash, and there is nothing to record into.
+  ScopedTimer noop(nullptr);
+}
+
+TEST(ScopedTimerTest, RecordsOnDestruction) {
+  TimerStat t;
+  {
+    ScopedTimer scope(&t);
+  }
+  EXPECT_EQ(t.calls(), 1u);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("x");
+  Counter* c2 = reg.GetCounter("x");
+  EXPECT_EQ(c1, c2);
+  const std::vector<double> bounds = {1.0};
+  Histogram* h1 = reg.GetHistogram("h", bounds);
+  // Re-registration ignores the (different) bounds and returns the original.
+  const std::vector<double> other = {5.0, 6.0};
+  Histogram* h2 = reg.GetHistogram("h", other);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h2->bounds(), bounds);
+}
+
+TEST(MetricsRegistryTest, SnapshotReflectsAllInstruments) {
+  MetricsRegistry reg;
+  reg.GetCounter("events")->Add(7);
+  reg.GetGauge("level")->Set(2.5);
+  const std::vector<double> bounds = {1.0, 2.0};
+  reg.GetHistogram("dist", bounds)->Observe(1.5);
+  reg.GetTimer("work")->Add(3, 9000);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.count("events"), 1u);
+  EXPECT_EQ(snap.counters.at("events"), 7u);
+  ASSERT_EQ(snap.gauges.count("level"), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("level"), 2.5);
+  ASSERT_EQ(snap.histograms.count("dist"), 1u);
+  EXPECT_EQ(snap.histograms.at("dist").total, 1u);
+  EXPECT_EQ(snap.histograms.at("dist").counts,
+            (std::vector<uint64_t>{0, 1, 0}));
+  ASSERT_EQ(snap.timers.count("work"), 1u);
+  EXPECT_EQ(snap.timers.at("work").calls, 3u);
+  EXPECT_EQ(snap.timers.at("work").nanos, 9000u);
+}
+
+TEST(MetricsRegistryTest, MergeFromSumsAndOverwrites) {
+  MetricsRegistry a, b;
+  a.GetCounter("n")->Add(2);
+  b.GetCounter("n")->Add(3);
+  b.GetCounter("only_b")->Add(1);
+  a.GetGauge("g")->Set(1.0);
+  b.GetGauge("g")->Set(9.0);
+  const std::vector<double> bounds = {1.0};
+  a.GetHistogram("h", bounds)->Observe(0.5);
+  b.GetHistogram("h", bounds)->Observe(2.0);
+  a.GetTimer("t")->Add(1, 100);
+  b.GetTimer("t")->Add(2, 200);
+
+  a.MergeFrom(b);
+  const MetricsSnapshot snap = a.Snapshot();
+  EXPECT_EQ(snap.counters.at("n"), 5u);
+  EXPECT_EQ(snap.counters.at("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 9.0);  // Gauges: other wins.
+  EXPECT_EQ(snap.histograms.at("h").total, 2u);
+  EXPECT_EQ(snap.histograms.at("h").counts, (std::vector<uint64_t>{1, 1}));
+  EXPECT_EQ(snap.timers.at("t").calls, 3u);
+  EXPECT_EQ(snap.timers.at("t").nanos, 300u);
+}
+
+TEST(BucketHelpersTest, LinearBuckets) {
+  const std::vector<double> b = LinearBuckets(2.0, 4);
+  EXPECT_EQ(b, (std::vector<double>{2.0, 4.0, 6.0, 8.0}));
+}
+
+TEST(BucketHelpersTest, ExponentialBuckets) {
+  const std::vector<double> b = ExponentialBuckets(1.0, 10.0, 3);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 10.0);
+  EXPECT_DOUBLE_EQ(b[2], 100.0);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,145 @@
+// Telemetry must not weaken the runtime's determinism contract: with a
+// fixed seed, every deterministic instrument (event counters, histograms,
+// per-iteration train records, the privacy ledger) is identical for every
+// thread count. Wall-clock timers, pool statistics, and the stale
+// speculation replay counter are diagnostics of *how* the work ran and are
+// explicitly outside the contract.
+
+#include <cmath>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "core/privim.h"
+#include "graph/generators.h"
+#include "obs/telemetry.h"
+
+namespace privim {
+namespace {
+
+bool IsDeterministicCounter(std::string_view name) {
+  // Replay count depends on speculation timing; runtime.* counters depend
+  // on loop chunking (tasks_executed grows with the thread count).
+  return name != "sampler.freq.stale_replays" &&
+         name.substr(0, 8) != "runtime.";
+}
+
+struct RunOutput {
+  PrivImRunResult result;
+  MetricsSnapshot snapshot;
+  std::vector<TrainIterationRecord> train;
+  std::string json;
+};
+
+RunOutput RunWithThreads(size_t num_threads) {
+  Rng gen(77);
+  Graph train_g = std::move(BarabasiAlbert(400, 4, gen)).ValueOrDie();
+  Graph eval_g = std::move(BarabasiAlbert(400, 4, gen)).ValueOrDie();
+
+  PrivImConfig cfg =
+      MakeDefaultConfig(Method::kPrivImStar, 3.0, train_g.num_nodes());
+  cfg.train.iterations = 12;
+  cfg.train.batch_size = 8;
+  cfg.freq.subgraph_size = 16;
+  cfg.seed_count = 8;
+  cfg.runtime.num_threads = num_threads;
+
+  RunOutput out;
+  RunTelemetry telemetry;
+  Rng rng(78);
+  out.result = std::move(RunMethod(train_g, eval_g, cfg, rng,
+                                   /*model_out=*/nullptr, &telemetry))
+                   .ValueOrDie();
+  out.snapshot = telemetry.metrics.Snapshot();
+  out.train = telemetry.train;
+  out.json = telemetry.ToJson();
+  return out;
+}
+
+TEST(TelemetryDeterminismTest, CountersIdenticalAcrossThreadCounts) {
+  const RunOutput serial = RunWithThreads(1);
+  const RunOutput parallel = RunWithThreads(8);
+
+  // Same seeds, same spread — telemetry must not perturb the run itself.
+  EXPECT_EQ(serial.result.seeds, parallel.result.seeds);
+  EXPECT_DOUBLE_EQ(serial.result.spread, parallel.result.spread);
+
+  // Every deterministic counter agrees exactly.
+  for (const auto& [name, value] : serial.snapshot.counters) {
+    if (!IsDeterministicCounter(name)) continue;
+    ASSERT_EQ(parallel.snapshot.counters.count(name), 1u) << name;
+    EXPECT_EQ(parallel.snapshot.counters.at(name), value) << name;
+  }
+  // ... and no deterministic counter exists on one side only.
+  for (const auto& [name, value] : parallel.snapshot.counters) {
+    if (!IsDeterministicCounter(name)) continue;
+    EXPECT_EQ(serial.snapshot.counters.count(name), 1u) << name;
+  }
+}
+
+TEST(TelemetryDeterminismTest, HistogramsIdenticalAcrossThreadCounts) {
+  const RunOutput serial = RunWithThreads(1);
+  const RunOutput parallel = RunWithThreads(8);
+
+  ASSERT_EQ(serial.snapshot.histograms.size(),
+            parallel.snapshot.histograms.size());
+  for (const auto& [name, hist] : serial.snapshot.histograms) {
+    ASSERT_EQ(parallel.snapshot.histograms.count(name), 1u) << name;
+    const auto& other = parallel.snapshot.histograms.at(name);
+    EXPECT_EQ(other.bounds, hist.bounds) << name;
+    // Observations are folded in at serial commit points, so both the
+    // bucket counts and the (order-sensitive) double sum are bit-equal.
+    EXPECT_EQ(other.counts, hist.counts) << name;
+    EXPECT_EQ(other.total, hist.total) << name;
+    EXPECT_DOUBLE_EQ(other.sum, hist.sum) << name;
+  }
+}
+
+TEST(TelemetryDeterminismTest, TrainRecordsAndLedgerIdentical) {
+  const RunOutput serial = RunWithThreads(1);
+  const RunOutput parallel = RunWithThreads(8);
+
+  ASSERT_EQ(serial.train.size(), parallel.train.size());
+  ASSERT_GT(serial.train.size(), 0u);
+  for (size_t i = 0; i < serial.train.size(); ++i) {
+    const TrainIterationRecord& a = serial.train[i];
+    const TrainIterationRecord& b = parallel.train[i];
+    EXPECT_EQ(a.iteration, b.iteration);
+    EXPECT_DOUBLE_EQ(a.loss, b.loss) << "iteration " << i;
+    EXPECT_DOUBLE_EQ(a.clip_fraction, b.clip_fraction) << "iteration " << i;
+    EXPECT_DOUBLE_EQ(a.mean_grad_norm, b.mean_grad_norm)
+        << "iteration " << i;
+    EXPECT_DOUBLE_EQ(a.noise_l2, b.noise_l2) << "iteration " << i;
+    EXPECT_DOUBLE_EQ(a.epsilon, b.epsilon) << "iteration " << i;
+  }
+
+  // The privacy ledger is monotone non-decreasing and ends at the spent
+  // budget reported for the whole run.
+  double prev = 0.0;
+  for (const TrainIterationRecord& rec : serial.train) {
+    ASSERT_TRUE(std::isfinite(rec.epsilon));
+    EXPECT_GE(rec.epsilon, prev);
+    prev = rec.epsilon;
+  }
+  EXPECT_NEAR(serial.train.back().epsilon, serial.result.epsilon_spent,
+              1e-9);
+}
+
+TEST(TelemetryDeterminismTest, JsonExportHasExpectedSections) {
+  const RunOutput out = RunWithThreads(1);
+  ASSERT_FALSE(out.json.empty());
+  EXPECT_EQ(out.json.front(), '{');
+  EXPECT_EQ(out.json.back(), '}');
+  for (const char* key :
+       {"\"train\"", "\"counters\"", "\"gauges\"", "\"histograms\"",
+        "\"timers\"", "\"epsilon\"", "\"clip_fraction\"", "\"noise_l2\""}) {
+    EXPECT_NE(out.json.find(key), std::string::npos) << key;
+  }
+  // NaN/inf are not valid JSON; the writer must emit null instead.
+  EXPECT_EQ(out.json.find("nan"), std::string::npos);
+  EXPECT_EQ(out.json.find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privim

@@ -190,5 +190,74 @@ TEST_P(FreqCapSweepTest, CapHoldsForAllThresholds) {
 INSTANTIATE_TEST_SUITE_P(Thresholds, FreqCapSweepTest,
                          ::testing::Values(1u, 2u, 4u, 6u, 8u, 10u, 12u));
 
+// Regression: an out-of-range id in `restrict_to` used to index the
+// eligibility and frequency vectors out of bounds (a heap overwrite under
+// ASan). It must be rejected up front as InvalidArgument.
+TEST(FreqSamplerTest, RejectsOutOfRangeRestrictTo) {
+  Graph g = DenseGraph(50, 30);
+  FreqSampler sampler(BasicConfig());
+  Rng rng(31);
+  const std::vector<NodeId> bad = {0, 3, 50};  // 50 == num_nodes.
+  const Result<DualStageResult> result = sampler.Extract(g, rng, &bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  const std::vector<NodeId> worse = {1000000};
+  EXPECT_EQ(sampler.Extract(g, rng, &worse).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FreqSamplerTest, InRangeRestrictToStillWorks) {
+  Graph g = DenseGraph(200, 32);
+  FreqSampler sampler(BasicConfig());
+  Rng rng(33);
+  std::vector<NodeId> subset;
+  for (NodeId v = 0; v < 150; ++v) subset.push_back(v);
+  DualStageResult result =
+      std::move(sampler.Extract(g, rng, &subset)).ValueOrDie();
+  for (const Subgraph& sub : result.container.subgraphs()) {
+    for (NodeId v : sub.nodes) EXPECT_LT(v, 150u);
+  }
+}
+
+TEST(FreqSamplerTest, RecordsDeterministicWalkCounters) {
+  Graph g = DenseGraph(200, 34);
+  MetricsRegistry serial_metrics, parallel_metrics;
+
+  FreqSamplingConfig cfg = BasicConfig();
+  cfg.metrics = &serial_metrics;
+  cfg.num_threads = 1;
+  Rng rng1(35);
+  DualStageResult serial =
+      std::move(FreqSampler(cfg).Extract(g, rng1)).ValueOrDie();
+
+  cfg.metrics = &parallel_metrics;
+  cfg.num_threads = 8;
+  Rng rng8(35);
+  DualStageResult parallel =
+      std::move(FreqSampler(cfg).Extract(g, rng8)).ValueOrDie();
+  ASSERT_EQ(serial.container.size(), parallel.container.size());
+
+  const MetricsSnapshot a = serial_metrics.Snapshot();
+  const MetricsSnapshot b = parallel_metrics.Snapshot();
+  // Accepted walks == committed subgraphs, and every walk counter matches
+  // the serial semantics regardless of the thread count. stale_replays is
+  // the one thread-dependent diagnostic and is excluded by contract.
+  EXPECT_EQ(a.counters.at("sampler.freq.walks_accepted"),
+            serial.container.size());
+  for (const char* name :
+       {"sampler.freq.walks_accepted", "sampler.freq.walks_rejected",
+        "sampler.freq.dead_end_restarts"}) {
+    EXPECT_EQ(a.counters.at(name), b.counters.at(name)) << name;
+  }
+  // The frequency histogram observes every start node's final occurrence
+  // count, so its total is the start count and its sum the frequency mass.
+  const auto& hist = a.histograms.at("sampler.freq.frequency");
+  EXPECT_EQ(hist.total, g.num_nodes());
+  double mass = 0.0;
+  for (size_t freq : serial.frequency) mass += static_cast<double>(freq);
+  EXPECT_DOUBLE_EQ(hist.sum, mass);
+}
+
 }  // namespace
 }  // namespace privim

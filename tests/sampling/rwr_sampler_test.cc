@@ -110,6 +110,68 @@ TEST(RwrSamplerTest, RejectsInvalidConfig) {
   EXPECT_FALSE(RwrSampler(bad_rate).Extract(g, rng).ok());
 }
 
+// Regression: RwrSampler had the same unvalidated-`restrict_to` hole as
+// FreqSampler — an out-of-range id indexed the hop-distance scratch vector
+// out of bounds. Must be a clean InvalidArgument, not a heap overwrite.
+TEST(RwrSamplerTest, RejectsOutOfRangeRestrictTo) {
+  Graph g = DenseGraph(60, 40);
+  RwrConfig cfg;
+  cfg.subgraph_size = 10;
+  cfg.sampling_rate = 0.5;
+  RwrSampler sampler(cfg);
+  Rng rng(41);
+  const std::vector<NodeId> bad = {2, 60};  // 60 == num_nodes.
+  const Result<SubgraphContainer> result = sampler.Extract(g, rng, &bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RwrSamplerTest, InRangeRestrictToConfinesSubgraphs) {
+  Graph g = DenseGraph(200, 42);
+  RwrConfig cfg;
+  cfg.subgraph_size = 10;
+  cfg.sampling_rate = 1.0;
+  RwrSampler sampler(cfg);
+  Rng rng(43);
+  std::vector<NodeId> subset;
+  for (NodeId v = 0; v < 120; ++v) subset.push_back(v);
+  SubgraphContainer c =
+      std::move(sampler.Extract(g, rng, &subset)).ValueOrDie();
+  for (const Subgraph& sub : c.subgraphs()) {
+    for (NodeId v : sub.nodes) EXPECT_LT(v, 120u);
+  }
+}
+
+TEST(RwrSamplerTest, RecordsWalkCountersAtCommitTime) {
+  Graph g = DenseGraph(200, 44);
+  RwrConfig cfg;
+  cfg.subgraph_size = 12;
+  cfg.sampling_rate = 0.7;
+  MetricsRegistry serial_metrics, parallel_metrics;
+
+  cfg.metrics = &serial_metrics;
+  cfg.num_threads = 1;
+  Rng rng1(45);
+  SubgraphContainer serial =
+      std::move(RwrSampler(cfg).Extract(g, rng1)).ValueOrDie();
+
+  cfg.metrics = &parallel_metrics;
+  cfg.num_threads = 8;
+  Rng rng8(45);
+  SubgraphContainer parallel =
+      std::move(RwrSampler(cfg).Extract(g, rng8)).ValueOrDie();
+  ASSERT_EQ(serial.size(), parallel.size());
+
+  const MetricsSnapshot a = serial_metrics.Snapshot();
+  const MetricsSnapshot b = parallel_metrics.Snapshot();
+  EXPECT_EQ(a.counters.at("sampler.rwr.walks_accepted"), serial.size());
+  for (const char* name :
+       {"sampler.rwr.walks_accepted", "sampler.rwr.walks_rejected",
+        "sampler.rwr.dead_end_restarts"}) {
+    EXPECT_EQ(a.counters.at(name), b.counters.at(name)) << name;
+  }
+}
+
 TEST(RwrSamplerTest, OnThetaBoundedGraphOccurrencesRespectLemma1) {
   // End-to-end naive pipeline audit: occurrences across subgraphs from a
   // theta-bounded graph never exceed min(N_g, container size). Lemma 1's

@@ -40,6 +40,7 @@ struct CliOptions {
   bool auto_tune = false;
   bool with_celf = true;
   std::string save_model;
+  std::string telemetry_path;
 };
 
 void PrintUsage() {
@@ -61,6 +62,8 @@ void PrintUsage() {
   --auto-tune        pick (n, M) with the Gamma indicator
   --no-celf          skip the CELF reference (faster)
   --save-model PATH  write the trained model checkpoint
+  --telemetry PATH   write run telemetry (privacy ledger, sampler and
+                     runtime counters) as JSON; also prints a summary
   --help             this text
 )";
 }
@@ -108,6 +111,13 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       opts.with_celf = false;
     } else if (arg == "--save-model") {
       PRIVIM_ASSIGN_OR_RETURN(opts.save_model, next());
+    } else if (arg == "--telemetry") {
+      PRIVIM_ASSIGN_OR_RETURN(opts.telemetry_path, next());
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      opts.telemetry_path = arg.substr(std::string("--telemetry=").size());
+      if (opts.telemetry_path.empty()) {
+        return Status::InvalidArgument("--telemetry requires a path");
+      }
     } else {
       return Status::InvalidArgument("unknown flag " + arg +
                                      " (try --help)");
@@ -181,9 +191,13 @@ Status RunCli(const CliOptions& opts) {
   // ---- Run. ----
   Rng rng(opts.seed + 2);
   std::unique_ptr<GnnModel> model;
+  RunTelemetry telemetry;
+  RunTelemetry* telemetry_ptr =
+      opts.telemetry_path.empty() ? nullptr : &telemetry;
   PRIVIM_ASSIGN_OR_RETURN(
       PrivImRunResult run,
-      RunMethod(train_sub.local, eval_sub.local, config, rng, &model));
+      RunMethod(train_sub.local, eval_sub.local, config, rng, &model,
+                telemetry_ptr));
 
   std::cout << "\nmethod: " << MethodName(method) << " ("
             << GnnTypeName(config.gnn.type) << " backbone)\n";
@@ -228,6 +242,13 @@ Status RunCli(const CliOptions& opts) {
   if (!opts.save_model.empty()) {
     PRIVIM_RETURN_NOT_OK(SaveModel(*model, opts.save_model));
     std::cout << "model checkpoint written to " << opts.save_model << "\n";
+  }
+
+  if (telemetry_ptr != nullptr) {
+    std::cout << "\n";
+    telemetry.PrintSummary(std::cout);
+    PRIVIM_RETURN_NOT_OK(telemetry.WriteJsonFile(opts.telemetry_path));
+    std::cout << "telemetry written to " << opts.telemetry_path << "\n";
   }
   return Status::OK();
 }

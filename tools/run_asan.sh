@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the project with AddressSanitizer (-DPRIVIM_SANITIZE=address) and
+# runs the memory-relevant test binaries: the obs metrics/telemetry suite
+# plus the sampler and seed-selection regression tests.
+#
+# The sampler tests include the restrict_to out-of-bounds regressions
+# (FreqSampler/RwrSampler used to index per-node vectors with unvalidated
+# ids — exactly the class of bug ASan exists to catch), and the obs tests
+# hammer the lock-free instruments from multiple threads.
+#
+# Usage: tools/run_asan.sh [extra gtest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPRIVIM_SANITIZE=address \
+  -DPRIVIM_BUILD_BENCHMARKS=OFF \
+  -DPRIVIM_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target obs_test sampling_test im_test
+
+export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}
+export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
+
+"$BUILD_DIR/tests/obs_test"
+"$BUILD_DIR/tests/sampling_test" \
+  --gtest_filter='FreqSampler*:RwrSampler*:SamplerDeterminism*'
+"$BUILD_DIR/tests/im_test" \
+  --gtest_filter='Celf*:Greedy*:InstrumentedOracle*'
+
+echo "ASan run clean."
