@@ -239,6 +239,77 @@ BENCHMARK(BM_ParallelMcSpread)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// ---- Scratch-workspace hot-path cases (docs/performance.md). A 100k-node
+// small-world graph (Watts-Strogatz, 10 neighbors per node, 5% rewired)
+// keeps 3-hop balls local, which is the regime the r-hop constraint is
+// designed to produce (|N_r(v)| ≪ |V|) and the one where per-walk /
+// per-trial O(num_nodes) initialization dominates: before the
+// epoch-stamped workspaces, every attempted RWR walk allocated and filled
+// a 100k-entry hop-distance vector and every IC Monte-Carlo trial a
+// 100k-entry active bitmap, even though each touches only a few dozen
+// nodes. (On a hub-dominated graph the 3-hop ball is most of the graph
+// and the irreducible ball BFS dominates instead — the workspaces are
+// neutral there.) The before/after numbers are recorded in
+// BENCH_scratch_workspaces.json.
+
+Graph& Synthetic100k() {
+  static Graph* g = new Graph([] {
+    Rng rng(21);
+    return std::move(WattsStrogatz(100000, 5, 0.05, rng)).ValueOrDie();
+  }());
+  return *g;
+}
+
+Graph& SyntheticWeighted100k() {
+  static Graph* g =
+      new Graph(std::move(WeightedCascade(Synthetic100k())).ValueOrDie());
+  return *g;
+}
+
+void BM_RwrWalks100k(benchmark::State& state) {
+  Graph& g = Synthetic100k();
+  RwrConfig cfg;
+  cfg.subgraph_size = 20;  // 3-hop balls hold ~30-80 nodes here.
+  cfg.sampling_rate = 0.02;  // ~2000 attempted walks per Extract.
+  cfg.num_threads = static_cast<size_t>(state.range(0));
+  RwrSampler sampler(cfg);
+  Rng rng(22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Extract(g, rng));
+  }
+}
+BENCHMARK(BM_RwrWalks100k)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_IcTrials100k(benchmark::State& state) {
+  Graph& g = SyntheticWeighted100k();
+  std::vector<NodeId> seeds;
+  for (NodeId s = 0; s < 50; ++s) seeds.push_back(s * 1997);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateIcSpread(g, seeds, /*trials=*/256, rng,
+                                              /*max_steps=*/2, threads));
+  }
+}
+BENCHMARK(BM_IcTrials100k)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// CELF's lazy-gain loop evaluates thousands of single-candidate seed sets
+// (MakeMonteCarloOracle probes), so single-seed trials are where most
+// Monte-Carlo time goes in practice — and the regime where the cascade
+// touches ~a handful of nodes while the old code still paid O(num_nodes)
+// per trial.
+void BM_IcProbe100k(benchmark::State& state) {
+  Graph& g = SyntheticWeighted100k();
+  std::vector<NodeId> probe{777};
+  const size_t threads = static_cast<size_t>(state.range(0));
+  Rng rng(24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateIcSpread(g, probe, /*trials=*/256, rng,
+                                              /*max_steps=*/2, threads));
+  }
+}
+BENCHMARK(BM_IcProbe100k)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
 void BM_SegmentSoftmax(benchmark::State& state) {
   const size_t edges = static_cast<size_t>(state.range(0));
   Rng rng(7);

@@ -14,6 +14,20 @@ double Graph::AverageDegree() const {
   return static_cast<double>(num_edges()) / static_cast<double>(num_nodes_);
 }
 
+uint64_t Graph::IdentityFingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<uint64_t>(num_nodes_));
+  mix(static_cast<uint64_t>(out_dst_.size()));
+  mix(reinterpret_cast<uintptr_t>(out_offsets_.data()));
+  mix(reinterpret_cast<uintptr_t>(out_dst_.data()));
+  mix(reinterpret_cast<uintptr_t>(in_src_.data()));
+  return h;
+}
+
 size_t Graph::MaxInDegree() const {
   size_t max_deg = 0;
   for (NodeId v = 0; v < num_nodes_; ++v) {

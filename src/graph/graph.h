@@ -79,6 +79,15 @@ class Graph {
   /// True if the arc u -> v exists (O(out-degree of u)).
   bool HasEdge(NodeId u, NodeId v) const;
 
+  /// Cheap identity fingerprint for caches keyed on "the same Graph object
+  /// as last time" (the samplers' r-hop-ball caches): mixes the node/edge
+  /// counts with the addresses of the CSR storage, so two simultaneously
+  /// live graphs can never collide and copies count as distinct. Not a
+  /// content hash — a graph destroyed and replaced by an identical twin at
+  /// the same addresses would match, which is harmless for caches of pure
+  /// functions of the content.
+  uint64_t IdentityFingerprint() const;
+
  private:
   friend class GraphBuilder;
 

@@ -1,7 +1,6 @@
 #include "im/diffusion.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "common/logging.h"
 #include "runtime/parallel_for.h"
@@ -13,14 +12,18 @@ namespace privim {
 namespace {
 
 // Marks seeds active and enqueues them; returns initial active count.
+// `active` is the workspace's stamped membership set, logically empty
+// after its Reset here. The frontier is a grow-only vector consumed
+// through a cursor — same FIFO order as a queue, no per-pop bookkeeping.
 size_t SeedState(const Graph& g, std::span<const NodeId> seeds,
-                 std::vector<uint8_t>& active, std::deque<NodeId>& frontier) {
-  active.assign(g.num_nodes(), 0);
+                 VisitedSet& active, std::vector<uint32_t>& frontier) {
+  active.Reset(g.num_nodes());
+  frontier.clear();
   size_t count = 0;
   for (NodeId s : seeds) {
     PRIVIM_CHECK_LT(s, g.num_nodes());
-    if (!active[s]) {
-      active[s] = 1;
+    if (!active.Contains(s)) {
+      active.Insert(s);
       frontier.push_back(s);
       ++count;
     }
@@ -32,23 +35,29 @@ size_t SeedState(const Graph& g, std::span<const NodeId> seeds,
 
 size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps) {
-  std::vector<uint8_t> active;
-  std::deque<NodeId> frontier;
+  Workspace ws;
+  return SimulateIcCascade(g, seeds, rng, max_steps, ws);
+}
+
+size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps, Workspace& ws) {
+  VisitedSet& active = ws.visited;
+  std::vector<uint32_t>& frontier = ws.frontier;
   size_t count = SeedState(g, seeds, active, frontier);
 
+  size_t cursor = 0;
   int step = 0;
-  while (!frontier.empty() && (max_steps < 0 || step < max_steps)) {
+  while (cursor < frontier.size() && (max_steps < 0 || step < max_steps)) {
     ++step;
-    const size_t layer = frontier.size();
-    for (size_t i = 0; i < layer; ++i) {
-      const NodeId u = frontier.front();
-      frontier.pop_front();
+    const size_t layer_end = frontier.size();
+    for (; cursor < layer_end; ++cursor) {
+      const NodeId u = frontier[cursor];
       auto nbrs = g.OutNeighbors(u);
-      auto ws = g.OutWeights(u);
+      auto wts = g.OutWeights(u);
       for (size_t k = 0; k < nbrs.size(); ++k) {
         const NodeId v = nbrs[k];
-        if (!active[v] && rng.Bernoulli(ws[k])) {
-          active[v] = 1;
+        if (!active.Contains(v) && rng.Bernoulli(wts[k])) {
+          active.Insert(v);
           frontier.push_back(v);
           ++count;
         }
@@ -60,7 +69,7 @@ size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
 
 double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
                         size_t trials, Rng& rng, int max_steps,
-                        size_t num_threads) {
+                        size_t num_threads, WorkspacePool* workspaces) {
   PRIVIM_CHECK_GT(trials, 0u);
   // Trials are independent: each one runs on its own child stream and the
   // per-trial cascade sizes are summed in trial order, so the result does
@@ -68,10 +77,18 @@ double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
   RngStreams streams(rng);
   std::vector<size_t> counts(trials, 0);
   ThreadPool* pool = SharedPool(ResolveNumThreads(num_threads));
-  ParallelFor(pool, 0, trials, /*grain=*/8, [&](size_t t) {
-    Rng trial_rng = streams.Stream(t);
-    counts[t] = SimulateIcCascade(g, seeds, trial_rng, max_steps);
-  });
+  const size_t num_slots =
+      pool == nullptr ? 1 : ResolveNumThreads(num_threads);
+  WorkspacePool local_pool;
+  WorkspacePool& ws_pool = workspaces != nullptr ? *workspaces : local_pool;
+  ws_pool.EnsureSlots(num_slots);
+  ParallelForWithSlots(pool, 0, trials, /*grain=*/8, num_slots,
+                       [&](size_t t, size_t slot) {
+                         Rng trial_rng = streams.Stream(t);
+                         counts[t] =
+                             SimulateIcCascade(g, seeds, trial_rng, max_steps,
+                                               ws_pool.Acquire(slot));
+                       });
   double total = 0.0;
   for (size_t t = 0; t < trials; ++t) {
     total += static_cast<double>(counts[t]);
@@ -111,33 +128,47 @@ size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
 
 size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps) {
-  std::vector<double> threshold(g.num_nodes());
+  Workspace ws;
+  return SimulateLtCascade(g, seeds, rng, max_steps, ws);
+}
+
+size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps, Workspace& ws) {
+  // Thresholds are drawn for every node, in node order, regardless of how
+  // far the cascade reaches — the draw sequence is part of the simulator's
+  // pinned RNG contract (golden determinism tests). The buffer is pooled;
+  // every entry is overwritten, so no zero-fill is needed.
+  std::vector<double>& threshold = ws.thresholds;
+  threshold.resize(g.num_nodes());
   for (double& t : threshold) t = rng.Uniform();
-  std::vector<uint8_t> active;
-  std::deque<NodeId> frontier;
+  VisitedSet& active = ws.visited;
+  std::vector<uint32_t>& frontier = ws.frontier;
   size_t count = SeedState(g, seeds, active, frontier);
 
-  std::vector<double> incoming(g.num_nodes(), 0.0);
+  // Sparse incoming-weight accumulator: absent entries read as 0.
+  VisitedMap<double>& incoming = ws.incoming;
+  incoming.Reset(g.num_nodes());
+  std::vector<uint32_t>& touched = ws.candidates;
+  size_t cursor = 0;
   int step = 0;
-  while (!frontier.empty() && (max_steps < 0 || step < max_steps)) {
+  while (cursor < frontier.size() && (max_steps < 0 || step < max_steps)) {
     ++step;
-    const size_t layer = frontier.size();
-    std::vector<NodeId> touched;
-    for (size_t i = 0; i < layer; ++i) {
-      const NodeId u = frontier.front();
-      frontier.pop_front();
+    const size_t layer_end = frontier.size();
+    touched.clear();
+    for (; cursor < layer_end; ++cursor) {
+      const NodeId u = frontier[cursor];
       auto nbrs = g.OutNeighbors(u);
-      auto ws = g.OutWeights(u);
+      auto wts = g.OutWeights(u);
       for (size_t k = 0; k < nbrs.size(); ++k) {
         const NodeId v = nbrs[k];
-        if (active[v]) continue;
-        incoming[v] += ws[k];
+        if (active.Contains(v)) continue;
+        incoming.Set(v, incoming.GetOr(v, 0.0) + wts[k]);
         touched.push_back(v);
       }
     }
     for (NodeId v : touched) {
-      if (!active[v] && incoming[v] >= threshold[v]) {
-        active[v] = 1;
+      if (!active.Contains(v) && incoming.Get(v) >= threshold[v]) {
+        active.Insert(v);
         frontier.push_back(v);
         ++count;
       }

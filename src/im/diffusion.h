@@ -6,11 +6,21 @@
 
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "runtime/scratch.h"
 
 namespace privim {
 
 /// Influence-diffusion evaluation under the Independent Cascade (IC) model
 /// (Definition 6) and the paper's future-work extensions (LT, SIS).
+///
+/// The IC/LT simulators come in two forms: a self-contained one that
+/// allocates its per-cascade state, and a Workspace overload that runs the
+/// identical cascade (same RNG draws, same result) against epoch-stamped
+/// scratch, turning the O(num_nodes) per-cascade initialization into O(1).
+/// EstimateIcSpread uses the workspace form internally — one workspace per
+/// parallel slot — and accepts an optional caller-owned pool so repeated
+/// estimates (the Monte-Carlo oracle inside CELF) reuse memory across
+/// calls. See docs/performance.md.
 
 /// One Monte-Carlo IC cascade from `seeds`; returns the number of activated
 /// nodes (including seeds). `max_steps < 0` means run to quiescence;
@@ -19,15 +29,23 @@ namespace privim {
 size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps = -1);
 
+/// As above, against reusable scratch: bit-identical to the allocating
+/// form for the same `rng` state.
+size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps, Workspace& ws);
+
 /// Monte-Carlo estimate of the IC influence spread I(S, G): the mean
 /// cascade size over `trials` simulations. Consumes exactly one draw of
 /// `rng` (a substream base key); trial t runs on its own counter-derived
 /// child stream and the trial sum is reduced in index order, so the
 /// estimate is bit-identical for every `num_threads` (0 = global runtime
-/// default).
+/// default). `workspaces`, when given, must outlive the call and follow
+/// the runtime's single-orchestrator contract; nullptr uses a call-local
+/// pool.
 double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
                         size_t trials, Rng& rng, int max_steps = -1,
-                        size_t num_threads = 0);
+                        size_t num_threads = 0,
+                        WorkspacePool* workspaces = nullptr);
 
 /// Exact influence spread for the deterministic special case where every
 /// edge weight is 1 and the cascade runs `steps` rounds: the size of the
@@ -41,6 +59,11 @@ size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
 /// in-neighbors reaches its threshold. Returns activated count.
 size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps = -1);
+
+/// As above, against reusable scratch: bit-identical to the allocating
+/// form for the same `rng` state.
+size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps, Workspace& ws);
 
 /// SIS epidemic: infected nodes infect out-neighbors with the edge weight
 /// each round and recover (back to susceptible) with `recovery_prob`.

@@ -1,25 +1,14 @@
 #include "im/rr_sets.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "common/string_util.h"
 #include "runtime/parallel_for.h"
 #include "runtime/rng_streams.h"
 #include "runtime/runtime.h"
+#include "runtime/scratch.h"
 
 namespace privim {
-
-namespace {
-
-/// Per-worker scratch for the reverse BFS, reused across the RR sets a
-/// slot processes (the O(n) visited reset dominates re-allocation).
-struct RrScratch {
-  std::vector<uint8_t> visited;
-  std::deque<NodeId> queue;
-};
-
-}  // namespace
 
 Result<RrSketch> RrSketch::Generate(const Graph& g, size_t count, Rng& rng,
                                     size_t num_threads) {
@@ -40,37 +29,39 @@ Result<RrSketch> RrSketch::Generate(const Graph& g, size_t count, Rng& rng,
   RngStreams streams(rng);
   const size_t threads = ResolveNumThreads(num_threads);
   ThreadPool* pool = SharedPool(threads);
-  std::vector<RrScratch> scratch(pool == nullptr ? 1 : threads);
+  const size_t num_slots = pool == nullptr ? 1 : threads;
+  // Epoch-stamped visited set per slot: the logical clear between RR sets
+  // is O(1) instead of the O(n) re-zero that used to dominate small sets.
+  WorkspacePool workspaces;
+  workspaces.EnsureSlots(num_slots);
 
   ParallelForWithSlots(
-      pool, 0, count, /*grain=*/8, scratch.size(),
+      pool, 0, count, /*grain=*/8, num_slots,
       [&](size_t s, size_t slot) {
         Rng set_rng = streams.Stream(s);
-        RrScratch& sc = scratch[slot];
+        Workspace& ws = workspaces.Acquire(slot);
         const NodeId target =
             static_cast<NodeId>(set_rng.UniformInt(g.num_nodes()));
         // Reverse BFS along *in*-edges; each edge is live independently
-        // with its IC probability (deferred live-edge sampling).
-        std::vector<NodeId> rr{target};
-        sc.visited.assign(g.num_nodes(), 0);
-        sc.visited[target] = 1;
-        sc.queue.clear();
-        sc.queue.push_back(target);
-        while (!sc.queue.empty()) {
-          const NodeId v = sc.queue.front();
-          sc.queue.pop_front();
+        // with its IC probability (deferred live-edge sampling). ws.nodes
+        // doubles as the FIFO frontier, consumed through a cursor.
+        ws.nodes.clear();
+        ws.nodes.push_back(target);
+        ws.visited.Reset(g.num_nodes());
+        ws.visited.Insert(target);
+        for (size_t cursor = 0; cursor < ws.nodes.size(); ++cursor) {
+          const NodeId v = ws.nodes[cursor];
           auto sources = g.InNeighbors(v);
           auto weights = g.InWeights(v);
           for (size_t i = 0; i < sources.size(); ++i) {
             const NodeId u = sources[i];
-            if (!sc.visited[u] && set_rng.Bernoulli(weights[i])) {
-              sc.visited[u] = 1;
-              rr.push_back(u);
-              sc.queue.push_back(u);
+            if (!ws.visited.Contains(u) && set_rng.Bernoulli(weights[i])) {
+              ws.visited.Insert(u);
+              ws.nodes.push_back(u);
             }
           }
         }
-        sketch.sets_[s] = std::move(rr);
+        sketch.sets_[s].assign(ws.nodes.begin(), ws.nodes.end());
       });
 
   for (size_t s = 0; s < count; ++s) {

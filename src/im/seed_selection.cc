@@ -179,18 +179,21 @@ SpreadOracle MakeExactUnitOracle(const Graph& g, int steps) {
 SpreadOracle MakeMonteCarloOracle(const Graph& g, size_t trials, Rng& rng,
                                   int max_steps, size_t num_threads,
                                   MetricsRegistry* metrics) {
-  // The oracle owns a forked generator so repeated calls advance it.
+  // The oracle owns a forked generator so repeated calls advance it, and a
+  // workspace pool so the thousands of evaluations a CELF run makes reuse
+  // the per-trial scratch instead of re-allocating it every call.
   auto shared_rng = std::make_shared<Rng>(rng.Fork());
+  auto shared_ws = std::make_shared<WorkspacePool>();
   Counter* trial_counter =
       metrics != nullptr ? metrics->GetCounter("im.mc_trials") : nullptr;
   TimerStat* eval_timer =
       metrics != nullptr ? metrics->GetTimer("im.mc_eval") : nullptr;
-  return [&g, trials, shared_rng, max_steps, num_threads, trial_counter,
-          eval_timer](const std::vector<NodeId>& seeds) {
+  return [&g, trials, shared_rng, shared_ws, max_steps, num_threads,
+          trial_counter, eval_timer](const std::vector<NodeId>& seeds) {
     ScopedTimer timer(eval_timer);
     if (trial_counter != nullptr) trial_counter->Add(trials);
     return EstimateIcSpread(g, seeds, trials, *shared_rng, max_steps,
-                            num_threads);
+                            num_threads, shared_ws.get());
   };
 }
 
@@ -211,12 +214,13 @@ SpreadOracle MakeLtOracle(const Graph& g, size_t trials, Rng& rng,
                           int max_steps) {
   PRIVIM_CHECK_GT(trials, 0u);
   auto shared_rng = std::make_shared<Rng>(rng.Fork());
-  return [&g, trials, shared_rng, max_steps](
+  auto shared_ws = std::make_shared<Workspace>();
+  return [&g, trials, shared_rng, shared_ws, max_steps](
              const std::vector<NodeId>& seeds) {
     double total = 0.0;
     for (size_t t = 0; t < trials; ++t) {
       total += static_cast<double>(
-          SimulateLtCascade(g, seeds, *shared_rng, max_steps));
+          SimulateLtCascade(g, seeds, *shared_rng, max_steps, *shared_ws));
     }
     return total / static_cast<double>(trials);
   };

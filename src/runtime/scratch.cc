@@ -1,0 +1,88 @@
+#include "runtime/scratch.h"
+
+#include <algorithm>
+
+namespace privim {
+
+void HopBallCache::Bind(uint64_t graph_fingerprint, int32_t hop_bound) {
+  if (bound_ && fingerprint_ == graph_fingerprint &&
+      hop_bound_ == hop_bound) {
+    return;
+  }
+  entries_.clear();
+  fingerprint_ = graph_fingerprint;
+  hop_bound_ = hop_bound;
+  bound_ = true;
+}
+
+const HopBall* HopBallCache::Lookup(uint32_t start) {
+  for (Entry& e : entries_) {
+    if (e.start == start) {
+      e.last_used = ++tick_;
+      ++hits_;
+      return &e.ball;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+HopBall& HopBallCache::InsertSlot(uint32_t start) {
+  if (capacity_ == 0) {
+    discard_.nodes.clear();
+    return discard_;
+  }
+  for (Entry& e : entries_) {
+    if (e.start == start) {
+      e.ball.nodes.clear();
+      e.last_used = ++tick_;
+      return e.ball;
+    }
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back(Entry{start, ++tick_, HopBall{}});
+    return entries_.back().ball;
+  }
+  auto victim = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+  victim->start = start;
+  victim->ball.nodes.clear();
+  victim->last_used = ++tick_;
+  return victim->ball;
+}
+
+void WorkspacePool::EnsureSlots(size_t n) {
+  while (slots_.size() < n) {
+    slots_.push_back(std::make_unique<Workspace>());
+  }
+}
+
+WorkspacePool::Stats WorkspacePool::Cumulative() const {
+  Stats s;
+  for (const auto& ws : slots_) {
+    s.map_fast_resets += ws->visited.fast_resets() +
+                         ws->hop_dist.fast_resets() +
+                         ws->incoming.fast_resets();
+    s.map_full_resets += ws->visited.full_resets() +
+                         ws->hop_dist.full_resets() +
+                         ws->incoming.full_resets();
+    s.ball_cache_hits += ws->ball_cache.hits();
+    s.ball_cache_misses += ws->ball_cache.misses();
+  }
+  return s;
+}
+
+WorkspacePool::Stats WorkspacePool::TakeStats() {
+  const Stats total = Cumulative();
+  Stats delta;
+  delta.map_fast_resets = total.map_fast_resets - flushed_.map_fast_resets;
+  delta.map_full_resets = total.map_full_resets - flushed_.map_full_resets;
+  delta.ball_cache_hits = total.ball_cache_hits - flushed_.ball_cache_hits;
+  delta.ball_cache_misses =
+      total.ball_cache_misses - flushed_.ball_cache_misses;
+  flushed_ = total;
+  return delta;
+}
+
+}  // namespace privim

@@ -1,0 +1,240 @@
+#ifndef PRIVIM_RUNTIME_SCRATCH_H_
+#define PRIVIM_RUNTIME_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace privim {
+
+/// Zero-allocation scratch workspaces for the per-walk / per-trial hot
+/// loops (see docs/performance.md).
+///
+/// The samplers and Monte-Carlo simulators repeatedly need "a map over all
+/// graph nodes that starts empty" — hop distances, active bitmaps, incoming
+/// weight sums. Allocating (or even just re-zeroing) an O(num_nodes) vector
+/// per walk/trial dominates once the touched set is much smaller than the
+/// graph, which is exactly the PrivIM regime (subgraph size n ≪ |V|). The
+/// classes here make the logical clear O(1) via an epoch stamp and pool the
+/// variable-length buffers so their capacity survives across iterations.
+///
+/// Determinism: everything in this file is deterministic scratch — the
+/// values read back are identical to what freshly allocated structures
+/// would hold, so wiring a workspace into a loop can never change its
+/// output. The only scheduling-dependent observables are the reuse/hit
+/// statistics (see WorkspacePool::TakeStats), which are diagnostics in the
+/// same class as the samplers' stale_replays counter.
+
+/// Epoch-stamped map over the dense id space [0, n): entry i is logically
+/// present iff its stamp matches the current epoch, so Reset() is O(1) —
+/// it bumps the epoch instead of re-zeroing n entries. A full re-zero only
+/// happens when the id space changes size or the 32-bit epoch wraps (once
+/// every 2^32 - 1 resets).
+template <typename T>
+class VisitedMap {
+ public:
+  /// Logically clears the map and sizes it for ids in [0, n).
+  void Reset(size_t n) {
+    if (stamp_.size() != n || ++epoch_ == 0) {
+      stamp_.assign(n, 0);
+      value_.resize(n);
+      epoch_ = 1;
+      ++full_resets_;
+    } else {
+      ++fast_resets_;
+    }
+  }
+
+  size_t size() const { return stamp_.size(); }
+
+  bool Contains(size_t i) const { return stamp_[i] == epoch_; }
+
+  void Set(size_t i, T v) {
+    stamp_[i] = epoch_;
+    value_[i] = v;
+  }
+
+  /// Value of a present entry; undefined unless Contains(i).
+  const T& Get(size_t i) const { return value_[i]; }
+
+  T GetOr(size_t i, T fallback) const {
+    return Contains(i) ? value_[i] : fallback;
+  }
+
+  /// O(1) resets since construction (the reuse win) / full re-zeroes.
+  uint64_t fast_resets() const { return fast_resets_; }
+  uint64_t full_resets() const { return full_resets_; }
+
+  /// Test-only: jumps the epoch so the 2^32 wrap path is reachable without
+  /// four billion resets. Never call outside tests.
+  void set_epoch_for_test(uint32_t e) { epoch_ = e; }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  std::vector<T> value_;
+  uint32_t epoch_ = 0;
+  uint64_t fast_resets_ = 0;
+  uint64_t full_resets_ = 0;
+};
+
+/// Value-less VisitedMap: an epoch-stamped membership set over [0, n).
+class VisitedSet {
+ public:
+  void Reset(size_t n) {
+    if (stamp_.size() != n || ++epoch_ == 0) {
+      stamp_.assign(n, 0);
+      epoch_ = 1;
+      ++full_resets_;
+    } else {
+      ++fast_resets_;
+    }
+  }
+
+  size_t size() const { return stamp_.size(); }
+  bool Contains(size_t i) const { return stamp_[i] == epoch_; }
+  void Insert(size_t i) { stamp_[i] = epoch_; }
+
+  uint64_t fast_resets() const { return fast_resets_; }
+  uint64_t full_resets() const { return full_resets_; }
+
+  /// Test-only: see VisitedMap::set_epoch_for_test.
+  void set_epoch_for_test(uint32_t e) { epoch_ = e; }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  uint64_t fast_resets_ = 0;
+  uint64_t full_resets_ = 0;
+};
+
+/// An r-hop out-ball: the nodes within `hop_bound` hops of a start node,
+/// with their hop distances. A pure function of (graph, start, hop_bound).
+struct HopBall {
+  std::vector<std::pair<uint32_t, int32_t>> nodes;
+};
+
+/// Tiny LRU cache of r-hop balls keyed by start node. Balls are pure
+/// functions of (graph, start, hop_bound), so serving a cached ball is
+/// observationally identical to recomputing it — the cache can change
+/// timings, never results. Bind() scopes the cache to one
+/// (graph fingerprint, hop_bound) pair and clears it on any change.
+class HopBallCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 32;
+
+  explicit HopBallCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// Declares the (graph, hop_bound) context for subsequent lookups;
+  /// invalidates every entry when it differs from the bound context.
+  void Bind(uint64_t graph_fingerprint, int32_t hop_bound);
+
+  /// Returns the cached ball for `start` (bumping its recency) or nullptr.
+  /// The pointer is valid until the next InsertSlot/Bind.
+  const HopBall* Lookup(uint32_t start);
+
+  /// Claims the cache entry for `start` (evicting the least-recently-used
+  /// entry when full) and returns its ball, logically empty but with its
+  /// previous capacity intact, for the caller to fill in place. Recycling
+  /// the victim's storage is what keeps a warm cache allocation-free: the
+  /// ball buffers reach steady-state capacity and stay there.
+  HopBall& InsertSlot(uint32_t start);
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    uint32_t start = 0;
+    uint64_t last_used = 0;
+    HopBall ball;
+  };
+
+  size_t capacity_;
+  std::vector<Entry> entries_;
+  uint64_t tick_ = 0;
+  uint64_t fingerprint_ = 0;
+  int32_t hop_bound_ = -1;
+  bool bound_ = false;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  /// InsertSlot target when capacity_ == 0 (cache disabled): filled and
+  /// immediately forgotten, but still reuses its own storage.
+  HopBall discard_;
+};
+
+/// One worker's scratch state: the stamped maps plus pooled variable-length
+/// buffers the sampling / diffusion hot loops need. All fields are plain
+/// scratch — callers Reset()/clear() what they use and must not rely on
+/// contents surviving between acquisitions.
+struct Workspace {
+  /// Membership bitmap (IC/LT `active`, sampler `in_sub`, RR `visited`).
+  VisitedSet visited;
+  /// Second membership bitmap for loops that need two at once (the RWR
+  /// walk tracks the r-hop ball and the collected subgraph together).
+  VisitedMap<int32_t> hop_dist;
+  /// Sparse accumulator (LT incoming weight sums).
+  VisitedMap<double> incoming;
+
+  std::vector<uint32_t> frontier;
+  std::vector<uint32_t> next_frontier;
+  std::vector<uint32_t> nodes;
+  std::vector<uint32_t> candidates;
+  std::vector<double> weights;
+  std::vector<double> thresholds;
+
+  HopBallCache ball_cache;
+};
+
+/// Slot-indexed workspace pool for ParallelForWithSlots: slot s always maps
+/// to the same Workspace, and the slot protocol guarantees no two chunks
+/// hold the same slot concurrently, so workers reuse memory across rounds
+/// without locks. The pool outlives individual parallel loops (samplers
+/// keep one per instance), which is what makes buffer capacity and the
+/// r-hop-ball cache survive across Extract calls.
+///
+/// Thread-safety: EnsureSlots must be called from the orchestrating thread
+/// before workers call Acquire; Acquire itself is wait-free. Like
+/// SharedPool, orchestration is expected to happen from one thread at a
+/// time — two concurrent parallel loops over the same pool would share
+/// scratch and race.
+class WorkspacePool {
+ public:
+  /// Grows the pool to at least `n` slots. Never shrinks (slot identity
+  /// and cached state are preserved).
+  void EnsureSlots(size_t n);
+
+  size_t size() const { return slots_.size(); }
+
+  /// The workspace of `slot`; requires slot < size() and exclusive use of
+  /// the slot for the duration (ParallelForWithSlots provides both).
+  Workspace& Acquire(size_t slot) { return *slots_[slot]; }
+
+  /// Cumulative reuse statistics, reported as deltas since the previous
+  /// TakeStats call so callers can flush into monotonic counters after
+  /// each run. Scheduling-dependent diagnostics: which slot serves which
+  /// index varies with the thread count, so these are NOT part of the
+  /// determinism contract (single-threaded runs are reproducible).
+  struct Stats {
+    /// O(1) epoch-bump resets across all stamped maps (the reuse win).
+    uint64_t map_fast_resets = 0;
+    /// Full O(n) (re)initializations across all stamped maps.
+    uint64_t map_full_resets = 0;
+    uint64_t ball_cache_hits = 0;
+    uint64_t ball_cache_misses = 0;
+  };
+  Stats TakeStats();
+
+ private:
+  Stats Cumulative() const;
+
+  std::vector<std::unique_ptr<Workspace>> slots_;
+  Stats flushed_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_RUNTIME_SCRATCH_H_

@@ -9,6 +9,7 @@
 #include "runtime/parallel_for.h"
 #include "runtime/rng_streams.h"
 #include "runtime/runtime.h"
+#include "runtime/scratch.h"
 
 namespace privim {
 
@@ -63,6 +64,8 @@ struct WalkCounters {
 FreqSampler::FreqSampler(FreqSamplingConfig config)
     : config_(std::move(config)) {}
 
+FreqSampler::~FreqSampler() = default;
+
 Status FreqSampler::FreqSamplingPass(const Graph& g,
                                      const std::vector<NodeId>& starts,
                                      size_t n, std::vector<size_t>& freq,
@@ -81,8 +84,11 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
   // One walk of start index `i` against frequency view `f`, writing into
   // `out`. When `record_reads` is set, every frequency entry the walk
   // observes is recorded so the committer can detect stale speculation.
+  // `ws` is reusable scratch (stamped membership set, pooled proposal
+  // buffers): logically fresh after the Reset/clear calls, so it can never
+  // leak state between walks.
   auto run_walk = [&](size_t i, const std::vector<size_t>& f,
-                      bool record_reads, WalkProposal& out) {
+                      bool record_reads, WalkProposal& out, Workspace& ws) {
     const NodeId v0 = starts[i];
     Rng walk_rng = streams.Stream(i);
     if (!walk_rng.Bernoulli(config_.sampling_rate)) return;
@@ -91,12 +97,10 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
     if (f[v0] >= m_cap) return;
     out.attempted = true;
 
-    std::unordered_set<NodeId> in_sub;
-    std::vector<NodeId> sub_nodes;
-    std::vector<double> weights;
-    std::vector<NodeId> neighbors;
-    in_sub.insert(v0);
-    sub_nodes.push_back(v0);
+    ws.visited.Reset(g.num_nodes());  // Subgraph membership (in_sub).
+    ws.nodes.clear();
+    ws.visited.Insert(v0);
+    ws.nodes.push_back(v0);
     NodeId cur = v0;
 
     for (size_t l = 0; l < config_.walk_length; ++l) {
@@ -107,51 +111,54 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
       // Nodes already inside the subgraph stay eligible as walk hops but
       // add no new member; excluding them from the weights would distort
       // the walk less faithfully to the pseudo-code, so we keep them.
-      neighbors.clear();
-      weights.clear();
+      ws.candidates.clear();
+      ws.weights.clear();
       for (NodeId w : g.OutNeighbors(cur)) {
         if (!eligible[w]) continue;
         if (record_reads) out.reads.push_back(w);
         // A node that already reached the cap may not be *added*; it may
         // also not be walked through (its influence is saturated).
-        if (f[w] >= m_cap && !in_sub.contains(w)) continue;
-        neighbors.push_back(w);
-        weights.push_back(
+        if (f[w] >= m_cap && !ws.visited.Contains(w)) continue;
+        ws.candidates.push_back(w);
+        ws.weights.push_back(
             1.0 / std::pow(static_cast<double>(f[w]) + 1.0, config_.decay));
       }
-      if (neighbors.empty()) {
+      if (ws.candidates.empty()) {
         ++out.dead_ends;
         cur = v0;  // Dead end: restart and try again.
         continue;
       }
-      const size_t pick = walk_rng.Discrete(weights);
-      if (pick >= neighbors.size()) {
+      const size_t pick = walk_rng.Discrete(ws.weights);
+      if (pick >= ws.candidates.size()) {
         cur = v0;
         continue;
       }
-      const NodeId next = neighbors[pick];
+      const NodeId next = ws.candidates[pick];
       cur = next;
-      if (!in_sub.contains(next) && f[next] < m_cap) {
-        in_sub.insert(next);
-        sub_nodes.push_back(next);
+      if (!ws.visited.Contains(next) && f[next] < m_cap) {
+        ws.visited.Insert(next);
+        ws.nodes.push_back(next);
       }
-      if (sub_nodes.size() == n) break;
+      if (ws.nodes.size() == n) break;
     }
 
-    if (sub_nodes.size() == n) {
+    if (ws.nodes.size() == n) {
       out.success = true;
-      out.nodes = std::move(sub_nodes);
+      out.nodes.assign(ws.nodes.begin(), ws.nodes.end());
     }
   };
 
   const size_t threads = ResolveNumThreads(config_.num_threads);
   ThreadPool* pool = SharedPool(threads);
+  const size_t num_slots = pool == nullptr ? 1 : threads;
+  workspaces_.EnsureSlots(num_slots);
   const WalkCounters counters(config_.metrics);
 
   if (pool == nullptr) {
+    Workspace& ws = workspaces_.Acquire(0);
     for (size_t i = 0; i < starts.size(); ++i) {
       WalkProposal p;
-      run_walk(i, freq, /*record_reads=*/false, p);
+      run_walk(i, freq, /*record_reads=*/false, p, ws);
       counters.RecordCommit(p);
       if (p.success) {
         PRIVIM_ASSIGN_OR_RETURN(Subgraph sub, InduceSubgraph(g, p.nodes));
@@ -180,9 +187,12 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
     const size_t round_end = std::min(starts.size(), round + kRoundSize);
     snapshot = freq;
     proposals.assign(round_end - round, WalkProposal{});
-    ParallelFor(pool, round, round_end, /*grain=*/8, [&](size_t i) {
-      run_walk(i, snapshot, /*record_reads=*/true, proposals[i - round]);
-    });
+    ParallelForWithSlots(pool, round, round_end, /*grain=*/8, num_slots,
+                         [&](size_t i, size_t slot) {
+                           run_walk(i, snapshot, /*record_reads=*/true,
+                                    proposals[i - round],
+                                    workspaces_.Acquire(slot));
+                         });
 
     dirty.clear();
     for (size_t i = round; i < round_end; ++i) {
@@ -199,7 +209,9 @@ Status FreqSampler::FreqSamplingPass(const Graph& g,
       if (stale) {
         if (counters.stale_replays != nullptr) counters.stale_replays->Add(1);
         p = WalkProposal{};
-        run_walk(i, freq, /*record_reads=*/false, p);
+        // Commits are serial (the parallel round has joined), so slot 0's
+        // workspace is free for the replay.
+        run_walk(i, freq, /*record_reads=*/false, p, workspaces_.Acquire(0));
       }
       counters.RecordCommit(p);
       if (p.success) {
@@ -292,6 +304,14 @@ Result<DualStageResult> FreqSampler::Extract(
     for (NodeId v : starts) {
       freq_hist->Observe(static_cast<double>(result.frequency[v]));
     }
+    // "runtime." prefix: reuse rates depend on which slot served which
+    // walk, i.e. on scheduling — diagnostics outside the determinism
+    // contract, like the pool statistics.
+    const WorkspacePool::Stats stats = workspaces_.TakeStats();
+    config_.metrics->GetCounter("runtime.scratch.freq.workspace_reuses")
+        ->Add(stats.map_fast_resets);
+    config_.metrics->GetCounter("runtime.scratch.freq.workspace_inits")
+        ->Add(stats.map_full_resets);
   }
   return result;
 }

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
+#include "runtime/scratch.h"
 #include "sampling/container.h"
 
 namespace privim {
@@ -43,6 +44,9 @@ struct FreqSamplingConfig {
   /// Walk outcomes are recorded at (serial) commit time, so every counter
   /// except sampler.freq.stale_replays — which counts thread-scheduling
   /// artifacts by definition — is bit-identical across thread counts.
+  /// Also receives the scheduling-dependent scratch diagnostics
+  /// ("runtime.scratch.freq.workspace_reuses" / "workspace_inits",
+  /// docs/performance.md), likewise outside the determinism contract.
   MetricsRegistry* metrics = nullptr;
 };
 
@@ -66,9 +70,15 @@ struct DualStageResult {
 ///
 /// Unlike Algorithm 1 there is no theta-projection and no hop bound: the
 /// frequency cap M is what limits inter-node dependency.
+/// A sampler instance owns per-worker scratch workspaces (stamped
+/// membership sets, pooled proposal/weight buffers) reused across walks,
+/// rounds, and Extract calls. Scratch never changes results, but one
+/// instance must not run two Extract calls concurrently (the runtime's
+/// single-orchestrator contract, docs/runtime.md).
 class FreqSampler {
  public:
   explicit FreqSampler(FreqSamplingConfig config);
+  ~FreqSampler();
 
   /// Runs both stages on `g`. `restrict_to` optionally limits sampling to a
   /// node subset (the training split).
@@ -90,6 +100,9 @@ class FreqSampler {
                           SubgraphContainer& container) const;
 
   FreqSamplingConfig config_;
+  /// Slot-indexed scratch handed to the walk workers (mutable: scratch is
+  /// not observable state; see class comment for the concurrency rule).
+  mutable WorkspacePool workspaces_;
 };
 
 }  // namespace privim

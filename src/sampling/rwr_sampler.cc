@@ -2,12 +2,14 @@
 
 #include <string>
 #include <unordered_set>
+#include <utility>
 
 #include "graph/algorithms.h"
 #include "graph/subgraph.h"
 #include "runtime/parallel_for.h"
 #include "runtime/rng_streams.h"
 #include "runtime/runtime.h"
+#include "runtime/scratch.h"
 
 namespace privim {
 
@@ -31,6 +33,8 @@ struct WalkOutcome {
 
 RwrSampler::RwrSampler(RwrConfig config) : config_(std::move(config)) {}
 
+RwrSampler::~RwrSampler() = default;
+
 Result<SubgraphContainer> RwrSampler::Extract(
     const Graph& g, Rng& rng, const std::vector<NodeId>* restrict_to) const {
   if (config_.subgraph_size < 2) {
@@ -44,7 +48,7 @@ Result<SubgraphContainer> RwrSampler::Extract(
   std::unordered_set<NodeId> allowed;
   if (restrict_to != nullptr) {
     // Validate before walking: an unchecked start id would index past the
-    // end of the per-node hop_dist vector below (out-of-bounds write).
+    // end of the per-node hop-distance map below (out-of-bounds write).
     for (NodeId v : *restrict_to) {
       if (v >= g.num_nodes()) {
         return Status::InvalidArgument(
@@ -73,60 +77,82 @@ Result<SubgraphContainer> RwrSampler::Extract(
   // is a pure function of (graph, seed), not of the thread count.
   RngStreams streams(rng);
 
-  // One walk, fully self-contained. Returns through `out`.
-  auto run_walk = [&](size_t i, WalkOutcome& out) {
+  const uint64_t graph_fp = g.IdentityFingerprint();
+
+  // One walk, fully self-contained up to the scratch workspace `ws`, whose
+  // contents are logically fresh after the Reset/clear calls — reuse is a
+  // memory optimization, never a semantic input (docs/performance.md).
+  auto run_walk = [&](size_t i, WalkOutcome& out, Workspace& ws) {
     const NodeId v0 = starts[i];
     Rng walk_rng = streams.Stream(i);
     if (!walk_rng.Bernoulli(config_.sampling_rate)) return;
     out.attempted = true;
 
-    // Precompute the r-hop ball N_r(v0) once per walk (the walk's target
-    // filter, Algorithm 1 Line 10).
-    std::vector<int> hop_dist(g.num_nodes(), -1);
-    {
-      std::vector<NodeId> frontier{v0};
-      hop_dist[v0] = 0;
-      for (int h = 0; h < config_.hop_bound && !frontier.empty(); ++h) {
-        std::vector<NodeId> next;
-        for (NodeId u : frontier) {
+    // The r-hop ball N_r(v0), the walk's target filter (Algorithm 1
+    // Line 10), as a stamped hop-distance map. The ball is a pure function
+    // of (graph, v0, hop_bound), so it can be replayed from the workspace's
+    // LRU cache when v0 was walked recently (restarts and repeated Extract
+    // calls revisit the same start nodes).
+    ws.hop_dist.Reset(g.num_nodes());
+    ws.ball_cache.Bind(graph_fp, config_.hop_bound);
+    if (const HopBall* cached = ws.ball_cache.Lookup(v0);
+        cached != nullptr) {
+      for (const auto& [node, dist] : cached->nodes) {
+        ws.hop_dist.Set(node, dist);
+      }
+    } else {
+      // Fill the cache entry in place: InsertSlot recycles the evicted
+      // ball's storage, so a warm cache builds balls without allocating.
+      HopBall& ball = ws.ball_cache.InsertSlot(v0);
+      ws.frontier.clear();
+      ws.frontier.push_back(v0);
+      ws.hop_dist.Set(v0, 0);
+      ball.nodes.emplace_back(v0, 0);
+      for (int h = 0; h < config_.hop_bound && !ws.frontier.empty(); ++h) {
+        ws.next_frontier.clear();
+        for (NodeId u : ws.frontier) {
           for (NodeId w : g.OutNeighbors(u)) {
-            if (hop_dist[w] < 0) {
-              hop_dist[w] = h + 1;
-              next.push_back(w);
+            if (!ws.hop_dist.Contains(w)) {
+              ws.hop_dist.Set(w, h + 1);
+              ball.nodes.emplace_back(w, h + 1);
+              ws.next_frontier.push_back(w);
             }
           }
         }
-        frontier = std::move(next);
+        std::swap(ws.frontier, ws.next_frontier);
       }
     }
 
-    std::unordered_set<NodeId> in_sub;
-    std::vector<NodeId> sub_nodes;
-    std::vector<NodeId> candidates;
-    in_sub.insert(v0);
-    sub_nodes.push_back(v0);
+    ws.visited.Reset(g.num_nodes());
+    ws.nodes.clear();
+    ws.visited.Insert(v0);
+    ws.nodes.push_back(v0);
     NodeId cur = v0;
 
     for (size_t l = 0; l < config_.walk_length; ++l) {
       if (walk_rng.Bernoulli(config_.restart_prob)) cur = v0;
       // Next node from N(cur) ∩ N_r(v0), uniformly.
-      candidates.clear();
+      ws.candidates.clear();
       for (NodeId w : g.OutNeighbors(cur)) {
-        if (hop_dist[w] >= 0 && is_allowed(w)) candidates.push_back(w);
+        if (ws.hop_dist.Contains(w) && is_allowed(w)) {
+          ws.candidates.push_back(w);
+        }
       }
-      if (candidates.empty()) {
+      if (ws.candidates.empty()) {
         ++out.dead_ends;
         cur = v0;  // Dead end: restart.
         continue;
       }
-      const NodeId next = candidates[walk_rng.UniformInt(candidates.size())];
+      const NodeId next =
+          ws.candidates[walk_rng.UniformInt(ws.candidates.size())];
       cur = next;
-      if (!in_sub.contains(next)) {
-        in_sub.insert(next);
-        sub_nodes.push_back(next);
+      if (!ws.visited.Contains(next)) {
+        ws.visited.Insert(next);
+        ws.nodes.push_back(next);
       }
-      if (sub_nodes.size() == config_.subgraph_size) {
-        Result<Subgraph> sub = InduceSubgraph(g, sub_nodes);
+      if (ws.nodes.size() == config_.subgraph_size) {
+        Result<Subgraph> sub = InduceSubgraph(
+            g, std::vector<NodeId>(ws.nodes.begin(), ws.nodes.end()));
         if (!sub.ok()) {
           out.status = sub.status();
         } else {
@@ -140,6 +166,8 @@ Result<SubgraphContainer> RwrSampler::Extract(
 
   const size_t threads = ResolveNumThreads(config_.num_threads);
   ThreadPool* pool = SharedPool(threads);
+  const size_t num_slots = pool == nullptr ? 1 : threads;
+  workspaces_.EnsureSlots(num_slots);
 
   Counter* accepted = nullptr;
   Counter* rejected = nullptr;
@@ -158,8 +186,11 @@ Result<SubgraphContainer> RwrSampler::Extract(
   for (size_t round = 0; round < starts.size(); round += kRoundSize) {
     const size_t round_end = std::min(starts.size(), round + kRoundSize);
     outcomes.assign(round_end - round, WalkOutcome{});
-    ParallelFor(pool, round, round_end, /*grain=*/16,
-                [&](size_t i) { run_walk(i, outcomes[i - round]); });
+    ParallelForWithSlots(pool, round, round_end, /*grain=*/16, num_slots,
+                         [&](size_t i, size_t slot) {
+                           run_walk(i, outcomes[i - round],
+                                    workspaces_.Acquire(slot));
+                         });
     for (WalkOutcome& out : outcomes) {
       PRIVIM_RETURN_NOT_OK(out.status);
       if (accepted != nullptr) {
@@ -172,6 +203,21 @@ Result<SubgraphContainer> RwrSampler::Extract(
       }
       if (out.produced) container.Add(std::move(out.sub));
     }
+  }
+
+  if (config_.metrics != nullptr) {
+    // "runtime." prefix: reuse and cache-hit rates depend on which slot
+    // served which walk, i.e. on scheduling — they are diagnostics outside
+    // the determinism contract, like the pool statistics.
+    const WorkspacePool::Stats stats = workspaces_.TakeStats();
+    config_.metrics->GetCounter("runtime.scratch.rwr.workspace_reuses")
+        ->Add(stats.map_fast_resets);
+    config_.metrics->GetCounter("runtime.scratch.rwr.workspace_inits")
+        ->Add(stats.map_full_resets);
+    config_.metrics->GetCounter("runtime.scratch.rwr.ball_cache_hits")
+        ->Add(stats.ball_cache_hits);
+    config_.metrics->GetCounter("runtime.scratch.rwr.ball_cache_misses")
+        ->Add(stats.ball_cache_misses);
   }
   return container;
 }

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
+#include "runtime/scratch.h"
 #include "sampling/container.h"
 
 namespace privim {
@@ -31,6 +32,10 @@ struct RwrConfig {
   /// Optional metrics sink ("sampler.rwr.*"): walk accept/reject and
   /// dead-end-restart counters, recorded from the walk outcomes at (serial)
   /// commit time, so the counts are bit-identical across thread counts.
+  /// Also receives the scheduling-dependent scratch diagnostics
+  /// ("runtime.scratch.rwr.workspace_reuses" / "workspace_inits" /
+  /// "ball_cache_hits" / "ball_cache_misses", docs/performance.md), which
+  /// are outside the determinism contract.
   MetricsRegistry* metrics = nullptr;
 };
 
@@ -42,9 +47,17 @@ struct RwrConfig {
 /// one subgraph of exactly `subgraph_size` unique nodes, all within the
 /// r-hop out-ball of v0; walks that fail to collect n nodes within L steps
 /// produce nothing (matching the paper's pseudo-code).
+/// A sampler instance owns per-worker scratch workspaces (stamped
+/// hop-distance maps, pooled walk buffers, the r-hop-ball LRU cache), so
+/// repeated Extract calls reuse memory instead of re-allocating per walk.
+/// Scratch never changes results — outputs stay a pure function of
+/// (graph, seed) — but it does mean one instance must not run two Extract
+/// calls concurrently (matching the runtime's single-orchestrator
+/// contract, docs/runtime.md).
 class RwrSampler {
  public:
   explicit RwrSampler(RwrConfig config);
+  ~RwrSampler();
 
   /// Runs the extraction over every potential start node of `g` using `rng`.
   /// `restrict_to` optionally limits start nodes and walk targets to a node
@@ -57,6 +70,9 @@ class RwrSampler {
 
  private:
   RwrConfig config_;
+  /// Slot-indexed scratch handed to the walk workers (mutable: scratch is
+  /// not observable state; see class comment for the concurrency rule).
+  mutable WorkspacePool workspaces_;
 };
 
 }  // namespace privim

@@ -20,7 +20,9 @@ namespace {
 
 bool IsDeterministicCounter(std::string_view name) {
   // Replay count depends on speculation timing; runtime.* counters depend
-  // on loop chunking (tasks_executed grows with the thread count).
+  // on loop chunking (tasks_executed grows with the thread count) or on
+  // which scratch slot served which work item (runtime.scratch.* workspace
+  // reuse / ball-cache hit rates).
   return name != "sampler.freq.stale_replays" &&
          name.substr(0, 8) != "runtime.";
 }

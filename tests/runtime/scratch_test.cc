@@ -1,0 +1,230 @@
+// Unit tests for the epoch-stamped scratch workspaces (runtime/scratch.h):
+// the VisitedMap/VisitedSet stamp invariant ("present iff stamp == epoch"),
+// the size-change and epoch-wrap full-reset paths, the HopBallCache LRU /
+// bind semantics and its storage recycling, and WorkspacePool slot identity
+// plus delta statistics.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/scratch.h"
+
+namespace privim {
+namespace {
+
+TEST(VisitedMapTest, SetGetContains) {
+  VisitedMap<int32_t> m;
+  m.Reset(8);
+  EXPECT_EQ(m.size(), 8u);
+  EXPECT_FALSE(m.Contains(3));
+  m.Set(3, 42);
+  EXPECT_TRUE(m.Contains(3));
+  EXPECT_EQ(m.Get(3), 42);
+  EXPECT_EQ(m.GetOr(3, -1), 42);
+  EXPECT_EQ(m.GetOr(4, -1), -1);
+}
+
+TEST(VisitedMapTest, ResetLogicallyClearsWithoutRezero) {
+  VisitedMap<int32_t> m;
+  m.Reset(16);
+  for (size_t i = 0; i < 16; ++i) m.Set(i, static_cast<int32_t>(i));
+  m.Reset(16);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_FALSE(m.Contains(i)) << i;
+    EXPECT_EQ(m.GetOr(i, -7), -7) << i;
+  }
+  // First Reset sized the map (full), the second only bumped the epoch.
+  EXPECT_EQ(m.full_resets(), 1u);
+  EXPECT_EQ(m.fast_resets(), 1u);
+}
+
+TEST(VisitedMapTest, SizeChangeForcesFullReset) {
+  VisitedMap<int32_t> m;
+  m.Reset(4);
+  m.Set(2, 9);
+  m.Reset(6);  // Different id space: stamps must be rebuilt.
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FALSE(m.Contains(2));
+  EXPECT_EQ(m.full_resets(), 2u);
+  m.Reset(6);
+  EXPECT_EQ(m.fast_resets(), 1u);
+}
+
+TEST(VisitedMapTest, EpochWrapDoesNotResurrectOldEntries) {
+  VisitedMap<int32_t> m;
+  m.Reset(4);
+  m.set_epoch_for_test(0xFFFFFFFFu);  // Stamp entries at the last epoch.
+  m.Set(1, 11);
+  m.Set(3, 33);
+  ASSERT_TRUE(m.Contains(1));
+  m.Reset(4);  // ++epoch wraps to 0 -> full re-zero, epoch restarts at 1.
+  EXPECT_FALSE(m.Contains(1));
+  EXPECT_FALSE(m.Contains(3));
+  EXPECT_EQ(m.full_resets(), 2u);
+  // The map still works normally after the wrap.
+  m.Set(1, 5);
+  EXPECT_TRUE(m.Contains(1));
+  EXPECT_EQ(m.Get(1), 5);
+}
+
+TEST(VisitedSetTest, InsertContainsReset) {
+  VisitedSet s;
+  s.Reset(5);
+  EXPECT_FALSE(s.Contains(0));
+  s.Insert(0);
+  s.Insert(4);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(2));
+  s.Reset(5);
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.fast_resets(), 1u);
+}
+
+TEST(VisitedSetTest, EpochWrapDoesNotResurrectOldEntries) {
+  VisitedSet s;
+  s.Reset(3);
+  s.set_epoch_for_test(0xFFFFFFFFu);
+  s.Insert(2);
+  ASSERT_TRUE(s.Contains(2));
+  s.Reset(3);
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_EQ(s.full_resets(), 2u);
+}
+
+HopBall MakeBall(std::vector<std::pair<uint32_t, int32_t>> nodes) {
+  HopBall b;
+  b.nodes = std::move(nodes);
+  return b;
+}
+
+TEST(HopBallCacheTest, LookupMissThenHit) {
+  HopBallCache cache(4);
+  cache.Bind(/*graph_fingerprint=*/1, /*hop_bound=*/2);
+  EXPECT_EQ(cache.Lookup(7), nullptr);
+  cache.InsertSlot(7) = MakeBall({{7, 0}, {8, 1}});
+  const HopBall* ball = cache.Lookup(7);
+  ASSERT_NE(ball, nullptr);
+  ASSERT_EQ(ball->nodes.size(), 2u);
+  EXPECT_EQ(ball->nodes[0].first, 7u);
+  EXPECT_EQ(ball->nodes[1].second, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(HopBallCacheTest, BindInvalidatesOnGraphOrHopBoundChange) {
+  HopBallCache cache(4);
+  cache.Bind(1, 2);
+  cache.InsertSlot(7) = MakeBall({{7, 0}});
+  ASSERT_NE(cache.Lookup(7), nullptr);
+
+  cache.Bind(1, 3);  // Same graph, different radius: balls are different.
+  EXPECT_EQ(cache.Lookup(7), nullptr);
+  cache.InsertSlot(7) = MakeBall({{7, 0}});
+
+  cache.Bind(2, 3);  // Different graph.
+  EXPECT_EQ(cache.Lookup(7), nullptr);
+
+  cache.Bind(2, 3);  // Re-binding the same context keeps entries.
+  cache.InsertSlot(9) = MakeBall({{9, 0}});
+  EXPECT_NE(cache.Lookup(9), nullptr);
+}
+
+TEST(HopBallCacheTest, EvictsLeastRecentlyUsed) {
+  HopBallCache cache(2);
+  cache.Bind(1, 2);
+  cache.InsertSlot(1) = MakeBall({{1, 0}});
+  cache.InsertSlot(2) = MakeBall({{2, 0}});
+  ASSERT_NE(cache.Lookup(1), nullptr);  // 1 is now more recent than 2.
+  cache.InsertSlot(3) = MakeBall({{3, 0}});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_NE(cache.Lookup(3), nullptr);
+  EXPECT_EQ(cache.Lookup(2), nullptr);  // 2 was the LRU victim.
+}
+
+TEST(HopBallCacheTest, InsertSlotRecyclesVictimStorage) {
+  HopBallCache cache(1);
+  cache.Bind(1, 2);
+  HopBall& first = cache.InsertSlot(1);
+  for (uint32_t i = 0; i < 1000; ++i) first.nodes.emplace_back(i, 0);
+  const size_t grown_capacity = first.nodes.capacity();
+  ASSERT_GE(grown_capacity, 1000u);
+
+  // Evicting start 1 must hand back the same buffer, logically empty but
+  // with its capacity intact — that is what makes a warm cache zero-alloc.
+  HopBall& second = cache.InsertSlot(2);
+  EXPECT_EQ(&second, &first);
+  EXPECT_TRUE(second.nodes.empty());
+  EXPECT_EQ(second.nodes.capacity(), grown_capacity);
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+}
+
+TEST(HopBallCacheTest, ReinsertingSameStartReusesItsEntry) {
+  HopBallCache cache(4);
+  cache.Bind(1, 2);
+  cache.InsertSlot(5) = MakeBall({{5, 0}, {6, 1}});
+  HopBall& again = cache.InsertSlot(5);
+  EXPECT_TRUE(again.nodes.empty());  // Cleared for refill, not duplicated.
+  again.nodes.emplace_back(5, 0);
+  EXPECT_EQ(cache.size(), 1u);
+  const HopBall* ball = cache.Lookup(5);
+  ASSERT_NE(ball, nullptr);
+  EXPECT_EQ(ball->nodes.size(), 1u);
+}
+
+TEST(HopBallCacheTest, ZeroCapacityCachesNothingButStaysUsable) {
+  HopBallCache cache(0);
+  cache.Bind(1, 2);
+  HopBall& slot = cache.InsertSlot(3);
+  slot.nodes.emplace_back(3, 0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(3), nullptr);
+}
+
+TEST(WorkspacePoolTest, SlotIdentityIsStableAndNeverShrinks) {
+  WorkspacePool pool;
+  pool.EnsureSlots(2);
+  Workspace* s0 = &pool.Acquire(0);
+  Workspace* s1 = &pool.Acquire(1);
+  EXPECT_NE(s0, s1);
+  pool.EnsureSlots(4);
+  EXPECT_EQ(&pool.Acquire(0), s0);  // Growth preserves existing slots.
+  EXPECT_EQ(&pool.Acquire(1), s1);
+  pool.EnsureSlots(1);  // Never shrinks.
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(WorkspacePoolTest, TakeStatsReportsDeltas) {
+  WorkspacePool pool;
+  pool.EnsureSlots(1);
+  Workspace& ws = pool.Acquire(0);
+  ws.visited.Reset(10);   // full (first sizing)
+  ws.visited.Reset(10);   // fast
+  ws.visited.Reset(10);   // fast
+  ws.hop_dist.Reset(10);  // full
+
+  WorkspacePool::Stats first = pool.TakeStats();
+  EXPECT_EQ(first.map_fast_resets, 2u);
+  EXPECT_EQ(first.map_full_resets, 2u);
+
+  // Nothing happened since: the delta is zero.
+  WorkspacePool::Stats second = pool.TakeStats();
+  EXPECT_EQ(second.map_fast_resets, 0u);
+  EXPECT_EQ(second.map_full_resets, 0u);
+
+  ws.ball_cache.Bind(1, 2);
+  ws.ball_cache.InsertSlot(3).nodes.emplace_back(3, 0);
+  (void)ws.ball_cache.Lookup(3);  // hit
+  (void)ws.ball_cache.Lookup(4);  // miss
+  WorkspacePool::Stats third = pool.TakeStats();
+  EXPECT_EQ(third.ball_cache_hits, 1u);
+  EXPECT_EQ(third.ball_cache_misses, 1u);
+}
+
+}  // namespace
+}  // namespace privim

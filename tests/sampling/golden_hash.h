@@ -1,0 +1,78 @@
+#ifndef PRIVIM_TESTS_SAMPLING_GOLDEN_HASH_H_
+#define PRIVIM_TESTS_SAMPLING_GOLDEN_HASH_H_
+
+// Canonical FNV-1a serialization of sampler/influence outputs, shared by
+// tools/golden_gen.cc (which pins the constants) and the golden
+// determinism tests (which recompute and compare). A hash mismatch means
+// some byte of the output — node ids, their order, edge sets, weights,
+// frequency vectors — changed.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sampling/container.h"
+#include "sampling/freq_sampler.h"
+
+namespace privim {
+
+class GoldenHasher {
+ public:
+  void Mix(uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (x >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void Mix(double d) { Mix(std::bit_cast<uint64_t>(d)); }
+  void Mix(float f) { Mix(static_cast<uint64_t>(std::bit_cast<uint32_t>(f))); }
+
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+};
+
+inline uint64_t HashNodeVector(const std::vector<NodeId>& nodes) {
+  GoldenHasher h;
+  h.Mix(static_cast<uint64_t>(nodes.size()));
+  for (NodeId v : nodes) h.Mix(static_cast<uint64_t>(v));
+  return h.value();
+}
+
+inline uint64_t HashContainer(const SubgraphContainer& c) {
+  GoldenHasher h;
+  h.Mix(static_cast<uint64_t>(c.size()));
+  for (const Subgraph& sub : c.subgraphs()) {
+    h.Mix(static_cast<uint64_t>(sub.nodes.size()));
+    for (NodeId v : sub.nodes) h.Mix(static_cast<uint64_t>(v));
+    for (const Edge& e : sub.local.Edges()) {
+      h.Mix(static_cast<uint64_t>(e.src));
+      h.Mix(static_cast<uint64_t>(e.dst));
+      h.Mix(e.weight);
+    }
+  }
+  return h.value();
+}
+
+inline uint64_t HashDualStage(const DualStageResult& r) {
+  GoldenHasher h;
+  h.Mix(HashContainer(r.container));
+  h.Mix(static_cast<uint64_t>(r.stage1_count));
+  h.Mix(static_cast<uint64_t>(r.stage2_count));
+  h.Mix(static_cast<uint64_t>(r.frequency.size()));
+  for (size_t f : r.frequency) h.Mix(static_cast<uint64_t>(f));
+  return h.value();
+}
+
+inline uint64_t HashRrSets(const std::vector<std::vector<NodeId>>& sets) {
+  GoldenHasher h;
+  h.Mix(static_cast<uint64_t>(sets.size()));
+  for (const auto& rr : sets) h.Mix(HashNodeVector(rr));
+  return h.value();
+}
+
+}  // namespace privim
+
+#endif  // PRIVIM_TESTS_SAMPLING_GOLDEN_HASH_H_

@@ -1,0 +1,143 @@
+// r-hop ball correctness tests for the RWR sampler (Algorithm 1).
+//
+// The sampler restricts every walk to the r-hop out-ball of its start node
+// and caches those balls in a per-workspace LRU (runtime/scratch.h). These
+// tests check the constraint against an independent brute-force BFS —
+// including the hop_bound = 0 and disconnected-start edge cases — and that
+// serving a ball from a warm cache is observationally identical to
+// computing it fresh.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "sampling/rwr_sampler.h"
+
+#include "golden_hash.h"
+
+namespace privim {
+namespace {
+
+constexpr int32_t kUnreached = std::numeric_limits<int32_t>::max();
+
+// Brute-force BFS hop distances from `start` over out-edges — the
+// reference implementation the sampler's stamped-map BFS must agree with.
+std::vector<int32_t> BfsDistances(const Graph& g, NodeId start) {
+  std::vector<int32_t> dist(g.num_nodes(), kUnreached);
+  dist[start] = 0;
+  std::vector<NodeId> frontier{start};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (dist[v] == kUnreached) {
+          dist[v] = dist[u] + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+TEST(RwrBallTest, EverySubgraphStaysInsideTheHopBall) {
+  Rng graph_rng(31);
+  const Graph g = std::move(BarabasiAlbert(200, 3, graph_rng)).ValueOrDie();
+
+  for (int hop_bound : {1, 2, 3}) {
+    SCOPED_TRACE(testing::Message() << "hop_bound " << hop_bound);
+    RwrConfig cfg;
+    cfg.subgraph_size = 8;
+    cfg.sampling_rate = 1.0;
+    cfg.hop_bound = hop_bound;
+    Rng rng(32);
+    auto c = std::move(RwrSampler(cfg).Extract(g, rng)).ValueOrDie();
+    ASSERT_GT(c.size(), 0u);
+    for (const Subgraph& sub : c.subgraphs()) {
+      ASSERT_EQ(sub.nodes.size(), cfg.subgraph_size);
+      // The walk records its start first (InduceSubgraph keeps visit order).
+      const std::vector<int32_t> dist = BfsDistances(g, sub.nodes[0]);
+      for (NodeId v : sub.nodes) {
+        ASSERT_NE(dist[v], kUnreached) << "node " << v << " unreachable";
+        EXPECT_LE(dist[v], hop_bound) << "node " << v << " outside ball";
+      }
+    }
+  }
+}
+
+TEST(RwrBallTest, HopBoundZeroYieldsNoSubgraphs) {
+  // The 0-hop ball is {start} alone, so no walk can ever reach the minimum
+  // subgraph size of 2 — the container must come back empty, not crash.
+  Rng graph_rng(33);
+  const Graph g = std::move(BarabasiAlbert(50, 3, graph_rng)).ValueOrDie();
+  RwrConfig cfg;
+  cfg.subgraph_size = 2;
+  cfg.sampling_rate = 1.0;
+  cfg.hop_bound = 0;
+  Rng rng(34);
+  auto c = std::move(RwrSampler(cfg).Extract(g, rng)).ValueOrDie();
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(RwrBallTest, DisconnectedStartsCannotCrossComponents) {
+  // Nodes 0..4 form a directed cycle; 5..8 are fully isolated. Walks from
+  // the cycle must stay inside it, walks from isolated nodes produce
+  // nothing (their ball is just themselves).
+  GraphBuilder builder(9);
+  for (NodeId v = 0; v < 5; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, (v + 1) % 5).ok());
+  }
+  const Graph g = std::move(builder.Build()).ValueOrDie();
+
+  RwrConfig cfg;
+  cfg.subgraph_size = 3;
+  cfg.sampling_rate = 1.0;
+  cfg.hop_bound = 4;
+  Rng rng(35);
+  auto c = std::move(RwrSampler(cfg).Extract(g, rng)).ValueOrDie();
+  ASSERT_GT(c.size(), 0u);
+  for (const Subgraph& sub : c.subgraphs()) {
+    for (NodeId v : sub.nodes) {
+      EXPECT_LT(v, 5u) << "isolated node " << v << " appeared in a subgraph";
+    }
+  }
+}
+
+TEST(RwrBallTest, WarmBallCacheIsObservationallyInvisible) {
+  // One sampler instance keeps its r-hop-ball cache across Extract calls.
+  // Re-running the same (graph, seed) on the warm instance must reproduce
+  // the cold run byte for byte, and match a fresh instance — the cache can
+  // change timings, never results.
+  Rng graph_rng(36);
+  const Graph g = std::move(BarabasiAlbert(150, 3, graph_rng)).ValueOrDie();
+  RwrConfig cfg;
+  cfg.subgraph_size = 10;
+  cfg.sampling_rate = 1.0;
+  cfg.hop_bound = 2;
+
+  RwrSampler warm(cfg);
+  Rng cold_rng(37);
+  auto cold = std::move(warm.Extract(g, cold_rng)).ValueOrDie();
+  const uint64_t cold_hash = HashContainer(cold);
+  ASSERT_GT(cold.size(), 0u);
+
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    Rng rng(37);
+    auto again = std::move(warm.Extract(g, rng)).ValueOrDie();
+    EXPECT_EQ(HashContainer(again), cold_hash) << "repeat " << repeat;
+  }
+
+  RwrSampler fresh(cfg);
+  Rng rng(37);
+  auto fresh_run = std::move(fresh.Extract(g, rng)).ValueOrDie();
+  EXPECT_EQ(HashContainer(fresh_run), cold_hash);
+}
+
+}  // namespace
+}  // namespace privim

@@ -20,14 +20,15 @@ cmake -B "$BUILD_DIR" -S . \
   -DPRIVIM_BUILD_BENCHMARKS=OFF \
   -DPRIVIM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target obs_test sampling_test im_test
+  --target obs_test sampling_test sampling_properties_test im_test
 
 export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}
 export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
 
 "$BUILD_DIR/tests/obs_test"
 "$BUILD_DIR/tests/sampling_test" \
-  --gtest_filter='FreqSampler*:RwrSampler*:SamplerDeterminism*'
+  --gtest_filter='FreqSampler*:RwrSampler*:SamplerDeterminism*:GoldenDeterminism*:RwrBall*'
+"$BUILD_DIR/tests/sampling_properties_test"
 "$BUILD_DIR/tests/im_test" \
   --gtest_filter='Celf*:Greedy*:InstrumentedOracle*'
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# One-command verification ladder, in increasing cost:
+#
+#   1. tier-1: Release build + the full unit/property ctest suite
+#      (labels: `ctest -L unit`, `-L property`, `-L sanitizer` select
+#      subsets; see tests/CMakeLists.txt);
+#   2. ASan:   sampler / influence suites under AddressSanitizer
+#              (tools/run_asan.sh, -DPRIVIM_SANITIZE=address);
+#   3. TSan:   runtime / sampler / IM suites under ThreadSanitizer
+#              (tools/run_tsan.sh, -DPRIVIM_SANITIZE=thread).
+#
+# Stages 2 and 3 configure their own build trees (build-asan/, build-tsan/)
+# and force PRIVIM_THREADS=4 so the pooled scratch workspaces and the
+# speculative sampler rounds run genuinely parallel under the sanitizers.
+#
+# Usage: tools/run_checks.sh [--tier1-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+echo "== stage 1/3: tier-1 build + ctest =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  echo "Tier-1 clean (sanitizer stages skipped)."
+  exit 0
+fi
+
+echo "== stage 2/3: AddressSanitizer =="
+BUILD_DIR=build-asan tools/run_asan.sh
+
+echo "== stage 3/3: ThreadSanitizer =="
+BUILD_DIR=build-tsan tools/run_tsan.sh
+
+echo "All checks clean."

@@ -20,7 +20,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DPRIVIM_BUILD_BENCHMARKS=OFF \
   -DPRIVIM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target runtime_test core_test sampling_test im_test
+  --target runtime_test core_test sampling_test sampling_properties_test \
+  im_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
@@ -28,7 +29,8 @@ export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
 "$BUILD_DIR/tests/runtime_test"
 "$BUILD_DIR/tests/core_test" --gtest_filter='Trainer*'
 "$BUILD_DIR/tests/sampling_test" \
-  --gtest_filter='SamplerDeterminism*:FreqSampler*:RwrSampler*'
+  --gtest_filter='SamplerDeterminism*:FreqSampler*:RwrSampler*:GoldenDeterminism*'
+"$BUILD_DIR/tests/sampling_properties_test"
 "$BUILD_DIR/tests/im_test" \
   --gtest_filter='EstimateIcSpread*:IcCascade*:RrSketch*:MonteCarloOracle*'
 
