@@ -1,0 +1,286 @@
+#include "ckpt/checkpoint.h"
+
+#include <cstring>
+
+#include "ckpt/binary_io.h"
+#include "common/string_util.h"
+
+namespace privim {
+
+namespace {
+
+// Format versions, bumped whenever a struct gains/loses/retypes a field.
+// The reader rejects any other version outright (no migration shims — a
+// checkpoint is transient state, not an archival format).
+constexpr uint32_t kTrainerVersion = 1;
+constexpr uint32_t kPipelineVersion = 1;
+constexpr uint32_t kTrainerKind = 1;
+constexpr uint32_t kPipelineKind = 2;
+
+void WriteRngState(BinaryWriter& w, const RngState& state) {
+  for (uint64_t word : state.s) w.WriteU64(word);
+  w.WriteDouble(state.gauss_spare);
+  w.WriteU8(state.has_gauss_spare ? 1 : 0);
+}
+
+Result<RngState> ReadRngState(BinaryReader& r) {
+  RngState state;
+  for (auto& word : state.s) {
+    PRIVIM_ASSIGN_OR_RETURN(word, r.ReadU64());
+  }
+  PRIVIM_ASSIGN_OR_RETURN(state.gauss_spare, r.ReadDouble());
+  PRIVIM_ASSIGN_OR_RETURN(uint8_t flag, r.ReadU8());
+  state.has_gauss_spare = flag != 0;
+  return state;
+}
+
+void WriteOptimizerState(BinaryWriter& w, const OptimizerState& state) {
+  w.WriteString(state.kind);
+  w.WriteI64(state.step);
+  w.WriteFloatVec(state.m);
+  w.WriteFloatVec(state.v);
+}
+
+Result<OptimizerState> ReadOptimizerState(BinaryReader& r) {
+  OptimizerState state;
+  PRIVIM_ASSIGN_OR_RETURN(state.kind, r.ReadString());
+  PRIVIM_ASSIGN_OR_RETURN(state.step, r.ReadI64());
+  PRIVIM_ASSIGN_OR_RETURN(state.m, r.ReadFloatVec());
+  PRIVIM_ASSIGN_OR_RETURN(state.v, r.ReadFloatVec());
+  return state;
+}
+
+void WriteGraph(BinaryWriter& w, const Graph& g) {
+  w.WriteU64(g.num_nodes());
+  const std::vector<Edge> edges = g.Edges();
+  w.WriteU64(edges.size());
+  for (const Edge& e : edges) {
+    w.WriteU32(e.src);
+    w.WriteU32(e.dst);
+    w.WriteFloat(e.weight);
+  }
+}
+
+Result<Graph> ReadGraph(BinaryReader& r) {
+  PRIVIM_ASSIGN_OR_RETURN(uint64_t num_nodes, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(uint64_t num_edges, r.ReadU64());
+  GraphBuilder builder(static_cast<size_t>(num_nodes));
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    PRIVIM_ASSIGN_OR_RETURN(uint32_t src, r.ReadU32());
+    PRIVIM_ASSIGN_OR_RETURN(uint32_t dst, r.ReadU32());
+    PRIVIM_ASSIGN_OR_RETURN(float weight, r.ReadFloat());
+    PRIVIM_RETURN_NOT_OK(builder.AddEdge(src, dst, weight));
+  }
+  // Edges were dumped in CSR order (sorted, deduplicated), so Build() is a
+  // content-identity round trip.
+  return builder.Build();
+}
+
+void WriteContainer(BinaryWriter& w, const SubgraphContainer& container) {
+  w.WriteU64(container.size());
+  for (const Subgraph& sub : container.subgraphs()) {
+    w.WriteU32Vec(sub.nodes);
+    WriteGraph(w, sub.local);
+  }
+}
+
+Result<SubgraphContainer> ReadContainer(BinaryReader& r) {
+  PRIVIM_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  SubgraphContainer container;
+  for (uint64_t i = 0; i < count; ++i) {
+    Subgraph sub;
+    PRIVIM_ASSIGN_OR_RETURN(sub.nodes, r.ReadU32Vec());
+    PRIVIM_ASSIGN_OR_RETURN(sub.local, ReadGraph(r));
+    container.Add(std::move(sub));
+  }
+  return container;
+}
+
+void WriteAccountantState(BinaryWriter& w, const AccountantState& state) {
+  w.WriteU64(state.spec.max_occurrences);
+  w.WriteU64(state.spec.container_size);
+  w.WriteU64(state.spec.batch_size);
+  w.WriteU64(state.spec.iterations);
+  w.WriteDouble(state.spec.clip_bound);
+  w.WriteDouble(state.sigma);
+  w.WriteDouble(state.delta);
+  w.WriteDouble(state.epsilon_spent);
+  w.WriteDoubleVec(state.ledger);
+}
+
+Result<AccountantState> ReadAccountantState(BinaryReader& r) {
+  AccountantState state;
+  PRIVIM_ASSIGN_OR_RETURN(uint64_t max_occ, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(uint64_t container, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(uint64_t batch, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(uint64_t iterations, r.ReadU64());
+  state.spec.max_occurrences = static_cast<size_t>(max_occ);
+  state.spec.container_size = static_cast<size_t>(container);
+  state.spec.batch_size = static_cast<size_t>(batch);
+  state.spec.iterations = static_cast<size_t>(iterations);
+  PRIVIM_ASSIGN_OR_RETURN(state.spec.clip_bound, r.ReadDouble());
+  PRIVIM_ASSIGN_OR_RETURN(state.sigma, r.ReadDouble());
+  PRIVIM_ASSIGN_OR_RETURN(state.delta, r.ReadDouble());
+  PRIVIM_ASSIGN_OR_RETURN(state.epsilon_spent, r.ReadDouble());
+  PRIVIM_ASSIGN_OR_RETURN(state.ledger, r.ReadDoubleVec());
+  return state;
+}
+
+void RecordWrite(MetricsRegistry* metrics, size_t bytes) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("ckpt.writes")->Add(1);
+  metrics->GetCounter("ckpt.write_bytes")->Add(bytes);
+}
+
+void RecordLoad(MetricsRegistry* metrics, size_t bytes) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("ckpt.restores")->Add(1);
+  metrics->GetCounter("ckpt.restore_bytes")->Add(bytes);
+}
+
+}  // namespace
+
+std::string PipelineCheckpointPath(const std::string& dir) {
+  return dir + "/pipeline.ckpt";
+}
+
+std::string TrainerCheckpointPath(const std::string& dir) {
+  return dir + "/train.ckpt";
+}
+
+Status SaveTrainerState(const TrainerState& state, const std::string& path,
+                        MetricsRegistry* metrics) {
+  ScopedTimer timer(metrics ? metrics->GetTimer("ckpt.write") : nullptr);
+  BinaryWriter w(kTrainerVersion, kTrainerKind);
+  w.WriteU64(state.iteration);
+  w.WriteFloatVec(state.params);
+  WriteOptimizerState(w, state.optimizer);
+  WriteRngState(w, state.rng);
+  w.WriteDoubleVec(state.tail_sum);
+  w.WriteU64(state.tail_count);
+  w.WriteDoubleVec(state.losses);
+  w.WriteDoubleVec(state.grad_norms);
+  w.WriteDouble(state.norm_accum);
+  w.WriteU64(state.norm_count);
+  PRIVIM_RETURN_NOT_OK(w.Commit(path));
+  RecordWrite(metrics, w.payload_size());
+  return Status::OK();
+}
+
+Result<TrainerState> LoadTrainerState(const std::string& path,
+                                      MetricsRegistry* metrics) {
+  ScopedTimer timer(metrics ? metrics->GetTimer("ckpt.restore") : nullptr);
+  PRIVIM_ASSIGN_OR_RETURN(
+      BinaryReader r, BinaryReader::Open(path, kTrainerVersion, kTrainerKind));
+  TrainerState state;
+  PRIVIM_ASSIGN_OR_RETURN(state.iteration, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(state.params, r.ReadFloatVec());
+  PRIVIM_ASSIGN_OR_RETURN(state.optimizer, ReadOptimizerState(r));
+  PRIVIM_ASSIGN_OR_RETURN(state.rng, ReadRngState(r));
+  PRIVIM_ASSIGN_OR_RETURN(state.tail_sum, r.ReadDoubleVec());
+  PRIVIM_ASSIGN_OR_RETURN(state.tail_count, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(state.losses, r.ReadDoubleVec());
+  PRIVIM_ASSIGN_OR_RETURN(state.grad_norms, r.ReadDoubleVec());
+  PRIVIM_ASSIGN_OR_RETURN(state.norm_accum, r.ReadDouble());
+  PRIVIM_ASSIGN_OR_RETURN(state.norm_count, r.ReadU64());
+  if (!r.AtEnd()) {
+    return Status::IoError(StrFormat(
+        "'%s' has %zu trailing bytes after the trainer state", path.c_str(),
+        r.remaining()));
+  }
+  RecordLoad(metrics, r.payload_size());
+  return state;
+}
+
+Status SavePipelineState(const PipelineState& state, const std::string& path,
+                         MetricsRegistry* metrics) {
+  ScopedTimer timer(metrics ? metrics->GetTimer("ckpt.write") : nullptr);
+  BinaryWriter w(kPipelineVersion, kPipelineKind);
+  w.WriteU32(static_cast<uint32_t>(state.stage));
+  w.WriteU64(state.fingerprint);
+  WriteRngState(w, state.rng);
+  WriteContainer(w, state.container);
+  w.WriteU64(state.occurrence_bound);
+  w.WriteU64(state.container_size);
+  w.WriteU64(state.stage1_count);
+  w.WriteU64(state.stage2_count);
+  w.WriteU64(state.audited_max_occurrence);
+  w.WriteDouble(state.preprocessing_seconds);
+  WriteAccountantState(w, state.accountant);
+  w.WriteDouble(state.clip_bound);
+  w.WriteFloat(state.learning_rate);
+  w.WriteDouble(state.noise_stddev);
+  w.WriteU32(state.noise_kind);
+  w.WriteU64(state.batch_size);
+  w.WriteFloatVec(state.model_params);
+  w.WriteDouble(state.per_epoch_seconds);
+  w.WriteDouble(state.final_loss);
+  PRIVIM_RETURN_NOT_OK(w.Commit(path));
+  RecordWrite(metrics, w.payload_size());
+  return Status::OK();
+}
+
+Result<PipelineState> LoadPipelineState(const std::string& path,
+                                        MetricsRegistry* metrics) {
+  ScopedTimer timer(metrics ? metrics->GetTimer("ckpt.restore") : nullptr);
+  PRIVIM_ASSIGN_OR_RETURN(
+      BinaryReader r,
+      BinaryReader::Open(path, kPipelineVersion, kPipelineKind));
+  PipelineState state;
+  PRIVIM_ASSIGN_OR_RETURN(uint32_t stage, r.ReadU32());
+  if (stage > static_cast<uint32_t>(PipelineStage::kTrained)) {
+    return Status::IoError(
+        StrFormat("'%s' holds unknown pipeline stage %u", path.c_str(),
+                  stage));
+  }
+  state.stage = static_cast<PipelineStage>(stage);
+  PRIVIM_ASSIGN_OR_RETURN(state.fingerprint, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(state.rng, ReadRngState(r));
+  PRIVIM_ASSIGN_OR_RETURN(state.container, ReadContainer(r));
+  PRIVIM_ASSIGN_OR_RETURN(state.occurrence_bound, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(state.container_size, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(state.stage1_count, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(state.stage2_count, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(state.audited_max_occurrence, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(state.preprocessing_seconds, r.ReadDouble());
+  PRIVIM_ASSIGN_OR_RETURN(state.accountant, ReadAccountantState(r));
+  PRIVIM_ASSIGN_OR_RETURN(state.clip_bound, r.ReadDouble());
+  PRIVIM_ASSIGN_OR_RETURN(state.learning_rate, r.ReadFloat());
+  PRIVIM_ASSIGN_OR_RETURN(state.noise_stddev, r.ReadDouble());
+  PRIVIM_ASSIGN_OR_RETURN(state.noise_kind, r.ReadU32());
+  PRIVIM_ASSIGN_OR_RETURN(state.batch_size, r.ReadU64());
+  PRIVIM_ASSIGN_OR_RETURN(state.model_params, r.ReadFloatVec());
+  PRIVIM_ASSIGN_OR_RETURN(state.per_epoch_seconds, r.ReadDouble());
+  PRIVIM_ASSIGN_OR_RETURN(state.final_loss, r.ReadDouble());
+  if (!r.AtEnd()) {
+    return Status::IoError(StrFormat(
+        "'%s' has %zu trailing bytes after the pipeline state", path.c_str(),
+        r.remaining()));
+  }
+  RecordLoad(metrics, r.payload_size());
+  return state;
+}
+
+uint64_t GraphContentFingerprint(const Graph& g, uint64_t seed) {
+  uint64_t h = seed;
+  auto mix_u64 = [&h](uint64_t v) {
+    uint8_t bytes[8];
+    std::memcpy(bytes, &v, sizeof(bytes));
+    h = Fnv1a({bytes, sizeof(bytes)}, h);
+  };
+  mix_u64(g.num_nodes());
+  mix_u64(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto neighbors = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      uint32_t wbits = 0;
+      std::memcpy(&wbits, &weights[i], sizeof(wbits));
+      mix_u64((static_cast<uint64_t>(u) << 32) | neighbors[i]);
+      mix_u64(wbits);
+    }
+  }
+  return h;
+}
+
+}  // namespace privim

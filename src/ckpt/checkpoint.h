@@ -1,0 +1,161 @@
+#ifndef PRIVIM_CKPT_CHECKPOINT_H_
+#define PRIVIM_CKPT_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dp/privacy_params.h"
+#include "graph/graph.h"
+#include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "sampling/container.h"
+
+namespace privim {
+
+/// Checkpoint/resume subsystem (the durable-state layer of the pipeline).
+///
+/// A PrivIM run is Extract -> Calibrate -> Train -> Select -> Evaluate;
+/// training alone is hundreds of DP-SGD iterations, and a crash anywhere
+/// used to throw the whole run away — including the privacy budget already
+/// spent. This layer persists two kinds of versioned binary snapshots
+/// (binary_io.h format) into a caller-chosen directory:
+///
+///  * `pipeline.ckpt` — one per stage boundary, holding everything the
+///    remaining stages need: partial run outputs, the subgraph container,
+///    the calibrated DP parameters and epsilon ledger, the trained model,
+///    and the caller RNG state at the commit point.
+///  * `train.ckpt`    — periodic mid-training snapshots: parameters,
+///    optimizer moments, tail-averaging accumulator, running stats, and
+///    the trainer RNG state at an iteration boundary.
+///
+/// Every scalar round-trips bit-exactly (raw IEEE bits), every RNG is
+/// captured including its Box-Muller spare, and float accumulations are
+/// restored rather than recomputed — so a resumed run's seed set, spread,
+/// and epsilon_spent are bit-identical to the uninterrupted run at any
+/// thread count (proven by tests/ckpt/resume_test.cc under fail-point
+/// kills, see failpoint.h).
+///
+/// Privacy note: checkpoints contain the noisy DP-SGD iterates and the
+/// accountant's ledger — all outputs of the private mechanism — plus the
+/// extracted subgraph container. The container is *training data*, not a
+/// private release: checkpoint directories must be treated with the same
+/// confidentiality as the input graph itself (docs/api.md).
+
+/// Where and how often to checkpoint. Embedded in PrivImConfig.
+struct CheckpointOptions {
+  /// Directory for the snapshot files; empty disables checkpointing.
+  std::string dir;
+  /// Resume from the snapshots in `dir` when present (a missing file means
+  /// a fresh run; a fingerprint mismatch is an error, not a silent
+  /// restart).
+  bool resume = false;
+  /// Training iterations between `train.ckpt` writes (>= 1).
+  size_t train_every = 10;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Snapshot file names within CheckpointOptions::dir.
+std::string PipelineCheckpointPath(const std::string& dir);
+std::string TrainerCheckpointPath(const std::string& dir);
+
+/// Complete mid-training state at an iteration boundary: everything
+/// TrainDpGnn needs to continue as if it had never stopped.
+struct TrainerState {
+  /// Next iteration to execute (the first `iteration` iterations are
+  /// complete and folded into the fields below).
+  uint64_t iteration = 0;
+  std::vector<float> params;
+  OptimizerState optimizer;
+  RngState rng;
+  /// Polyak tail-averaging accumulator (double precision, restored bit-
+  /// exactly so the final average cannot drift).
+  std::vector<double> tail_sum;
+  uint64_t tail_count = 0;
+  /// Per-iteration running stats for TrainStats continuity.
+  std::vector<double> losses;
+  std::vector<double> grad_norms;
+  double norm_accum = 0.0;
+  uint64_t norm_count = 0;
+
+  bool operator==(const TrainerState&) const = default;
+};
+
+Status SaveTrainerState(const TrainerState& state, const std::string& path,
+                        MetricsRegistry* metrics = nullptr);
+Result<TrainerState> LoadTrainerState(const std::string& path,
+                                      MetricsRegistry* metrics = nullptr);
+
+/// The privacy-accounting outcome of the calibration stage: the spec the
+/// accountant was built from, the calibrated noise multiplier, and the
+/// per-iteration epsilon ledger. Persisting the ledger is what lets a
+/// resumed run report cumulative epsilon for iterations it never re-ran.
+struct AccountantState {
+  DpSgdSpec spec;
+  double sigma = 0.0;
+  double delta = 0.0;
+  double epsilon_spent = 0.0;
+  std::vector<double> ledger;
+
+  bool operator==(const AccountantState&) const = default;
+};
+
+/// Pipeline progress marker. Ordering is meaningful: a checkpoint at stage
+/// S contains everything stages <= S produced.
+enum class PipelineStage : uint32_t {
+  kNone = 0,
+  kExtracted = 1,   // Module 1 done: container + occurrence audit.
+  kCalibrated = 2,  // Module 2 done: clip bound, sigma, ledger.
+  kTrained = 3,     // Module 3 done: final model parameters.
+};
+
+/// One stage-boundary snapshot of RunMethod. Fields are populated
+/// cumulatively as `stage` advances; the container is dropped once the
+/// model is trained (nothing downstream reads it).
+struct PipelineState {
+  PipelineStage stage = PipelineStage::kNone;
+  /// Binds the snapshot to (config, train graph, eval graph); resuming
+  /// against anything else is rejected.
+  uint64_t fingerprint = 0;
+  /// Caller RNG at this stage's commit point.
+  RngState rng;
+
+  // ---- kExtracted ----
+  SubgraphContainer container;
+  uint64_t occurrence_bound = 0;
+  uint64_t container_size = 0;
+  uint64_t stage1_count = 0;
+  uint64_t stage2_count = 0;
+  uint64_t audited_max_occurrence = 0;
+  double preprocessing_seconds = 0.0;
+
+  // ---- kCalibrated ----
+  AccountantState accountant;
+  double clip_bound = 0.0;
+  float learning_rate = 0.0f;
+  double noise_stddev = 0.0;
+  uint32_t noise_kind = 0;
+  uint64_t batch_size = 0;
+
+  // ---- kTrained ----
+  std::vector<float> model_params;
+  double per_epoch_seconds = 0.0;
+  double final_loss = 0.0;
+};
+
+Status SavePipelineState(const PipelineState& state, const std::string& path,
+                         MetricsRegistry* metrics = nullptr);
+Result<PipelineState> LoadPipelineState(const std::string& path,
+                                        MetricsRegistry* metrics = nullptr);
+
+/// Content fingerprint of a graph (nodes, arcs, weights). Unlike
+/// Graph::IdentityFingerprint this hashes the *content*, so the same
+/// dataset re-synthesized in a new process matches — exactly what resume
+/// needs.
+uint64_t GraphContentFingerprint(const Graph& g, uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace privim
+
+#endif  // PRIVIM_CKPT_CHECKPOINT_H_

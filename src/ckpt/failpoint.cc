@@ -1,0 +1,134 @@
+#include "ckpt/failpoint.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace privim {
+
+namespace {
+
+struct FailpointRegistry {
+  std::mutex mu;
+  bool env_checked = false;
+  bool armed = false;
+  FailpointSpec spec;
+  int hits_remaining = 0;
+};
+
+FailpointRegistry& Registry() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+/// Fast-path gate: true while any fail point might be armed. Starts true
+/// only in the "environment not yet inspected" state so that processes
+/// without PRIVIM_FAILPOINT settle to a single relaxed load per hit.
+std::atomic<bool> g_maybe_armed{true};
+
+void LoadFromEnvLocked(FailpointRegistry& reg) {
+  reg.env_checked = true;
+  const char* env = std::getenv("PRIVIM_FAILPOINT");
+  if (env == nullptr || env[0] == '\0') return;
+  Result<FailpointSpec> parsed = ParseFailpointSpec(env);
+  // A malformed spec must not silently run without fault injection — the
+  // test would "pass" while proving nothing — so fail loudly.
+  PRIVIM_CHECK(parsed.ok()) << "bad PRIVIM_FAILPOINT: "
+                            << parsed.status().ToString();
+  reg.armed = true;
+  reg.spec = *parsed;
+  reg.hits_remaining = reg.spec.skip;
+}
+
+}  // namespace
+
+Result<FailpointSpec> ParseFailpointSpec(std::string_view spec) {
+  FailpointSpec out;
+  size_t start = 0;
+  size_t field = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(':', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view token = spec.substr(start, end - start);
+    if (field == 0) {
+      if (token.empty()) {
+        return Status::InvalidArgument("failpoint spec has an empty name");
+      }
+      out.name = std::string(token);
+    } else if (token == "exit") {
+      out.action = FailpointAction::kExit;
+    } else if (token == "status") {
+      out.action = FailpointAction::kStatus;
+    } else if (token.rfind("skip=", 0) == 0) {
+      const std::string digits(token.substr(5));
+      char* parse_end = nullptr;
+      const long v = std::strtol(digits.c_str(), &parse_end, 10);
+      if (digits.empty() || *parse_end != '\0' || v < 0) {
+        return Status::InvalidArgument(
+            StrFormat("bad failpoint skip count '%s'", digits.c_str()));
+      }
+      out.skip = static_cast<int>(v);
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "unknown failpoint token '%s' (want exit|status|skip=N)",
+          std::string(token).c_str()));
+    }
+    ++field;
+    start = end + 1;
+    if (end == spec.size()) break;
+  }
+  return out;
+}
+
+Status Failpoint(std::string_view name) {
+  if (!g_maybe_armed.load(std::memory_order_relaxed)) return Status::OK();
+  FailpointRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (!reg.env_checked) LoadFromEnvLocked(reg);
+  if (!reg.armed) {
+    g_maybe_armed.store(false, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  if (reg.spec.name != name) return Status::OK();
+  if (reg.hits_remaining > 0) {
+    --reg.hits_remaining;
+    return Status::OK();
+  }
+  if (reg.spec.action == FailpointAction::kExit) {
+    // _exit, not exit: no atexit handlers, no stream flushing, no static
+    // destructors — the injected fault must look like a hard kill, so the
+    // only state a resumed run can lean on is what was already committed.
+    _exit(kFailpointExitCode);
+  }
+  reg.armed = false;
+  g_maybe_armed.store(false, std::memory_order_relaxed);
+  return Status::Aborted(
+      StrFormat("failpoint '%s' hit", std::string(name).c_str()));
+}
+
+void ArmFailpoint(std::string_view name, FailpointAction action, int skip) {
+  FailpointRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.env_checked = true;  // Programmatic arming overrides the environment.
+  reg.armed = true;
+  reg.spec.name = std::string(name);
+  reg.spec.action = action;
+  reg.spec.skip = skip;
+  reg.hits_remaining = skip;
+  g_maybe_armed.store(true, std::memory_order_relaxed);
+}
+
+void ClearFailpoints() {
+  FailpointRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.env_checked = true;
+  reg.armed = false;
+  g_maybe_armed.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace privim

@@ -1,0 +1,75 @@
+#ifndef PRIVIM_CKPT_FAILPOINT_H_
+#define PRIVIM_CKPT_FAILPOINT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace privim {
+
+/// Fault-injection hooks for the checkpoint/resume tests (off by default).
+///
+/// A *fail point* is a named commit point in the pipeline — always placed
+/// immediately AFTER a checkpoint write has committed — where an armed
+/// harness interrupts execution. Tests use them to prove that a run killed
+/// at any commit point and resumed from the surviving files reproduces the
+/// uninterrupted run bit for bit, instead of assuming it.
+///
+/// Two interruption styles:
+///  * kStatus — Failpoint() returns Status::Aborted, which unwinds the
+///    pipeline like any other error. In-process tests use this and then
+///    call the pipeline again with resume enabled.
+///  * kExit — the process dies on the spot via _exit(kFailpointExitCode),
+///    with no destructors and no buffered-stream flushing: the closest
+///    portable approximation of a kill -9 / power loss. Subprocess tests
+///    and CLI experiments use this.
+///
+/// Arming is either programmatic (ArmFailpoint, tests) or via the
+/// PRIVIM_FAILPOINT environment variable (CLI runs):
+///
+///   PRIVIM_FAILPOINT=<name>[:exit|:status][:skip=<n>]
+///
+/// e.g. PRIVIM_FAILPOINT=privim.ckpt.train:exit:skip=2 kills the process
+/// at the third hit of the mid-training commit point. The environment is
+/// read once, at the first Failpoint() call.
+///
+/// Cost when nothing is armed: one relaxed atomic load.
+
+/// Exit code used by the kExit action (distinct from ordinary failures so
+/// harnesses can assert the death was the injected one).
+inline constexpr int kFailpointExitCode = 42;
+
+enum class FailpointAction {
+  kStatus,
+  kExit,
+};
+
+/// Checks the named fail point. Returns OK when unarmed or when the armed
+/// name does not match; consumes one skip otherwise; then aborts per the
+/// armed action.
+Status Failpoint(std::string_view name);
+
+/// Arms `name` programmatically. `skip` hits pass through before the
+/// action triggers (hit skip+1 aborts). Replaces any previous arming and
+/// suppresses environment parsing for the process lifetime.
+void ArmFailpoint(std::string_view name, FailpointAction action,
+                  int skip = 0);
+
+/// Disarms everything (and keeps the environment suppressed — tests that
+/// cleared a fail point must not have it resurrected by a stale variable).
+void ClearFailpoints();
+
+/// Parses a PRIVIM_FAILPOINT-style spec. Exposed for unit tests; returns
+/// InvalidArgument on a malformed action or skip token.
+struct FailpointSpec {
+  std::string name;
+  FailpointAction action = FailpointAction::kExit;
+  int skip = 0;
+};
+Result<FailpointSpec> ParseFailpointSpec(std::string_view spec);
+
+}  // namespace privim
+
+#endif  // PRIVIM_CKPT_FAILPOINT_H_

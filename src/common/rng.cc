@@ -141,6 +141,30 @@ Rng Rng::Split(uint64_t stream_id) {
   return FromStreamKey(NextUint64(), stream_id);
 }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (size_t i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.gauss_spare = gauss_spare_;
+  state.has_gauss_spare = has_gauss_spare_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  // All-zero xoshiro state is degenerate (the sequence is constant zero);
+  // it can only come from a hand-built or corrupted RngState, never from
+  // SaveState of a live generator.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  gauss_spare_ = state.gauss_spare;
+  has_gauss_spare_ = state.has_gauss_spare;
+}
+
+Rng Rng::FromState(const RngState& state) {
+  Rng rng(0);
+  rng.RestoreState(state);
+  return rng;
+}
+
 Rng Rng::FromStreamKey(uint64_t base_key, uint64_t stream_id) {
   // Weyl-step the key by the stream id (golden-ratio increment, as in
   // SplitMix64 itself) and run one full mixing round. The first SplitMix64

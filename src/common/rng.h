@@ -7,6 +7,18 @@
 
 namespace privim {
 
+/// The complete serializable state of an `Rng`: the four xoshiro256** words
+/// plus the cached Box-Muller spare. Restoring a saved state resumes the
+/// exact draw sequence — including a pending Gaussian half-pair — which is
+/// what makes checkpointed runs bit-identical after resume (src/ckpt/).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  double gauss_spare = 0.0;
+  bool has_gauss_spare = false;
+
+  bool operator==(const RngState&) const = default;
+};
+
 /// SplitMix64 — used for seeding and as a simple stateless mixer.
 ///
 /// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
@@ -96,6 +108,16 @@ class Rng {
   /// Pure-function child derivation: the generator for stream `stream_id`
   /// under `base_key`. Same inputs, same stream — on any thread.
   static Rng FromStreamKey(uint64_t base_key, uint64_t stream_id);
+
+  /// Snapshot of the full generator state (checkpointing).
+  RngState SaveState() const;
+
+  /// Overwrites the generator with a previously saved state; the next draw
+  /// continues the captured sequence exactly.
+  void RestoreState(const RngState& state);
+
+  /// A generator positioned at `state` (RestoreState as a factory).
+  static Rng FromState(const RngState& state);
 
  private:
   uint64_t s_[4];

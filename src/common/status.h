@@ -22,6 +22,11 @@ enum class StatusCode : int {
   kInternal = 6,
   kUnimplemented = 7,
   kIoError = 8,
+  /// The operation was deliberately interrupted before completion (e.g. an
+  /// armed fail point, src/ckpt/failpoint.h). Unlike the other codes this
+  /// does not indicate a defect: partial state already committed to disk is
+  /// valid and a resumed run continues from it.
+  kAborted = 9,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -70,6 +75,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -55,6 +55,7 @@ Result<MethodEval> EvaluateMethod(const DatasetInstance& instance,
   if (repeats == 0) {
     return Status::InvalidArgument("repeats must be positive");
   }
+  PRIVIM_RETURN_NOT_OK(config.Validate());
   MethodEval eval;
   eval.method = config.method;
   std::vector<double> spreads;
@@ -63,9 +64,17 @@ Result<MethodEval> EvaluateMethod(const DatasetInstance& instance,
   std::vector<double> epoch_seconds;
   for (size_t rep = 0; rep < repeats; ++rep) {
     Rng rng(seed + 0x9e37 * (rep + 1));
+    // Each repeat is its own pipeline run, so it gets its own snapshot
+    // directory — an interrupted sweep resumes mid-repeat without
+    // disturbing the repeats already finished.
+    PrivImConfig rep_config = config;
+    if (config.checkpoint.enabled()) {
+      rep_config.checkpoint.dir =
+          config.checkpoint.dir + "/rep" + std::to_string(rep);
+    }
     PRIVIM_ASSIGN_OR_RETURN(
         PrivImRunResult run,
-        RunMethod(instance.train_graph, instance.eval_graph, config, rng,
+        RunMethod(instance.train_graph, instance.eval_graph, rep_config, rng,
                   /*model_out=*/nullptr, telemetry));
     spreads.push_back(run.spread);
     coverages.push_back(

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "core/trainer.h"
@@ -83,7 +84,28 @@ struct PrivImConfig {
   size_t eval_trials = 64;
   /// SIS recovery probability (kSis only).
   double sis_recovery = 0.3;
+
+  /// Checkpoint/resume policy (src/ckpt/). When `checkpoint.dir` is set,
+  /// RunMethod commits a pipeline snapshot at every stage boundary and a
+  /// trainer snapshot every `checkpoint.train_every` iterations; with
+  /// `checkpoint.resume` it continues from the latest snapshot instead of
+  /// recomputing, with bit-identical results (docs/api.md).
+  CheckpointOptions checkpoint;
+
+  /// Validates every stage's parameters in one pass, returning the first
+  /// violation as InvalidArgument with a field-path message (e.g.
+  /// "train.batch_size must be >= 1, got 0"). RunMethod and EvaluateMethod
+  /// call this before touching any graph, so a bad configuration fails
+  /// fast instead of deep inside a sampler or the trainer.
+  Status Validate() const;
 };
+
+/// Stable token for an evaluation diffusion model ("exact" / "mc" / "lt" /
+/// "sis"); round-trips through ParseEvalDiffusion. Mirrors
+/// MethodName/ParseMethod.
+std::string EvalDiffusionName(PrivImConfig::EvalDiffusion diffusion);
+Result<PrivImConfig::EvalDiffusion> ParseEvalDiffusion(
+    const std::string& name);
 
 /// Outcome of one run: the private seed set plus telemetry for the paper's
 /// efficiency and accounting tables.

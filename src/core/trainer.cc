@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/failpoint.h"
 #include "common/math_util.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -111,6 +112,42 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
   stats.losses.reserve(config.iterations);
   double norm_accum = 0.0;
   size_t norm_count = 0;
+
+  // Mid-training resume: restore every piece of loop state bit-exactly and
+  // continue from the saved iteration as if the interruption never
+  // happened. The RNG state carries the caller's stream position (so the
+  // batch draws and noise draws line up with the uninterrupted run), and
+  // the tail accumulator is restored rather than recomputed so the final
+  // parameter average cannot drift.
+  size_t start_iteration = 0;
+  if (config.resume != nullptr) {
+    const TrainerState& r = *config.resume;
+    if (r.params.size() != dim) {
+      return Status::FailedPrecondition(StrFormat(
+          "trainer checkpoint has %zu parameters, model has %zu",
+          r.params.size(), dim));
+    }
+    if (r.iteration > config.iterations) {
+      return Status::FailedPrecondition(StrFormat(
+          "trainer checkpoint is at iteration %llu but the run has only %zu",
+          static_cast<unsigned long long>(r.iteration), config.iterations));
+    }
+    if (config.tail_averaging && !r.tail_sum.empty() &&
+        r.tail_sum.size() != dim) {
+      return Status::FailedPrecondition(
+          "trainer checkpoint tail accumulator size mismatch");
+    }
+    PRIVIM_RETURN_NOT_OK(optimizer->RestoreState(r.optimizer));
+    model.params().LoadParams(r.params);
+    rng.RestoreState(r.rng);
+    if (config.tail_averaging && !r.tail_sum.empty()) tail_sum = r.tail_sum;
+    tail_count = r.tail_count;
+    stats.losses = r.losses;
+    stats.grad_norms = r.grad_norms;
+    norm_accum = r.norm_accum;
+    norm_count = r.norm_count;
+    start_iteration = r.iteration;
+  }
   WallTimer timer;
 
   // Telemetry instruments, registered once outside the hot loop. Everything
@@ -153,7 +190,10 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
     }
   };
 
-  for (size_t t = 0; t < config.iterations; ++t) {
+  MetricsRegistry* ckpt_metrics =
+      config.telemetry != nullptr ? &config.telemetry->metrics : nullptr;
+
+  for (size_t t = start_iteration; t < config.iterations; ++t) {
     ScopedTimer iter_scope(iter_timer);
     // Line 5: draw the batch up front. The caller's RNG consumption (B
     // uniform draws, then the noise draw) is identical to the serial
@@ -260,6 +300,31 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
       for (size_t i = 0; i < dim; ++i) tail_sum[i] += snapshot[i];
       ++tail_count;
     }
+
+    // Periodic durable snapshot at the iteration boundary. Everything the
+    // loop mutates is captured: the next resume replays from here with
+    // identical RNG consumption. The fail point fires only after Commit
+    // has renamed the file into place, so an injected kill always leaves a
+    // loadable checkpoint.
+    if (!config.checkpoint_path.empty() && config.checkpoint_every > 0 &&
+        (t + 1) % config.checkpoint_every == 0 &&
+        t + 1 < config.iterations) {
+      TrainerState state;
+      state.iteration = t + 1;
+      state.params.resize(dim);
+      model.params().FlattenParams(state.params);
+      state.optimizer = optimizer->ExportState();
+      state.rng = rng.SaveState();
+      state.tail_sum = tail_sum;
+      state.tail_count = tail_count;
+      state.losses = stats.losses;
+      state.grad_norms = stats.grad_norms;
+      state.norm_accum = norm_accum;
+      state.norm_count = norm_count;
+      PRIVIM_RETURN_NOT_OK(
+          SaveTrainerState(state, config.checkpoint_path, ckpt_metrics));
+      PRIVIM_RETURN_NOT_OK(Failpoint("privim.ckpt.train"));
+    }
   }
 
   if (config.tail_averaging && tail_count > 0) {
@@ -272,8 +337,11 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
 
   stats.mean_grad_norm =
       norm_count > 0 ? norm_accum / static_cast<double>(norm_count) : 0.0;
+  // A resumed run only timed the iterations it actually executed.
+  const size_t executed =
+      std::max<size_t>(1, config.iterations - start_iteration);
   stats.seconds_per_iteration =
-      timer.ElapsedSeconds() / static_cast<double>(config.iterations);
+      timer.ElapsedSeconds() / static_cast<double>(executed);
   return stats;
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "core/loss.h"
@@ -62,6 +63,22 @@ struct TrainConfig {
   /// count. The cumulative-epsilon field of each record is left NaN — the
   /// privacy ledger is the accountant's job (RunMethod zips it in).
   RunTelemetry* telemetry = nullptr;
+  /// When non-empty, a TrainerState snapshot is committed to this path
+  /// every `checkpoint_every` iterations (at an iteration boundary, after
+  /// the optimizer step and tail-averaging accumulation). The write is
+  /// atomic (tmp + rename) and is followed by the `privim.ckpt.train` fail
+  /// point, so fault-injection tests can kill the process with the
+  /// snapshot already durable.
+  std::string checkpoint_path;
+  size_t checkpoint_every = 10;
+  /// Resume mid-training from a previously saved TrainerState: parameters,
+  /// optimizer moments, RNG stream (including the Box-Muller spare), the
+  /// tail-averaging accumulator, and the running statistics are restored
+  /// bit-exactly and the loop starts at `resume->iteration`. The state
+  /// must match this config (parameter count, optimizer kind,
+  /// iteration <= iterations) or TrainDpGnn fails with FailedPrecondition.
+  /// Borrowed pointer; must outlive the call.
+  const TrainerState* resume = nullptr;
 };
 
 /// Per-run training telemetry.

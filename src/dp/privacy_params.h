@@ -31,6 +31,9 @@ struct DpSgdSpec {
   size_t iterations = 1;
   /// Per-sample L2 clip bound C.
   double clip_bound = 1.0;
+
+  /// Field-wise equality (checkpoint round-trip assertions, src/ckpt/).
+  bool operator==(const DpSgdSpec&) const = default;
 };
 
 }  // namespace privim

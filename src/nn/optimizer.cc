@@ -10,6 +10,20 @@ void SgdOptimizer::Step(ParamStore& store, std::span<const float> grad) {
   store.ApplyUpdate(grad, lr_);
 }
 
+OptimizerState SgdOptimizer::ExportState() const {
+  OptimizerState state;
+  state.kind = "sgd";
+  return state;
+}
+
+Status SgdOptimizer::RestoreState(const OptimizerState& state) {
+  if (state.kind != "sgd") {
+    return Status::FailedPrecondition(
+        "optimizer state kind '" + state.kind + "' does not match sgd");
+  }
+  return Status::OK();
+}
+
 void AdamOptimizer::Step(ParamStore& store, std::span<const float> grad) {
   const size_t n = store.num_scalars();
   PRIVIM_CHECK_EQ(grad.size(), n);
@@ -30,6 +44,30 @@ void AdamOptimizer::Step(ParamStore& store, std::span<const float> grad) {
     update[i] = static_cast<float>(mhat / (std::sqrt(vhat) + eps_));
   }
   store.ApplyUpdate(update, lr_);
+}
+
+OptimizerState AdamOptimizer::ExportState() const {
+  OptimizerState state;
+  state.kind = "adam";
+  state.step = t_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+Status AdamOptimizer::RestoreState(const OptimizerState& state) {
+  if (state.kind != "adam") {
+    return Status::FailedPrecondition(
+        "optimizer state kind '" + state.kind + "' does not match adam");
+  }
+  if (state.m.size() != state.v.size()) {
+    return Status::FailedPrecondition(
+        "adam optimizer state has mismatched moment vector sizes");
+  }
+  t_ = state.step;
+  m_ = state.m;
+  v_ = state.v;
+  return Status::OK();
 }
 
 }  // namespace privim

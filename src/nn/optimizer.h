@@ -2,11 +2,26 @@
 #define PRIVIM_NN_OPTIMIZER_H_
 
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "nn/param_store.h"
 
 namespace privim {
+
+/// Serializable snapshot of an optimizer's internal state, the unit the
+/// checkpoint layer persists (src/ckpt/). `kind` is the self-describing
+/// discriminator ("sgd" has no state beyond the config-owned learning rate;
+/// "adam" carries the step count and both moment vectors).
+struct OptimizerState {
+  std::string kind;
+  int64_t step = 0;
+  std::vector<float> m;
+  std::vector<float> v;
+
+  bool operator==(const OptimizerState&) const = default;
+};
 
 /// Optimizers consume an externally produced flat gradient (possibly the
 /// noisy, clipped DP gradient) and update a ParamStore. Keeping them
@@ -17,6 +32,15 @@ class Optimizer {
 
   /// Applies one update from `grad` (length store.num_scalars()).
   virtual void Step(ParamStore& store, std::span<const float> grad) = 0;
+
+  /// Snapshot of the mutable state (checkpointing). Stateless optimizers
+  /// return just their kind tag.
+  virtual OptimizerState ExportState() const = 0;
+
+  /// Restores a state produced by ExportState on an optimizer of the same
+  /// kind; fails on kind or shape mismatch so a checkpoint written by a
+  /// different configuration cannot be silently misapplied.
+  virtual Status RestoreState(const OptimizerState& state) = 0;
 };
 
 /// Plain SGD: w <- w - lr * g (Algorithm 2, Line 9).
@@ -24,6 +48,8 @@ class SgdOptimizer : public Optimizer {
  public:
   explicit SgdOptimizer(float lr) : lr_(lr) {}
   void Step(ParamStore& store, std::span<const float> grad) override;
+  OptimizerState ExportState() const override;
+  Status RestoreState(const OptimizerState& state) override;
 
   float learning_rate() const { return lr_; }
 
@@ -38,6 +64,8 @@ class AdamOptimizer : public Optimizer {
                          float eps = 1e-8f)
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
   void Step(ParamStore& store, std::span<const float> grad) override;
+  OptimizerState ExportState() const override;
+  Status RestoreState(const OptimizerState& state) override;
 
  private:
   float lr_;

@@ -47,30 +47,36 @@ Status SaveModel(const GnnModel& model, const std::string& path) {
 
 namespace {
 
-Result<GnnConfig> ReadHeader(std::istream& in, size_t* num_tensors) {
+/// Parsed checkpoint header (Result-first: no out-parameters).
+struct ModelHeader {
+  GnnConfig config;
+  size_t num_tensors = 0;
+};
+
+Result<ModelHeader> ReadHeader(std::istream& in) {
   std::string magic;
   if (!std::getline(in, magic) || Trim(magic) != kMagic) {
     return Status::IoError("not a privim model checkpoint");
   }
-  GnnConfig cfg;
+  ModelHeader header;
   std::string key, value;
   // type
   in >> key >> value;
   if (key != "type") return Status::IoError("missing 'type' field");
-  PRIVIM_ASSIGN_OR_RETURN(cfg.type, ParseGnnType(value));
-  in >> key >> cfg.in_dim;
+  PRIVIM_ASSIGN_OR_RETURN(header.config.type, ParseGnnType(value));
+  in >> key >> header.config.in_dim;
   if (key != "in_dim") return Status::IoError("missing 'in_dim' field");
-  in >> key >> cfg.hidden_dim;
+  in >> key >> header.config.hidden_dim;
   if (key != "hidden_dim") {
     return Status::IoError("missing 'hidden_dim' field");
   }
-  in >> key >> cfg.num_layers;
+  in >> key >> header.config.num_layers;
   if (key != "num_layers") {
     return Status::IoError("missing 'num_layers' field");
   }
-  in >> key >> *num_tensors;
+  in >> key >> header.num_tensors;
   if (key != "tensors") return Status::IoError("missing 'tensors' field");
-  return cfg;
+  return header;
 }
 
 }  // namespace
@@ -80,8 +86,8 @@ Result<GnnConfig> LoadModelConfig(const std::string& path) {
   if (!in) {
     return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
   }
-  size_t num_tensors = 0;
-  return ReadHeader(in, &num_tensors);
+  PRIVIM_ASSIGN_OR_RETURN(ModelHeader header, ReadHeader(in));
+  return header.config;
 }
 
 Status LoadModelParams(const std::string& path, GnnModel& model) {
@@ -89,8 +95,9 @@ Status LoadModelParams(const std::string& path, GnnModel& model) {
   if (!in) {
     return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
   }
-  size_t num_tensors = 0;
-  PRIVIM_ASSIGN_OR_RETURN(GnnConfig cfg, ReadHeader(in, &num_tensors));
+  PRIVIM_ASSIGN_OR_RETURN(ModelHeader header, ReadHeader(in));
+  const GnnConfig& cfg = header.config;
+  const size_t num_tensors = header.num_tensors;
   const GnnConfig& want = model.config();
   if (cfg.type != want.type || cfg.in_dim != want.in_dim ||
       cfg.hidden_dim != want.hidden_dim ||
@@ -131,6 +138,16 @@ Status LoadModelParams(const std::string& path, GnnModel& model) {
   }
   model.params().LoadParams(flat);
   return Status::OK();
+}
+
+Result<std::unique_ptr<GnnModel>> LoadModel(const std::string& path) {
+  PRIVIM_ASSIGN_OR_RETURN(GnnConfig cfg, LoadModelConfig(path));
+  // The init randomness is overwritten by the stored parameters, so a
+  // fixed throwaway seed keeps LoadModel deterministic and argument-free.
+  Rng init_rng(0x10ad);
+  auto model = std::make_unique<GnnModel>(cfg, init_rng);
+  PRIVIM_RETURN_NOT_OK(LoadModelParams(path, *model));
+  return model;
 }
 
 }  // namespace privim

@@ -1,6 +1,7 @@
 #ifndef PRIVIM_NN_SERIALIZATION_H_
 #define PRIVIM_NN_SERIALIZATION_H_
 
+#include <memory>
 #include <string>
 
 #include "common/result.h"
@@ -25,6 +26,10 @@ Result<GnnConfig> LoadModelConfig(const std::string& path);
 /// backbone, dims, and layer count) — validated against the header and
 /// per-tensor shapes.
 Status LoadModelParams(const std::string& path, GnnModel& model);
+
+/// One-call restore: reads the header, builds a model with the stored
+/// configuration, and loads the parameters into it.
+Result<std::unique_ptr<GnnModel>> LoadModel(const std::string& path);
 
 }  // namespace privim
 

@@ -33,7 +33,18 @@ class RngStreams {
 
   uint64_t base_key() const { return base_; }
 
+  /// Rebuilds a stream family from a saved `base_key()` WITHOUT consuming a
+  /// parent draw — the restore counterpart used when resuming a checkpoint
+  /// mid-fan-out: the original construction already consumed the parent
+  /// draw, so replaying it would desynchronize the caller's stream.
+  static RngStreams FromBaseKey(uint64_t base_key) {
+    return RngStreams(base_key, RestoreTag{});
+  }
+
  private:
+  struct RestoreTag {};
+  RngStreams(uint64_t base_key, RestoreTag) : base_(base_key) {}
+
   uint64_t base_;
 };
 

@@ -1,0 +1,205 @@
+// The snapshot-file substrate: envelope validation, bit-exact scalar round
+// trips, and rejection of every corruption mode a crash can produce.
+
+#include "ckpt/binary_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+constexpr uint32_t kVersion = 3;
+constexpr uint32_t kKind = 7;
+
+TEST(BinaryIoTest, ScalarsRoundTripBitExactly) {
+  const std::string path = TempPath("privim_binio_scalars.bin");
+  const std::string text("clip=0.5; newline \n and nul \0 inside", 37);
+  BinaryWriter w(kVersion, kKind);
+  w.WriteU8(200);
+  w.WriteU32(0xdeadbeefu);
+  w.WriteU64(0x0123456789abcdefULL);
+  w.WriteI64(-42);
+  w.WriteFloat(-0.0f);
+  w.WriteFloat(std::numeric_limits<float>::denorm_min());
+  w.WriteDouble(0.1);  // Not exactly representable; must round trip anyway.
+  w.WriteDouble(std::numeric_limits<double>::infinity());
+  w.WriteString(text);
+  ASSERT_TRUE(w.Commit(path).ok());
+
+  BinaryReader r = std::move(BinaryReader::Open(path, kVersion, kKind))
+                       .ValueOrDie();
+  EXPECT_EQ(std::move(r.ReadU8()).ValueOrDie(), 200);
+  EXPECT_EQ(std::move(r.ReadU32()).ValueOrDie(), 0xdeadbeefu);
+  EXPECT_EQ(std::move(r.ReadU64()).ValueOrDie(), 0x0123456789abcdefULL);
+  EXPECT_EQ(std::move(r.ReadI64()).ValueOrDie(), -42);
+  const float neg_zero = std::move(r.ReadFloat()).ValueOrDie();
+  EXPECT_EQ(neg_zero, 0.0f);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(std::move(r.ReadFloat()).ValueOrDie(),
+            std::numeric_limits<float>::denorm_min());
+  EXPECT_EQ(std::move(r.ReadDouble()).ValueOrDie(), 0.1);
+  EXPECT_EQ(std::move(r.ReadDouble()).ValueOrDie(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(std::move(r.ReadString()).ValueOrDie(), text);
+  EXPECT_TRUE(r.AtEnd());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, VectorsRoundTrip) {
+  const std::string path = TempPath("privim_binio_vectors.bin");
+  const std::vector<float> floats = {1.5f, -2.25f, 0.0f};
+  const std::vector<double> doubles = {1e-300, 3.14159, -0.0};
+  const std::vector<uint64_t> u64s = {0, 1, ~0ULL};
+  const std::vector<size_t> sizes = {7, 0, 123456};
+  const std::vector<uint32_t> u32s = {9u, 0xffffffffu};
+  const std::vector<float> empty;
+  BinaryWriter w(kVersion, kKind);
+  w.WriteFloatVec(floats);
+  w.WriteDoubleVec(doubles);
+  w.WriteU64Vec(u64s);
+  w.WriteSizeVec(sizes);
+  w.WriteU32Vec(u32s);
+  w.WriteFloatVec(empty);
+  ASSERT_TRUE(w.Commit(path).ok());
+
+  BinaryReader r = std::move(BinaryReader::Open(path, kVersion, kKind))
+                       .ValueOrDie();
+  EXPECT_EQ(std::move(r.ReadFloatVec()).ValueOrDie(), floats);
+  EXPECT_EQ(std::move(r.ReadDoubleVec()).ValueOrDie(), doubles);
+  EXPECT_EQ(std::move(r.ReadU64Vec()).ValueOrDie(), u64s);
+  EXPECT_EQ(std::move(r.ReadSizeVec()).ValueOrDie(), sizes);
+  EXPECT_EQ(std::move(r.ReadU32Vec()).ValueOrDie(), u32s);
+  EXPECT_EQ(std::move(r.ReadFloatVec()).ValueOrDie(), empty);
+  EXPECT_TRUE(r.AtEnd());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(BinaryReader::Open("/no/such/snapshot.bin", kVersion, kKind)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(FileExists("/no/such/snapshot.bin"));
+}
+
+TEST(BinaryIoTest, CommitLeavesNoTempFile) {
+  const std::string path = TempPath("privim_binio_commit.bin");
+  BinaryWriter w(kVersion, kKind);
+  w.WriteU64(1);
+  ASSERT_TRUE(w.Commit(path).ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, CommitCreatesParentDirectories) {
+  const std::string dir = TempPath("privim_binio_nested");
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/a/b/snapshot.bin";
+  BinaryWriter w(kVersion, kKind);
+  w.WriteU64(5);
+  ASSERT_TRUE(w.Commit(path).ok());
+  EXPECT_TRUE(FileExists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BinaryIoTest, WrongVersionIsRejectedNamingBoth) {
+  const std::string path = TempPath("privim_binio_version.bin");
+  BinaryWriter w(kVersion, kKind);
+  w.WriteU64(1);
+  ASSERT_TRUE(w.Commit(path).ok());
+  const Status status =
+      BinaryReader::Open(path, kVersion + 1, kKind).status();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("3"), std::string::npos);
+  EXPECT_NE(status.message().find("4"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, WrongKindIsRejected) {
+  const std::string path = TempPath("privim_binio_kind.bin");
+  BinaryWriter w(kVersion, kKind);
+  w.WriteU64(1);
+  ASSERT_TRUE(w.Commit(path).ok());
+  EXPECT_FALSE(BinaryReader::Open(path, kVersion, kKind + 1).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, WrongMagicIsRejected) {
+  const std::string path = TempPath("privim_binio_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTACKPTxxxxxxxxxxxxxxxxxxxxxxxxxxxx";
+  }
+  EXPECT_FALSE(BinaryReader::Open(path, kVersion, kKind).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, PayloadCorruptionFailsChecksum) {
+  const std::string path = TempPath("privim_binio_corrupt.bin");
+  BinaryWriter w(kVersion, kKind);
+  w.WriteU64(0x1122334455667788ULL);
+  w.WriteDouble(2.5);
+  ASSERT_TRUE(w.Commit(path).ok());
+
+  // Flip one payload byte (header is 8 magic + 4 version + 4 kind + 8 len).
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(24 + 3);
+  char byte = 0;
+  f.seekg(24 + 3);
+  f.read(&byte, 1);
+  byte ^= 0x40;
+  f.seekp(24 + 3);
+  f.write(&byte, 1);
+  f.close();
+
+  EXPECT_FALSE(BinaryReader::Open(path, kVersion, kKind).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, TruncatedFileIsRejected) {
+  const std::string path = TempPath("privim_binio_trunc.bin");
+  BinaryWriter w(kVersion, kKind);
+  w.WriteU64(1);
+  w.WriteU64(2);
+  w.WriteU64(3);
+  ASSERT_TRUE(w.Commit(path).ok());
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 6);
+  EXPECT_FALSE(BinaryReader::Open(path, kVersion, kKind).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ReadPastEndFailsInsteadOfFabricating) {
+  const std::string path = TempPath("privim_binio_overread.bin");
+  BinaryWriter w(kVersion, kKind);
+  w.WriteU32(11);
+  ASSERT_TRUE(w.Commit(path).ok());
+  BinaryReader r = std::move(BinaryReader::Open(path, kVersion, kKind))
+                       .ValueOrDie();
+  EXPECT_EQ(std::move(r.ReadU32()).ValueOrDie(), 11u);
+  EXPECT_FALSE(r.ReadU64().ok());
+}
+
+TEST(BinaryIoTest, Fnv1aIsStableAndSeedSensitive) {
+  const std::vector<uint8_t> bytes = {1, 2, 3, 4};
+  const uint64_t a = Fnv1a(bytes);
+  EXPECT_EQ(a, Fnv1a(bytes));
+  EXPECT_NE(a, Fnv1a(bytes, /*seed=*/123));
+  EXPECT_NE(a, Fnv1a(std::vector<uint8_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace privim

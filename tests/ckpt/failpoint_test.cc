@@ -1,0 +1,98 @@
+// The fault-injection harness itself: arming semantics, skip counting,
+// self-disarm of the kStatus action, and spec parsing. The kExit action is
+// exercised end to end by resume_test.cc (it kills the process, so it can
+// only be tested from a parent).
+
+#include "ckpt/failpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+// Every test starts and ends disarmed so order (and a stale
+// PRIVIM_FAILPOINT in the test environment) cannot leak between cases.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ClearFailpoints(); }
+  void TearDown() override { ClearFailpoints(); }
+};
+
+TEST_F(FailpointTest, UnarmedIsOk) {
+  EXPECT_TRUE(Failpoint("privim.ckpt.train").ok());
+  EXPECT_TRUE(Failpoint("anything.at.all").ok());
+}
+
+TEST_F(FailpointTest, StatusActionFiresOnceThenDisarms) {
+  ArmFailpoint("privim.ckpt.train", FailpointAction::kStatus);
+  const Status first = Failpoint("privim.ckpt.train");
+  EXPECT_EQ(first.code(), StatusCode::kAborted);
+  EXPECT_NE(first.message().find("privim.ckpt.train"), std::string::npos);
+  // A kStatus fail point disarms itself: the resumed run passes through.
+  EXPECT_TRUE(Failpoint("privim.ckpt.train").ok());
+}
+
+TEST_F(FailpointTest, SkipPassesThroughThatManyHits) {
+  ArmFailpoint("privim.ckpt.train", FailpointAction::kStatus, /*skip=*/2);
+  EXPECT_TRUE(Failpoint("privim.ckpt.train").ok());
+  EXPECT_TRUE(Failpoint("privim.ckpt.train").ok());
+  EXPECT_EQ(Failpoint("privim.ckpt.train").code(), StatusCode::kAborted);
+}
+
+TEST_F(FailpointTest, OtherNamesPassThrough) {
+  ArmFailpoint("privim.ckpt.after_extract", FailpointAction::kStatus);
+  EXPECT_TRUE(Failpoint("privim.ckpt.train").ok());
+  EXPECT_TRUE(Failpoint("privim.ckpt.after_calibrate").ok());
+  // The armed one still fires afterwards (mismatches consume nothing).
+  EXPECT_EQ(Failpoint("privim.ckpt.after_extract").code(),
+            StatusCode::kAborted);
+}
+
+TEST_F(FailpointTest, ReArmingReplacesThePreviousFailpoint) {
+  ArmFailpoint("a", FailpointAction::kStatus);
+  ArmFailpoint("b", FailpointAction::kStatus);
+  EXPECT_TRUE(Failpoint("a").ok());
+  EXPECT_EQ(Failpoint("b").code(), StatusCode::kAborted);
+}
+
+TEST_F(FailpointTest, ClearDisarms) {
+  ArmFailpoint("privim.ckpt.train", FailpointAction::kStatus);
+  ClearFailpoints();
+  EXPECT_TRUE(Failpoint("privim.ckpt.train").ok());
+}
+
+TEST_F(FailpointTest, ParseBareNameDefaultsToExit) {
+  FailpointSpec spec =
+      std::move(ParseFailpointSpec("privim.ckpt.train")).ValueOrDie();
+  EXPECT_EQ(spec.name, "privim.ckpt.train");
+  EXPECT_EQ(spec.action, FailpointAction::kExit);
+  EXPECT_EQ(spec.skip, 0);
+}
+
+TEST_F(FailpointTest, ParseActionAndSkipTokens) {
+  FailpointSpec spec =
+      std::move(ParseFailpointSpec("p:status:skip=3")).ValueOrDie();
+  EXPECT_EQ(spec.name, "p");
+  EXPECT_EQ(spec.action, FailpointAction::kStatus);
+  EXPECT_EQ(spec.skip, 3);
+
+  spec = std::move(ParseFailpointSpec("p:exit")).ValueOrDie();
+  EXPECT_EQ(spec.action, FailpointAction::kExit);
+  EXPECT_EQ(spec.skip, 0);
+}
+
+TEST_F(FailpointTest, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFailpointSpec("").ok());
+  EXPECT_FALSE(ParseFailpointSpec(":status").ok());
+  EXPECT_FALSE(ParseFailpointSpec("p:bogus").ok());
+  EXPECT_FALSE(ParseFailpointSpec("p:skip=").ok());
+  EXPECT_FALSE(ParseFailpointSpec("p:skip=abc").ok());
+}
+
+TEST_F(FailpointTest, ExitCodeIsDistinctive) {
+  // The contract resume_test.cc's subprocess assertions rest on.
+  EXPECT_EQ(kFailpointExitCode, 42);
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,179 @@
+// PrivImConfig::Validate: field-path error messages, the fail-fast wiring
+// in RunMethod/EvaluateMethod, and the name round trips of the public
+// enums (Method, EvalDiffusion).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/privim.h"
+
+namespace privim {
+namespace {
+
+PrivImConfig ValidConfig() {
+  return MakeDefaultConfig(Method::kPrivImStar, 2.0, /*train_nodes=*/500);
+}
+
+/// Runs Validate and demands InvalidArgument whose message names the
+/// offending field by its config path.
+void ExpectInvalid(const PrivImConfig& cfg, const std::string& field_path) {
+  const Status status = cfg.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << field_path;
+  EXPECT_NE(status.message().find(field_path), std::string::npos)
+      << "message '" << status.message() << "' does not name '"
+      << field_path << "'";
+}
+
+TEST(ConfigValidateTest, DefaultConfigsAreValidForEveryMethod) {
+  for (Method method :
+       {Method::kPrivIm, Method::kPrivImScs, Method::kPrivImStar,
+        Method::kEgn, Method::kHp, Method::kHpGrat, Method::kNonPrivate}) {
+    const PrivImConfig cfg = MakeDefaultConfig(method, 2.0, 500);
+    EXPECT_TRUE(cfg.Validate().ok()) << MethodName(method);
+  }
+}
+
+TEST(ConfigValidateTest, BudgetViolationsNameTheField) {
+  PrivImConfig cfg = ValidConfig();
+  cfg.budget.epsilon = 0.0;
+  ExpectInvalid(cfg, "budget.epsilon");
+  cfg = ValidConfig();
+  cfg.budget.delta = 1.5;
+  ExpectInvalid(cfg, "budget.delta");
+}
+
+TEST(ConfigValidateTest, NonPrivateSkipsBudgetChecks) {
+  PrivImConfig cfg = MakeDefaultConfig(Method::kNonPrivate, 2.0, 500);
+  cfg.budget.epsilon = -1.0;  // Ignored by the non-private reference.
+  cfg.budget.delta = 7.0;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, SamplerViolationsNameTheField) {
+  PrivImConfig cfg = ValidConfig();
+  cfg.theta = 0;
+  ExpectInvalid(cfg, "theta");
+  cfg = ValidConfig();
+  cfg.rwr.sampling_rate = 0.0;
+  ExpectInvalid(cfg, "rwr.sampling_rate");
+  cfg = ValidConfig();
+  cfg.rwr.restart_prob = 1.5;
+  ExpectInvalid(cfg, "rwr.restart_prob");
+  cfg = ValidConfig();
+  cfg.rwr.subgraph_size = 1;
+  ExpectInvalid(cfg, "rwr.subgraph_size");
+  cfg = ValidConfig();
+  cfg.freq.frequency_threshold = 0;
+  ExpectInvalid(cfg, "freq.frequency_threshold");
+  cfg = ValidConfig();
+  cfg.freq.decay = -0.1;
+  ExpectInvalid(cfg, "freq.decay");
+  cfg = ValidConfig();
+  cfg.egn_subgraph_count = 0;
+  ExpectInvalid(cfg, "egn_subgraph_count");
+  cfg = ValidConfig();
+  cfg.ego.max_nodes = 1;
+  ExpectInvalid(cfg, "ego.max_nodes");
+}
+
+TEST(ConfigValidateTest, TrainingViolationsNameTheField) {
+  PrivImConfig cfg = ValidConfig();
+  cfg.gnn.hidden_dim = 0;
+  ExpectInvalid(cfg, "gnn.hidden_dim");
+  cfg = ValidConfig();
+  cfg.gnn.num_layers = 0;
+  ExpectInvalid(cfg, "gnn.num_layers");
+  cfg = ValidConfig();
+  cfg.train.batch_size = 0;
+  ExpectInvalid(cfg, "train.batch_size");
+  cfg = ValidConfig();
+  cfg.train.iterations = 0;
+  ExpectInvalid(cfg, "train.iterations");
+  cfg = ValidConfig();
+  cfg.train.learning_rate = 0.0f;
+  ExpectInvalid(cfg, "train.learning_rate");
+  cfg = ValidConfig();
+  cfg.train.clip_bound = -1.0;
+  ExpectInvalid(cfg, "train.clip_bound");
+  cfg = ValidConfig();
+  cfg.auto_clip_scale = 0.0;
+  ExpectInvalid(cfg, "auto_clip_scale");
+}
+
+TEST(ConfigValidateTest, EvaluationViolationsNameTheField) {
+  PrivImConfig cfg = ValidConfig();
+  cfg.seed_count = 0;
+  ExpectInvalid(cfg, "seed_count");
+  cfg = ValidConfig();
+  cfg.eval_steps = 0;
+  ExpectInvalid(cfg, "eval_steps");
+  cfg = ValidConfig();
+  cfg.eval_trials = 0;
+  ExpectInvalid(cfg, "eval_trials");
+  cfg = ValidConfig();
+  cfg.sis_recovery = -0.5;
+  ExpectInvalid(cfg, "sis_recovery");
+}
+
+TEST(ConfigValidateTest, CheckpointViolationsNameTheField) {
+  PrivImConfig cfg = ValidConfig();
+  cfg.checkpoint.resume = true;  // ... without a directory.
+  ExpectInvalid(cfg, "checkpoint.resume");
+  cfg = ValidConfig();
+  cfg.checkpoint.dir = "/tmp/ckpt";
+  cfg.checkpoint.train_every = 0;
+  ExpectInvalid(cfg, "checkpoint.train_every");
+}
+
+TEST(ConfigValidateTest, RunMethodFailsFastOnInvalidConfig) {
+  // The invalid field must surface before any graph work happens — the
+  // empty graphs here would explode inside a sampler otherwise.
+  PrivImConfig cfg = ValidConfig();
+  cfg.train.batch_size = 0;
+  Graph empty;
+  Rng rng(1);
+  const Status status = RunMethod(empty, empty, cfg, rng).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("train.batch_size"), std::string::npos);
+}
+
+TEST(ConfigValidateTest, EvaluateMethodFailsFastOnInvalidConfig) {
+  PrivImConfig cfg = ValidConfig();
+  cfg.seed_count = 0;
+  DatasetInstance instance;
+  const Status status =
+      EvaluateMethod(instance, cfg, /*repeats=*/1, /*seed=*/1).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("seed_count"), std::string::npos);
+}
+
+TEST(ConfigValidateTest, MethodNamesRoundTrip) {
+  for (Method method :
+       {Method::kPrivIm, Method::kPrivImScs, Method::kPrivImStar,
+        Method::kEgn, Method::kHp, Method::kHpGrat, Method::kNonPrivate}) {
+    const std::string name = MethodName(method);
+    EXPECT_EQ(std::move(ParseMethod(name)).ValueOrDie(), method) << name;
+  }
+  EXPECT_FALSE(ParseMethod("NoSuchMethod").ok());
+}
+
+TEST(ConfigValidateTest, EvalDiffusionNamesRoundTrip) {
+  for (PrivImConfig::EvalDiffusion diffusion :
+       {PrivImConfig::EvalDiffusion::kExactIc,
+        PrivImConfig::EvalDiffusion::kMonteCarloIc,
+        PrivImConfig::EvalDiffusion::kLt,
+        PrivImConfig::EvalDiffusion::kSis}) {
+    const std::string name = EvalDiffusionName(diffusion);
+    EXPECT_EQ(std::move(ParseEvalDiffusion(name)).ValueOrDie(), diffusion)
+        << name;
+  }
+  EXPECT_EQ(std::move(ParseEvalDiffusion("exact")).ValueOrDie(),
+            PrivImConfig::EvalDiffusion::kExactIc);
+  EXPECT_EQ(ParseEvalDiffusion("poisson").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace privim

@@ -99,6 +99,34 @@ TEST(SerializationTest, MissingFileFails) {
             StatusCode::kIoError);
 }
 
+TEST(SerializationTest, LoadModelRebuildsFromHeader) {
+  Rng rng(12);
+  GnnModel model(SmallConfig(GnnType::kSage), rng);
+  const std::string path = TempPath("privim_model_loadmodel.ckpt");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  std::unique_ptr<GnnModel> loaded = std::move(LoadModel(path)).ValueOrDie();
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->config().type, GnnType::kSage);
+  EXPECT_EQ(loaded->config().hidden_dim, 8u);
+  EXPECT_EQ(loaded->config().num_layers, 2u);
+
+  std::vector<float> want(model.params().num_scalars());
+  std::vector<float> got(loaded->params().num_scalars());
+  ASSERT_EQ(want.size(), got.size());
+  model.params().FlattenParams(want);
+  loaded->params().FlattenParams(got);
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(want[i], got[i], 1e-6) << "scalar " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadModelMissingFileFails) {
+  EXPECT_EQ(LoadModel("/no/such/model.ckpt").status().code(),
+            StatusCode::kIoError);
+}
+
 TEST(SerializationTest, AllBackbonesRoundTrip) {
   for (GnnType type : {GnnType::kGcn, GnnType::kSage, GnnType::kGin,
                        GnnType::kGat, GnnType::kGrat}) {

@@ -41,6 +41,8 @@ struct CliOptions {
   bool with_celf = true;
   std::string save_model;
   std::string telemetry_path;
+  std::string checkpoint_dir;
+  bool resume = false;
 };
 
 void PrintUsage() {
@@ -58,12 +60,19 @@ void PrintUsage() {
   --k N              seed budget                            [50]
   --seed N           master random seed                     [42]
   --scale X          synthetic dataset scale multiplier     [1.0]
-  --diffusion NAME   evaluation model: exact, mc, lt, sis   [exact]
+  --eval-diffusion NAME
+                     evaluation model: exact, mc, lt, sis   [exact]
+  --diffusion NAME   alias for --eval-diffusion
   --auto-tune        pick (n, M) with the Gamma indicator
   --no-celf          skip the CELF reference (faster)
   --save-model PATH  write the trained model checkpoint
   --telemetry PATH   write run telemetry (privacy ledger, sampler and
                      runtime counters) as JSON; also prints a summary
+  --checkpoint-dir PATH
+                     commit pipeline/trainer snapshots into PATH at every
+                     stage boundary (crash-safe; see docs/api.md)
+  --resume           continue from the snapshots in --checkpoint-dir;
+                     results are bit-identical to the uninterrupted run
   --help             this text
 )";
 }
@@ -103,8 +112,12 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--scale") {
       PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
       opts.scale = std::atof(v.c_str());
-    } else if (arg == "--diffusion") {
+    } else if (arg == "--diffusion" || arg == "--eval-diffusion") {
       PRIVIM_ASSIGN_OR_RETURN(opts.diffusion, next());
+    } else if (arg == "--checkpoint-dir") {
+      PRIVIM_ASSIGN_OR_RETURN(opts.checkpoint_dir, next());
+    } else if (arg == "--resume") {
+      opts.resume = true;
     } else if (arg == "--auto-tune") {
       opts.auto_tune = true;
     } else if (arg == "--no-celf") {
@@ -127,15 +140,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   if (opts.epsilon <= 0) {
     return Status::InvalidArgument("--epsilon must be positive");
   }
+  if (opts.resume && opts.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
   return opts;
-}
-
-Result<PrivImConfig::EvalDiffusion> ParseDiffusion(const std::string& name) {
-  if (name == "exact") return PrivImConfig::EvalDiffusion::kExactIc;
-  if (name == "mc") return PrivImConfig::EvalDiffusion::kMonteCarloIc;
-  if (name == "lt") return PrivImConfig::EvalDiffusion::kLt;
-  if (name == "sis") return PrivImConfig::EvalDiffusion::kSis;
-  return Status::InvalidArgument("unknown diffusion model '" + name + "'");
 }
 
 Status RunCli(const CliOptions& opts) {
@@ -174,7 +182,9 @@ Status RunCli(const CliOptions& opts) {
                                           train_sub.local.num_nodes());
   config.seed_count = opts.k;
   PRIVIM_ASSIGN_OR_RETURN(config.eval_diffusion,
-                          ParseDiffusion(opts.diffusion));
+                          ParseEvalDiffusion(opts.diffusion));
+  config.checkpoint.dir = opts.checkpoint_dir;
+  config.checkpoint.resume = opts.resume;
   if (config.eval_diffusion == PrivImConfig::EvalDiffusion::kSis) {
     config.eval_steps = 8;
   }

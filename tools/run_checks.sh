@@ -2,14 +2,17 @@
 # One-command verification ladder, in increasing cost:
 #
 #   1. tier-1: Release build + the full unit/property ctest suite
-#      (labels: `ctest -L unit`, `-L property`, `-L sanitizer` select
-#      subsets; see tests/CMakeLists.txt);
-#   2. ASan:   sampler / influence suites under AddressSanitizer
+#      (labels: `ctest -L unit`, `-L property`, `-L sanitizer`, `-L ckpt`
+#      select subsets; see tests/CMakeLists.txt);
+#   2. ckpt:   examples build + the checkpoint/resume fault-injection
+#              suite (kill-and-resume bit-identity, tests/ckpt/) under
+#              AddressSanitizer;
+#   3. ASan:   sampler / influence suites under AddressSanitizer
 #              (tools/run_asan.sh, -DPRIVIM_SANITIZE=address);
-#   3. TSan:   runtime / sampler / IM suites under ThreadSanitizer
+#   4. TSan:   runtime / sampler / IM suites under ThreadSanitizer
 #              (tools/run_tsan.sh, -DPRIVIM_SANITIZE=thread).
 #
-# Stages 2 and 3 configure their own build trees (build-asan/, build-tsan/)
+# Stages 2-4 configure their own build trees (build-asan/, build-tsan/)
 # and force PRIVIM_THREADS=4 so the pooled scratch workspaces and the
 # speculative sampler rounds run genuinely parallel under the sanitizers.
 #
@@ -19,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 
-echo "== stage 1/3: tier-1 build + ctest =="
+echo "== stage 1/4: tier-1 build + ctest =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
@@ -29,10 +32,31 @@ if [[ "${1:-}" == "--tier1-only" ]]; then
   exit 0
 fi
 
-echo "== stage 2/3: AddressSanitizer =="
+echo "== stage 2/4: examples + checkpoint fault injection under ASan =="
+# The examples double as API smoke tests: they exercise the documented
+# public surface (docs/api.md) and must keep building against it.
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPRIVIM_SANITIZE=address \
+  -DPRIVIM_BUILD_BENCHMARKS=OFF \
+  -DPRIVIM_BUILD_EXAMPLES=ON
+cmake --build build-asan -j"$(nproc)" --target \
+  quickstart viral_marketing parameter_tuning privacy_accounting \
+  diffusion_models ckpt_test ckpt_resume_test
+# resume_test kills the pipeline at every commit point (including a hard
+# _exit in a forked child) and demands bit-identical resumption — under
+# ASan so the restore paths are also memory-clean.
+ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1} \
+  PRIVIM_THREADS=${PRIVIM_THREADS:-4} \
+  build-asan/tests/ckpt_test
+ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1} \
+  PRIVIM_THREADS=${PRIVIM_THREADS:-4} \
+  build-asan/tests/ckpt_resume_test
+
+echo "== stage 3/4: AddressSanitizer =="
 BUILD_DIR=build-asan tools/run_asan.sh
 
-echo "== stage 3/3: ThreadSanitizer =="
+echo "== stage 4/4: ThreadSanitizer =="
 BUILD_DIR=build-tsan tools/run_tsan.sh
 
 echo "All checks clean."
