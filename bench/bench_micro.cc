@@ -4,8 +4,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "core/loss.h"
+#include "core/plan_cache.h"
 #include "core/trainer.h"
 #include "dp/rdp_accountant.h"
 #include "graph/algorithms.h"
@@ -17,6 +25,78 @@
 #include "sampling/freq_sampler.h"
 #include "sampling/rwr_sampler.h"
 #include "tensor/ops.h"
+
+// ---- Counting allocator. Global operator new/delete replacements that
+// count every heap allocation made while the toggle is armed; the
+// BM_PlanSteadyStateAllocs gate below arms it around warm plan execution
+// and hard-fails the binary if the count is nonzero, enforcing the
+// zero-steady-state-allocation contract of tensor/plan.h in CI
+// (tools/run_checks.sh runs this case on every rung). ----
+
+namespace {
+
+std::atomic<bool> g_count_allocs{false};
+std::atomic<uint64_t> g_alloc_count{0};
+
+void NoteAlloc() {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* CountedAlloc(std::size_t size) {
+  NoteAlloc();
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t align) {
+  NoteAlloc();
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  NoteAlloc();
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  NoteAlloc();
+  return std::malloc(size != 0 ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace privim {
 namespace {
@@ -99,6 +179,97 @@ void BM_GnnForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_GnnForwardBackward)->Arg(40)->Arg(80)->Arg(200);
 
+// ---- Compiled-plan cases (tensor/plan.h, docs/performance.md). Same
+// graph/model/seed setup as BM_GnnForwardBackward so the tape rows above
+// are the direct baseline; the plan produces bit-identical losses and
+// gradients (tests/nn/plan_equivalence_test.cc) while skipping all of the
+// tape's node/closure construction. ----
+
+void BM_PlanForwardBackward(benchmark::State& state) {
+  Rng gen(4);
+  Graph g = std::move(ErdosRenyi(static_cast<size_t>(state.range(0)), 0.1,
+                                 false, gen))
+                .ValueOrDie();
+  GraphContext ctx = BuildGraphContext(g);
+  Matrix features = BuildNodeFeatures(g);
+  GnnConfig cfg;
+  cfg.type = GnnType::kGrat;
+  cfg.in_dim = kNodeFeatureDim;
+  Rng rng(5);
+  GnnModel model(cfg, rng);
+  ImLossConfig loss_cfg;
+  const GnnPlan plan = CompileTrainingPlan(model, ctx, loss_cfg);
+  std::vector<float> params(model.params().num_scalars());
+  model.params().FlattenParams(params);
+  std::vector<float> grad(params.size());
+  PlanArena arena;
+  for (auto _ : state) {
+    plan.Forward(params, features, arena);
+    plan.Backward(params, features, arena, grad);
+    benchmark::DoNotOptimize(plan.OutputScalar(arena));
+  }
+}
+BENCHMARK(BM_PlanForwardBackward)->Arg(40)->Arg(80)->Arg(200);
+
+// Allocation gate, not a timing case: runs full steady-state training
+// iterations (a batch of per-sample Forward + OutputScalar + Backward +
+// ClipL2 passes, the index-order batch reduce, and the averaged parameter
+// update) with the counting allocator armed, and kills the binary if a
+// single heap allocation happens. tools/run_checks.sh runs this case by
+// name on every rung, so a regression in the arena layout fails CI loudly
+// rather than showing up as a quiet slowdown.
+void BM_PlanSteadyStateAllocs(benchmark::State& state) {
+  Rng gen(4);
+  Graph g = std::move(ErdosRenyi(80, 0.1, false, gen)).ValueOrDie();
+  GraphContext ctx = BuildGraphContext(g);
+  Matrix features = BuildNodeFeatures(g);
+  GnnConfig cfg;
+  cfg.type = GnnType::kGrat;
+  cfg.in_dim = kNodeFeatureDim;
+  Rng rng(5);
+  GnnModel model(cfg, rng);
+  ImLossConfig loss_cfg;
+  const GnnPlan plan = CompileTrainingPlan(model, ctx, loss_cfg);
+  const size_t dim = model.params().num_scalars();
+  std::vector<float> params(dim);
+  model.params().FlattenParams(params);
+  std::vector<float> grad(dim);
+  std::vector<float> batch_sum(dim);
+  PlanArena arena;
+  // Warm pass: the first execution grows the arena to the plan's layout.
+  plan.Forward(params, features, arena);
+  plan.Backward(params, features, arena, grad);
+
+  constexpr size_t kBatch = 8;
+  uint64_t observed = 0;
+  for (auto _ : state) {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    std::fill(batch_sum.begin(), batch_sum.end(), 0.0f);
+    for (size_t b = 0; b < kBatch; ++b) {
+      plan.Forward(params, features, arena);
+      benchmark::DoNotOptimize(plan.OutputScalar(arena));
+      plan.Backward(params, features, arena, grad);
+      benchmark::DoNotOptimize(ClipL2(grad, 1.0));
+      for (size_t i = 0; i < dim; ++i) batch_sum[i] += grad[i];
+    }
+    for (size_t i = 0; i < dim; ++i) {
+      params[i] -= 0.05f * (batch_sum[i] / static_cast<float>(kBatch));
+    }
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    observed += g_alloc_count.load(std::memory_order_relaxed);
+  }
+  state.counters["steady_state_allocs"] = static_cast<double>(observed);
+  if (observed != 0) {
+    std::fprintf(stderr,
+                 "FATAL: compiled-plan steady state performed %llu heap "
+                 "allocation(s); tensor/plan.h guarantees zero.\n",
+                 static_cast<unsigned long long>(observed));
+    std::exit(1);
+  }
+}
+BENCHMARK(BM_PlanSteadyStateAllocs);
+
 void BM_CelfVsGreedy(benchmark::State& state) {
   Graph g = SharedGraph(1500);
   std::vector<NodeId> candidates(g.num_nodes());
@@ -167,6 +338,43 @@ void BM_ParallelBatchGradients(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelBatchGradients)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Tape vs compiled-plan training iterations on identical seeds (Arg: 0 =
+// dynamic-tape reference, 1 = compiled plans). Both paths release
+// bit-identical losses, gradients, and parameters
+// (tests/core/trainer_plan_test.cc), so the ratio between the two rows is
+// pure execution-engine speedup — the headline number recorded in
+// BENCH_plan_compile.json.
+void BM_TrainIterationTapeVsPlan(benchmark::State& state) {
+  Rng gen(8);
+  Graph g = std::move(BarabasiAlbert(800, 5, gen)).ValueOrDie();
+  FreqSamplingConfig scfg;
+  scfg.subgraph_size = 40;
+  scfg.sampling_rate = 1.0;
+  scfg.frequency_threshold = 20;
+  Rng srng(9);
+  DualStageResult sampled =
+      std::move(FreqSampler(scfg).Extract(g, srng)).ValueOrDie();
+  GnnConfig gcfg;
+  gcfg.type = GnnType::kGrat;
+  gcfg.in_dim = kNodeFeatureDim;
+  Rng mrng(10);
+  GnnModel model(gcfg, mrng);
+  TrainConfig tcfg;
+  tcfg.batch_size = 16;
+  tcfg.iterations = 4;
+  tcfg.noise_kind = NoiseKind::kNone;
+  tcfg.num_threads = 1;
+  tcfg.use_compiled_plan = state.range(0) != 0;
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrainDpGnn(model, sampled.container, tcfg,
+                                        rng));
+  }
+}
+BENCHMARK(BM_TrainIterationTapeVsPlan)
+    ->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 // Telemetry overhead on the training hot path: identical training loop with

@@ -31,4 +31,26 @@ Tensor ImPenaltyLoss(const GraphContext& ctx, const Tensor& seed_probs,
   return Add(uninfluenced, Scale(seed_mass, config.lambda));
 }
 
+PlanValId LowerImPenaltyLoss(PlanBuilder& pb, const GraphContext& ctx,
+                             PlanValId seed_probs,
+                             const ImLossConfig& config) {
+  PRIVIM_CHECK_GE(config.diffusion_steps, 1);
+
+  // Same op sequence as ImPenaltyLoss above, over plan value ids.
+  PlanValId h = seed_probs;
+  PlanValId survival = -1;
+  for (int step = 0; step < config.diffusion_steps; ++step) {
+    const PlanValId z =
+        pb.ScatterAddRows(h, ctx.src, ctx.dst, ctx.ic_coef, ctx.num_nodes);
+    const PlanValId p = pb.InfluenceProb(z);
+    const PlanValId one_minus_p = pb.AddScalar(pb.Scale(p, -1.0f), 1.0f);
+    survival = step == 0 ? one_minus_p : pb.Mul(survival, one_minus_p);
+    h = p;
+  }
+
+  const PlanValId uninfluenced = pb.MeanAll(survival);
+  const PlanValId seed_mass = pb.MeanAll(seed_probs);
+  return pb.Add(uninfluenced, pb.Scale(seed_mass, config.lambda));
+}
+
 }  // namespace privim

@@ -2,6 +2,7 @@
 #define PRIVIM_CORE_LOSS_H_
 
 #include "nn/graph_context.h"
+#include "tensor/plan.h"
 #include "tensor/tensor.h"
 
 namespace privim {
@@ -35,6 +36,15 @@ struct ImLossConfig {
 /// Returns a [1,1] scalar tensor wired into `seed_probs`'s tape.
 Tensor ImPenaltyLoss(const GraphContext& ctx, const Tensor& seed_probs,
                      const ImLossConfig& config);
+
+/// Records the same computation into a PlanBuilder: `seed_probs` is a
+/// [ctx.num_nodes, 1] value id (typically the Sigmoid of
+/// GnnModel::LowerLogits); returns the [1,1] loss value id. Used by
+/// core/plan_cache.cc to compile full training plans; results are
+/// bit-identical to ImPenaltyLoss on the tape.
+PlanValId LowerImPenaltyLoss(PlanBuilder& pb, const GraphContext& ctx,
+                             PlanValId seed_probs,
+                             const ImLossConfig& config);
 
 }  // namespace privim
 

@@ -1,0 +1,44 @@
+#include "core/plan_cache.h"
+
+#include "nn/features.h"
+
+namespace privim {
+
+GnnPlan CompileTrainingPlan(const GnnModel& model, const GraphContext& ctx,
+                            const ImLossConfig& loss) {
+  PlanBuilder pb;
+  const PlanValId x = pb.Input(ctx.num_nodes, model.config().in_dim);
+  const PlanValId probs = pb.Sigmoid(model.LowerLogits(pb, ctx, x));
+  return pb.Build(LowerImPenaltyLoss(pb, ctx, probs, loss));
+}
+
+SubgraphPlanCache::SubgraphPlanCache(const GnnModel& model,
+                                     const SubgraphContainer& container,
+                                     const ImLossConfig& loss,
+                                     bool compile_plans)
+    : model_(model),
+      container_(container),
+      loss_(loss),
+      compile_plans_(compile_plans),
+      entries_(container.size()) {}
+
+const CompiledSubgraph& SubgraphPlanCache::Get(size_t idx) {
+  PRIVIM_CHECK_LT(idx, entries_.size());
+  if (entries_[idx] == nullptr) {
+    auto e = std::make_unique<CompiledSubgraph>();
+    e->ctx = BuildGraphContext(container_.at(idx).local);
+    e->features = BuildNodeFeatures(container_.at(idx).local);
+    e->tape_features = Tensor(e->features);
+    // Materialize the constant leaf's grad buffer now: replica threads
+    // share this tensor, and Backward()'s lazy EnsureGrad on a shared node
+    // would otherwise race.
+    e->tape_features.ZeroGrad();
+    if (compile_plans_) {
+      e->train_plan = CompileTrainingPlan(model_, e->ctx, loss_);
+    }
+    entries_[idx] = std::move(e);
+  }
+  return *entries_[idx];
+}
+
+}  // namespace privim

@@ -1,0 +1,70 @@
+#ifndef PRIVIM_CORE_PLAN_CACHE_H_
+#define PRIVIM_CORE_PLAN_CACHE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/loss.h"
+#include "nn/gnn.h"
+#include "nn/graph_context.h"
+#include "sampling/container.h"
+#include "tensor/matrix.h"
+#include "tensor/plan.h"
+#include "tensor/tensor.h"
+
+namespace privim {
+
+/// Everything the trainer derives from one subgraph sample, built once and
+/// reused across iterations: the message-passing context, the structural
+/// node features, a shared constant tape leaf for the reference path (its
+/// grad buffer is pre-touched so concurrent Backward() calls never race on
+/// the lazy allocation), and — when plan execution is on — the compiled
+/// training plan. The plan borrows `ctx`'s edge vectors, so the struct
+/// lives behind a stable pointer and `ctx` must not be reassigned after
+/// compilation.
+struct CompiledSubgraph {
+  GraphContext ctx;
+  Matrix features;
+  Tensor tape_features;
+  GnnPlan train_plan;
+};
+
+/// Compiles the full training program for one subgraph — model forward,
+/// sigmoid head, and the Eq. 5 penalty loss — into a single plan whose
+/// [1,1] output is the loss. Forward + OutputScalar + Backward on the
+/// result is bit-identical to Forward + ImPenaltyLoss + Backward on the
+/// tape (same kernels, same traversal order; see tensor/plan.h).
+GnnPlan CompileTrainingPlan(const GnnModel& model, const GraphContext& ctx,
+                            const ImLossConfig& loss);
+
+/// Lazy per-subgraph cache of derived training state. Entries are built on
+/// first Get() and owned behind stable unique_ptrs, so plan-internal
+/// pointers into an entry's GraphContext stay valid as the cache fills.
+/// Get() is not thread-safe — the trainer touches each batch's entries
+/// serially before the parallel fan-out; the returned entries are
+/// immutable afterwards and safe to read concurrently.
+class SubgraphPlanCache {
+ public:
+  /// Borrows `model` and `container`; both must outlive the cache. Plans
+  /// are only compiled when `compile_plans` is set (the tape path skips
+  /// the compile cost).
+  SubgraphPlanCache(const GnnModel& model,
+                    const SubgraphContainer& container,
+                    const ImLossConfig& loss, bool compile_plans);
+
+  size_t size() const { return entries_.size(); }
+
+  /// The derived state for subgraph `idx`, built on first use.
+  const CompiledSubgraph& Get(size_t idx);
+
+ private:
+  const GnnModel& model_;
+  const SubgraphContainer& container_;
+  ImLossConfig loss_;
+  bool compile_plans_;
+  std::vector<std::unique_ptr<CompiledSubgraph>> entries_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_CORE_PLAN_CACHE_H_

@@ -9,9 +9,8 @@
 #include "common/math_util.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "core/plan_cache.h"
 #include "dp/mechanisms.h"
-#include "nn/features.h"
-#include "nn/graph_context.h"
 #include "nn/optimizer.h"
 #include "runtime/parallel_for.h"
 #include "runtime/runtime.h"
@@ -47,17 +46,13 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
         "clipping may only be disabled for noiseless training");
   }
 
-  // Precompute the message-passing context and structural features once per
-  // subgraph; they are constant across iterations.
+  // Derived per-subgraph state (message-passing context, structural
+  // features, compiled plan) is built lazily on first touch and reused
+  // across iterations — only the subgraphs a batch actually draws pay the
+  // build cost.
   const size_t m = container.size();
-  std::vector<GraphContext> contexts;
-  std::vector<Matrix> features;
-  contexts.reserve(m);
-  features.reserve(m);
-  for (size_t i = 0; i < m; ++i) {
-    contexts.push_back(BuildGraphContext(container.at(i).local));
-    features.push_back(BuildNodeFeatures(container.at(i).local));
-  }
+  SubgraphPlanCache cache(model, container, config.loss,
+                          config.use_compiled_plan);
 
   const size_t dim = model.params().num_scalars();
   std::vector<float> batch_sum(dim);
@@ -68,19 +63,26 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
     optimizer = std::make_unique<SgdOptimizer>(config.learning_rate);
   }
 
-  // Parallel setup. Per-sample gradients are computed on model replicas
-  // (one per concurrent task) because forward/backward accumulates into
-  // the owning ParamStore. Replica parameters are refreshed from the main
-  // model every iteration, and the gradient of a subgraph is a
-  // deterministic function of (parameters, subgraph) alone — no RNG — so
-  // which replica computes it cannot change a single bit. The serial path
-  // (threads == 1) runs on the main model directly.
+  // Parallel setup. On the plan path the compiled plans are shared,
+  // stateless programs: parameters are bound per iteration as a read-only
+  // flat snapshot and every worker slot owns a PlanArena, so no model
+  // replicas are needed at any thread count. On the tape path, per-sample
+  // gradients are computed on model replicas (one per concurrent task)
+  // because forward/backward accumulates into the owning ParamStore.
+  // Either way the gradient of a subgraph is a deterministic function of
+  // (parameters, subgraph) alone — no RNG — so which worker computes it
+  // cannot change a single bit. The serial tape path (threads == 1) runs
+  // on the main model directly.
   const size_t threads = std::max<size_t>(
       1, std::min(ResolveNumThreads(config.num_threads), config.batch_size));
   ThreadPool* pool = SharedPool(threads);
   std::vector<std::unique_ptr<GnnModel>> replicas;
   std::vector<float> param_snapshot;
-  if (pool != nullptr) {
+  std::vector<PlanArena> arenas;
+  if (config.use_compiled_plan) {
+    arenas.resize(threads);
+    param_snapshot.resize(dim);
+  } else if (pool != nullptr) {
     replicas.reserve(threads);
     for (size_t r = 0; r < threads; ++r) {
       // Init randomness is discarded by LoadParams below; a fixed local
@@ -98,6 +100,7 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
   std::vector<SampleSlot> samples(config.batch_size);
   for (SampleSlot& s : samples) s.grad.resize(dim);
   std::vector<size_t> batch_indices(config.batch_size);
+  std::vector<const CompiledSubgraph*> batch_entries(config.batch_size);
 
   // Polyak tail averaging state: accumulate iterates over the last
   // quarter of the run.
@@ -110,6 +113,7 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
 
   TrainStats stats;
   stats.losses.reserve(config.iterations);
+  stats.grad_norms.reserve(config.iterations);
   double norm_accum = 0.0;
   size_t norm_count = 0;
 
@@ -169,25 +173,43 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
     if (config.noise_kind != NoiseKind::kNone) pre_noise_sum.resize(dim);
   }
 
-  // One per-sample pass (Lines 5-6 of Algorithm 2) against `sample_model`,
-  // writing into `slot`. Pure function of (model params, subgraph).
-  auto compute_sample = [&](GnnModel& sample_model, size_t idx,
-                            SampleSlot& slot) {
-    Tensor x(features[idx]);
-    Tensor probs = sample_model.Forward(contexts[idx], x);
-    Tensor loss = ImPenaltyLoss(contexts[idx], probs, config.loss);
-    slot.loss = loss.value()(0, 0);
-    sample_model.params().ZeroGrads();
-    loss.Backward();
-    sample_model.params().FlattenGrads(slot.grad);
-    // Line 6: per-sample clip to C (skipped in unclipped non-private
-    // mode).
+  // Line 6: per-sample clip to C (skipped in unclipped non-private mode).
+  auto clip_sample = [&](SampleSlot& slot) {
     if (config.clip_bound > 0.0) {
       slot.pre_clip_norm = ClipL2(slot.grad, config.clip_bound);
     } else {
       slot.pre_clip_norm = L2Norm(
           std::span<const float>(slot.grad.data(), slot.grad.size()));
     }
+  };
+
+  // One per-sample pass (Lines 5-6 of Algorithm 2) on the reference tape,
+  // against `sample_model`, writing into `slot`. Pure function of
+  // (model params, subgraph); the constant feature leaf is shared, never
+  // written.
+  auto compute_sample_tape = [&](GnnModel& sample_model,
+                                 const CompiledSubgraph& cs,
+                                 SampleSlot& slot) {
+    Tensor probs = sample_model.Forward(cs.ctx, cs.tape_features);
+    Tensor loss = ImPenaltyLoss(cs.ctx, probs, config.loss);
+    slot.loss = loss.value()(0, 0);
+    sample_model.params().ZeroGrads();
+    loss.Backward();
+    sample_model.params().FlattenGrads(slot.grad);
+    clip_sample(slot);
+  };
+
+  // The same pass on the compiled plan: zero heap allocations once the
+  // slot's arena is warm. Backward zeroes and fills `slot.grad` directly
+  // in flat ParamStore order, replacing ZeroGrads + FlattenGrads.
+  auto compute_sample_plan = [&](const CompiledSubgraph& cs, size_t slot_id,
+                                 SampleSlot& slot) {
+    const GnnPlan& plan = cs.train_plan;
+    PlanArena& arena = arenas[slot_id];
+    plan.Forward(param_snapshot, cs.features, arena);
+    slot.loss = plan.OutputScalar(arena);
+    plan.Backward(param_snapshot, cs.features, arena, slot.grad);
+    clip_sample(slot);
   };
 
   MetricsRegistry* ckpt_metrics =
@@ -201,10 +223,28 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
     for (size_t b = 0; b < config.batch_size; ++b) {
       batch_indices[b] = static_cast<size_t>(rng.UniformInt(m));
     }
+    // Touch the batch's cache entries on this thread: lazy building is not
+    // thread-safe, and after the first epoch this is all pointer reads.
+    for (size_t b = 0; b < config.batch_size; ++b) {
+      batch_entries[b] = &cache.Get(batch_indices[b]);
+    }
 
-    if (pool == nullptr) {
+    if (config.use_compiled_plan) {
+      model.params().FlattenParams(param_snapshot);
+      if (pool == nullptr) {
+        for (size_t b = 0; b < config.batch_size; ++b) {
+          compute_sample_plan(*batch_entries[b], 0, samples[b]);
+        }
+      } else {
+        ParallelForWithSlots(
+            pool, 0, config.batch_size, /*grain=*/1, arenas.size(),
+            [&](size_t b, size_t slot) {
+              compute_sample_plan(*batch_entries[b], slot, samples[b]);
+            });
+      }
+    } else if (pool == nullptr) {
       for (size_t b = 0; b < config.batch_size; ++b) {
-        compute_sample(model, batch_indices[b], samples[b]);
+        compute_sample_tape(model, *batch_entries[b], samples[b]);
       }
     } else {
       model.params().FlattenParams(param_snapshot);
@@ -214,7 +254,8 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
       ParallelForWithSlots(
           pool, 0, config.batch_size, /*grain=*/1, replicas.size(),
           [&](size_t b, size_t slot) {
-            compute_sample(*replicas[slot], batch_indices[b], samples[b]);
+            compute_sample_tape(*replicas[slot], *batch_entries[b],
+                                samples[b]);
           });
     }
 

@@ -53,6 +53,14 @@ struct TrainConfig {
   /// single noise draw, so results are bit-identical for every thread
   /// count and the DP accounting is untouched (see docs/runtime.md).
   size_t num_threads = 0;
+  /// Execute per-sample passes on compiled execution plans (tensor/plan.h,
+  /// core/plan_cache.h) instead of rebuilding the dynamic autograd tape
+  /// each pass. Plans are compiled lazily per subgraph, shared across
+  /// worker threads (parameters bound per iteration, buffers per worker
+  /// slot), and allocation-free once warm. Results are bit-identical to
+  /// the tape for every thread count — the tape stays as the
+  /// reference/debug path (set to false to use it).
+  bool use_compiled_plan = true;
   ImLossConfig loss;
   /// Optional run telemetry. When set, the loop appends one
   /// TrainIterationRecord per iteration (loss, clip fraction, mean pre-clip

@@ -76,7 +76,9 @@ class Graph {
   /// Enumerates all arcs in CSR order.
   std::vector<Edge> Edges() const;
 
-  /// True if the arc u -> v exists (O(out-degree of u)).
+  /// True if the arc u -> v exists. O(log out-degree of u): binary search
+  /// over u's CSR row, which GraphBuilder::Build() leaves sorted and
+  /// duplicate-free.
   bool HasEdge(NodeId u, NodeId v) const;
 
   /// Cheap identity fingerprint for caches keyed on "the same Graph object

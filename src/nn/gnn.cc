@@ -92,4 +92,22 @@ Tensor GnnModel::ForwardLogits(const GraphContext& ctx,
   return AddRowBroadcast(MatMul(h, head_weight_), head_bias_);
 }
 
+PlanValId GnnModel::LowerLogits(PlanBuilder& pb, const GraphContext& ctx,
+                                PlanValId x) const {
+  PlanValId h = x;
+  for (const auto& layer : layers_) {
+    h = pb.LeakyRelu(layer->Lower(pb, params_, ctx, h), 0.1f);
+  }
+  const PlanValId hw = pb.Param(params_.OffsetOf(head_weight_),
+                                head_weight_.rows(), head_weight_.cols());
+  const PlanValId hb = pb.Param(params_.OffsetOf(head_bias_), 1, 1);
+  return pb.AddRowBroadcast(pb.MatMul(h, hw), hb);
+}
+
+GnnPlan GnnModel::Compile(const GraphContext& ctx) const {
+  PlanBuilder pb;
+  const PlanValId x = pb.Input(ctx.num_nodes, config_.in_dim);
+  return pb.Build(pb.Sigmoid(LowerLogits(pb, ctx, x)));
+}
+
 }  // namespace privim

@@ -10,6 +10,7 @@
 #include "nn/graph_context.h"
 #include "nn/layers.h"
 #include "nn/param_store.h"
+#include "tensor/plan.h"
 #include "tensor/tensor.h"
 
 namespace privim {
@@ -20,6 +21,11 @@ enum class GnnType { kGcn, kSage, kGin, kGat, kGrat };
 /// Parses "gcn", "graphsage"/"sage", "gin", "gat", "grat".
 Result<GnnType> ParseGnnType(const std::string& name);
 std::string GnnTypeName(GnnType type);
+
+/// A compiled, reusable forward(+backward) program for one
+/// (GnnConfig, GraphContext) pair — see tensor/plan.h. Derived state:
+/// recompiled on demand, never serialized.
+using GnnPlan = ExecutionPlan;
 
 /// Hyper-parameters of the seed-scoring GNN. Defaults match the paper:
 /// three layers of 32 hidden units.
@@ -51,6 +57,22 @@ class GnnModel {
   /// free of float32 sigmoid saturation, so top-k ranking stays sharp even
   /// when many probabilities round to 1.0 (used at inference).
   Tensor ForwardLogits(const GraphContext& ctx, const Tensor& x) const;
+
+  /// Compiles the Forward() computation against `ctx` into a reusable
+  /// plan whose output is the [num_nodes, 1] seed-probability matrix.
+  /// Execute with the flat parameter vector (params().FlattenParams) and
+  /// the feature matrix; results are bit-identical to Forward(). The plan
+  /// borrows `ctx`'s edge vectors and must not outlive them. Training
+  /// composes LowerLogits with the loss lowering instead (see
+  /// core/plan_cache.h).
+  GnnPlan Compile(const GraphContext& ctx) const;
+
+  /// Records the ForwardLogits computation into `pb` (input `x` must be
+  /// [ctx.num_nodes, in_dim]) and returns the [num_nodes, 1] logits value
+  /// id. Building block for Compile() and for training plans that append
+  /// the loss lowering.
+  PlanValId LowerLogits(PlanBuilder& pb, const GraphContext& ctx,
+                        PlanValId x) const;
 
   const GnnConfig& config() const { return config_; }
   ParamStore& params() { return params_; }

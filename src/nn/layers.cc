@@ -16,6 +16,16 @@ Tensor GcnConv::Forward(const GraphContext& ctx, const Tensor& x) const {
   return AddRowBroadcast(MatMul(agg, weight_), bias_);
 }
 
+PlanValId GcnConv::Lower(PlanBuilder& pb, const ParamStore& store,
+                         const GraphContext& ctx, PlanValId x) const {
+  const PlanValId agg =
+      pb.ScatterAddRows(x, ctx.src, ctx.dst, ctx.gcn_coef, ctx.num_nodes);
+  const PlanValId w =
+      pb.Param(store.OffsetOf(weight_), weight_.rows(), weight_.cols());
+  const PlanValId b = pb.Param(store.OffsetOf(bias_), 1, bias_.cols());
+  return pb.AddRowBroadcast(pb.MatMul(agg, w), b);
+}
+
 SageConv::SageConv(size_t in_dim, size_t out_dim, ParamStore& store,
                    Rng& rng, const std::string& name)
     : weight_(store.NewGlorot(name + ".W", 2 * in_dim, out_dim, rng)),
@@ -27,6 +37,17 @@ Tensor SageConv::Forward(const GraphContext& ctx, const Tensor& x) const {
       ScatterAddRows(x, ctx.src, ctx.dst, ctx.mean_coef, ctx.num_nodes);
   Tensor cat = ConcatCols(x, mean);
   return AddRowBroadcast(MatMul(cat, weight_), bias_);
+}
+
+PlanValId SageConv::Lower(PlanBuilder& pb, const ParamStore& store,
+                          const GraphContext& ctx, PlanValId x) const {
+  const PlanValId mean =
+      pb.ScatterAddRows(x, ctx.src, ctx.dst, ctx.mean_coef, ctx.num_nodes);
+  const PlanValId cat = pb.ConcatCols(x, mean);
+  const PlanValId w =
+      pb.Param(store.OffsetOf(weight_), weight_.rows(), weight_.cols());
+  const PlanValId b = pb.Param(store.OffsetOf(bias_), 1, bias_.cols());
+  return pb.AddRowBroadcast(pb.MatMul(cat, w), b);
 }
 
 GinConv::GinConv(size_t in_dim, size_t out_dim, ParamStore& store, Rng& rng,
@@ -46,6 +67,24 @@ Tensor GinConv::Forward(const GraphContext& ctx, const Tensor& x) const {
   Tensor combined = Add(neighbor_sum, self);
   Tensor hidden = Relu(AddRowBroadcast(MatMul(combined, w1_), b1_));
   return AddRowBroadcast(MatMul(hidden, w2_), b2_);
+}
+
+PlanValId GinConv::Lower(PlanBuilder& pb, const ParamStore& store,
+                         const GraphContext& ctx, PlanValId x) const {
+  const PlanValId neighbor_sum =
+      pb.ScatterAddRows(x, ctx.src, ctx.dst, ctx.sum_coef, ctx.num_nodes);
+  const PlanValId omega = pb.Param(store.OffsetOf(omega_), 1, 1);
+  const PlanValId self = pb.Add(x, pb.ScaleByScalar(x, omega));
+  const PlanValId combined = pb.Add(neighbor_sum, self);
+  const PlanValId w1 =
+      pb.Param(store.OffsetOf(w1_), w1_.rows(), w1_.cols());
+  const PlanValId b1 = pb.Param(store.OffsetOf(b1_), 1, b1_.cols());
+  const PlanValId hidden =
+      pb.Relu(pb.AddRowBroadcast(pb.MatMul(combined, w1), b1));
+  const PlanValId w2 =
+      pb.Param(store.OffsetOf(w2_), w2_.rows(), w2_.cols());
+  const PlanValId b2 = pb.Param(store.OffsetOf(b2_), 1, b2_.cols());
+  return pb.AddRowBroadcast(pb.MatMul(hidden, w2), b2);
 }
 
 AttentionConv::AttentionConv(size_t in_dim, size_t out_dim,
@@ -71,6 +110,28 @@ Tensor AttentionConv::Forward(const GraphContext& ctx,
       norm_ == AttentionNorm::kTarget ? ctx.dst : ctx.src;
   Tensor alpha = SegmentSoftmax(e, group, ctx.num_nodes);
   return WeightedScatterAddRows(alpha, xw, ctx.src, ctx.dst, ctx.num_nodes);
+}
+
+PlanValId AttentionConv::Lower(PlanBuilder& pb, const ParamStore& store,
+                               const GraphContext& ctx, PlanValId x) const {
+  const PlanValId w =
+      pb.Param(store.OffsetOf(weight_), weight_.rows(), weight_.cols());
+  const PlanValId xw = pb.MatMul(x, w);
+  const PlanValId a_src =
+      pb.Param(store.OffsetOf(att_src_), att_src_.rows(), 1);
+  const PlanValId a_dst =
+      pb.Param(store.OffsetOf(att_dst_), att_dst_.rows(), 1);
+  const PlanValId logit_src = pb.MatMul(xw, a_src);
+  const PlanValId logit_dst = pb.MatMul(xw, a_dst);
+  const PlanValId e = pb.LeakyRelu(
+      pb.Add(pb.GatherRows(logit_src, ctx.src),
+             pb.GatherRows(logit_dst, ctx.dst)),
+      0.2f);
+  const std::vector<uint32_t>& group =
+      norm_ == AttentionNorm::kTarget ? ctx.dst : ctx.src;
+  const PlanValId alpha = pb.SegmentSoftmax(e, group, ctx.num_nodes);
+  return pb.WeightedScatterAddRows(alpha, xw, ctx.src, ctx.dst,
+                                   ctx.num_nodes);
 }
 
 }  // namespace privim

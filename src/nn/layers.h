@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "nn/graph_context.h"
 #include "nn/param_store.h"
+#include "tensor/plan.h"
 #include "tensor/tensor.h"
 
 namespace privim {
@@ -23,6 +24,14 @@ class GnnLayer {
   /// [num_nodes, out_dim] pre-activation (models apply the nonlinearity).
   virtual Tensor Forward(const GraphContext& ctx, const Tensor& x) const = 0;
 
+  /// Records the same computation as Forward() into a PlanBuilder, with
+  /// parameters bound by their flat offset in `store` (which must be the
+  /// store the layer registered into). Returns the pre-activation value id.
+  /// The compiled plan borrows `ctx`'s edge vectors and must not outlive
+  /// them.
+  virtual PlanValId Lower(PlanBuilder& pb, const ParamStore& store,
+                          const GraphContext& ctx, PlanValId x) const = 0;
+
   virtual std::string name() const = 0;
 };
 
@@ -33,6 +42,8 @@ class GcnConv : public GnnLayer {
   GcnConv(size_t in_dim, size_t out_dim, ParamStore& store, Rng& rng,
           const std::string& name);
   Tensor Forward(const GraphContext& ctx, const Tensor& x) const override;
+  PlanValId Lower(PlanBuilder& pb, const ParamStore& store,
+                  const GraphContext& ctx, PlanValId x) const override;
   std::string name() const override { return name_; }
 
  private:
@@ -47,6 +58,8 @@ class SageConv : public GnnLayer {
   SageConv(size_t in_dim, size_t out_dim, ParamStore& store, Rng& rng,
            const std::string& name);
   Tensor Forward(const GraphContext& ctx, const Tensor& x) const override;
+  PlanValId Lower(PlanBuilder& pb, const ParamStore& store,
+                  const GraphContext& ctx, PlanValId x) const override;
   std::string name() const override { return name_; }
 
  private:
@@ -61,6 +74,8 @@ class GinConv : public GnnLayer {
   GinConv(size_t in_dim, size_t out_dim, ParamStore& store, Rng& rng,
           const std::string& name);
   Tensor Forward(const GraphContext& ctx, const Tensor& x) const override;
+  PlanValId Lower(PlanBuilder& pb, const ParamStore& store,
+                  const GraphContext& ctx, PlanValId x) const override;
   std::string name() const override { return name_; }
 
  private:
@@ -89,6 +104,8 @@ class AttentionConv : public GnnLayer {
   AttentionConv(size_t in_dim, size_t out_dim, AttentionNorm norm,
                 ParamStore& store, Rng& rng, const std::string& name);
   Tensor Forward(const GraphContext& ctx, const Tensor& x) const override;
+  PlanValId Lower(PlanBuilder& pb, const ParamStore& store,
+                  const GraphContext& ctx, PlanValId x) const override;
   std::string name() const override { return name_; }
 
  private:

@@ -33,6 +33,16 @@ Tensor ParamStore::NewConstant(const std::string& name, size_t rows,
   return t;
 }
 
+size_t ParamStore::OffsetOf(const Tensor& t) const {
+  size_t pos = 0;
+  for (const Tensor& p : params_) {
+    if (TensorOpBuilder::node(p) == TensorOpBuilder::node(t)) return pos;
+    pos += p.value().size();
+  }
+  PRIVIM_CHECK(false) << "tensor is not a parameter of this store";
+  return 0;
+}
+
 void ParamStore::ZeroGrads() {
   for (Tensor& p : params_) p.ZeroGrad();
 }

@@ -32,6 +32,11 @@ class ParamStore {
   Tensor NewConstant(const std::string& name, size_t rows, size_t cols,
                      float value);
 
+  /// Offset of parameter `t` in the flat vectors (FlattenParams /
+  /// FlattenGrads order). `t` must be a tensor created by this store
+  /// (matched by node identity, not by value).
+  size_t OffsetOf(const Tensor& t) const;
+
   size_t num_tensors() const { return params_.size(); }
   /// Total number of scalar parameters.
   size_t num_scalars() const { return num_scalars_; }

@@ -1,0 +1,757 @@
+#include "tensor/plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace privim {
+
+using plan_internal::kNoScratch;
+using plan_internal::Op;
+using plan_internal::OpKind;
+using plan_internal::SlotKind;
+using plan_internal::ValueNode;
+
+// ---------------------------------------------------------------------------
+// PlanBuilder.
+// ---------------------------------------------------------------------------
+
+PlanValId PlanBuilder::AddValue(SlotKind slot, size_t rows, size_t cols,
+                                bool requires_grad) {
+  ValueNode v;
+  v.slot = slot;
+  v.rows = static_cast<uint32_t>(rows);
+  v.cols = static_cast<uint32_t>(cols);
+  v.requires_grad = requires_grad;
+  vals_.push_back(v);
+  return static_cast<PlanValId>(vals_.size() - 1);
+}
+
+PlanValId PlanBuilder::AddOp(Op op, size_t out_rows, size_t out_cols) {
+  const bool rg = (op.a >= 0 && val(op.a).requires_grad) ||
+                  (op.b >= 0 && val(op.b).requires_grad);
+  const PlanValId out =
+      AddValue(SlotKind::kActivation, out_rows, out_cols, rg);
+  op.out = out;
+  vals_[out].op = static_cast<int32_t>(ops_.size());
+  ops_.push_back(op);
+  return out;
+}
+
+const ValueNode& PlanBuilder::val(PlanValId id) const {
+  PRIVIM_CHECK_GE(id, 0);
+  PRIVIM_CHECK_LT(static_cast<size_t>(id), vals_.size());
+  return vals_[id];
+}
+
+PlanValId PlanBuilder::Input(size_t rows, size_t cols) {
+  PRIVIM_CHECK_EQ(input_, -1) << "plans take a single input";
+  input_ = AddValue(SlotKind::kInput, rows, cols, /*requires_grad=*/false);
+  return input_;
+}
+
+PlanValId PlanBuilder::Param(size_t offset, size_t rows, size_t cols) {
+  const PlanValId id =
+      AddValue(SlotKind::kParam, rows, cols, /*requires_grad=*/true);
+  vals_[id].param_offset = offset;
+  return id;
+}
+
+PlanValId PlanBuilder::MatMul(PlanValId a, PlanValId b) {
+  PRIVIM_CHECK_EQ(val(a).cols, val(b).rows);
+  Op op{OpKind::kMatMul};
+  op.a = a;
+  op.b = b;
+  return AddOp(op, val(a).rows, val(b).cols);
+}
+
+PlanValId PlanBuilder::Add(PlanValId a, PlanValId b) {
+  PRIVIM_CHECK_EQ(val(a).rows, val(b).rows);
+  PRIVIM_CHECK_EQ(val(a).cols, val(b).cols);
+  Op op{OpKind::kAdd};
+  op.a = a;
+  op.b = b;
+  return AddOp(op, val(a).rows, val(a).cols);
+}
+
+PlanValId PlanBuilder::Mul(PlanValId a, PlanValId b) {
+  PRIVIM_CHECK_EQ(val(a).rows, val(b).rows);
+  PRIVIM_CHECK_EQ(val(a).cols, val(b).cols);
+  Op op{OpKind::kMul};
+  op.a = a;
+  op.b = b;
+  return AddOp(op, val(a).rows, val(a).cols);
+}
+
+PlanValId PlanBuilder::AddRowBroadcast(PlanValId x, PlanValId bias) {
+  PRIVIM_CHECK_EQ(val(bias).rows, 1u);
+  PRIVIM_CHECK_EQ(val(bias).cols, val(x).cols);
+  Op op{OpKind::kAddRowBroadcast};
+  op.a = x;
+  op.b = bias;
+  return AddOp(op, val(x).rows, val(x).cols);
+}
+
+PlanValId PlanBuilder::Scale(PlanValId x, float c) {
+  Op op{OpKind::kScale};
+  op.a = x;
+  op.c0 = c;
+  return AddOp(op, val(x).rows, val(x).cols);
+}
+
+PlanValId PlanBuilder::AddScalar(PlanValId x, float c) {
+  Op op{OpKind::kAddScalar};
+  op.a = x;
+  op.c0 = c;
+  return AddOp(op, val(x).rows, val(x).cols);
+}
+
+PlanValId PlanBuilder::ScaleByScalar(PlanValId x, PlanValId s) {
+  PRIVIM_CHECK_EQ(val(s).rows, 1u);
+  PRIVIM_CHECK_EQ(val(s).cols, 1u);
+  Op op{OpKind::kScaleByScalar};
+  op.a = x;
+  op.b = s;
+  return AddOp(op, val(x).rows, val(x).cols);
+}
+
+PlanValId PlanBuilder::ConcatCols(PlanValId a, PlanValId b) {
+  PRIVIM_CHECK_EQ(val(a).rows, val(b).rows);
+  Op op{OpKind::kConcatCols};
+  op.a = a;
+  op.b = b;
+  return AddOp(op, val(a).rows,
+               static_cast<size_t>(val(a).cols) + val(b).cols);
+}
+
+PlanValId PlanBuilder::Relu(PlanValId x) {
+  Op op{OpKind::kRelu};
+  op.a = x;
+  return AddOp(op, val(x).rows, val(x).cols);
+}
+
+PlanValId PlanBuilder::LeakyRelu(PlanValId x, float slope) {
+  Op op{OpKind::kLeakyRelu};
+  op.a = x;
+  op.c0 = slope;
+  return AddOp(op, val(x).rows, val(x).cols);
+}
+
+PlanValId PlanBuilder::Sigmoid(PlanValId x) {
+  Op op{OpKind::kSigmoid};
+  op.a = x;
+  return AddOp(op, val(x).rows, val(x).cols);
+}
+
+PlanValId PlanBuilder::InfluenceProb(PlanValId x) {
+  Op op{OpKind::kInfluenceProb};
+  op.a = x;
+  return AddOp(op, val(x).rows, val(x).cols);
+}
+
+PlanValId PlanBuilder::Sum(PlanValId x) {
+  Op op{OpKind::kSum};
+  op.a = x;
+  return AddOp(op, 1, 1);
+}
+
+PlanValId PlanBuilder::MeanAll(PlanValId x) {
+  // Mirrors ops.cc MeanAll: Scale(Sum(x), 1/size) — two tape nodes, so the
+  // plan creates the same two ops to keep the backward replay aligned.
+  PRIVIM_CHECK_GT(val(x).size(), 0u);
+  return Scale(Sum(x), 1.0f / static_cast<float>(val(x).size()));
+}
+
+PlanValId PlanBuilder::GatherRows(PlanValId x,
+                                  const std::vector<uint32_t>& index) {
+  for (uint32_t i : index) PRIVIM_CHECK_LT(i, val(x).rows);
+  Op op{OpKind::kGatherRows};
+  op.a = x;
+  op.idx_a = index.data();
+  op.n_idx = index.size();
+  return AddOp(op, index.size(), val(x).cols);
+}
+
+PlanValId PlanBuilder::ScatterAddRows(PlanValId x,
+                                      const std::vector<uint32_t>& src,
+                                      const std::vector<uint32_t>& dst,
+                                      const std::vector<float>& coef,
+                                      size_t num_out) {
+  PRIVIM_CHECK_EQ(src.size(), dst.size());
+  PRIVIM_CHECK_EQ(src.size(), coef.size());
+  for (size_t e = 0; e < src.size(); ++e) {
+    PRIVIM_CHECK_LT(src[e], val(x).rows);
+    PRIVIM_CHECK_LT(dst[e], num_out);
+  }
+  Op op{OpKind::kScatterAddRows};
+  op.a = x;
+  op.idx_a = src.data();
+  op.idx_b = dst.data();
+  op.coef = coef.data();
+  op.n_idx = src.size();
+  return AddOp(op, num_out, val(x).cols);
+}
+
+PlanValId PlanBuilder::WeightedScatterAddRows(
+    PlanValId alpha, PlanValId x, const std::vector<uint32_t>& src,
+    const std::vector<uint32_t>& dst, size_t num_out) {
+  PRIVIM_CHECK_EQ(val(alpha).rows, src.size());
+  PRIVIM_CHECK_EQ(val(alpha).cols, 1u);
+  PRIVIM_CHECK_EQ(src.size(), dst.size());
+  for (size_t e = 0; e < src.size(); ++e) {
+    PRIVIM_CHECK_LT(src[e], val(x).rows);
+    PRIVIM_CHECK_LT(dst[e], num_out);
+  }
+  Op op{OpKind::kWeightedScatterAddRows};
+  op.a = alpha;  // Tape parent order: {alpha, x}.
+  op.b = x;
+  op.idx_a = src.data();
+  op.idx_b = dst.data();
+  op.n_idx = src.size();
+  return AddOp(op, num_out, val(x).cols);
+}
+
+PlanValId PlanBuilder::SegmentSoftmax(PlanValId scores,
+                                      const std::vector<uint32_t>& group,
+                                      size_t num_groups) {
+  PRIVIM_CHECK_EQ(val(scores).cols, 1u);
+  PRIVIM_CHECK_EQ(val(scores).rows, group.size());
+  for (uint32_t g : group) PRIVIM_CHECK_LT(g, num_groups);
+  Op op{OpKind::kSegmentSoftmax};
+  op.a = scores;
+  op.idx_a = group.data();
+  op.n_idx = group.size();
+  op.n_groups = num_groups;
+  return AddOp(op, group.size(), 1);
+}
+
+ExecutionPlan PlanBuilder::Build(PlanValId output) {
+  PRIVIM_CHECK_GE(output, 0);
+  PRIVIM_CHECK_LT(static_cast<size_t>(output), vals_.size());
+
+  ExecutionPlan plan;
+  plan.vals_ = std::move(vals_);
+  plan.ops_ = std::move(ops_);
+  plan.output_ = output;
+  plan.input_id_ = input_;
+
+  // Arena layout. Activation values first, then (contiguously) every
+  // gradient buffer so Backward can zero them with a single fill, then
+  // per-op scratch.
+  size_t f_off = 0;
+  for (ValueNode& v : plan.vals_) {
+    if (v.slot == SlotKind::kActivation) {
+      v.val_off = f_off;
+      f_off += v.size();
+    } else if (v.slot == SlotKind::kParam) {
+      plan.param_scalars_ =
+          std::max(plan.param_scalars_, v.param_offset + v.size());
+    }
+  }
+  plan.grads_off_ = f_off;
+  for (ValueNode& v : plan.vals_) {
+    if (v.slot == SlotKind::kActivation && v.requires_grad) {
+      v.grad_off = f_off;
+      f_off += v.size();
+    }
+  }
+  plan.grads_len_ = f_off - plan.grads_off_;
+
+  size_t d_off = 0;
+  for (Op& op : plan.ops_) {
+    switch (op.kind) {
+      case OpKind::kSegmentSoftmax:
+        // Forward: gmax (float) + gsum (double); backward reuses the
+        // double region for gdot (both are num_groups wide and never live
+        // at the same time).
+        op.scratch_f = f_off;
+        f_off += op.n_groups;
+        op.scratch_d = d_off;
+        d_off += op.n_groups;
+        break;
+      case OpKind::kMatMul:
+        // dB is staged in a zeroed buffer and then added into the
+        // parameter gradient, exactly like the tape's
+        // MatTransMulValues-then-AddInPlace, so the accumulation order is
+        // byte-identical even when the gradient already holds mass.
+        if (plan.vals_[op.b].requires_grad) {
+          op.scratch_db = f_off;
+          f_off += plan.vals_[op.b].size();
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  plan.farena_ = f_off;
+  plan.darena_ = d_off;
+
+  // Backward schedule: replay the tape's iterative post-order DFS
+  // (tensor/tensor.cc) over the identical DAG — same root, same
+  // parent-visit order ({a, b}) — then reverse. Gradient contributions to
+  // shared nodes therefore land in the same order as on the tape, which is
+  // what makes float accumulation bit-identical.
+  struct Frame {
+    PlanValId node;
+    size_t next_parent;
+  };
+  std::vector<PlanValId> order;
+  std::vector<uint8_t> visited(plan.vals_.size(), 0);
+  std::vector<Frame> stack;
+  stack.push_back({output, 0});
+  visited[output] = 1;
+  auto parent_of = [&plan](PlanValId v, size_t i) -> PlanValId {
+    const int32_t op_id = plan.vals_[v].op;
+    if (op_id < 0) return -1;
+    const Op& op = plan.ops_[op_id];
+    if (i == 0) return op.a;
+    if (i == 1) return op.b;
+    return -1;
+  };
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const PlanValId parent = parent_of(frame.node, frame.next_parent);
+    if (parent >= 0 || frame.next_parent < 2) {
+      ++frame.next_parent;
+      if (parent >= 0 && !visited[parent]) {
+        visited[parent] = 1;
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const ValueNode& v = plan.vals_[*it];
+    // Tape: a node participates in backprop iff it has a closure (an op
+    // whose result requires grad).
+    if (v.op >= 0 && v.requires_grad) plan.backward_.push_back(v.op);
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionPlan.
+// ---------------------------------------------------------------------------
+
+size_t ExecutionPlan::output_rows() const {
+  PRIVIM_CHECK(compiled());
+  return vals_[output_].rows;
+}
+
+size_t ExecutionPlan::output_cols() const {
+  PRIVIM_CHECK(compiled());
+  return vals_[output_].cols;
+}
+
+void ExecutionPlan::EnsureArena(PlanArena& arena) const {
+  if (arena.f.size() < farena_) arena.f.resize(farena_);
+  if (arena.d.size() < darena_) arena.d.resize(darena_);
+}
+
+const float* ExecutionPlan::ValPtr(PlanValId id,
+                                   std::span<const float> params,
+                                   const Matrix& input,
+                                   const PlanArena& arena) const {
+  const ValueNode& v = vals_[id];
+  switch (v.slot) {
+    case SlotKind::kInput:
+      return input.data();
+    case SlotKind::kParam:
+      return params.data() + v.param_offset;
+    case SlotKind::kActivation:
+      return arena.f.data() + v.val_off;
+  }
+  return nullptr;
+}
+
+float* ExecutionPlan::GradPtr(PlanValId id, std::span<float> param_grads,
+                              PlanArena& arena) const {
+  const ValueNode& v = vals_[id];
+  if (!v.requires_grad) return nullptr;
+  if (v.slot == SlotKind::kParam) return param_grads.data() + v.param_offset;
+  return arena.f.data() + v.grad_off;
+}
+
+namespace {
+
+// Elementwise forward/backward scalar functions, transcribed from the
+// tape lambdas in tensor/ops.cc so both paths round identically.
+inline float SigmoidFwd(float v) {
+  return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                   : std::exp(v) / (1.0f + std::exp(v));
+}
+inline float SigmoidBwd(float v) {
+  const float s = SigmoidFwd(v);
+  return s * (1.0f - s);
+}
+
+}  // namespace
+
+void ExecutionPlan::Forward(std::span<const float> params,
+                            const Matrix& input, PlanArena& arena) const {
+  PRIVIM_CHECK(compiled());
+  PRIVIM_CHECK_GE(params.size(), param_scalars_);
+  if (input_id_ >= 0) {
+    PRIVIM_CHECK_EQ(input.rows(), vals_[input_id_].rows);
+    PRIVIM_CHECK_EQ(input.cols(), vals_[input_id_].cols);
+  }
+  EnsureArena(arena);
+
+  for (const Op& op : ops_) {
+    const ValueNode& on = vals_[op.out];
+    float* out = arena.f.data() + on.val_off;
+    const float* a = ValPtr(op.a, params, input, arena);
+    const float* b = op.b >= 0 ? ValPtr(op.b, params, input, arena)
+                               : nullptr;
+    const size_t rows = on.rows, cols = on.cols, size = on.size();
+    switch (op.kind) {
+      case OpKind::kMatMul: {
+        const size_t m = vals_[op.a].rows, k = vals_[op.a].cols;
+        std::fill(out, out + size, 0.0f);
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t kk = 0; kk < k; ++kk) {
+            const float aik = a[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* brow = b + kk * cols;
+            float* orow = out + i * cols;
+            for (size_t j = 0; j < cols; ++j) orow[j] += aik * brow[j];
+          }
+        }
+        break;
+      }
+      case OpKind::kAdd:
+        for (size_t i = 0; i < size; ++i) out[i] = a[i] + b[i];
+        break;
+      case OpKind::kMul:
+        for (size_t i = 0; i < size; ++i) out[i] = a[i] * b[i];
+        break;
+      case OpKind::kAddRowBroadcast:
+        for (size_t r = 0; r < rows; ++r) {
+          float* orow = out + r * cols;
+          const float* xrow = a + r * cols;
+          for (size_t c = 0; c < cols; ++c) orow[c] = xrow[c] + b[c];
+        }
+        break;
+      case OpKind::kScale:
+        for (size_t i = 0; i < size; ++i) out[i] = a[i] * op.c0;
+        break;
+      case OpKind::kAddScalar:
+        for (size_t i = 0; i < size; ++i) out[i] = a[i] + op.c0;
+        break;
+      case OpKind::kScaleByScalar: {
+        const float sv = b[0];
+        for (size_t i = 0; i < size; ++i) out[i] = a[i] * sv;
+        break;
+      }
+      case OpKind::kConcatCols: {
+        const size_t a_cols = vals_[op.a].cols, b_cols = vals_[op.b].cols;
+        for (size_t r = 0; r < rows; ++r) {
+          float* orow = out + r * cols;
+          std::copy(a + r * a_cols, a + (r + 1) * a_cols, orow);
+          std::copy(b + r * b_cols, b + (r + 1) * b_cols, orow + a_cols);
+        }
+        break;
+      }
+      case OpKind::kRelu:
+        for (size_t i = 0; i < size; ++i) {
+          out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+        }
+        break;
+      case OpKind::kLeakyRelu:
+        for (size_t i = 0; i < size; ++i) {
+          out[i] = a[i] > 0.0f ? a[i] : op.c0 * a[i];
+        }
+        break;
+      case OpKind::kSigmoid:
+        for (size_t i = 0; i < size; ++i) out[i] = SigmoidFwd(a[i]);
+        break;
+      case OpKind::kInfluenceProb:
+        for (size_t i = 0; i < size; ++i) {
+          out[i] = a[i] > 0.0f ? 1.0f - std::exp(-a[i]) : 0.0f;
+        }
+        break;
+      case OpKind::kSum: {
+        double s = 0.0;
+        const size_t n = vals_[op.a].size();
+        for (size_t i = 0; i < n; ++i) s += a[i];
+        out[0] = static_cast<float>(s);
+        break;
+      }
+      case OpKind::kGatherRows:
+        for (size_t i = 0; i < op.n_idx; ++i) {
+          const float* src = a + op.idx_a[i] * cols;
+          std::copy(src, src + cols, out + i * cols);
+        }
+        break;
+      case OpKind::kScatterAddRows:
+        std::fill(out, out + size, 0.0f);
+        for (size_t e = 0; e < op.n_idx; ++e) {
+          const float* xin = a + op.idx_a[e] * cols;
+          float* orow = out + op.idx_b[e] * cols;
+          const float c = op.coef[e];
+          for (size_t k = 0; k < cols; ++k) orow[k] += c * xin[k];
+        }
+        break;
+      case OpKind::kWeightedScatterAddRows:
+        std::fill(out, out + size, 0.0f);
+        for (size_t e = 0; e < op.n_idx; ++e) {
+          const float alpha = a[e];
+          const float* xin = b + op.idx_a[e] * cols;
+          float* orow = out + op.idx_b[e] * cols;
+          for (size_t k = 0; k < cols; ++k) orow[k] += alpha * xin[k];
+        }
+        break;
+      case OpKind::kSegmentSoftmax: {
+        float* gmax = arena.f.data() + op.scratch_f;
+        double* gsum = arena.d.data() + op.scratch_d;
+        std::fill(gmax, gmax + op.n_groups, -1e30f);
+        std::fill(gsum, gsum + op.n_groups, 0.0);
+        for (size_t e = 0; e < op.n_idx; ++e) {
+          gmax[op.idx_a[e]] = std::max(gmax[op.idx_a[e]], a[e]);
+        }
+        for (size_t e = 0; e < op.n_idx; ++e) {
+          const float v = std::exp(a[e] - gmax[op.idx_a[e]]);
+          out[e] = v;
+          gsum[op.idx_a[e]] += v;
+        }
+        for (size_t e = 0; e < op.n_idx; ++e) {
+          const double denom = gsum[op.idx_a[e]];
+          out[e] = denom > 0.0 ? static_cast<float>(out[e] / denom) : 0.0f;
+        }
+        break;
+      }
+    }
+  }
+}
+
+float ExecutionPlan::OutputScalar(const PlanArena& arena) const {
+  PRIVIM_CHECK(compiled());
+  PRIVIM_CHECK_EQ(vals_[output_].size(), 1u);
+  return arena.f[vals_[output_].val_off];
+}
+
+std::span<const float> ExecutionPlan::Output(const PlanArena& arena) const {
+  PRIVIM_CHECK(compiled());
+  const ValueNode& v = vals_[output_];
+  return {arena.f.data() + v.val_off, v.size()};
+}
+
+void ExecutionPlan::Backward(std::span<const float> params,
+                             const Matrix& input, PlanArena& arena,
+                             std::span<float> param_grads) const {
+  PRIVIM_CHECK(compiled());
+  PRIVIM_CHECK_EQ(vals_[output_].size(), 1u);
+  PRIVIM_CHECK_GE(param_grads.size(), param_scalars_);
+  EnsureArena(arena);
+
+  std::fill(param_grads.begin(), param_grads.end(), 0.0f);
+  float* grads = arena.f.data() + grads_off_;
+  std::fill(grads, grads + grads_len_, 0.0f);
+  if (!vals_[output_].requires_grad) return;  // Frozen graph: no-op.
+  arena.f[vals_[output_].grad_off] += 1.0f;   // Seed d(loss)/d(loss).
+
+  for (const int32_t op_id : backward_) {
+    const Op& op = ops_[op_id];
+    const ValueNode& on = vals_[op.out];
+    const float* g = arena.f.data() + on.grad_off;
+    const float* out_val = arena.f.data() + on.val_off;
+    const float* av = ValPtr(op.a, params, input, arena);
+    const float* bv =
+        op.b >= 0 ? ValPtr(op.b, params, input, arena) : nullptr;
+    float* ag = GradPtr(op.a, param_grads, arena);
+    float* bg = op.b >= 0 ? GradPtr(op.b, param_grads, arena) : nullptr;
+    const size_t rows = on.rows, cols = on.cols, size = on.size();
+    switch (op.kind) {
+      case OpKind::kMatMul: {
+        const size_t m = rows, n = cols;
+        const size_t k = vals_[op.a].cols;
+        if (ag != nullptr) {
+          // dA = dOut * B^T: each entry is one locally accumulated dot,
+          // added once — identical to MatMulTransValues + AddInPlace.
+          for (size_t i = 0; i < m; ++i) {
+            const float* grow = g + i * n;
+            for (size_t j = 0; j < k; ++j) {
+              const float* brow = bv + j * n;
+              float dot = 0.0f;
+              for (size_t c = 0; c < n; ++c) dot += grow[c] * brow[c];
+              ag[i * k + j] += dot;
+            }
+          }
+        }
+        if (bg != nullptr) {
+          // dB = A^T * dOut, staged in a zeroed scratch then added, as the
+          // tape does (MatTransMulValues builds a fresh matrix).
+          float* s = arena.f.data() + op.scratch_db;
+          std::fill(s, s + k * n, 0.0f);
+          for (size_t r = 0; r < m; ++r) {
+            const float* arow = av + r * k;
+            const float* grow = g + r * n;
+            for (size_t i = 0; i < k; ++i) {
+              const float ari = arow[i];
+              if (ari == 0.0f) continue;
+              float* srow = s + i * n;
+              for (size_t j = 0; j < n; ++j) srow[j] += ari * grow[j];
+            }
+          }
+          for (size_t i = 0; i < k * n; ++i) bg[i] += s[i];
+        }
+        break;
+      }
+      case OpKind::kAdd:
+        if (ag != nullptr) {
+          for (size_t i = 0; i < size; ++i) ag[i] += g[i];
+        }
+        if (bg != nullptr) {
+          for (size_t i = 0; i < size; ++i) bg[i] += g[i];
+        }
+        break;
+      case OpKind::kMul:
+        if (ag != nullptr) {
+          for (size_t i = 0; i < size; ++i) ag[i] += g[i] * bv[i];
+        }
+        if (bg != nullptr) {
+          for (size_t i = 0; i < size; ++i) bg[i] += g[i] * av[i];
+        }
+        break;
+      case OpKind::kAddRowBroadcast:
+        if (ag != nullptr) {
+          for (size_t i = 0; i < size; ++i) ag[i] += g[i];
+        }
+        if (bg != nullptr) {
+          for (size_t r = 0; r < rows; ++r) {
+            const float* grow = g + r * cols;
+            for (size_t c = 0; c < cols; ++c) bg[c] += grow[c];
+          }
+        }
+        break;
+      case OpKind::kScale:
+        if (ag != nullptr) {
+          for (size_t i = 0; i < size; ++i) ag[i] += op.c0 * g[i];
+        }
+        break;
+      case OpKind::kAddScalar:
+        if (ag != nullptr) {
+          for (size_t i = 0; i < size; ++i) ag[i] += g[i];
+        }
+        break;
+      case OpKind::kScaleByScalar: {
+        const float sv = bv[0];
+        if (ag != nullptr) {
+          for (size_t i = 0; i < size; ++i) ag[i] += sv * g[i];
+        }
+        if (bg != nullptr) {
+          double acc = 0.0;
+          for (size_t i = 0; i < size; ++i) {
+            acc += static_cast<double>(g[i]) * av[i];
+          }
+          bg[0] += static_cast<float>(acc);
+        }
+        break;
+      }
+      case OpKind::kConcatCols: {
+        const size_t a_cols = vals_[op.a].cols, b_cols = vals_[op.b].cols;
+        for (size_t r = 0; r < rows; ++r) {
+          const float* grow = g + r * cols;
+          if (ag != nullptr) {
+            float* arow = ag + r * a_cols;
+            for (size_t c = 0; c < a_cols; ++c) arow[c] += grow[c];
+          }
+          if (bg != nullptr) {
+            float* brow = bg + r * b_cols;
+            for (size_t c = 0; c < b_cols; ++c) brow[c] += grow[a_cols + c];
+          }
+        }
+        break;
+      }
+      case OpKind::kRelu:
+        if (ag != nullptr) {
+          for (size_t i = 0; i < size; ++i) {
+            ag[i] += g[i] * (av[i] > 0.0f ? 1.0f : 0.0f);
+          }
+        }
+        break;
+      case OpKind::kLeakyRelu:
+        if (ag != nullptr) {
+          for (size_t i = 0; i < size; ++i) {
+            ag[i] += g[i] * (av[i] > 0.0f ? 1.0f : op.c0);
+          }
+        }
+        break;
+      case OpKind::kSigmoid:
+        if (ag != nullptr) {
+          for (size_t i = 0; i < size; ++i) ag[i] += g[i] * SigmoidBwd(av[i]);
+        }
+        break;
+      case OpKind::kInfluenceProb:
+        if (ag != nullptr) {
+          for (size_t i = 0; i < size; ++i) {
+            ag[i] += g[i] * (av[i] > 0.0f ? std::exp(-av[i]) : 0.0f);
+          }
+        }
+        break;
+      case OpKind::kSum:
+        if (ag != nullptr) {
+          const float g0 = g[0];
+          const size_t n = vals_[op.a].size();
+          for (size_t i = 0; i < n; ++i) ag[i] += g0;
+        }
+        break;
+      case OpKind::kGatherRows:
+        if (ag != nullptr) {
+          for (size_t i = 0; i < op.n_idx; ++i) {
+            const float* grow = g + i * cols;
+            float* arow = ag + op.idx_a[i] * cols;
+            for (size_t c = 0; c < cols; ++c) arow[c] += grow[c];
+          }
+        }
+        break;
+      case OpKind::kScatterAddRows:
+        if (ag != nullptr) {
+          for (size_t e = 0; e < op.n_idx; ++e) {
+            const float* grow = g + op.idx_b[e] * cols;
+            float* arow = ag + op.idx_a[e] * cols;
+            const float c = op.coef[e];
+            for (size_t k = 0; k < cols; ++k) arow[k] += c * grow[k];
+          }
+        }
+        break;
+      case OpKind::kWeightedScatterAddRows:
+        for (size_t e = 0; e < op.n_idx; ++e) {
+          const float* grow = g + op.idx_b[e] * cols;
+          const float* xin = bv + op.idx_a[e] * cols;
+          if (ag != nullptr) {
+            double dot = 0.0;
+            for (size_t k = 0; k < cols; ++k) {
+              dot += static_cast<double>(grow[k]) * xin[k];
+            }
+            ag[e] += static_cast<float>(dot);
+          }
+          if (bg != nullptr) {
+            const float alpha = av[e];
+            float* brow = bg + op.idx_a[e] * cols;
+            for (size_t k = 0; k < cols; ++k) brow[k] += alpha * grow[k];
+          }
+        }
+        break;
+      case OpKind::kSegmentSoftmax:
+        if (ag != nullptr) {
+          double* gdot = arena.d.data() + op.scratch_d;
+          std::fill(gdot, gdot + op.n_groups, 0.0);
+          for (size_t e = 0; e < op.n_idx; ++e) {
+            gdot[op.idx_a[e]] +=
+                static_cast<double>(out_val[e]) * g[e];
+          }
+          for (size_t e = 0; e < op.n_idx; ++e) {
+            const float alpha = out_val[e];
+            ag[e] += alpha * (g[e] - static_cast<float>(gdot[op.idx_a[e]]));
+          }
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace privim

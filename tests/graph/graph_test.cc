@@ -82,6 +82,38 @@ TEST(GraphTest, HasEdgeUsesBinarySearch) {
   EXPECT_FALSE(g.HasEdge(2, 3));
 }
 
+// HasEdge's binary search is only correct if Build() leaves every CSR row
+// sorted and duplicate-free; pin both invariants and cross-check HasEdge
+// against a brute-force scan on an irregular graph (edges inserted in
+// descending order, some repeated).
+TEST(GraphTest, HasEdgeMatchesBruteForceOnSortedDuplicateFreeRows) {
+  constexpr NodeId kNodes = 23;
+  GraphBuilder b(kNodes);
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  for (NodeId u = 0; u < kNodes; ++u) {
+    for (NodeId v = kNodes; v-- > 0;) {
+      if (v != u && (u * 7 + v * 13) % 5 == 0) arcs.emplace_back(u, v);
+    }
+  }
+  for (const auto& [u, v] : arcs) {
+    ASSERT_TRUE(b.AddEdge(u, v).ok());
+    ASSERT_TRUE(b.AddEdge(u, v).ok());  // Duplicates must collapse.
+  }
+  Graph g = std::move(b.Build()).ValueOrDie();
+
+  for (NodeId u = 0; u < kNodes; ++u) {
+    const std::span<const NodeId> row = g.OutNeighbors(u);
+    for (size_t i = 1; i < row.size(); ++i) {
+      EXPECT_LT(row[i - 1], row[i]) << "row " << u << " not sorted/unique";
+    }
+    for (NodeId v = 0; v < kNodes; ++v) {
+      bool brute = false;
+      for (const NodeId w : row) brute = brute || w == v;
+      EXPECT_EQ(g.HasEdge(u, v), brute) << u << " -> " << v;
+    }
+  }
+}
+
 TEST(GraphTest, EdgesEnumerationRoundTrips) {
   Graph g = MakeTriangle();
   const std::vector<Edge> edges = g.Edges();

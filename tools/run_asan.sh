@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds the project with AddressSanitizer (-DPRIVIM_SANITIZE=address) and
-# runs the memory-relevant test binaries: the obs metrics/telemetry suite
-# plus the sampler and seed-selection regression tests.
+# runs the memory-relevant test binaries: the obs metrics/telemetry suite,
+# the sampler and seed-selection regression tests, and the compiled-plan
+# differential suites (plan_test), whose arena indexing and in-place
+# backward schedules are exactly the kind of raw-offset code ASan is for.
 #
 # The sampler tests include the restrict_to out-of-bounds regressions
 # (FreqSampler/RwrSampler used to index per-node vectors with unvalidated
@@ -20,7 +22,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DPRIVIM_BUILD_BENCHMARKS=OFF \
   -DPRIVIM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target obs_test sampling_test sampling_properties_test im_test
+  --target obs_test sampling_test sampling_properties_test im_test \
+  plan_test
 
 export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}
 export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
@@ -31,5 +34,6 @@ export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
 "$BUILD_DIR/tests/sampling_properties_test"
 "$BUILD_DIR/tests/im_test" \
   --gtest_filter='Celf*:Greedy*:InstrumentedOracle*'
+"$BUILD_DIR/tests/plan_test"
 
 echo "ASan run clean."

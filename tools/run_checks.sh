@@ -2,8 +2,11 @@
 # One-command verification ladder, in increasing cost:
 #
 #   1. tier-1: Release build + the full unit/property ctest suite
-#      (labels: `ctest -L unit`, `-L property`, `-L sanitizer`, `-L ckpt`
-#      select subsets; see tests/CMakeLists.txt);
+#      (labels: `ctest -L unit`, `-L property`, `-L sanitizer`, `-L ckpt`,
+#      `-L plan` select subsets; see tests/CMakeLists.txt), then the
+#      compiled-plan allocation gate (bench_micro's PlanSteadyStateAllocs
+#      case exits nonzero if the plan runtime heap-allocates in steady
+#      state);
 #   2. ckpt:   examples build + the checkpoint/resume fault-injection
 #              suite (kill-and-resume bit-identity, tests/ckpt/) under
 #              AddressSanitizer;
@@ -26,6 +29,14 @@ echo "== stage 1/4: tier-1 build + ctest =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
+
+echo "== stage 1b: compiled-plan zero-allocation gate =="
+# Runs full steady-state training iterations under a counting allocator
+# (global operator new replacement in bench/bench_micro.cc) and exits
+# nonzero on the first heap allocation — the contract tensor/plan.h makes
+# for warm plans.
+"$BUILD_DIR/bench/bench_micro" \
+  --benchmark_filter='PlanSteadyStateAllocs' --benchmark_min_time=0.05
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "Tier-1 clean (sanitizer stages skipped)."
