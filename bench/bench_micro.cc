@@ -22,8 +22,11 @@
 #include "im/seed_selection.h"
 #include "nn/features.h"
 #include "nn/gnn.h"
+#include "im/rr_sets.h"
 #include "sampling/freq_sampler.h"
 #include "sampling/rwr_sampler.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
 #include "tensor/ops.h"
 
 // ---- Counting allocator. Global operator new/delete replacements that
@@ -269,6 +272,109 @@ void BM_PlanSteadyStateAllocs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlanSteadyStateAllocs);
+
+// Serving-path allocation gate (src/serve/): a WARM QueryEngine executing
+// a mixed stream of all three query types across all three spread
+// estimators must never touch the heap — snapshot inference runs in the
+// engine's arena, diffusion in its epoch-stamped workspace, sketch
+// coverage in its stamped VisitedSet, and the response reuses its
+// vectors. Same kill-the-binary contract as BM_PlanSteadyStateAllocs;
+// tools/run_checks.sh runs both by name.
+void BM_ServeSteadyStateAllocs(benchmark::State& state) {
+  Rng gen(6);
+  Graph g = std::move(ErdosRenyi(80, 0.1, true, gen)).ValueOrDie();
+  GnnConfig cfg;
+  cfg.type = GnnType::kGrat;
+  cfg.in_dim = kNodeFeatureDim;
+  Rng rng(7);
+  auto model = std::make_unique<GnnModel>(cfg, rng);
+  const std::shared_ptr<const ModelSnapshot> snapshot =
+      std::move(ModelSnapshot::FromModel(std::move(model), g)).ValueOrDie();
+  Rng sketch_rng(8);
+  const RrSketch sketch =
+      std::move(RrSketch::Generate(g, 256, sketch_rng, 1)).ValueOrDie();
+
+  std::vector<QueryRequest> mix;
+  {
+    QueryRequest req;
+    req.type = QueryType::kTopK;
+    req.k = 10;
+    req.estimator = SpreadEstimator::kExact;
+    req.max_steps = 1;
+    mix.push_back(std::move(req));
+  }
+  {
+    QueryRequest req;
+    req.type = QueryType::kTopK;
+    req.k = 10;
+    req.estimator = SpreadEstimator::kMonteCarloIc;
+    req.trials = 8;
+    req.max_steps = 1;
+    req.seed = 1;
+    mix.push_back(std::move(req));
+  }
+  {
+    QueryRequest req;
+    req.type = QueryType::kSpread;
+    req.seeds = {0, 1, 2};
+    req.estimator = SpreadEstimator::kMonteCarloIc;
+    req.trials = 8;
+    req.max_steps = 1;
+    req.seed = 2;
+    mix.push_back(std::move(req));
+  }
+  {
+    QueryRequest req;
+    req.type = QueryType::kSpread;
+    req.seeds = {3, 4};
+    req.estimator = SpreadEstimator::kRrSketch;
+    mix.push_back(std::move(req));
+  }
+  {
+    QueryRequest req;
+    req.type = QueryType::kMarginalGain;
+    req.seeds = {0, 1};
+    req.candidates = {2, 3, 4, 5};
+    req.estimator = SpreadEstimator::kMonteCarloIc;
+    req.trials = 8;
+    req.max_steps = 1;
+    req.seed = 3;
+    mix.push_back(std::move(req));
+  }
+
+  QueryEngine engine(g);
+  QueryResponse resp;
+  // Warm pass: arena growth, workspace init, response-vector high-water.
+  for (const QueryRequest& req : mix) {
+    const Status s = engine.Execute(snapshot.get(), &sketch, req, resp);
+    if (!s.ok()) {
+      std::fprintf(stderr, "FATAL: warmup query failed: %s\n",
+                   s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  uint64_t observed = 0;
+  for (auto _ : state) {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    for (const QueryRequest& req : mix) {
+      engine.Execute(snapshot.get(), &sketch, req, resp);
+      benchmark::DoNotOptimize(resp.spread);
+    }
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    observed += g_alloc_count.load(std::memory_order_relaxed);
+  }
+  state.counters["steady_state_allocs"] = static_cast<double>(observed);
+  if (observed != 0) {
+    std::fprintf(stderr,
+                 "FATAL: warm serving queries performed %llu heap "
+                 "allocation(s); serve/query_engine.h guarantees zero.\n",
+                 static_cast<unsigned long long>(observed));
+    std::exit(1);
+  }
+}
+BENCHMARK(BM_ServeSteadyStateAllocs);
 
 void BM_CelfVsGreedy(benchmark::State& state) {
   Graph g = SharedGraph(1500);

@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -27,6 +27,11 @@ enum class StatusCode : int {
   /// does not indicate a defect: partial state already committed to disk is
   /// valid and a resumed run continues from it.
   kAborted = 9,
+  /// A bounded resource is at capacity and the operation was refused rather
+  /// than queued unboundedly (e.g. a full serving RequestQueue,
+  /// src/serve/request_queue.h). Transient by design: retrying after
+  /// completed work has freed capacity is the expected reaction.
+  kResourceExhausted = 10,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -78,6 +83,9 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

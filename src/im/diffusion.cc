@@ -126,6 +126,30 @@ size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
   return count;
 }
 
+size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
+                             int steps, Workspace& ws) {
+  PRIVIM_CHECK_GE(steps, 0);
+  VisitedSet& active = ws.visited;
+  std::vector<uint32_t>& frontier = ws.frontier;
+  size_t count = SeedState(g, seeds, active, frontier);
+  // Same layered BFS as the allocating form, expressed with the cursor
+  // idiom of SimulateIcCascade: frontier[cursor, layer_end) is hop h.
+  size_t cursor = 0;
+  for (int h = 0; h < steps && cursor < frontier.size(); ++h) {
+    const size_t layer_end = frontier.size();
+    for (; cursor < layer_end; ++cursor) {
+      for (NodeId v : g.OutNeighbors(frontier[cursor])) {
+        if (!active.Contains(v)) {
+          active.Insert(v);
+          frontier.push_back(v);
+          ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
 size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps) {
   Workspace ws;

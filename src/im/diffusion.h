@@ -54,6 +54,13 @@ double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
 size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
                              int steps = 1);
 
+/// As above, against reusable scratch (ws.visited + ws.frontier):
+/// identical count, but the per-call O(num_nodes) bitmap initialization
+/// becomes O(1) once the workspace is warm — the form the serving layer
+/// (src/serve/) runs on its allocation-free steady-state query path.
+size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
+                             int steps, Workspace& ws);
+
 /// One cascade under the Linear Threshold model: node thresholds are drawn
 /// uniformly from [0,1]; a node activates when the weight sum of its active
 /// in-neighbors reaches its threshold. Returns activated count.

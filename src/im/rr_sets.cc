@@ -89,6 +89,24 @@ double RrSketch::EstimateSpread(const std::vector<NodeId>& seeds) const {
          static_cast<double>(sets_.size());
 }
 
+double RrSketch::EstimateSpread(std::span<const NodeId> seeds,
+                                VisitedSet& covered) const {
+  PRIVIM_CHECK_GT(sets_.size(), 0u);
+  covered.Reset(sets_.size());
+  size_t hit = 0;
+  for (NodeId s : seeds) {
+    PRIVIM_CHECK_LT(s, num_nodes_);
+    for (uint32_t set_id : node_to_sets_[s]) {
+      if (!covered.Contains(set_id)) {
+        covered.Insert(set_id);
+        ++hit;
+      }
+    }
+  }
+  return static_cast<double>(num_nodes_) * static_cast<double>(hit) /
+         static_cast<double>(sets_.size());
+}
+
 Result<std::vector<NodeId>> RrSketch::SelectSeeds(size_t k) const {
   if (k == 0) return Status::InvalidArgument("k must be positive");
   if (k > num_nodes_) {

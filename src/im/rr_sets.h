@@ -1,11 +1,13 @@
 #ifndef PRIVIM_IM_RR_SETS_H_
 #define PRIVIM_IM_RR_SETS_H_
 
+#include <span>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "runtime/scratch.h"
 
 namespace privim {
 
@@ -38,6 +40,13 @@ class RrSketch {
 
   /// Unbiased spread estimate: |V| * (covered RR sets / total RR sets).
   double EstimateSpread(const std::vector<NodeId>& seeds) const;
+
+  /// As above, against an epoch-stamped coverage set (reset here to
+  /// num_sets()): identical value, O(1) re-initialization once warm. The
+  /// serving layer keeps one `covered` set per worker so a resident sketch
+  /// answers spread queries without per-query allocation.
+  double EstimateSpread(std::span<const NodeId> seeds,
+                        VisitedSet& covered) const;
 
   /// Greedy max-coverage over the sketch: returns k seeds with the usual
   /// (1 - 1/e)-approximation w.r.t. the sketch coverage. Fails if

@@ -53,29 +53,39 @@ struct ModelHeader {
   size_t num_tensors = 0;
 };
 
-Result<ModelHeader> ReadHeader(std::istream& in) {
+/// Every header diagnostic names the offending file: a serving operator
+/// pointing --snapshot at the wrong artifact gets the path and a hint, not
+/// a bare parse failure (tests/nn/serialization_test.cc pins this).
+Result<ModelHeader> ReadHeader(std::istream& in, const std::string& path) {
   std::string magic;
   if (!std::getline(in, magic) || Trim(magic) != kMagic) {
-    return Status::IoError("not a privim model checkpoint");
+    return Status::IoError(StrFormat(
+        "'%s' is not a PrivIM model checkpoint (expected magic '%s'); the "
+        "file may be from an incompatible model-format version, or a "
+        "pipeline/trainer snapshot from --checkpoint-dir — model "
+        "checkpoints are the files written by SaveModel / --save-model",
+        path.c_str(), kMagic));
   }
   ModelHeader header;
   std::string key, value;
+  const auto malformed = [&path](const char* field) {
+    return Status::IoError(StrFormat(
+        "model checkpoint '%s': missing '%s' header field (truncated or "
+        "corrupted file, or a different model-format version)",
+        path.c_str(), field));
+  };
   // type
   in >> key >> value;
-  if (key != "type") return Status::IoError("missing 'type' field");
+  if (key != "type") return malformed("type");
   PRIVIM_ASSIGN_OR_RETURN(header.config.type, ParseGnnType(value));
   in >> key >> header.config.in_dim;
-  if (key != "in_dim") return Status::IoError("missing 'in_dim' field");
+  if (key != "in_dim") return malformed("in_dim");
   in >> key >> header.config.hidden_dim;
-  if (key != "hidden_dim") {
-    return Status::IoError("missing 'hidden_dim' field");
-  }
+  if (key != "hidden_dim") return malformed("hidden_dim");
   in >> key >> header.config.num_layers;
-  if (key != "num_layers") {
-    return Status::IoError("missing 'num_layers' field");
-  }
+  if (key != "num_layers") return malformed("num_layers");
   in >> key >> header.num_tensors;
-  if (key != "tensors") return Status::IoError("missing 'tensors' field");
+  if (key != "tensors") return malformed("tensors");
   return header;
 }
 
@@ -84,31 +94,40 @@ Result<ModelHeader> ReadHeader(std::istream& in) {
 Result<GnnConfig> LoadModelConfig(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+    return Status::IoError(StrFormat(
+        "cannot open model checkpoint '%s'", path.c_str()));
   }
-  PRIVIM_ASSIGN_OR_RETURN(ModelHeader header, ReadHeader(in));
+  PRIVIM_ASSIGN_OR_RETURN(ModelHeader header, ReadHeader(in, path));
   return header.config;
 }
 
 Status LoadModelParams(const std::string& path, GnnModel& model) {
   std::ifstream in(path);
   if (!in) {
-    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+    return Status::IoError(StrFormat(
+        "cannot open model checkpoint '%s'", path.c_str()));
   }
-  PRIVIM_ASSIGN_OR_RETURN(ModelHeader header, ReadHeader(in));
+  PRIVIM_ASSIGN_OR_RETURN(ModelHeader header, ReadHeader(in, path));
   const GnnConfig& cfg = header.config;
   const size_t num_tensors = header.num_tensors;
   const GnnConfig& want = model.config();
   if (cfg.type != want.type || cfg.in_dim != want.in_dim ||
       cfg.hidden_dim != want.hidden_dim ||
       cfg.num_layers != want.num_layers) {
-    return Status::FailedPrecondition(
-        "model configuration does not match checkpoint header");
+    return Status::FailedPrecondition(StrFormat(
+        "model checkpoint '%s' holds a %s[in=%zu,hidden=%zu,layers=%zu] "
+        "model but the target model is %s[in=%zu,hidden=%zu,layers=%zu]; "
+        "the checkpoint likely comes from a run with a different --gnn or "
+        "feature configuration",
+        path.c_str(), GnnTypeName(cfg.type).c_str(), cfg.in_dim,
+        cfg.hidden_dim, cfg.num_layers, GnnTypeName(want.type).c_str(),
+        want.in_dim, want.hidden_dim, want.num_layers));
   }
   if (num_tensors != model.params().num_tensors()) {
     return Status::FailedPrecondition(StrFormat(
-        "checkpoint has %zu tensors, model has %zu", num_tensors,
-        model.params().num_tensors()));
+        "model checkpoint '%s' has %zu tensors, model has %zu (stale or "
+        "version-mismatched checkpoint)",
+        path.c_str(), num_tensors, model.params().num_tensors()));
   }
 
   std::vector<float> flat(model.params().num_scalars());
@@ -117,21 +136,24 @@ Status LoadModelParams(const std::string& path, GnnModel& model) {
     std::string tag, name;
     size_t rows = 0, cols = 0;
     if (!(in >> tag >> name >> rows >> cols) || tag != "tensor") {
-      return Status::IoError(
-          StrFormat("malformed tensor block %zu", i));
+      return Status::IoError(StrFormat(
+          "model checkpoint '%s': malformed tensor block %zu", path.c_str(),
+          i));
     }
     const Tensor& p = model.params().params()[i];
     if (name != model.params().names()[i] || rows != p.rows() ||
         cols != p.cols()) {
       return Status::FailedPrecondition(StrFormat(
-          "tensor %zu mismatch: checkpoint %s[%zux%zu] vs model %s[%zux%zu]",
-          i, name.c_str(), rows, cols, model.params().names()[i].c_str(),
-          p.rows(), p.cols()));
+          "model checkpoint '%s': tensor %zu mismatch: checkpoint %s[%zux%zu]"
+          " vs model %s[%zux%zu]",
+          path.c_str(), i, name.c_str(), rows, cols,
+          model.params().names()[i].c_str(), p.rows(), p.cols()));
     }
     for (size_t k = 0; k < rows * cols; ++k) {
       if (!(in >> flat[pos])) {
-        return Status::IoError(
-            StrFormat("truncated values in tensor '%s'", name.c_str()));
+        return Status::IoError(StrFormat(
+            "model checkpoint '%s': truncated values in tensor '%s'",
+            path.c_str(), name.c_str()));
       }
       ++pos;
     }

@@ -1,0 +1,165 @@
+#include "serve/harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace privim {
+
+namespace {
+
+/// Quantile over a sorted sample via the nearest-rank method.
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Result<LoadReport> RunClosedLoopLoad(Server& server, const RequestMix& mix,
+                                     const LoadConfig& config) {
+  if (mix.templates.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("request mix '%s' has no templates", mix.name.c_str()));
+  }
+  if (config.num_clients == 0) {
+    return Status::InvalidArgument("LoadConfig::num_clients must be >= 1");
+  }
+
+  std::atomic<size_t> rejected{0};
+  std::atomic<size_t> failed{0};
+  std::atomic<size_t> completed{0};
+  std::vector<std::vector<double>> latencies(config.num_clients);
+
+  WallTimer run_timer;
+  std::vector<std::thread> clients;
+  clients.reserve(config.num_clients);
+  for (size_t c = 0; c < config.num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      // Private copies of the templates: the client mutates only the seed
+      // field between issues, so the per-request cost is the query, not
+      // request construction.
+      std::vector<QueryRequest> reqs = mix.templates;
+      QueryResponse response;
+      std::vector<double>& lat = latencies[c];
+      lat.reserve(config.requests_per_client);
+      const size_t total =
+          config.warmup_per_client + config.requests_per_client;
+      // Consumed but never read; keeps response reads in the timed path.
+      double sink = 0.0;
+      for (size_t i = 0; i < total; ++i) {
+        QueryRequest& req = reqs[(c + i) % reqs.size()];
+        req.seed = config.base_seed ^
+                   ((c * total + i + 1) * 0x9e3779b97f4a7c15ULL);
+        WallTimer timer;
+        Status status;
+        while (true) {
+          status = server.Query(req, response);
+          if (status.code() != StatusCode::kResourceExhausted) break;
+          // Backpressure: the queue is full. Closed-loop clients retry —
+          // the rejection count reports how often admission pushed back.
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+        const double seconds = timer.ElapsedSeconds();
+        if (status.ok()) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          sink += response.spread;
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (i >= config.warmup_per_client) lat.push_back(seconds);
+      }
+      if (sink == -1.0) std::abort();  // Defeats dead-read elimination.
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall = run_timer.ElapsedSeconds();
+
+  std::vector<double> merged;
+  merged.reserve(config.num_clients * config.requests_per_client);
+  for (const std::vector<double>& lat : latencies) {
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  std::sort(merged.begin(), merged.end());
+
+  LoadReport report;
+  report.completed = completed.load();
+  report.rejected = rejected.load();
+  report.failed = failed.load();
+  report.wall_seconds = wall;
+  report.qps = wall > 0.0 ? static_cast<double>(report.completed) / wall : 0.0;
+  report.latency_p50 = SortedQuantile(merged, 0.50);
+  report.latency_p95 = SortedQuantile(merged, 0.95);
+  report.latency_p99 = SortedQuantile(merged, 0.99);
+  if (!merged.empty()) {
+    double sum = 0.0;
+    for (double v : merged) sum += v;
+    report.latency_mean = sum / static_cast<double>(merged.size());
+  }
+  return report;
+}
+
+std::vector<RequestMix> StandardMixes(size_t num_nodes, uint64_t seed) {
+  Rng rng(seed);
+  const auto pick_nodes = [&](size_t k) {
+    std::vector<NodeId> nodes;
+    nodes.reserve(k);
+    for (size_t i = 0; i < k && i < num_nodes; ++i) {
+      nodes.push_back(static_cast<NodeId>(rng.UniformInt(num_nodes)));
+    }
+    return nodes;
+  };
+
+  RequestMix seed_selection;
+  seed_selection.name = "seed-selection";
+  for (size_t k : {10, 25, 50}) {
+    QueryRequest req;
+    req.type = QueryType::kTopK;
+    req.k = std::min(k, num_nodes);
+    req.estimator = SpreadEstimator::kExact;
+    req.max_steps = 1;
+    seed_selection.templates.push_back(std::move(req));
+  }
+
+  RequestMix analytics;
+  analytics.name = "spread-analytics";
+  {
+    QueryRequest req;
+    req.type = QueryType::kSpread;
+    req.seeds = pick_nodes(10);
+    req.estimator = SpreadEstimator::kMonteCarloIc;
+    req.trials = 32;
+    req.max_steps = 1;
+    analytics.templates.push_back(std::move(req));
+  }
+  {
+    QueryRequest req;
+    req.type = QueryType::kMarginalGain;
+    req.seeds = pick_nodes(5);
+    req.candidates = pick_nodes(8);
+    req.estimator = SpreadEstimator::kMonteCarloIc;
+    req.trials = 16;
+    req.max_steps = 1;
+    analytics.templates.push_back(std::move(req));
+  }
+
+  RequestMix mixed;
+  mixed.name = "mixed";
+  mixed.templates = seed_selection.templates;
+  mixed.templates.insert(mixed.templates.end(),
+                         analytics.templates.begin(),
+                         analytics.templates.end());
+
+  return {std::move(seed_selection), std::move(analytics),
+          std::move(mixed)};
+}
+
+}  // namespace privim

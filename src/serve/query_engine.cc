@@ -1,0 +1,149 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "im/diffusion.h"
+
+namespace privim {
+
+QueryEngine::QueryEngine(const Graph& graph) : graph_(graph) {
+  workspaces_.EnsureSlots(1);
+}
+
+Status QueryEngine::Execute(const ModelSnapshot* snapshot,
+                            const RrSketch* sketch,
+                            const QueryRequest& request,
+                            QueryResponse& response) {
+  response.Clear();
+  response.type = request.type;
+  PRIVIM_RETURN_NOT_OK(ValidateRequest(request, graph_.num_nodes()));
+  switch (request.type) {
+    case QueryType::kTopK:
+      if (snapshot == nullptr) {
+        return Status::FailedPrecondition(
+            "topk query needs a model snapshot; load one with "
+            "Server::LoadSnapshot before serving");
+      }
+      if (snapshot->num_nodes() != graph_.num_nodes()) {
+        return Status::FailedPrecondition(
+            "snapshot was compiled against a different graph");
+      }
+      return ExecuteTopK(*snapshot, sketch, request, response);
+    case QueryType::kSpread:
+      return ExecuteSpread(sketch, request, response);
+    case QueryType::kMarginalGain:
+      return ExecuteMarginalGain(sketch, request, response);
+  }
+  return Status::Internal("unhandled query type");
+}
+
+Status QueryEngine::ExecuteTopK(const ModelSnapshot& snapshot,
+                                const RrSketch* sketch,
+                                const QueryRequest& request,
+                                QueryResponse& response) {
+  response.snapshot_id = snapshot.id();
+  // Inference through the snapshot's compiled plan: allocation-free once
+  // this engine's arena has reached the plan's high-water mark.
+  snapshot.logits_plan().Forward(snapshot.flat_params(),
+                                 snapshot.features(), arena_);
+  const std::span<const float> logits =
+      snapshot.logits_plan().Output(arena_);
+
+  rank_.clear();
+  if (request.candidates.empty()) {
+    for (uint32_t u = 0; u < graph_.num_nodes(); ++u) {
+      rank_.emplace_back(logits[u], u);
+    }
+  } else {
+    for (NodeId c : request.candidates) {
+      rank_.emplace_back(logits[c], c);
+    }
+  }
+  const size_t k = std::min(request.k, rank_.size());
+  // Deterministic ranking: logit descending, node id ascending on ties —
+  // the response is a pure function of (snapshot, candidate set).
+  const auto better = [](const std::pair<float, uint32_t>& a,
+                         const std::pair<float, uint32_t>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  std::partial_sort(rank_.begin(), rank_.begin() + k, rank_.end(), better);
+  for (size_t i = 0; i < k; ++i) {
+    response.seeds.push_back(rank_[i].second);
+    response.values.push_back(static_cast<double>(rank_[i].first));
+  }
+  PRIVIM_ASSIGN_OR_RETURN(
+      response.spread,
+      EstimateSpreadFor(response.seeds, sketch, request,
+                        /*stream_offset=*/0));
+  return Status::OK();
+}
+
+Status QueryEngine::ExecuteSpread(const RrSketch* sketch,
+                                  const QueryRequest& request,
+                                  QueryResponse& response) {
+  PRIVIM_ASSIGN_OR_RETURN(
+      response.spread,
+      EstimateSpreadFor(request.seeds, sketch, request,
+                        /*stream_offset=*/0));
+  return Status::OK();
+}
+
+Status QueryEngine::ExecuteMarginalGain(const RrSketch* sketch,
+                                        const QueryRequest& request,
+                                        QueryResponse& response) {
+  PRIVIM_ASSIGN_OR_RETURN(
+      const double base,
+      EstimateSpreadFor(request.seeds, sketch, request,
+                        /*stream_offset=*/0));
+  seed_buf_.clear();
+  seed_buf_.insert(seed_buf_.end(), request.seeds.begin(),
+                   request.seeds.end());
+  for (size_t i = 0; i < request.candidates.size(); ++i) {
+    seed_buf_.push_back(request.candidates[i]);
+    // Candidate i draws trial streams [(i+1)*trials, (i+2)*trials) of
+    // request.seed, disjoint from the base estimate's [0, trials) — the
+    // gains are independent of candidate order and worker identity.
+    PRIVIM_ASSIGN_OR_RETURN(
+        const double with_candidate,
+        EstimateSpreadFor(seed_buf_, sketch, request,
+                          (i + 1) * request.trials));
+    response.values.push_back(with_candidate - base);
+    seed_buf_.pop_back();
+  }
+  response.spread = base;
+  return Status::OK();
+}
+
+Result<double> QueryEngine::EstimateSpreadFor(std::span<const NodeId> seeds,
+                                              const RrSketch* sketch,
+                                              const QueryRequest& request,
+                                              uint64_t stream_offset) {
+  Workspace& ws = workspaces_.Acquire(0);
+  switch (request.estimator) {
+    case SpreadEstimator::kExact:
+      return static_cast<double>(
+          ExactUnitWeightSpread(graph_, seeds, request.max_steps, ws));
+    case SpreadEstimator::kMonteCarloIc: {
+      double total = 0.0;
+      for (size_t t = 0; t < request.trials; ++t) {
+        Rng trial_rng =
+            Rng::FromStreamKey(request.seed, stream_offset + t);
+        total += static_cast<double>(SimulateIcCascade(
+            graph_, seeds, trial_rng, request.max_steps, ws));
+      }
+      return total / static_cast<double>(request.trials);
+    }
+    case SpreadEstimator::kRrSketch:
+      if (sketch == nullptr) {
+        return Status::FailedPrecondition(
+            "request selects the sketch estimator but the server holds no "
+            "resident RR sketch; set ServeConfig::rr_sketch_sets > 0");
+      }
+      return sketch->EstimateSpread(seeds, sketch_covered_);
+  }
+  return Status::Internal("unhandled spread estimator");
+}
+
+}  // namespace privim

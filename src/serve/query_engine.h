@@ -1,0 +1,95 @@
+#ifndef PRIVIM_SERVE_QUERY_ENGINE_H_
+#define PRIVIM_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "im/rr_sets.h"
+#include "runtime/scratch.h"
+#include "serve/request.h"
+#include "serve/snapshot.h"
+#include "tensor/plan.h"
+
+namespace privim {
+
+/// One worker's query-execution core: the resident graph plus every piece
+/// of reusable state a query needs — the plan arena for inference, the
+/// epoch-stamped diffusion workspace, the sketch-coverage set, and the
+/// ranking/seed staging buffers. State persists across queries, which is
+/// the serving layer's performance contract: once every query type has run
+/// once (a warm engine), Execute performs ZERO heap allocations, gated in
+/// CI by bench_micro's ServeSteadyStateAllocs case exactly like the
+/// compiled-plan trainer path.
+///
+/// Thread-safety: none — one engine per worker slot, exclusive use
+/// (Server guarantees this; the slot protocol of ParallelForWithSlots is
+/// the same idea). The snapshot and sketch arguments are immutable shared
+/// state and safe to read from any number of engines concurrently.
+///
+/// Determinism: every answer is a pure function of (snapshot, resident
+/// graph/sketch, request) — Monte-Carlo trials draw counter-derived
+/// streams from request.seed, and top-k ties break on node id — so
+/// responses are reproducible regardless of which worker served them or
+/// what was cached. The hot-swap torture test leans on exactly this.
+class QueryEngine {
+ public:
+  /// Borrows `graph`, which must outlive the engine.
+  explicit QueryEngine(const Graph& graph);
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Validates and executes one query, filling `response` (cleared first).
+  ///
+  /// `snapshot` may be null unless the query needs the model (kTopK);
+  /// `sketch` may be null unless the request selects the kRrSketch
+  /// estimator. On error the response is left cleared and the status
+  /// explains which precondition failed.
+  Status Execute(const ModelSnapshot* snapshot, const RrSketch* sketch,
+                 const QueryRequest& request, QueryResponse& response);
+
+  /// Scratch-reuse statistics of the engine's diffusion workspace
+  /// (delta since last call); the Server flushes these into the metrics
+  /// registry as serve.ws.* counters.
+  WorkspacePool::Stats TakeWorkspaceStats() {
+    return workspaces_.TakeStats();
+  }
+
+ private:
+  Status ExecuteTopK(const ModelSnapshot& snapshot, const RrSketch* sketch,
+                     const QueryRequest& request, QueryResponse& response);
+  Status ExecuteSpread(const RrSketch* sketch, const QueryRequest& request,
+                       QueryResponse& response);
+  Status ExecuteMarginalGain(const RrSketch* sketch,
+                             const QueryRequest& request,
+                             QueryResponse& response);
+
+  /// Spread of `seeds` under the request's estimator. `stream_offset`
+  /// partitions request.seed's stream space between the estimates of one
+  /// query (base set vs. each marginal candidate).
+  Result<double> EstimateSpreadFor(std::span<const NodeId> seeds,
+                                   const RrSketch* sketch,
+                                   const QueryRequest& request,
+                                   uint64_t stream_offset);
+
+  const Graph& graph_;
+  /// Diffusion scratch behind a one-slot pool so the stats plumbing
+  /// matches the samplers' (WorkspacePool::TakeStats).
+  WorkspacePool workspaces_;
+  /// Coverage set for the RR-sketch estimator — separate from the
+  /// workspace's node-indexed sets because it is indexed by RR-set id
+  /// (different size => separate stamp domain keeps resets O(1)).
+  VisitedSet sketch_covered_;
+  PlanArena arena_;
+  /// Ranking scratch: (logit, node), partially sorted for top-k.
+  std::vector<std::pair<float, uint32_t>> rank_;
+  /// Seed-set staging for marginal-gain estimates (base set + candidate).
+  std::vector<NodeId> seed_buf_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,105 @@
+#include "serve/request.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace privim {
+
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+std::string QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kTopK:
+      return "topk";
+    case QueryType::kSpread:
+      return "spread";
+    case QueryType::kMarginalGain:
+      return "marginal";
+  }
+  return "unknown";
+}
+
+Result<QueryType> ParseQueryType(const std::string& name) {
+  const std::string n = Lower(Trim(name));
+  if (n == "topk" || n == "top-k") return QueryType::kTopK;
+  if (n == "spread") return QueryType::kSpread;
+  if (n == "marginal" || n == "marginal-gain" || n == "coverage") {
+    return QueryType::kMarginalGain;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown query type '%s' (want topk, spread, or marginal)",
+                name.c_str()));
+}
+
+std::string SpreadEstimatorName(SpreadEstimator estimator) {
+  switch (estimator) {
+    case SpreadEstimator::kExact:
+      return "exact";
+    case SpreadEstimator::kMonteCarloIc:
+      return "mc";
+    case SpreadEstimator::kRrSketch:
+      return "sketch";
+  }
+  return "unknown";
+}
+
+Result<SpreadEstimator> ParseSpreadEstimator(const std::string& name) {
+  const std::string n = Lower(Trim(name));
+  if (n == "exact") return SpreadEstimator::kExact;
+  if (n == "mc" || n == "montecarlo" || n == "monte-carlo") {
+    return SpreadEstimator::kMonteCarloIc;
+  }
+  if (n == "sketch" || n == "rr" || n == "rr-sketch") {
+    return SpreadEstimator::kRrSketch;
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown spread estimator '%s' (want exact, mc, or sketch)",
+      name.c_str()));
+}
+
+Status ValidateRequest(const QueryRequest& request, size_t num_nodes) {
+  for (NodeId s : request.seeds) {
+    if (s >= num_nodes) {
+      return Status::InvalidArgument(StrFormat(
+          "request.seeds contains node %u, graph has %zu nodes",
+          static_cast<unsigned>(s), num_nodes));
+    }
+  }
+  for (NodeId c : request.candidates) {
+    if (c >= num_nodes) {
+      return Status::InvalidArgument(StrFormat(
+          "request.candidates contains node %u, graph has %zu nodes",
+          static_cast<unsigned>(c), num_nodes));
+    }
+  }
+  if (request.type == QueryType::kTopK && request.k == 0) {
+    return Status::InvalidArgument("request.k must be >= 1 for topk");
+  }
+  // Every query type reports a spread under the request's estimator
+  // (topk scores its selected set), so the estimator fields are always
+  // validated.
+  if (request.estimator == SpreadEstimator::kMonteCarloIc &&
+      request.trials == 0) {
+    return Status::InvalidArgument(
+        "request.trials must be >= 1 for the mc estimator");
+  }
+  if (request.estimator == SpreadEstimator::kExact &&
+      request.max_steps < 0) {
+    return Status::InvalidArgument(
+        "request.max_steps must be >= 0 for the exact estimator");
+  }
+  return Status::OK();
+}
+
+}  // namespace privim

@@ -1,0 +1,91 @@
+#include "serve/request_queue.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace privim {
+
+void QueryCompletion::Signal(Status status) {
+  // Notify while HOLDING the lock: the completion lives on the waiter's
+  // stack and is destroyed the instant Wait returns. Notifying after the
+  // unlock would touch cv_ on a potentially-destroyed object; keeping mu_
+  // across the notify pins the waiter inside Wait until Signal is done
+  // with the members.
+  std::lock_guard<std::mutex> lock(mu_);
+  PRIVIM_CHECK(!done_) << "QueryCompletion signaled twice";
+  done_ = true;
+  status_ = std::move(status);
+  cv_.notify_all();
+}
+
+Status QueryCompletion::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return status_;
+}
+
+RequestQueue::RequestQueue(size_t capacity) {
+  PRIVIM_CHECK_GE(capacity, 1u);
+  ring_.resize(capacity);
+}
+
+Status RequestQueue::Push(const QueryTicket& ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status::FailedPrecondition(
+          "request queue is closed (server stopping)");
+    }
+    if (count_ == ring_.size()) {
+      return Status::ResourceExhausted(StrFormat(
+          "request queue full (%zu queries queued); retry after in-flight "
+          "work drains or raise ServeConfig::queue_capacity",
+          count_));
+    }
+    ring_[(head_ + count_) % ring_.size()] = ticket;
+    ++count_;
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+size_t RequestQueue::PopBatch(std::vector<QueryTicket>& out,
+                              size_t max_batch) {
+  PRIVIM_CHECK_GE(max_batch, 1u);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return count_ > 0 || closed_; });
+  size_t taken = 0;
+  while (taken < max_batch && count_ > 0) {
+    out.push_back(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    ++taken;
+  }
+  // A full producer may be waiting for room only in the sense of retrying;
+  // but other *consumers* may still be blocked while more tickets remain.
+  if (count_ > 0) {
+    lock.unlock();
+    cv_.notify_one();
+  }
+  return taken;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace privim

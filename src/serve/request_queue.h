@@ -1,0 +1,92 @@
+#ifndef PRIVIM_SERVE_REQUEST_QUEUE_H_
+#define PRIVIM_SERVE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/request.h"
+
+namespace privim {
+
+/// Completion latch for one in-flight query: the submitting thread waits,
+/// the worker signals once the response is filled. Lives on the
+/// submitter's stack — the queue moves pointers around, never the payload,
+/// so the steady-state submit path performs no heap allocation.
+class QueryCompletion {
+ public:
+  /// Publishes the query's final status and wakes the waiter. Call at
+  /// most once.
+  void Signal(Status status);
+
+  /// Blocks until Signal and returns the published status.
+  Status Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Status status_;
+};
+
+/// One enqueued query: borrowed request/response/completion (owned by the
+/// submitter, valid until Signal) plus the enqueue timestamp for
+/// queue+service latency accounting.
+struct QueryTicket {
+  const QueryRequest* request = nullptr;
+  QueryResponse* response = nullptr;
+  QueryCompletion* completion = nullptr;
+  std::chrono::steady_clock::time_point enqueue_time;
+};
+
+/// Bounded MPMC FIFO of query tickets — the Server's admission point.
+///
+/// Backpressure contract: Push NEVER blocks. A full queue rejects with
+/// Status::ResourceExhausted immediately, so overload surfaces to clients
+/// as a retryable error instead of unbounded queueing (and unbounded
+/// latency). A closed queue rejects with FailedPrecondition — the signal
+/// that the server is shutting down for good.
+///
+/// Shutdown contract: Close() stops admissions but does NOT discard queued
+/// tickets; PopBatch keeps draining until the queue is empty and only then
+/// returns 0. Server::Stop relies on this to answer every admitted query
+/// before returning.
+class RequestQueue {
+ public:
+  /// `capacity` >= 1; the ring storage is allocated once here.
+  explicit RequestQueue(size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueues without blocking. ResourceExhausted when full,
+  /// FailedPrecondition when closed.
+  Status Push(const QueryTicket& ticket);
+
+  /// Appends up to `max_batch` tickets to `out` (not cleared), blocking
+  /// while the queue is empty and open. Returns the number of tickets
+  /// delivered; 0 means closed AND drained — the consumer's exit signal.
+  size_t PopBatch(std::vector<QueryTicket>& out, size_t max_batch);
+
+  /// Stops admissions and wakes all blocked consumers. Idempotent.
+  void Close();
+
+  size_t capacity() const { return ring_.size(); }
+  size_t size() const;
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<QueryTicket> ring_;
+  size_t head_ = 0;   // Index of the oldest ticket.
+  size_t count_ = 0;  // Number of queued tickets.
+  bool closed_ = false;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,62 @@
+#include "serve/snapshot.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/string_util.h"
+#include "nn/features.h"
+#include "nn/serialization.h"
+
+namespace privim {
+
+namespace {
+
+uint64_t NextSnapshotId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromModel(
+    std::unique_ptr<GnnModel> model, const Graph& graph) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("ModelSnapshot::FromModel: null model");
+  }
+  if (model->config().in_dim != kNodeFeatureDim) {
+    return Status::FailedPrecondition(StrFormat(
+        "model expects %zu input features but the serving layer feeds the "
+        "%zu structural node features (nn/features.h); the snapshot was "
+        "trained against a different feature pipeline",
+        model->config().in_dim, kNodeFeatureDim));
+  }
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument(
+        "cannot build a snapshot against an empty graph");
+  }
+  // make_shared needs a public constructor; the snapshot is immutable
+  // after this function, so a plain new behind a shared_ptr is fine.
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snap->id_ = NextSnapshotId();
+  snap->model_ = std::move(model);
+  snap->ctx_ = BuildGraphContext(graph);
+  snap->features_ = BuildNodeFeatures(graph);
+  snap->flat_params_.resize(snap->model_->params().num_scalars());
+  snap->model_->params().FlattenParams(snap->flat_params_);
+  // Rank by pre-sigmoid logits, mirroring RunMethod's inference: identical
+  // ordering to the probabilities but immune to float32 sigmoid
+  // saturation at the top of the ranking.
+  PlanBuilder pb;
+  const PlanValId x =
+      pb.Input(snap->ctx_.num_nodes, snap->model_->config().in_dim);
+  snap->logits_plan_ = pb.Build(snap->model_->LowerLogits(pb, snap->ctx_, x));
+  return std::shared_ptr<const ModelSnapshot>(std::move(snap));
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
+    const std::string& path, const Graph& graph) {
+  PRIVIM_ASSIGN_OR_RETURN(std::unique_ptr<GnnModel> model, LoadModel(path));
+  return FromModel(std::move(model), graph);
+}
+
+}  // namespace privim

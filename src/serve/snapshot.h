@@ -1,0 +1,80 @@
+#ifndef PRIVIM_SERVE_SNAPSHOT_H_
+#define PRIVIM_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "nn/gnn.h"
+#include "nn/graph_context.h"
+#include "tensor/matrix.h"
+#include "tensor/plan.h"
+
+namespace privim {
+
+/// One immutable, servable version of the model: the loaded GnnModel plus
+/// everything inference over the resident graph derives from it — the
+/// message-passing GraphContext, the structural feature matrix, the flat
+/// parameter snapshot, and the compiled seed-logits plan (tensor/plan.h).
+///
+/// Snapshots are the unit of hot swap. The Server publishes the current
+/// snapshot behind a shared_ptr (RCU style): workers take a reference per
+/// batch, queries in flight keep the old version alive after a swap, and
+/// the last reference releases it. Everything here is written once at
+/// build time and only read afterwards, so concurrent query execution
+/// needs no further synchronization; the one mutable thing a plan needs —
+/// the arena — lives per worker in the QueryEngine, never here.
+///
+/// A snapshot is compiled against ONE resident graph (the plan embeds the
+/// graph's edge structure); `num_nodes()` is validated by the Server at
+/// swap time.
+class ModelSnapshot {
+ public:
+  /// Builds a servable snapshot from a loaded model. Fails with
+  /// FailedPrecondition when the model's input width does not match the
+  /// structural feature dim of `graph` (kNodeFeatureDim).
+  static Result<std::shared_ptr<const ModelSnapshot>> FromModel(
+      std::unique_ptr<GnnModel> model, const Graph& graph);
+
+  /// One-call restore-and-compile: LoadModel(path) + FromModel. Error
+  /// statuses name `path` and hint at version/artifact mismatches
+  /// (nn/serialization.h).
+  static Result<std::shared_ptr<const ModelSnapshot>> Load(
+      const std::string& path, const Graph& graph);
+
+  /// Process-unique identity, assigned at construction (monotonic from 1).
+  /// Responses carry this id, which is what makes every answer
+  /// attributable to exactly one snapshot.
+  uint64_t id() const { return id_; }
+
+  /// Node count of the graph this snapshot was compiled against.
+  size_t num_nodes() const { return features_.rows(); }
+
+  const GnnModel& model() const { return *model_; }
+
+  /// Compiled plan producing the [num_nodes, 1] pre-sigmoid seed logits.
+  /// Read-only and shared by every worker; execute with flat_params() /
+  /// features() and a per-worker arena.
+  const GnnPlan& logits_plan() const { return logits_plan_; }
+
+  std::span<const float> flat_params() const { return flat_params_; }
+  const Matrix& features() const { return features_; }
+
+ private:
+  ModelSnapshot() = default;
+
+  uint64_t id_ = 0;
+  std::unique_ptr<GnnModel> model_;
+  GraphContext ctx_;  // The plan borrows ctx_'s edge vectors.
+  Matrix features_;
+  std::vector<float> flat_params_;
+  GnnPlan logits_plan_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_SERVE_SNAPSHOT_H_

@@ -33,6 +33,8 @@ TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
       {Status::Unimplemented("g"), StatusCode::kUnimplemented,
        "Unimplemented"},
       {Status::IoError("h"), StatusCode::kIoError, "IoError"},
+      {Status::ResourceExhausted("i"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

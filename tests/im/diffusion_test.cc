@@ -105,6 +105,26 @@ TEST(ExactUnitWeightSpreadTest, AgreesWithMonteCarloOnUnitWeights) {
   }
 }
 
+TEST(ExactUnitWeightSpreadTest, WorkspaceOverloadMatchesAllocatingForm) {
+  Rng gen(13);
+  Graph g = std::move(ErdosRenyi(80, 0.06, true, gen)).ValueOrDie();
+  Workspace ws;
+  // Same workspace across calls: the epoch-stamped scratch must not leak
+  // state from one spread into the next (the serving layer reuses one
+  // workspace across every query a worker handles).
+  for (int round = 0; round < 3; ++round) {
+    for (int steps : {0, 1, 2, 99}) {
+      for (const std::vector<NodeId>& seeds :
+           {std::vector<NodeId>{0}, std::vector<NodeId>{3, 7, 11},
+            std::vector<NodeId>{5, 5, 60}}) {
+        EXPECT_EQ(ExactUnitWeightSpread(g, seeds, steps, ws),
+                  ExactUnitWeightSpread(g, seeds, steps))
+            << "round " << round << " steps " << steps;
+      }
+    }
+  }
+}
+
 TEST(LtCascadeTest, SeedsAlwaysActive) {
   Graph g = UnitPath();
   Rng rng(9);

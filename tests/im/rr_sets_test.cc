@@ -75,6 +75,25 @@ TEST(RrSketchTest, SpreadEstimateMatchesMonteCarlo) {
   EXPECT_NEAR(rr_estimate, mc_estimate, 0.15 * mc_estimate);
 }
 
+TEST(RrSketchTest, ScratchEstimateMatchesAllocatingForm) {
+  Rng gen(17);
+  Graph ba = std::move(BarabasiAlbert(80, 3, gen)).ValueOrDie();
+  Graph g = std::move(WeightedCascade(ba)).ValueOrDie();
+  Rng rng(18);
+  RrSketch sketch =
+      std::move(RrSketch::Generate(g, 500, rng)).ValueOrDie();
+  VisitedSet covered;
+  // One VisitedSet reused across estimates (the serving hot path): each
+  // estimate must be bit-identical to a fresh allocating call.
+  for (const std::vector<NodeId>& seeds :
+       {std::vector<NodeId>{0}, std::vector<NodeId>{0, 1, 2},
+        std::vector<NodeId>{7, 7, 40}, std::vector<NodeId>{}}) {
+    EXPECT_EQ(sketch.EstimateSpread(seeds, covered),
+              sketch.EstimateSpread(seeds))
+        << "seed count " << seeds.size();
+  }
+}
+
 TEST(RrSketchTest, EstimateMonotoneInSeeds) {
   Rng gen(10);
   Graph g = std::move(ErdosRenyi(50, 0.05, true, gen)).ValueOrDie();

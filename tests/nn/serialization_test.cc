@@ -127,6 +127,55 @@ TEST(SerializationTest, LoadModelMissingFileFails) {
             StatusCode::kIoError);
 }
 
+// Regression: load-path errors must name the offending file and, where
+// the failure smells like a version/artifact mix-up, say so — "bad magic"
+// alone sends users grepping the codebase instead of checking which file
+// they passed (the serving layer surfaces these verbatim).
+TEST(SerializationTest, ErrorsNameTheOffendingPath) {
+  const std::string missing = TempPath("privim_model_gone.ckpt");
+  const Status open_err = LoadModelConfig(missing).status();
+  EXPECT_EQ(open_err.code(), StatusCode::kIoError);
+  EXPECT_NE(open_err.message().find(missing), std::string::npos)
+      << open_err.ToString();
+
+  const std::string garbage = TempPath("privim_model_badmagic.ckpt");
+  {
+    std::ofstream out(garbage);
+    out << "definitely not a checkpoint\n";
+  }
+  const Status magic_err = LoadModelConfig(garbage).status();
+  EXPECT_FALSE(magic_err.ok());
+  EXPECT_NE(magic_err.message().find(garbage), std::string::npos)
+      << magic_err.ToString();
+  // The snapshot-version hint: tells the user this may be an artifact
+  // from an incompatible format version, not a corrupted disk.
+  EXPECT_NE(magic_err.message().find("version"), std::string::npos)
+      << magic_err.ToString();
+  std::remove(garbage.c_str());
+}
+
+TEST(SerializationTest, ConfigMismatchEnumeratesBothConfigs) {
+  Rng rng(41);
+  GnnModel model(SmallConfig(GnnType::kGcn), rng);
+  const std::string path = TempPath("privim_model_mismatch_msg.ckpt");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  GnnConfig bigger = SmallConfig(GnnType::kGcn);
+  bigger.hidden_dim = 16;
+  Rng rng2(42);
+  GnnModel wide(bigger, rng2);
+  const Status s = LoadModelParams(path, wide);
+  ASSERT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find(path), std::string::npos) << s.ToString();
+  // Both shapes spelled out, plus the provenance hint.
+  EXPECT_NE(s.message().find("hidden=8"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("hidden=16"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("--gnn"), std::string::npos) << s.ToString();
+  std::remove(path.c_str());
+}
+
 TEST(SerializationTest, AllBackbonesRoundTrip) {
   for (GnnType type : {GnnType::kGcn, GnnType::kSage, GnnType::kGin,
                        GnnType::kGat, GnnType::kGrat}) {

@@ -1,0 +1,190 @@
+#include "serve/request_queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace privim {
+namespace {
+
+QueryTicket MakeTicket(const QueryRequest* req, QueryResponse* resp,
+                       QueryCompletion* done) {
+  QueryTicket t;
+  t.request = req;
+  t.response = resp;
+  t.completion = done;
+  return t;
+}
+
+TEST(RequestQueueTest, PushPopRoundTrip) {
+  RequestQueue q(4);
+  QueryRequest req;
+  QueryResponse resp;
+  QueryCompletion done;
+  ASSERT_TRUE(q.Push(MakeTicket(&req, &resp, &done)).ok());
+  EXPECT_EQ(q.size(), 1u);
+
+  std::vector<QueryTicket> out;
+  EXPECT_EQ(q.PopBatch(out, 8), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].request, &req);
+  EXPECT_EQ(out[0].response, &resp);
+  EXPECT_EQ(out[0].completion, &done);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RequestQueueTest, FullQueueRejectsWithResourceExhausted) {
+  RequestQueue q(2);
+  QueryRequest req;
+  QueryResponse resp;
+  QueryCompletion done;
+  ASSERT_TRUE(q.Push(MakeTicket(&req, &resp, &done)).ok());
+  ASSERT_TRUE(q.Push(MakeTicket(&req, &resp, &done)).ok());
+
+  const Status rejected = q.Push(MakeTicket(&req, &resp, &done));
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  // The message tells the client this is transient backpressure.
+  EXPECT_NE(rejected.message().find("full"), std::string::npos);
+
+  // Draining one slot makes admission succeed again: the rejection is
+  // about capacity, not a terminal queue state.
+  std::vector<QueryTicket> out;
+  ASSERT_EQ(q.PopBatch(out, 1), 1u);
+  EXPECT_TRUE(q.Push(MakeTicket(&req, &resp, &done)).ok());
+}
+
+TEST(RequestQueueTest, ClosedQueueRejectsWithFailedPrecondition) {
+  RequestQueue q(2);
+  q.Close();
+  QueryRequest req;
+  QueryResponse resp;
+  QueryCompletion done;
+  EXPECT_EQ(q.Push(MakeTicket(&req, &resp, &done)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RequestQueueTest, CloseDrainsQueuedTicketsBeforeSignalingExit) {
+  RequestQueue q(8);
+  QueryRequest req;
+  QueryResponse resp;
+  QueryCompletion done;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.Push(MakeTicket(&req, &resp, &done)).ok());
+  }
+  q.Close();
+
+  // Every admitted ticket is still delivered after Close...
+  std::vector<QueryTicket> out;
+  size_t delivered = 0;
+  while (true) {
+    out.clear();
+    const size_t n = q.PopBatch(out, 2);
+    if (n == 0) break;
+    delivered += n;
+  }
+  EXPECT_EQ(delivered, 5u);
+  // ...and once drained, PopBatch keeps returning 0 (terminal).
+  out.clear();
+  EXPECT_EQ(q.PopBatch(out, 2), 0u);
+}
+
+TEST(RequestQueueTest, CloseIsIdempotent) {
+  RequestQueue q(2);
+  q.Close();
+  q.Close();
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(RequestQueueTest, CloseWakesBlockedConsumers) {
+  RequestQueue q(2);
+  std::vector<std::thread> consumers;
+  std::atomic<int> exited{0};
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&q, &exited] {
+      std::vector<QueryTicket> out;
+      while (q.PopBatch(out, 4) != 0) out.clear();
+      exited.fetch_add(1);
+    });
+  }
+  q.Close();  // Must wake all three, or join hangs (test timeout).
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(exited.load(), 3);
+}
+
+TEST(RequestQueueTest, PreservesFifoOrderAcrossWraparound) {
+  RequestQueue q(3);
+  QueryResponse resp;
+  QueryCompletion done;
+  std::vector<QueryRequest> reqs(7);
+  std::vector<QueryTicket> out;
+  size_t next_push = 0;
+  size_t next_pop = 0;
+  // Interleave pushes and pops so head wraps the 3-slot ring twice.
+  while (next_pop < reqs.size()) {
+    while (next_push < reqs.size() &&
+           q.Push(MakeTicket(&reqs[next_push], &resp, &done)).ok()) {
+      ++next_push;
+    }
+    out.clear();
+    const size_t n = q.PopBatch(out, 2);
+    ASSERT_GT(n, 0u);
+    for (const QueryTicket& t : out) {
+      EXPECT_EQ(t.request, &reqs[next_pop]) << "at pop " << next_pop;
+      ++next_pop;
+    }
+  }
+}
+
+TEST(RequestQueueTest, ConcurrentProducersConsumersDeliverEverything) {
+  RequestQueue q(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  QueryRequest req;
+  QueryResponse resp;
+  QueryCompletion done;
+
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      std::vector<QueryTicket> out;
+      while (true) {
+        out.clear();
+        const size_t n = q.PopBatch(out, 8);
+        if (n == 0) break;
+        consumed.fetch_add(static_cast<int>(n));
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Spin on backpressure: total delivery is the invariant here.
+        while (q.Push(MakeTicket(&req, &resp, &done)).code() ==
+               StatusCode::kResourceExhausted) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.Close();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+}
+
+TEST(QueryCompletionTest, WaitReturnsSignaledStatus) {
+  QueryCompletion done;
+  std::thread signaler(
+      [&done] { done.Signal(Status::InvalidArgument("boom")); });
+  const Status s = done.Wait();
+  signaler.join();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "boom");
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,0 +1,250 @@
+// privim_serve: stand up the online influence-query server (src/serve/)
+// over a dataset or edge list and drive it with the standard closed-loop
+// request mixes, reporting QPS and latency quantiles.
+//
+//   privim_serve --dataset LastFM --threads 4 --mix mixed
+//   privim_serve --edge-list graph.txt --snapshot model.ckpt \
+//                --threads 8 --telemetry serve_telemetry.json
+//
+// With --snapshot the server answers top-k queries from that trained
+// checkpoint (the file written by privim_cli --save-model); without it a
+// randomly initialized model of the same architecture stands in, which
+// exercises the identical serving path — useful for capacity planning
+// before a model exists. Queries are DP post-processing either way: the
+// checkpoint was trained under the privacy budget, and serving reads it
+// without touching training data (docs/serving.md).
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "graph/datasets.h"
+#include "graph/io.h"
+#include "nn/features.h"
+#include "nn/gnn.h"
+#include "obs/telemetry.h"
+#include "serve/harness.h"
+#include "serve/server.h"
+
+namespace privim {
+namespace {
+
+struct ServeCliOptions {
+  std::string dataset = "LastFM";
+  std::string edge_list;
+  bool undirected = false;
+  std::string snapshot;
+  std::string mix = "all";  // all | seed-selection | spread-analytics | mixed
+  size_t threads = 0;       // 0 = runtime default
+  size_t clients = 0;       // 0 = 2x threads
+  size_t requests = 200;    // per client
+  size_t sketch_sets = 2048;
+  size_t queue_capacity = 1024;
+  uint64_t seed = 42;
+  double scale = 1.0;
+  std::string telemetry_path;
+};
+
+void PrintUsage() {
+  std::cout << R"(privim_serve: drive the online influence-query server
+
+  --dataset NAME     synthetic dataset stand-in (Email, Bitcoin, LastFM,
+                     Gowalla, HepPh, DBLP)                  [LastFM]
+  --edge-list PATH   load a graph from an edge list instead
+  --undirected       treat the edge list as undirected
+  --snapshot PATH    model checkpoint to serve (privim_cli --save-model);
+                     omitted = randomly initialized stand-in model
+  --threads N        worker threads (0 = PRIVIM_THREADS or 1)  [0]
+  --mix NAME         seed-selection, spread-analytics, mixed, or all [all]
+  --clients N        closed-loop client threads (0 = 2x workers)    [0]
+  --requests N       requests per client                            [200]
+  --sketch-sets N    resident RR-sketch size (0 disables sketch) [2048]
+  --queue-capacity N admission bound; beyond it clients see
+                     ResourceExhausted backpressure             [1024]
+  --seed N           master random seed                            [42]
+  --scale X          synthetic dataset scale multiplier           [1.0]
+  --telemetry PATH   write serve telemetry JSON (latency histograms,
+                     queue depth, scratch-reuse counters)
+  --help             this text
+)";
+}
+
+Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
+  ServeCliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(arg + " requires a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (arg == "--dataset") {
+      PRIVIM_ASSIGN_OR_RETURN(opts.dataset, next());
+    } else if (arg == "--edge-list") {
+      PRIVIM_ASSIGN_OR_RETURN(opts.edge_list, next());
+    } else if (arg == "--undirected") {
+      opts.undirected = true;
+    } else if (arg == "--snapshot") {
+      PRIVIM_ASSIGN_OR_RETURN(opts.snapshot, next());
+    } else if (arg == "--mix") {
+      PRIVIM_ASSIGN_OR_RETURN(opts.mix, next());
+    } else if (arg == "--threads") {
+      PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
+      opts.threads = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (arg == "--clients") {
+      PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
+      opts.clients = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (arg == "--requests") {
+      PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
+      opts.requests = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (arg == "--sketch-sets") {
+      PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
+      opts.sketch_sets = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (arg == "--queue-capacity") {
+      PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
+      opts.queue_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (arg == "--seed") {
+      PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
+      opts.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (arg == "--scale") {
+      PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
+      opts.scale = std::atof(v.c_str());
+    } else if (arg == "--telemetry") {
+      PRIVIM_ASSIGN_OR_RETURN(opts.telemetry_path, next());
+    } else {
+      return Status::InvalidArgument("unknown flag " + arg +
+                                     " (see --help)");
+    }
+  }
+  if (opts.requests == 0) {
+    return Status::InvalidArgument("--requests must be >= 1");
+  }
+  return opts;
+}
+
+Status Run(const ServeCliOptions& opts) {
+  // ---- Graph. ----
+  Graph graph;
+  std::string source;
+  if (!opts.edge_list.empty()) {
+    PRIVIM_ASSIGN_OR_RETURN(graph,
+                            LoadEdgeList(opts.edge_list, opts.undirected));
+    source = opts.edge_list;
+  } else {
+    PRIVIM_ASSIGN_OR_RETURN(DatasetId id, ParseDatasetId(opts.dataset));
+    Rng graph_rng(opts.seed);
+    PRIVIM_ASSIGN_OR_RETURN(graph,
+                            MakeDataset(id, graph_rng, opts.scale));
+    source = opts.dataset;
+  }
+  std::cout << "graph: " << source << " (" << graph.num_nodes()
+            << " nodes, " << graph.num_edges() << " edges)\n";
+
+  // ---- Server. ----
+  RunTelemetry telemetry;
+  ServeConfig cfg;
+  cfg.num_threads = opts.threads;
+  cfg.queue_capacity = opts.queue_capacity;
+  cfg.rr_sketch_sets = opts.sketch_sets;
+  cfg.metrics = opts.telemetry_path.empty() ? nullptr : &telemetry.metrics;
+  Server server(graph, cfg);
+
+  if (!opts.snapshot.empty()) {
+    PRIVIM_ASSIGN_OR_RETURN(const uint64_t id,
+                            server.LoadSnapshot(opts.snapshot));
+    std::cout << "snapshot: " << opts.snapshot << " (id " << id << ")\n";
+  } else {
+    GnnConfig gnn;
+    gnn.type = GnnType::kGrat;
+    gnn.in_dim = kNodeFeatureDim;
+    Rng model_rng(opts.seed + 1);
+    auto model = std::make_unique<GnnModel>(gnn, model_rng);
+    PRIVIM_ASSIGN_OR_RETURN(
+        std::shared_ptr<const ModelSnapshot> snap,
+        ModelSnapshot::FromModel(std::move(model), graph));
+    PRIVIM_RETURN_NOT_OK(server.SwapSnapshot(std::move(snap)));
+    std::cout << "snapshot: randomly initialized stand-in model "
+                 "(pass --snapshot to serve a trained checkpoint)\n";
+  }
+  PRIVIM_RETURN_NOT_OK(server.Start());
+  std::cout << "serving on " << server.num_threads() << " worker thread"
+            << (server.num_threads() == 1 ? "" : "s") << "\n\n";
+
+  // ---- Load. ----
+  std::vector<RequestMix> mixes =
+      StandardMixes(graph.num_nodes(), opts.seed + 2);
+  if (opts.mix != "all") {
+    std::vector<RequestMix> selected;
+    for (RequestMix& mix : mixes) {
+      if (mix.name == opts.mix) selected.push_back(std::move(mix));
+    }
+    if (selected.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("unknown mix '%s' (want seed-selection, "
+                    "spread-analytics, mixed, or all)",
+                    opts.mix.c_str()));
+    }
+    mixes = std::move(selected);
+  }
+
+  LoadConfig load;
+  load.num_clients =
+      opts.clients != 0 ? opts.clients : 2 * server.num_threads();
+  load.requests_per_client = opts.requests;
+  load.base_seed = opts.seed + 3;
+
+  TablePrinter table({"Mix", "QPS", "p50 ms", "p95 ms", "p99 ms",
+                      "mean ms", "rejected"});
+  for (const RequestMix& mix : mixes) {
+    PRIVIM_ASSIGN_OR_RETURN(const LoadReport report,
+                            RunClosedLoopLoad(server, mix, load));
+    if (report.failed != 0) {
+      return Status::Internal(StrFormat(
+          "%zu queries of mix '%s' failed", report.failed,
+          mix.name.c_str()));
+    }
+    table.AddRow(mix.name,
+                 {report.qps, report.latency_p50 * 1e3,
+                  report.latency_p95 * 1e3, report.latency_p99 * 1e3,
+                  report.latency_mean * 1e3,
+                  static_cast<double>(report.rejected)},
+                 2);
+  }
+  server.Stop();
+  table.Print(std::cout);
+
+  if (!opts.telemetry_path.empty()) {
+    telemetry.PrintSummary(std::cout);
+    PRIVIM_RETURN_NOT_OK(telemetry.WriteJsonFile(opts.telemetry_path));
+    std::cout << "telemetry written to " << opts.telemetry_path << "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace privim
+
+int main(int argc, char** argv) {
+  privim::Result<privim::ServeCliOptions> opts =
+      privim::ParseArgs(argc, argv);
+  if (!opts.ok()) {
+    std::cerr << opts.status().ToString() << "\n";
+    return 2;
+  }
+  const privim::Status status = privim::Run(opts.ValueOrDie());
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -3,10 +3,10 @@
 #
 #   1. tier-1: Release build + the full unit/property ctest suite
 #      (labels: `ctest -L unit`, `-L property`, `-L sanitizer`, `-L ckpt`,
-#      `-L plan` select subsets; see tests/CMakeLists.txt), then the
-#      compiled-plan allocation gate (bench_micro's PlanSteadyStateAllocs
-#      case exits nonzero if the plan runtime heap-allocates in steady
-#      state);
+#      `-L plan`, `-L serve` select subsets; see tests/CMakeLists.txt),
+#      then the zero-allocation gates (bench_micro's PlanSteadyStateAllocs
+#      and ServeSteadyStateAllocs cases exit nonzero if the plan runtime
+#      or the warm serving path heap-allocates in steady state);
 #   2. ckpt:   examples build + the checkpoint/resume fault-injection
 #              suite (kill-and-resume bit-identity, tests/ckpt/) under
 #              AddressSanitizer;
@@ -30,13 +30,13 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
 
-echo "== stage 1b: compiled-plan zero-allocation gate =="
-# Runs full steady-state training iterations under a counting allocator
-# (global operator new replacement in bench/bench_micro.cc) and exits
-# nonzero on the first heap allocation — the contract tensor/plan.h makes
-# for warm plans.
+echo "== stage 1b: zero-allocation gates (plan + serve) =="
+# Runs full steady-state training iterations AND warm mixed-type serving
+# queries under a counting allocator (global operator new replacement in
+# bench/bench_micro.cc) and exits nonzero on the first heap allocation —
+# the contracts tensor/plan.h and serve/query_engine.h make once warm.
 "$BUILD_DIR/bench/bench_micro" \
-  --benchmark_filter='PlanSteadyStateAllocs' --benchmark_min_time=0.05
+  --benchmark_filter='SteadyStateAllocs' --benchmark_min_time=0.05
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "Tier-1 clean (sanitizer stages skipped)."

@@ -21,7 +21,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DPRIVIM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target runtime_test core_test sampling_test sampling_properties_test \
-  im_test plan_test
+  im_test plan_test serve_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
@@ -36,5 +36,10 @@ export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
 "$BUILD_DIR/tests/sampling_properties_test"
 "$BUILD_DIR/tests/im_test" \
   --gtest_filter='EstimateIcSpread*:IcCascade*:RrSketch*:MonteCarloOracle*'
+# The serving layer's concurrency surface: MPMC request queue, worker
+# pumps on the thread pool, and the snapshot hot-swap torture suite
+# (clients query at 2 and 8 workers while a swapper flips the published
+# model; every response must be attributable to exactly one snapshot).
+"$BUILD_DIR/tests/serve_test"
 
 echo "TSan run clean."
