@@ -4,8 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <malloc.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -29,17 +32,28 @@
 #include "serve/snapshot.h"
 #include "tensor/ops.h"
 
-// ---- Counting allocator. Global operator new/delete replacements that
-// count every heap allocation made while the toggle is armed; the
-// BM_PlanSteadyStateAllocs gate below arms it around warm plan execution
-// and hard-fails the binary if the count is nonzero, enforcing the
-// zero-steady-state-allocation contract of tensor/plan.h in CI
-// (tools/run_checks.sh runs this case on every rung). ----
+// ---- Counting allocator. Global operator new/delete replacements with
+// two independently armed instruments:
+//  * an allocation COUNTER (g_count_allocs) — the BM_*SteadyStateAllocs
+//    gates arm it around warm plan/serve execution and hard-fail the
+//    binary if the count is nonzero, enforcing the
+//    zero-steady-state-allocation contracts of tensor/plan.h and
+//    serve/query_engine.h in CI (tools/run_checks.sh runs them on every
+//    rung);
+//  * a BYTE tracker (g_track_bytes) — maintains net live heap bytes (via
+//    malloc_usable_size) and their high-water mark, which BM_ScaleSmoke
+//    arms around a million-node streaming graph build to enforce the
+//    peak <= ~1.2x-of-final-CSR contract of graph/graph.h (docs/scale.md;
+//    the same measurement tests/graph/builder_memory_test.cc pins at unit
+//    scale). ----
 
 namespace {
 
 std::atomic<bool> g_count_allocs{false};
 std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<bool> g_track_bytes{false};
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
 
 void NoteAlloc() {
   if (g_count_allocs.load(std::memory_order_relaxed)) {
@@ -47,10 +61,28 @@ void NoteAlloc() {
   }
 }
 
+void NoteAllocBytes(void* p) {
+  if (p == nullptr || !g_track_bytes.load(std::memory_order_relaxed)) return;
+  const int64_t sz = static_cast<int64_t>(malloc_usable_size(p));
+  const int64_t live =
+      g_live_bytes.fetch_add(sz, std::memory_order_relaxed) + sz;
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void NoteFreeBytes(void* p) {
+  if (p == nullptr || !g_track_bytes.load(std::memory_order_relaxed)) return;
+  g_live_bytes.fetch_sub(static_cast<int64_t>(malloc_usable_size(p)),
+                         std::memory_order_relaxed);
+}
+
 void* CountedAlloc(std::size_t size) {
   NoteAlloc();
   void* p = std::malloc(size != 0 ? size : 1);
   if (p == nullptr) throw std::bad_alloc();
+  NoteAllocBytes(p);
   return p;
 }
 
@@ -61,6 +93,7 @@ void* CountedAllocAligned(std::size_t size, std::size_t align) {
   if (posix_memalign(&p, align, size != 0 ? size : 1) != 0) {
     throw std::bad_alloc();
   }
+  NoteAllocBytes(p);
   return p;
 }
 
@@ -76,28 +109,54 @@ void* operator new[](std::size_t size, std::align_val_t align) {
 }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
   NoteAlloc();
-  return std::malloc(size != 0 ? size : 1);
+  void* p = std::malloc(size != 0 ? size : 1);
+  NoteAllocBytes(p);
+  return p;
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
   NoteAlloc();
-  return std::malloc(size != 0 ? size : 1);
+  void* p = std::malloc(size != 0 ? size : 1);
+  NoteAllocBytes(p);
+  return p;
 }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p) noexcept {
+  NoteFreeBytes(p);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  NoteFreeBytes(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  NoteFreeBytes(p);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  NoteFreeBytes(p);
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  NoteFreeBytes(p);
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  NoteFreeBytes(p);
+  std::free(p);
+}
 void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  NoteFreeBytes(p);
   std::free(p);
 }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  NoteFreeBytes(p);
   std::free(p);
 }
 void operator delete(void* p, const std::nothrow_t&) noexcept {
+  NoteFreeBytes(p);
   std::free(p);
 }
 void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  NoteFreeBytes(p);
   std::free(p);
 }
 
@@ -375,6 +434,58 @@ void BM_ServeSteadyStateAllocs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeSteadyStateAllocs);
+
+// Scale smoke (the scale-smoke rung of tools/run_checks.sh runs this case
+// by name): a 10^6-node generator graph goes through the streaming
+// two-pass build with the byte-tracking allocator armed, and the binary
+// dies if the build's peak heap growth exceeds 1.2x the finished CSR —
+// the graph/graph.h contract that makes 10^8-arc builds feasible
+// (docs/scale.md). The timed section then runs one warm RWR sampling
+// round over the million nodes, so the rung also exercises the O(ball)
+// hot path at scale (the hard complexity assertions live in
+// tests/scale/scale_properties_test.cc).
+void BM_ScaleSmoke(benchmark::State& state) {
+  constexpr size_t kNodes = 1000000;
+  Rng gen(30);
+  const double p = 10.0 / static_cast<double>(kNodes - 1);
+
+  g_live_bytes.store(0, std::memory_order_relaxed);
+  g_peak_bytes.store(0, std::memory_order_relaxed);
+  g_track_bytes.store(true, std::memory_order_relaxed);
+  Graph g = std::move(ErdosRenyi(kNodes, p, /*directed=*/true, gen))
+                .ValueOrDie();
+  g_track_bytes.store(false, std::memory_order_relaxed);
+
+  const double peak =
+      static_cast<double>(g_peak_bytes.load(std::memory_order_relaxed));
+  const double footprint = static_cast<double>(g.MemoryFootprintBytes());
+  const double ratio = peak / footprint;
+  if (ratio > 1.2) {
+    std::fprintf(stderr,
+                 "FATAL: million-node streaming build peaked at %.0f heap "
+                 "bytes for a %.0f-byte CSR (%.3fx > 1.2x contract, "
+                 "graph/graph.h).\n",
+                 peak, footprint, ratio);
+    std::exit(1);
+  }
+
+  RwrConfig cfg;
+  cfg.subgraph_size = 30;
+  cfg.sampling_rate = 2e-4;  // ~200 walks per round.
+  cfg.hop_bound = 2;
+  cfg.num_threads = 1;
+  RwrSampler sampler(cfg);
+  Rng rng(31);
+  // Warm round: sizes the epoch-stamped maps (the one allowed O(|V|)
+  // initialization per slot).
+  benchmark::DoNotOptimize(sampler.Extract(g, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Extract(g, rng));
+  }
+  state.counters["build_peak_over_csr"] = ratio;
+  state.counters["csr_bytes"] = footprint;
+}
+BENCHMARK(BM_ScaleSmoke)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void BM_CelfVsGreedy(benchmark::State& state) {
   Graph g = SharedGraph(1500);

@@ -1,0 +1,252 @@
+// Million-to-ten-million-node scale benchmark for the graph substrate
+// (docs/scale.md): builds directed G(n, p) graphs with average out-degree
+// 10 at n = 10^5, 10^6, and 10^7 through the streaming two-pass path and
+// writes one JSON row per size to BENCH_scale.json with
+//
+//   nodes, arcs            graph size actually built
+//   build_seconds          streaming generator -> finished CSR, wall clock
+//   peak_rss_bytes         the row process's VmHWM after the build
+//   csr_bytes              Graph::MemoryFootprintBytes() of the result
+//   peak_over_csr          (VmHWM delta across the build) / csr_bytes —
+//                          the acceptance number: ~1.2 or less means the
+//                          build never holds a second copy of the graph
+//   walks_per_sec          warm RWR walks (2-hop bound) per second
+//   ic_probes_per_sec      warm single-seed IC cascades (2 steps) per sec
+//
+// Each row runs in its OWN process (the parent re-executes itself via
+// /proc/self/exe --row n): VmHWM is a process-lifetime high-water mark,
+// so rows sharing a process would see the largest row's peak. The parent
+// only orchestrates and writes the JSON.
+//
+// Environment:
+//   BENCH_SCALE_ROWS  comma-separated node counts
+//                     (default "100000,1000000,10000000")
+//   BENCH_SCALE_OUT   output path (default BENCH_scale.json)
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "im/diffusion.h"
+#include "obs/metrics.h"
+#include "runtime/scratch.h"
+#include "sampling/rwr_sampler.h"
+
+namespace privim {
+namespace {
+
+/// VmHWM from /proc/self/status in bytes: the kernel's resident-set
+/// high-water mark, which is what "does the build fit in memory" actually
+/// means (heap-byte accounting lives in bench_micro's BM_ScaleSmoke and
+/// tests/graph/builder_memory_test.cc; this is the end-to-end check).
+uint64_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+    }
+  }
+  return 0;
+}
+
+struct Row {
+  uint64_t nodes = 0;
+  uint64_t arcs = 0;
+  double build_seconds = 0;
+  uint64_t peak_rss_bytes = 0;
+  uint64_t csr_bytes = 0;
+  double peak_over_csr = 0;
+  double walks_per_sec = 0;
+  double ic_probes_per_sec = 0;
+};
+
+std::string RowJson(const Row& r) {
+  return StrFormat(
+      "    {\"nodes\": %llu, \"arcs\": %llu, \"build_seconds\": %.3f, "
+      "\"peak_rss_bytes\": %llu, \"csr_bytes\": %llu, "
+      "\"peak_over_csr\": %.3f, \"walks_per_sec\": %.1f, "
+      "\"ic_probes_per_sec\": %.1f}",
+      static_cast<unsigned long long>(r.nodes),
+      static_cast<unsigned long long>(r.arcs), r.build_seconds,
+      static_cast<unsigned long long>(r.peak_rss_bytes),
+      static_cast<unsigned long long>(r.csr_bytes), r.peak_over_csr,
+      r.walks_per_sec, r.ic_probes_per_sec);
+}
+
+/// One size, run inside a fresh process. Prints the row JSON on stdout
+/// (the only stdout output, so the parent can capture it verbatim).
+int RunRow(uint64_t n) {
+  Row row;
+  row.nodes = n;
+  const double p = 10.0 / static_cast<double>(n - 1);
+
+  const uint64_t rss_before = PeakRssBytes();
+  Rng gen(1000 + n);
+  WallTimer build_timer;
+  Graph g = bench::DieOnError(ErdosRenyi(n, p, /*directed=*/true, gen),
+                              "streaming build");
+  row.build_seconds = build_timer.ElapsedSeconds();
+  row.peak_rss_bytes = PeakRssBytes();
+  row.arcs = g.num_edges();
+  row.csr_bytes = g.MemoryFootprintBytes();
+  row.peak_over_csr =
+      static_cast<double>(row.peak_rss_bytes - rss_before) /
+      static_cast<double>(row.csr_bytes);
+
+  // Warm RWR throughput: ~200 expected walks per round, 2-hop bound.
+  {
+    MetricsRegistry metrics;
+    RwrConfig cfg;
+    cfg.subgraph_size = 30;
+    cfg.sampling_rate = 200.0 / static_cast<double>(n);
+    cfg.hop_bound = 2;
+    cfg.num_threads = 1;
+    cfg.metrics = &metrics;
+    RwrSampler sampler(cfg);
+    Rng rng(7);
+    bench::DieOnError(sampler.Extract(g, rng).status(), "warmup round");
+    const MetricsSnapshot warm = metrics.Snapshot();
+    WallTimer timer;
+    bench::DieOnError(sampler.Extract(g, rng).status(), "timed round");
+    const double seconds = timer.ElapsedSeconds();
+    const MetricsSnapshot after = metrics.Snapshot();
+    uint64_t walks = 0;
+    for (const char* name :
+         {"sampler.rwr.walks_accepted", "sampler.rwr.walks_rejected"}) {
+      const auto b = warm.counters.find(name);
+      const auto a = after.counters.find(name);
+      walks += (a == after.counters.end() ? 0 : a->second) -
+               (b == warm.counters.end() ? 0 : b->second);
+    }
+    row.walks_per_sec = static_cast<double>(walks) / seconds;
+  }
+
+  // Warm IC probe throughput: single-seed 2-step cascades, the CELF
+  // oracle's dominant shape.
+  {
+    WorkspacePool pool;
+    Rng rng(11);
+    constexpr size_t kProbes = 64;
+    constexpr size_t kTrials = 64;
+    const uint64_t stride = n / (kProbes + 1);
+    std::vector<NodeId> probe(1);
+    probe[0] = 0;
+    EstimateIcSpread(g, probe, 4, rng, /*max_steps=*/2, 1, &pool);  // warm
+    WallTimer timer;
+    for (size_t i = 0; i < kProbes; ++i) {
+      probe[0] = static_cast<NodeId>((i + 1) * stride);
+      EstimateIcSpread(g, probe, kTrials, rng, /*max_steps=*/2, 1, &pool);
+    }
+    row.ic_probes_per_sec =
+        static_cast<double>(kProbes * kTrials) / timer.ElapsedSeconds();
+  }
+
+  std::cout << RowJson(row) << "\n";
+  return 0;
+}
+
+int RunAll() {
+  std::vector<uint64_t> sizes;
+  {
+    const char* env = std::getenv("BENCH_SCALE_ROWS");
+    std::string spec = env != nullptr ? env : "100000,1000000,10000000";
+    for (size_t pos = 0; pos < spec.size();) {
+      const size_t comma = spec.find(',', pos);
+      const std::string tok =
+          spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                      : comma - pos);
+      const uint64_t v = std::strtoull(tok.c_str(), nullptr, 10);
+      if (v > 0) sizes.push_back(v);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  const char* out_env = std::getenv("BENCH_SCALE_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_scale.json";
+
+  // Resolve our own binary up front: popen goes through /bin/sh, where
+  // /proc/self/exe would name the *shell*, not this benchmark.
+  char self_path[4096];
+  const ssize_t len =
+      readlink("/proc/self/exe", self_path, sizeof(self_path) - 1);
+  if (len <= 0) {
+    std::cerr << "bench_scale: cannot resolve /proc/self/exe\n";
+    return 1;
+  }
+  self_path[len] = '\0';
+
+  std::vector<std::string> rows;
+  for (uint64_t n : sizes) {
+    std::cerr << "bench_scale: row n=" << n << "...\n";
+    const std::string cmd = StrFormat(
+        "'%s' --row %llu", self_path, static_cast<unsigned long long>(n));
+    FILE* child = popen(cmd.c_str(), "r");
+    if (child == nullptr) {
+      std::cerr << "bench_scale: failed to spawn row process\n";
+      return 1;
+    }
+    std::string captured;
+    char buf[4096];
+    size_t got;
+    while ((got = fread(buf, 1, sizeof(buf), child)) > 0) {
+      captured.append(buf, got);
+    }
+    const int rc = pclose(child);
+    if (rc != 0 || captured.empty()) {
+      std::cerr << "bench_scale: row n=" << n << " failed (rc=" << rc
+                << ")\n";
+      return 1;
+    }
+    while (!captured.empty() &&
+           (captured.back() == '\n' || captured.back() == '\r')) {
+      captured.pop_back();
+    }
+    std::cerr << captured << "\n";
+    rows.push_back(std::move(captured));
+  }
+
+  std::string json = "{\n  \"bench\": \"scale\",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    json += rows[i];
+    json += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_scale: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json;
+  std::cerr << "bench_scale: wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace privim
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--row") == 0) {
+    return privim::RunRow(std::strtoull(argv[2], nullptr, 10));
+  }
+  if (argc != 1) {
+    std::cerr << "usage: bench_scale            (all rows -> JSON)\n"
+                 "       bench_scale --row N    (one row, JSON to stdout)\n";
+    return 2;
+  }
+  return privim::RunAll();
+}

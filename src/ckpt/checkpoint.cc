@@ -52,13 +52,14 @@ Result<OptimizerState> ReadOptimizerState(BinaryReader& r) {
 
 void WriteGraph(BinaryWriter& w, const Graph& g) {
   w.WriteU64(g.num_nodes());
-  const std::vector<Edge> edges = g.Edges();
-  w.WriteU64(edges.size());
-  for (const Edge& e : edges) {
-    w.WriteU32(e.src);
-    w.WriteU32(e.dst);
-    w.WriteFloat(e.weight);
-  }
+  w.WriteU64(g.num_edges());
+  // Stream straight from the CSR — snapshotting a million-node graph must
+  // not materialize an O(E) edge list next to it.
+  g.ForEachEdge([&w](NodeId u, NodeId v, float weight) {
+    w.WriteU32(u);
+    w.WriteU32(v);
+    w.WriteFloat(weight);
+  });
 }
 
 Result<Graph> ReadGraph(BinaryReader& r) {

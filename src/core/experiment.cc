@@ -21,7 +21,8 @@ Result<DatasetInstance> PrepareDataset(DatasetId id, uint64_t seed,
   Rng rng(seed);
   PRIVIM_ASSIGN_OR_RETURN(instance.full, MakeDataset(id, rng, scale));
 
-  NodeSplit split = SplitNodes(instance.full.num_nodes(), rng);
+  PRIVIM_ASSIGN_OR_RETURN(NodeSplit split,
+                          SplitNodes(instance.full.num_nodes(), rng));
   PRIVIM_ASSIGN_OR_RETURN(Subgraph train_sub,
                           InduceSubgraph(instance.full, split.train));
   PRIVIM_ASSIGN_OR_RETURN(Subgraph eval_sub,

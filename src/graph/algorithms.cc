@@ -84,6 +84,11 @@ Result<Graph> ThetaBoundedProjection(const Graph& g, size_t theta, Rng& rng) {
   if (theta == 0) {
     return Status::InvalidArgument("theta must be positive");
   }
+  if (!g.has_in_csr()) {
+    return Status::FailedPrecondition(
+        "theta-bounded projection scans in-edges; call Graph::EnsureInCsr() "
+        "on graphs built without the in-CSR");
+  }
   GraphBuilder builder(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     auto sources = g.InNeighbors(v);

@@ -75,21 +75,28 @@ Result<Graph> MakeDataset(DatasetId id, Rng& rng, double scale) {
       // overlay for clustering.
       PRIVIM_ASSIGN_OR_RETURN(Graph pa, DirectedScaleFree(n, 8, 5, rng));
       GraphBuilder b(n);
-      for (const Edge& e : pa.Edges()) {
-        PRIVIM_RETURN_NOT_OK(b.AddEdge(e.src, e.dst, e.weight));
-      }
+      PRIVIM_RETURN_NOT_OK(b.AddEdgeStream([&pa](EdgeSink& sink) {
+        return pa.ForEachEdge([&sink](NodeId u, NodeId v, float w) {
+          return sink.Add(u, v, w);
+        });
+      }));
       // Community overlay: nodes within blocks of 50 exchange extra mail.
-      const size_t block = 50;
-      for (NodeId u = 0; u < n; ++u) {
-        const size_t base = (u / block) * block;
-        for (int t = 0; t < 6; ++t) {
-          const NodeId v = static_cast<NodeId>(
-              base + rng.UniformInt(std::min(block, n - base)));
-          if (v != u) {
-            (void)b.AddEdge(u, v);  // Duplicates deduped by Build().
-          }
-        }
-      }
+      // Duplicates against the PA core are deduped by Build().
+      PRIVIM_RETURN_NOT_OK(b.AddEdgeStream(
+          ReplayableStream(rng, [n](Rng& r, EdgeSink& sink) -> Status {
+            const size_t block = 50;
+            for (NodeId u = 0; u < n; ++u) {
+              const size_t base = (u / block) * block;
+              for (int t = 0; t < 6; ++t) {
+                const NodeId v = static_cast<NodeId>(
+                    base + r.UniformInt(std::min(block, n - base)));
+                if (v != u) {
+                  PRIVIM_RETURN_NOT_OK(sink.Add(u, v));
+                }
+              }
+            }
+            return Status::OK();
+          })));
       return b.Build();
     }
     case DatasetId::kBitcoin:
@@ -113,13 +120,16 @@ Result<Graph> MakeDataset(DatasetId id, Rng& rng, double scale) {
       // Page-page graph: power-law hubs + local clustering. Blend BA with a
       // small-world overlay.
       PRIVIM_ASSIGN_OR_RETURN(Graph ba, BarabasiAlbert(n, 6, rng));
-      GraphBuilder b(n);
-      for (const Edge& e : ba.Edges()) {
-        PRIVIM_RETURN_NOT_OK(b.AddEdge(e.src, e.dst, e.weight));
-      }
       PRIVIM_ASSIGN_OR_RETURN(Graph ws, WattsStrogatz(n, 2, 0.1, rng));
-      for (const Edge& e : ws.Edges()) {
-        (void)b.AddEdge(e.src, e.dst, e.weight);
+      GraphBuilder b(n);
+      // Merge the two topologies by streaming each CSR; overlapping arcs
+      // are deduped by Build().
+      for (const Graph* src : {&ba, &ws}) {
+        PRIVIM_RETURN_NOT_OK(b.AddEdgeStream([src](EdgeSink& sink) {
+          return src->ForEachEdge([&sink](NodeId u, NodeId v, float w) {
+            return sink.Add(u, v, w);
+          });
+        }));
       }
       return b.Build();
     }
@@ -135,9 +145,15 @@ Result<Graph> MakeDataset(DatasetId id, Rng& rng, double scale) {
   return Status::InvalidArgument("unknown dataset id");
 }
 
-NodeSplit SplitNodes(size_t num_nodes, Rng& rng, double train_fraction) {
-  PRIVIM_CHECK_GT(train_fraction, 0.0);
-  PRIVIM_CHECK_LT(train_fraction, 1.0);
+Result<NodeSplit> SplitNodes(size_t num_nodes, Rng& rng,
+                             double train_fraction) {
+  // Validate before sizing anything from the count: a 2^32+1-node request
+  // must fail loudly here, not wrap to a 1-node permutation below.
+  PRIVIM_RETURN_NOT_OK(ValidateNodeCount(num_nodes));
+  if (!(train_fraction > 0.0) || !(train_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("train_fraction %f outside (0,1)", train_fraction));
+  }
   std::vector<NodeId> perm(num_nodes);
   for (size_t i = 0; i < num_nodes; ++i) perm[i] = static_cast<NodeId>(i);
   rng.Shuffle(perm);

@@ -61,7 +61,11 @@ struct NodeSplit {
   std::vector<NodeId> train;
   std::vector<NodeId> test;
 };
-NodeSplit SplitNodes(size_t num_nodes, Rng& rng, double train_fraction = 0.5);
+/// InvalidArgument when `num_nodes` exceeds the NodeId limit (the count
+/// would otherwise truncate silently when narrowed to NodeId) or when
+/// `train_fraction` lies outside (0, 1).
+Result<NodeSplit> SplitNodes(size_t num_nodes, Rng& rng,
+                             double train_fraction = 0.5);
 
 }  // namespace privim
 

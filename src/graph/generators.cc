@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -23,66 +25,56 @@ size_t GeometricSkip(double p, Rng& rng) {
   return static_cast<size_t>(std::floor(std::log(u) / std::log1p(-p)));
 }
 
-}  // namespace
-
-Result<Graph> ErdosRenyi(size_t n, double p, bool directed, Rng& rng) {
-  if (n == 0) return Status::InvalidArgument("n must be positive");
-  if (p < 0.0 || p > 1.0) {
-    return Status::InvalidArgument("p must lie in [0,1]");
-  }
-  GraphBuilder builder(n);
-  if (p > 0.0) {
-    if (directed) {
-      // Iterate over ordered pairs (u, v), u != v, via geometric skipping.
-      const size_t total = n * (n - 1);
-      size_t idx = GeometricSkip(p, rng);
-      while (idx < total) {
-        const NodeId u = static_cast<NodeId>(idx / (n - 1));
-        size_t col = idx % (n - 1);
-        const NodeId v = static_cast<NodeId>(col >= u ? col + 1 : col);
-        PRIVIM_RETURN_NOT_OK(builder.AddEdge(u, v));
-        idx += 1 + GeometricSkip(p, rng);
-      }
-    } else {
-      const size_t total = n * (n - 1) / 2;
-      size_t idx = GeometricSkip(p, rng);
-      while (idx < total) {
-        // Map linear index to an unordered pair (u < v).
-        const double d = static_cast<double>(idx);
-        size_t u = static_cast<size_t>(
-            std::floor((2.0 * n - 1.0 -
-                        std::sqrt((2.0 * n - 1.0) * (2.0 * n - 1.0) -
-                                  8.0 * d)) /
-                       2.0));
-        // Correct floating point drift.
-        auto row_start = [&](size_t r) { return r * n - r * (r + 1) / 2; };
-        while (u + 1 < n && row_start(u + 1) <= idx) ++u;
-        while (u > 0 && row_start(u) > idx) --u;
-        const size_t v = u + 1 + (idx - row_start(u));
-        PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(
-            static_cast<NodeId>(u), static_cast<NodeId>(v)));
-        idx += 1 + GeometricSkip(p, rng);
-      }
+Status EmitErdosRenyi(size_t n, double p, bool directed, Rng& rng,
+                      EdgeSink& sink) {
+  if (p <= 0.0) return Status::OK();
+  if (directed) {
+    // Iterate over ordered pairs (u, v), u != v, via geometric skipping.
+    const size_t total = n * (n - 1);
+    size_t idx = GeometricSkip(p, rng);
+    while (idx < total) {
+      const NodeId u = static_cast<NodeId>(idx / (n - 1));
+      size_t col = idx % (n - 1);
+      const NodeId v = static_cast<NodeId>(col >= u ? col + 1 : col);
+      PRIVIM_RETURN_NOT_OK(sink.Add(u, v));
+      idx += 1 + GeometricSkip(p, rng);
+    }
+  } else {
+    const size_t total = n * (n - 1) / 2;
+    size_t idx = GeometricSkip(p, rng);
+    while (idx < total) {
+      // Map linear index to an unordered pair (u < v).
+      const double d = static_cast<double>(idx);
+      size_t u = static_cast<size_t>(
+          std::floor((2.0 * n - 1.0 -
+                      std::sqrt((2.0 * n - 1.0) * (2.0 * n - 1.0) -
+                                8.0 * d)) /
+                     2.0));
+      // Correct floating point drift.
+      auto row_start = [&](size_t r) { return r * n - r * (r + 1) / 2; };
+      while (u + 1 < n && row_start(u + 1) <= idx) ++u;
+      while (u > 0 && row_start(u) > idx) --u;
+      const size_t v = u + 1 + (idx - row_start(u));
+      PRIVIM_RETURN_NOT_OK(sink.AddUndirected(static_cast<NodeId>(u),
+                                              static_cast<NodeId>(v)));
+      idx += 1 + GeometricSkip(p, rng);
     }
   }
-  return builder.Build();
+  return Status::OK();
 }
 
-Result<Graph> BarabasiAlbert(size_t n, size_t m, Rng& rng) {
-  if (m == 0 || n <= m) {
-    return Status::InvalidArgument(
-        StrFormat("BarabasiAlbert requires 0 < m < n, got m=%zu n=%zu", m,
-                  n));
-  }
-  GraphBuilder builder(n);
-  // repeated_nodes holds one entry per half-edge, so uniform sampling from it
-  // is degree-proportional sampling.
+Status EmitBarabasiAlbert(size_t n, size_t m, Rng& rng, EdgeSink& sink) {
+  // repeated_nodes holds one entry per half-edge, so uniform sampling from
+  // it is degree-proportional sampling. It is the algorithm's working state
+  // — 4 bytes per half-edge, live only for the duration of one emission
+  // pass — not a materialized edge list (the old 16-byte-per-arc buffer
+  // this generator streamed away).
   std::vector<NodeId> repeated_nodes;
   repeated_nodes.reserve(2 * n * m);
   // Seed clique over the first m+1 nodes keeps early degrees non-degenerate.
   for (NodeId u = 0; u <= m; ++u) {
     for (NodeId v = u + 1; v <= m; ++v) {
-      PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(u, v));
+      PRIVIM_RETURN_NOT_OK(sink.AddUndirected(u, v));
       repeated_nodes.push_back(u);
       repeated_nodes.push_back(v);
     }
@@ -90,99 +82,36 @@ Result<Graph> BarabasiAlbert(size_t n, size_t m, Rng& rng) {
   for (NodeId u = static_cast<NodeId>(m + 1); u < n; ++u) {
     std::unordered_set<NodeId> targets;
     while (targets.size() < m) {
-      const NodeId t =
-          repeated_nodes[rng.UniformInt(repeated_nodes.size())];
+      const NodeId t = repeated_nodes[rng.UniformInt(repeated_nodes.size())];
       if (t != u) targets.insert(t);
     }
     for (NodeId t : targets) {
-      PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(u, t));
+      PRIVIM_RETURN_NOT_OK(sink.AddUndirected(u, t));
       repeated_nodes.push_back(u);
       repeated_nodes.push_back(t);
     }
   }
-  return builder.Build();
+  return Status::OK();
 }
 
-Result<Graph> WattsStrogatz(size_t n, size_t k, double beta, Rng& rng) {
-  if (k == 0 || 2 * k >= n) {
-    return Status::InvalidArgument(
-        StrFormat("WattsStrogatz requires 0 < 2k < n, got k=%zu n=%zu", k,
-                  n));
-  }
-  if (beta < 0.0 || beta > 1.0) {
-    return Status::InvalidArgument("beta must lie in [0,1]");
-  }
-  // Adjacency set to avoid duplicate undirected edges after rewiring.
-  std::vector<std::unordered_set<NodeId>> adj(n);
-  auto has = [&](NodeId a, NodeId b) { return adj[a].contains(b); };
-  auto add = [&](NodeId a, NodeId b) {
-    adj[a].insert(b);
-    adj[b].insert(a);
-  };
-  auto remove = [&](NodeId a, NodeId b) {
-    adj[a].erase(b);
-    adj[b].erase(a);
-  };
+Status EmitPlantedPartition(size_t n, size_t num_communities, double p_in,
+                            double p_out, Rng& rng, EdgeSink& sink) {
   for (NodeId u = 0; u < n; ++u) {
-    for (size_t j = 1; j <= k; ++j) {
-      add(u, static_cast<NodeId>((u + j) % n));
-    }
-  }
-  for (NodeId u = 0; u < n; ++u) {
-    for (size_t j = 1; j <= k; ++j) {
-      const NodeId v = static_cast<NodeId>((u + j) % n);
-      if (!has(u, v) || !rng.Bernoulli(beta)) continue;
-      // Rewire (u, v) to (u, w) for a random non-adjacent w.
-      NodeId w = u;
-      int attempts = 0;
-      do {
-        w = static_cast<NodeId>(rng.UniformInt(n));
-      } while ((w == u || has(u, w)) && ++attempts < 64);
-      if (w == u || has(u, w)) continue;  // Dense node; keep the edge.
-      remove(u, v);
-      add(u, w);
-    }
-  }
-  GraphBuilder builder(n);
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v : adj[u]) {
-      if (u < v) PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(u, v));
-    }
-  }
-  return builder.Build();
-}
-
-Result<Graph> PlantedPartition(size_t n, size_t num_communities, double p_in,
-                               double p_out, Rng& rng) {
-  if (num_communities == 0 || num_communities > n) {
-    return Status::InvalidArgument("invalid community count");
-  }
-  if (p_in < 0 || p_in > 1 || p_out < 0 || p_out > 1) {
-    return Status::InvalidArgument("probabilities must lie in [0,1]");
-  }
-  std::vector<uint32_t> community(n);
-  for (size_t i = 0; i < n; ++i) {
-    community[i] = static_cast<uint32_t>(i % num_communities);
-  }
-  GraphBuilder builder(n);
-  for (NodeId u = 0; u < n; ++u) {
+    const uint32_t cu = static_cast<uint32_t>(u % num_communities);
     for (NodeId v = u + 1; v < n; ++v) {
-      const double p = community[u] == community[v] ? p_in : p_out;
+      const uint32_t cv = static_cast<uint32_t>(v % num_communities);
+      const double p = cu == cv ? p_in : p_out;
       if (rng.Bernoulli(p)) {
-        PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(u, v));
+        PRIVIM_RETURN_NOT_OK(sink.AddUndirected(u, v));
       }
     }
   }
-  return builder.Build();
+  return Status::OK();
 }
 
-Result<Graph> DirectedScaleFree(size_t n, size_t m_out, size_t m_in,
-                                Rng& rng) {
-  if (n < 2 || m_out == 0) {
-    return Status::InvalidArgument("DirectedScaleFree requires n>=2, m_out>0");
-  }
+Status EmitDirectedScaleFree(size_t n, size_t m_out, size_t m_in, Rng& rng,
+                             EdgeSink& sink) {
   const size_t seed = std::min(n, std::max<size_t>(m_out, m_in) + 2);
-  GraphBuilder builder(n);
   std::vector<NodeId> in_pool;   // One entry per in-degree unit (+1 smoothing).
   std::vector<NodeId> out_pool;  // One entry per out-degree unit (+1).
   std::unordered_set<uint64_t> seen;
@@ -192,7 +121,7 @@ Result<Graph> DirectedScaleFree(size_t n, size_t m_out, size_t m_in,
   auto add_arc = [&](NodeId s, NodeId d) -> Status {
     if (s == d || seen.contains(key(s, d))) return Status::OK();
     seen.insert(key(s, d));
-    PRIVIM_RETURN_NOT_OK(builder.AddEdge(s, d));
+    PRIVIM_RETURN_NOT_OK(sink.Add(s, d));
     in_pool.push_back(d);
     out_pool.push_back(s);
     return Status::OK();
@@ -223,28 +152,181 @@ Result<Graph> DirectedScaleFree(size_t n, size_t m_out, size_t m_in,
       PRIVIM_RETURN_NOT_OK(add_arc(s, u));
     }
   }
-  return builder.Build();
+  return Status::OK();
 }
 
-Result<Graph> WeightedCascade(const Graph& g) {
-  GraphBuilder builder(g.num_nodes());
-  for (const Edge& e : g.Edges()) {
-    const size_t in_deg = g.InDegree(e.dst);
-    const float w = in_deg > 0 ? 1.0f / static_cast<float>(in_deg) : 1.0f;
-    PRIVIM_RETURN_NOT_OK(builder.AddEdge(e.src, e.dst, w));
+}  // namespace
+
+EdgeStream ReplayableStream(Rng& rng,
+                            std::function<Status(Rng&, EdgeSink&)> emit) {
+  // The counting pass (first invocation) draws from a snapshot so the
+  // caller's rng is untouched; the placement pass (second invocation)
+  // replays the identical sequence on the caller's rng itself. Net effect:
+  // both passes see the same draws and the caller's rng ends advanced
+  // exactly once, as if the stream had run single-pass.
+  return [&rng, emit = std::move(emit), calls = 0](EdgeSink& sink) mutable
+         -> Status {
+    Rng snapshot = rng;
+    Rng& use = calls++ == 0 ? snapshot : rng;
+    return emit(use, sink);
+  };
+}
+
+Result<Graph> ErdosRenyi(size_t n, double p, bool directed, Rng& rng,
+                         const GraphBuildOptions& options) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  PRIVIM_RETURN_NOT_OK(ValidateNodeCount(n));
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("p must lie in [0,1]");
   }
-  return builder.Build();
+  GraphBuilder builder(n);
+  PRIVIM_RETURN_NOT_OK(builder.AddEdgeStream(
+      ReplayableStream(rng, [n, p, directed](Rng& r, EdgeSink& sink) {
+        return EmitErdosRenyi(n, p, directed, r, sink);
+      })));
+  return builder.Build(options);
 }
 
-Result<Graph> WithUniformWeights(const Graph& g, float w) {
+Result<Graph> BarabasiAlbert(size_t n, size_t m, Rng& rng,
+                             const GraphBuildOptions& options) {
+  if (m == 0 || n <= m) {
+    return Status::InvalidArgument(
+        StrFormat("BarabasiAlbert requires 0 < m < n, got m=%zu n=%zu", m,
+                  n));
+  }
+  PRIVIM_RETURN_NOT_OK(ValidateNodeCount(n));
+  GraphBuilder builder(n);
+  PRIVIM_RETURN_NOT_OK(builder.AddEdgeStream(
+      ReplayableStream(rng, [n, m](Rng& r, EdgeSink& sink) {
+        return EmitBarabasiAlbert(n, m, r, sink);
+      })));
+  return builder.Build(options);
+}
+
+Result<Graph> WattsStrogatz(size_t n, size_t k, double beta, Rng& rng,
+                            const GraphBuildOptions& options) {
+  if (k == 0 || 2 * k >= n) {
+    return Status::InvalidArgument(
+        StrFormat("WattsStrogatz requires 0 < 2k < n, got k=%zu n=%zu", k,
+                  n));
+  }
+  PRIVIM_RETURN_NOT_OK(ValidateNodeCount(n));
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("beta must lie in [0,1]");
+  }
+  // Rewiring needs random-access adjacency, so this generator's working
+  // state is the adjacency itself. Build it once (on the counting pass,
+  // advancing the caller's rng exactly once) and emit from the cached sets
+  // on both passes — iteration order over an untouched unordered_set is
+  // stable within a process, so the two passes match.
+  auto adj = std::make_shared<std::vector<std::unordered_set<NodeId>>>();
+  auto stream = [n, k, beta, &rng, adj](EdgeSink& sink) -> Status {
+    if (adj->empty()) {
+      adj->resize(n);
+      auto has = [&](NodeId a, NodeId b) { return (*adj)[a].contains(b); };
+      auto add = [&](NodeId a, NodeId b) {
+        (*adj)[a].insert(b);
+        (*adj)[b].insert(a);
+      };
+      auto remove = [&](NodeId a, NodeId b) {
+        (*adj)[a].erase(b);
+        (*adj)[b].erase(a);
+      };
+      for (NodeId u = 0; u < n; ++u) {
+        for (size_t j = 1; j <= k; ++j) {
+          add(u, static_cast<NodeId>((u + j) % n));
+        }
+      }
+      for (NodeId u = 0; u < n; ++u) {
+        for (size_t j = 1; j <= k; ++j) {
+          const NodeId v = static_cast<NodeId>((u + j) % n);
+          if (!has(u, v) || !rng.Bernoulli(beta)) continue;
+          // Rewire (u, v) to (u, w) for a random non-adjacent w.
+          NodeId w = u;
+          int attempts = 0;
+          do {
+            w = static_cast<NodeId>(rng.UniformInt(n));
+          } while ((w == u || has(u, w)) && ++attempts < 64);
+          if (w == u || has(u, w)) continue;  // Dense node; keep the edge.
+          remove(u, v);
+          add(u, w);
+        }
+      }
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v : (*adj)[u]) {
+        if (u < v) PRIVIM_RETURN_NOT_OK(sink.AddUndirected(u, v));
+      }
+    }
+    return Status::OK();
+  };
+  GraphBuilder builder(n);
+  PRIVIM_RETURN_NOT_OK(builder.AddEdgeStream(std::move(stream)));
+  return builder.Build(options);
+}
+
+Result<Graph> PlantedPartition(size_t n, size_t num_communities, double p_in,
+                               double p_out, Rng& rng,
+                               const GraphBuildOptions& options) {
+  if (num_communities == 0 || num_communities > n) {
+    return Status::InvalidArgument("invalid community count");
+  }
+  PRIVIM_RETURN_NOT_OK(ValidateNodeCount(n));
+  if (p_in < 0 || p_in > 1 || p_out < 0 || p_out > 1) {
+    return Status::InvalidArgument("probabilities must lie in [0,1]");
+  }
+  GraphBuilder builder(n);
+  PRIVIM_RETURN_NOT_OK(builder.AddEdgeStream(ReplayableStream(
+      rng, [n, num_communities, p_in, p_out](Rng& r, EdgeSink& sink) {
+        return EmitPlantedPartition(n, num_communities, p_in, p_out, r, sink);
+      })));
+  return builder.Build(options);
+}
+
+Result<Graph> DirectedScaleFree(size_t n, size_t m_out, size_t m_in, Rng& rng,
+                                const GraphBuildOptions& options) {
+  if (n < 2 || m_out == 0) {
+    return Status::InvalidArgument("DirectedScaleFree requires n>=2, m_out>0");
+  }
+  PRIVIM_RETURN_NOT_OK(ValidateNodeCount(n));
+  GraphBuilder builder(n);
+  PRIVIM_RETURN_NOT_OK(builder.AddEdgeStream(
+      ReplayableStream(rng, [n, m_out, m_in](Rng& r, EdgeSink& sink) {
+        return EmitDirectedScaleFree(n, m_out, m_in, r, sink);
+      })));
+  return builder.Build(options);
+}
+
+Result<Graph> WeightedCascade(const Graph& g,
+                              const GraphBuildOptions& options) {
+  if (!g.has_in_csr()) {
+    return Status::FailedPrecondition(
+        "WeightedCascade requires in-degrees; call Graph::EnsureInCsr() on "
+        "graphs built without the in-CSR");
+  }
+  GraphBuilder builder(g.num_nodes());
+  PRIVIM_RETURN_NOT_OK(builder.AddEdgeStream([&g](EdgeSink& sink) {
+    return g.ForEachEdge([&g, &sink](NodeId u, NodeId v, float) {
+      const size_t in_deg = g.InDegree(v);
+      const float w = in_deg > 0 ? 1.0f / static_cast<float>(in_deg) : 1.0f;
+      return sink.Add(u, v, w);
+    });
+  }));
+  return builder.Build(options);
+}
+
+Result<Graph> WithUniformWeights(const Graph& g, float w,
+                                 const GraphBuildOptions& options) {
   if (w < 0.0f || w > 1.0f) {
     return Status::InvalidArgument("weight must lie in [0,1]");
   }
   GraphBuilder builder(g.num_nodes());
-  for (const Edge& e : g.Edges()) {
-    PRIVIM_RETURN_NOT_OK(builder.AddEdge(e.src, e.dst, w));
-  }
-  return builder.Build();
+  PRIVIM_RETURN_NOT_OK(builder.AddEdgeStream([&g, w](EdgeSink& sink) {
+    return g.ForEachEdge([&sink, w](NodeId u, NodeId v, float) {
+      return sink.Add(u, v, w);
+    });
+  }));
+  return builder.Build(options);
 }
 
 }  // namespace privim

@@ -12,39 +12,62 @@ namespace privim {
 /// Random-graph generators used to synthesize stand-ins for the paper's
 /// real-world datasets (see DESIGN.md, substitution table). All generators
 /// are deterministic given the Rng state.
+///
+/// Every generator streams its edges straight into the two-pass CSR build
+/// (GraphBuilder::AddEdgeStream) instead of materializing an edge list, so
+/// generating a 10^7-node / 10^8-arc graph peaks within ~1.1x of the final
+/// CSR footprint (docs/scale.md). `options` controls the built graph's
+/// layout — pass `build_in_csr = false` when only out-edge scans are needed
+/// (RWR walks, IC cascades) to halve the arc storage.
 
 /// G(n, p) Erdős–Rényi. `directed` controls whether each ordered pair is an
 /// independent arc or each unordered pair becomes two mirrored arcs.
-Result<Graph> ErdosRenyi(size_t n, double p, bool directed, Rng& rng);
+Result<Graph> ErdosRenyi(size_t n, double p, bool directed, Rng& rng,
+                         const GraphBuildOptions& options = {});
 
 /// Barabási–Albert preferential attachment: each new node attaches to `m`
 /// existing nodes chosen proportionally to degree. Produces a power-law
 /// degree distribution like most social networks. Undirected arcs mirrored.
-Result<Graph> BarabasiAlbert(size_t n, size_t m, Rng& rng);
+Result<Graph> BarabasiAlbert(size_t n, size_t m, Rng& rng,
+                             const GraphBuildOptions& options = {});
 
 /// Watts–Strogatz small world: ring lattice with `k` neighbors per side,
 /// rewired with probability `beta`. Undirected arcs mirrored.
-Result<Graph> WattsStrogatz(size_t n, size_t k, double beta, Rng& rng);
+Result<Graph> WattsStrogatz(size_t n, size_t k, double beta, Rng& rng,
+                            const GraphBuildOptions& options = {});
 
 /// Planted-partition community graph: `num_communities` equal blocks,
 /// within-block edge probability `p_in`, cross-block `p_out`. Undirected.
 Result<Graph> PlantedPartition(size_t n, size_t num_communities, double p_in,
-                               double p_out, Rng& rng);
+                               double p_out, Rng& rng,
+                               const GraphBuildOptions& options = {});
 
 /// Directed scale-free graph via a directed preferential-attachment process:
 /// each new node emits `m_out` arcs to targets chosen by in-degree
 /// preference and receives `m_in` arcs from sources chosen by out-degree
 /// preference. Models trust/communication networks (Email, Bitcoin).
-Result<Graph> DirectedScaleFree(size_t n, size_t m_out, size_t m_in,
-                                Rng& rng);
+Result<Graph> DirectedScaleFree(size_t n, size_t m_out, size_t m_in, Rng& rng,
+                                const GraphBuildOptions& options = {});
 
 /// Assigns IC influence probabilities to an existing topology using the
 /// weighted-cascade convention w_uv = 1/in_degree(v), a standard IM
-/// benchmark weighting. Returns a re-weighted copy.
-Result<Graph> WeightedCascade(const Graph& g);
+/// benchmark weighting. Returns a re-weighted copy. Requires `g` to carry
+/// its in-CSR (call Graph::EnsureInCsr() first on out-only graphs).
+Result<Graph> WeightedCascade(const Graph& g,
+                              const GraphBuildOptions& options = {});
 
 /// Returns a copy of `g` with every arc weight set to `w`.
-Result<Graph> WithUniformWeights(const Graph& g, float w);
+Result<Graph> WithUniformWeights(const Graph& g, float w,
+                                 const GraphBuildOptions& options = {});
+
+/// Wraps an rng-driven edge emitter into a replayable EdgeStream: the first
+/// invocation (the builder's counting pass) runs on a snapshot of `rng`,
+/// the second (the placement pass) on `rng` itself, so both passes see the
+/// identical draw sequence and the caller's generator state ends advanced
+/// exactly once — bit-identical to a single-pass materialized build. `rng`
+/// must outlive the returned stream.
+EdgeStream ReplayableStream(
+    Rng& rng, std::function<Status(Rng&, EdgeSink&)> emit);
 
 }  // namespace privim
 

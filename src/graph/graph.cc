@@ -1,10 +1,106 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/string_util.h"
 
 namespace privim {
+
+namespace {
+
+constexpr size_t AlignUp(size_t n, size_t a) { return (n + a - 1) / a * a; }
+
+}  // namespace
+
+Status ValidateNodeCount(uint64_t num_nodes) {
+  if (num_nodes > kMaxNodeCount) {
+    return Status::InvalidArgument(
+        StrFormat("node count %llu exceeds the 32-bit NodeId limit (%llu); "
+                  "partition the graph or widen NodeId",
+                  static_cast<unsigned long long>(num_nodes),
+                  static_cast<unsigned long long>(kMaxNodeCount)));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// OffsetArray
+
+void OffsetArray::Adopt(std::vector<uint64_t> offsets, uint64_t narrow_limit) {
+  narrow_.clear();
+  narrow_.shrink_to_fit();
+  wide_.clear();
+  wide_.shrink_to_fit();
+  if (offsets.empty()) return;
+  if (offsets.back() <= narrow_limit) {
+    narrow_.resize(offsets.size());
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      narrow_[i] = static_cast<uint32_t>(offsets[i]);
+    }
+  } else {
+    wide_ = std::move(offsets);
+    wide_.shrink_to_fit();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ArcStorage
+
+void ArcStorage::AllocateExact(EdgeId count) {
+  if (count == 0) {
+    data_.reset();
+    ids_ = nullptr;
+    weights_ = nullptr;
+    count_ = capacity_ = 0;
+    alloc_bytes_ = 0;
+    return;
+  }
+  const size_t ids_bytes =
+      AlignUp(static_cast<size_t>(count) * sizeof(NodeId), 64);
+  const size_t total = ids_bytes + static_cast<size_t>(count) * sizeof(float);
+  // Plain new[] (not make_unique) so the buffer is default-initialized —
+  // zero-filling a multi-GB allocation the build is about to overwrite
+  // would double the page-touch cost.
+  data_.reset(new std::byte[total]);
+  ids_ = reinterpret_cast<NodeId*>(data_.get());
+  weights_ = reinterpret_cast<float*>(data_.get() + ids_bytes);
+  count_ = capacity_ = count;
+  alloc_bytes_ = total;
+}
+
+void ArcStorage::Allocate(EdgeId count) { AllocateExact(count); }
+
+void ArcStorage::ShrinkCount(EdgeId count) {
+  PRIVIM_CHECK(count <= capacity_) << "ShrinkCount beyond capacity";
+  if (capacity_ - count > capacity_ / 8) {
+    ArcStorage tmp;
+    tmp.AllocateExact(count);
+    if (count > 0) {
+      std::memcpy(tmp.ids_, ids_, static_cast<size_t>(count) * sizeof(NodeId));
+      std::memcpy(tmp.weights_, weights_,
+                  static_cast<size_t>(count) * sizeof(float));
+    }
+    *this = std::move(tmp);
+  } else {
+    count_ = count;
+  }
+}
+
+ArcStorage& ArcStorage::operator=(const ArcStorage& other) {
+  if (this == &other) return *this;
+  AllocateExact(other.count_);
+  if (other.count_ > 0) {
+    std::memcpy(ids_, other.ids_,
+                static_cast<size_t>(other.count_) * sizeof(NodeId));
+    std::memcpy(weights_, other.weights_,
+                static_cast<size_t>(other.count_) * sizeof(float));
+  }
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Graph
 
 double Graph::AverageDegree() const {
   if (num_nodes_ == 0) return 0.0;
@@ -21,11 +117,16 @@ uint64_t Graph::IdentityFingerprint() const {
     h *= 0x100000001b3ULL;
   };
   mix(static_cast<uint64_t>(num_nodes_));
-  mix(static_cast<uint64_t>(out_dst_.size()));
+  mix(num_edges());
   mix(reinterpret_cast<uintptr_t>(out_offsets_.data()));
-  mix(reinterpret_cast<uintptr_t>(out_dst_.data()));
-  mix(reinterpret_cast<uintptr_t>(in_src_.data()));
+  mix(reinterpret_cast<uintptr_t>(out_.ids()));
+  mix(reinterpret_cast<uintptr_t>(in_.ids()));
   return h;
+}
+
+size_t Graph::MemoryFootprintBytes() const {
+  return out_offsets_.MemoryBytes() + out_.MemoryBytes() +
+         in_offsets_.MemoryBytes() + in_.MemoryBytes();
 }
 
 size_t Graph::MaxInDegree() const {
@@ -39,13 +140,9 @@ size_t Graph::MaxInDegree() const {
 std::vector<Edge> Graph::Edges() const {
   std::vector<Edge> edges;
   edges.reserve(num_edges());
-  for (NodeId u = 0; u < num_nodes_; ++u) {
-    auto nbrs = OutNeighbors(u);
-    auto ws = OutWeights(u);
-    for (size_t i = 0; i < nbrs.size(); ++i) {
-      edges.push_back(Edge{u, nbrs[i], ws[i]});
-    }
-  }
+  ForEachEdge([&edges](NodeId u, NodeId v, float w) {
+    edges.push_back(Edge{u, v, w});
+  });
   return edges;
 }
 
@@ -54,9 +151,62 @@ bool Graph::HasEdge(NodeId u, NodeId v) const {
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
-GraphBuilder::GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
+void Graph::BuildInCsrFromOut(uint64_t narrow_limit) {
+  // Counting sort over the out-CSR: pass 1 counts in-degrees, pass 2
+  // scatters (u -> v) into v's in-row. Scanning u in ascending order makes
+  // every in-row ascend by source id, matching what a full (src, dst)
+  // sorted build would produce — bit-identical to the eager construction.
+  std::vector<uint64_t> offsets(num_nodes_ + 1, 0);
+  const EdgeId arcs = out_.size();
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : OutNeighbors(u)) ++offsets[static_cast<size_t>(v) + 1];
+  }
+  for (size_t i = 1; i <= num_nodes_; ++i) offsets[i] += offsets[i - 1];
+  PRIVIM_CHECK(offsets[num_nodes_] == arcs);
+  in_.Allocate(arcs);
+  std::vector<uint64_t> cursors(offsets.begin(), offsets.end() - 1);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    auto nbrs = OutNeighbors(u);
+    auto ws = OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const uint64_t pos = cursors[nbrs[i]]++;
+      in_.ids()[pos] = u;
+      in_.weights()[pos] = ws[i];
+    }
+  }
+  in_offsets_.Adopt(std::move(offsets), narrow_limit);
+}
 
-Status GraphBuilder::AddEdge(NodeId u, NodeId v, float weight) {
+Status Graph::EnsureInCsr() {
+  if (has_in_csr_) return Status::OK();
+  BuildInCsrFromOut(/*narrow_limit=*/0xFFFFFFFFull);
+  has_in_csr_ = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// EdgeSink
+
+Status EdgeSink::Add(NodeId u, NodeId v, float weight) {
+  if (mode_ == Mode::kCount) {
+    PRIVIM_RETURN_NOT_OK(builder_->ValidateEdge(u, v, weight));
+    return builder_->CountArc(u);
+  }
+  return builder_->PlaceArc(u, v, weight);
+}
+
+Status EdgeSink::AddUndirected(NodeId u, NodeId v, float weight) {
+  PRIVIM_RETURN_NOT_OK(Add(u, v, weight));
+  return Add(v, u, weight);
+}
+
+// ---------------------------------------------------------------------------
+// GraphBuilder
+
+GraphBuilder::GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
+GraphBuilder::~GraphBuilder() = default;
+
+Status GraphBuilder::ValidateEdge(NodeId u, NodeId v, float weight) const {
   if (u >= num_nodes_ || v >= num_nodes_) {
     return Status::OutOfRange(
         StrFormat("edge (%u,%u) out of range for %zu nodes", u, v,
@@ -70,6 +220,11 @@ Status GraphBuilder::AddEdge(NodeId u, NodeId v, float weight) {
         StrFormat("influence probability %f outside [0,1]",
                   static_cast<double>(weight)));
   }
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v, float weight) {
+  PRIVIM_RETURN_NOT_OK(ValidateEdge(u, v, weight));
   edges_.push_back(Edge{u, v, weight});
   return Status::OK();
 }
@@ -79,51 +234,160 @@ Status GraphBuilder::AddUndirectedEdge(NodeId u, NodeId v, float weight) {
   return AddEdge(v, u, weight);
 }
 
-Result<Graph> GraphBuilder::Build() {
-  // Sort by (src, dst) and drop duplicate arcs.
-  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
-    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
-  });
-  edges_.erase(std::unique(edges_.begin(), edges_.end(),
-                           [](const Edge& a, const Edge& b) {
-                             return a.src == b.src && a.dst == b.dst;
-                           }),
-               edges_.end());
+Status GraphBuilder::AddEdgeStream(EdgeStream stream) {
+  if (!stream) return Status::InvalidArgument("null edge stream");
+  streams_.push_back(std::move(stream));
+  return Status::OK();
+}
+
+Status GraphBuilder::CountArc(NodeId u) {
+  ++offsets_[static_cast<size_t>(u) + 1];
+  return Status::OK();
+}
+
+Status GraphBuilder::PlaceArc(NodeId u, NodeId v, float weight) {
+  // Pass 2 re-validates only what protects the scatter itself: a stream
+  // whose replay diverges from its counting pass would otherwise write out
+  // of bounds. Semantic validation (self-loops, weight range) happened in
+  // pass 1 on the identical sequence.
+  if (u >= num_nodes_ || v >= num_nodes_ ||
+      cursors_[u] >= offsets_[static_cast<size_t>(u) + 1]) {
+    return Status::Internal(
+        "edge stream changed between counting and placement passes; "
+        "EdgeStream producers must be replayable (restore RNG state "
+        "before each invocation)");
+  }
+  const uint64_t pos = cursors_[u]++;
+  target_->out_.ids()[pos] = v;
+  target_->out_.weights()[pos] = weight;
+  return Status::OK();
+}
+
+Result<Graph> GraphBuilder::Build(const GraphBuildOptions& options) {
+  PRIVIM_RETURN_NOT_OK(ValidateNodeCount(num_nodes_));
 
   Graph g;
   g.num_nodes_ = num_nodes_;
-  g.out_offsets_.assign(num_nodes_ + 1, 0);
-  g.in_offsets_.assign(num_nodes_ + 1, 0);
-  for (const Edge& e : edges_) {
-    ++g.out_offsets_[e.src + 1];
-    ++g.in_offsets_[e.dst + 1];
-  }
-  for (size_t i = 1; i <= num_nodes_; ++i) {
-    g.out_offsets_[i] += g.out_offsets_[i - 1];
-    g.in_offsets_[i] += g.in_offsets_[i - 1];
-  }
-  g.out_dst_.resize(edges_.size());
-  g.out_weight_.resize(edges_.size());
-  g.in_src_.resize(edges_.size());
-  g.in_weight_.resize(edges_.size());
+  target_ = &g;
 
-  // Out-CSR: edges_ is already sorted by src, dst.
-  std::vector<size_t> cursor(num_nodes_, 0);
-  for (const Edge& e : edges_) {
-    const size_t pos = g.out_offsets_[e.src] + cursor[e.src]++;
-    g.out_dst_[pos] = e.dst;
-    g.out_weight_[pos] = e.weight;
+  // Pass 1 — count per-node out-degrees. Buffered edges were validated at
+  // AddEdge time; streamed edges are validated here, before any arc memory
+  // is sized from their counts.
+  offsets_.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : edges_) ++offsets_[static_cast<size_t>(e.src) + 1];
+  {
+    EdgeSink counter(this, EdgeSink::Mode::kCount);
+    for (EdgeStream& stream : streams_) {
+      PRIVIM_RETURN_NOT_OK(stream(counter));
+    }
   }
-  // In-CSR.
-  std::fill(cursor.begin(), cursor.end(), 0);
-  for (const Edge& e : edges_) {
-    const size_t pos = g.in_offsets_[e.dst] + cursor[e.dst]++;
-    g.in_src_[pos] = e.src;
-    g.in_weight_[pos] = e.weight;
-  }
+  for (size_t i = 1; i <= num_nodes_; ++i) offsets_[i] += offsets_[i - 1];
+  const EdgeId total = num_nodes_ == 0 ? 0 : offsets_[num_nodes_];
 
+  // Pass 2 — scatter every arc directly into its final row. Rows receive
+  // arcs in emission order; sorting happens per row below. Peak transient
+  // memory here is the two u64 bookkeeping arrays (16 bytes/node), not an
+  // edge list (16+ bytes/arc) — the difference between ~1.1x and ~3x of
+  // the final CSR footprint at 10^8 arcs.
+  g.out_.Allocate(total);
+  cursors_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    PRIVIM_RETURN_NOT_OK(PlaceArc(e.src, e.dst, e.weight));
+  }
+  {
+    EdgeSink placer(this, EdgeSink::Mode::kPlace);
+    for (EdgeStream& stream : streams_) {
+      PRIVIM_RETURN_NOT_OK(stream(placer));
+    }
+  }
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    if (cursors_[u] != offsets_[static_cast<size_t>(u) + 1]) {
+      return Status::Internal(
+          "edge stream changed between counting and placement passes; "
+          "EdgeStream producers must be replayable (restore RNG state "
+          "before each invocation)");
+    }
+  }
+  // The buffered edge list and registered streams are consumed; release
+  // them before the in-CSR build so they don't count against peak memory.
   edges_.clear();
   edges_.shrink_to_fit();
+  streams_.clear();
+  streams_.shrink_to_fit();
+  cursors_.clear();
+  cursors_.shrink_to_fit();
+
+  // Sort each row by destination and drop duplicate arcs in place,
+  // compacting the arc arrays and rewriting the offsets as we go.
+  // Ties (duplicate (u,v) with differing weights) keep the first-emitted
+  // arc, deterministically. Rows that already ascend strictly — every
+  // row the Erdos-Renyi generator emits — skip the sort entirely.
+  struct RowEntry {
+    NodeId dst;
+    uint32_t seq;
+    float weight;
+  };
+  std::vector<RowEntry> scratch;
+  uint64_t write = 0;
+  uint64_t row_begin = 0;  // Old offset of the current row.
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const uint64_t row_end = offsets_[static_cast<size_t>(u) + 1];
+    const uint64_t len = row_end - row_begin;
+    NodeId* ids = g.out_.ids();
+    float* ws = g.out_.weights();
+    bool ascending = true;
+    for (uint64_t k = row_begin + 1; k < row_end; ++k) {
+      if (ids[k - 1] >= ids[k]) {
+        ascending = false;
+        break;
+      }
+    }
+    offsets_[u] = write;
+    if (ascending) {
+      if (write != row_begin && len > 0) {
+        std::memmove(ids + write, ids + row_begin,
+                     static_cast<size_t>(len) * sizeof(NodeId));
+        std::memmove(ws + write, ws + row_begin,
+                     static_cast<size_t>(len) * sizeof(float));
+      }
+      write += len;
+    } else {
+      scratch.clear();
+      scratch.reserve(static_cast<size_t>(len));
+      for (uint64_t k = row_begin; k < row_end; ++k) {
+        scratch.push_back(RowEntry{ids[k],
+                                   static_cast<uint32_t>(k - row_begin),
+                                   ws[k]});
+      }
+      std::sort(scratch.begin(), scratch.end(),
+                [](const RowEntry& a, const RowEntry& b) {
+                  return a.dst != b.dst ? a.dst < b.dst : a.seq < b.seq;
+                });
+      NodeId last = 0;
+      bool first = true;
+      for (const RowEntry& e : scratch) {
+        if (!first && e.dst == last) continue;
+        ids[write] = e.dst;
+        ws[write] = e.weight;
+        ++write;
+        last = e.dst;
+        first = false;
+      }
+    }
+    row_begin = row_end;
+  }
+  if (num_nodes_ > 0) offsets_[num_nodes_] = write;
+  g.out_.ShrinkCount(write);
+  g.out_offsets_.Adopt(std::move(offsets_), options.narrow_offset_limit);
+  offsets_ = {};
+
+  if (options.build_in_csr) {
+    g.BuildInCsrFromOut(options.narrow_offset_limit);
+    g.has_in_csr_ = true;
+  } else {
+    g.has_in_csr_ = false;
+  }
+  target_ = nullptr;
   return g;
 }
 

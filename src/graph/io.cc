@@ -44,7 +44,8 @@ Result<std::vector<RawEdge>> ParseLines(std::istream& in) {
   return edges;
 }
 
-Result<Graph> BuildFromRaw(const std::vector<RawEdge>& raw, bool undirected) {
+Result<Graph> BuildFromRaw(const std::vector<RawEdge>& raw, bool undirected,
+                           const GraphBuildOptions& options) {
   std::unordered_map<uint64_t, NodeId> dense;
   auto densify = [&](uint64_t id) {
     auto [it, inserted] =
@@ -57,35 +58,44 @@ Result<Graph> BuildFromRaw(const std::vector<RawEdge>& raw, bool undirected) {
     densify(e.src);
     densify(e.dst);
   }
+  // The parsed lines are already in memory and trivially replayable, so
+  // stream them through the two-pass build instead of copying them into a
+  // second (builder-owned) edge buffer.
   GraphBuilder builder(dense.size());
-  for (const RawEdge& e : raw) {
-    const NodeId u = dense[e.src];
-    const NodeId v = dense[e.dst];
-    if (u == v) continue;  // Drop self-loops silently, as SNAP loaders do.
-    if (undirected) {
-      PRIVIM_RETURN_NOT_OK(builder.AddUndirectedEdge(u, v, e.weight));
-    } else {
-      PRIVIM_RETURN_NOT_OK(builder.AddEdge(u, v, e.weight));
-    }
-  }
-  return builder.Build();
+  PRIVIM_RETURN_NOT_OK(
+      builder.AddEdgeStream([&raw, &dense, undirected](EdgeSink& sink) {
+        for (const RawEdge& e : raw) {
+          const NodeId u = dense.at(e.src);
+          const NodeId v = dense.at(e.dst);
+          if (u == v) continue;  // Drop self-loops silently, as SNAP loaders do.
+          if (undirected) {
+            PRIVIM_RETURN_NOT_OK(sink.AddUndirected(u, v, e.weight));
+          } else {
+            PRIVIM_RETURN_NOT_OK(sink.Add(u, v, e.weight));
+          }
+        }
+        return Status::OK();
+      }));
+  return builder.Build(options);
 }
 
 }  // namespace
 
-Result<Graph> LoadEdgeList(const std::string& path, bool undirected) {
+Result<Graph> LoadEdgeList(const std::string& path, bool undirected,
+                           const GraphBuildOptions& options) {
   std::ifstream in(path);
   if (!in) {
     return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
   }
   PRIVIM_ASSIGN_OR_RETURN(std::vector<RawEdge> raw, ParseLines(in));
-  return BuildFromRaw(raw, undirected);
+  return BuildFromRaw(raw, undirected, options);
 }
 
-Result<Graph> ParseEdgeList(const std::string& text, bool undirected) {
+Result<Graph> ParseEdgeList(const std::string& text, bool undirected,
+                            const GraphBuildOptions& options) {
   std::istringstream in(text);
   PRIVIM_ASSIGN_OR_RETURN(std::vector<RawEdge> raw, ParseLines(in));
-  return BuildFromRaw(raw, undirected);
+  return BuildFromRaw(raw, undirected, options);
 }
 
 Status SaveEdgeList(const Graph& g, const std::string& path) {
@@ -95,9 +105,9 @@ Status SaveEdgeList(const Graph& g, const std::string& path) {
   }
   out << "# privim edge list: " << g.num_nodes() << " nodes, "
       << g.num_edges() << " arcs\n";
-  for (const Edge& e : g.Edges()) {
-    out << e.src << " " << e.dst << " " << e.weight << "\n";
-  }
+  g.ForEachEdge([&out](NodeId u, NodeId v, float w) {
+    out << u << " " << v << " " << w << "\n";
+  });
   if (!out) {
     return Status::IoError(StrFormat("write failed for '%s'", path.c_str()));
   }

@@ -11,12 +11,16 @@ namespace privim {
 /// Loads a graph from a whitespace-separated edge list. Each non-comment line
 /// is `src dst [weight]`; lines starting with '#' or '%' are skipped. Node
 /// ids may be sparse; they are densified in first-appearance order.
-/// If `undirected`, each line adds both arcs.
-Result<Graph> LoadEdgeList(const std::string& path, bool undirected = false);
+/// If `undirected`, each line adds both arcs. `options` controls the built
+/// CSR layout — pass `build_in_csr = false` to load out-adjacency only
+/// (half the arc storage; see Graph::EnsureInCsr).
+Result<Graph> LoadEdgeList(const std::string& path, bool undirected = false,
+                           const GraphBuildOptions& options = {});
 
 /// Parses an edge list from an in-memory string (same format as
 /// LoadEdgeList). Mostly useful for tests.
-Result<Graph> ParseEdgeList(const std::string& text, bool undirected = false);
+Result<Graph> ParseEdgeList(const std::string& text, bool undirected = false,
+                            const GraphBuildOptions& options = {});
 
 /// Writes `g` as a `src dst weight` edge list with a header comment.
 Status SaveEdgeList(const Graph& g, const std::string& path);

@@ -18,6 +18,11 @@ Result<RrSketch> RrSketch::Generate(const Graph& g, size_t count, Rng& rng,
   if (count == 0) {
     return Status::InvalidArgument("RR set count must be positive");
   }
+  if (!g.has_in_csr()) {
+    return Status::FailedPrecondition(
+        "RR-set generation walks in-edges; call Graph::EnsureInCsr() on "
+        "graphs built without the in-CSR");
+  }
   RrSketch sketch;
   sketch.num_nodes_ = g.num_nodes();
   sketch.sets_.resize(count);

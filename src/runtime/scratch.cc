@@ -67,6 +67,8 @@ WorkspacePool::Stats WorkspacePool::Cumulative() const {
     s.map_full_resets += ws->visited.full_resets() +
                          ws->hop_dist.full_resets() +
                          ws->incoming.full_resets();
+    s.map_writes += ws->visited.writes() + ws->hop_dist.writes() +
+                    ws->incoming.writes();
     s.ball_cache_hits += ws->ball_cache.hits();
     s.ball_cache_misses += ws->ball_cache.misses();
   }
@@ -78,6 +80,7 @@ WorkspacePool::Stats WorkspacePool::TakeStats() {
   Stats delta;
   delta.map_fast_resets = total.map_fast_resets - flushed_.map_fast_resets;
   delta.map_full_resets = total.map_full_resets - flushed_.map_full_resets;
+  delta.map_writes = total.map_writes - flushed_.map_writes;
   delta.ball_cache_hits = total.ball_cache_hits - flushed_.ball_cache_hits;
   delta.ball_cache_misses =
       total.ball_cache_misses - flushed_.ball_cache_misses;

@@ -54,6 +54,7 @@ class VisitedMap {
   void Set(size_t i, T v) {
     stamp_[i] = epoch_;
     value_[i] = v;
+    ++writes_;
   }
 
   /// Value of a present entry; undefined unless Contains(i).
@@ -66,6 +67,10 @@ class VisitedMap {
   /// O(1) resets since construction (the reuse win) / full re-zeroes.
   uint64_t fast_resets() const { return fast_resets_; }
   uint64_t full_resets() const { return full_resets_; }
+  /// Entries stamped since construction — the touched-node work metric the
+  /// O(ball) scale tests pin: for a hop-bounded walk it must track the ball
+  /// size, never |V| (full_resets stays 0 and writes stay O(ball)).
+  uint64_t writes() const { return writes_; }
 
   /// Test-only: jumps the epoch so the 2^32 wrap path is reachable without
   /// four billion resets. Never call outside tests.
@@ -77,6 +82,7 @@ class VisitedMap {
   uint32_t epoch_ = 0;
   uint64_t fast_resets_ = 0;
   uint64_t full_resets_ = 0;
+  uint64_t writes_ = 0;
 };
 
 /// Value-less VisitedMap: an epoch-stamped membership set over [0, n).
@@ -94,10 +100,15 @@ class VisitedSet {
 
   size_t size() const { return stamp_.size(); }
   bool Contains(size_t i) const { return stamp_[i] == epoch_; }
-  void Insert(size_t i) { stamp_[i] = epoch_; }
+  void Insert(size_t i) {
+    stamp_[i] = epoch_;
+    ++writes_;
+  }
 
   uint64_t fast_resets() const { return fast_resets_; }
   uint64_t full_resets() const { return full_resets_; }
+  /// Entries stamped since construction; see VisitedMap::writes().
+  uint64_t writes() const { return writes_; }
 
   /// Test-only: see VisitedMap::set_epoch_for_test.
   void set_epoch_for_test(uint32_t e) { epoch_ = e; }
@@ -107,6 +118,7 @@ class VisitedSet {
   uint32_t epoch_ = 0;
   uint64_t fast_resets_ = 0;
   uint64_t full_resets_ = 0;
+  uint64_t writes_ = 0;
 };
 
 /// An r-hop out-ball: the nodes within `hop_bound` hops of a start node,
@@ -223,6 +235,9 @@ class WorkspacePool {
     uint64_t map_fast_resets = 0;
     /// Full O(n) (re)initializations across all stamped maps.
     uint64_t map_full_resets = 0;
+    /// Entries stamped across all stamped maps — the touched-node count
+    /// the O(ball) complexity tests assert scales with the hop ball.
+    uint64_t map_writes = 0;
     uint64_t ball_cache_hits = 0;
     uint64_t ball_cache_misses = 0;
   };

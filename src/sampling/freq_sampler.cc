@@ -312,6 +312,8 @@ Result<DualStageResult> FreqSampler::Extract(
         ->Add(stats.map_fast_resets);
     config_.metrics->GetCounter("runtime.scratch.freq.workspace_inits")
         ->Add(stats.map_full_resets);
+    config_.metrics->GetCounter("runtime.scratch.freq.touched_nodes")
+        ->Add(stats.map_writes);
   }
   return result;
 }

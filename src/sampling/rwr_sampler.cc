@@ -214,6 +214,8 @@ Result<SubgraphContainer> RwrSampler::Extract(
         ->Add(stats.map_fast_resets);
     config_.metrics->GetCounter("runtime.scratch.rwr.workspace_inits")
         ->Add(stats.map_full_resets);
+    config_.metrics->GetCounter("runtime.scratch.rwr.touched_nodes")
+        ->Add(stats.map_writes);
     config_.metrics->GetCounter("runtime.scratch.rwr.ball_cache_hits")
         ->Add(stats.ball_cache_hits);
     config_.metrics->GetCounter("runtime.scratch.rwr.ball_cache_misses")

@@ -34,8 +34,8 @@ struct RwrConfig {
   /// commit time, so the counts are bit-identical across thread counts.
   /// Also receives the scheduling-dependent scratch diagnostics
   /// ("runtime.scratch.rwr.workspace_reuses" / "workspace_inits" /
-  /// "ball_cache_hits" / "ball_cache_misses", docs/performance.md), which
-  /// are outside the determinism contract.
+  /// "touched_nodes" / "ball_cache_hits" / "ball_cache_misses",
+  /// docs/performance.md), which are outside the determinism contract.
   MetricsRegistry* metrics = nullptr;
 };
 

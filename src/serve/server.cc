@@ -223,12 +223,14 @@ void Server::FlushWorkspaceStats() {
     const WorkspacePool::Stats s = engine->TakeWorkspaceStats();
     total.map_fast_resets += s.map_fast_resets;
     total.map_full_resets += s.map_full_resets;
+    total.map_writes += s.map_writes;
     total.ball_cache_hits += s.ball_cache_hits;
     total.ball_cache_misses += s.ball_cache_misses;
   }
   MetricsRegistry& reg = *config_.metrics;
   reg.GetCounter("serve.ws.map_fast_resets")->Add(total.map_fast_resets);
   reg.GetCounter("serve.ws.map_full_resets")->Add(total.map_full_resets);
+  reg.GetCounter("serve.ws.touched_nodes")->Add(total.map_writes);
   reg.GetCounter("serve.ws.ball_cache_hits")->Add(total.ball_cache_hits);
   reg.GetCounter("serve.ws.ball_cache_misses")
       ->Add(total.ball_cache_misses);

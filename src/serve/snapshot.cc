@@ -34,6 +34,11 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromModel(
     return Status::InvalidArgument(
         "cannot build a snapshot against an empty graph");
   }
+  if (!graph.has_in_csr()) {
+    return Status::FailedPrecondition(
+        "snapshot features read in-degrees; call Graph::EnsureInCsr() on "
+        "graphs built without the in-CSR before installing snapshots");
+  }
   // make_shared needs a public constructor; the snapshot is immutable
   // after this function, so a plain new behind a shared_ptr is fine.
   auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());

@@ -94,7 +94,7 @@ TEST(MakeDatasetTest, UndirectedDatasetsAreSymmetric) {
 
 TEST(SplitNodesTest, PartitionsAllNodes) {
   Rng rng(5);
-  const NodeSplit split = SplitNodes(101, rng);
+  const NodeSplit split = SplitNodes(101, rng).ValueOrDie();
   EXPECT_EQ(split.train.size() + split.test.size(), 101u);
   std::vector<NodeId> all;
   all.insert(all.end(), split.train.begin(), split.train.end());
@@ -105,14 +105,32 @@ TEST(SplitNodesTest, PartitionsAllNodes) {
 
 TEST(SplitNodesTest, RespectsFraction) {
   Rng rng(6);
-  const NodeSplit split = SplitNodes(1000, rng, 0.7);
+  const NodeSplit split = SplitNodes(1000, rng, 0.7).ValueOrDie();
   EXPECT_EQ(split.train.size(), 700u);
   EXPECT_EQ(split.test.size(), 300u);
 }
 
+TEST(SplitNodesTest, RejectsCountsBeyondNodeIdRange) {
+  Rng rng(8);
+  // One past the largest addressable node count: must fail loudly instead
+  // of silently truncating to a tiny permutation (and must fail *before*
+  // allocating the 2^32-entry permutation).
+  Result<NodeSplit> r = SplitNodes(kMaxNodeCount + 1, rng);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SplitNodesTest, RejectsDegenerateFractions) {
+  Rng rng(9);
+  EXPECT_EQ(SplitNodes(10, rng, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SplitNodes(10, rng, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(SplitNodesTest, OutputsSorted) {
   Rng rng(7);
-  const NodeSplit split = SplitNodes(50, rng);
+  const NodeSplit split = SplitNodes(50, rng).ValueOrDie();
   EXPECT_TRUE(std::is_sorted(split.train.begin(), split.train.end()));
   EXPECT_TRUE(std::is_sorted(split.test.begin(), split.test.end()));
 }

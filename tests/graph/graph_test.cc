@@ -160,5 +160,226 @@ TEST(GraphTest, InOutConsistency) {
             (std::vector<NodeId>{0, 1, 2}));
 }
 
+// ---------------------------------------------------------------------------
+// Streaming build (AddEdgeStream / two-pass counting sort)
+
+TEST(GraphBuilderStreamTest, StreamedBuildMatchesBufferedBuild) {
+  // Same irregular edge set (unsorted emission, duplicates) through both
+  // input modes must produce identical CSR content.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 17; ++u) {
+    for (NodeId v = 17; v-- > 0;) {
+      if (v != u && (u * 5 + v * 11) % 3 == 0) {
+        edges.push_back(Edge{u, v, static_cast<float>((u + v) % 7) / 7.0f});
+      }
+    }
+  }
+  GraphBuilder buffered(17);
+  for (const Edge& e : edges) {
+    ASSERT_TRUE(buffered.AddEdge(e.src, e.dst, e.weight).ok());
+    ASSERT_TRUE(buffered.AddEdge(e.src, e.dst, e.weight).ok());  // Duplicate.
+  }
+  Graph a = std::move(buffered.Build()).ValueOrDie();
+
+  GraphBuilder streamed(17);
+  ASSERT_TRUE(streamed
+                  .AddEdgeStream([&edges](EdgeSink& sink) -> Status {
+                    for (const Edge& e : edges) {
+                      PRIVIM_RETURN_NOT_OK(sink.Add(e.src, e.dst, e.weight));
+                      PRIVIM_RETURN_NOT_OK(sink.Add(e.src, e.dst, e.weight));
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  Graph b = std::move(streamed.Build()).ValueOrDie();
+
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(GraphBuilderStreamTest, StreamedEdgesAreValidated) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdgeStream([](EdgeSink& sink) { return sink.Add(0, 7); })
+                  .ok());
+  EXPECT_EQ(b.Build().status().code(), StatusCode::kOutOfRange);
+
+  GraphBuilder c(3);
+  ASSERT_TRUE(c.AddEdgeStream([](EdgeSink& sink) { return sink.Add(1, 1); })
+                  .ok());
+  EXPECT_EQ(c.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderStreamTest, NonReplayableStreamFailsWithInternal) {
+  // A stream that emits different edges on the two passes must be detected,
+  // not silently corrupt the CSR.
+  GraphBuilder b(8);
+  int call = 0;
+  ASSERT_TRUE(b.AddEdgeStream([call](EdgeSink& sink) mutable -> Status {
+                 ++call;
+                 for (NodeId u = 0; u < 4; ++u) {
+                   // Second pass shifts every source: per-row emission
+                   // counts no longer match the counting pass.
+                   const NodeId s = call == 1
+                                        ? u
+                                        : static_cast<NodeId>(u + 4);
+                   PRIVIM_RETURN_NOT_OK(
+                       sink.Add(s, static_cast<NodeId>((s + 1) % 8)));
+                 }
+                 return Status::OK();
+               })
+                  .ok());
+  const Result<Graph> r = b.Build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(GraphBuilderStreamTest, MixedBufferedAndStreamedInput) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.25f).ok());
+  ASSERT_TRUE(b.AddEdgeStream([](EdgeSink& sink) -> Status {
+                 PRIVIM_RETURN_NOT_OK(sink.Add(1, 2, 0.5f));
+                 return sink.AddUndirected(2, 3, 0.75f);
+               })
+                  .ok());
+  Graph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_TRUE(g.HasEdge(3, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Node-count boundary (size_t -> NodeId truncation seam)
+
+TEST(GraphBuilderTest, RejectsNodeCountsBeyondNodeIdRange) {
+  // One past 2^32: Build() must fail with InvalidArgument instead of
+  // wrapping the count — and must fail before sizing any per-node array
+  // from the bogus count (this test would OOM otherwise).
+  GraphBuilder b(static_cast<size_t>(kMaxNodeCount) + 1);
+  const Result<Graph> r = b.Build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy in-CSR
+
+TEST(GraphTest, OutOnlyBuildSkipsInCsr) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 1).ok());
+  GraphBuildOptions opts;
+  opts.build_in_csr = false;
+  Graph g = std::move(b.Build(opts)).ValueOrDie();
+  EXPECT_FALSE(g.has_in_csr());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+
+  GraphBuilder full(4);
+  ASSERT_TRUE(full.AddEdge(0, 1).ok());
+  ASSERT_TRUE(full.AddEdge(2, 1).ok());
+  Graph eager = std::move(full.Build()).ValueOrDie();
+  EXPECT_LT(g.MemoryFootprintBytes(), eager.MemoryFootprintBytes());
+}
+
+TEST(GraphTest, EnsureInCsrMatchesEagerConstruction) {
+  // Build the same irregular graph eagerly and lazily; after EnsureInCsr
+  // the in-adjacency must be identical (same rows, same order, same
+  // weights).
+  auto fill = [](GraphBuilder& b) {
+    for (NodeId u = 0; u < 19; ++u) {
+      for (NodeId v = 19; v-- > 0;) {
+        if (v != u && (u * 3 + v * 7) % 4 == 0) {
+          ASSERT_TRUE(
+              b.AddEdge(u, v, static_cast<float>((u * v) % 5) / 5.0f).ok());
+        }
+      }
+    }
+  };
+  GraphBuilder eager_b(19), lazy_b(19);
+  fill(eager_b);
+  fill(lazy_b);
+  Graph eager = std::move(eager_b.Build()).ValueOrDie();
+  GraphBuildOptions opts;
+  opts.build_in_csr = false;
+  Graph lazy = std::move(lazy_b.Build(opts)).ValueOrDie();
+  ASSERT_FALSE(lazy.has_in_csr());
+  ASSERT_TRUE(lazy.EnsureInCsr().ok());
+  ASSERT_TRUE(lazy.has_in_csr());
+  for (NodeId v = 0; v < 19; ++v) {
+    auto ea = eager.InNeighbors(v);
+    auto la = lazy.InNeighbors(v);
+    ASSERT_EQ(std::vector<NodeId>(ea.begin(), ea.end()),
+              std::vector<NodeId>(la.begin(), la.end()))
+        << "in-row " << v;
+    auto ew = eager.InWeights(v);
+    auto lw = lazy.InWeights(v);
+    ASSERT_EQ(std::vector<float>(ew.begin(), ew.end()),
+              std::vector<float>(lw.begin(), lw.end()))
+        << "in-weights " << v;
+  }
+  EXPECT_EQ(lazy.MaxInDegree(), eager.MaxInDegree());
+}
+
+// ---------------------------------------------------------------------------
+// Offset-width selection
+
+TEST(GraphTest, ForcedWideOffsetsPreserveContent) {
+  // narrow_offset_limit = 0 forces the 64-bit offset path that graphs with
+  // more than 2^32 arcs take; content must be identical to the narrow path.
+  GraphBuilder narrow_b(9), wide_b(9);
+  for (NodeId u = 0; u < 9; ++u) {
+    for (NodeId v = 0; v < 9; ++v) {
+      if (u != v && (u + 2 * v) % 3 == 0) {
+        ASSERT_TRUE(narrow_b.AddEdge(u, v).ok());
+        ASSERT_TRUE(wide_b.AddEdge(u, v).ok());
+      }
+    }
+  }
+  Graph narrow = std::move(narrow_b.Build()).ValueOrDie();
+  GraphBuildOptions opts;
+  opts.narrow_offset_limit = 0;
+  Graph wide = std::move(wide_b.Build(opts)).ValueOrDie();
+  EXPECT_EQ(narrow.Edges(), wide.Edges());
+  for (NodeId v = 0; v < 9; ++v) {
+    auto a = narrow.InNeighbors(v);
+    auto b = wide.InNeighbors(v);
+    EXPECT_EQ(std::vector<NodeId>(a.begin(), a.end()),
+              std::vector<NodeId>(b.begin(), b.end()));
+  }
+  // The wide graph spends 8 bytes per offset entry instead of 4.
+  EXPECT_GT(wide.MemoryFootprintBytes(), narrow.MemoryFootprintBytes());
+}
+
+TEST(GraphTest, ForEachEdgeMatchesEdges) {
+  Graph g = MakeTriangle();
+  std::vector<Edge> streamed;
+  g.ForEachEdge([&streamed](NodeId u, NodeId v, float w) {
+    streamed.push_back(Edge{u, v, w});
+  });
+  EXPECT_EQ(streamed, g.Edges());
+}
+
+TEST(GraphTest, ForEachEdgeStopsOnError) {
+  Graph g = MakeTriangle();
+  size_t seen = 0;
+  const Status s = g.ForEachEdge([&seen](NodeId, NodeId, float) -> Status {
+    if (++seen == 2) return Status::Internal("stop");
+    return Status::OK();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(GraphTest, CopiedGraphHasDistinctFingerprint) {
+  // The identity fingerprint keys sampler hop-ball caches; a copy lives at
+  // different addresses and must not alias the original's cache entries.
+  Graph g = MakeTriangle();
+  Graph copy = g;
+  EXPECT_EQ(copy.Edges(), g.Edges());
+  EXPECT_NE(copy.IdentityFingerprint(), g.IdentityFingerprint());
+}
+
 }  // namespace
 }  // namespace privim

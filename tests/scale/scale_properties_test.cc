@@ -1,0 +1,177 @@
+// O(ball) complexity properties at million-node scale (ISSUE 7).
+//
+// The PrivIM regime is subgraph size n ≪ |V|: every per-walk / per-probe
+// loop must do work proportional to the hop ball it actually explores,
+// never to the graph. These tests pin that down with the epoch-stamped
+// scratch instrumentation (VisitedMap/VisitedSet write counters surfaced
+// through WorkspacePool::Stats and the "runtime.scratch.*" metrics): on a
+// 10^6-node graph, a warm sampling round must (a) never re-run an O(|V|)
+// map initialization and (b) stamp far fewer entries in total than a
+// single full-graph scan would.
+//
+// Runtime is tens of seconds, so the whole binary is opt-in: every test
+// skips unless PRIVIM_SCALE_TESTS=1 is set (the ctest label `scale` and
+// the scale-smoke rung in tools/run_checks.sh set it; a plain `ctest`
+// reports them as skipped). docs/scale.md describes the methodology.
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "im/diffusion.h"
+#include "obs/metrics.h"
+#include "runtime/scratch.h"
+#include "sampling/rwr_sampler.h"
+
+namespace privim {
+namespace {
+
+constexpr size_t kNodes = 1000000;
+
+bool ScaleTestsEnabled() {
+  const char* v = std::getenv("PRIVIM_SCALE_TESTS");
+  return v != nullptr && v[0] == '1';
+}
+
+#define SKIP_UNLESS_SCALE()                                              \
+  if (!ScaleTestsEnabled()) {                                            \
+    GTEST_SKIP() << "set PRIVIM_SCALE_TESTS=1 to run million-node scale " \
+                    "properties (ctest -L scale does)";                  \
+  }
+
+/// The shared 10^6-node substrate: directed G(n, p) with average
+/// out-degree 10, built once for the whole binary through the streaming
+/// two-pass path. ER keeps hop balls analyzable (a 2-hop out-ball is
+/// ~1 + 10 + 100 nodes in expectation), which is what lets the tests put
+/// hard numbers on "O(ball)".
+const Graph& MillionNodeGraph() {
+  static const Graph* g = [] {
+    Rng rng(20260809);
+    const double p = 10.0 / static_cast<double>(kNodes - 1);
+    Result<Graph> r = ErdosRenyi(kNodes, p, /*directed=*/true, rng);
+    if (!r.ok()) {
+      ADD_FAILURE() << "million-node build failed: " << r.status().ToString();
+      std::abort();
+    }
+    return new Graph(std::move(r).ValueOrDie());
+  }();
+  return *g;
+}
+
+uint64_t CounterDelta(const MetricsSnapshot& before,
+                      const MetricsSnapshot& after, const char* name) {
+  const auto b = before.counters.find(name);
+  const auto a = after.counters.find(name);
+  const uint64_t bv = b == before.counters.end() ? 0 : b->second;
+  const uint64_t av = a == after.counters.end() ? 0 : a->second;
+  return av - bv;
+}
+
+TEST(ScaleProperties, MillionNodeDegreeLawStreamingBuild) {
+  SKIP_UNLESS_SCALE();
+  // The degree-law generator streams through the two-pass build at scale:
+  // 10^6 preferential-attachment nodes, no materialized edge list.
+  Rng rng(97);
+  Result<Graph> r = BarabasiAlbert(kNodes, /*m=*/4, rng);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Graph& g = r.ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), kNodes);
+  // Each arriving node contributes m undirected edges (2 arcs), minus the
+  // seed clique and any collapsed duplicate attachments.
+  EXPECT_GT(g.num_edges(), 2 * 4 * (kNodes - 8) * 9 / 10);
+  EXPECT_LT(g.num_edges(), 2 * 4 * kNodes + 1);
+  // Preferential attachment produces hubs far above the mean degree —
+  // the property that makes degree-law graphs the interesting scale case.
+  size_t max_out = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_out = std::max(max_out, g.OutDegree(u));
+  }
+  EXPECT_GT(max_out, 100u);
+  EXPECT_TRUE(g.has_in_csr());
+}
+
+TEST(ScaleProperties, RwrWalksTouchOBallNotGraph) {
+  SKIP_UNLESS_SCALE();
+  const Graph& g = MillionNodeGraph();
+
+  MetricsRegistry metrics;
+  RwrConfig cfg;
+  cfg.subgraph_size = 30;
+  cfg.restart_prob = 0.3;
+  // ~200 expected walks out of 10^6 candidate starts: plenty of signal
+  // while keeping the round seconds-long on one core.
+  cfg.sampling_rate = 2e-4;
+  cfg.walk_length = 200;
+  cfg.hop_bound = 2;
+  cfg.num_threads = 1;
+  cfg.metrics = &metrics;
+  RwrSampler sampler(cfg);
+  Rng rng(7);
+
+  // Warm-up round: the first Reset of each epoch-stamped map is the one
+  // allowed O(|V|) initialization (it sizes the stamp arrays).
+  ASSERT_TRUE(sampler.Extract(g, rng).ok());
+  const MetricsSnapshot warm = metrics.Snapshot();
+
+  ASSERT_TRUE(sampler.Extract(g, rng).ok());
+  const MetricsSnapshot after = metrics.Snapshot();
+
+  const uint64_t walks =
+      CounterDelta(warm, after, "sampler.rwr.walks_accepted") +
+      CounterDelta(warm, after, "sampler.rwr.walks_rejected");
+  const uint64_t inits =
+      CounterDelta(warm, after, "runtime.scratch.rwr.workspace_inits");
+  const uint64_t touched =
+      CounterDelta(warm, after, "runtime.scratch.rwr.touched_nodes");
+
+  ASSERT_GT(walks, 20u) << "sampling_rate produced too few walks to assert";
+  // A warm round never re-initializes an O(|V|) map...
+  EXPECT_EQ(inits, 0u);
+  // ...and the whole round — every walk together — stamps fewer entries
+  // than ONE full-graph map clear, let alone walks * |V|.
+  ASSERT_GT(touched, 0u);
+  EXPECT_LT(touched, kNodes);
+  // Per-walk O(ball): a 2-hop ball here is ~111 nodes in expectation and
+  // the walk itself visits <= walk_length; 4096 is a generous ceiling at
+  // 0.4% of |V|.
+  EXPECT_LT(touched, walks * 4096);
+}
+
+TEST(ScaleProperties, IcProbesTouchOBallNotGraph) {
+  SKIP_UNLESS_SCALE();
+  const Graph& g = MillionNodeGraph();
+
+  WorkspacePool pool;
+  Rng rng(11);
+  const std::vector<NodeId> seeds = {1, 99, 12345, 500000, 999999};
+  constexpr size_t kTrials = 64;
+  constexpr int kMaxSteps = 2;
+
+  // Warm-up probes size the per-slot maps; flush those stats away.
+  EstimateIcSpread(g, seeds, /*trials=*/4, rng, kMaxSteps,
+                   /*num_threads=*/1, &pool);
+  pool.TakeStats();
+
+  const double spread = EstimateIcSpread(g, seeds, kTrials, rng, kMaxSteps,
+                                         /*num_threads=*/1, &pool);
+  const WorkspacePool::Stats stats = pool.TakeStats();
+
+  EXPECT_GT(spread, static_cast<double>(seeds.size()));
+  // Warm probes reset in O(1) (epoch bumps), never O(|V|).
+  EXPECT_EQ(stats.map_full_resets, 0u);
+  EXPECT_GT(stats.map_fast_resets, 0u);
+  // All 64 cascades together stamp fewer entries than one full-graph
+  // clear: with unit weights and max_steps=2 each cascade activates the
+  // 2-hop out-closure of the seeds (~5 * 111 nodes).
+  ASSERT_GT(stats.map_writes, 0u);
+  EXPECT_LT(stats.map_writes, kNodes);
+  EXPECT_LT(stats.map_writes, kTrials * 8192);
+}
+
+}  // namespace
+}  // namespace privim

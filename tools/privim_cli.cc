@@ -167,7 +167,8 @@ Status RunCli(const CliOptions& opts) {
             << " nodes, " << full.num_edges() << " arcs\n";
 
   Rng split_rng(opts.seed + 1);
-  NodeSplit split = SplitNodes(full.num_nodes(), split_rng);
+  PRIVIM_ASSIGN_OR_RETURN(NodeSplit split,
+                          SplitNodes(full.num_nodes(), split_rng));
   PRIVIM_ASSIGN_OR_RETURN(Subgraph train_sub,
                           InduceSubgraph(full, split.train));
   PRIVIM_ASSIGN_OR_RETURN(Subgraph eval_sub,

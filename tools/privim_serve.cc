@@ -137,8 +137,13 @@ Status Run(const ServeCliOptions& opts) {
   Graph graph;
   std::string source;
   if (!opts.edge_list.empty()) {
-    PRIVIM_ASSIGN_OR_RETURN(graph,
-                            LoadEdgeList(opts.edge_list, opts.undirected));
+    // Load out-adjacency only: while the parsed edge buffer is still
+    // alive, only half the arc storage exists, which lowers the load-time
+    // peak RSS on large resident graphs (docs/scale.md).
+    GraphBuildOptions load_opts;
+    load_opts.build_in_csr = false;
+    PRIVIM_ASSIGN_OR_RETURN(
+        graph, LoadEdgeList(opts.edge_list, opts.undirected, load_opts));
     source = opts.edge_list;
   } else {
     PRIVIM_ASSIGN_OR_RETURN(DatasetId id, ParseDatasetId(opts.dataset));
@@ -147,6 +152,10 @@ Status Run(const ServeCliOptions& opts) {
                             MakeDataset(id, graph_rng, opts.scale));
     source = opts.dataset;
   }
+  // Snapshot features read in-degrees and the RR sketch walks in-edges;
+  // materialize the in-CSR (a no-op when already present) before the
+  // Server freezes the graph as const.
+  PRIVIM_RETURN_NOT_OK(graph.EnsureInCsr());
   std::cout << "graph: " << source << " (" << graph.num_nodes()
             << " nodes, " << graph.num_edges() << " edges)\n";
 

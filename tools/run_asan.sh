@@ -23,7 +23,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DPRIVIM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target obs_test sampling_test sampling_properties_test im_test \
-  plan_test serve_test
+  plan_test serve_test scale_test
 
 export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}
 export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
@@ -39,5 +39,10 @@ export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
 # borrowed request/response/completion pointers crossing the queue — all
 # raw-lifetime code worth a memory-clean run.
 "$BUILD_DIR/tests/serve_test"
+# Million-node O(ball) properties (ctest label `scale`, env-gated): the
+# streaming two-pass build, the blocked arc storage, and the lazy in-CSR
+# scatter are exactly the raw-offset code paths where an off-by-one only
+# shows up at scale — run them where ASan can see it.
+PRIVIM_SCALE_TESTS=1 "$BUILD_DIR/tests/scale_test"
 
 echo "ASan run clean."

@@ -6,7 +6,10 @@
 #      `-L plan`, `-L serve` select subsets; see tests/CMakeLists.txt),
 #      then the zero-allocation gates (bench_micro's PlanSteadyStateAllocs
 #      and ServeSteadyStateAllocs cases exit nonzero if the plan runtime
-#      or the warm serving path heap-allocates in steady state);
+#      or the warm serving path heap-allocates in steady state), and the
+#      scale smoke (bench_micro's ScaleSmoke case gates a million-node
+#      streaming build at 1.2x-of-CSR peak memory, then the O(ball)
+#      property suite runs via `PRIVIM_SCALE_TESTS=1 ctest -L scale`);
 #   2. ckpt:   examples build + the checkpoint/resume fault-injection
 #              suite (kill-and-resume bit-identity, tests/ckpt/) under
 #              AddressSanitizer;
@@ -37,6 +40,16 @@ echo "== stage 1b: zero-allocation gates (plan + serve) =="
 # the contracts tensor/plan.h and serve/query_engine.h make once warm.
 "$BUILD_DIR/bench/bench_micro" \
   --benchmark_filter='SteadyStateAllocs' --benchmark_min_time=0.05
+
+echo "== stage 1c: scale smoke (million-node build + sampling) =="
+# Streams a 10^6-node generator graph through the two-pass build with the
+# byte-tracking allocator armed — the binary exits nonzero if the build's
+# peak heap growth exceeds 1.2x the finished CSR (graph/graph.h,
+# docs/scale.md) — then runs a warm million-node RWR round. The full
+# O(ball) property suite is `PRIVIM_SCALE_TESTS=1 ctest -L scale`.
+"$BUILD_DIR/bench/bench_micro" --benchmark_filter='ScaleSmoke'
+PRIVIM_SCALE_TESTS=1 ctest --test-dir "$BUILD_DIR" -L scale \
+  --output-on-failure
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "Tier-1 clean (sanitizer stages skipped)."
