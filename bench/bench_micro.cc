@@ -30,6 +30,7 @@
 #include "sampling/rwr_sampler.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 // ---- Counting allocator. Global operator new/delete replacements with
@@ -260,7 +261,17 @@ void BM_PlanForwardBackward(benchmark::State& state) {
   Rng rng(5);
   GnnModel model(cfg, rng);
   ImLossConfig loss_cfg;
-  const GnnPlan plan = CompileTrainingPlan(model, ctx, loss_cfg);
+  // Arg 1 selects the compiler passes: 0 = scalar reference (the
+  // tape-bit-identical baseline), 1 = optimized (elementwise fusion +
+  // best SIMD tier, PlanOptions::Native(); tolerance contract in
+  // docs/performance.md). The label records which tier actually ran so
+  // BENCH_plan_compile.json rows are comparable across hosts.
+  const bool optimized = state.range(1) != 0;
+  const GnnPlan plan = CompileTrainingPlan(
+      model, ctx, loss_cfg,
+      optimized ? PlanOptions::Native() : PlanOptions::Reference());
+  state.SetLabel(optimized ? std::string("fused+") + simd::IsaName(plan.isa())
+                           : "reference");
   std::vector<float> params(model.params().num_scalars());
   model.params().FlattenParams(params);
   std::vector<float> grad(params.size());
@@ -271,7 +282,13 @@ void BM_PlanForwardBackward(benchmark::State& state) {
     benchmark::DoNotOptimize(plan.OutputScalar(arena));
   }
 }
-BENCHMARK(BM_PlanForwardBackward)->Arg(40)->Arg(80)->Arg(200);
+BENCHMARK(BM_PlanForwardBackward)
+    ->Args({40, 0})
+    ->Args({40, 1})
+    ->Args({80, 0})
+    ->Args({80, 1})
+    ->Args({200, 0})
+    ->Args({200, 1});
 
 // Allocation gate, not a timing case: runs full steady-state training
 // iterations (a batch of per-sample Forward + OutputScalar + Backward +
@@ -291,16 +308,26 @@ void BM_PlanSteadyStateAllocs(benchmark::State& state) {
   Rng rng(5);
   GnnModel model(cfg, rng);
   ImLossConfig loss_cfg;
-  const GnnPlan plan = CompileTrainingPlan(model, ctx, loss_cfg);
+  // Both the scalar reference plan AND the optimized (fused + SIMD) plan
+  // are under the gate: the fusion pass's stage descriptors live on the
+  // executor's stack and the kernels are pure, so the zero-allocation
+  // guarantee is identical for every PlanOptions.
+  const GnnPlan ref_plan =
+      CompileTrainingPlan(model, ctx, loss_cfg, PlanOptions::Reference());
+  const GnnPlan opt_plan =
+      CompileTrainingPlan(model, ctx, loss_cfg, PlanOptions::Native());
   const size_t dim = model.params().num_scalars();
   std::vector<float> params(dim);
   model.params().FlattenParams(params);
   std::vector<float> grad(dim);
   std::vector<float> batch_sum(dim);
   PlanArena arena;
-  // Warm pass: the first execution grows the arena to the plan's layout.
-  plan.Forward(params, features, arena);
-  plan.Backward(params, features, arena, grad);
+  // Warm pass: the first executions grow the shared arena to both plans'
+  // high-water layout.
+  for (const GnnPlan* plan : {&ref_plan, &opt_plan}) {
+    plan->Forward(params, features, arena);
+    plan->Backward(params, features, arena, grad);
+  }
 
   constexpr size_t kBatch = 8;
   uint64_t observed = 0;
@@ -309,6 +336,7 @@ void BM_PlanSteadyStateAllocs(benchmark::State& state) {
     g_count_allocs.store(true, std::memory_order_relaxed);
     std::fill(batch_sum.begin(), batch_sum.end(), 0.0f);
     for (size_t b = 0; b < kBatch; ++b) {
+      const GnnPlan& plan = (b % 2 == 0) ? ref_plan : opt_plan;
       plan.Forward(params, features, arena);
       benchmark::DoNotOptimize(plan.OutputScalar(arena));
       plan.Backward(params, features, arena, grad);

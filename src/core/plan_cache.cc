@@ -5,21 +5,24 @@
 namespace privim {
 
 GnnPlan CompileTrainingPlan(const GnnModel& model, const GraphContext& ctx,
-                            const ImLossConfig& loss) {
+                            const ImLossConfig& loss,
+                            const PlanOptions& opts) {
   PlanBuilder pb;
   const PlanValId x = pb.Input(ctx.num_nodes, model.config().in_dim);
   const PlanValId probs = pb.Sigmoid(model.LowerLogits(pb, ctx, x));
-  return pb.Build(LowerImPenaltyLoss(pb, ctx, probs, loss));
+  return pb.Build(LowerImPenaltyLoss(pb, ctx, probs, loss), opts);
 }
 
 SubgraphPlanCache::SubgraphPlanCache(const GnnModel& model,
                                      const SubgraphContainer& container,
                                      const ImLossConfig& loss,
-                                     bool compile_plans)
+                                     bool compile_plans,
+                                     const PlanOptions& plan_opts)
     : model_(model),
       container_(container),
       loss_(loss),
       compile_plans_(compile_plans),
+      plan_opts_(plan_opts),
       entries_(container.size()) {}
 
 const CompiledSubgraph& SubgraphPlanCache::Get(size_t idx) {
@@ -34,7 +37,7 @@ const CompiledSubgraph& SubgraphPlanCache::Get(size_t idx) {
     // would otherwise race.
     e->tape_features.ZeroGrad();
     if (compile_plans_) {
-      e->train_plan = CompileTrainingPlan(model_, e->ctx, loss_);
+      e->train_plan = CompileTrainingPlan(model_, e->ctx, loss_, plan_opts_);
     }
     entries_[idx] = std::move(e);
   }

@@ -31,11 +31,15 @@ struct CompiledSubgraph {
 
 /// Compiles the full training program for one subgraph — model forward,
 /// sigmoid head, and the Eq. 5 penalty loss — into a single plan whose
-/// [1,1] output is the loss. Forward + OutputScalar + Backward on the
-/// result is bit-identical to Forward + ImPenaltyLoss + Backward on the
-/// tape (same kernels, same traversal order; see tensor/plan.h).
+/// [1,1] output is the loss. With the default PlanOptions::Reference(),
+/// Forward + OutputScalar + Backward on the result is bit-identical to
+/// Forward + ImPenaltyLoss + Backward on the tape (same kernels, same
+/// traversal order; see tensor/plan.h). Optimized options
+/// (PlanOptions::Native()) enable elementwise fusion and SIMD kernels —
+/// same schedule, tolerance-pinned numerics (docs/performance.md).
 GnnPlan CompileTrainingPlan(const GnnModel& model, const GraphContext& ctx,
-                            const ImLossConfig& loss);
+                            const ImLossConfig& loss,
+                            const PlanOptions& opts = PlanOptions());
 
 /// Lazy per-subgraph cache of derived training state. Entries are built on
 /// first Get() and owned behind stable unique_ptrs, so plan-internal
@@ -47,10 +51,12 @@ class SubgraphPlanCache {
  public:
   /// Borrows `model` and `container`; both must outlive the cache. Plans
   /// are only compiled when `compile_plans` is set (the tape path skips
-  /// the compile cost).
+  /// the compile cost); `plan_opts` selects the compiler passes for every
+  /// compiled plan (TrainConfig::plan_optimize picks Native or Reference).
   SubgraphPlanCache(const GnnModel& model,
                     const SubgraphContainer& container,
-                    const ImLossConfig& loss, bool compile_plans);
+                    const ImLossConfig& loss, bool compile_plans,
+                    const PlanOptions& plan_opts = PlanOptions());
 
   size_t size() const { return entries_.size(); }
 
@@ -62,6 +68,7 @@ class SubgraphPlanCache {
   const SubgraphContainer& container_;
   ImLossConfig loss_;
   bool compile_plans_;
+  PlanOptions plan_opts_;
   std::vector<std::unique_ptr<CompiledSubgraph>> entries_;
 };
 

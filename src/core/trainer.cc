@@ -52,7 +52,9 @@ Result<TrainStats> TrainDpGnn(GnnModel& model,
   // build cost.
   const size_t m = container.size();
   SubgraphPlanCache cache(model, container, config.loss,
-                          config.use_compiled_plan);
+                          config.use_compiled_plan,
+                          config.plan_optimize ? PlanOptions::Native()
+                                               : PlanOptions::Reference());
 
   const size_t dim = model.params().num_scalars();
   std::vector<float> batch_sum(dim);

@@ -61,6 +61,15 @@ struct TrainConfig {
   /// the tape for every thread count — the tape stays as the
   /// reference/debug path (set to false to use it).
   bool use_compiled_plan = true;
+  /// Compile plans with the optimizing passes (elementwise fusion + SIMD
+  /// kernels, PlanOptions::Native()) instead of the scalar reference.
+  /// Optimized plans remain deterministic and thread-count invariant, but
+  /// their gradients match the tape only within the tolerance contract of
+  /// docs/performance.md — set to false when bit-identity with the tape is
+  /// required (the plan differential suites do). PRIVIM_FORCE_ISA=scalar
+  /// downgrades just the SIMD half at runtime. Ignored when
+  /// use_compiled_plan is false.
+  bool plan_optimize = true;
   ImLossConfig loss;
   /// Optional run telemetry. When set, the loop appends one
   /// TrainIterationRecord per iteration (loss, clip fraction, mean pre-clip

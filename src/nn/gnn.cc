@@ -104,10 +104,11 @@ PlanValId GnnModel::LowerLogits(PlanBuilder& pb, const GraphContext& ctx,
   return pb.AddRowBroadcast(pb.MatMul(h, hw), hb);
 }
 
-GnnPlan GnnModel::Compile(const GraphContext& ctx) const {
+GnnPlan GnnModel::Compile(const GraphContext& ctx,
+                          const PlanOptions& opts) const {
   PlanBuilder pb;
   const PlanValId x = pb.Input(ctx.num_nodes, config_.in_dim);
-  return pb.Build(pb.Sigmoid(LowerLogits(pb, ctx, x)));
+  return pb.Build(pb.Sigmoid(LowerLogits(pb, ctx, x)), opts);
 }
 
 }  // namespace privim

@@ -61,11 +61,14 @@ class GnnModel {
   /// Compiles the Forward() computation against `ctx` into a reusable
   /// plan whose output is the [num_nodes, 1] seed-probability matrix.
   /// Execute with the flat parameter vector (params().FlattenParams) and
-  /// the feature matrix; results are bit-identical to Forward(). The plan
-  /// borrows `ctx`'s edge vectors and must not outlive them. Training
-  /// composes LowerLogits with the loss lowering instead (see
-  /// core/plan_cache.h).
-  GnnPlan Compile(const GraphContext& ctx) const;
+  /// the feature matrix. With the default PlanOptions::Reference()
+  /// results are bit-identical to Forward(); optimized options
+  /// (PlanOptions::Native()) trade bit-identity for fused/SIMD speed under
+  /// the tolerance contract of docs/performance.md. The plan borrows
+  /// `ctx`'s edge vectors and must not outlive them. Training composes
+  /// LowerLogits with the loss lowering instead (see core/plan_cache.h).
+  GnnPlan Compile(const GraphContext& ctx,
+                  const PlanOptions& opts = PlanOptions()) const;
 
   /// Records the ForwardLogits computation into `pb` (input `x` must be
   /// [ctx.num_nodes, in_dim]) and returns the [num_nodes, 1] logits value

@@ -51,10 +51,16 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromModel(
   // Rank by pre-sigmoid logits, mirroring RunMethod's inference: identical
   // ordering to the probabilities but immune to float32 sigmoid
   // saturation at the top of the ranking.
+  // Serving is inference-only, so the logits plan takes the optimized
+  // (fused + SIMD) compile: still a deterministic pure function of
+  // (snapshot, graph, request) — every worker runs the same kernels — just
+  // not bit-identical to the tape (docs/performance.md tolerance
+  // contract). PRIVIM_FORCE_ISA=scalar restores the reference kernels.
   PlanBuilder pb;
   const PlanValId x =
       pb.Input(snap->ctx_.num_nodes, snap->model_->config().in_dim);
-  snap->logits_plan_ = pb.Build(snap->model_->LowerLogits(pb, snap->ctx_, x));
+  snap->logits_plan_ = pb.Build(snap->model_->LowerLogits(pb, snap->ctx_, x),
+                                PlanOptions::Native());
   return std::shared_ptr<const ModelSnapshot>(std::move(snap));
 }
 

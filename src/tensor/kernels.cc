@@ -1,0 +1,102 @@
+// Runtime CPUID dispatch for the SIMD kernel tiers (tensor/kernels.h).
+
+#include "tensor/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace privim {
+namespace simd {
+namespace {
+
+bool EqualsIgnoreCase(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    const char ca = (*a >= 'A' && *a <= 'Z') ? static_cast<char>(*a + 32) : *a;
+    const char cb = (*b >= 'A' && *b <= 'Z') ? static_cast<char>(*b + 32) : *b;
+    if (ca != cb) return false;
+  }
+  return *a == '\0' && *b == '\0';
+}
+
+Isa DetectMaxIsa() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // A tier is usable only when the CPU reports it AND this binary was
+  // built with the matching per-file -m flags (the *OrNull accessors
+  // return null otherwise, e.g. on compilers without AVX-512 support).
+  if (Avx512KernelsOrNull() != nullptr && __builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return Isa::kAvx512;
+  }
+  if (Avx2KernelsOrNull() != nullptr && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    return Isa::kAvx2;
+  }
+#endif
+  return Isa::kScalar;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Isa MaxSupportedIsa() {
+  static const Isa max = DetectMaxIsa();
+  return max;
+}
+
+Isa ResolveIsa() {
+  const Isa max = MaxSupportedIsa();
+  const char* force = std::getenv("PRIVIM_FORCE_ISA");
+  if (force == nullptr || *force == '\0') return max;
+  Isa want;
+  if (EqualsIgnoreCase(force, "scalar")) {
+    want = Isa::kScalar;
+  } else if (EqualsIgnoreCase(force, "avx2")) {
+    want = Isa::kAvx2;
+  } else if (EqualsIgnoreCase(force, "avx512")) {
+    want = Isa::kAvx512;
+  } else {
+    static bool warned = [force] {
+      std::fprintf(stderr,
+                   "privim: ignoring unknown PRIVIM_FORCE_ISA=%s "
+                   "(expected scalar|avx2|avx512)\n",
+                   force);
+      return true;
+    }();
+    (void)warned;
+    return max;
+  }
+  // Clamp down, never up: forcing a tier the hardware lacks would crash.
+  return want < max ? want : max;
+}
+
+const Kernels& GetKernels(Isa isa) {
+  if (isa > MaxSupportedIsa()) isa = MaxSupportedIsa();
+  switch (isa) {
+    case Isa::kAvx512:
+      if (const Kernels* k = Avx512KernelsOrNull()) return *k;
+      [[fallthrough]];
+    case Isa::kAvx2:
+      if (const Kernels* k = Avx2KernelsOrNull()) return *k;
+      [[fallthrough]];
+    case Isa::kScalar:
+      break;
+  }
+  return ScalarKernels();
+}
+
+}  // namespace simd
+}  // namespace privim

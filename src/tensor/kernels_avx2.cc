@@ -1,0 +1,276 @@
+// AVX2 (8-lane float) kernel tier. This translation unit is compiled with
+// -mavx2 -mfma (see src/tensor/CMakeLists.txt) and therefore must stay
+// minimal: intrinsics code with internal linkage plus the one table
+// accessor, no std:: inline functions that could be COMDAT-merged into
+// TUs built for the baseline ISA. Entry is gated by GetKernels' CPUID
+// check, never reached on hardware without AVX2+FMA.
+//
+// Numerics: the scatter/gather kernels use explicit mul-then-add in the
+// scalar edge/element order, so every accumulation step rounds exactly
+// like the scalar tier. The matmul family uses FMA and (for column
+// vectors) vectorized reductions — covered by the tolerance contract in
+// tests/tensor/kernel_diff_test.cc.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace privim {
+namespace simd {
+namespace {
+
+inline float Hsum8(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+inline double Hsum4d(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(lo) + _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+}
+
+void MatMulAvx2(const float* a, const float* b, float* out, size_t m,
+                size_t k, size_t n) {
+  if (n == 1) {
+    // Column-vector product: one dot over k per output row.
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      __m256 acc = _mm256_setzero_ps();
+      size_t kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(arow + kk),
+                              _mm256_loadu_ps(b + kk), acc);
+      }
+      float dot = Hsum8(acc);
+      for (; kk < k; ++kk) dot += arow[kk] * b[kk];
+      out[i] = dot;
+    }
+    return;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (size_t kk = 0; kk < k; ++kk) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(arow[kk]),
+                              _mm256_loadu_ps(b + kk * n + j), acc);
+      }
+      _mm256_storeu_ps(orow + j, acc);
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * b[kk * n + j];
+      orow[j] = acc;
+    }
+  }
+}
+
+void MatMulDaAvx2(const float* g, const float* b, float* ag, size_t m,
+                  size_t k, size_t n) {
+  if (n == 1) {
+    // ag[i,:] += g[i] * b[:,0] — an axpy over k per row.
+    for (size_t i = 0; i < m; ++i) {
+      const __m256 gv = _mm256_set1_ps(g[i]);
+      float* arow = ag + i * k;
+      size_t j = 0;
+      for (; j + 8 <= k; j += 8) {
+        const __m256 prod = _mm256_mul_ps(gv, _mm256_loadu_ps(b + j));
+        _mm256_storeu_ps(arow + j,
+                         _mm256_add_ps(_mm256_loadu_ps(arow + j), prod));
+      }
+      for (; j < k; ++j) arow[j] += g[i] * b[j];
+    }
+    return;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const float* grow = g + i * n;
+    for (size_t j = 0; j < k; ++j) {
+      const float* brow = b + j * n;
+      __m256 acc = _mm256_setzero_ps();
+      size_t c = 0;
+      for (; c + 8 <= n; c += 8) {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(grow + c),
+                              _mm256_loadu_ps(brow + c), acc);
+      }
+      float dot = Hsum8(acc);
+      for (; c < n; ++c) dot += grow[c] * brow[c];
+      ag[i * k + j] += dot;
+    }
+  }
+}
+
+void MatMulDbAvx2(const float* a, const float* g, float* s, size_t m,
+                  size_t k, size_t n) {
+  for (size_t i = 0; i < k * n; ++i) s[i] = 0.0f;
+  if (n == 1) {
+    // s[:,0] += g[r] * a[r,:] per sample row — axpy over k.
+    for (size_t r = 0; r < m; ++r) {
+      const __m256 gv = _mm256_set1_ps(g[r]);
+      const float* arow = a + r * k;
+      size_t i = 0;
+      for (; i + 8 <= k; i += 8) {
+        const __m256 prod = _mm256_mul_ps(gv, _mm256_loadu_ps(arow + i));
+        _mm256_storeu_ps(s + i, _mm256_add_ps(_mm256_loadu_ps(s + i), prod));
+      }
+      for (; i < k; ++i) s[i] += arow[i] * g[r];
+    }
+    return;
+  }
+  for (size_t r = 0; r < m; ++r) {
+    const float* arow = a + r * k;
+    const float* grow = g + r * n;
+    for (size_t i = 0; i < k; ++i) {
+      const float ari = arow[i];
+      if (ari == 0.0f) continue;
+      float* srow = s + i * n;
+      const __m256 av = _mm256_set1_ps(ari);
+      size_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(
+            srow + j,
+            _mm256_fmadd_ps(av, _mm256_loadu_ps(grow + j),
+                            _mm256_loadu_ps(srow + j)));
+      }
+      for (; j < n; ++j) srow[j] += ari * grow[j];
+    }
+  }
+}
+
+void GatherRowsAvx2(const float* x, const uint32_t* idx, size_t n_idx,
+                    size_t cols, float* out) {
+  for (size_t i = 0; i < n_idx; ++i) {
+    const float* src = x + idx[i] * cols;
+    float* dst = out + i * cols;
+    size_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      _mm256_storeu_ps(dst + c, _mm256_loadu_ps(src + c));
+    }
+    for (; c < cols; ++c) dst[c] = src[c];
+  }
+}
+
+void GatherRowsGradAvx2(const float* g, const uint32_t* idx, size_t n_idx,
+                        size_t cols, float* ag) {
+  for (size_t i = 0; i < n_idx; ++i) {
+    const float* grow = g + i * cols;
+    float* arow = ag + idx[i] * cols;
+    size_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      _mm256_storeu_ps(arow + c, _mm256_add_ps(_mm256_loadu_ps(arow + c),
+                                               _mm256_loadu_ps(grow + c)));
+    }
+    for (; c < cols; ++c) arow[c] += grow[c];
+  }
+}
+
+// Shared axpy body for the scatter family: dst[k] += c * src[k] with
+// explicit mul-then-add so each element rounds exactly like the scalar
+// tier's `dst[k] += c * src[k]` (compiled without FMA contraction).
+inline void AxpyRow(float c, const float* src, float* dst, size_t cols) {
+  const __m256 cv = _mm256_set1_ps(c);
+  size_t k = 0;
+  for (; k + 8 <= cols; k += 8) {
+    const __m256 prod = _mm256_mul_ps(cv, _mm256_loadu_ps(src + k));
+    _mm256_storeu_ps(dst + k, _mm256_add_ps(_mm256_loadu_ps(dst + k), prod));
+  }
+  for (; k < cols; ++k) dst[k] += c * src[k];
+}
+
+void ScatterAddRowsAvx2(const float* x, const uint32_t* src,
+                        const uint32_t* dst, const float* coef,
+                        size_t n_edges, size_t cols, float* out,
+                        size_t out_size) {
+  for (size_t i = 0; i < out_size; ++i) out[i] = 0.0f;
+  for (size_t e = 0; e < n_edges; ++e) {
+    AxpyRow(coef[e], x + src[e] * cols, out + dst[e] * cols, cols);
+  }
+}
+
+void ScatterAddRowsGradAvx2(const float* g, const uint32_t* src,
+                            const uint32_t* dst, const float* coef,
+                            size_t n_edges, size_t cols, float* ag) {
+  for (size_t e = 0; e < n_edges; ++e) {
+    AxpyRow(coef[e], g + dst[e] * cols, ag + src[e] * cols, cols);
+  }
+}
+
+void WeightedScatterAddRowsAvx2(const float* alpha, const float* x,
+                                const uint32_t* src, const uint32_t* dst,
+                                size_t n_edges, size_t cols, float* out,
+                                size_t out_size) {
+  for (size_t i = 0; i < out_size; ++i) out[i] = 0.0f;
+  for (size_t e = 0; e < n_edges; ++e) {
+    AxpyRow(alpha[e], x + src[e] * cols, out + dst[e] * cols, cols);
+  }
+}
+
+void WeightedScatterAddRowsGradAvx2(const float* alpha, const float* x,
+                                    const float* g, const uint32_t* src,
+                                    const uint32_t* dst, size_t n_edges,
+                                    size_t cols, float* dalpha, float* dx) {
+  for (size_t e = 0; e < n_edges; ++e) {
+    const float* grow = g + dst[e] * cols;
+    const float* xin = x + src[e] * cols;
+    if (dalpha != nullptr) {
+      __m256d acc = _mm256_setzero_pd();
+      size_t k = 0;
+      for (; k + 4 <= cols; k += 4) {
+        const __m256d gd = _mm256_cvtps_pd(_mm_loadu_ps(grow + k));
+        const __m256d xd = _mm256_cvtps_pd(_mm_loadu_ps(xin + k));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(gd, xd));
+      }
+      double dot = Hsum4d(acc);
+      for (; k < cols; ++k) {
+        dot += static_cast<double>(grow[k]) * xin[k];
+      }
+      dalpha[e] += static_cast<float>(dot);
+    }
+    if (dx != nullptr) {
+      AxpyRow(alpha[e], grow, dx + src[e] * cols, cols);
+    }
+  }
+}
+
+}  // namespace
+
+const Kernels* Avx2KernelsOrNull() {
+  static const Kernels k = {
+      Isa::kAvx2,
+      &MatMulAvx2,
+      &MatMulDaAvx2,
+      &MatMulDbAvx2,
+      &GatherRowsAvx2,
+      &GatherRowsGradAvx2,
+      &ScatterAddRowsAvx2,
+      &ScatterAddRowsGradAvx2,
+      &WeightedScatterAddRowsAvx2,
+      &WeightedScatterAddRowsGradAvx2,
+  };
+  return &k;
+}
+
+}  // namespace simd
+}  // namespace privim
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace privim {
+namespace simd {
+const Kernels* Avx2KernelsOrNull() { return nullptr; }
+}  // namespace simd
+}  // namespace privim
+
+#endif

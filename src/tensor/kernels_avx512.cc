@@ -1,0 +1,299 @@
+// AVX-512 (16-lane float) kernel tier with masked remainder lanes. Built
+// with -mavx512f/dq/bw/vl -mfma (see src/tensor/CMakeLists.txt); the same
+// TU-hygiene rules as kernels_avx2.cc apply — internal linkage only, no
+// std:: inline code, reachable only through GetKernels' CPUID clamp.
+//
+// Numerics: scatter/gather use masked mul-then-add in scalar edge order
+// (per-element rounding identical to the scalar tier); the matmul family
+// uses FMA and _mm512_reduce_add_ps/pd reductions, covered by the
+// tolerance contract in tests/tensor/kernel_diff_test.cc.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/kernels.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace privim {
+namespace simd {
+namespace {
+
+inline __mmask16 TailMask16(size_t rem) {
+  return static_cast<__mmask16>((1u << rem) - 1u);
+}
+
+void MatMulAvx512(const float* a, const float* b, float* out, size_t m,
+                  size_t k, size_t n) {
+  if (n == 1) {
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      __m512 acc = _mm512_setzero_ps();
+      size_t kk = 0;
+      for (; kk + 16 <= k; kk += 16) {
+        acc = _mm512_fmadd_ps(_mm512_loadu_ps(arow + kk),
+                              _mm512_loadu_ps(b + kk), acc);
+      }
+      if (kk < k) {
+        const __mmask16 mk = TailMask16(k - kk);
+        acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(mk, arow + kk),
+                              _mm512_maskz_loadu_ps(mk, b + kk), acc);
+      }
+      out[i] = _mm512_reduce_add_ps(acc);
+    }
+    return;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m512 acc = _mm512_setzero_ps();
+      for (size_t kk = 0; kk < k; ++kk) {
+        acc = _mm512_fmadd_ps(_mm512_set1_ps(arow[kk]),
+                              _mm512_loadu_ps(b + kk * n + j), acc);
+      }
+      _mm512_storeu_ps(orow + j, acc);
+    }
+    if (j < n) {
+      const __mmask16 mk = TailMask16(n - j);
+      __m512 acc = _mm512_setzero_ps();
+      for (size_t kk = 0; kk < k; ++kk) {
+        acc = _mm512_fmadd_ps(_mm512_set1_ps(arow[kk]),
+                              _mm512_maskz_loadu_ps(mk, b + kk * n + j), acc);
+      }
+      _mm512_mask_storeu_ps(orow + j, mk, acc);
+    }
+  }
+}
+
+void MatMulDaAvx512(const float* g, const float* b, float* ag, size_t m,
+                    size_t k, size_t n) {
+  if (n == 1) {
+    for (size_t i = 0; i < m; ++i) {
+      const __m512 gv = _mm512_set1_ps(g[i]);
+      float* arow = ag + i * k;
+      size_t j = 0;
+      for (; j + 16 <= k; j += 16) {
+        const __m512 prod = _mm512_mul_ps(gv, _mm512_loadu_ps(b + j));
+        _mm512_storeu_ps(arow + j,
+                         _mm512_add_ps(_mm512_loadu_ps(arow + j), prod));
+      }
+      if (j < k) {
+        const __mmask16 mk = TailMask16(k - j);
+        const __m512 prod =
+            _mm512_mul_ps(gv, _mm512_maskz_loadu_ps(mk, b + j));
+        _mm512_mask_storeu_ps(
+            arow + j, mk,
+            _mm512_add_ps(_mm512_maskz_loadu_ps(mk, arow + j), prod));
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const float* grow = g + i * n;
+    for (size_t j = 0; j < k; ++j) {
+      const float* brow = b + j * n;
+      __m512 acc = _mm512_setzero_ps();
+      size_t c = 0;
+      for (; c + 16 <= n; c += 16) {
+        acc = _mm512_fmadd_ps(_mm512_loadu_ps(grow + c),
+                              _mm512_loadu_ps(brow + c), acc);
+      }
+      if (c < n) {
+        const __mmask16 mk = TailMask16(n - c);
+        acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(mk, grow + c),
+                              _mm512_maskz_loadu_ps(mk, brow + c), acc);
+      }
+      ag[i * k + j] += _mm512_reduce_add_ps(acc);
+    }
+  }
+}
+
+void MatMulDbAvx512(const float* a, const float* g, float* s, size_t m,
+                    size_t k, size_t n) {
+  for (size_t i = 0; i < k * n; ++i) s[i] = 0.0f;
+  if (n == 1) {
+    for (size_t r = 0; r < m; ++r) {
+      const __m512 gv = _mm512_set1_ps(g[r]);
+      const float* arow = a + r * k;
+      size_t i = 0;
+      for (; i + 16 <= k; i += 16) {
+        const __m512 prod = _mm512_mul_ps(gv, _mm512_loadu_ps(arow + i));
+        _mm512_storeu_ps(s + i, _mm512_add_ps(_mm512_loadu_ps(s + i), prod));
+      }
+      if (i < k) {
+        const __mmask16 mk = TailMask16(k - i);
+        const __m512 prod =
+            _mm512_mul_ps(gv, _mm512_maskz_loadu_ps(mk, arow + i));
+        _mm512_mask_storeu_ps(
+            s + i, mk, _mm512_add_ps(_mm512_maskz_loadu_ps(mk, s + i), prod));
+      }
+    }
+    return;
+  }
+  for (size_t r = 0; r < m; ++r) {
+    const float* arow = a + r * k;
+    const float* grow = g + r * n;
+    for (size_t i = 0; i < k; ++i) {
+      const float ari = arow[i];
+      if (ari == 0.0f) continue;
+      float* srow = s + i * n;
+      const __m512 av = _mm512_set1_ps(ari);
+      size_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        _mm512_storeu_ps(srow + j,
+                         _mm512_fmadd_ps(av, _mm512_loadu_ps(grow + j),
+                                         _mm512_loadu_ps(srow + j)));
+      }
+      if (j < n) {
+        const __mmask16 mk = TailMask16(n - j);
+        _mm512_mask_storeu_ps(
+            srow + j, mk,
+            _mm512_fmadd_ps(av, _mm512_maskz_loadu_ps(mk, grow + j),
+                            _mm512_maskz_loadu_ps(mk, srow + j)));
+      }
+    }
+  }
+}
+
+void GatherRowsAvx512(const float* x, const uint32_t* idx, size_t n_idx,
+                      size_t cols, float* out) {
+  for (size_t i = 0; i < n_idx; ++i) {
+    const float* src = x + idx[i] * cols;
+    float* dst = out + i * cols;
+    size_t c = 0;
+    for (; c + 16 <= cols; c += 16) {
+      _mm512_storeu_ps(dst + c, _mm512_loadu_ps(src + c));
+    }
+    if (c < cols) {
+      const __mmask16 mk = TailMask16(cols - c);
+      _mm512_mask_storeu_ps(dst + c, mk, _mm512_maskz_loadu_ps(mk, src + c));
+    }
+  }
+}
+
+void GatherRowsGradAvx512(const float* g, const uint32_t* idx, size_t n_idx,
+                          size_t cols, float* ag) {
+  for (size_t i = 0; i < n_idx; ++i) {
+    const float* grow = g + i * cols;
+    float* arow = ag + idx[i] * cols;
+    size_t c = 0;
+    for (; c + 16 <= cols; c += 16) {
+      _mm512_storeu_ps(arow + c, _mm512_add_ps(_mm512_loadu_ps(arow + c),
+                                               _mm512_loadu_ps(grow + c)));
+    }
+    if (c < cols) {
+      const __mmask16 mk = TailMask16(cols - c);
+      _mm512_mask_storeu_ps(
+          arow + c, mk,
+          _mm512_add_ps(_mm512_maskz_loadu_ps(mk, arow + c),
+                        _mm512_maskz_loadu_ps(mk, grow + c)));
+    }
+  }
+}
+
+// dst[k] += c * src[k], explicit mul-then-add (see kernels_avx2.cc).
+inline void AxpyRow(float c, const float* src, float* dst, size_t cols) {
+  const __m512 cv = _mm512_set1_ps(c);
+  size_t k = 0;
+  for (; k + 16 <= cols; k += 16) {
+    const __m512 prod = _mm512_mul_ps(cv, _mm512_loadu_ps(src + k));
+    _mm512_storeu_ps(dst + k, _mm512_add_ps(_mm512_loadu_ps(dst + k), prod));
+  }
+  if (k < cols) {
+    const __mmask16 mk = TailMask16(cols - k);
+    const __m512 prod = _mm512_mul_ps(cv, _mm512_maskz_loadu_ps(mk, src + k));
+    _mm512_mask_storeu_ps(
+        dst + k, mk,
+        _mm512_add_ps(_mm512_maskz_loadu_ps(mk, dst + k), prod));
+  }
+}
+
+void ScatterAddRowsAvx512(const float* x, const uint32_t* src,
+                          const uint32_t* dst, const float* coef,
+                          size_t n_edges, size_t cols, float* out,
+                          size_t out_size) {
+  for (size_t i = 0; i < out_size; ++i) out[i] = 0.0f;
+  for (size_t e = 0; e < n_edges; ++e) {
+    AxpyRow(coef[e], x + src[e] * cols, out + dst[e] * cols, cols);
+  }
+}
+
+void ScatterAddRowsGradAvx512(const float* g, const uint32_t* src,
+                              const uint32_t* dst, const float* coef,
+                              size_t n_edges, size_t cols, float* ag) {
+  for (size_t e = 0; e < n_edges; ++e) {
+    AxpyRow(coef[e], g + dst[e] * cols, ag + src[e] * cols, cols);
+  }
+}
+
+void WeightedScatterAddRowsAvx512(const float* alpha, const float* x,
+                                  const uint32_t* src, const uint32_t* dst,
+                                  size_t n_edges, size_t cols, float* out,
+                                  size_t out_size) {
+  for (size_t i = 0; i < out_size; ++i) out[i] = 0.0f;
+  for (size_t e = 0; e < n_edges; ++e) {
+    AxpyRow(alpha[e], x + src[e] * cols, out + dst[e] * cols, cols);
+  }
+}
+
+void WeightedScatterAddRowsGradAvx512(const float* alpha, const float* x,
+                                      const float* g, const uint32_t* src,
+                                      const uint32_t* dst, size_t n_edges,
+                                      size_t cols, float* dalpha, float* dx) {
+  for (size_t e = 0; e < n_edges; ++e) {
+    const float* grow = g + dst[e] * cols;
+    const float* xin = x + src[e] * cols;
+    if (dalpha != nullptr) {
+      __m512d acc = _mm512_setzero_pd();
+      size_t k = 0;
+      for (; k + 8 <= cols; k += 8) {
+        const __m512d gd = _mm512_cvtps_pd(_mm256_loadu_ps(grow + k));
+        const __m512d xd = _mm512_cvtps_pd(_mm256_loadu_ps(xin + k));
+        acc = _mm512_add_pd(acc, _mm512_mul_pd(gd, xd));
+      }
+      double dot = _mm512_reduce_add_pd(acc);
+      for (; k < cols; ++k) {
+        dot += static_cast<double>(grow[k]) * xin[k];
+      }
+      dalpha[e] += static_cast<float>(dot);
+    }
+    if (dx != nullptr) {
+      AxpyRow(alpha[e], grow, dx + src[e] * cols, cols);
+    }
+  }
+}
+
+}  // namespace
+
+const Kernels* Avx512KernelsOrNull() {
+  static const Kernels k = {
+      Isa::kAvx512,
+      &MatMulAvx512,
+      &MatMulDaAvx512,
+      &MatMulDbAvx512,
+      &GatherRowsAvx512,
+      &GatherRowsGradAvx512,
+      &ScatterAddRowsAvx512,
+      &ScatterAddRowsGradAvx512,
+      &WeightedScatterAddRowsAvx512,
+      &WeightedScatterAddRowsGradAvx512,
+  };
+  return &k;
+}
+
+}  // namespace simd
+}  // namespace privim
+
+#else  // !__AVX512F__
+
+namespace privim {
+namespace simd {
+const Kernels* Avx512KernelsOrNull() { return nullptr; }
+}  // namespace simd
+}  // namespace privim
+
+#endif

@@ -7,11 +7,77 @@
 
 namespace privim {
 
+using plan_internal::FusedStep;
+using plan_internal::kMaxFuseLen;
 using plan_internal::kNoScratch;
 using plan_internal::Op;
 using plan_internal::OpKind;
 using plan_internal::SlotKind;
 using plan_internal::ValueNode;
+
+PlanOptions PlanOptions::Native() {
+  PlanOptions o;
+  o.fuse_elementwise = true;
+  o.isa = simd::ResolveIsa();
+  return o;
+}
+
+namespace {
+
+// Ops the fusion pass may pull into one sweep: shape-preserving, pure
+// per-element functions of at most one chained operand plus one
+// broadcast/full operand.
+bool IsElementwise(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kMul:
+    case OpKind::kAddRowBroadcast:
+    case OpKind::kScale:
+    case OpKind::kAddScalar:
+    case OpKind::kScaleByScalar:
+    case OpKind::kRelu:
+    case OpKind::kLeakyRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kInfluenceProb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Whether `k`'s backward pass reads the forward VALUE of its a (resp. b)
+// operand — the write-elision analysis must keep such values materialized.
+// Conservative where the read is conditional on the sibling's
+// requires_grad (kMul, kMatMul).
+bool BackwardReadsA(OpKind k) {
+  switch (k) {
+    case OpKind::kMatMul:
+    case OpKind::kMul:
+    case OpKind::kScaleByScalar:
+    case OpKind::kRelu:
+    case OpKind::kLeakyRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kInfluenceProb:
+    case OpKind::kWeightedScatterAddRows:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool BackwardReadsB(OpKind k) {
+  switch (k) {
+    case OpKind::kMatMul:
+    case OpKind::kMul:
+    case OpKind::kScaleByScalar:
+    case OpKind::kWeightedScatterAddRows:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // PlanBuilder.
@@ -226,7 +292,7 @@ PlanValId PlanBuilder::SegmentSoftmax(PlanValId scores,
   return AddOp(op, group.size(), 1);
 }
 
-ExecutionPlan PlanBuilder::Build(PlanValId output) {
+ExecutionPlan PlanBuilder::Build(PlanValId output, const PlanOptions& opts) {
   PRIVIM_CHECK_GE(output, 0);
   PRIVIM_CHECK_LT(static_cast<size_t>(output), vals_.size());
 
@@ -329,6 +395,116 @@ ExecutionPlan PlanBuilder::Build(PlanValId output) {
     // whose result requires grad).
     if (v.op >= 0 && v.requires_grad) plan.backward_.push_back(v.op);
   }
+
+  // -------------------------------------------------------------------------
+  // Pass 1: elementwise fusion. Partition the forward schedule into maximal
+  // runs of schedule-adjacent elementwise ops chained through the previous
+  // op's output; each run executes as one sweep per buffer
+  // (ExecFusedGroup). The sweep applies the same scalar arithmetic per
+  // element as the unfused kernels, so fusion alone stays bit-identical to
+  // the reference plan. The backward schedule is untouched — it replays the
+  // original ops.
+  // -------------------------------------------------------------------------
+  if (opts.fuse_elementwise) {
+    const auto& vals = plan.vals_;
+    const auto& ops = plan.ops_;
+    auto same_shape = [&vals](PlanValId x, PlanValId y) {
+      return vals[x].rows == vals[y].rows && vals[x].cols == vals[y].cols;
+    };
+    size_t i = 0;
+    while (i < ops.size()) {
+      if (!IsElementwise(ops[i].kind)) {
+        plan.steps_.push_back({static_cast<int32_t>(i), 1});
+        ++i;
+        continue;
+      }
+      const size_t start = i;
+      size_t end = i + 1;
+      while (end < ops.size() &&
+             end - start < static_cast<size_t>(kMaxFuseLen)) {
+        const Op& op = ops[end];
+        if (!IsElementwise(op.kind)) break;
+        const PlanValId prev = ops[end - 1].out;
+        // Must chain through the previous op's output and keep the group's
+        // element domain (all stages same shape).
+        if (op.a != prev && op.b != prev) break;
+        if (!same_shape(op.out, ops[start].out)) break;
+        // Aliasing guard: the non-chained operand must be produced outside
+        // the group — an in-group producer's buffer may be elided or only
+        // partially written at the point the sweep would read it.
+        const PlanValId other = (op.a == prev) ? op.b : op.a;
+        if (other >= 0 && other != prev) {
+          const int32_t oop = vals[other].op;
+          if (oop >= static_cast<int32_t>(start) &&
+              oop < static_cast<int32_t>(end)) {
+            break;
+          }
+        }
+        ++end;
+      }
+      plan.steps_.push_back(
+          {static_cast<int32_t>(start), static_cast<int32_t>(end - start)});
+      i = end;
+    }
+
+    // Write elision: a non-final value inside a group whose buffer nothing
+    // observes — no forward consumer outside the group, no backward
+    // value-read, not the plan output — never gets stored. (Arena space
+    // stays reserved; the grad buffer, if any, is still used by backward.)
+    for (const FusedStep& step : plan.steps_) {
+      if (step.count <= 1) continue;
+      const size_t gfirst = static_cast<size_t>(step.first_op);
+      const size_t gend = gfirst + static_cast<size_t>(step.count);
+      for (size_t j = gfirst; j + 1 < gend; ++j) {
+        const PlanValId v = ops[j].out;
+        bool live = (v == plan.output_);
+        for (size_t ci = j + 1; ci < ops.size() && !live; ++ci) {
+          const Op& c = ops[ci];
+          const bool uses_a = (c.a == v), uses_b = (c.b == v);
+          if (!uses_a && !uses_b) continue;
+          if (ci >= gend) {
+            live = true;  // Forward-read outside the group.
+          } else {
+            if (uses_a && BackwardReadsA(c.kind)) live = true;
+            if (uses_b && BackwardReadsB(c.kind)) live = true;
+          }
+        }
+        if (!live) plan.vals_[v].elided = true;
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Pass 2: per-op kernel selection. Every op gets a kernel table pointer;
+  // the vectorizable kinds (matmul / gather / scatter) move to the
+  // requested SIMD tier when the op is wide enough for full vectors —
+  // narrow ops (cols < one AVX2 vector) stay scalar, which also keeps the
+  // reference bit-identity for plans built with PlanOptions::Reference().
+  // -------------------------------------------------------------------------
+  const simd::Kernels& scalar_kt = simd::ScalarKernels();
+  const simd::Kernels& simd_kt = simd::GetKernels(opts.isa);
+  plan.isa_ = simd_kt.isa;
+  for (Op& op : plan.ops_) {
+    const simd::Kernels* kt = &scalar_kt;
+    if (simd_kt.isa != simd::Isa::kScalar) {
+      switch (op.kind) {
+        case OpKind::kMatMul: {
+          const size_t n = plan.vals_[op.out].cols;
+          const size_t kdim = plan.vals_[op.a].cols;
+          if (n >= 8 || (n == 1 && kdim >= 8)) kt = &simd_kt;
+          break;
+        }
+        case OpKind::kGatherRows:
+        case OpKind::kScatterAddRows:
+        case OpKind::kWeightedScatterAddRows:
+          if (plan.vals_[op.out].cols >= 8) kt = &simd_kt;
+          break;
+        default:
+          break;
+      }
+    }
+    op.kern = kt;
+  }
   return plan;
 }
 
@@ -390,6 +566,219 @@ inline float SigmoidBwd(float v) {
 
 }  // namespace
 
+void ExecutionPlan::ExecForwardOp(const Op& op, std::span<const float> params,
+                                  const Matrix& input,
+                                  PlanArena& arena) const {
+  const ValueNode& on = vals_[op.out];
+  float* out = arena.f.data() + on.val_off;
+  const float* a = ValPtr(op.a, params, input, arena);
+  const float* b = op.b >= 0 ? ValPtr(op.b, params, input, arena) : nullptr;
+  const size_t rows = on.rows, cols = on.cols, size = on.size();
+  switch (op.kind) {
+    case OpKind::kMatMul: {
+      const size_t m = vals_[op.a].rows, k = vals_[op.a].cols;
+      op.kern->matmul(a, b, out, m, k, cols);
+      break;
+    }
+    case OpKind::kAdd:
+      for (size_t i = 0; i < size; ++i) out[i] = a[i] + b[i];
+      break;
+    case OpKind::kMul:
+      for (size_t i = 0; i < size; ++i) out[i] = a[i] * b[i];
+      break;
+    case OpKind::kAddRowBroadcast:
+      for (size_t r = 0; r < rows; ++r) {
+        float* orow = out + r * cols;
+        const float* xrow = a + r * cols;
+        for (size_t c = 0; c < cols; ++c) orow[c] = xrow[c] + b[c];
+      }
+      break;
+    case OpKind::kScale:
+      for (size_t i = 0; i < size; ++i) out[i] = a[i] * op.c0;
+      break;
+    case OpKind::kAddScalar:
+      for (size_t i = 0; i < size; ++i) out[i] = a[i] + op.c0;
+      break;
+    case OpKind::kScaleByScalar: {
+      const float sv = b[0];
+      for (size_t i = 0; i < size; ++i) out[i] = a[i] * sv;
+      break;
+    }
+    case OpKind::kConcatCols: {
+      const size_t a_cols = vals_[op.a].cols, b_cols = vals_[op.b].cols;
+      for (size_t r = 0; r < rows; ++r) {
+        float* orow = out + r * cols;
+        std::copy(a + r * a_cols, a + (r + 1) * a_cols, orow);
+        std::copy(b + r * b_cols, b + (r + 1) * b_cols, orow + a_cols);
+      }
+      break;
+    }
+    case OpKind::kRelu:
+      for (size_t i = 0; i < size; ++i) {
+        out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+      }
+      break;
+    case OpKind::kLeakyRelu:
+      for (size_t i = 0; i < size; ++i) {
+        out[i] = a[i] > 0.0f ? a[i] : op.c0 * a[i];
+      }
+      break;
+    case OpKind::kSigmoid:
+      for (size_t i = 0; i < size; ++i) out[i] = SigmoidFwd(a[i]);
+      break;
+    case OpKind::kInfluenceProb:
+      for (size_t i = 0; i < size; ++i) {
+        out[i] = a[i] > 0.0f ? 1.0f - std::exp(-a[i]) : 0.0f;
+      }
+      break;
+    case OpKind::kSum: {
+      double s = 0.0;
+      const size_t n = vals_[op.a].size();
+      for (size_t i = 0; i < n; ++i) s += a[i];
+      out[0] = static_cast<float>(s);
+      break;
+    }
+    case OpKind::kGatherRows:
+      op.kern->gather_rows(a, op.idx_a, op.n_idx, cols, out);
+      break;
+    case OpKind::kScatterAddRows:
+      op.kern->scatter_add_rows(a, op.idx_a, op.idx_b, op.coef, op.n_idx,
+                                cols, out, size);
+      break;
+    case OpKind::kWeightedScatterAddRows:
+      op.kern->weighted_scatter_add_rows(a, b, op.idx_a, op.idx_b, op.n_idx,
+                                         cols, out, size);
+      break;
+    case OpKind::kSegmentSoftmax: {
+      float* gmax = arena.f.data() + op.scratch_f;
+      double* gsum = arena.d.data() + op.scratch_d;
+      std::fill(gmax, gmax + op.n_groups, -1e30f);
+      std::fill(gsum, gsum + op.n_groups, 0.0);
+      for (size_t e = 0; e < op.n_idx; ++e) {
+        gmax[op.idx_a[e]] = std::max(gmax[op.idx_a[e]], a[e]);
+      }
+      for (size_t e = 0; e < op.n_idx; ++e) {
+        const float v = std::exp(a[e] - gmax[op.idx_a[e]]);
+        out[e] = v;
+        gsum[op.idx_a[e]] += v;
+      }
+      for (size_t e = 0; e < op.n_idx; ++e) {
+        const double denom = gsum[op.idx_a[e]];
+        out[e] = denom > 0.0 ? static_cast<float>(out[e] / denom) : 0.0f;
+      }
+      break;
+    }
+  }
+}
+
+namespace {
+
+// Per-stage descriptor for one fused sweep. `other_mode` says how the
+// non-chained operand (if any) is indexed: 1 = full (other[i]), 2 = row
+// broadcast (other[c]), 3 = scalar (other[0]); 0 = no other operand (the
+// chained value feeds both sides, or the op is unary).
+struct StageExec {
+  OpKind kind;
+  const float* other = nullptr;
+  float* out = nullptr;
+  float c0 = 0.0f;
+  uint8_t other_mode = 0;
+  bool v_first = true;  // Chained value is operand a.
+  bool write = true;
+};
+
+// The same scalar arithmetic per element as ExecForwardOp's unfused loops
+// (every binary fusible op is add or mul, which are commutative bit-exactly
+// — v_first only swaps operand order for clarity).
+inline float ApplyStage(const StageExec& s, float v, size_t i, size_t c) {
+  float o = v;
+  switch (s.other_mode) {
+    case 1:
+      o = s.other[i];
+      break;
+    case 2:
+      o = s.other[c];
+      break;
+    case 3:
+      o = s.other[0];
+      break;
+    default:
+      break;
+  }
+  switch (s.kind) {
+    case OpKind::kAdd:
+    case OpKind::kAddRowBroadcast:
+      return s.v_first ? v + o : o + v;
+    case OpKind::kMul:
+    case OpKind::kScaleByScalar:
+      return s.v_first ? v * o : o * v;
+    case OpKind::kScale:
+      return v * s.c0;
+    case OpKind::kAddScalar:
+      return v + s.c0;
+    case OpKind::kRelu:
+      return v > 0.0f ? v : 0.0f;
+    case OpKind::kLeakyRelu:
+      return v > 0.0f ? v : s.c0 * v;
+    case OpKind::kSigmoid:
+      return SigmoidFwd(v);
+    case OpKind::kInfluenceProb:
+      return v > 0.0f ? 1.0f - std::exp(-v) : 0.0f;
+    default:
+      return v;  // Unreachable: only elementwise kinds are fused.
+  }
+}
+
+}  // namespace
+
+void ExecutionPlan::ExecFusedGroup(const plan_internal::FusedStep& step,
+                                   std::span<const float> params,
+                                   const Matrix& input,
+                                   PlanArena& arena) const {
+  const Op* gops = &ops_[step.first_op];
+  const int32_t count = step.count;
+  const ValueNode& dom = vals_[gops[0].out];
+  const size_t rows = dom.rows, cols = dom.cols;
+  const float* in = ValPtr(gops[0].a, params, input, arena);
+
+  StageExec st[kMaxFuseLen];
+  for (int32_t s = 0; s < count; ++s) {
+    const Op& op = gops[s];
+    StageExec& se = st[s];
+    se.kind = op.kind;
+    se.c0 = op.c0;
+    se.out = arena.f.data() + vals_[op.out].val_off;
+    se.write = !vals_[op.out].elided;
+    const PlanValId vsrc = (s == 0) ? op.a : gops[s - 1].out;
+    se.v_first = (op.a == vsrc);
+    const PlanValId other = se.v_first ? op.b : op.a;
+    if (other < 0 || other == vsrc) {
+      se.other_mode = 0;  // Unary, or the chained value feeds both sides.
+    } else {
+      se.other = ValPtr(other, params, input, arena);
+      const ValueNode& ov = vals_[other];
+      if (ov.rows == rows && ov.cols == cols) {
+        se.other_mode = 1;
+      } else if (ov.rows == 1 && ov.cols == cols) {
+        se.other_mode = 2;  // kAddRowBroadcast bias.
+      } else {
+        se.other_mode = 3;  // kScaleByScalar [1,1].
+      }
+    }
+  }
+
+  size_t i = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c, ++i) {
+      float v = in[i];
+      for (int32_t s = 0; s < count; ++s) {
+        v = ApplyStage(st[s], v, i, c);
+        if (st[s].write) st[s].out[i] = v;
+      }
+    }
+  }
+}
+
 void ExecutionPlan::Forward(std::span<const float> params,
                             const Matrix& input, PlanArena& arena) const {
   PRIVIM_CHECK(compiled());
@@ -400,131 +789,37 @@ void ExecutionPlan::Forward(std::span<const float> params,
   }
   EnsureArena(arena);
 
-  for (const Op& op : ops_) {
-    const ValueNode& on = vals_[op.out];
-    float* out = arena.f.data() + on.val_off;
-    const float* a = ValPtr(op.a, params, input, arena);
-    const float* b = op.b >= 0 ? ValPtr(op.b, params, input, arena)
-                               : nullptr;
-    const size_t rows = on.rows, cols = on.cols, size = on.size();
-    switch (op.kind) {
-      case OpKind::kMatMul: {
-        const size_t m = vals_[op.a].rows, k = vals_[op.a].cols;
-        std::fill(out, out + size, 0.0f);
-        for (size_t i = 0; i < m; ++i) {
-          for (size_t kk = 0; kk < k; ++kk) {
-            const float aik = a[i * k + kk];
-            if (aik == 0.0f) continue;
-            const float* brow = b + kk * cols;
-            float* orow = out + i * cols;
-            for (size_t j = 0; j < cols; ++j) orow[j] += aik * brow[j];
-          }
-        }
-        break;
-      }
-      case OpKind::kAdd:
-        for (size_t i = 0; i < size; ++i) out[i] = a[i] + b[i];
-        break;
-      case OpKind::kMul:
-        for (size_t i = 0; i < size; ++i) out[i] = a[i] * b[i];
-        break;
-      case OpKind::kAddRowBroadcast:
-        for (size_t r = 0; r < rows; ++r) {
-          float* orow = out + r * cols;
-          const float* xrow = a + r * cols;
-          for (size_t c = 0; c < cols; ++c) orow[c] = xrow[c] + b[c];
-        }
-        break;
-      case OpKind::kScale:
-        for (size_t i = 0; i < size; ++i) out[i] = a[i] * op.c0;
-        break;
-      case OpKind::kAddScalar:
-        for (size_t i = 0; i < size; ++i) out[i] = a[i] + op.c0;
-        break;
-      case OpKind::kScaleByScalar: {
-        const float sv = b[0];
-        for (size_t i = 0; i < size; ++i) out[i] = a[i] * sv;
-        break;
-      }
-      case OpKind::kConcatCols: {
-        const size_t a_cols = vals_[op.a].cols, b_cols = vals_[op.b].cols;
-        for (size_t r = 0; r < rows; ++r) {
-          float* orow = out + r * cols;
-          std::copy(a + r * a_cols, a + (r + 1) * a_cols, orow);
-          std::copy(b + r * b_cols, b + (r + 1) * b_cols, orow + a_cols);
-        }
-        break;
-      }
-      case OpKind::kRelu:
-        for (size_t i = 0; i < size; ++i) {
-          out[i] = a[i] > 0.0f ? a[i] : 0.0f;
-        }
-        break;
-      case OpKind::kLeakyRelu:
-        for (size_t i = 0; i < size; ++i) {
-          out[i] = a[i] > 0.0f ? a[i] : op.c0 * a[i];
-        }
-        break;
-      case OpKind::kSigmoid:
-        for (size_t i = 0; i < size; ++i) out[i] = SigmoidFwd(a[i]);
-        break;
-      case OpKind::kInfluenceProb:
-        for (size_t i = 0; i < size; ++i) {
-          out[i] = a[i] > 0.0f ? 1.0f - std::exp(-a[i]) : 0.0f;
-        }
-        break;
-      case OpKind::kSum: {
-        double s = 0.0;
-        const size_t n = vals_[op.a].size();
-        for (size_t i = 0; i < n; ++i) s += a[i];
-        out[0] = static_cast<float>(s);
-        break;
-      }
-      case OpKind::kGatherRows:
-        for (size_t i = 0; i < op.n_idx; ++i) {
-          const float* src = a + op.idx_a[i] * cols;
-          std::copy(src, src + cols, out + i * cols);
-        }
-        break;
-      case OpKind::kScatterAddRows:
-        std::fill(out, out + size, 0.0f);
-        for (size_t e = 0; e < op.n_idx; ++e) {
-          const float* xin = a + op.idx_a[e] * cols;
-          float* orow = out + op.idx_b[e] * cols;
-          const float c = op.coef[e];
-          for (size_t k = 0; k < cols; ++k) orow[k] += c * xin[k];
-        }
-        break;
-      case OpKind::kWeightedScatterAddRows:
-        std::fill(out, out + size, 0.0f);
-        for (size_t e = 0; e < op.n_idx; ++e) {
-          const float alpha = a[e];
-          const float* xin = b + op.idx_a[e] * cols;
-          float* orow = out + op.idx_b[e] * cols;
-          for (size_t k = 0; k < cols; ++k) orow[k] += alpha * xin[k];
-        }
-        break;
-      case OpKind::kSegmentSoftmax: {
-        float* gmax = arena.f.data() + op.scratch_f;
-        double* gsum = arena.d.data() + op.scratch_d;
-        std::fill(gmax, gmax + op.n_groups, -1e30f);
-        std::fill(gsum, gsum + op.n_groups, 0.0);
-        for (size_t e = 0; e < op.n_idx; ++e) {
-          gmax[op.idx_a[e]] = std::max(gmax[op.idx_a[e]], a[e]);
-        }
-        for (size_t e = 0; e < op.n_idx; ++e) {
-          const float v = std::exp(a[e] - gmax[op.idx_a[e]]);
-          out[e] = v;
-          gsum[op.idx_a[e]] += v;
-        }
-        for (size_t e = 0; e < op.n_idx; ++e) {
-          const double denom = gsum[op.idx_a[e]];
-          out[e] = denom > 0.0 ? static_cast<float>(out[e] / denom) : 0.0f;
-        }
-        break;
-      }
+  if (steps_.empty()) {
+    for (const Op& op : ops_) ExecForwardOp(op, params, input, arena);
+    return;
+  }
+  for (const FusedStep& step : steps_) {
+    if (step.count == 1) {
+      ExecForwardOp(ops_[step.first_op], params, input, arena);
+    } else {
+      ExecFusedGroup(step, params, input, arena);
     }
   }
+}
+
+size_t ExecutionPlan::num_elided_values() const {
+  size_t n = 0;
+  for (const ValueNode& v : vals_) n += v.elided ? 1 : 0;
+  return n;
+}
+
+std::vector<std::pair<int32_t, int32_t>> ExecutionPlan::ForwardSteps() const {
+  std::vector<std::pair<int32_t, int32_t>> out;
+  if (steps_.empty()) {
+    out.reserve(ops_.size());
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      out.emplace_back(static_cast<int32_t>(i), 1);
+    }
+    return out;
+  }
+  out.reserve(steps_.size());
+  for (const FusedStep& s : steps_) out.emplace_back(s.first_op, s.count);
+  return out;
 }
 
 float ExecutionPlan::OutputScalar(const PlanArena& arena) const {
@@ -571,31 +866,13 @@ void ExecutionPlan::Backward(std::span<const float> params,
         if (ag != nullptr) {
           // dA = dOut * B^T: each entry is one locally accumulated dot,
           // added once — identical to MatMulTransValues + AddInPlace.
-          for (size_t i = 0; i < m; ++i) {
-            const float* grow = g + i * n;
-            for (size_t j = 0; j < k; ++j) {
-              const float* brow = bv + j * n;
-              float dot = 0.0f;
-              for (size_t c = 0; c < n; ++c) dot += grow[c] * brow[c];
-              ag[i * k + j] += dot;
-            }
-          }
+          op.kern->matmul_da(g, bv, ag, m, k, n);
         }
         if (bg != nullptr) {
           // dB = A^T * dOut, staged in a zeroed scratch then added, as the
           // tape does (MatTransMulValues builds a fresh matrix).
           float* s = arena.f.data() + op.scratch_db;
-          std::fill(s, s + k * n, 0.0f);
-          for (size_t r = 0; r < m; ++r) {
-            const float* arow = av + r * k;
-            const float* grow = g + r * n;
-            for (size_t i = 0; i < k; ++i) {
-              const float ari = arow[i];
-              if (ari == 0.0f) continue;
-              float* srow = s + i * n;
-              for (size_t j = 0; j < n; ++j) srow[j] += ari * grow[j];
-            }
-          }
+          op.kern->matmul_db(av, g, s, m, k, n);
           for (size_t i = 0; i < k * n; ++i) bg[i] += s[i];
         }
         break;
@@ -701,39 +978,20 @@ void ExecutionPlan::Backward(std::span<const float> params,
         break;
       case OpKind::kGatherRows:
         if (ag != nullptr) {
-          for (size_t i = 0; i < op.n_idx; ++i) {
-            const float* grow = g + i * cols;
-            float* arow = ag + op.idx_a[i] * cols;
-            for (size_t c = 0; c < cols; ++c) arow[c] += grow[c];
-          }
+          op.kern->gather_rows_grad(g, op.idx_a, op.n_idx, cols, ag);
         }
         break;
       case OpKind::kScatterAddRows:
         if (ag != nullptr) {
-          for (size_t e = 0; e < op.n_idx; ++e) {
-            const float* grow = g + op.idx_b[e] * cols;
-            float* arow = ag + op.idx_a[e] * cols;
-            const float c = op.coef[e];
-            for (size_t k = 0; k < cols; ++k) arow[k] += c * grow[k];
-          }
+          op.kern->scatter_add_rows_grad(g, op.idx_a, op.idx_b, op.coef,
+                                         op.n_idx, cols, ag);
         }
         break;
       case OpKind::kWeightedScatterAddRows:
-        for (size_t e = 0; e < op.n_idx; ++e) {
-          const float* grow = g + op.idx_b[e] * cols;
-          const float* xin = bv + op.idx_a[e] * cols;
-          if (ag != nullptr) {
-            double dot = 0.0;
-            for (size_t k = 0; k < cols; ++k) {
-              dot += static_cast<double>(grow[k]) * xin[k];
-            }
-            ag[e] += static_cast<float>(dot);
-          }
-          if (bg != nullptr) {
-            const float alpha = av[e];
-            float* brow = bg + op.idx_a[e] * cols;
-            for (size_t k = 0; k < cols; ++k) brow[k] += alpha * grow[k];
-          }
+        if (ag != nullptr || bg != nullptr) {
+          op.kern->weighted_scatter_add_rows_grad(av, bv, g, op.idx_a,
+                                                  op.idx_b, op.n_idx, cols,
+                                                  ag, bg);
         }
         break;
       case OpKind::kSegmentSoftmax:

@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "tensor/kernels.h"
 #include "tensor/matrix.h"
 
 namespace privim {
@@ -76,6 +78,11 @@ struct ValueNode {
   uint32_t rows = 0;
   uint32_t cols = 0;
   bool requires_grad = false;
+  /// Fusion write-elision: the value only ever flows register-to-register
+  /// inside one fused group and nothing (forward consumer outside the
+  /// group, backward value-read, the plan output) observes its buffer, so
+  /// the sweep skips the store. Arena space is still reserved.
+  bool elided = false;
   size_t param_offset = 0;          // kParam: offset into the flat spans.
   size_t val_off = kNoScratch;      // kActivation: value offset in arena.f.
   size_t grad_off = kNoScratch;     // kActivation + requires_grad only.
@@ -100,9 +107,42 @@ struct Op {
   size_t scratch_f = kNoScratch;     // float scratch offset in arena.f.
   size_t scratch_d = kNoScratch;     // double scratch offset in arena.d.
   size_t scratch_db = kNoScratch;    // MatMul dB staging buffer in arena.f.
+  /// Kernel tier for this op, selected at plan finalize time (Build):
+  /// points at the scalar table unless the op is one of the vectorizable
+  /// kinds, wide enough to profit, and the plan was built with a SIMD isa.
+  const simd::Kernels* kern = nullptr;
 };
 
+/// One step of the fused forward schedule: `count` consecutive ops of the
+/// original schedule. count == 1 executes the op as-is; count > 1 is an
+/// elementwise group executed in a single sweep over the group's shape.
+struct FusedStep {
+  int32_t first_op = 0;
+  int32_t count = 1;
+};
+
+/// Longest elementwise run one fused sweep will cover (stage descriptors
+/// live on the executor's stack). Longer runs split into multiple groups.
+constexpr int32_t kMaxFuseLen = 8;
+
 }  // namespace plan_internal
+
+/// Compiler-pass knobs for PlanBuilder::Build. The default —
+/// `Reference()` — produces the scalar, unfused plan whose values and
+/// gradients are bit-identical to the dynamic tape (the contract
+/// tests/nn/plan_equivalence_test.cc pins). `Native()` turns on
+/// elementwise fusion and the best SIMD tier the host supports
+/// (tensor/kernels.h; override with PRIVIM_FORCE_ISA). Fusion alone keeps
+/// bit-identity (the sweep applies the same scalar arithmetic per
+/// element); SIMD paths are tolerance-pinned instead
+/// (tests/tensor/kernel_diff_test.cc, docs/performance.md).
+struct PlanOptions {
+  bool fuse_elementwise = false;
+  simd::Isa isa = simd::Isa::kScalar;
+
+  static PlanOptions Reference() { return PlanOptions{}; }
+  static PlanOptions Native();
+};
 
 /// Grow-only execution buffers for one concurrent executor of a plan
 /// (trainer: one per worker slot). An arena can be shared by plans of
@@ -161,10 +201,12 @@ class PlanBuilder {
                            size_t num_groups);
 
   /// Freezes the DAG with `output` as the root: lays out the arena,
-  /// computes the backward schedule (tape-replay order from `output`), and
-  /// returns the immutable plan. The builder is left in a moved-from
-  /// state.
-  ExecutionPlan Build(PlanValId output);
+  /// computes the backward schedule (tape-replay order from `output`),
+  /// runs the optimization passes selected by `opts` (elementwise fusion,
+  /// per-op SIMD kernel selection), and returns the immutable plan. The
+  /// builder is left in a moved-from state.
+  ExecutionPlan Build(PlanValId output,
+                      const PlanOptions& opts = PlanOptions());
 
  private:
   friend class ExecutionPlan;
@@ -194,6 +236,21 @@ class ExecutionPlan {
   size_t output_rows() const;
   size_t output_cols() const;
 
+  /// SIMD tier the plan's kernels were finalized against (after clamping
+  /// to what the host supports). Reference plans report kScalar.
+  simd::Isa isa() const { return isa_; }
+  /// Whether the fusion pass ran (PlanOptions::fuse_elementwise).
+  bool fused() const { return !steps_.empty(); }
+  /// Forward schedule length after fusion (== num_ops() when unfused).
+  size_t num_forward_steps() const {
+    return steps_.empty() ? ops_.size() : steps_.size();
+  }
+  /// Values whose buffer writes the fusion pass elided.
+  size_t num_elided_values() const;
+  /// The fused schedule as (first op index, op count) pairs — singleton
+  /// steps for an unfused plan. Introspection for the fusion-pass tests.
+  std::vector<std::pair<int32_t, int32_t>> ForwardSteps() const;
+
   /// Runs the forward schedule. `params` is the flat parameter vector
   /// (ParamStore::FlattenParams order); `input` must match the declared
   /// input shape. Grows `arena` on first use; allocation-free once warm.
@@ -222,10 +279,18 @@ class ExecutionPlan {
                       const Matrix& input, const PlanArena& arena) const;
   float* GradPtr(PlanValId id, std::span<float> param_grads,
                  PlanArena& arena) const;
+  void ExecForwardOp(const plan_internal::Op& op,
+                     std::span<const float> params, const Matrix& input,
+                     PlanArena& arena) const;
+  void ExecFusedGroup(const plan_internal::FusedStep& step,
+                      std::span<const float> params, const Matrix& input,
+                      PlanArena& arena) const;
 
   std::vector<plan_internal::ValueNode> vals_;
   std::vector<plan_internal::Op> ops_;       // Forward order.
+  std::vector<plan_internal::FusedStep> steps_;  // Empty unless fused.
   std::vector<int32_t> backward_;            // Op ids, tape-replay order.
+  simd::Isa isa_ = simd::Isa::kScalar;
   PlanValId output_ = -1;
   PlanValId input_id_ = -1;
   size_t farena_ = 0;

@@ -70,6 +70,10 @@ TrainConfig DpTrainConfig(size_t threads, bool use_plan) {
   cfg.noise_stddev = 0.3;
   cfg.num_threads = threads;
   cfg.use_compiled_plan = use_plan;
+  // This suite pins BIT-identity between plan and tape, so it compiles
+  // the scalar reference plans; the optimized (fused + SIMD) path is
+  // tolerance-pinned separately in trainer_simd_diff_test.cc.
+  cfg.plan_optimize = false;
   return cfg;
 }
 

@@ -1,0 +1,420 @@
+// Differential kernel-test harness: every vectorized kernel in
+// tensor/kernels.h against its scalar twin, on randomized shapes that
+// cover full vectors plus remainder lanes (cols % 8 != 0 for AVX2,
+// cols % 16 != 0 for AVX-512), denormal inputs, and ±0 coefficients.
+//
+// Tolerances are pinned per kernel, matching the contract documented in
+// kernels.h:
+//  - gather_rows / gather_rows_grad: 0 ULP (bit-identical).
+//  - scatter_add_rows{,_grad}, weighted_scatter_add_rows and the dx half
+//    of its grad: 0 ULP. The vector paths use explicit mul-then-add (no
+//    FMA), so every accumulation step rounds exactly like the scalar
+//    loop's — the baseline build has no FMA contraction to diverge from.
+//  - matmul / matmul_da / matmul_db and the dalpha half of
+//    weighted_scatter_add_rows_grad: reductions are reassociated and/or
+//    FMA-contracted, so BOTH the scalar and vector results are checked
+//    against a double-precision reference within a standard forward-error
+//    bound: eps_f32 * (chain_length + 8) * sum(|terms|) + 1e-38.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/kernels.h"
+
+namespace privim {
+namespace {
+
+using simd::GetKernels;
+using simd::Isa;
+using simd::IsaName;
+using simd::Kernels;
+using simd::ScalarKernels;
+
+constexpr float kEps = 1.1920929e-07f;  // FLT_EPSILON.
+constexpr double kTinyAbs = 1e-38;      // Absolute floor near denormals.
+
+// Remainder-lane coverage: values straddling the 8-lane (AVX2) and
+// 16-lane (AVX-512) boundaries, plus the degenerate width 1.
+const size_t kCols[] = {1, 3, 7, 8, 9, 15, 16, 17, 31, 33};
+const size_t kDepths[] = {1, 5, 8, 17, 33};
+
+int64_t UlpDistance(float a, float b) {
+  if (std::isnan(a) || std::isnan(b)) return INT64_MAX;
+  int32_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  // Map the sign-magnitude float encoding onto a monotone integer line so
+  // ULP distance is a plain subtraction (treats +0 and -0 as 0 apart is
+  // NOT wanted here: the scatter contract is bit-identity, so compare
+  // encodings directly via the caller when max_ulp == 0).
+  const auto key = [](int32_t i) {
+    return i < 0 ? INT64_C(-2147483648) - i : static_cast<int64_t>(i);
+  };
+  return std::abs(key(ia) - key(ib));
+}
+
+void ExpectUlpClose(std::span<const float> got, std::span<const float> want,
+                    int64_t max_ulp, const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (max_ulp == 0) {
+      // Bit-identity including the sign of zero.
+      uint32_t bg, bw;
+      std::memcpy(&bg, &got[i], sizeof(bg));
+      std::memcpy(&bw, &want[i], sizeof(bw));
+      ASSERT_EQ(bg, bw) << what << " diverges at scalar " << i << ": "
+                        << got[i] << " vs " << want[i];
+    } else {
+      ASSERT_LE(UlpDistance(got[i], want[i]), max_ulp)
+          << what << " at scalar " << i << ": " << got[i] << " vs "
+          << want[i];
+    }
+  }
+}
+
+// Uniform(-1, 1) with structured poison every few entries: exact +0, exact
+// -0, and denormals (|x| ~ 1e-41, far below FLT_MIN) in both signs.
+std::vector<float> RandomData(size_t n, std::mt19937& rng) {
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 11 == 3) {
+      out[i] = 0.0f;
+    } else if (i % 11 == 7) {
+      out[i] = -0.0f;
+    } else if (i % 13 == 5) {
+      out[i] = dist(rng) * 1e-41f;  // Denormal range.
+    } else {
+      out[i] = dist(rng);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> RandomIndex(size_t n, size_t upper, std::mt19937& rng) {
+  std::uniform_int_distribution<uint32_t> dist(
+      0, static_cast<uint32_t>(upper - 1));
+  std::vector<uint32_t> out(n);
+  for (auto& v : out) v = dist(rng);  // Repeats exercise accumulation.
+  return out;
+}
+
+// |impl - double_ref| <= eps * (chain + 8) * sum|terms| + floor, applied
+// element-wise. `ref` and `abs_sum` are accumulated in double by the
+// caller.
+void ExpectWithinBound(std::span<const float> got,
+                       const std::vector<double>& ref,
+                       const std::vector<double>& abs_sum, size_t chain,
+                       const std::string& what) {
+  ASSERT_EQ(got.size(), ref.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    const double tol =
+        static_cast<double>(kEps) * static_cast<double>(chain + 8) *
+            abs_sum[i] +
+        kTinyAbs;
+    ASSERT_NEAR(static_cast<double>(got[i]), ref[i], tol)
+        << what << " at scalar " << i;
+  }
+}
+
+// The tiers worth differential-testing on this host: each AVX table that
+// both compiled in AND is executable here. GetKernels clamps, so a tier is
+// runnable exactly when the table it returns is its own.
+std::vector<Isa> VectorTiers() {
+  std::vector<Isa> out;
+  for (Isa isa : {Isa::kAvx2, Isa::kAvx512}) {
+    if (GetKernels(isa).isa == isa) out.push_back(isa);
+  }
+  return out;
+}
+
+class KernelDiffTest : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    if (GetKernels(GetParam()).isa != GetParam()) {
+      GTEST_SKIP() << IsaName(GetParam())
+                   << " not available on this host/build";
+    }
+  }
+  const Kernels& kt() const { return GetKernels(GetParam()); }
+  const Kernels& sc() const { return ScalarKernels(); }
+};
+
+TEST_P(KernelDiffTest, MatMulWithinForwardErrorBound) {
+  std::mt19937 rng(100);
+  for (size_t m : {size_t{1}, size_t{4}}) {
+    for (size_t k : kDepths) {
+      for (size_t n : kCols) {
+        SCOPED_TRACE("m=" + std::to_string(m) + " k=" + std::to_string(k) +
+                     " n=" + std::to_string(n));
+        std::vector<float> a = RandomData(m * k, rng);
+        std::vector<float> b = RandomData(k * n, rng);
+        if (m * k > 2) a[1] = 0.0f;  // Exercise the scalar aik==0 skip.
+        std::vector<double> ref(m * n, 0.0), abs(m * n, 0.0);
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t kk = 0; kk < k; ++kk) {
+            const double av = a[i * k + kk];
+            for (size_t j = 0; j < n; ++j) {
+              const double t = av * static_cast<double>(b[kk * n + j]);
+              ref[i * n + j] += t;
+              abs[i * n + j] += std::abs(t);
+            }
+          }
+        }
+        std::vector<float> out_s(m * n, 42.0f), out_v(m * n, -42.0f);
+        sc().matmul(a.data(), b.data(), out_s.data(), m, k, n);
+        kt().matmul(a.data(), b.data(), out_v.data(), m, k, n);
+        ExpectWithinBound(out_s, ref, abs, k, "scalar matmul");
+        ExpectWithinBound(out_v, ref, abs, k, "simd matmul");
+      }
+    }
+  }
+}
+
+TEST_P(KernelDiffTest, MatMulDaWithinForwardErrorBound) {
+  std::mt19937 rng(200);
+  for (size_t m : {size_t{1}, size_t{4}}) {
+    for (size_t k : kDepths) {
+      for (size_t n : kCols) {
+        SCOPED_TRACE("m=" + std::to_string(m) + " k=" + std::to_string(k) +
+                     " n=" + std::to_string(n));
+        std::vector<float> g = RandomData(m * n, rng);
+        std::vector<float> b = RandomData(k * n, rng);
+        std::vector<float> base = RandomData(m * k, rng);
+        // ag accumulates: ag[i,kk] += dot(g[i,:], b[kk,:]).
+        std::vector<double> ref(m * k), abs(m * k);
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t kk = 0; kk < k; ++kk) {
+            double dot = base[i * k + kk], asum = std::abs(dot);
+            for (size_t j = 0; j < n; ++j) {
+              const double t = static_cast<double>(g[i * n + j]) *
+                               static_cast<double>(b[kk * n + j]);
+              dot += t;
+              asum += std::abs(t);
+            }
+            ref[i * k + kk] = dot;
+            abs[i * k + kk] = asum;
+          }
+        }
+        std::vector<float> ag_s = base, ag_v = base;
+        sc().matmul_da(g.data(), b.data(), ag_s.data(), m, k, n);
+        kt().matmul_da(g.data(), b.data(), ag_v.data(), m, k, n);
+        ExpectWithinBound(ag_s, ref, abs, n, "scalar matmul_da");
+        ExpectWithinBound(ag_v, ref, abs, n, "simd matmul_da");
+      }
+    }
+  }
+}
+
+TEST_P(KernelDiffTest, MatMulDbWithinForwardErrorBound) {
+  std::mt19937 rng(300);
+  for (size_t m : {size_t{1}, size_t{5}}) {
+    for (size_t k : kDepths) {
+      for (size_t n : kCols) {
+        SCOPED_TRACE("m=" + std::to_string(m) + " k=" + std::to_string(k) +
+                     " n=" + std::to_string(n));
+        std::vector<float> a = RandomData(m * k, rng);
+        std::vector<float> g = RandomData(m * n, rng);
+        if (m * k > 2) a[2 % (m * k)] = 0.0f;  // ari==0 skip path.
+        // s[kk,j] = sum_i a[i,kk] * g[i,j] (zero-filled staging buffer).
+        std::vector<double> ref(k * n, 0.0), abs(k * n, 0.0);
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t kk = 0; kk < k; ++kk) {
+            const double av = a[i * k + kk];
+            for (size_t j = 0; j < n; ++j) {
+              const double t = av * static_cast<double>(g[i * n + j]);
+              ref[kk * n + j] += t;
+              abs[kk * n + j] += std::abs(t);
+            }
+          }
+        }
+        std::vector<float> s_s(k * n, 42.0f), s_v(k * n, -42.0f);
+        sc().matmul_db(a.data(), g.data(), s_s.data(), m, k, n);
+        kt().matmul_db(a.data(), g.data(), s_v.data(), m, k, n);
+        ExpectWithinBound(s_s, ref, abs, m, "scalar matmul_db");
+        ExpectWithinBound(s_v, ref, abs, m, "simd matmul_db");
+      }
+    }
+  }
+}
+
+TEST_P(KernelDiffTest, GatherRowsBitIdentical) {
+  std::mt19937 rng(400);
+  const size_t x_rows = 7, n_idx = 11;
+  for (size_t cols : kCols) {
+    SCOPED_TRACE("cols=" + std::to_string(cols));
+    std::vector<float> x = RandomData(x_rows * cols, rng);
+    std::vector<uint32_t> idx = RandomIndex(n_idx, x_rows, rng);
+    std::vector<float> out_s(n_idx * cols, 1.0f), out_v(n_idx * cols, 2.0f);
+    sc().gather_rows(x.data(), idx.data(), n_idx, cols, out_s.data());
+    kt().gather_rows(x.data(), idx.data(), n_idx, cols, out_v.data());
+    ExpectUlpClose(out_v, out_s, 0, "gather_rows");
+  }
+}
+
+TEST_P(KernelDiffTest, GatherRowsGradBitIdentical) {
+  std::mt19937 rng(500);
+  const size_t x_rows = 7, n_idx = 11;  // Repeats accumulate in order.
+  for (size_t cols : kCols) {
+    SCOPED_TRACE("cols=" + std::to_string(cols));
+    std::vector<float> g = RandomData(n_idx * cols, rng);
+    std::vector<uint32_t> idx = RandomIndex(n_idx, x_rows, rng);
+    std::vector<float> base = RandomData(x_rows * cols, rng);
+    std::vector<float> ag_s = base, ag_v = base;
+    sc().gather_rows_grad(g.data(), idx.data(), n_idx, cols, ag_s.data());
+    kt().gather_rows_grad(g.data(), idx.data(), n_idx, cols, ag_v.data());
+    ExpectUlpClose(ag_v, ag_s, 0, "gather_rows_grad");
+  }
+}
+
+TEST_P(KernelDiffTest, ScatterAddRowsBitIdentical) {
+  std::mt19937 rng(600);
+  const size_t x_rows = 9, out_rows = 6, n_edges = 23;
+  for (size_t cols : kCols) {
+    SCOPED_TRACE("cols=" + std::to_string(cols));
+    std::vector<float> x = RandomData(x_rows * cols, rng);
+    std::vector<uint32_t> src = RandomIndex(n_edges, x_rows, rng);
+    std::vector<uint32_t> dst = RandomIndex(n_edges, out_rows, rng);
+    std::vector<float> coef = RandomData(n_edges, rng);
+    coef[0] = 0.0f;   // ±0 weights must still round-trip bitwise.
+    coef[1] = -0.0f;
+    std::vector<float> out_s(out_rows * cols, 1.0f);
+    std::vector<float> out_v(out_rows * cols, 2.0f);
+    sc().scatter_add_rows(x.data(), src.data(), dst.data(), coef.data(),
+                          n_edges, cols, out_s.data(), out_s.size());
+    kt().scatter_add_rows(x.data(), src.data(), dst.data(), coef.data(),
+                          n_edges, cols, out_v.data(), out_v.size());
+    ExpectUlpClose(out_v, out_s, 0, "scatter_add_rows");
+  }
+}
+
+TEST_P(KernelDiffTest, ScatterAddRowsGradBitIdentical) {
+  std::mt19937 rng(700);
+  const size_t x_rows = 9, out_rows = 6, n_edges = 23;
+  for (size_t cols : kCols) {
+    SCOPED_TRACE("cols=" + std::to_string(cols));
+    std::vector<float> g = RandomData(out_rows * cols, rng);
+    std::vector<uint32_t> src = RandomIndex(n_edges, x_rows, rng);
+    std::vector<uint32_t> dst = RandomIndex(n_edges, out_rows, rng);
+    std::vector<float> coef = RandomData(n_edges, rng);
+    coef[2] = 0.0f;
+    coef[3] = -0.0f;
+    std::vector<float> base = RandomData(x_rows * cols, rng);
+    std::vector<float> ag_s = base, ag_v = base;
+    sc().scatter_add_rows_grad(g.data(), src.data(), dst.data(), coef.data(),
+                               n_edges, cols, ag_s.data());
+    kt().scatter_add_rows_grad(g.data(), src.data(), dst.data(), coef.data(),
+                               n_edges, cols, ag_v.data());
+    ExpectUlpClose(ag_v, ag_s, 0, "scatter_add_rows_grad");
+  }
+}
+
+TEST_P(KernelDiffTest, WeightedScatterAddRowsBitIdentical) {
+  std::mt19937 rng(800);
+  const size_t x_rows = 9, out_rows = 6, n_edges = 23;
+  for (size_t cols : kCols) {
+    SCOPED_TRACE("cols=" + std::to_string(cols));
+    std::vector<float> x = RandomData(x_rows * cols, rng);
+    std::vector<float> alpha = RandomData(n_edges, rng);
+    alpha[4] = 0.0f;
+    alpha[5] = -0.0f;
+    std::vector<uint32_t> src = RandomIndex(n_edges, x_rows, rng);
+    std::vector<uint32_t> dst = RandomIndex(n_edges, out_rows, rng);
+    std::vector<float> out_s(out_rows * cols, 1.0f);
+    std::vector<float> out_v(out_rows * cols, 2.0f);
+    sc().weighted_scatter_add_rows(alpha.data(), x.data(), src.data(),
+                                   dst.data(), n_edges, cols, out_s.data(),
+                                   out_s.size());
+    kt().weighted_scatter_add_rows(alpha.data(), x.data(), src.data(),
+                                   dst.data(), n_edges, cols, out_v.data(),
+                                   out_v.size());
+    ExpectUlpClose(out_v, out_s, 0, "weighted_scatter_add_rows");
+  }
+}
+
+TEST_P(KernelDiffTest, WeightedScatterAddRowsGradDxBitIdenticalDalphaBounded) {
+  std::mt19937 rng(900);
+  const size_t x_rows = 9, out_rows = 6, n_edges = 23;
+  for (size_t cols : kCols) {
+    SCOPED_TRACE("cols=" + std::to_string(cols));
+    std::vector<float> x = RandomData(x_rows * cols, rng);
+    std::vector<float> g = RandomData(out_rows * cols, rng);
+    std::vector<float> alpha = RandomData(n_edges, rng);
+    alpha[6] = 0.0f;
+    alpha[7] = -0.0f;
+    std::vector<uint32_t> src = RandomIndex(n_edges, x_rows, rng);
+    std::vector<uint32_t> dst = RandomIndex(n_edges, out_rows, rng);
+
+    // dalpha[e] += dot(g[dst[e],:], x[src[e],:]) — double-ref bound.
+    std::vector<float> da_base = RandomData(n_edges, rng);
+    std::vector<double> da_ref(n_edges), da_abs(n_edges);
+    for (size_t e = 0; e < n_edges; ++e) {
+      double dot = da_base[e], asum = std::abs(dot);
+      for (size_t c = 0; c < cols; ++c) {
+        const double t = static_cast<double>(g[dst[e] * cols + c]) *
+                         static_cast<double>(x[src[e] * cols + c]);
+        dot += t;
+        asum += std::abs(t);
+      }
+      da_ref[e] = dot;
+      da_abs[e] = asum;
+    }
+
+    std::vector<float> dx_base = RandomData(x_rows * cols, rng);
+    std::vector<float> da_s = da_base, da_v = da_base;
+    std::vector<float> dx_s = dx_base, dx_v = dx_base;
+    sc().weighted_scatter_add_rows_grad(alpha.data(), x.data(), g.data(),
+                                        src.data(), dst.data(), n_edges,
+                                        cols, da_s.data(), dx_s.data());
+    kt().weighted_scatter_add_rows_grad(alpha.data(), x.data(), g.data(),
+                                        src.data(), dst.data(), n_edges,
+                                        cols, da_v.data(), dx_v.data());
+    ExpectUlpClose(dx_v, dx_s, 0, "weighted grad dx");
+    ExpectWithinBound(da_s, da_ref, da_abs, cols, "scalar weighted dalpha");
+    ExpectWithinBound(da_v, da_ref, da_abs, cols, "simd weighted dalpha");
+
+    // Null halves: each output is optional and the other must not be
+    // touched.
+    std::vector<float> only_da = da_base, only_dx = dx_base;
+    kt().weighted_scatter_add_rows_grad(alpha.data(), x.data(), g.data(),
+                                        src.data(), dst.data(), n_edges,
+                                        cols, only_da.data(), nullptr);
+    ExpectUlpClose(only_da, da_v, 0, "dalpha-only");
+    kt().weighted_scatter_add_rows_grad(alpha.data(), x.data(), g.data(),
+                                        src.data(), dst.data(), n_edges,
+                                        cols, nullptr, only_dx.data());
+    ExpectUlpClose(only_dx, dx_v, 0, "dx-only");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiers, KernelDiffTest,
+                         ::testing::Values(Isa::kAvx2, Isa::kAvx512),
+                         [](const ::testing::TestParamInfo<Isa>& info) {
+                           return std::string(IsaName(info.param));
+                         });
+
+// The harness above is vacuous on hosts without AVX; make that loud.
+TEST(KernelDiffCoverage, ReportsAvailableTiers) {
+  const Kernels& s = ScalarKernels();
+  ASSERT_EQ(s.isa, Isa::kScalar);
+  ASSERT_NE(s.matmul, nullptr);
+  for (Isa isa : VectorTiers()) {
+    const Kernels& k = GetKernels(isa);
+    EXPECT_NE(k.matmul, s.matmul) << IsaName(isa);
+  }
+  // Informational, not an assertion: CI hosts may legitimately lack tiers.
+  std::string tiers = "scalar";
+  for (Isa isa : VectorTiers()) tiers += std::string(" ") + IsaName(isa);
+  std::fprintf(stderr, "[kernel_diff] differential tiers: %s\n",
+               tiers.c_str());
+}
+
+}  // namespace
+}  // namespace privim

@@ -23,7 +23,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DPRIVIM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target obs_test sampling_test sampling_properties_test im_test \
-  plan_test serve_test scale_test
+  plan_test simd_test serve_test scale_test
 
 export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}
 export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
@@ -35,6 +35,11 @@ export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
 "$BUILD_DIR/tests/im_test" \
   --gtest_filter='Celf*:Greedy*:InstrumentedOracle*'
 "$BUILD_DIR/tests/plan_test"
+# SIMD kernels + fused executor (ISSUE 8): masked tail loads, gathered row
+# offsets, and the fused sweep's stage pointers are raw-index code on
+# arena memory — the kernel differential harness runs every tier the host
+# supports with ASan watching the remainder lanes.
+"$BUILD_DIR/tests/simd_test"
 # Serving layer: pooled per-worker scratch, arena-backed inference, and
 # borrowed request/response/completion pointers crossing the queue — all
 # raw-lifetime code worth a memory-clean run.

@@ -16,11 +16,16 @@
 #   3. ASan:   sampler / influence suites under AddressSanitizer
 #              (tools/run_asan.sh, -DPRIVIM_SANITIZE=address);
 #   4. TSan:   runtime / sampler / IM suites under ThreadSanitizer
-#              (tools/run_tsan.sh, -DPRIVIM_SANITIZE=thread).
+#              (tools/run_tsan.sh, -DPRIVIM_SANITIZE=thread);
+#   5. UBSan:  the SIMD kernel / plan differential suites under
+#              UndefinedBehaviorSanitizer (-DPRIVIM_SANITIZE=undefined) —
+#              tail masking, raw arena offsets, and intrinsics-adjacent
+#              pointer math are where UB would hide.
 #
-# Stages 2-4 configure their own build trees (build-asan/, build-tsan/)
-# and force PRIVIM_THREADS=4 so the pooled scratch workspaces and the
-# speculative sampler rounds run genuinely parallel under the sanitizers.
+# Stages 2-5 configure their own build trees (build-asan/, build-tsan/,
+# build-ubsan/) and force PRIVIM_THREADS=4 so the pooled scratch
+# workspaces and the speculative sampler rounds run genuinely parallel
+# under the sanitizers.
 #
 # Usage: tools/run_checks.sh [--tier1-only]
 set -euo pipefail
@@ -28,7 +33,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 
-echo "== stage 1/4: tier-1 build + ctest =="
+echo "== stage 1/5: tier-1 build + ctest =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
@@ -51,12 +56,23 @@ echo "== stage 1c: scale smoke (million-node build + sampling) =="
 PRIVIM_SCALE_TESTS=1 ctest --test-dir "$BUILD_DIR" -L scale \
   --output-on-failure
 
+echo "== stage 1d: SIMD differential suites, native + forced-scalar =="
+# `ctest -L simd` selects the kernel differential harness, the fusion-pass
+# tests, the PRIVIM_FORCE_ISA dispatch tests, and the end-to-end trainer
+# tolerance suite (tests/CMakeLists.txt). The native rung runs whatever
+# tier the host CPU dispatches to; the forced-scalar rung proves the whole
+# ladder degrades cleanly to the reference kernels (the configuration a
+# bit-identity bisection would run in, docs/performance.md).
+ctest --test-dir "$BUILD_DIR" -L simd -j"$(nproc)" --output-on-failure
+PRIVIM_FORCE_ISA=scalar ctest --test-dir "$BUILD_DIR" -L simd \
+  -j"$(nproc)" --output-on-failure
+
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "Tier-1 clean (sanitizer stages skipped)."
   exit 0
 fi
 
-echo "== stage 2/4: examples + checkpoint fault injection under ASan =="
+echo "== stage 2/5: examples + checkpoint fault injection under ASan =="
 # The examples double as API smoke tests: they exercise the documented
 # public surface (docs/api.md) and must keep building against it.
 cmake -B build-asan -S . \
@@ -77,10 +93,26 @@ ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1} \
   PRIVIM_THREADS=${PRIVIM_THREADS:-4} \
   build-asan/tests/ckpt_resume_test
 
-echo "== stage 3/4: AddressSanitizer =="
+echo "== stage 3/5: AddressSanitizer =="
 BUILD_DIR=build-asan tools/run_asan.sh
 
-echo "== stage 4/4: ThreadSanitizer =="
+echo "== stage 4/5: ThreadSanitizer =="
 BUILD_DIR=build-tsan tools/run_tsan.sh
+
+echo "== stage 5/5: UndefinedBehaviorSanitizer (SIMD + plan suites) =="
+# -fno-sanitize-recover=undefined (CMakeLists.txt) makes any UB finding
+# fatal. simd_test covers the vector kernels' tail handling on every tier
+# the host supports plus the fused executor; plan_test re-proves the
+# scalar bit-identity contract under instrumentation.
+cmake -B build-ubsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPRIVIM_SANITIZE=undefined \
+  -DPRIVIM_BUILD_BENCHMARKS=OFF \
+  -DPRIVIM_BUILD_EXAMPLES=OFF
+cmake --build build-ubsan -j"$(nproc)" --target simd_test plan_test
+PRIVIM_THREADS=${PRIVIM_THREADS:-4} build-ubsan/tests/simd_test
+PRIVIM_FORCE_ISA=scalar PRIVIM_THREADS=${PRIVIM_THREADS:-4} \
+  build-ubsan/tests/simd_test
+PRIVIM_THREADS=${PRIVIM_THREADS:-4} build-ubsan/tests/plan_test
 
 echo "All checks clean."
