@@ -57,7 +57,8 @@ int main() {
     std::cerr << wc_or.status() << "\n";
     return 1;
   }
-  SpreadOracle mc = MakeMonteCarloOracle(*wc_or, 200, eval_rng);
+  SpreadOracle mc =
+      MakeMonteCarloOracle(*wc_or, 200, eval_rng).ValueOrDie();
   table.AddRow({"IC (weighted cascade, MC)", FormatDouble(mc(seeds), 1),
                 "200 cascades"});
 
@@ -73,12 +74,13 @@ int main() {
                 "5000 RR sets"});
 
   // 4. Linear Threshold.
-  SpreadOracle lt = MakeLtOracle(*wc_or, 200, eval_rng);
+  SpreadOracle lt = MakeLtOracle(*wc_or, 200, eval_rng).ValueOrDie();
   table.AddRow({"Linear Threshold (MC)", FormatDouble(lt(seeds), 1),
                 "200 cascades"});
 
   // 5. SIS epidemic, 8 rounds, recovery 0.3.
-  SpreadOracle sis = MakeSisOracle(*wc_or, 200, 0.3, 8, eval_rng);
+  SpreadOracle sis =
+      MakeSisOracle(*wc_or, 200, 0.3, 8, eval_rng).ValueOrDie();
   table.AddRow({"SIS (MC, 8 rounds)", FormatDouble(sis(seeds), 1),
                 "recovery prob 0.3"});
 

@@ -7,14 +7,31 @@
 #include "common/logging.h"
 
 namespace privim {
+namespace {
+
+// glibc's lgamma writes the sign of Gamma(x) to the global `signgam`
+// variable — a data race once per-shard accountants run concurrently on
+// the overlap scheduler's stage threads. lgamma_r takes the sign slot as
+// a parameter instead (glibc's lgamma is a wrapper around it, so the
+// value bits are identical).
+double LGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
 
 double LogBinomial(int64_t n, int64_t k) {
   PRIVIM_CHECK_GE(k, 0);
   PRIVIM_CHECK_LE(k, n);
   if (k == 0 || k == n) return 0.0;
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return LGamma(static_cast<double>(n) + 1.0) -
+         LGamma(static_cast<double>(k) + 1.0) -
+         LGamma(static_cast<double>(n - k) + 1.0);
 }
 
 double LogSumExp(std::span<const double> xs) {
@@ -33,7 +50,7 @@ double GammaPdf(double x, double beta, double psi) {
   if (x <= 0.0) return 0.0;
   // Evaluate in log space to dodge overflow for large shape parameters.
   const double log_pdf = (beta - 1.0) * std::log(x) - x / psi -
-                         beta * std::log(psi) - std::lgamma(beta);
+                         beta * std::log(psi) - LGamma(beta);
   return std::exp(log_pdf);
 }
 

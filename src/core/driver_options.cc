@@ -1,0 +1,112 @@
+#include "core/driver_options.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace privim {
+
+namespace {
+
+Result<std::string> FlagValue(int argc, char** argv, int& i,
+                              const std::string& flag) {
+  if (i + 1 >= argc) {
+    return Status::InvalidArgument(
+        StrFormat("%s requires a value", flag.c_str()));
+  }
+  return std::string(argv[++i]);
+}
+
+}  // namespace
+
+Result<bool> DriverOptions::TryParse(int argc, char** argv, int& i,
+                                     const Features& features) {
+  const std::string arg = argv[i];
+  if (arg == "--threads") {
+    PRIVIM_ASSIGN_OR_RETURN(std::string v, FlagValue(argc, argv, i, arg));
+    threads = static_cast<size_t>(std::atoll(v.c_str()));
+    return true;
+  }
+  if (arg == "--seed") {
+    PRIVIM_ASSIGN_OR_RETURN(std::string v, FlagValue(argc, argv, i, arg));
+    seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    return true;
+  }
+  if (arg == "--telemetry") {
+    PRIVIM_ASSIGN_OR_RETURN(telemetry_path, FlagValue(argc, argv, i, arg));
+    return true;
+  }
+  if (arg.rfind("--telemetry=", 0) == 0) {
+    telemetry_path = arg.substr(std::string("--telemetry=").size());
+    if (telemetry_path.empty()) {
+      return Status::InvalidArgument("--telemetry requires a path");
+    }
+    return true;
+  }
+  if (arg == "--checkpoint-dir") {
+    if (!features.checkpoint) {
+      return Status::InvalidArgument(
+          "--checkpoint-dir is not supported by this driver (no "
+          "checkpointable pipeline)");
+    }
+    PRIVIM_ASSIGN_OR_RETURN(checkpoint_dir, FlagValue(argc, argv, i, arg));
+    return true;
+  }
+  if (arg == "--resume") {
+    if (!features.checkpoint) {
+      return Status::InvalidArgument(
+          "--resume is not supported by this driver (no checkpointable "
+          "pipeline)");
+    }
+    resume = true;
+    return true;
+  }
+  return false;
+}
+
+Status DriverOptions::Validate(const Features& features) const {
+  if (features.checkpoint && resume && checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
+  return Status::OK();
+}
+
+std::string DriverOptions::UsageText(const Features& features) {
+  std::string text =
+      "  --threads N        worker threads (0 = PRIVIM_THREADS or 1)  [0]\n"
+      "  --seed N           master random seed                        [42]\n"
+      "  --telemetry PATH   write run telemetry JSON\n";
+  if (features.checkpoint) {
+    text +=
+        "  --checkpoint-dir PATH\n"
+        "                     commit resumable snapshots to PATH\n"
+        "  --resume           continue from the snapshots in "
+        "--checkpoint-dir\n";
+  }
+  return text;
+}
+
+std::vector<std::string> DriverOptions::ToArgs(
+    const Features& features) const {
+  std::vector<std::string> args;
+  if (threads != 0) {
+    args.push_back("--threads");
+    args.push_back(std::to_string(threads));
+  }
+  if (seed != 42) {
+    args.push_back("--seed");
+    args.push_back(std::to_string(seed));
+  }
+  if (!telemetry_path.empty()) {
+    args.push_back("--telemetry");
+    args.push_back(telemetry_path);
+  }
+  if (features.checkpoint && !checkpoint_dir.empty()) {
+    args.push_back("--checkpoint-dir");
+    args.push_back(checkpoint_dir);
+  }
+  if (features.checkpoint && resume) args.push_back("--resume");
+  return args;
+}
+
+}  // namespace privim

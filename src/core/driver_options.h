@@ -1,0 +1,66 @@
+#ifndef PRIVIM_CORE_DRIVER_OPTIONS_H_
+#define PRIVIM_CORE_DRIVER_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace privim {
+
+/// The flags every privim driver shares (privim_cli, privim_serve,
+/// privim_shard), parsed by one implementation so spellings, defaults,
+/// and validation never drift between binaries (docs/api.md):
+///
+///   --threads N           worker parallelism (0 = PRIVIM_THREADS or 1)
+///   --seed N              master random seed
+///   --telemetry PATH      write run telemetry JSON (also --telemetry=PATH)
+///   --checkpoint-dir PATH snapshot directory (drivers with checkpointing)
+///   --resume              continue from --checkpoint-dir's snapshots
+struct DriverOptions {
+  size_t threads = 0;
+  uint64_t seed = 42;
+  std::string telemetry_path;
+  std::string checkpoint_dir;
+  bool resume = false;
+
+  /// Which of the shared flags a driver supports. privim_serve has no
+  /// checkpointable pipeline, so it builds with checkpoint = false and
+  /// the parser rejects --checkpoint-dir/--resume with an error naming
+  /// the restriction instead of silently ignoring them.
+  struct Features {
+    bool checkpoint = true;
+  };
+
+  /// Attempts to consume argv[i] (and its value argument, if any) as a
+  /// shared flag. Returns true and advances `i` past the consumed
+  /// arguments on success; returns false (leaving `i` untouched) when
+  /// argv[i] is not a shared flag, so the driver's own parser handles it;
+  /// returns InvalidArgument on a malformed or unsupported shared flag.
+  /// The overloads without `features` use the defaults (all enabled).
+  Result<bool> TryParse(int argc, char** argv, int& i,
+                        const Features& features);
+  Result<bool> TryParse(int argc, char** argv, int& i) {
+    return TryParse(argc, argv, i, Features{});
+  }
+
+  /// Cross-flag validation, called once after the full command line is
+  /// parsed: --resume requires --checkpoint-dir.
+  Status Validate(const Features& features) const;
+  Status Validate() const { return Validate(Features{}); }
+
+  /// Usage text for the shared flags, formatted like the drivers' own
+  /// blocks (two-space indent), listing only the flags `features` enables.
+  static std::string UsageText(const Features& features);
+  static std::string UsageText() { return UsageText(Features{}); }
+
+  /// Renders the options back into argv form (round-trips through
+  /// TryParse; tested). Flags at default values are omitted.
+  std::vector<std::string> ToArgs(const Features& features) const;
+  std::vector<std::string> ToArgs() const { return ToArgs(Features{}); }
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_CORE_DRIVER_OPTIONS_H_

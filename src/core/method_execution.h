@@ -1,0 +1,77 @@
+#ifndef PRIVIM_CORE_METHOD_EXECUTION_H_
+#define PRIVIM_CORE_METHOD_EXECUTION_H_
+
+// INTERNAL header (docs/api.md, "Stable vs. internal"): the
+// stage-decomposed form of RunMethod, consumed by the Pipeline facade and
+// the sharded overlap scheduler (src/shard/). Layout may change without
+// migration; the stable one-shot entry point is RunMethod (core/privim.h).
+
+#include <memory>
+#include <string>
+
+#include "ckpt/checkpoint.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/privim.h"
+#include "obs/telemetry.h"
+#include "runtime/runtime.h"
+#include "sampling/container.h"
+
+namespace privim {
+
+/// One RunMethod run split at the Module-1 boundary, so a scheduler can
+/// pipeline subgraph extraction of shard k+1 against training of shard k
+/// (src/shard/overlap.h). Create + Extract + Finish back to back IS
+/// RunMethod — the same statements in the same order — so every RunMethod
+/// contract (checkpoint bit-identity, thread-count invariance) holds for
+/// the staged form unchanged.
+///
+/// The graphs and `rng` are borrowed and must outlive the execution; the
+/// config is copied at Create. Stages must run in order, each exactly
+/// once. One execution is single-threaded, but independent executions may
+/// run concurrently from different threads provided they share no graph
+/// and no Rng (the sharded runner gives each shard its own partitioned
+/// graphs and `Rng::FromStreamKey` stream — docs/sharding.md).
+class MethodExecution {
+ public:
+  /// Validates the config and runs the checkpoint bootstrap, which on a
+  /// resume restores `rng` to the snapshot's stream position.
+  static Result<std::unique_ptr<MethodExecution>> Create(
+      const Graph& train_graph, const Graph& eval_graph,
+      const PrivImConfig& cfg, Rng& rng, RunTelemetry* telemetry = nullptr);
+
+  /// Module 1: extracts the subgraph container (or restores it from the
+  /// snapshot) and audits the occurrence bound.
+  Status Extract();
+
+  /// Modules 2-4: privacy accounting, DP-GNN training, seed selection and
+  /// spread evaluation. Consumes the execution.
+  Result<PrivImRunResult> Finish(
+      std::unique_ptr<GnnModel>* model_out = nullptr);
+
+  MethodExecution(const MethodExecution&) = delete;
+  MethodExecution& operator=(const MethodExecution&) = delete;
+
+ private:
+  MethodExecution() = default;
+
+  const Graph* train_graph_ = nullptr;
+  const Graph* eval_graph_ = nullptr;
+  PrivImConfig cfg_;
+  Rng* rng_ = nullptr;
+  RunTelemetry* telemetry_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  RuntimeStats runtime_before_;
+  bool ckpt_on_ = false;
+  std::string pipeline_path_;
+  PipelineState ck_;
+  PipelineStage resumed_stage_ = PipelineStage::kNone;
+  PrivImRunResult result_;
+  SubgraphContainer container_;
+  bool extracted_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_CORE_METHOD_EXECUTION_H_

@@ -29,8 +29,8 @@ const CompiledSubgraph& SubgraphPlanCache::Get(size_t idx) {
   PRIVIM_CHECK_LT(idx, entries_.size());
   if (entries_[idx] == nullptr) {
     auto e = std::make_unique<CompiledSubgraph>();
-    e->ctx = BuildGraphContext(container_.at(idx).local);
-    e->features = BuildNodeFeatures(container_.at(idx).local);
+    e->ctx = BuildGraphContext(container_[idx].local);
+    e->features = BuildNodeFeatures(container_[idx].local);
     e->tape_features = Tensor(e->features);
     // Materialize the constant leaf's grad buffer now: replica threads
     // share this tensor, and Backward()'s lazy EnsureGrad on a shared node

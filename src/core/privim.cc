@@ -1,6 +1,7 @@
 #include "core/privim.h"
 
 #include "core/indicator.h"
+#include "core/method_execution.h"
 
 #include <algorithm>
 #include <cmath>
@@ -438,100 +439,142 @@ Result<SubgraphContainer> ExtractContainer(const Graph& train_graph,
 
 }  // namespace
 
-Result<PrivImRunResult> RunMethod(const Graph& train_graph,
-                                  const Graph& eval_graph,
-                                  const PrivImConfig& cfg, Rng& rng,
-                                  std::unique_ptr<GnnModel>* model_out,
-                                  RunTelemetry* telemetry) {
+Result<std::unique_ptr<MethodExecution>> MethodExecution::Create(
+    const Graph& train_graph, const Graph& eval_graph,
+    const PrivImConfig& cfg, Rng& rng, RunTelemetry* telemetry) {
   PRIVIM_RETURN_NOT_OK(cfg.Validate());
   if (eval_graph.num_nodes() < cfg.seed_count) {
     return Status::InvalidArgument(
         StrFormat("evaluation graph has %zu nodes < k=%zu",
                   eval_graph.num_nodes(), cfg.seed_count));
   }
-  PrivImRunResult result;
-  MetricsRegistry* metrics =
-      telemetry != nullptr ? &telemetry->metrics : nullptr;
+  std::unique_ptr<MethodExecution> exec(new MethodExecution());
+  exec->train_graph_ = &train_graph;
+  exec->eval_graph_ = &eval_graph;
+  exec->cfg_ = cfg;
+  exec->rng_ = &rng;
+  exec->telemetry_ = telemetry;
+  exec->metrics_ = telemetry != nullptr ? &telemetry->metrics : nullptr;
   // Runtime-pool counters are process-wide and monotonic; scope them to
   // this run by differencing a before/after snapshot.
-  const RuntimeStats runtime_before = GetRuntimeStats();
+  exec->runtime_before_ = GetRuntimeStats();
 
   // ---- Checkpoint bootstrap. ----
-  // `ck` accumulates the run's durable state; on a resume it starts from
+  // `ck_` accumulates the run's durable state; on a resume it starts from
   // the last committed stage and the stages it covers are skipped below.
   // The caller's Rng is restored from the snapshot, so the stream position
   // at the point where execution rejoins is exactly what the uninterrupted
   // run had there.
-  const bool ckpt_on = cfg.checkpoint.enabled();
-  const std::string pipeline_path =
-      ckpt_on ? PipelineCheckpointPath(cfg.checkpoint.dir) : std::string();
-  PipelineState ck;
-  if (ckpt_on) ck.fingerprint = RunFingerprint(train_graph, eval_graph, cfg);
-  PipelineStage resumed_stage = PipelineStage::kNone;
-  if (ckpt_on && cfg.checkpoint.resume && FileExists(pipeline_path)) {
-    const uint64_t expected = ck.fingerprint;
-    PRIVIM_ASSIGN_OR_RETURN(ck, LoadPipelineState(pipeline_path, metrics));
-    if (ck.fingerprint != expected) {
+  exec->ckpt_on_ = cfg.checkpoint.enabled();
+  exec->pipeline_path_ = exec->ckpt_on_
+                             ? PipelineCheckpointPath(cfg.checkpoint.dir)
+                             : std::string();
+  if (exec->ckpt_on_) {
+    exec->ck_.fingerprint = RunFingerprint(train_graph, eval_graph, cfg);
+  }
+  if (exec->ckpt_on_ && cfg.checkpoint.resume &&
+      FileExists(exec->pipeline_path_)) {
+    const uint64_t expected = exec->ck_.fingerprint;
+    PRIVIM_ASSIGN_OR_RETURN(
+        exec->ck_, LoadPipelineState(exec->pipeline_path_, exec->metrics_));
+    if (exec->ck_.fingerprint != expected) {
       return Status::FailedPrecondition(StrFormat(
           "checkpoint '%s' was written by a different run (fingerprint "
           "%llx, this run is %llx): refusing to resume",
-          pipeline_path.c_str(),
-          static_cast<unsigned long long>(ck.fingerprint),
+          exec->pipeline_path_.c_str(),
+          static_cast<unsigned long long>(exec->ck_.fingerprint),
           static_cast<unsigned long long>(expected)));
     }
-    resumed_stage = ck.stage;
-    rng.RestoreState(ck.rng);
+    exec->resumed_stage_ = exec->ck_.stage;
+    rng.RestoreState(exec->ck_.rng);
   }
+  return exec;
+}
+
+Status MethodExecution::Extract() {
+  if (extracted_) {
+    return Status::FailedPrecondition(
+        "MethodExecution::Extract called twice");
+  }
+  extracted_ = true;
+  const Graph& train_graph = *train_graph_;
+  const PrivImConfig& cfg = cfg_;
+  Rng& rng = *rng_;
 
   // ---- Module 1: subgraph extraction. ----
-  SubgraphContainer container;
-  if (resumed_stage >= PipelineStage::kExtracted) {
-    // Copy, not move: `ck` must keep the container so the kCalibrated
-    // snapshot (written below on a resumed run) still carries it for the
-    // next resume. The uninterrupted path holds both copies too.
-    container = ck.container;
-    result.occurrence_bound = ck.occurrence_bound;
-    result.container_size = ck.container_size;
-    result.stage1_count = ck.stage1_count;
-    result.stage2_count = ck.stage2_count;
-    result.audited_max_occurrence = ck.audited_max_occurrence;
-    result.preprocessing_seconds = ck.preprocessing_seconds;
+  if (resumed_stage_ >= PipelineStage::kExtracted) {
+    // Copy, not move: `ck_` must keep the container so the kCalibrated
+    // snapshot (written in Finish on a resumed run) still carries it for
+    // the next resume. The uninterrupted path holds both copies too.
+    container_ = ck_.container;
+    result_.occurrence_bound = ck_.occurrence_bound;
+    result_.container_size = ck_.container_size;
+    result_.stage1_count = ck_.stage1_count;
+    result_.stage2_count = ck_.stage2_count;
+    result_.audited_max_occurrence = ck_.audited_max_occurrence;
+    result_.preprocessing_seconds = ck_.preprocessing_seconds;
   } else {
     WallTimer preprocess_timer;
     PRIVIM_ASSIGN_OR_RETURN(
-        container, ExtractContainer(train_graph, cfg, rng, &result, metrics));
-    if (container.empty()) {
+        container_,
+        ExtractContainer(train_graph, cfg, rng, &result_, metrics_));
+    if (container_.empty()) {
       return Status::FailedPrecondition(
           "sampling produced no subgraphs (graph too small or sampling rate "
           "too low)");
     }
-    result.container_size = container.size();
-    result.preprocessing_seconds = preprocess_timer.ElapsedSeconds();
+    result_.container_size = container_.size();
+    result_.preprocessing_seconds = preprocess_timer.ElapsedSeconds();
 
     // Audit: the realized occurrences must respect the accountant's bound
     // for the frequency-capped pipelines. (EGN's bound is m by
     // construction.)
-    result.audited_max_occurrence =
-        container.MaxOccurrence(train_graph.num_nodes());
-    if (result.audited_max_occurrence > result.occurrence_bound) {
+    PRIVIM_ASSIGN_OR_RETURN(result_.audited_max_occurrence,
+                            container_.MaxOccurrence(train_graph.num_nodes()));
+    if (result_.audited_max_occurrence > result_.occurrence_bound) {
       return Status::Internal(StrFormat(
           "occurrence audit failed: observed %zu > bound %zu",
-          result.audited_max_occurrence, result.occurrence_bound));
+          result_.audited_max_occurrence, result_.occurrence_bound));
     }
-    if (ckpt_on) {
-      ck.stage = PipelineStage::kExtracted;
-      ck.rng = rng.SaveState();
-      ck.container = container;
-      ck.occurrence_bound = result.occurrence_bound;
-      ck.container_size = result.container_size;
-      ck.stage1_count = result.stage1_count;
-      ck.stage2_count = result.stage2_count;
-      ck.audited_max_occurrence = result.audited_max_occurrence;
-      ck.preprocessing_seconds = result.preprocessing_seconds;
-      PRIVIM_RETURN_NOT_OK(SavePipelineState(ck, pipeline_path, metrics));
+    if (ckpt_on_) {
+      ck_.stage = PipelineStage::kExtracted;
+      ck_.rng = rng.SaveState();
+      ck_.container = container_;
+      ck_.occurrence_bound = result_.occurrence_bound;
+      ck_.container_size = result_.container_size;
+      ck_.stage1_count = result_.stage1_count;
+      ck_.stage2_count = result_.stage2_count;
+      ck_.audited_max_occurrence = result_.audited_max_occurrence;
+      ck_.preprocessing_seconds = result_.preprocessing_seconds;
+      PRIVIM_RETURN_NOT_OK(SavePipelineState(ck_, pipeline_path_, metrics_));
       PRIVIM_RETURN_NOT_OK(Failpoint("privim.ckpt.after_extract"));
     }
   }
+  return Status::OK();
+}
+
+Result<PrivImRunResult> MethodExecution::Finish(
+    std::unique_ptr<GnnModel>* model_out) {
+  if (!extracted_) {
+    return Status::FailedPrecondition(
+        "MethodExecution::Finish called before Extract");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "MethodExecution::Finish called twice");
+  }
+  finished_ = true;
+  const Graph& eval_graph = *eval_graph_;
+  const PrivImConfig& cfg = cfg_;
+  Rng& rng = *rng_;
+  RunTelemetry* telemetry = telemetry_;
+  MetricsRegistry* metrics = metrics_;
+  PrivImRunResult& result = result_;
+  SubgraphContainer& container = container_;
+  const PipelineStage resumed_stage = resumed_stage_;
+  const bool ckpt_on = ckpt_on_;
+  const std::string& pipeline_path = pipeline_path_;
+  PipelineState& ck = ck_;
 
   // ---- Module 2: privacy accounting. ----
   TrainConfig train_cfg = cfg.train;
@@ -616,10 +659,11 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
       result.sigma = sigma;
       PRIVIM_ASSIGN_OR_RETURN(result.epsilon_spent,
                               accountant.Epsilon(sigma, cfg.budget.delta));
-      if (telemetry != nullptr || ckpt_on) {
-        PRIVIM_ASSIGN_OR_RETURN(
-            epsilon_ledger, accountant.EpsilonLedger(sigma, cfg.budget.delta));
-      }
+      // Always computed on private runs (it is cheap accountant math): the
+      // result carries it so the sharded runner can compose per-shard
+      // ledgers at merge time (src/shard/shard_merger.h).
+      PRIVIM_ASSIGN_OR_RETURN(
+          epsilon_ledger, accountant.EpsilonLedger(sigma, cfg.budget.delta));
       const double delta_g =
           NodeSensitivity(train_cfg.clip_bound, spec.max_occurrences);
       train_cfg.noise_stddev = sigma * delta_g;
@@ -650,6 +694,7 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
   }
   result.noise_stddev = train_cfg.noise_stddev;
   result.clip_bound_used = train_cfg.clip_bound;
+  result.epsilon_ledger = epsilon_ledger;
 
   // ---- Module 3: DP-GNN training. ----
   GnnConfig gnn_cfg = cfg.gnn;
@@ -748,31 +793,16 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
   // node-id order (which is hub-biased under preferential-attachment
   // generators and would flatter weak baselines).
   rng.Shuffle(candidates);
-  SpreadOracle oracle;
-  switch (cfg.eval_diffusion) {
-    case PrivImConfig::EvalDiffusion::kExactIc:
-      oracle = MakeExactUnitOracle(eval_graph, cfg.eval_steps);
-      break;
-    case PrivImConfig::EvalDiffusion::kMonteCarloIc:
-      oracle = MakeMonteCarloOracle(eval_graph, cfg.eval_trials, rng,
-                                    cfg.eval_steps,
-                                    cfg.runtime.num_threads, metrics);
-      break;
-    case PrivImConfig::EvalDiffusion::kLt:
-      oracle = MakeLtOracle(eval_graph, cfg.eval_trials, rng,
-                            cfg.eval_steps);
-      break;
-    case PrivImConfig::EvalDiffusion::kSis:
-      oracle = MakeSisOracle(eval_graph, cfg.eval_trials, cfg.sis_recovery,
-                             std::max(cfg.eval_steps, 1), rng);
-      break;
-  }
+  PRIVIM_ASSIGN_OR_RETURN(SpreadOracle oracle,
+                          MakeEvalOracle(eval_graph, cfg, rng, metrics));
   PRIVIM_ASSIGN_OR_RETURN(
       SeedSelection selection,
       TopKByScore(candidates, cfg.seed_count, scores,
                   InstrumentedOracle(oracle, metrics)));
   result.seeds = std::move(selection.seeds);
   result.spread = selection.spread;
+  result.seed_scores.reserve(result.seeds.size());
+  for (NodeId s : result.seeds) result.seed_scores.push_back(scores[s]);
   if (model_out != nullptr) *model_out = std::move(model_ptr);
 
   if (metrics != nullptr) {
@@ -789,16 +819,45 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
     // is reported as the process-lifetime maximum).
     const RuntimeStats after = GetRuntimeStats();
     metrics->GetCounter("runtime.parallel_for_calls")
-        ->Add(after.parallel_for_calls - runtime_before.parallel_for_calls);
+        ->Add(after.parallel_for_calls - runtime_before_.parallel_for_calls);
     metrics->GetCounter("runtime.tasks_executed")
-        ->Add(after.tasks_executed - runtime_before.tasks_executed);
+        ->Add(after.tasks_executed - runtime_before_.tasks_executed);
     metrics->GetTimer("runtime.parallel_for")
-        ->Add(after.parallel_for_calls - runtime_before.parallel_for_calls,
-              after.parallel_for_nanos - runtime_before.parallel_for_nanos);
+        ->Add(after.parallel_for_calls - runtime_before_.parallel_for_calls,
+              after.parallel_for_nanos - runtime_before_.parallel_for_nanos);
     metrics->GetGauge("runtime.pool_max_queue_depth")
         ->Set(static_cast<double>(after.max_queue_depth));
   }
-  return result;
+  return std::move(result_);
+}
+
+Result<SpreadOracle> MakeEvalOracle(const Graph& g, const PrivImConfig& cfg,
+                                    Rng& rng, MetricsRegistry* metrics) {
+  switch (cfg.eval_diffusion) {
+    case PrivImConfig::EvalDiffusion::kExactIc:
+      return MakeExactUnitOracle(g, cfg.eval_steps);
+    case PrivImConfig::EvalDiffusion::kMonteCarloIc:
+      return MakeMonteCarloOracle(g, cfg.eval_trials, rng, cfg.eval_steps,
+                                  cfg.runtime.num_threads, metrics);
+    case PrivImConfig::EvalDiffusion::kLt:
+      return MakeLtOracle(g, cfg.eval_trials, rng, cfg.eval_steps);
+    case PrivImConfig::EvalDiffusion::kSis:
+      return MakeSisOracle(g, cfg.eval_trials, cfg.sis_recovery,
+                           std::max(cfg.eval_steps, 1), rng);
+  }
+  return Status::InvalidArgument("unknown eval_diffusion");
+}
+
+Result<PrivImRunResult> RunMethod(const Graph& train_graph,
+                                  const Graph& eval_graph,
+                                  const PrivImConfig& cfg, Rng& rng,
+                                  std::unique_ptr<GnnModel>* model_out,
+                                  RunTelemetry* telemetry) {
+  PRIVIM_ASSIGN_OR_RETURN(
+      std::unique_ptr<MethodExecution> exec,
+      MethodExecution::Create(train_graph, eval_graph, cfg, rng, telemetry));
+  PRIVIM_RETURN_NOT_OK(exec->Extract());
+  return exec->Finish(model_out);
 }
 
 }  // namespace privim

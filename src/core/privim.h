@@ -11,6 +11,7 @@
 #include "core/trainer.h"
 #include "dp/privacy_params.h"
 #include "graph/graph.h"
+#include "im/seed_selection.h"
 #include "nn/gnn.h"
 #include "runtime/runtime.h"
 #include "sampling/baseline_samplers.h"
@@ -111,6 +112,11 @@ Result<PrivImConfig::EvalDiffusion> ParseEvalDiffusion(
 /// efficiency and accounting tables.
 struct PrivImRunResult {
   std::vector<NodeId> seeds;
+  /// GNN logit of each selected seed, aligned with `seeds`. DP
+  /// post-processing of the trained model, so releasing it costs no
+  /// additional budget; the sharded merger ranks across shards by it
+  /// (src/shard/shard_merger.h).
+  std::vector<double> seed_scores;
   /// Influence spread of `seeds` on the evaluation graph (exact unit-weight
   /// j-step spread, the paper's setting).
   double spread = 0.0;
@@ -127,6 +133,11 @@ struct PrivImRunResult {
   double clip_bound_used = 0.0;
   /// Accountant's epsilon for the executed run (<= budget.epsilon).
   double epsilon_spent = 0.0;
+  /// Cumulative epsilon after each training iteration (empty on
+  /// non-private runs). The sharded runner composes these ledgers across
+  /// node-disjoint shards by entrywise max (parallel composition,
+  /// docs/sharding.md).
+  std::vector<double> epsilon_ledger;
   /// Audited maximum occurrence across the container (must be <=
   /// occurrence_bound; checked).
   size_t audited_max_occurrence = 0;
@@ -161,6 +172,15 @@ Result<PrivImRunResult> RunMethod(const Graph& train_graph,
                                   std::unique_ptr<GnnModel>* model_out =
                                       nullptr,
                                   RunTelemetry* telemetry = nullptr);
+
+/// Builds the spread oracle `cfg.eval_diffusion` selects over `g` — the
+/// oracle RunMethod scores its final seed set with. Exposed so the sharded
+/// merger (src/shard/) evaluates the merged seed set with exactly the
+/// oracle the per-shard runs used. `rng` is consumed only by the
+/// Monte-Carlo variants (each oracle forks its own stream from it).
+Result<SpreadOracle> MakeEvalOracle(const Graph& g, const PrivImConfig& cfg,
+                                    Rng& rng,
+                                    MetricsRegistry* metrics = nullptr);
 
 /// Builds the paper's default configuration for a method on a graph with
 /// `train_nodes` training nodes: q = 256/|V_train|, L = 200, theta = 10,

@@ -176,9 +176,13 @@ SpreadOracle MakeExactUnitOracle(const Graph& g, int steps) {
   };
 }
 
-SpreadOracle MakeMonteCarloOracle(const Graph& g, size_t trials, Rng& rng,
-                                  int max_steps, size_t num_threads,
-                                  MetricsRegistry* metrics) {
+Result<SpreadOracle> MakeMonteCarloOracle(const Graph& g, size_t trials,
+                                          Rng& rng, int max_steps,
+                                          size_t num_threads,
+                                          MetricsRegistry* metrics) {
+  if (trials == 0) {
+    return Status::InvalidArgument("trials must be >= 1, got 0");
+  }
   // The oracle owns a forked generator so repeated calls advance it, and a
   // workspace pool so the thousands of evaluations a CELF run makes reuse
   // the per-trial scratch instead of re-allocating it every call.
@@ -188,13 +192,14 @@ SpreadOracle MakeMonteCarloOracle(const Graph& g, size_t trials, Rng& rng,
       metrics != nullptr ? metrics->GetCounter("im.mc_trials") : nullptr;
   TimerStat* eval_timer =
       metrics != nullptr ? metrics->GetTimer("im.mc_eval") : nullptr;
-  return [&g, trials, shared_rng, shared_ws, max_steps, num_threads,
-          trial_counter, eval_timer](const std::vector<NodeId>& seeds) {
-    ScopedTimer timer(eval_timer);
-    if (trial_counter != nullptr) trial_counter->Add(trials);
-    return EstimateIcSpread(g, seeds, trials, *shared_rng, max_steps,
-                            num_threads, shared_ws.get());
-  };
+  return SpreadOracle(
+      [&g, trials, shared_rng, shared_ws, max_steps, num_threads,
+       trial_counter, eval_timer](const std::vector<NodeId>& seeds) {
+        ScopedTimer timer(eval_timer);
+        if (trial_counter != nullptr) trial_counter->Add(trials);
+        return EstimateIcSpread(g, seeds, trials, *shared_rng, max_steps,
+                                num_threads, shared_ws.get());
+      });
 }
 
 SpreadOracle InstrumentedOracle(SpreadOracle oracle,
@@ -210,35 +215,48 @@ SpreadOracle InstrumentedOracle(SpreadOracle oracle,
   };
 }
 
-SpreadOracle MakeLtOracle(const Graph& g, size_t trials, Rng& rng,
-                          int max_steps) {
-  PRIVIM_CHECK_GT(trials, 0u);
+Result<SpreadOracle> MakeLtOracle(const Graph& g, size_t trials, Rng& rng,
+                                  int max_steps) {
+  if (trials == 0) {
+    return Status::InvalidArgument("trials must be >= 1, got 0");
+  }
   auto shared_rng = std::make_shared<Rng>(rng.Fork());
   auto shared_ws = std::make_shared<Workspace>();
-  return [&g, trials, shared_rng, shared_ws, max_steps](
-             const std::vector<NodeId>& seeds) {
+  return SpreadOracle([&g, trials, shared_rng, shared_ws, max_steps](
+                          const std::vector<NodeId>& seeds) {
     double total = 0.0;
     for (size_t t = 0; t < trials; ++t) {
       total += static_cast<double>(
           SimulateLtCascade(g, seeds, *shared_rng, max_steps, *shared_ws));
     }
     return total / static_cast<double>(trials);
-  };
+  });
 }
 
-SpreadOracle MakeSisOracle(const Graph& g, size_t trials,
-                           double recovery_prob, int max_steps, Rng& rng) {
-  PRIVIM_CHECK_GT(trials, 0u);
+Result<SpreadOracle> MakeSisOracle(const Graph& g, size_t trials,
+                                   double recovery_prob, int max_steps,
+                                   Rng& rng) {
+  if (trials == 0) {
+    return Status::InvalidArgument("trials must be >= 1, got 0");
+  }
+  if (!(recovery_prob > 0.0 && recovery_prob <= 1.0)) {
+    return Status::InvalidArgument(StrFormat(
+        "recovery_prob must be in (0, 1], got %g", recovery_prob));
+  }
+  if (max_steps < 1) {
+    return Status::InvalidArgument(
+        StrFormat("max_steps must be >= 1, got %d", max_steps));
+  }
   auto shared_rng = std::make_shared<Rng>(rng.Fork());
-  return [&g, trials, shared_rng, recovery_prob, max_steps](
-             const std::vector<NodeId>& seeds) {
+  return SpreadOracle([&g, trials, shared_rng, recovery_prob, max_steps](
+                          const std::vector<NodeId>& seeds) {
     double total = 0.0;
     for (size_t t = 0; t < trials; ++t) {
       total += static_cast<double>(SimulateSisCascade(
           g, seeds, recovery_prob, max_steps, *shared_rng));
     }
     return total / static_cast<double>(trials);
-  };
+  });
 }
 
 }  // namespace privim

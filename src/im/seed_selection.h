@@ -66,10 +66,11 @@ SpreadOracle MakeExactUnitOracle(const Graph& g, int steps = 1);
 /// default) with deterministic per-trial substreams, so oracle values are
 /// bit-identical for every thread count. An optional metrics sink records
 /// "im.mc_trials" (cascades simulated) and times "im.mc_eval" per call.
-SpreadOracle MakeMonteCarloOracle(const Graph& g, size_t trials, Rng& rng,
-                                  int max_steps = -1,
-                                  size_t num_threads = 0,
-                                  MetricsRegistry* metrics = nullptr);
+/// InvalidArgument (naming the parameter) when `trials` is 0.
+Result<SpreadOracle> MakeMonteCarloOracle(const Graph& g, size_t trials,
+                                          Rng& rng, int max_steps = -1,
+                                          size_t num_threads = 0,
+                                          MetricsRegistry* metrics = nullptr);
 
 /// Wraps `oracle` so every evaluation bumps "im.oracle_calls" and is timed
 /// under "im.oracle_eval" in `metrics`. Returns `oracle` unchanged when
@@ -80,13 +81,17 @@ SpreadOracle InstrumentedOracle(SpreadOracle oracle,
 
 /// Monte-Carlo Linear Threshold oracle (paper's future-work diffusion
 /// model): mean activated count over `trials` LT cascades.
-SpreadOracle MakeLtOracle(const Graph& g, size_t trials, Rng& rng,
-                          int max_steps = -1);
+/// InvalidArgument (naming the parameter) when `trials` is 0.
+Result<SpreadOracle> MakeLtOracle(const Graph& g, size_t trials, Rng& rng,
+                                  int max_steps = -1);
 
 /// Monte-Carlo SIS oracle: mean count of nodes ever infected within
-/// `max_steps` rounds at the given recovery probability.
-SpreadOracle MakeSisOracle(const Graph& g, size_t trials,
-                           double recovery_prob, int max_steps, Rng& rng);
+/// `max_steps` rounds at the given recovery probability. InvalidArgument
+/// (naming the parameter) on trials = 0, recovery_prob outside (0, 1], or
+/// max_steps < 1.
+Result<SpreadOracle> MakeSisOracle(const Graph& g, size_t trials,
+                                   double recovery_prob, int max_steps,
+                                   Rng& rng);
 
 }  // namespace privim
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
+#include "common/string_util.h"
 
 namespace privim {
 
@@ -14,20 +14,38 @@ void SubgraphContainer::Merge(SubgraphContainer&& other) {
   other.subgraphs_.clear();
 }
 
-std::vector<size_t> SubgraphContainer::OccurrenceHistogram(
+Result<const Subgraph*> SubgraphContainer::Get(size_t i) const {
+  if (i >= subgraphs_.size()) {
+    return Status::OutOfRange(StrFormat(
+        "subgraphs[%zu] out of range: container holds %zu subgraphs", i,
+        subgraphs_.size()));
+  }
+  return &subgraphs_[i];
+}
+
+Result<std::vector<size_t>> SubgraphContainer::OccurrenceHistogram(
     size_t num_original_nodes) const {
   std::vector<size_t> hist(num_original_nodes, 0);
-  for (const Subgraph& sub : subgraphs_) {
-    for (NodeId u : sub.nodes) {
-      PRIVIM_CHECK_LT(u, num_original_nodes);
+  for (size_t i = 0; i < subgraphs_.size(); ++i) {
+    const Subgraph& sub = subgraphs_[i];
+    for (size_t j = 0; j < sub.nodes.size(); ++j) {
+      const NodeId u = sub.nodes[j];
+      if (u >= num_original_nodes) {
+        return Status::OutOfRange(StrFormat(
+            "subgraphs[%zu].nodes[%zu] = %u out of range: the original "
+            "graph has %zu nodes",
+            i, j, u, num_original_nodes));
+      }
       ++hist[u];
     }
   }
   return hist;
 }
 
-size_t SubgraphContainer::MaxOccurrence(size_t num_original_nodes) const {
-  const std::vector<size_t> hist = OccurrenceHistogram(num_original_nodes);
+Result<size_t> SubgraphContainer::MaxOccurrence(
+    size_t num_original_nodes) const {
+  PRIVIM_ASSIGN_OR_RETURN(const std::vector<size_t> hist,
+                          OccurrenceHistogram(num_original_nodes));
   size_t max_occ = 0;
   for (size_t h : hist) max_occ = std::max(max_occ, h);
   return max_occ;

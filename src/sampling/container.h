@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/result.h"
 #include "graph/graph.h"
 #include "graph/subgraph.h"
 
@@ -22,16 +23,26 @@ class SubgraphContainer {
 
   size_t size() const { return subgraphs_.size(); }
   bool empty() const { return subgraphs_.empty(); }
-  const Subgraph& at(size_t i) const { return subgraphs_.at(i); }
+
+  /// Unchecked element access for hot loops. Precondition: i < size().
+  const Subgraph& operator[](size_t i) const { return subgraphs_[i]; }
+
+  /// Checked element access: OutOfRange (with the offending index in the
+  /// message) instead of an exception when `i` is out of bounds.
+  Result<const Subgraph*> Get(size_t i) const;
+
   const std::vector<Subgraph>& subgraphs() const { return subgraphs_; }
 
   /// Counts how often each original node occurs across all subgraphs.
   /// `num_original_nodes` sizes the histogram. Used to *audit* the privacy
-  /// accountant's occurrence bound in tests and at runtime.
-  std::vector<size_t> OccurrenceHistogram(size_t num_original_nodes) const;
+  /// accountant's occurrence bound in tests and at runtime. A subgraph node
+  /// id outside [0, num_original_nodes) is reported as OutOfRange naming
+  /// the offending `subgraphs[i].nodes[j]` instead of aborting.
+  Result<std::vector<size_t>> OccurrenceHistogram(
+      size_t num_original_nodes) const;
 
   /// Maximum entry of OccurrenceHistogram (0 if empty).
-  size_t MaxOccurrence(size_t num_original_nodes) const;
+  Result<size_t> MaxOccurrence(size_t num_original_nodes) const;
 
  private:
   std::vector<Subgraph> subgraphs_;

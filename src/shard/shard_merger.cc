@@ -1,0 +1,98 @@
+#include "shard/shard_merger.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace privim {
+
+Result<MergedSeedSet> MergeSeedSets(const std::vector<ShardSeedSet>& shards,
+                                    size_t k) {
+  if (k == 0) return Status::InvalidArgument("seed budget k must be > 0");
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (shards[s].seeds.size() != shards[s].scores.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "shards[%zu]: %zu seeds but %zu scores", s, shards[s].seeds.size(),
+          shards[s].scores.size()));
+    }
+  }
+
+  MergedSeedSet out;
+  if (shards.size() == 1) {
+    // Identity merge: preserve the shard's own selection order verbatim so
+    // shards=1 stays bit-identical to the serial pipeline even when
+    // scores tie (TopKByScore's order within a tie depends on its shuffled
+    // candidate order, which a re-sort here could not reproduce).
+    const ShardSeedSet& only = shards[0];
+    if (only.seeds.size() < k) {
+      return Status::InvalidArgument(
+          StrFormat("need k=%zu seeds, shard contributed %zu", k,
+                    only.seeds.size()));
+    }
+    out.seeds.assign(only.seeds.begin(), only.seeds.begin() + k);
+    out.scores.assign(only.scores.begin(), only.scores.begin() + k);
+    return out;
+  }
+
+  struct Candidate {
+    NodeId node;
+    double score;
+  };
+  std::vector<Candidate> all;
+  for (const ShardSeedSet& shard : shards) {
+    for (size_t i = 0; i < shard.seeds.size(); ++i) {
+      all.push_back(Candidate{shard.seeds[i], shard.scores[i]});
+    }
+  }
+  if (all.size() < k) {
+    return Status::InvalidArgument(
+        StrFormat("need k=%zu seeds, %zu shards contributed %zu total", k,
+                  shards.size(), all.size()));
+  }
+
+  // (score desc, id asc) — deterministic regardless of shard completion
+  // order, and tie-break-compatible with GreedySelect (smaller id wins).
+  std::sort(all.begin(), all.end(), [](const Candidate& a,
+                                       const Candidate& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  });
+  for (size_t i = 1; i < all.size(); ++i) {
+    if (all[i].node == all[i - 1].node) {
+      return Status::InvalidArgument(StrFormat(
+          "node %u contributed by more than one shard: partitions must be "
+          "node-disjoint",
+          all[i].node));
+    }
+  }
+
+  out.seeds.reserve(k);
+  out.scores.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.seeds.push_back(all[i].node);
+    out.scores.push_back(all[i].score);
+  }
+  return out;
+}
+
+MergedLedger ComposeEpsilonLedgers(
+    const std::vector<double>& epsilon_spent,
+    const std::vector<std::vector<double>>& ledgers) {
+  MergedLedger out;
+  for (double e : epsilon_spent) out.epsilon_spent = std::max(out.epsilon_spent, e);
+  size_t max_len = 0;
+  for (const std::vector<double>& l : ledgers) {
+    max_len = std::max(max_len, l.size());
+  }
+  out.ledger.assign(max_len, 0.0);
+  for (const std::vector<double>& l : ledgers) {
+    if (l.empty()) continue;  // Non-private shard: spends nothing.
+    for (size_t i = 0; i < max_len; ++i) {
+      const double v = i < l.size() ? l[i] : l.back();
+      out.ledger[i] = std::max(out.ledger[i], v);
+    }
+  }
+  return out;
+}
+
+}  // namespace privim

@@ -1,0 +1,61 @@
+#ifndef PRIVIM_SHARD_SHARD_MERGER_H_
+#define PRIVIM_SHARD_SHARD_MERGER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace privim {
+
+/// One shard's contribution to the global seed merge: its selected seeds
+/// translated back to ORIGINAL eval-graph ids, with the GNN logit of each
+/// (PrivImRunResult::seed_scores). Scores are DP post-processing of the
+/// shard's trained model, so ranking on them costs no extra budget.
+struct ShardSeedSet {
+  std::vector<NodeId> seeds;
+  std::vector<double> scores;  // Aligned with `seeds`.
+};
+
+struct MergedSeedSet {
+  std::vector<NodeId> seeds;
+  std::vector<double> scores;
+};
+
+/// Global top-k across per-shard seed sets.
+///
+/// With a single shard the merge is the identity (the shard's own
+/// TopKByScore order passes through verbatim) — this is what keeps
+/// shards=1 bit-identical to the serial pipeline even when scores tie.
+/// With multiple shards, candidates rank by (score desc, node id asc):
+/// the same direction GreedySelect/CelfSelect break equal-gain ties
+/// (smaller id wins), so the cross-shard rule stays tie-break-compatible
+/// with the selection algorithms (tested in tests/shard/).
+///
+/// Errors: InvalidArgument on seed/score length mismatch, on duplicate
+/// node ids across shards (partitions must be disjoint), and when the
+/// shards contribute fewer than k candidates in total.
+Result<MergedSeedSet> MergeSeedSets(const std::vector<ShardSeedSet>& shards,
+                                    size_t k);
+
+/// Composition of per-shard RDP ledgers into the run's global ledger.
+struct MergedLedger {
+  double epsilon_spent = 0.0;
+  /// Cumulative epsilon after each iteration; empty when every shard ran
+  /// non-private.
+  std::vector<double> ledger;
+};
+
+/// Parallel composition over node-disjoint shards: each node's data enters
+/// exactly one shard's mechanism, so the composed guarantee at every
+/// iteration prefix is the WORST (max) per-shard epsilon, not the sum.
+/// Ledgers are composed entrywise; a shard whose ledger is shorter (it
+/// finished earlier) contributes its final value to the remaining entries
+/// (cumulative epsilon never decreases). See docs/sharding.md.
+MergedLedger ComposeEpsilonLedgers(
+    const std::vector<double>& epsilon_spent,
+    const std::vector<std::vector<double>>& ledgers);
+
+}  // namespace privim
+
+#endif  // PRIVIM_SHARD_SHARD_MERGER_H_

@@ -126,11 +126,11 @@ TEST(SnapshotRoundTripTest, PipelineStateRoundTripsEveryStageField) {
   EXPECT_EQ(got.rng, want.rng);
   ASSERT_EQ(got.container.size(), want.container.size());
   for (size_t i = 0; i < want.container.size(); ++i) {
-    EXPECT_EQ(got.container.at(i).nodes, want.container.at(i).nodes);
-    EXPECT_EQ(got.container.at(i).local.Edges(),
-              want.container.at(i).local.Edges());
-    EXPECT_EQ(got.container.at(i).local.num_nodes(),
-              want.container.at(i).local.num_nodes());
+    EXPECT_EQ(got.container[i].nodes, want.container[i].nodes);
+    EXPECT_EQ(got.container[i].local.Edges(),
+              want.container[i].local.Edges());
+    EXPECT_EQ(got.container[i].local.num_nodes(),
+              want.container[i].local.num_nodes());
   }
   EXPECT_EQ(got.occurrence_bound, want.occurrence_bound);
   EXPECT_EQ(got.container_size, want.container_size);

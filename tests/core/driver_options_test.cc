@@ -1,0 +1,143 @@
+// The shared driver flag parser (core/driver_options.h): one
+// implementation behind privim_cli, privim_serve, and privim_shard, so
+// spellings and validation cannot drift. Includes the ToArgs -> TryParse
+// round-trip parity the ISSUE asks for.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/driver_options.h"
+
+namespace privim {
+namespace {
+
+/// Runs the shared parser over a full synthetic argv the way the drivers
+/// do; unrecognized flags are collected instead of rejected.
+struct ParseOutcome {
+  DriverOptions options;
+  std::vector<std::string> unclaimed;
+  Status status = Status::OK();
+};
+
+ParseOutcome Parse(std::vector<std::string> args,
+                   DriverOptions::Features features = {}) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("driver"));
+  for (std::string& a : args) argv.push_back(a.data());
+  ParseOutcome out;
+  for (int i = 1; i < static_cast<int>(argv.size()); ++i) {
+    Result<bool> shared = out.options.TryParse(
+        static_cast<int>(argv.size()), argv.data(), i, features);
+    if (!shared.ok()) {
+      out.status = shared.status();
+      return out;
+    }
+    if (!*shared) out.unclaimed.push_back(argv[i]);
+  }
+  return out;
+}
+
+TEST(DriverOptionsTest, ParsesEverySharedFlag) {
+  ParseOutcome out =
+      Parse({"--threads", "8", "--seed", "7", "--telemetry", "t.json",
+             "--checkpoint-dir", "ck", "--resume"});
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_TRUE(out.unclaimed.empty());
+  EXPECT_EQ(out.options.threads, 8u);
+  EXPECT_EQ(out.options.seed, 7u);
+  EXPECT_EQ(out.options.telemetry_path, "t.json");
+  EXPECT_EQ(out.options.checkpoint_dir, "ck");
+  EXPECT_TRUE(out.options.resume);
+  EXPECT_TRUE(out.options.Validate().ok());
+}
+
+TEST(DriverOptionsTest, AcceptsEqualsFormForTelemetry) {
+  ParseOutcome out = Parse({"--telemetry=runs/t.json"});
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_EQ(out.options.telemetry_path, "runs/t.json");
+}
+
+TEST(DriverOptionsTest, LeavesDriverSpecificFlagsAlone) {
+  ParseOutcome out =
+      Parse({"--dataset", "Email", "--threads", "2", "--epsilon", "1.5"});
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_EQ(out.options.threads, 2u);
+  // The non-shared flags come back untouched and in order; their value
+  // arguments stay with them for the driver's own parser.
+  EXPECT_EQ(out.unclaimed,
+            (std::vector<std::string>{"--dataset", "Email", "--epsilon",
+                                      "1.5"}));
+}
+
+TEST(DriverOptionsTest, RejectsMissingValues) {
+  EXPECT_FALSE(Parse({"--threads"}).status.ok());
+  EXPECT_FALSE(Parse({"--seed"}).status.ok());
+  EXPECT_FALSE(Parse({"--telemetry"}).status.ok());
+  EXPECT_FALSE(Parse({"--checkpoint-dir"}).status.ok());
+}
+
+TEST(DriverOptionsTest, CheckpointFlagsNeedTheFeature) {
+  // privim_serve builds with checkpoint = false: the shared flags fail
+  // loudly instead of being silently swallowed.
+  DriverOptions::Features no_ckpt;
+  no_ckpt.checkpoint = false;
+  ParseOutcome dir = Parse({"--checkpoint-dir", "ck"}, no_ckpt);
+  ASSERT_FALSE(dir.status.ok());
+  EXPECT_NE(dir.status.ToString().find("not supported"), std::string::npos);
+  EXPECT_FALSE(Parse({"--resume"}, no_ckpt).status.ok());
+  // The rest of the shared flags still work without the feature.
+  ParseOutcome ok = Parse({"--threads", "4"}, no_ckpt);
+  EXPECT_TRUE(ok.status.ok());
+  EXPECT_EQ(ok.options.threads, 4u);
+}
+
+TEST(DriverOptionsTest, ValidateRequiresCheckpointDirForResume) {
+  ParseOutcome out = Parse({"--resume"});
+  ASSERT_TRUE(out.status.ok());
+  const Status st = out.options.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("--checkpoint-dir"), std::string::npos);
+}
+
+TEST(DriverOptionsTest, ToArgsRoundTripsThroughTryParse) {
+  DriverOptions original;
+  original.threads = 16;
+  original.seed = 99;
+  original.telemetry_path = "out/t.json";
+  original.checkpoint_dir = "snap";
+  original.resume = true;
+
+  ParseOutcome out = Parse(original.ToArgs());
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_TRUE(out.unclaimed.empty());
+  EXPECT_EQ(out.options.threads, original.threads);
+  EXPECT_EQ(out.options.seed, original.seed);
+  EXPECT_EQ(out.options.telemetry_path, original.telemetry_path);
+  EXPECT_EQ(out.options.checkpoint_dir, original.checkpoint_dir);
+  EXPECT_EQ(out.options.resume, original.resume);
+}
+
+TEST(DriverOptionsTest, ToArgsOmitsDefaults) {
+  EXPECT_TRUE(DriverOptions{}.ToArgs().empty());
+  DriverOptions only_seed;
+  only_seed.seed = 7;
+  EXPECT_EQ(only_seed.ToArgs(),
+            (std::vector<std::string>{"--seed", "7"}));
+}
+
+TEST(DriverOptionsTest, UsageTextTracksFeatures) {
+  const std::string full = DriverOptions::UsageText();
+  EXPECT_NE(full.find("--checkpoint-dir"), std::string::npos);
+  EXPECT_NE(full.find("--threads"), std::string::npos);
+  DriverOptions::Features no_ckpt;
+  no_ckpt.checkpoint = false;
+  const std::string bare = DriverOptions::UsageText(no_ckpt);
+  EXPECT_EQ(bare.find("--checkpoint-dir"), std::string::npos);
+  EXPECT_EQ(bare.find("--resume"), std::string::npos);
+  EXPECT_NE(bare.find("--telemetry"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privim

@@ -80,7 +80,7 @@ TEST(DiffusionOracleTest, MonteCarloIcMatchesExactOnUnitWeights) {
   Rng gen(3);
   Graph g = std::move(ErdosRenyi(60, 0.08, true, gen)).ValueOrDie();
   Rng rng(4);
-  SpreadOracle mc = MakeMonteCarloOracle(g, 8, rng, 1);
+  SpreadOracle mc = MakeMonteCarloOracle(g, 8, rng, 1).ValueOrDie();
   SpreadOracle exact = MakeExactUnitOracle(g, 1);
   const std::vector<NodeId> seeds = {1, 5, 9};
   EXPECT_DOUBLE_EQ(mc(seeds), exact(seeds));
@@ -94,7 +94,7 @@ TEST(DiffusionOracleTest, LtOracleUnitWeightsFullPropagation) {
   ASSERT_TRUE(b.AddEdge(2, 3, 1.0f).ok());
   Graph g = std::move(b.Build()).ValueOrDie();
   Rng rng(5);
-  SpreadOracle lt = MakeLtOracle(g, 10, rng);
+  SpreadOracle lt = MakeLtOracle(g, 10, rng).ValueOrDie();
   EXPECT_DOUBLE_EQ(lt({0}), 4.0);
 }
 
@@ -103,8 +103,10 @@ TEST(DiffusionOracleTest, SisOracleMonotoneInSteps) {
   Graph g = std::move(BarabasiAlbert(80, 3, gen)).ValueOrDie();
   Rng rng(7);
   const std::vector<NodeId> seeds = {0, 1};
-  SpreadOracle short_run = MakeSisOracle(g, 32, 0.3, 1, rng);
-  SpreadOracle long_run = MakeSisOracle(g, 32, 0.3, 6, rng);
+  SpreadOracle short_run =
+      MakeSisOracle(g, 32, 0.3, 1, rng).ValueOrDie();
+  SpreadOracle long_run =
+      MakeSisOracle(g, 32, 0.3, 6, rng).ValueOrDie();
   EXPECT_LE(short_run(seeds), long_run(seeds));
 }
 

@@ -45,7 +45,7 @@ SubgraphContainer MakeContainer(const Graph& g, size_t num_subgraphs) {
   DualStageResult result = std::move(sampler.Extract(g, rng)).ValueOrDie();
   SubgraphContainer out;
   for (size_t i = 0; i < result.container.size() && i < num_subgraphs; ++i) {
-    out.Add(result.container.at(i));
+    out.Add(result.container[i]);
   }
   return out;
 }

@@ -24,7 +24,7 @@ SubgraphContainer MakeContainer(size_t num_subgraphs, uint64_t seed) {
   SubgraphContainer out;
   for (size_t i = 0; i < result.container.size() && i < num_subgraphs;
        ++i) {
-    out.Add(result.container.at(i));
+    out.Add(result.container[i]);
   }
   return out;
 }

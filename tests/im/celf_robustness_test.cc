@@ -23,7 +23,7 @@ TEST(CelfRobustnessTest, WorksWithMonteCarloOracle) {
     candidates[u] = static_cast<NodeId>(u);
   }
   Rng rng(2);
-  SpreadOracle mc = MakeMonteCarloOracle(g, 64, rng);
+  SpreadOracle mc = MakeMonteCarloOracle(g, 64, rng).ValueOrDie();
   SeedSelection celf =
       std::move(CelfSelect(candidates, 8, mc)).ValueOrDie();
   ASSERT_EQ(celf.seeds.size(), 8u);

@@ -254,7 +254,7 @@ TEST(MonteCarloOracleTest, ApproximatesExactOracleOnUnitWeights) {
   Rng gen(12);
   Graph g = std::move(ErdosRenyi(40, 0.08, true, gen)).ValueOrDie();
   Rng rng(13);
-  SpreadOracle mc = MakeMonteCarloOracle(g, 10, rng, 1);
+  SpreadOracle mc = MakeMonteCarloOracle(g, 10, rng, 1).ValueOrDie();
   SpreadOracle exact = MakeExactUnitOracle(g, 1);
   const std::vector<NodeId> seeds = {0, 1, 2};
   // Unit weights: MC is deterministic, must equal exact.

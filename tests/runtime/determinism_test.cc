@@ -29,8 +29,8 @@ Graph TestGraph(uint64_t seed) {
 bool SameContainers(const SubgraphContainer& a, const SubgraphContainer& b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (a.at(i).nodes != b.at(i).nodes) return false;
-    if (a.at(i).local.Edges() != b.at(i).local.Edges()) return false;
+    if (a[i].nodes != b[i].nodes) return false;
+    if (a[i].local.Edges() != b[i].local.Edges()) return false;
   }
   return true;
 }

@@ -35,7 +35,7 @@ TEST(EgnRandomSampleTest, NoFrequencyControl) {
   Rng rng(4);
   SubgraphContainer c =
       std::move(EgnRandomSample(g, 30, 10, rng)).ValueOrDie();
-  EXPECT_GT(c.MaxOccurrence(20), 10u);
+  EXPECT_GT(c.MaxOccurrence(20).ValueOrDie(), 10u);
 }
 
 TEST(EgnRandomSampleTest, RejectsBadSize) {
@@ -136,7 +136,7 @@ TEST(EgoSampleTest, ObservedOccurrencesRespectBound) {
   cfg.sampling_rate = 0.8;
   Rng rng(16);
   SubgraphContainer c = std::move(EgoSample(g, cfg, rng)).ValueOrDie();
-  EXPECT_LE(c.MaxOccurrence(g.num_nodes()),
+  EXPECT_LE(c.MaxOccurrence(g.num_nodes()).ValueOrDie(),
             EgoOccurrenceBound(cfg, c.size()));
 }
 

@@ -20,8 +20,8 @@ TEST(SubgraphContainerTest, AddAndAccess) {
   c.Add(MakeSub(g, {0, 1, 2}));
   c.Add(MakeSub(g, {3, 4}));
   EXPECT_EQ(c.size(), 2u);
-  EXPECT_EQ(c.at(0).size(), 3u);
-  EXPECT_EQ(c.at(1).nodes[0], 3u);
+  EXPECT_EQ(c[0].size(), 3u);
+  EXPECT_EQ(c[1].nodes[0], 3u);
 }
 
 TEST(SubgraphContainerTest, OccurrenceHistogramCounts) {
@@ -31,13 +31,14 @@ TEST(SubgraphContainerTest, OccurrenceHistogramCounts) {
   c.Add(MakeSub(g, {0, 1}));
   c.Add(MakeSub(g, {0, 2}));
   c.Add(MakeSub(g, {0, 1, 3}));
-  const std::vector<size_t> hist = c.OccurrenceHistogram(6);
+  const std::vector<size_t> hist =
+      c.OccurrenceHistogram(6).ValueOrDie();
   EXPECT_EQ(hist[0], 3u);
   EXPECT_EQ(hist[1], 2u);
   EXPECT_EQ(hist[2], 1u);
   EXPECT_EQ(hist[3], 1u);
   EXPECT_EQ(hist[4], 0u);
-  EXPECT_EQ(c.MaxOccurrence(6), 3u);
+  EXPECT_EQ(c.MaxOccurrence(6).ValueOrDie(), 3u);
 }
 
 TEST(SubgraphContainerTest, MergeMovesAll) {
@@ -50,13 +51,14 @@ TEST(SubgraphContainerTest, MergeMovesAll) {
   a.Merge(std::move(b));
   EXPECT_EQ(a.size(), 3u);
   EXPECT_EQ(b.size(), 0u);  // NOLINT(bugprone-use-after-move): documented.
-  EXPECT_EQ(a.at(2).nodes[0], 4u);
+  EXPECT_EQ(a[2].nodes[0], 4u);
 }
 
 TEST(SubgraphContainerTest, EmptyHistogram) {
   SubgraphContainer c;
-  EXPECT_EQ(c.MaxOccurrence(5), 0u);
-  EXPECT_EQ(c.OccurrenceHistogram(5), std::vector<size_t>(5, 0));
+  EXPECT_EQ(c.MaxOccurrence(5).ValueOrDie(), 0u);
+  EXPECT_EQ(c.OccurrenceHistogram(5).ValueOrDie(),
+            std::vector<size_t>(5, 0));
 }
 
 }  // namespace

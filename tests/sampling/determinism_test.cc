@@ -22,8 +22,8 @@ Graph TestGraph(uint64_t seed) {
 bool SameContainers(const SubgraphContainer& a, const SubgraphContainer& b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (a.at(i).nodes != b.at(i).nodes) return false;
-    if (a.at(i).local.Edges() != b.at(i).local.Edges()) return false;
+    if (a[i].nodes != b[i].nodes) return false;
+    if (a[i].local.Edges() != b[i].local.Edges()) return false;
   }
   return true;
 }
@@ -114,7 +114,7 @@ TEST(SamplerDistributionTest, StageTwoOnlyTouchesUnsaturatedNodes) {
       std::move(FreqSampler(stage1_only).Extract(g, rng2)).ValueOrDie();
   ASSERT_EQ(stage1.container.size(), result.stage1_count);
   for (size_t i = result.stage1_count; i < result.container.size(); ++i) {
-    for (NodeId u : result.container.at(i).nodes) {
+    for (NodeId u : result.container[i].nodes) {
       EXPECT_LT(stage1.frequency[u], cfg.frequency_threshold)
           << "saturated node " << u << " entered a BES subgraph";
     }

@@ -34,9 +34,10 @@ TEST(FreqSamplerTest, FrequencyCapNeverExceeded) {
   DualStageResult result = std::move(sampler.Extract(g, rng)).ValueOrDie();
   ASSERT_GT(result.container.size(), 0u);
   const std::vector<size_t> hist =
-      result.container.OccurrenceHistogram(g.num_nodes());
+      result.container.OccurrenceHistogram(g.num_nodes()).ValueOrDie();
   for (size_t h : hist) EXPECT_LE(h, 4u);
-  EXPECT_LE(result.container.MaxOccurrence(g.num_nodes()), 4u);
+  EXPECT_LE(result.container.MaxOccurrence(g.num_nodes()).ValueOrDie(),
+            4u);
 }
 
 TEST(FreqSamplerTest, FrequencyVectorMatchesContainer) {
@@ -45,7 +46,7 @@ TEST(FreqSamplerTest, FrequencyVectorMatchesContainer) {
   Rng rng(4);
   DualStageResult result = std::move(sampler.Extract(g, rng)).ValueOrDie();
   const std::vector<size_t> hist =
-      result.container.OccurrenceHistogram(g.num_nodes());
+      result.container.OccurrenceHistogram(g.num_nodes()).ValueOrDie();
   ASSERT_EQ(result.frequency.size(), hist.size());
   for (size_t v = 0; v < hist.size(); ++v) {
     EXPECT_EQ(result.frequency[v], hist[v]) << "node " << v;
@@ -75,7 +76,7 @@ TEST(FreqSamplerTest, BoundaryStageUsesShrunkSize) {
   DualStageResult result = std::move(sampler.Extract(g, rng)).ValueOrDie();
   // Stage-2 subgraphs sit at the tail of the container.
   for (size_t i = result.stage1_count; i < result.container.size(); ++i) {
-    EXPECT_EQ(result.container.at(i).size(),
+    EXPECT_EQ(result.container[i].size(),
               cfg.subgraph_size / cfg.shrink_factor);
   }
 }
@@ -108,7 +109,7 @@ TEST(FreqSamplerTest, BoundaryStageExcludesSaturatedNodes) {
   // been below the cap when stage 2 sampled it. Weaker but sufficient
   // check: overall cap still holds (primary invariant) and stage-2
   // subgraphs never contain a node more than once.
-  EXPECT_LE(result.container.MaxOccurrence(g.num_nodes()),
+  EXPECT_LE(result.container.MaxOccurrence(g.num_nodes()).ValueOrDie(),
             cfg.frequency_threshold);
 }
 
@@ -184,7 +185,8 @@ TEST_P(FreqCapSweepTest, CapHoldsForAllThresholds) {
   FreqSampler sampler(cfg);
   Rng rng(20 + GetParam());
   DualStageResult result = std::move(sampler.Extract(g, rng)).ValueOrDie();
-  EXPECT_LE(result.container.MaxOccurrence(g.num_nodes()), GetParam());
+  EXPECT_LE(result.container.MaxOccurrence(g.num_nodes()).ValueOrDie(),
+            GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, FreqCapSweepTest,

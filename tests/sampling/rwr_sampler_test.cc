@@ -186,7 +186,8 @@ TEST(RwrSamplerTest, OnThetaBoundedGraphOccurrencesRespectLemma1) {
   RwrSampler sampler(cfg);
   Rng rng(14);
   SubgraphContainer c = std::move(sampler.Extract(bounded, rng)).ValueOrDie();
-  const size_t observed = c.MaxOccurrence(bounded.num_nodes());
+  const size_t observed =
+      c.MaxOccurrence(bounded.num_nodes()).ValueOrDie();
   const size_t lemma1 = 1 + 5 + 25;  // theta=5, r=2.
   EXPECT_LE(observed, std::min(lemma1, c.size()));
 }

@@ -1,0 +1,107 @@
+// ShardMerger unit contracts: single-shard identity (order preserved
+// through ties), the (score desc, id asc) cross-shard ranking,
+// disjointness enforcement, and parallel composition of RDP ledgers.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shard/shard_merger.h"
+
+namespace privim {
+namespace {
+
+TEST(MergeSeedSetsTest, SingleShardIsIdentityEvenWithTies) {
+  // All scores equal: a re-sort would reorder by id (7 < 9 < 42); the
+  // identity merge must preserve the shard's own order verbatim.
+  ShardSeedSet only;
+  only.seeds = {42, 7, 9};
+  only.scores = {1.0, 1.0, 1.0};
+  MergedSeedSet merged =
+      std::move(MergeSeedSets({only}, 2)).ValueOrDie();
+  EXPECT_EQ(merged.seeds, (std::vector<NodeId>{42, 7}));
+  EXPECT_EQ(merged.scores, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(MergeSeedSetsTest, RanksByScoreDescThenIdAsc) {
+  ShardSeedSet a;
+  a.seeds = {10, 30};
+  a.scores = {0.5, 0.9};
+  ShardSeedSet b;
+  b.seeds = {20, 5};
+  b.scores = {0.9, 0.1};
+  // 0.9 ties between nodes 30 and 20 -> smaller id 20 first (the same
+  // direction GreedySelect breaks equal gains).
+  MergedSeedSet merged =
+      std::move(MergeSeedSets({a, b}, 3)).ValueOrDie();
+  EXPECT_EQ(merged.seeds, (std::vector<NodeId>{20, 30, 10}));
+  EXPECT_EQ(merged.scores, (std::vector<double>{0.9, 0.9, 0.5}));
+}
+
+TEST(MergeSeedSetsTest, ResultIsIndependentOfShardOrder) {
+  ShardSeedSet a;
+  a.seeds = {1, 2};
+  a.scores = {0.3, 0.8};
+  ShardSeedSet b;
+  b.seeds = {3, 4};
+  b.scores = {0.6, 0.9};
+  MergedSeedSet ab = std::move(MergeSeedSets({a, b}, 3)).ValueOrDie();
+  MergedSeedSet ba = std::move(MergeSeedSets({b, a}, 3)).ValueOrDie();
+  EXPECT_EQ(ab.seeds, ba.seeds);
+  EXPECT_EQ(ab.scores, ba.scores);
+}
+
+TEST(MergeSeedSetsTest, RejectsDuplicatesAcrossShards) {
+  ShardSeedSet a;
+  a.seeds = {1, 2};
+  a.scores = {0.3, 0.8};
+  ShardSeedSet b;
+  b.seeds = {2, 4};
+  b.scores = {0.6, 0.9};
+  auto merged = MergeSeedSets({a, b}, 2);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().ToString().find("node-disjoint"),
+            std::string::npos);
+}
+
+TEST(MergeSeedSetsTest, RejectsMalformedInput) {
+  ShardSeedSet bad;
+  bad.seeds = {1, 2};
+  bad.scores = {0.3};
+  EXPECT_FALSE(MergeSeedSets({bad}, 1).ok());
+
+  ShardSeedSet small;
+  small.seeds = {1};
+  small.scores = {0.5};
+  EXPECT_FALSE(MergeSeedSets({small}, 2).ok());  // Fewer than k total.
+  EXPECT_FALSE(MergeSeedSets({small}, 0).ok());  // k = 0.
+}
+
+TEST(ComposeEpsilonLedgersTest, TakesMaxSpentAndEntrywiseMaxLedger) {
+  MergedLedger merged = ComposeEpsilonLedgers(
+      {1.5, 2.0}, {{0.5, 1.0, 1.5}, {0.8, 1.2, 2.0}});
+  EXPECT_EQ(merged.epsilon_spent, 2.0);
+  EXPECT_EQ(merged.ledger, (std::vector<double>{0.8, 1.2, 2.0}));
+}
+
+TEST(ComposeEpsilonLedgersTest, PadsShorterLedgersWithFinalValue) {
+  // A shard that finished in fewer iterations holds its final cumulative
+  // spend for the remaining entries.
+  MergedLedger merged =
+      ComposeEpsilonLedgers({1.0, 0.9}, {{1.0}, {0.3, 0.6, 0.9}});
+  EXPECT_EQ(merged.ledger, (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(ComposeEpsilonLedgersTest, NonPrivateShardsContributeNothing) {
+  MergedLedger merged =
+      ComposeEpsilonLedgers({0.0, 1.0}, {{}, {0.5, 1.0}});
+  EXPECT_EQ(merged.epsilon_spent, 1.0);
+  EXPECT_EQ(merged.ledger, (std::vector<double>{0.5, 1.0}));
+
+  MergedLedger empty = ComposeEpsilonLedgers({}, {});
+  EXPECT_EQ(empty.epsilon_spent, 0.0);
+  EXPECT_TRUE(empty.ledger.empty());
+}
+
+}  // namespace
+}  // namespace privim

@@ -1,6 +1,9 @@
 // Command-line interface to the PrivIM pipeline: pick a dataset (synthetic
 // stand-in or an edge-list file), a method and a privacy budget, and get a
-// private seed set with full accounting telemetry.
+// private seed set with full accounting telemetry. Built on the stable
+// Pipeline facade (shard/pipeline.h) and the shared driver flags
+// (core/driver_options.h) — the same surface privim_shard and privim_serve
+// use.
 //
 // Examples:
 //   privim_cli --dataset LastFM --method 'PrivIM*' --epsilon 2
@@ -15,13 +18,15 @@
 #include <vector>
 
 #include "common/string_util.h"
-#include "core/experiment.h"
+#include "core/driver_options.h"
 #include "core/privim.h"
+#include "graph/datasets.h"
 #include "graph/io.h"
 #include "graph/subgraph.h"
 #include "im/metrics.h"
 #include "im/seed_selection.h"
 #include "nn/serialization.h"
+#include "shard/pipeline.h"
 
 namespace privim {
 namespace {
@@ -34,15 +39,12 @@ struct CliOptions {
   std::string gnn;
   double epsilon = 2.0;
   size_t k = 50;
-  uint64_t seed = 42;
   double scale = 1.0;
   std::string diffusion = "exact";
   bool auto_tune = false;
   bool with_celf = true;
   std::string save_model;
-  std::string telemetry_path;
-  std::string checkpoint_dir;
-  bool resume = false;
+  DriverOptions driver;
 };
 
 void PrintUsage() {
@@ -58,7 +60,6 @@ void PrintUsage() {
   --gnn NAME         backbone override: grat, gat, gcn, sage, gin
   --epsilon X        privacy budget                         [2.0]
   --k N              seed budget                            [50]
-  --seed N           master random seed                     [42]
   --scale X          synthetic dataset scale multiplier     [1.0]
   --eval-diffusion NAME
                      evaluation model: exact, mc, lt, sis   [exact]
@@ -66,20 +67,16 @@ void PrintUsage() {
   --auto-tune        pick (n, M) with the Gamma indicator
   --no-celf          skip the CELF reference (faster)
   --save-model PATH  write the trained model checkpoint
-  --telemetry PATH   write run telemetry (privacy ledger, sampler and
-                     runtime counters) as JSON; also prints a summary
-  --checkpoint-dir PATH
-                     commit pipeline/trainer snapshots into PATH at every
-                     stage boundary (crash-safe; see docs/api.md)
-  --resume           continue from the snapshots in --checkpoint-dir;
-                     results are bit-identical to the uninterrupted run
-  --help             this text
-)";
+)" << DriverOptions::UsageText()
+            << "  --help             this text\n";
 }
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
   CliOptions opts;
   for (int i = 1; i < argc; ++i) {
+    PRIVIM_ASSIGN_OR_RETURN(bool shared,
+                            opts.driver.TryParse(argc, argv, i));
+    if (shared) continue;
     const std::string arg = argv[i];
     auto next = [&]() -> Result<std::string> {
       if (i + 1 >= argc) {
@@ -106,31 +103,17 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--k") {
       PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
       opts.k = static_cast<size_t>(std::atoll(v.c_str()));
-    } else if (arg == "--seed") {
-      PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
-      opts.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
     } else if (arg == "--scale") {
       PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
       opts.scale = std::atof(v.c_str());
     } else if (arg == "--diffusion" || arg == "--eval-diffusion") {
       PRIVIM_ASSIGN_OR_RETURN(opts.diffusion, next());
-    } else if (arg == "--checkpoint-dir") {
-      PRIVIM_ASSIGN_OR_RETURN(opts.checkpoint_dir, next());
-    } else if (arg == "--resume") {
-      opts.resume = true;
     } else if (arg == "--auto-tune") {
       opts.auto_tune = true;
     } else if (arg == "--no-celf") {
       opts.with_celf = false;
     } else if (arg == "--save-model") {
       PRIVIM_ASSIGN_OR_RETURN(opts.save_model, next());
-    } else if (arg == "--telemetry") {
-      PRIVIM_ASSIGN_OR_RETURN(opts.telemetry_path, next());
-    } else if (arg.rfind("--telemetry=", 0) == 0) {
-      opts.telemetry_path = arg.substr(std::string("--telemetry=").size());
-      if (opts.telemetry_path.empty()) {
-        return Status::InvalidArgument("--telemetry requires a path");
-      }
     } else {
       return Status::InvalidArgument("unknown flag " + arg +
                                      " (try --help)");
@@ -140,9 +123,7 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   if (opts.epsilon <= 0) {
     return Status::InvalidArgument("--epsilon must be positive");
   }
-  if (opts.resume && opts.checkpoint_dir.empty()) {
-    return Status::InvalidArgument("--resume requires --checkpoint-dir");
-  }
+  PRIVIM_RETURN_NOT_OK(opts.driver.Validate());
   return opts;
 }
 
@@ -158,7 +139,7 @@ Status RunCli(const CliOptions& opts) {
     paper_nodes = full.num_nodes();
   } else {
     PRIVIM_ASSIGN_OR_RETURN(DatasetId id, ParseDatasetId(opts.dataset));
-    Rng gen_rng(opts.seed);
+    Rng gen_rng(opts.driver.seed);
     PRIVIM_ASSIGN_OR_RETURN(full, MakeDataset(id, gen_rng, opts.scale));
     source = GetDatasetSpec(id).name + " (synthetic stand-in)";
     paper_nodes = GetDatasetSpec(id).paper_nodes;
@@ -166,7 +147,7 @@ Status RunCli(const CliOptions& opts) {
   std::cout << "graph: " << source << " — " << full.num_nodes()
             << " nodes, " << full.num_edges() << " arcs\n";
 
-  Rng split_rng(opts.seed + 1);
+  Rng split_rng(opts.driver.seed + 1);
   PRIVIM_ASSIGN_OR_RETURN(NodeSplit split,
                           SplitNodes(full.num_nodes(), split_rng));
   PRIVIM_ASSIGN_OR_RETURN(Subgraph train_sub,
@@ -182,10 +163,10 @@ Status RunCli(const CliOptions& opts) {
   PrivImConfig config = MakeDefaultConfig(method, opts.epsilon,
                                           train_sub.local.num_nodes());
   config.seed_count = opts.k;
+  config.runtime.num_threads = opts.driver.threads;
   PRIVIM_ASSIGN_OR_RETURN(config.eval_diffusion,
                           ParseEvalDiffusion(opts.diffusion));
-  config.checkpoint.dir = opts.checkpoint_dir;
-  config.checkpoint.resume = opts.resume;
+  config.checkpoint.dir = opts.driver.checkpoint_dir;
   if (config.eval_diffusion == PrivImConfig::EvalDiffusion::kSis) {
     config.eval_steps = 8;
   }
@@ -199,16 +180,19 @@ Status RunCli(const CliOptions& opts) {
               << ", M = " << config.freq.frequency_threshold << "\n";
   }
 
-  // ---- Run. ----
-  Rng rng(opts.seed + 2);
-  std::unique_ptr<GnnModel> model;
-  RunTelemetry telemetry;
-  RunTelemetry* telemetry_ptr =
-      opts.telemetry_path.empty() ? nullptr : &telemetry;
+  // ---- Run through the Pipeline facade. ----
+  PipelineConfig pipeline_config;
+  pipeline_config.method = config;
+  pipeline_config.seed = opts.driver.seed;
+  pipeline_config.collect_telemetry = !opts.driver.telemetry_path.empty();
   PRIVIM_ASSIGN_OR_RETURN(
-      PrivImRunResult run,
-      RunMethod(train_sub.local, eval_sub.local, config, rng, &model,
-                telemetry_ptr));
+      Pipeline pipeline,
+      Pipeline::Build(std::move(train_sub.local), std::move(eval_sub.local),
+                      std::move(pipeline_config)));
+  PRIVIM_ASSIGN_OR_RETURN(
+      PipelineRunResult result,
+      opts.driver.resume ? pipeline.Resume() : pipeline.Run());
+  const PrivImRunResult& run = result.run;
 
   std::cout << "\nmethod: " << MethodName(method) << " ("
             << GnnTypeName(config.gnn.type) << " backbone)\n";
@@ -236,12 +220,12 @@ Status RunCli(const CliOptions& opts) {
 
   if (opts.with_celf &&
       config.eval_diffusion == PrivImConfig::EvalDiffusion::kExactIc) {
-    std::vector<NodeId> candidates(eval_sub.local.num_nodes());
+    const Graph& eval_graph = pipeline.eval_graph();
+    std::vector<NodeId> candidates(eval_graph.num_nodes());
     for (size_t u = 0; u < candidates.size(); ++u) {
       candidates[u] = static_cast<NodeId>(u);
     }
-    SpreadOracle oracle =
-        MakeExactUnitOracle(eval_sub.local, config.eval_steps);
+    SpreadOracle oracle = MakeExactUnitOracle(eval_graph, config.eval_steps);
     PRIVIM_ASSIGN_OR_RETURN(SeedSelection celf,
                             CelfSelect(candidates, opts.k, oracle));
     std::cout << "CELF reference: " << celf.spread << " => coverage ratio "
@@ -251,15 +235,17 @@ Status RunCli(const CliOptions& opts) {
   }
 
   if (!opts.save_model.empty()) {
-    PRIVIM_RETURN_NOT_OK(SaveModel(*model, opts.save_model));
+    PRIVIM_RETURN_NOT_OK(SaveModel(*result.model, opts.save_model));
     std::cout << "model checkpoint written to " << opts.save_model << "\n";
   }
 
-  if (telemetry_ptr != nullptr) {
+  if (pipeline_config.collect_telemetry) {
     std::cout << "\n";
-    telemetry.PrintSummary(std::cout);
-    PRIVIM_RETURN_NOT_OK(telemetry.WriteJsonFile(opts.telemetry_path));
-    std::cout << "telemetry written to " << opts.telemetry_path << "\n";
+    pipeline.Telemetry().PrintSummary(std::cout);
+    PRIVIM_RETURN_NOT_OK(
+        pipeline.Telemetry().WriteJsonFile(opts.driver.telemetry_path));
+    std::cout << "telemetry written to " << opts.driver.telemetry_path
+              << "\n";
   }
   return Status::OK();
 }

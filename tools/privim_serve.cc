@@ -24,6 +24,7 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "core/driver_options.h"
 #include "graph/datasets.h"
 #include "graph/io.h"
 #include "nn/features.h"
@@ -31,6 +32,7 @@
 #include "obs/telemetry.h"
 #include "serve/harness.h"
 #include "serve/server.h"
+#include "shard/pipeline.h"
 
 namespace privim {
 namespace {
@@ -41,14 +43,16 @@ struct ServeCliOptions {
   bool undirected = false;
   std::string snapshot;
   std::string mix = "all";  // all | seed-selection | spread-analytics | mixed
-  size_t threads = 0;       // 0 = runtime default
   size_t clients = 0;       // 0 = 2x threads
   size_t requests = 200;    // per client
   size_t sketch_sets = 2048;
   size_t queue_capacity = 1024;
-  uint64_t seed = 42;
   double scale = 1.0;
-  std::string telemetry_path;
+  /// Shared driver flags (core/driver_options.h). Serving has no
+  /// checkpointable pipeline, so --checkpoint-dir/--resume are rejected.
+  DriverOptions driver;
+
+  static constexpr DriverOptions::Features kFeatures{/*checkpoint=*/false};
 };
 
 void PrintUsage() {
@@ -60,24 +64,24 @@ void PrintUsage() {
   --undirected       treat the edge list as undirected
   --snapshot PATH    model checkpoint to serve (privim_cli --save-model);
                      omitted = randomly initialized stand-in model
-  --threads N        worker threads (0 = PRIVIM_THREADS or 1)  [0]
   --mix NAME         seed-selection, spread-analytics, mixed, or all [all]
   --clients N        closed-loop client threads (0 = 2x workers)    [0]
   --requests N       requests per client                            [200]
   --sketch-sets N    resident RR-sketch size (0 disables sketch) [2048]
   --queue-capacity N admission bound; beyond it clients see
                      ResourceExhausted backpressure             [1024]
-  --seed N           master random seed                            [42]
   --scale X          synthetic dataset scale multiplier           [1.0]
-  --telemetry PATH   write serve telemetry JSON (latency histograms,
-                     queue depth, scratch-reuse counters)
-  --help             this text
-)";
+)" << DriverOptions::UsageText(ServeCliOptions::kFeatures)
+            << "  --help             this text\n";
 }
 
 Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
   ServeCliOptions opts;
   for (int i = 1; i < argc; ++i) {
+    PRIVIM_ASSIGN_OR_RETURN(
+        bool shared,
+        opts.driver.TryParse(argc, argv, i, ServeCliOptions::kFeatures));
+    if (shared) continue;
     const std::string arg = argv[i];
     auto next = [&]() -> Result<std::string> {
       if (i + 1 >= argc) {
@@ -98,9 +102,6 @@ Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
       PRIVIM_ASSIGN_OR_RETURN(opts.snapshot, next());
     } else if (arg == "--mix") {
       PRIVIM_ASSIGN_OR_RETURN(opts.mix, next());
-    } else if (arg == "--threads") {
-      PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
-      opts.threads = static_cast<size_t>(std::atoll(v.c_str()));
     } else if (arg == "--clients") {
       PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
       opts.clients = static_cast<size_t>(std::atoll(v.c_str()));
@@ -113,14 +114,9 @@ Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--queue-capacity") {
       PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
       opts.queue_capacity = static_cast<size_t>(std::atoll(v.c_str()));
-    } else if (arg == "--seed") {
-      PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
-      opts.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
     } else if (arg == "--scale") {
       PRIVIM_ASSIGN_OR_RETURN(std::string v, next());
       opts.scale = std::atof(v.c_str());
-    } else if (arg == "--telemetry") {
-      PRIVIM_ASSIGN_OR_RETURN(opts.telemetry_path, next());
     } else {
       return Status::InvalidArgument("unknown flag " + arg +
                                      " (see --help)");
@@ -129,12 +125,13 @@ Result<ServeCliOptions> ParseArgs(int argc, char** argv) {
   if (opts.requests == 0) {
     return Status::InvalidArgument("--requests must be >= 1");
   }
+  PRIVIM_RETURN_NOT_OK(opts.driver.Validate(ServeCliOptions::kFeatures));
   return opts;
 }
 
 Status Run(const ServeCliOptions& opts) {
   // ---- Graph. ----
-  Graph graph;
+  Graph loaded;
   std::string source;
   if (!opts.edge_list.empty()) {
     // Load out-adjacency only: while the parsed edge buffer is still
@@ -143,29 +140,32 @@ Status Run(const ServeCliOptions& opts) {
     GraphBuildOptions load_opts;
     load_opts.build_in_csr = false;
     PRIVIM_ASSIGN_OR_RETURN(
-        graph, LoadEdgeList(opts.edge_list, opts.undirected, load_opts));
+        loaded, LoadEdgeList(opts.edge_list, opts.undirected, load_opts));
     source = opts.edge_list;
   } else {
     PRIVIM_ASSIGN_OR_RETURN(DatasetId id, ParseDatasetId(opts.dataset));
-    Rng graph_rng(opts.seed);
-    PRIVIM_ASSIGN_OR_RETURN(graph,
+    Rng graph_rng(opts.driver.seed);
+    PRIVIM_ASSIGN_OR_RETURN(loaded,
                             MakeDataset(id, graph_rng, opts.scale));
     source = opts.dataset;
   }
-  // Snapshot features read in-degrees and the RR sketch walks in-edges;
-  // materialize the in-CSR (a no-op when already present) before the
-  // Server freezes the graph as const.
-  PRIVIM_RETURN_NOT_OK(graph.EnsureInCsr());
+  // The facade materializes the in-CSR (snapshot features read in-degrees
+  // and the RR sketch walks in-edges) before the Server freezes the graph
+  // as const — its worker threads must never be the first to need it.
+  PRIVIM_ASSIGN_OR_RETURN(Pipeline pipeline,
+                          Pipeline::BuildForServing(std::move(loaded)));
+  const Graph& graph = pipeline.graph();
   std::cout << "graph: " << source << " (" << graph.num_nodes()
             << " nodes, " << graph.num_edges() << " edges)\n";
 
   // ---- Server. ----
   RunTelemetry telemetry;
   ServeConfig cfg;
-  cfg.num_threads = opts.threads;
+  cfg.num_threads = opts.driver.threads;
   cfg.queue_capacity = opts.queue_capacity;
   cfg.rr_sketch_sets = opts.sketch_sets;
-  cfg.metrics = opts.telemetry_path.empty() ? nullptr : &telemetry.metrics;
+  cfg.metrics =
+      opts.driver.telemetry_path.empty() ? nullptr : &telemetry.metrics;
   Server server(graph, cfg);
 
   if (!opts.snapshot.empty()) {
@@ -176,7 +176,7 @@ Status Run(const ServeCliOptions& opts) {
     GnnConfig gnn;
     gnn.type = GnnType::kGrat;
     gnn.in_dim = kNodeFeatureDim;
-    Rng model_rng(opts.seed + 1);
+    Rng model_rng(opts.driver.seed + 1);
     auto model = std::make_unique<GnnModel>(gnn, model_rng);
     PRIVIM_ASSIGN_OR_RETURN(
         std::shared_ptr<const ModelSnapshot> snap,
@@ -191,7 +191,7 @@ Status Run(const ServeCliOptions& opts) {
 
   // ---- Load. ----
   std::vector<RequestMix> mixes =
-      StandardMixes(graph.num_nodes(), opts.seed + 2);
+      StandardMixes(graph.num_nodes(), opts.driver.seed + 2);
   if (opts.mix != "all") {
     std::vector<RequestMix> selected;
     for (RequestMix& mix : mixes) {
@@ -210,7 +210,7 @@ Status Run(const ServeCliOptions& opts) {
   load.num_clients =
       opts.clients != 0 ? opts.clients : 2 * server.num_threads();
   load.requests_per_client = opts.requests;
-  load.base_seed = opts.seed + 3;
+  load.base_seed = opts.driver.seed + 3;
 
   TablePrinter table({"Mix", "QPS", "p50 ms", "p95 ms", "p99 ms",
                       "mean ms", "rejected"});
@@ -232,10 +232,12 @@ Status Run(const ServeCliOptions& opts) {
   server.Stop();
   table.Print(std::cout);
 
-  if (!opts.telemetry_path.empty()) {
+  if (!opts.driver.telemetry_path.empty()) {
     telemetry.PrintSummary(std::cout);
-    PRIVIM_RETURN_NOT_OK(telemetry.WriteJsonFile(opts.telemetry_path));
-    std::cout << "telemetry written to " << opts.telemetry_path << "\n";
+    PRIVIM_RETURN_NOT_OK(
+        telemetry.WriteJsonFile(opts.driver.telemetry_path));
+    std::cout << "telemetry written to " << opts.driver.telemetry_path
+              << "\n";
   }
   return Status::OK();
 }

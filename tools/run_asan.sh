@@ -23,7 +23,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DPRIVIM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target obs_test sampling_test sampling_properties_test im_test \
-  plan_test simd_test serve_test scale_test
+  plan_test simd_test serve_test scale_test shard_test
 
 export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}
 export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
@@ -44,6 +44,11 @@ export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
 # borrowed request/response/completion pointers crossing the queue — all
 # raw-lifetime code worth a memory-clean run.
 "$BUILD_DIR/tests/serve_test"
+# Sharded pipeline (src/shard/): per-shard graphs built through the
+# streaming partitioner, borrowed-graph shard tasks, and the overlap
+# scheduler's cross-thread stage handoff — raw-lifetime code that must
+# stay memory-clean while shards run concurrently.
+"$BUILD_DIR/tests/shard_test"
 # Million-node O(ball) properties (ctest label `scale`, env-gated): the
 # streaming two-pass build, the blocked arc storage, and the lazy in-CSR
 # scatter are exactly the raw-offset code paths where an off-by-one only

@@ -67,6 +67,16 @@ ctest --test-dir "$BUILD_DIR" -L simd -j"$(nproc)" --output-on-failure
 PRIVIM_FORCE_ISA=scalar ctest --test-dir "$BUILD_DIR" -L simd \
   -j"$(nproc)" --output-on-failure
 
+echo "== stage 1e: sharded pipeline suite + overlap-scheduler gate =="
+# `ctest -L shard` selects the src/shard/ suite (partitioner invariants,
+# merge determinism across shards x threads x repeats, shards=1 == serial
+# bit-identity, the Pipeline facade contracts). The bench_micro
+# ShardOverlap case then runs the real 2-shard pipeline and exits nonzero
+# unless the overlap scheduler hides >= 20% of the serialized stage cost
+# (the wall-vs-stage-sum methodology of docs/sharding.md).
+ctest --test-dir "$BUILD_DIR" -L shard -j"$(nproc)" --output-on-failure
+"$BUILD_DIR/bench/bench_micro" --benchmark_filter='ShardOverlap'
+
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "Tier-1 clean (sanitizer stages skipped)."
   exit 0

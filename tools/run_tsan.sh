@@ -21,7 +21,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DPRIVIM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target runtime_test core_test sampling_test sampling_properties_test \
-  im_test plan_test serve_test
+  im_test plan_test serve_test shard_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
@@ -41,5 +41,11 @@ export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
 # (clients query at 2 and 8 workers while a swapper flips the published
 # model; every response must be attributable to exactly one snapshot).
 "$BUILD_DIR/tests/serve_test"
+# The sharded pipeline's concurrency surface: the overlap scheduler's
+# dedicated stage threads, concurrent shard tasks reading the partitioned
+# graphs (the eager-in-CSR invariant — a lazy EnsureInCsr here would be a
+# data race, tests/shard/shard_pipeline_test.cc), and the merge of
+# per-shard results back onto the orchestration thread.
+"$BUILD_DIR/tests/shard_test"
 
 echo "TSan run clean."
