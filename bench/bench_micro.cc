@@ -26,7 +26,10 @@
 #include "nn/features.h"
 #include "nn/gnn.h"
 #include "graph/datasets.h"
+#include "graph/graph_delta.h"
+#include "graph/graph_view.h"
 #include "graph/subgraph.h"
+#include "graph/update_stream.h"
 #include "im/rr_sets.h"
 #include "sampling/freq_sampler.h"
 #include "sampling/rwr_sampler.h"
@@ -432,11 +435,11 @@ void BM_ServeSteadyStateAllocs(benchmark::State& state) {
     mix.push_back(std::move(req));
   }
 
-  QueryEngine engine(g);
+  QueryEngine engine;
   QueryResponse resp;
   // Warm pass: arena growth, workspace init, response-vector high-water.
   for (const QueryRequest& req : mix) {
-    const Status s = engine.Execute(snapshot.get(), &sketch, req, resp);
+    const Status s = engine.Execute(g, snapshot.get(), &sketch, req, resp);
     if (!s.ok()) {
       std::fprintf(stderr, "FATAL: warmup query failed: %s\n",
                    s.ToString().c_str());
@@ -449,7 +452,7 @@ void BM_ServeSteadyStateAllocs(benchmark::State& state) {
     g_alloc_count.store(0, std::memory_order_relaxed);
     g_count_allocs.store(true, std::memory_order_relaxed);
     for (const QueryRequest& req : mix) {
-      engine.Execute(snapshot.get(), &sketch, req, resp);
+      engine.Execute(g, snapshot.get(), &sketch, req, resp);
       benchmark::DoNotOptimize(resp.spread);
     }
     g_count_allocs.store(false, std::memory_order_relaxed);
@@ -517,6 +520,60 @@ void BM_ScaleSmoke(benchmark::State& state) {
   state.counters["csr_bytes"] = footprint;
 }
 BENCHMARK(BM_ScaleSmoke)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Incremental-maintenance locality gate (docs/streaming.md): applying a
+// small update batch to a large weakly-coupled graph must repair only the
+// RR sets whose balls contain a touched node — O(ball), never O(graph).
+// Hard-fails the binary when more than 25% of the sketch regenerates for
+// a 16-event batch on a 50k-node graph (the bit-identity of the repair is
+// proven in tests/stream/; this guards its *cost*).
+void BM_StreamUpdate(benchmark::State& state) {
+  constexpr size_t kNodes = 50000;
+  constexpr size_t kSets = 512;
+  GraphBuilder b(kNodes);
+  for (NodeId u = 0; u < kNodes; ++u) {
+    // Low IC weights keep RR balls small; with unit weights every
+    // full-length cascade spans the component and locality is meaningless.
+    (void)b.AddUndirectedEdge(u, (u + 1) % kNodes, 0.05f);
+    (void)b.AddUndirectedEdge(u, (u + 17) % kNodes, 0.05f);
+  }
+  Graph base = std::move(b.Build()).ValueOrDie();
+  GraphDelta delta(base);
+  GraphView view(base, &delta);
+  Rng rng(0x57123);
+  RrSketch sketch =
+      std::move(RrSketch::Generate(view, kSets, rng, 1)).ValueOrDie();
+
+  StreamGenConfig gen;
+  gen.events_per_batch = 16;
+  uint64_t batch_index = 0;
+  size_t repaired_total = 0;
+  size_t batches = 0;
+  for (auto _ : state) {
+    UpdateBatch batch =
+        MakeSyntheticBatch(view, batch_index++, 0x57124, gen);
+    ApplyEffects fx =
+        std::move(ApplyUpdateBatch(delta, batch)).ValueOrDie();
+    repaired_total +=
+        std::move(sketch.Repair(view, fx.changed_in_rows, 1)).ValueOrDie();
+    ++batches;
+  }
+  const double repaired_frac =
+      static_cast<double>(repaired_total) /
+      (static_cast<double>(batches) * static_cast<double>(kSets));
+  if (repaired_frac > 0.25) {
+    std::fprintf(stderr,
+                 "FATAL: a %zu-event update batch repaired %.1f%% of the "
+                 "RR sketch on average (> 25%% gate) — incremental repair "
+                 "has lost its O(ball) locality (im/rr_sets.h).\n",
+                 gen.events_per_batch, 100.0 * repaired_frac);
+    std::exit(1);
+  }
+  state.counters["repaired_sets_per_batch"] =
+      static_cast<double>(repaired_total) / static_cast<double>(batches);
+  state.counters["sketch_sets"] = static_cast<double>(kSets);
+}
+BENCHMARK(BM_StreamUpdate)->Unit(benchmark::kMillisecond);
 
 void BM_CelfVsGreedy(benchmark::State& state) {
   Graph g = SharedGraph(1500);

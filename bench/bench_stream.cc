@@ -1,0 +1,155 @@
+// Dynamic-graph streaming benchmark (docs/streaming.md): replays a
+// synthetic update stream through the StreamPipeline over a grid of
+// update rate x retrain cadence and writes one JSON row per cell to
+// BENCH_stream.json with
+//
+//   updates_per_batch,         the grid cell: events per batch and the
+//   retrain_every              staleness trigger (batches per retrain)
+//   batches                    stream length
+//   retrains                   training rounds fired during the stream
+//                              (round 0 excluded — it is not stream cost)
+//   batch_seconds_p50          median per-batch wall time (apply + repair
+//                              + invalidate + utility; retrain batches
+//                              included)
+//   repaired_sets_per_batch    mean RR sets regenerated per batch — the
+//                              O(ball) locality headline
+//   final_utility              deterministic spread of the released seeds
+//                              on the final graph
+//   final_epsilon              cumulative continual-observation epsilon
+//                              after the last batch (monotone in
+//                              retrains; the utility-vs-epsilon
+//                              trade-off's x-axis)
+//
+// Environment:
+//   BENCH_STREAM_OUT      output path (default BENCH_stream.json)
+//   BENCH_STREAM_SCALE    dataset scale multiplier (default 1.0)
+//   BENCH_STREAM_BATCHES  batches per cell (default 12)
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/privim.h"
+#include "graph/datasets.h"
+#include "stream/stream_pipeline.h"
+
+namespace privim {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+
+struct Row {
+  size_t updates_per_batch = 0;
+  size_t retrain_every = 0;
+  size_t batches = 0;
+  size_t retrains = 0;
+  double batch_seconds_p50 = 0;
+  double repaired_sets_per_batch = 0;
+  double final_utility = 0;
+  double final_epsilon = 0;
+};
+
+std::string RowJson(const Row& r) {
+  return StrFormat(
+      "    {\"updates_per_batch\": %zu, \"retrain_every\": %zu, "
+      "\"batches\": %zu, \"retrains\": %zu, "
+      "\"batch_seconds_p50\": %.4f, \"repaired_sets_per_batch\": %.1f, "
+      "\"final_utility\": %.2f, \"final_epsilon\": %.4f}",
+      r.updates_per_batch, r.retrain_every, r.batches, r.retrains,
+      r.batch_seconds_p50, r.repaired_sets_per_batch, r.final_utility,
+      r.final_epsilon);
+}
+
+int RunAll() {
+  const char* out_env = std::getenv("BENCH_STREAM_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_stream.json";
+  const char* scale_env = std::getenv("BENCH_STREAM_SCALE");
+  const double scale = scale_env != nullptr ? std::atof(scale_env) : 1.0;
+  const char* batches_env = std::getenv("BENCH_STREAM_BATCHES");
+  const size_t batches =
+      batches_env != nullptr
+          ? static_cast<size_t>(std::atoll(batches_env))
+          : 12;
+
+  std::vector<std::string> rows;
+  for (const size_t updates : {16u, 64u, 256u}) {
+    for (const size_t cadence : {0u, 6u, 3u}) {  // 0 = never retrain
+      // A fresh pipeline per cell: every cell replays the same stream
+      // prefix from the same initial graph (Step() is a pure function of
+      // the batch counter), so rows differ only in the grid knobs.
+      Rng gen_rng(kSeed);
+      Graph initial = bench::DieOnError(
+          MakeDataset(DatasetId::kEmail, gen_rng, scale),
+          "dataset synthesis");
+      const size_t nodes = initial.num_nodes();
+
+      StreamOptions options;
+      options.method =
+          MakeDefaultConfig(Method::kPrivImStar, 2.0, nodes);
+      options.method.seed_count = 20;
+      options.method.train.iterations = 20;
+      options.retrain.drift_fraction = 0.0;
+      options.retrain.staleness_batches = cadence;
+      options.gen.events_per_batch = updates;
+      options.rr_sketch_sets = 256;
+      options.seed = kSeed;
+
+      std::unique_ptr<StreamPipeline> pipeline = bench::DieOnError(
+          StreamPipeline::Build(std::move(initial), std::move(options)),
+          "stream pipeline build");
+      for (size_t b = 0; b < batches; ++b) {
+        bench::DieOnError(pipeline->Step(), "stream step");
+      }
+
+      Row row;
+      row.updates_per_batch = updates;
+      row.retrain_every = cadence;
+      row.batches = batches;
+      row.retrains = pipeline->num_retrains() - 1;  // exclude round 0
+      std::vector<double> seconds;
+      double repaired = 0;
+      for (const StreamStepRecord& r : pipeline->history()) {
+        seconds.push_back(r.seconds);
+        repaired += static_cast<double>(r.repaired_sets);
+      }
+      std::sort(seconds.begin(), seconds.end());
+      row.batch_seconds_p50 =
+          seconds.empty() ? 0.0 : seconds[seconds.size() / 2];
+      row.repaired_sets_per_batch =
+          seconds.empty() ? 0.0 : repaired / static_cast<double>(batches);
+      row.final_utility = pipeline->history().back().utility;
+      row.final_epsilon = pipeline->CumulativeEpsilon();
+
+      std::cerr << RowJson(row) << "\n";
+      rows.push_back(RowJson(row));
+    }
+  }
+
+  std::string json = "{\n  \"bench\": \"stream\",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    json += rows[i];
+    json += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_stream: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json;
+  std::cerr << "bench_stream: wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace privim
+
+int main() { return privim::RunAll(); }

@@ -1,0 +1,93 @@
+#ifndef PRIVIM_CORE_RETRAIN_POLICY_H_
+#define PRIVIM_CORE_RETRAIN_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace privim {
+
+/// When to retrain the DP-GNN on a drifting graph (docs/streaming.md).
+///
+/// Retraining is the only operation in the streaming pipeline that spends
+/// privacy budget — the sketch/ball repairs are post-processing of the
+/// already-released model and cost nothing — so the trigger policy IS the
+/// epsilon-vs-utility knob: retrain often and the model tracks the graph
+/// but the continual-observation ledger climbs fast; retrain rarely and
+/// epsilon is cheap but the served seeds go stale. Two standard triggers,
+/// either of which fires a retrain:
+///
+///  - drift: the fraction of arcs changed (added + removed, counted per
+///    event, net of nothing) since the last training exceeds
+///    `drift_fraction` of the arc count the model was trained on;
+///  - staleness: more than `staleness_batches` update batches were applied
+///    since the last training, regardless of their size.
+///
+/// Setting a trigger to 0 disables it; with both disabled the pipeline
+/// never retrains (the train-once baseline).
+struct RetrainPolicyConfig {
+  double drift_fraction = 0.1;
+  size_t staleness_batches = 0;
+};
+
+/// Tracks drift/staleness counters between retraining rounds. Plain data
+/// + arithmetic so the stream checkpoint can round-trip it exactly
+/// (State below); all decisions are deterministic functions of the
+/// applied update history.
+class RetrainPolicy {
+ public:
+  /// Serializable snapshot (src/ckpt/stream_state.*).
+  struct State {
+    uint64_t arcs_at_train = 0;
+    uint64_t changed_since_train = 0;
+    uint64_t batches_since_train = 0;
+
+    bool operator==(const State&) const = default;
+  };
+
+  explicit RetrainPolicy(const RetrainPolicyConfig& config)
+      : config_(config) {}
+  RetrainPolicy(const RetrainPolicyConfig& config, const State& state)
+      : config_(config), state_(state) {}
+
+  /// Records a completed training round on a graph with `visible_arcs`
+  /// arcs; resets the drift/staleness counters.
+  void NoteTrained(uint64_t visible_arcs) {
+    state_.arcs_at_train = visible_arcs;
+    state_.changed_since_train = 0;
+    state_.batches_since_train = 0;
+  }
+
+  /// Records one applied update batch with `changed_arcs` arc mutations
+  /// (each add/remove event counts one; node removals count each arc they
+  /// drop).
+  void NoteBatch(uint64_t changed_arcs) {
+    state_.changed_since_train += changed_arcs;
+    ++state_.batches_since_train;
+  }
+
+  /// True when either enabled trigger has fired. Never true before the
+  /// first NoteTrained on an empty-arc graph guard: a zero-arc training
+  /// baseline treats any change as 100% drift.
+  bool ShouldRetrain() const {
+    if (config_.drift_fraction > 0.0 && state_.changed_since_train > 0) {
+      const double base = static_cast<double>(state_.arcs_at_train);
+      const double changed = static_cast<double>(state_.changed_since_train);
+      if (base <= 0.0 || changed >= config_.drift_fraction * base) {
+        return true;
+      }
+    }
+    return config_.staleness_batches > 0 &&
+           state_.batches_since_train >= config_.staleness_batches;
+  }
+
+  const State& state() const { return state_; }
+  const RetrainPolicyConfig& config() const { return config_; }
+
+ private:
+  RetrainPolicyConfig config_;
+  State state_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_CORE_RETRAIN_POLICY_H_

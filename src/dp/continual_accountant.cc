@@ -1,0 +1,101 @@
+#include "dp/continual_accountant.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace privim {
+namespace {
+
+/// Min over the alpha grid of the Theorem 1 conversion of per-alpha gamma
+/// totals; +inf when no entry is finite.
+double ConvertOrInfinity(const std::vector<double>& gamma_totals,
+                         double delta) {
+  const std::vector<double>& grid = RdpAccountant::AlphaGrid();
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t a = 0; a < grid.size(); ++a) {
+    if (!std::isfinite(gamma_totals[a])) continue;
+    best = std::min(best, RdpToEpsilon(grid[a], gamma_totals[a], delta));
+  }
+  return best;
+}
+
+}  // namespace
+
+ContinualAccountant::ContinualAccountant(double delta) : delta_(delta) {
+  PRIVIM_CHECK_GT(delta, 0.0);
+  gamma_totals_.assign(RdpAccountant::AlphaGrid().size(), 0.0);
+}
+
+Result<ContinualAccountant> ContinualAccountant::FromState(
+    const State& state) {
+  if (state.gamma_totals.size() != RdpAccountant::AlphaGrid().size()) {
+    return Status::InvalidArgument(StrFormat(
+        "continual-accountant snapshot has %zu per-alpha totals, the "
+        "alpha grid has %zu entries — the snapshot was written by an "
+        "incompatible accountant",
+        state.gamma_totals.size(), RdpAccountant::AlphaGrid().size()));
+  }
+  if (state.delta <= 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("continual-accountant snapshot delta %g <= 0",
+                  state.delta));
+  }
+  ContinualAccountant acct(state.delta);
+  acct.gamma_totals_ = state.gamma_totals;
+  acct.rounds_ = state.rounds;
+  return acct;
+}
+
+ContinualAccountant::State ContinualAccountant::ToState() const {
+  return State{delta_, gamma_totals_, rounds_};
+}
+
+Result<ContinualAccountant::Round> ContinualAccountant::AddRound(
+    const DpSgdSpec& spec, double sigma) {
+  if (!(sigma > 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("noise multiplier %g must be positive", sigma));
+  }
+  Result<RdpAccountant> acct = RdpAccountant::Create(spec);
+  PRIVIM_RETURN_NOT_OK(acct.status());
+
+  // This round's per-alpha cost over its T iterations, and its standalone
+  // conversion (the ledger's marginal column).
+  const std::vector<double>& grid = RdpAccountant::AlphaGrid();
+  const double t = static_cast<double>(spec.iterations);
+  std::vector<double> round_gammas(grid.size());
+  for (size_t a = 0; a < grid.size(); ++a) {
+    round_gammas[a] =
+        acct.ValueOrDie().GammaPerIteration(grid[a], sigma) * t;
+  }
+  const double round_eps = ConvertOrInfinity(round_gammas, delta_);
+
+  // Accumulate, then convert the accumulated totals — RDP composes
+  // additively at fixed alpha, and converting the sums (instead of
+  // summing converted epsilons) keeps the cumulative curve tight AND
+  // monotone: every addend is >= 0, so each per-alpha total only grows.
+  std::vector<double> new_totals(grid.size());
+  for (size_t a = 0; a < grid.size(); ++a) {
+    new_totals[a] = gamma_totals_[a] + round_gammas[a];
+  }
+  const double cumulative = ConvertOrInfinity(new_totals, delta_);
+  if (!std::isfinite(cumulative)) {
+    return Status::FailedPrecondition(StrFormat(
+        "no finite cumulative epsilon after round %zu at sigma=%g, "
+        "delta=%g: every alpha in the grid yields a non-finite RDP gamma",
+        rounds_.size(), sigma, delta_));
+  }
+  gamma_totals_ = std::move(new_totals);
+  Round round{spec, sigma, round_eps, cumulative};
+  rounds_.push_back(round);
+  return round;
+}
+
+double ContinualAccountant::CumulativeEpsilon() const {
+  return rounds_.empty() ? 0.0 : rounds_.back().cumulative_epsilon;
+}
+
+}  // namespace privim

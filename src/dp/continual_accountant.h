@@ -1,0 +1,98 @@
+#ifndef PRIVIM_DP_CONTINUAL_ACCOUNTANT_H_
+#define PRIVIM_DP_CONTINUAL_ACCOUNTANT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "dp/privacy_params.h"
+#include "dp/rdp_accountant.h"
+
+namespace privim {
+
+/// Privacy composition across retraining rounds under continual
+/// observation (docs/streaming.md).
+///
+/// A streaming deployment retrains the DP-GNN every time the graph drifts
+/// far enough, and every retrained model is *released* (served). The
+/// privacy cost of the whole released sequence therefore composes: each
+/// round r runs DpSgdSpec_r iterations of the subsampled Gaussian
+/// mechanism, each (alpha, gamma_r(alpha))-RDP per iteration (Theorem 3),
+/// and RDP composes additively at fixed alpha across rounds exactly as it
+/// does across iterations within a round (Definition 5). The cumulative
+/// guarantee after round r is then the Theorem 1 conversion of the summed
+/// gamma, minimized over the alpha grid:
+///
+///   eps_cum(r) = min_alpha RdpToEpsilon(alpha,
+///                    sum_{j<=r} gamma_j(alpha) * T_j, delta).
+///
+/// Because every gamma_j is nonnegative, the per-alpha sums are
+/// nondecreasing in r, and a min over nondecreasing curves is
+/// nondecreasing: the cumulative epsilon NEVER decreases across rounds.
+/// Summing at the RDP level (rather than summing the per-round epsilons)
+/// is also strictly tighter than naive sequential composition — the same
+/// reason the per-iteration ledger converts once at the end.
+///
+/// The accountant never resets: ResetBase/compaction/model swaps on the
+/// serving side do not touch it, and the checkpoint round-trips its full
+/// per-alpha state so a resumed stream continues the same curve
+/// bit-identically.
+class ContinualAccountant {
+ public:
+  /// One retraining round's ledger row.
+  struct Round {
+    DpSgdSpec spec;
+    double sigma = 0.0;
+    /// Epsilon this round would cost in isolation (min over alpha of its
+    /// own converted gamma) — the "marginal" column of the ledger.
+    double round_epsilon = 0.0;
+    /// Epsilon of the whole released sequence up to and including this
+    /// round. Nondecreasing across rounds by construction.
+    double cumulative_epsilon = 0.0;
+
+    bool operator==(const Round&) const = default;
+  };
+
+  /// Serializable snapshot (src/ckpt/stream_state.*): the per-alpha gamma
+  /// sums are the irreducible state — cumulative epsilons alone could not
+  /// extend the composition.
+  struct State {
+    double delta = 1e-5;
+    std::vector<double> gamma_totals;
+    std::vector<Round> rounds;
+  };
+
+  /// `delta` is the target delta of every conversion; fixed for the
+  /// accountant's lifetime (mixing deltas across rounds would make the
+  /// ledger rows incomparable).
+  explicit ContinualAccountant(double delta);
+
+  /// Restores from a checkpointed snapshot. Fails if the snapshot's
+  /// per-alpha vector does not match the current alpha grid.
+  static Result<ContinualAccountant> FromState(const State& state);
+  State ToState() const;
+
+  /// Accounts one retraining round: accumulates `spec.iterations` steps of
+  /// the (spec, sigma) mechanism into the per-alpha totals and appends a
+  /// ledger row. Fails when the spec is invalid (RdpAccountant::Create) or
+  /// when no alpha yields a finite cumulative gamma.
+  Result<Round> AddRound(const DpSgdSpec& spec, double sigma);
+
+  /// Cumulative epsilon after the last accounted round (0 before any).
+  double CumulativeEpsilon() const;
+
+  size_t num_rounds() const { return rounds_.size(); }
+  const std::vector<Round>& rounds() const { return rounds_; }
+  double delta() const { return delta_; }
+
+ private:
+  double delta_;
+  /// gamma_totals_[i] = sum over rounds of gamma(alpha_i) * iterations,
+  /// aligned with RdpAccountant::AlphaGrid().
+  std::vector<double> gamma_totals_;
+  std::vector<Round> rounds_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_DP_CONTINUAL_ACCOUNTANT_H_

@@ -175,9 +175,15 @@ void Graph::BuildInCsrFromOut(uint64_t narrow_limit) {
     }
   }
   in_offsets_.Adopt(std::move(offsets), narrow_limit);
+  ++in_csr_builds_;
 }
 
 Status Graph::EnsureInCsr() {
+  // Idempotence contract (graph.h): with the in-CSR already materialized
+  // this must return without touching any storage — re-running the
+  // counting sort would move the arrays (invalidating spans handed out to
+  // callers) and pay O(V+E) for nothing. The build counter lets tests pin
+  // this down directly.
   if (has_in_csr_) return Status::OK();
   BuildInCsrFromOut(/*narrow_limit=*/0xFFFFFFFFull);
   has_in_csr_ = true;

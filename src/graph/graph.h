@@ -200,7 +200,20 @@ class Graph {
   /// no edge-list materialization). NOT thread-safe: call before sharing
   /// the graph across threads. The result is bit-identical to building
   /// with in-CSR up front.
+  ///
+  /// Idempotent by contract: a second call on a graph that already has its
+  /// in-CSR is a no-op — it must NOT re-run the counting sort (callers like
+  /// Pipeline::Build and GraphDelta's constructor call this defensively on
+  /// graphs that may already carry the in-adjacency). The `in_csr_builds()`
+  /// counter exists so tests can assert the no-op, not just observe
+  /// unchanged contents.
   Status EnsureInCsr();
+
+  /// Number of times the in-CSR counting sort has actually run on this
+  /// graph (0 for out-only graphs, 1 after the first EnsureInCsr() or an
+  /// eager build_in_csr build). Diagnostic for the EnsureInCsr idempotence
+  /// contract; copied with the graph.
+  size_t in_csr_builds() const { return in_csr_builds_; }
 
   /// Average total (in+out) degree over nodes; for a graph built from an
   /// undirected edge list this matches the usual undirected average degree.
@@ -267,6 +280,7 @@ class Graph {
   ArcStorage in_;
   // A default (empty) graph trivially has its (empty) in-CSR.
   bool has_in_csr_ = true;
+  size_t in_csr_builds_ = 0;
 };
 
 /// Options for GraphBuilder::Build.

@@ -1,0 +1,205 @@
+#include "graph/graph_delta.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "graph/graph_view.h"
+
+namespace privim {
+namespace {
+
+// lower_bound over the (id, weight) pairs of Row::added by id.
+auto AddedLowerBound(std::vector<std::pair<NodeId, float>>& added,
+                     NodeId id) {
+  return std::lower_bound(
+      added.begin(), added.end(), id,
+      [](const std::pair<NodeId, float>& e, NodeId v) { return e.first < v; });
+}
+
+bool AddedContains(const std::vector<std::pair<NodeId, float>>& added,
+                   NodeId id) {
+  auto it = std::lower_bound(
+      added.begin(), added.end(), id,
+      [](const std::pair<NodeId, float>& e, NodeId v) { return e.first < v; });
+  return it != added.end() && it->first == id;
+}
+
+bool SortedContains(const std::vector<NodeId>& ids, NodeId id) {
+  return std::binary_search(ids.begin(), ids.end(), id);
+}
+
+}  // namespace
+
+GraphDelta::GraphDelta(const Graph& base) : base_(&base) {
+  PRIVIM_CHECK(base.has_in_csr())
+      << "GraphDelta requires the base in-CSR (RemoveNode and in-edge "
+         "merges scan in-rows); call Graph::EnsureInCsr() first";
+}
+
+Status GraphDelta::ValidateEndpoints(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    return Status::OutOfRange(StrFormat(
+        "edge (%u,%u) out of range for %zu nodes", u, v, num_nodes()));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrFormat("self-loop at node %u", u));
+  }
+  return Status::OK();
+}
+
+bool GraphDelta::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return false;
+  if (const Row* row = OutRow(u)) {
+    if (AddedContains(row->added, v)) return true;
+    if (SortedContains(row->removed, v)) return false;
+  }
+  return u < base_->num_nodes() && base_->HasEdge(u, v);
+}
+
+Status GraphDelta::AddEdge(NodeId u, NodeId v, float weight) {
+  PRIVIM_RETURN_NOT_OK(ValidateEndpoints(u, v));
+  if (!(weight >= 0.0f && weight <= 1.0f)) {  // negated to reject NaN
+    return Status::InvalidArgument(StrFormat(
+        "influence probability %f outside [0,1]",
+        static_cast<double>(weight)));
+  }
+  if (HasEdge(u, v)) {
+    return Status::AlreadyExists(
+        StrFormat("arc %u -> %u already present", u, v));
+  }
+  // Not visible, so the added vectors cannot contain it (invariant) — a
+  // plain sorted insert maintains both the order and the disjointness. If
+  // the arc is a removed base arc, it stays in `removed` (the base copy
+  // remains masked; the overlay copy carries the new weight).
+  {
+    Row& row = out_[u];
+    row.added.insert(AddedLowerBound(row.added, v), {v, weight});
+  }
+  {
+    Row& row = in_[v];
+    row.added.insert(AddedLowerBound(row.added, u), {u, weight});
+  }
+  ++added_arcs_;
+  ++version_;
+  return Status::OK();
+}
+
+Status GraphDelta::RemoveEdge(NodeId u, NodeId v) {
+  PRIVIM_RETURN_NOT_OK(ValidateEndpoints(u, v));
+  if (!HasEdge(u, v)) {
+    return Status::NotFound(StrFormat("arc %u -> %u not present", u, v));
+  }
+  // Visible either through the overlay (erase the added pair) or through
+  // the base (mask it via `removed`).
+  auto out_it = out_.find(u);
+  const bool in_overlay =
+      out_it != out_.end() && AddedContains(out_it->second.added, v);
+  if (in_overlay) {
+    Row& out_row = out_it->second;
+    out_row.added.erase(AddedLowerBound(out_row.added, v));
+    Row& in_row = in_[v];
+    in_row.added.erase(AddedLowerBound(in_row.added, u));
+    --added_arcs_;
+    PruneIfEmpty(out_, u);
+    PruneIfEmpty(in_, v);
+  } else {
+    Row& orow = out_[u];
+    orow.removed.insert(
+        std::lower_bound(orow.removed.begin(), orow.removed.end(), v), v);
+    Row& irow = in_[v];
+    irow.removed.insert(
+        std::lower_bound(irow.removed.begin(), irow.removed.end(), u), u);
+    ++removed_arcs_;
+  }
+  ++version_;
+  return Status::OK();
+}
+
+Result<NodeId> GraphDelta::AddNode() {
+  PRIVIM_RETURN_NOT_OK(ValidateNodeCount(num_nodes() + 1));
+  const NodeId id = static_cast<NodeId>(num_nodes());
+  ++added_nodes_;
+  ++version_;
+  return id;
+}
+
+Status GraphDelta::RemoveNode(NodeId u) {
+  if (u >= num_nodes()) {
+    return Status::OutOfRange(
+        StrFormat("node %u out of range for %zu nodes", u, num_nodes()));
+  }
+  // Collect first, then remove: mutating the overlay mid-merge would
+  // invalidate the row pointers the merge walks. Self-loops cannot exist,
+  // so the two lists never name the same arc twice.
+  const GraphView view(*base_, this);
+  std::vector<NodeId> out_nbrs;
+  std::vector<NodeId> in_nbrs;
+  view.ForEachOutEdge(u, [&out_nbrs](NodeId v, float) {
+    out_nbrs.push_back(v);
+  });
+  view.ForEachInEdge(u, [&in_nbrs](NodeId s, float) {
+    in_nbrs.push_back(s);
+  });
+  for (NodeId v : out_nbrs) PRIVIM_RETURN_NOT_OK(RemoveEdge(u, v));
+  for (NodeId s : in_nbrs) PRIVIM_RETURN_NOT_OK(RemoveEdge(s, u));
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<NodeId> GraphDelta::SortedTouchedOut() const {
+  std::vector<NodeId> ids;
+  ids.reserve(out_.size());
+  for (const auto& [u, row] : out_) ids.push_back(u);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void GraphDelta::PruneIfEmpty(RowMap& rows, NodeId id) {
+  auto it = rows.find(id);
+  if (it != rows.end() && it->second.added.empty() &&
+      it->second.removed.empty()) {
+    rows.erase(it);
+  }
+}
+
+Result<Graph> GraphDelta::Compact(const GraphBuildOptions& options) const {
+  GraphBuilder builder(num_nodes());
+  const GraphView view(*base_, this);
+  PRIVIM_RETURN_NOT_OK(builder.AddEdgeStream([&view](EdgeSink& sink) {
+    const size_t n = view.num_nodes();
+    for (size_t u = 0; u < n; ++u) {
+      PRIVIM_RETURN_NOT_OK(view.ForEachOutEdge(
+          static_cast<NodeId>(u), [&sink, u](NodeId v, float w) {
+            return sink.Add(static_cast<NodeId>(u), v, w);
+          }));
+    }
+    return Status::OK();
+  }));
+  GraphBuildOptions opts = options;
+  // The stream pipeline's samplers scan in-rows right after compaction;
+  // building eagerly here is strictly cheaper than a lazy EnsureInCsr.
+  opts.build_in_csr = true;
+  return builder.Build(opts);
+}
+
+Status GraphDelta::ResetBase(const Graph& new_base) {
+  if (!new_base.has_in_csr()) {
+    return Status::FailedPrecondition(
+        "GraphDelta::ResetBase requires the new base's in-CSR");
+  }
+  if (new_base.num_nodes() < num_nodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "new base has %zu nodes, delta covers %zu",
+        new_base.num_nodes(), num_nodes()));
+  }
+  base_ = &new_base;
+  out_.clear();
+  in_.clear();
+  added_nodes_ = 0;
+  added_arcs_ = 0;
+  removed_arcs_ = 0;
+  ++version_;
+  return Status::OK();
+}
+
+}  // namespace privim

@@ -1,0 +1,229 @@
+#ifndef PRIVIM_GRAPH_GRAPH_VIEW_H_
+#define PRIVIM_GRAPH_GRAPH_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/graph_delta.h"
+
+namespace privim {
+
+/// The single read seam over a possibly-mutated graph: a `GraphView`
+/// presents either a plain immutable `Graph` or a `Graph` + `GraphDelta`
+/// overlay through one adjacency interface, so no consumer can silently
+/// bypass the delta by reading base rows directly (docs/api.md marks this
+/// type stable; docs/streaming.md has the design).
+///
+/// Ordering contract: `ForEachOutEdge` / `ForEachInEdge` visit neighbors
+/// in strictly ascending id order — the exact order the compacted CSR
+/// would present — by two-pointer-merging the base row (minus removals)
+/// with the overlay's sorted additions. Anything that consumes RNG draws
+/// per visited arc (the RR-sketch generator's per-in-edge Bernoulli
+/// draws) therefore sees a draw sequence bit-identical to running on
+/// `GraphDelta::Compact()`'s output. That equivalence is what makes
+/// incremental sketch repair exact rather than approximate, and it is
+/// pinned by tests/stream/.
+///
+/// Views are cheap value types (two pointers); pass by value or const
+/// reference. The base graph (and delta, when present) must outlive the
+/// view. A view over a delta must use the delta's own base graph.
+class GraphView {
+ public:
+  /// Passthrough view of an immutable graph (no overlay).
+  explicit GraphView(const Graph& base) : base_(&base), delta_(nullptr) {}
+
+  /// View of `base` as mutated by `delta` (nullptr = passthrough).
+  GraphView(const Graph& base, const GraphDelta* delta)
+      : base_(&base), delta_(delta) {
+    PRIVIM_CHECK(delta == nullptr || &delta->base() == &base)
+        << "GraphView delta overlays a different base graph";
+  }
+
+  size_t num_nodes() const {
+    return delta_ != nullptr ? delta_->num_nodes() : base_->num_nodes();
+  }
+  EdgeId num_edges() const {
+    return delta_ != nullptr ? delta_->num_edges() : base_->num_edges();
+  }
+
+  const Graph& base() const { return *base_; }
+  const GraphDelta* delta() const { return delta_; }
+  /// True when reads can diverge from the base (a non-empty overlay).
+  bool has_overlay() const { return delta_ != nullptr && !delta_->empty(); }
+
+  /// True if the arc u -> v is visible through the view.
+  bool HasEdge(NodeId u, NodeId v) const {
+    return delta_ != nullptr ? delta_->HasEdge(u, v)
+                             : base_->HasEdge(u, v);
+  }
+
+  size_t OutDegree(NodeId u) const {
+    if (delta_ == nullptr) return base_->OutDegree(u);
+    size_t deg = u < base_->num_nodes() ? base_->OutDegree(u) : 0;
+    if (const GraphDelta::Row* row = delta_->OutRow(u)) {
+      deg += row->added.size();
+      deg -= row->removed.size();
+    }
+    return deg;
+  }
+  /// Requires the base in-CSR (GraphDelta's constructor enforces it for
+  /// overlaid views; plain views inherit Graph's own check).
+  size_t InDegree(NodeId v) const {
+    if (delta_ == nullptr) return base_->InDegree(v);
+    size_t deg = v < base_->num_nodes() ? base_->InDegree(v) : 0;
+    if (const GraphDelta::Row* row = delta_->InRow(v)) {
+      deg += row->added.size();
+      deg -= row->removed.size();
+    }
+    return deg;
+  }
+
+  /// Visits u's visible out-neighbors as fn(v, weight) in ascending v.
+  /// `fn` may return void, or Status to stop early on error; the loop's
+  /// Status is OK unless `fn` failed.
+  template <typename Fn>
+  Status ForEachOutEdge(NodeId u, Fn&& fn) const {
+    const GraphDelta::Row* row =
+        delta_ != nullptr ? delta_->OutRow(u) : nullptr;
+    const bool in_base = u < base_->num_nodes();
+    if (row == nullptr) {
+      if (!in_base) return Status::OK();  // added node, still isolated
+      return PlainRow(base_->OutNeighbors(u), base_->OutWeights(u), fn);
+    }
+    std::span<const NodeId> ids;
+    std::span<const float> ws;
+    if (in_base) {
+      ids = base_->OutNeighbors(u);
+      ws = base_->OutWeights(u);
+    }
+    return MergeRow(ids, ws, *row, fn);
+  }
+
+  /// Visits v's visible in-neighbors as fn(u, weight) in ascending u.
+  /// Requires the base in-CSR.
+  template <typename Fn>
+  Status ForEachInEdge(NodeId v, Fn&& fn) const {
+    const GraphDelta::Row* row =
+        delta_ != nullptr ? delta_->InRow(v) : nullptr;
+    const bool in_base = v < base_->num_nodes();
+    if (row == nullptr) {
+      if (!in_base) return Status::OK();
+      return PlainRow(base_->InNeighbors(v), base_->InWeights(v), fn);
+    }
+    std::span<const NodeId> ids;
+    std::span<const float> ws;
+    if (in_base) {
+      ids = base_->InNeighbors(v);
+      ws = base_->InWeights(v);
+    }
+    return MergeRow(ids, ws, *row, fn);
+  }
+
+  /// Visits every visible arc as fn(u, v, weight), u ascending then v
+  /// ascending — the view-level analogue of Graph::ForEachEdge. `fn` may
+  /// return void or Status.
+  template <typename Fn>
+  Status ForEachEdge(Fn&& fn) const {
+    const size_t n = num_nodes();
+    for (size_t u = 0; u < n; ++u) {
+      PRIVIM_RETURN_NOT_OK(ForEachOutEdge(
+          static_cast<NodeId>(u), [&fn, u](NodeId v, float w) {
+            return InvokeArc(fn, static_cast<NodeId>(u), v, w);
+          }));
+    }
+    return Status::OK();
+  }
+
+  /// Identity fingerprint for caches keyed on "same view as last time":
+  /// the base graph's fingerprint mixed with the delta's address and
+  /// mutation version, so every overlay mutation changes it. Same
+  /// non-content-hash caveats as Graph::IdentityFingerprint.
+  uint64_t IdentityFingerprint() const {
+    uint64_t h = base_->IdentityFingerprint();
+    if (delta_ != nullptr) {
+      auto mix = [&h](uint64_t x) {
+        h ^= x;
+        h *= 0x100000001b3ULL;
+      };
+      mix(reinterpret_cast<uintptr_t>(delta_));
+      mix(delta_->version());
+    }
+    return h;
+  }
+
+ private:
+  template <typename Fn>
+  static Status InvokeEdge(Fn& fn, NodeId id, float w) {
+    if constexpr (std::is_void_v<std::invoke_result_t<Fn&, NodeId, float>>) {
+      fn(id, w);
+      return Status::OK();
+    } else {
+      return fn(id, w);
+    }
+  }
+  template <typename Fn>
+  static Status InvokeArc(Fn& fn, NodeId u, NodeId v, float w) {
+    if constexpr (std::is_void_v<
+                      std::invoke_result_t<Fn&, NodeId, NodeId, float>>) {
+      fn(u, v, w);
+      return Status::OK();
+    } else {
+      return fn(u, v, w);
+    }
+  }
+
+  template <typename Fn>
+  static Status PlainRow(std::span<const NodeId> ids,
+                         std::span<const float> ws, Fn& fn) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      PRIVIM_RETURN_NOT_OK(InvokeEdge(fn, ids[i], ws[i]));
+    }
+    return Status::OK();
+  }
+
+  /// Two-pointer merge of a base row (skipping `row.removed`) with
+  /// `row.added`. The delta invariants make the two sides disjoint, so
+  /// the output is strictly ascending — no equal-key case exists.
+  template <typename Fn>
+  static Status MergeRow(std::span<const NodeId> ids,
+                         std::span<const float> ws,
+                         const GraphDelta::Row& row, Fn& fn) {
+    size_t bi = 0;
+    size_t ai = 0;
+    size_t ri = 0;
+    while (bi < ids.size() || ai < row.added.size()) {
+      if (bi < ids.size()) {
+        while (ri < row.removed.size() && row.removed[ri] < ids[bi]) ++ri;
+        if (ri < row.removed.size() && row.removed[ri] == ids[bi]) {
+          ++bi;
+          ++ri;
+          continue;
+        }
+      }
+      const bool take_base =
+          bi < ids.size() &&
+          (ai >= row.added.size() || ids[bi] < row.added[ai].first);
+      if (take_base) {
+        PRIVIM_RETURN_NOT_OK(InvokeEdge(fn, ids[bi], ws[bi]));
+        ++bi;
+      } else {
+        PRIVIM_RETURN_NOT_OK(
+            InvokeEdge(fn, row.added[ai].first, row.added[ai].second));
+        ++ai;
+      }
+    }
+    return Status::OK();
+  }
+
+  const Graph* base_;
+  const GraphDelta* delta_;
+};
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_GRAPH_VIEW_H_

@@ -1,0 +1,139 @@
+#include "graph/update_stream.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace privim {
+namespace {
+
+void SortUnique(std::vector<NodeId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+bool IsSkippableApply(const Status& s) {
+  return s.code() == StatusCode::kAlreadyExists ||
+         s.code() == StatusCode::kNotFound;
+}
+
+}  // namespace
+
+Result<ApplyEffects> ApplyUpdateBatch(GraphDelta& delta,
+                                      const UpdateBatch& batch) {
+  ApplyEffects fx;
+  for (const UpdateEvent& ev : batch.events) {
+    switch (ev.kind) {
+      case UpdateKind::kAddEdge:
+      case UpdateKind::kRemoveEdge: {
+        const Status st = ev.kind == UpdateKind::kAddEdge
+                              ? delta.AddEdge(ev.u, ev.v, ev.weight)
+                              : delta.RemoveEdge(ev.u, ev.v);
+        if (st.ok()) {
+          fx.changed_out_rows.push_back(ev.u);
+          fx.changed_in_rows.push_back(ev.v);
+          ++fx.changed_arcs;
+          ++fx.applied_events;
+        } else if (IsSkippableApply(st)) {
+          ++fx.skipped_events;
+        } else {
+          return st;
+        }
+        break;
+      }
+      case UpdateKind::kAddNode: {
+        Result<NodeId> id = delta.AddNode();
+        PRIVIM_RETURN_NOT_OK(id.status());
+        fx.node_count_changed = true;
+        ++fx.applied_events;
+        break;
+      }
+      case UpdateKind::kRemoveNode: {
+        if (ev.u >= delta.num_nodes()) {
+          return Status::OutOfRange(
+              StrFormat("remove-node %u out of range for %zu nodes", ev.u,
+                        delta.num_nodes()));
+        }
+        // Collect the doomed arcs BEFORE removal: they name exactly the
+        // rows the isolation will change.
+        const GraphView view(delta.base(), &delta);
+        std::vector<NodeId> outs;
+        std::vector<NodeId> ins;
+        view.ForEachOutEdge(ev.u, [&outs](NodeId v, float) {
+          outs.push_back(v);
+        });
+        view.ForEachInEdge(ev.u, [&ins](NodeId s, float) {
+          ins.push_back(s);
+        });
+        if (outs.empty() && ins.empty()) {
+          ++fx.skipped_events;  // already isolated
+          break;
+        }
+        PRIVIM_RETURN_NOT_OK(delta.RemoveNode(ev.u));
+        fx.changed_out_rows.push_back(ev.u);
+        fx.changed_in_rows.push_back(ev.u);
+        for (NodeId v : outs) fx.changed_in_rows.push_back(v);
+        for (NodeId s : ins) fx.changed_out_rows.push_back(s);
+        fx.changed_arcs += outs.size() + ins.size();
+        ++fx.applied_events;
+        break;
+      }
+    }
+  }
+  SortUnique(fx.changed_out_rows);
+  SortUnique(fx.changed_in_rows);
+  return fx;
+}
+
+UpdateBatch MakeSyntheticBatch(const GraphView& view, uint64_t batch_index,
+                               uint64_t stream_seed,
+                               const StreamGenConfig& config) {
+  UpdateBatch batch;
+  batch.index = batch_index;
+  batch.events.reserve(config.events_per_batch);
+  Rng rng = Rng::FromStreamKey(stream_seed, batch_index);
+  const size_t n = view.num_nodes();
+  for (size_t i = 0; i < config.events_per_batch; ++i) {
+    const int64_t ts = static_cast<int64_t>(
+        batch_index * config.events_per_batch + i);
+    const double roll = rng.Uniform();
+    if (roll < config.add_node_fraction) {
+      batch.events.push_back(
+          UpdateEvent{UpdateKind::kAddNode, 0, 0, 1.0f, ts});
+      continue;
+    }
+    if (roll < config.add_node_fraction + config.remove_node_fraction) {
+      const NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+      batch.events.push_back(
+          UpdateEvent{UpdateKind::kRemoveNode, u, 0, 1.0f, ts});
+      continue;
+    }
+    if (n < 2) continue;  // edge events need two distinct endpoints
+    const bool add = rng.Uniform() < config.add_fraction;
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    if (!add) {
+      // Remove a uniformly random visible out-arc of u; a source with no
+      // out-arcs degrades the event to an add (keeps batch sizes fixed).
+      const size_t deg = view.OutDegree(u);
+      if (deg > 0) {
+        const size_t pick = rng.UniformInt(deg);
+        NodeId target = u;
+        size_t k = 0;
+        view.ForEachOutEdge(u, [&k, pick, &target](NodeId v, float) {
+          if (k++ == pick) target = v;
+        });
+        batch.events.push_back(
+            UpdateEvent{UpdateKind::kRemoveEdge, u, target, 1.0f, ts});
+        continue;
+      }
+    }
+    // Random non-self endpoint; the apply layer skips duplicates.
+    NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (v == u) v = static_cast<NodeId>((v + 1) % n);
+    const float w = static_cast<float>(rng.Uniform());
+    batch.events.push_back(UpdateEvent{UpdateKind::kAddEdge, u, v, w, ts});
+  }
+  return batch;
+}
+
+}  // namespace privim

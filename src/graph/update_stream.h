@@ -1,0 +1,100 @@
+#ifndef PRIVIM_GRAPH_UPDATE_STREAM_H_
+#define PRIVIM_GRAPH_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph_delta.h"
+#include "graph/graph_view.h"
+
+namespace privim {
+
+/// Timestamped graph-update events — the input language of the dynamic
+/// pipeline (docs/streaming.md). Events are applied to a GraphDelta in
+/// stream order; the apply layer reports exactly which adjacency rows
+/// changed, which drives the incremental RR-sketch / hop-ball repairs.
+
+enum class UpdateKind : uint32_t {
+  kAddEdge = 0,
+  kRemoveEdge = 1,
+  kAddNode = 2,
+  kRemoveNode = 3,
+};
+
+struct UpdateEvent {
+  UpdateKind kind = UpdateKind::kAddEdge;
+  /// Edge endpoints for kAddEdge/kRemoveEdge; `u` is the node for
+  /// kRemoveNode; both ignored for kAddNode (ids are assigned densely).
+  NodeId u = 0;
+  NodeId v = 0;
+  float weight = 1.0f;
+  /// Event time (opaque to the pipeline beyond ordering; the drivers use
+  /// a per-event sequence number).
+  int64_t timestamp = 0;
+
+  bool operator==(const UpdateEvent&) const = default;
+};
+
+/// One replay unit: the pipeline applies a batch, repairs caches, checks
+/// the retrain policy, and commits a checkpoint — batch boundaries are the
+/// stream's only commit points.
+struct UpdateBatch {
+  uint64_t index = 0;
+  std::vector<UpdateEvent> events;
+};
+
+/// What applying a batch changed — the exact inputs of the invalidation
+/// pass (RrSketch::Repair wants changed *in*-rows, HopBallCache wants
+/// changed *out*-rows) and of the drift-triggered retrain policy.
+struct ApplyEffects {
+  /// Nodes whose out-/in-adjacency rows differ from before the batch;
+  /// sorted, duplicate-free.
+  std::vector<NodeId> changed_out_rows;
+  std::vector<NodeId> changed_in_rows;
+  /// Arc mutations applied (each edge add/remove counts one; a node
+  /// removal counts every arc it drops).
+  uint64_t changed_arcs = 0;
+  uint64_t applied_events = 0;
+  /// Events that were visible no-ops (adding an arc that already exists,
+  /// removing one that does not). Real streams carry these; they are
+  /// counted and skipped, never errors.
+  uint64_t skipped_events = 0;
+  /// True when the node count changed (forces a full sketch rebuild —
+  /// every RR target draw shifts).
+  bool node_count_changed = false;
+};
+
+/// Applies `batch` to `delta` in event order. Out-of-range endpoints,
+/// self-loops, and bad weights fail the whole batch (a malformed stream
+/// should stop the pipeline, not half-apply); already-exists / not-found
+/// conditions are counted as skipped.
+Result<ApplyEffects> ApplyUpdateBatch(GraphDelta& delta,
+                                      const UpdateBatch& batch);
+
+/// Synthetic update-stream generator for drivers, benches, and tests.
+struct StreamGenConfig {
+  size_t events_per_batch = 64;
+  /// Fraction of events that add an edge; the rest remove one (an
+  /// existing visible arc when the sampled source has any, otherwise the
+  /// event degrades to an add).
+  double add_fraction = 0.6;
+  /// Fraction of events that add / isolate a node (carved out of the edge
+  /// fractions; both default off).
+  double add_node_fraction = 0.0;
+  double remove_node_fraction = 0.0;
+};
+
+/// Batch `batch_index` of the synthetic stream: a pure function of
+/// (view content, batch_index, stream_seed, config) via
+/// Rng::FromStreamKey(stream_seed, batch_index) — no generator state to
+/// checkpoint, so a resumed pipeline regenerates the exact forward stream
+/// from its batch counter alone (docs/streaming.md).
+UpdateBatch MakeSyntheticBatch(const GraphView& view, uint64_t batch_index,
+                               uint64_t stream_seed,
+                               const StreamGenConfig& config);
+
+}  // namespace privim
+
+#endif  // PRIVIM_GRAPH_UPDATE_STREAM_H_

@@ -15,13 +15,13 @@ namespace {
 // `active` is the workspace's stamped membership set, logically empty
 // after its Reset here. The frontier is a grow-only vector consumed
 // through a cursor — same FIFO order as a queue, no per-pop bookkeeping.
-size_t SeedState(const Graph& g, std::span<const NodeId> seeds,
+size_t SeedState(size_t num_nodes, std::span<const NodeId> seeds,
                  VisitedSet& active, std::vector<uint32_t>& frontier) {
-  active.Reset(g.num_nodes());
+  active.Reset(num_nodes);
   frontier.clear();
   size_t count = 0;
   for (NodeId s : seeds) {
-    PRIVIM_CHECK_LT(s, g.num_nodes());
+    PRIVIM_CHECK_LT(s, num_nodes);
     if (!active.Contains(s)) {
       active.Insert(s);
       frontier.push_back(s);
@@ -33,7 +33,17 @@ size_t SeedState(const Graph& g, std::span<const NodeId> seeds,
 
 }  // namespace
 
+// All cores run on GraphView — the single read seam over a possibly-
+// mutated graph (diffusion.h). The Graph overloads wrap the argument in a
+// passthrough view, whose row iteration is the plain CSR loop: same
+// neighbor order, same RNG draws, same results as the pre-view code.
+
 size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps) {
+  return SimulateIcCascade(GraphView(g), seeds, rng, max_steps);
+}
+
+size_t SimulateIcCascade(const GraphView& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps) {
   Workspace ws;
   return SimulateIcCascade(g, seeds, rng, max_steps, ws);
@@ -41,9 +51,14 @@ size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
 
 size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps, Workspace& ws) {
+  return SimulateIcCascade(GraphView(g), seeds, rng, max_steps, ws);
+}
+
+size_t SimulateIcCascade(const GraphView& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps, Workspace& ws) {
   VisitedSet& active = ws.visited;
   std::vector<uint32_t>& frontier = ws.frontier;
-  size_t count = SeedState(g, seeds, active, frontier);
+  size_t count = SeedState(g.num_nodes(), seeds, active, frontier);
 
   size_t cursor = 0;
   int step = 0;
@@ -51,23 +66,27 @@ size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
     ++step;
     const size_t layer_end = frontier.size();
     for (; cursor < layer_end; ++cursor) {
-      const NodeId u = frontier[cursor];
-      auto nbrs = g.OutNeighbors(u);
-      auto wts = g.OutWeights(u);
-      for (size_t k = 0; k < nbrs.size(); ++k) {
-        const NodeId v = nbrs[k];
-        if (!active.Contains(v) && rng.Bernoulli(wts[k])) {
-          active.Insert(v);
-          frontier.push_back(v);
-          ++count;
-        }
-      }
+      g.ForEachOutEdge(frontier[cursor],
+                       [&active, &frontier, &rng, &count](NodeId v, float w) {
+                         if (!active.Contains(v) && rng.Bernoulli(w)) {
+                           active.Insert(v);
+                           frontier.push_back(v);
+                           ++count;
+                         }
+                       });
     }
   }
   return count;
 }
 
 double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
+                        size_t trials, Rng& rng, int max_steps,
+                        size_t num_threads, WorkspacePool* workspaces) {
+  return EstimateIcSpread(GraphView(g), seeds, trials, rng, max_steps,
+                          num_threads, workspaces);
+}
+
+double EstimateIcSpread(const GraphView& g, std::span<const NodeId> seeds,
                         size_t trials, Rng& rng, int max_steps,
                         size_t num_threads, WorkspacePool* workspaces) {
   PRIVIM_CHECK_GT(trials, 0u);
@@ -98,6 +117,11 @@ double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
 
 size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
                              int steps) {
+  return ExactUnitWeightSpread(GraphView(g), seeds, steps);
+}
+
+size_t ExactUnitWeightSpread(const GraphView& g,
+                             std::span<const NodeId> seeds, int steps) {
   PRIVIM_CHECK_GE(steps, 0);
   std::vector<uint8_t> active(g.num_nodes(), 0);
   std::vector<NodeId> frontier;
@@ -113,13 +137,13 @@ size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
   for (int h = 0; h < steps && !frontier.empty(); ++h) {
     std::vector<NodeId> next;
     for (NodeId u : frontier) {
-      for (NodeId v : g.OutNeighbors(u)) {
+      g.ForEachOutEdge(u, [&active, &next, &count](NodeId v, float) {
         if (!active[v]) {
           active[v] = 1;
           next.push_back(v);
           ++count;
         }
-      }
+      });
     }
     frontier = std::move(next);
   }
@@ -128,23 +152,30 @@ size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
 
 size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
                              int steps, Workspace& ws) {
+  return ExactUnitWeightSpread(GraphView(g), seeds, steps, ws);
+}
+
+size_t ExactUnitWeightSpread(const GraphView& g,
+                             std::span<const NodeId> seeds, int steps,
+                             Workspace& ws) {
   PRIVIM_CHECK_GE(steps, 0);
   VisitedSet& active = ws.visited;
   std::vector<uint32_t>& frontier = ws.frontier;
-  size_t count = SeedState(g, seeds, active, frontier);
+  size_t count = SeedState(g.num_nodes(), seeds, active, frontier);
   // Same layered BFS as the allocating form, expressed with the cursor
   // idiom of SimulateIcCascade: frontier[cursor, layer_end) is hop h.
   size_t cursor = 0;
   for (int h = 0; h < steps && cursor < frontier.size(); ++h) {
     const size_t layer_end = frontier.size();
     for (; cursor < layer_end; ++cursor) {
-      for (NodeId v : g.OutNeighbors(frontier[cursor])) {
-        if (!active.Contains(v)) {
-          active.Insert(v);
-          frontier.push_back(v);
-          ++count;
-        }
-      }
+      g.ForEachOutEdge(frontier[cursor],
+                       [&active, &frontier, &count](NodeId v, float) {
+                         if (!active.Contains(v)) {
+                           active.Insert(v);
+                           frontier.push_back(v);
+                           ++count;
+                         }
+                       });
     }
   }
   return count;
@@ -152,11 +183,21 @@ size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
 
 size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps) {
+  return SimulateLtCascade(GraphView(g), seeds, rng, max_steps);
+}
+
+size_t SimulateLtCascade(const GraphView& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps) {
   Workspace ws;
   return SimulateLtCascade(g, seeds, rng, max_steps, ws);
 }
 
 size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps, Workspace& ws) {
+  return SimulateLtCascade(GraphView(g), seeds, rng, max_steps, ws);
+}
+
+size_t SimulateLtCascade(const GraphView& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps, Workspace& ws) {
   // Thresholds are drawn for every node, in node order, regardless of how
   // far the cascade reaches — the draw sequence is part of the simulator's
@@ -167,7 +208,7 @@ size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
   for (double& t : threshold) t = rng.Uniform();
   VisitedSet& active = ws.visited;
   std::vector<uint32_t>& frontier = ws.frontier;
-  size_t count = SeedState(g, seeds, active, frontier);
+  size_t count = SeedState(g.num_nodes(), seeds, active, frontier);
 
   // Sparse incoming-weight accumulator: absent entries read as 0.
   VisitedMap<double>& incoming = ws.incoming;
@@ -180,15 +221,12 @@ size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
     const size_t layer_end = frontier.size();
     touched.clear();
     for (; cursor < layer_end; ++cursor) {
-      const NodeId u = frontier[cursor];
-      auto nbrs = g.OutNeighbors(u);
-      auto wts = g.OutWeights(u);
-      for (size_t k = 0; k < nbrs.size(); ++k) {
-        const NodeId v = nbrs[k];
-        if (active.Contains(v)) continue;
-        incoming.Set(v, incoming.GetOr(v, 0.0) + wts[k]);
-        touched.push_back(v);
-      }
+      g.ForEachOutEdge(frontier[cursor],
+                       [&active, &incoming, &touched](NodeId v, float w) {
+                         if (active.Contains(v)) return;
+                         incoming.Set(v, incoming.GetOr(v, 0.0) + w);
+                         touched.push_back(v);
+                       });
     }
     for (NodeId v : touched) {
       if (!active.Contains(v) && incoming.Get(v) >= threshold[v]) {
@@ -202,6 +240,12 @@ size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
 }
 
 size_t SimulateSisCascade(const Graph& g, std::span<const NodeId> seeds,
+                          double recovery_prob, int max_steps, Rng& rng) {
+  return SimulateSisCascade(GraphView(g), seeds, recovery_prob, max_steps,
+                            rng);
+}
+
+size_t SimulateSisCascade(const GraphView& g, std::span<const NodeId> seeds,
                           double recovery_prob, int max_steps, Rng& rng) {
   PRIVIM_CHECK_GE(max_steps, 0);
   std::vector<uint8_t> infected(g.num_nodes(), 0);
@@ -219,18 +263,16 @@ size_t SimulateSisCascade(const Graph& g, std::span<const NodeId> seeds,
     std::vector<uint8_t> next = infected;
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
       if (!infected[u]) continue;
-      auto nbrs = g.OutNeighbors(u);
-      auto ws = g.OutWeights(u);
-      for (size_t k = 0; k < nbrs.size(); ++k) {
-        const NodeId v = nbrs[k];
-        if (!next[v] && rng.Bernoulli(ws[k])) {
+      g.ForEachOutEdge(u, [&next, &ever, &ever_count, &rng](NodeId v,
+                                                            float w) {
+        if (!next[v] && rng.Bernoulli(w)) {
           next[v] = 1;
           if (!ever[v]) {
             ever[v] = 1;
             ++ever_count;
           }
         }
-      }
+      });
       if (rng.Bernoulli(recovery_prob)) next[u] = 0;
     }
     infected = std::move(next);

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "runtime/scratch.h"
 
 namespace privim {
@@ -21,6 +22,13 @@ namespace privim {
 /// parallel slot — and accepts an optional caller-owned pool so repeated
 /// estimates (the Monte-Carlo oracle inside CELF) reuse memory across
 /// calls. See docs/performance.md.
+///
+/// Every simulator also takes a `GraphView`, the single read seam over a
+/// possibly-mutated graph (graph/graph_view.h): the `Graph` overloads are
+/// thin wrappers over the view cores, so no diffusion path can read base
+/// adjacency in a way that bypasses a `GraphDelta` overlay. A view with no
+/// overlay consumes RNG draws in exactly the historical order — the golden
+/// determinism tests still pin the same outputs.
 
 /// One Monte-Carlo IC cascade from `seeds`; returns the number of activated
 /// nodes (including seeds). `max_steps < 0` means run to quiescence;
@@ -28,10 +36,14 @@ namespace privim {
 /// evaluation uses j = 1).
 size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps = -1);
+size_t SimulateIcCascade(const GraphView& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps = -1);
 
 /// As above, against reusable scratch: bit-identical to the allocating
 /// form for the same `rng` state.
 size_t SimulateIcCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps, Workspace& ws);
+size_t SimulateIcCascade(const GraphView& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps, Workspace& ws);
 
 /// Monte-Carlo estimate of the IC influence spread I(S, G): the mean
@@ -46,6 +58,10 @@ double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
                         size_t trials, Rng& rng, int max_steps = -1,
                         size_t num_threads = 0,
                         WorkspacePool* workspaces = nullptr);
+double EstimateIcSpread(const GraphView& g, std::span<const NodeId> seeds,
+                        size_t trials, Rng& rng, int max_steps = -1,
+                        size_t num_threads = 0,
+                        WorkspacePool* workspaces = nullptr);
 
 /// Exact influence spread for the deterministic special case where every
 /// edge weight is 1 and the cascade runs `steps` rounds: the size of the
@@ -53,6 +69,8 @@ double EstimateIcSpread(const Graph& g, std::span<const NodeId> seeds,
 /// setting (w_uv = 1, j = 1 => |S ∪ N_out(S)|), free of MC variance.
 size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
                              int steps = 1);
+size_t ExactUnitWeightSpread(const GraphView& g,
+                             std::span<const NodeId> seeds, int steps = 1);
 
 /// As above, against reusable scratch (ws.visited + ws.frontier):
 /// identical count, but the per-call O(num_nodes) bitmap initialization
@@ -60,16 +78,23 @@ size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
 /// (src/serve/) runs on its allocation-free steady-state query path.
 size_t ExactUnitWeightSpread(const Graph& g, std::span<const NodeId> seeds,
                              int steps, Workspace& ws);
+size_t ExactUnitWeightSpread(const GraphView& g,
+                             std::span<const NodeId> seeds, int steps,
+                             Workspace& ws);
 
 /// One cascade under the Linear Threshold model: node thresholds are drawn
 /// uniformly from [0,1]; a node activates when the weight sum of its active
 /// in-neighbors reaches its threshold. Returns activated count.
 size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps = -1);
+size_t SimulateLtCascade(const GraphView& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps = -1);
 
 /// As above, against reusable scratch: bit-identical to the allocating
 /// form for the same `rng` state.
 size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
+                         Rng& rng, int max_steps, Workspace& ws);
+size_t SimulateLtCascade(const GraphView& g, std::span<const NodeId> seeds,
                          Rng& rng, int max_steps, Workspace& ws);
 
 /// SIS epidemic: infected nodes infect out-neighbors with the edge weight
@@ -77,6 +102,8 @@ size_t SimulateLtCascade(const Graph& g, std::span<const NodeId> seeds,
 /// Returns the total number of distinct nodes ever infected within
 /// `max_steps` rounds.
 size_t SimulateSisCascade(const Graph& g, std::span<const NodeId> seeds,
+                          double recovery_prob, int max_steps, Rng& rng);
+size_t SimulateSisCascade(const GraphView& g, std::span<const NodeId> seeds,
                           double recovery_prob, int max_steps, Rng& rng);
 
 }  // namespace privim

@@ -9,29 +9,94 @@
 #include "runtime/scratch.h"
 
 namespace privim {
+namespace {
 
-Result<RrSketch> RrSketch::Generate(const Graph& g, size_t count, Rng& rng,
-                                    size_t num_threads) {
+/// One reverse-BFS RR sample into ws.nodes. The view's in-edge merge
+/// presents sources in the same ascending order as the compacted CSR row,
+/// so the per-in-edge Bernoulli draw sequence — and therefore the set —
+/// is bit-identical whether the view wraps a plain graph, an overlay, or
+/// the overlay's compaction.
+void BuildOneRrSet(const GraphView& g, size_t num_nodes, Rng& set_rng,
+                   Workspace& ws) {
+  const NodeId target = static_cast<NodeId>(set_rng.UniformInt(num_nodes));
+  // Reverse BFS along *in*-edges; each edge is live independently with its
+  // IC probability (deferred live-edge sampling). ws.nodes doubles as the
+  // FIFO frontier, consumed through a cursor.
+  ws.nodes.clear();
+  ws.nodes.push_back(target);
+  ws.visited.Reset(num_nodes);
+  ws.visited.Insert(target);
+  for (size_t cursor = 0; cursor < ws.nodes.size(); ++cursor) {
+    const NodeId v = ws.nodes[cursor];
+    g.ForEachInEdge(v, [&ws, &set_rng](NodeId u, float w) {
+      if (!ws.visited.Contains(u) && set_rng.Bernoulli(w)) {
+        ws.visited.Insert(u);
+        ws.nodes.push_back(u);
+      }
+    });
+  }
+}
+
+Status ValidateGenerateArgs(const GraphView& g, size_t count) {
   if (g.num_nodes() == 0) {
     return Status::InvalidArgument("graph has no nodes");
   }
   if (count == 0) {
     return Status::InvalidArgument("RR set count must be positive");
   }
-  if (!g.has_in_csr()) {
+  if (!g.base().has_in_csr()) {
     return Status::FailedPrecondition(
         "RR-set generation walks in-edges; call Graph::EnsureInCsr() on "
         "graphs built without the in-CSR");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RrSketch> RrSketch::Generate(const Graph& g, size_t count, Rng& rng,
+                                    size_t num_threads) {
+  return Generate(GraphView(g), count, rng, num_threads);
+}
+
+Result<RrSketch> RrSketch::Generate(const GraphView& g, size_t count,
+                                    Rng& rng, size_t num_threads) {
+  // Validate before constructing the streams: the parent draw is consumed
+  // only on (potential) success, as the pre-GraphView implementation did.
+  PRIVIM_RETURN_NOT_OK(ValidateGenerateArgs(g, count));
+  RngStreams streams(rng);
+  return GenerateImpl(g, count, streams.base_key(), num_threads);
+}
+
+Result<RrSketch> RrSketch::Regenerate(const GraphView& g, size_t count,
+                                      uint64_t stream_base,
+                                      size_t num_threads) {
+  return GenerateImpl(g, count, stream_base, num_threads);
+}
+
+Result<RrSketch> RrSketch::GenerateImpl(const GraphView& g, size_t count,
+                                        uint64_t stream_base,
+                                        size_t num_threads) {
+  PRIVIM_RETURN_NOT_OK(ValidateGenerateArgs(g, count));
   RrSketch sketch;
   sketch.num_nodes_ = g.num_nodes();
+  sketch.stream_base_ = stream_base;
   sketch.sets_.resize(count);
-  sketch.node_to_sets_.resize(g.num_nodes());
 
   // RR sets are independent given their child streams; the inverted index
   // is built serially in set order below, so the sketch is a pure function
-  // of (graph, seed) regardless of the thread count.
-  RngStreams streams(rng);
+  // of (graph, stream_base) regardless of the thread count.
+  std::vector<uint32_t> all_sets(count);
+  for (size_t s = 0; s < count; ++s) all_sets[s] = static_cast<uint32_t>(s);
+  sketch.RebuildSets(g, all_sets, num_threads);
+  sketch.RebuildInvertedIndex();
+  return sketch;
+}
+
+void RrSketch::RebuildSets(const GraphView& g,
+                           std::span<const uint32_t> set_ids,
+                           size_t num_threads) {
+  const RngStreams streams = RngStreams::FromBaseKey(stream_base_);
   const size_t threads = ResolveNumThreads(num_threads);
   ThreadPool* pool = SharedPool(threads);
   const size_t num_slots = pool == nullptr ? 1 : threads;
@@ -39,42 +104,70 @@ Result<RrSketch> RrSketch::Generate(const Graph& g, size_t count, Rng& rng,
   // is O(1) instead of the O(n) re-zero that used to dominate small sets.
   WorkspacePool workspaces;
   workspaces.EnsureSlots(num_slots);
+  const size_t num_nodes = g.num_nodes();
 
   ParallelForWithSlots(
-      pool, 0, count, /*grain=*/8, num_slots,
-      [&](size_t s, size_t slot) {
+      pool, 0, set_ids.size(), /*grain=*/8, num_slots,
+      [&](size_t i, size_t slot) {
+        const uint32_t s = set_ids[i];
         Rng set_rng = streams.Stream(s);
         Workspace& ws = workspaces.Acquire(slot);
-        const NodeId target =
-            static_cast<NodeId>(set_rng.UniformInt(g.num_nodes()));
-        // Reverse BFS along *in*-edges; each edge is live independently
-        // with its IC probability (deferred live-edge sampling). ws.nodes
-        // doubles as the FIFO frontier, consumed through a cursor.
-        ws.nodes.clear();
-        ws.nodes.push_back(target);
-        ws.visited.Reset(g.num_nodes());
-        ws.visited.Insert(target);
-        for (size_t cursor = 0; cursor < ws.nodes.size(); ++cursor) {
-          const NodeId v = ws.nodes[cursor];
-          auto sources = g.InNeighbors(v);
-          auto weights = g.InWeights(v);
-          for (size_t i = 0; i < sources.size(); ++i) {
-            const NodeId u = sources[i];
-            if (!ws.visited.Contains(u) && set_rng.Bernoulli(weights[i])) {
-              ws.visited.Insert(u);
-              ws.nodes.push_back(u);
-            }
-          }
-        }
-        sketch.sets_[s].assign(ws.nodes.begin(), ws.nodes.end());
+        BuildOneRrSet(g, num_nodes, set_rng, ws);
+        sets_[s].assign(ws.nodes.begin(), ws.nodes.end());
       });
+}
 
-  for (size_t s = 0; s < count; ++s) {
-    for (NodeId u : sketch.sets_[s]) {
-      sketch.node_to_sets_[u].push_back(static_cast<uint32_t>(s));
+void RrSketch::RebuildInvertedIndex() {
+  node_to_sets_.assign(num_nodes_, {});
+  for (size_t s = 0; s < sets_.size(); ++s) {
+    for (NodeId u : sets_[s]) {
+      node_to_sets_[u].push_back(static_cast<uint32_t>(s));
     }
   }
-  return sketch;
+}
+
+Result<size_t> RrSketch::Repair(const GraphView& g,
+                                std::span<const NodeId> changed_in_rows,
+                                size_t num_threads) {
+  if (sets_.empty()) {
+    return Status::FailedPrecondition("cannot repair an empty sketch");
+  }
+  if (g.num_nodes() != num_nodes_) {
+    // Every set's target draw is UniformInt(num_nodes): a node-count
+    // change shifts all of them, so the only stream-faithful repair is a
+    // full rebuild from the original base key.
+    Result<RrSketch> rebuilt =
+        Regenerate(g, sets_.size(), stream_base_, num_threads);
+    PRIVIM_RETURN_NOT_OK(rebuilt.status());
+    *this = std::move(rebuilt).ValueOrDie();
+    return sets_.size();
+  }
+  if (changed_in_rows.empty()) return size_t{0};
+
+  std::vector<uint8_t> changed(num_nodes_, 0);
+  for (NodeId v : changed_in_rows) {
+    if (v >= num_nodes_) {
+      return Status::OutOfRange(StrFormat(
+          "changed in-row %u out of range for %zu nodes", v, num_nodes_));
+    }
+    changed[v] = 1;
+  }
+  // A set replays its draws identically unless it visited a node whose
+  // in-row changed (rr_sets.h has the argument), so those are exactly the
+  // sets to regenerate.
+  std::vector<uint32_t> dirty;
+  for (size_t s = 0; s < sets_.size(); ++s) {
+    for (NodeId u : sets_[s]) {
+      if (changed[u]) {
+        dirty.push_back(static_cast<uint32_t>(s));
+        break;
+      }
+    }
+  }
+  if (dirty.empty()) return size_t{0};
+  RebuildSets(g, dirty, num_threads);
+  RebuildInvertedIndex();
+  return dirty.size();
 }
 
 double RrSketch::EstimateSpread(const std::vector<NodeId>& seeds) const {

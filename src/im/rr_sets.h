@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "runtime/scratch.h"
 
 namespace privim {
@@ -34,6 +35,45 @@ class RrSketch {
   static Result<RrSketch> Generate(const Graph& g, size_t count, Rng& rng,
                                    size_t num_threads = 0);
 
+  /// As above over a GraphView (base graph + optional GraphDelta overlay).
+  /// The view's in-edge merge presents sources in the same ascending order
+  /// the compacted graph would, so the sketch is bit-identical to
+  /// generating on `GraphDelta::Compact()`'s output with the same rng.
+  static Result<RrSketch> Generate(const GraphView& g, size_t count,
+                                   Rng& rng, size_t num_threads = 0);
+
+  /// Rebuilds a sketch from a saved `stream_base()` WITHOUT consuming a
+  /// parent draw — the checkpoint/resume path, and the reference
+  /// "from-scratch rebuild at the same RNG stream" the incremental Repair
+  /// below is tested bit-identical against.
+  static Result<RrSketch> Regenerate(const GraphView& g, size_t count,
+                                     uint64_t stream_base,
+                                     size_t num_threads = 0);
+
+  /// Incrementally repairs the sketch after the viewed graph changed.
+  /// `changed_in_rows` lists the nodes whose *in*-rows differ from the
+  /// graph this sketch was generated (or last repaired) on.
+  ///
+  /// Invalidation rule (docs/streaming.md): RR set s consumes RNG draws
+  /// only for the in-edges of its visited nodes, in visit order, from its
+  /// private child stream `FromStreamKey(stream_base, s)`. A set is
+  /// therefore stale iff it contains a node whose in-row changed — new
+  /// arcs into an unvisited node cannot affect it, and untouched sets
+  /// replay their draws identically. Stale sets are regenerated from
+  /// their original child streams, so the repaired sketch is bit-identical
+  /// to Regenerate(g, num_sets, stream_base) from scratch. A node-count
+  /// change rebuilds everything (every set's target draw shifts).
+  ///
+  /// Returns the number of sets regenerated (== num_sets() on a full
+  /// rebuild) — the O(ball) locality metric BM_StreamUpdate gates on.
+  Result<size_t> Repair(const GraphView& g,
+                        std::span<const NodeId> changed_in_rows,
+                        size_t num_threads = 0);
+
+  /// The substream base key this sketch's sets were drawn from
+  /// (checkpointed by the stream pipeline; feed back into Regenerate).
+  uint64_t stream_base() const { return stream_base_; }
+
   size_t num_sets() const { return sets_.size(); }
   size_t num_nodes() const { return num_nodes_; }
   const std::vector<std::vector<NodeId>>& sets() const { return sets_; }
@@ -54,7 +94,19 @@ class RrSketch {
   Result<std::vector<NodeId>> SelectSeeds(size_t k) const;
 
  private:
+  /// Shared backend of Generate/Regenerate: samples sets [0, count) from
+  /// the child streams of `stream_base`.
+  static Result<RrSketch> GenerateImpl(const GraphView& g, size_t count,
+                                       uint64_t stream_base,
+                                       size_t num_threads);
+  /// Regenerates the listed sets from their child streams and rebuilds
+  /// the inverted index.
+  void RebuildSets(const GraphView& g, std::span<const uint32_t> set_ids,
+                   size_t num_threads);
+  void RebuildInvertedIndex();
+
   size_t num_nodes_ = 0;
+  uint64_t stream_base_ = 0;
   std::vector<std::vector<NodeId>> sets_;
   /// For each node, the indices of RR sets containing it (inverted index).
   std::vector<std::vector<uint32_t>> node_to_sets_;

@@ -1,6 +1,7 @@
 #ifndef PRIVIM_RUNTIME_SCRATCH_H_
 #define PRIVIM_RUNTIME_SCRATCH_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -153,6 +154,39 @@ class HopBallCache {
   /// the victim's storage is what keeps a warm cache allocation-free: the
   /// ball buffers reach steady-state capacity and stay there.
   HopBall& InsertSlot(uint32_t start);
+
+  /// Rebinds the cache to a new graph fingerprint WITHOUT dropping
+  /// entries: the incremental-update handoff. After a graph mutation the
+  /// caller must first drop every affected ball via Invalidate() — a ball
+  /// is affected exactly when it contains a node whose out-row changed
+  /// (expansion only ever scans rows of nodes inside the ball, so changes
+  /// at untouched rows cannot alter it; docs/streaming.md) — then
+  /// Retarget() to the mutated graph's fingerprint so surviving balls are
+  /// served under the new binding. The hop bound is unchanged. Calling
+  /// Bind() with the new fingerprint instead would drop every entry,
+  /// which is always safe but defeats incremental maintenance.
+  void Retarget(uint64_t graph_fingerprint) {
+    fingerprint_ = graph_fingerprint;
+  }
+
+  /// Drops every cached ball that contains a node for which
+  /// `changed(node_id)` returns true (see Retarget for why that is the
+  /// exact affected set). Returns the number of balls dropped.
+  template <typename Pred>
+  size_t Invalidate(Pred&& changed) {
+    const size_t before = entries_.size();
+    entries_.erase(
+        std::remove_if(entries_.begin(), entries_.end(),
+                       [&changed](const Entry& e) {
+                         for (const auto& [node, hop] : e.ball.nodes) {
+                           (void)hop;
+                           if (changed(node)) return true;
+                         }
+                         return false;
+                       }),
+        entries_.end());
+    return before - entries_.size();
+  }
 
   size_t size() const { return entries_.size(); }
   uint64_t hits() const { return hits_; }

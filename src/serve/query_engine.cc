@@ -7,17 +7,16 @@
 
 namespace privim {
 
-QueryEngine::QueryEngine(const Graph& graph) : graph_(graph) {
-  workspaces_.EnsureSlots(1);
-}
+QueryEngine::QueryEngine() { workspaces_.EnsureSlots(1); }
 
-Status QueryEngine::Execute(const ModelSnapshot* snapshot,
+Status QueryEngine::Execute(const Graph& graph,
+                            const ModelSnapshot* snapshot,
                             const RrSketch* sketch,
                             const QueryRequest& request,
                             QueryResponse& response) {
   response.Clear();
   response.type = request.type;
-  PRIVIM_RETURN_NOT_OK(ValidateRequest(request, graph_.num_nodes()));
+  PRIVIM_RETURN_NOT_OK(ValidateRequest(request, graph.num_nodes()));
   switch (request.type) {
     case QueryType::kTopK:
       if (snapshot == nullptr) {
@@ -25,20 +24,21 @@ Status QueryEngine::Execute(const ModelSnapshot* snapshot,
             "topk query needs a model snapshot; load one with "
             "Server::LoadSnapshot before serving");
       }
-      if (snapshot->num_nodes() != graph_.num_nodes()) {
+      if (snapshot->num_nodes() != graph.num_nodes()) {
         return Status::FailedPrecondition(
             "snapshot was compiled against a different graph");
       }
-      return ExecuteTopK(*snapshot, sketch, request, response);
+      return ExecuteTopK(graph, *snapshot, sketch, request, response);
     case QueryType::kSpread:
-      return ExecuteSpread(sketch, request, response);
+      return ExecuteSpread(graph, sketch, request, response);
     case QueryType::kMarginalGain:
-      return ExecuteMarginalGain(sketch, request, response);
+      return ExecuteMarginalGain(graph, sketch, request, response);
   }
   return Status::Internal("unhandled query type");
 }
 
-Status QueryEngine::ExecuteTopK(const ModelSnapshot& snapshot,
+Status QueryEngine::ExecuteTopK(const Graph& graph,
+                                const ModelSnapshot& snapshot,
                                 const RrSketch* sketch,
                                 const QueryRequest& request,
                                 QueryResponse& response) {
@@ -52,7 +52,7 @@ Status QueryEngine::ExecuteTopK(const ModelSnapshot& snapshot,
 
   rank_.clear();
   if (request.candidates.empty()) {
-    for (uint32_t u = 0; u < graph_.num_nodes(); ++u) {
+    for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
       rank_.emplace_back(logits[u], u);
     }
   } else {
@@ -75,27 +75,28 @@ Status QueryEngine::ExecuteTopK(const ModelSnapshot& snapshot,
   }
   PRIVIM_ASSIGN_OR_RETURN(
       response.spread,
-      EstimateSpreadFor(response.seeds, sketch, request,
+      EstimateSpreadFor(graph, response.seeds, sketch, request,
                         /*stream_offset=*/0));
   return Status::OK();
 }
 
-Status QueryEngine::ExecuteSpread(const RrSketch* sketch,
+Status QueryEngine::ExecuteSpread(const Graph& graph, const RrSketch* sketch,
                                   const QueryRequest& request,
                                   QueryResponse& response) {
   PRIVIM_ASSIGN_OR_RETURN(
       response.spread,
-      EstimateSpreadFor(request.seeds, sketch, request,
+      EstimateSpreadFor(graph, request.seeds, sketch, request,
                         /*stream_offset=*/0));
   return Status::OK();
 }
 
-Status QueryEngine::ExecuteMarginalGain(const RrSketch* sketch,
+Status QueryEngine::ExecuteMarginalGain(const Graph& graph,
+                                        const RrSketch* sketch,
                                         const QueryRequest& request,
                                         QueryResponse& response) {
   PRIVIM_ASSIGN_OR_RETURN(
       const double base,
-      EstimateSpreadFor(request.seeds, sketch, request,
+      EstimateSpreadFor(graph, request.seeds, sketch, request,
                         /*stream_offset=*/0));
   seed_buf_.clear();
   seed_buf_.insert(seed_buf_.end(), request.seeds.begin(),
@@ -107,7 +108,7 @@ Status QueryEngine::ExecuteMarginalGain(const RrSketch* sketch,
     // gains are independent of candidate order and worker identity.
     PRIVIM_ASSIGN_OR_RETURN(
         const double with_candidate,
-        EstimateSpreadFor(seed_buf_, sketch, request,
+        EstimateSpreadFor(graph, seed_buf_, sketch, request,
                           (i + 1) * request.trials));
     response.values.push_back(with_candidate - base);
     seed_buf_.pop_back();
@@ -116,22 +117,25 @@ Status QueryEngine::ExecuteMarginalGain(const RrSketch* sketch,
   return Status::OK();
 }
 
-Result<double> QueryEngine::EstimateSpreadFor(std::span<const NodeId> seeds,
+Result<double> QueryEngine::EstimateSpreadFor(const Graph& graph,
+                                              std::span<const NodeId> seeds,
                                               const RrSketch* sketch,
                                               const QueryRequest& request,
                                               uint64_t stream_offset) {
   Workspace& ws = workspaces_.Acquire(0);
+  // The Graph-overload diffusion entry points delegate through GraphView
+  // (im/diffusion.h), so these reads cannot bypass a graph overlay.
   switch (request.estimator) {
     case SpreadEstimator::kExact:
       return static_cast<double>(
-          ExactUnitWeightSpread(graph_, seeds, request.max_steps, ws));
+          ExactUnitWeightSpread(graph, seeds, request.max_steps, ws));
     case SpreadEstimator::kMonteCarloIc: {
       double total = 0.0;
       for (size_t t = 0; t < request.trials; ++t) {
         Rng trial_rng =
             Rng::FromStreamKey(request.seed, stream_offset + t);
         total += static_cast<double>(SimulateIcCascade(
-            graph_, seeds, trial_rng, request.max_steps, ws));
+            graph, seeds, trial_rng, request.max_steps, ws));
       }
       return total / static_cast<double>(request.trials);
     }

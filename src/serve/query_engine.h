@@ -26,8 +26,15 @@ namespace privim {
 ///
 /// Thread-safety: none — one engine per worker slot, exclusive use
 /// (Server guarantees this; the slot protocol of ParallelForWithSlots is
-/// the same idea). The snapshot and sketch arguments are immutable shared
-/// state and safe to read from any number of engines concurrently.
+/// the same idea). The graph, snapshot, and sketch arguments are immutable
+/// shared state and safe to read from any number of engines concurrently.
+///
+/// The graph is an Execute() argument, not a constructor binding, because
+/// the dynamic pipeline hot-swaps the resident graph together with the
+/// model (Server::SwapGraphAndSnapshot): the Server hands each batch one
+/// consistent (graph, snapshot, sketch) triple. All graph reads inside go
+/// through the im/diffusion.h GraphView seam, so an engine pointed at an
+/// overlaid view would see the delta (docs/streaming.md).
 ///
 /// Determinism: every answer is a pure function of (snapshot, resident
 /// graph/sketch, request) — Monte-Carlo trials draw counter-derived
@@ -36,20 +43,22 @@ namespace privim {
 /// what was cached. The hot-swap torture test leans on exactly this.
 class QueryEngine {
  public:
-  /// Borrows `graph`, which must outlive the engine.
-  explicit QueryEngine(const Graph& graph);
+  QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Validates and executes one query, filling `response` (cleared first).
+  /// Validates and executes one query against `graph`, filling `response`
+  /// (cleared first).
   ///
   /// `snapshot` may be null unless the query needs the model (kTopK);
   /// `sketch` may be null unless the request selects the kRrSketch
-  /// estimator. On error the response is left cleared and the status
-  /// explains which precondition failed.
-  Status Execute(const ModelSnapshot* snapshot, const RrSketch* sketch,
-                 const QueryRequest& request, QueryResponse& response);
+  /// estimator. Both must have been built against `graph`. On error the
+  /// response is left cleared and the status explains which precondition
+  /// failed.
+  Status Execute(const Graph& graph, const ModelSnapshot* snapshot,
+                 const RrSketch* sketch, const QueryRequest& request,
+                 QueryResponse& response);
 
   /// Scratch-reuse statistics of the engine's diffusion workspace
   /// (delta since last call); the Server flushes these into the metrics
@@ -59,23 +68,24 @@ class QueryEngine {
   }
 
  private:
-  Status ExecuteTopK(const ModelSnapshot& snapshot, const RrSketch* sketch,
-                     const QueryRequest& request, QueryResponse& response);
-  Status ExecuteSpread(const RrSketch* sketch, const QueryRequest& request,
-                       QueryResponse& response);
-  Status ExecuteMarginalGain(const RrSketch* sketch,
+  Status ExecuteTopK(const Graph& graph, const ModelSnapshot& snapshot,
+                     const RrSketch* sketch, const QueryRequest& request,
+                     QueryResponse& response);
+  Status ExecuteSpread(const Graph& graph, const RrSketch* sketch,
+                       const QueryRequest& request, QueryResponse& response);
+  Status ExecuteMarginalGain(const Graph& graph, const RrSketch* sketch,
                              const QueryRequest& request,
                              QueryResponse& response);
 
   /// Spread of `seeds` under the request's estimator. `stream_offset`
   /// partitions request.seed's stream space between the estimates of one
   /// query (base set vs. each marginal candidate).
-  Result<double> EstimateSpreadFor(std::span<const NodeId> seeds,
+  Result<double> EstimateSpreadFor(const Graph& graph,
+                                   std::span<const NodeId> seeds,
                                    const RrSketch* sketch,
                                    const QueryRequest& request,
                                    uint64_t stream_offset);
 
-  const Graph& graph_;
   /// Diffusion scratch behind a one-slot pool so the stats plumbing
   /// matches the samplers' (WorkspacePool::TakeStats).
   WorkspacePool workspaces_;

@@ -21,6 +21,7 @@ struct Server::ServeMetrics {
   Counter* failed = nullptr;
   Counter* batches = nullptr;
   Counter* snapshot_swaps = nullptr;
+  Counter* graph_swaps = nullptr;
   Gauge* queue_depth = nullptr;
   Histogram* batch_size = nullptr;
   /// End-to-end (queue wait + service) latency per query type, seconds.
@@ -35,6 +36,7 @@ struct Server::ServeMetrics {
     failed = reg.GetCounter("serve.requests.failed");
     batches = reg.GetCounter("serve.batches");
     snapshot_swaps = reg.GetCounter("serve.snapshot_swaps");
+    graph_swaps = reg.GetCounter("serve.graph_swaps");
     queue_depth = reg.GetGauge("serve.queue_depth");
     batch_size =
         reg.GetHistogram("serve.batch_size",
@@ -67,18 +69,19 @@ Server::Server(const Graph& graph, const ServeConfig& config)
       queue_(std::max<size_t>(config.queue_capacity, 1)) {
   engines_.reserve(num_threads_);
   for (size_t i = 0; i < num_threads_; ++i) {
-    engines_.push_back(std::make_unique<QueryEngine>(graph_));
+    engines_.push_back(std::make_unique<QueryEngine>());
   }
-  if (config_.rr_sketch_sets > 0 && graph_.num_nodes() > 0) {
-    Rng sketch_rng(config_.rr_sketch_seed);
-    Result<RrSketch> sketch =
-        RrSketch::Generate(graph_, config_.rr_sketch_sets, sketch_rng,
-                           num_threads_);
-    PRIVIM_CHECK(sketch.ok())
-        << "resident RR sketch generation failed: "
-        << sketch.status().ToString();
-    sketch_ = std::make_unique<RrSketch>(std::move(sketch).ValueOrDie());
-  }
+  auto initial = std::make_shared<ServingState>();
+  // Aliasing non-owning pointer: the construction graph is borrowed (the
+  // caller keeps it alive per the constructor contract); graphs swapped
+  // in later arrive owned by their snapshot.
+  initial->graph = std::shared_ptr<const Graph>(
+      std::shared_ptr<const void>(), &graph_);
+  Result<std::shared_ptr<const RrSketch>> sketch = BuildSketch(graph_);
+  PRIVIM_CHECK(sketch.ok()) << "resident RR sketch generation failed: "
+                            << sketch.status().ToString();
+  initial->sketch = std::move(sketch).ValueOrDie();
+  state_ = std::move(initial);
   if (config_.metrics != nullptr) {
     m_ = std::make_unique<ServeMetrics>(*config_.metrics, config_.max_batch);
   }
@@ -86,9 +89,22 @@ Server::Server(const Graph& graph, const ServeConfig& config)
 
 Server::~Server() { Stop(); }
 
+Result<std::shared_ptr<const RrSketch>> Server::BuildSketch(
+    const Graph& graph) const {
+  if (config_.rr_sketch_sets == 0 || graph.num_nodes() == 0) {
+    return std::shared_ptr<const RrSketch>();
+  }
+  Rng sketch_rng(config_.rr_sketch_seed);
+  PRIVIM_ASSIGN_OR_RETURN(
+      RrSketch sketch,
+      RrSketch::Generate(graph, config_.rr_sketch_sets, sketch_rng,
+                         num_threads_));
+  return std::make_shared<const RrSketch>(std::move(sketch));
+}
+
 Result<uint64_t> Server::LoadSnapshot(const std::string& path) {
   PRIVIM_ASSIGN_OR_RETURN(std::shared_ptr<const ModelSnapshot> snap,
-                          ModelSnapshot::Load(path, graph_));
+                          ModelSnapshot::Load(path, *CurrentState()->graph));
   const uint64_t id = snap->id();
   PRIVIM_RETURN_NOT_OK(SwapSnapshot(std::move(snap)));
   return id;
@@ -98,23 +114,68 @@ Status Server::SwapSnapshot(std::shared_ptr<const ModelSnapshot> snapshot) {
   if (snapshot == nullptr) {
     return Status::InvalidArgument("cannot publish a null snapshot");
   }
-  if (snapshot->num_nodes() != graph_.num_nodes()) {
+  const std::shared_ptr<const ServingState> current = CurrentState();
+  if (snapshot->num_nodes() != current->graph->num_nodes()) {
     return Status::FailedPrecondition(StrFormat(
         "snapshot was compiled against a %zu-node graph, the resident "
         "graph has %zu nodes",
-        snapshot->num_nodes(), graph_.num_nodes()));
+        snapshot->num_nodes(), current->graph->num_nodes()));
   }
-  {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
-    snapshot_ = std::move(snapshot);
-  }
+  auto next = std::make_shared<ServingState>(*current);
+  next->snapshot = std::move(snapshot);
+  Publish(std::move(next));
   if (m_ != nullptr) m_->snapshot_swaps->Add(1);
   return Status::OK();
 }
 
+Status Server::SwapGraphAndSnapshot(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("cannot publish a null snapshot");
+  }
+  std::shared_ptr<const Graph> graph = snapshot->owned_graph();
+  if (graph == nullptr) {
+    return Status::InvalidArgument(
+        "SwapGraphAndSnapshot needs a graph-owning snapshot; build it with "
+        "the shared_ptr<const Graph> FromModel overload");
+  }
+  // Regenerate the resident sketch against the NEW graph before anything
+  // is published — a batch can never pair the new model with the old
+  // topology (or an old sketch).
+  PRIVIM_ASSIGN_OR_RETURN(std::shared_ptr<const RrSketch> sketch,
+                          BuildSketch(*graph));
+  auto next = std::make_shared<ServingState>();
+  next->graph = std::move(graph);
+  next->snapshot = std::move(snapshot);
+  next->sketch = std::move(sketch);
+  Publish(std::move(next));
+  if (m_ != nullptr) {
+    m_->snapshot_swaps->Add(1);
+    m_->graph_swaps->Add(1);
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const Server::ServingState> Server::CurrentState() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+void Server::Publish(std::shared_ptr<const ServingState> next) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  state_ = std::move(next);
+}
+
 std::shared_ptr<const ModelSnapshot> Server::CurrentSnapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  return snapshot_;
+  return CurrentState()->snapshot;
+}
+
+std::shared_ptr<const Graph> Server::CurrentGraph() const {
+  return CurrentState()->graph;
+}
+
+std::shared_ptr<const RrSketch> Server::CurrentSketch() const {
+  return CurrentState()->sketch;
 }
 
 Status Server::Start() {
@@ -190,18 +251,19 @@ void Server::WorkerLoop(size_t slot) {
     batch.clear();
     const size_t n = queue_.PopBatch(batch, max_batch);
     if (n == 0) break;  // Closed and drained.
-    // One snapshot reference per batch: every query in the batch answers
-    // from the same model version, and a concurrent swap only affects
-    // later batches.
-    const std::shared_ptr<const ModelSnapshot> snap = CurrentSnapshot();
+    // One state reference per batch: every query in the batch answers
+    // from the same (graph, model, sketch) triple, and a concurrent swap
+    // only affects later batches.
+    const std::shared_ptr<const ServingState> state = CurrentState();
     if (m_ != nullptr) {
       m_->batches->Add(1);
       m_->batch_size->Observe(static_cast<double>(n));
       m_->queue_depth->Set(static_cast<double>(queue_.size()));
     }
     for (const QueryTicket& ticket : batch) {
-      Status status = engine.Execute(snap.get(), sketch_.get(),
-                                     *ticket.request, *ticket.response);
+      Status status = engine.Execute(*state->graph, state->snapshot.get(),
+                                     state->sketch.get(), *ticket.request,
+                                     *ticket.response);
       if (m_ != nullptr) {
         (status.ok() ? m_->completed : m_->failed)->Add(1);
         Histogram* lat = m_->LatencyFor(ticket.request->type);

@@ -51,14 +51,24 @@ struct ServeConfig {
 ///   ... Query() from any number of client threads ...
 ///   server.Stop();                         // drain, then join
 ///
-/// Hot swap: the current ModelSnapshot lives behind a shared_ptr that
-/// LoadSnapshot/SwapSnapshot replace atomically (readers copy the pointer
-/// under a short critical section — RCU by reference counting). Queries
-/// already executing keep their reference, so they complete on the model
-/// version they started with; the old snapshot is destroyed when its last
-/// in-flight query finishes. Every response records the serving snapshot's
-/// id, making the swap observable and testable (no torn reads: each answer
-/// is the pure function of exactly one snapshot).
+/// Hot swap: the full serving state — resident graph, ModelSnapshot, and
+/// resident RR sketch — lives behind one shared_ptr that LoadSnapshot /
+/// SwapSnapshot / SwapGraphAndSnapshot replace atomically (readers copy
+/// the pointer under a short critical section — RCU by reference
+/// counting). Workers take ONE state reference per batch, so every query
+/// in a batch answers from a consistent (graph, model, sketch) triple;
+/// queries already executing keep their reference, so they complete on
+/// the version they started with, and the retired state (including a
+/// swapped-out graph) is destroyed when its last in-flight query
+/// finishes. Every response records the serving snapshot's id, making the
+/// swap observable and testable (no torn reads: each answer is the pure
+/// function of exactly one state).
+///
+/// Dynamic graphs (docs/streaming.md): SwapGraphAndSnapshot publishes a
+/// graph-owning snapshot, replacing graph and model TOGETHER — the
+/// resident sketch is regenerated against the new graph before anything
+/// becomes visible, so no batch can ever pair the new model with the old
+/// topology or vice versa.
 ///
 /// Queries may be submitted before Start(): they are admitted into the
 /// bounded queue (backpressure applies) and execute once workers exist.
@@ -79,12 +89,32 @@ class Server {
   /// mismatches. The returned id identifies the published snapshot.
   Result<uint64_t> LoadSnapshot(const std::string& path);
 
-  /// Publishes an already-built snapshot (must target the resident
-  /// graph). In-flight queries finish on the previous snapshot.
+  /// Publishes an already-built snapshot (must target the current
+  /// resident graph, which it keeps). In-flight queries finish on the
+  /// previous snapshot.
   Status SwapSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// Publishes a graph-owning snapshot (ModelSnapshot::FromModel with a
+  /// shared graph), replacing the resident graph AND the model in one
+  /// atomic swap; the resident RR sketch (when configured) is regenerated
+  /// against the new graph before publication. Fails with InvalidArgument
+  /// when the snapshot does not own a graph. In-flight queries finish on
+  /// the previous (graph, model, sketch) triple, which stays alive until
+  /// they drain.
+  Status SwapGraphAndSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
 
   /// The currently published snapshot (nullptr before the first load).
   std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const;
+
+  /// The graph queries are answered against right now: the construction
+  /// graph until the first SwapGraphAndSnapshot, the latest swapped-in
+  /// graph afterwards. The pointer stays valid as long as the caller
+  /// holds it (the state machinery keeps retired graphs alive for
+  /// borrowers the same way it does for in-flight queries).
+  std::shared_ptr<const Graph> CurrentGraph() const;
+
+  /// The current resident sketch (nullptr when rr_sketch_sets == 0).
+  std::shared_ptr<const RrSketch> CurrentSketch() const;
 
   /// Spawns the worker pool and begins executing queued queries.
   /// Idempotent; fails after Stop() (servers are not restartable).
@@ -107,14 +137,27 @@ class Server {
   Status SubmitAsync(const QueryRequest* request, QueryResponse* response,
                      QueryCompletion* completion);
 
-  /// The resident sketch (nullptr when rr_sketch_sets == 0).
-  const RrSketch* sketch() const { return sketch_.get(); }
-
   size_t num_threads() const { return num_threads_; }
   size_t queue_depth() const { return queue_.size(); }
 
  private:
   struct ServeMetrics;
+
+  /// One consistent serving version: the graph, the model compiled
+  /// against it, and the sketch generated from it. Immutable once
+  /// published; swapped as a unit.
+  struct ServingState {
+    std::shared_ptr<const Graph> graph;
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    std::shared_ptr<const RrSketch> sketch;
+  };
+
+  std::shared_ptr<const ServingState> CurrentState() const;
+  void Publish(std::shared_ptr<const ServingState> next);
+  /// Builds the resident sketch for `graph` per config_ (null when
+  /// disabled or the graph is empty).
+  Result<std::shared_ptr<const RrSketch>> BuildSketch(
+      const Graph& graph) const;
 
   void WorkerLoop(size_t slot);
   void FlushWorkspaceStats();
@@ -124,10 +167,9 @@ class Server {
   size_t num_threads_;
   RequestQueue queue_;
   std::vector<std::unique_ptr<QueryEngine>> engines_;
-  std::unique_ptr<RrSketch> sketch_;
 
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const ModelSnapshot> snapshot_;
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const ServingState> state_;
 
   std::unique_ptr<ThreadPool> pool_;
   bool started_ = false;

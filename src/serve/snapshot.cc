@@ -19,6 +19,20 @@ uint64_t NextSnapshotId() {
 }  // namespace
 
 Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromModel(
+    std::unique_ptr<GnnModel> model, std::shared_ptr<const Graph> graph) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument(
+        "graph-owning ModelSnapshot::FromModel: null graph");
+  }
+  PRIVIM_ASSIGN_OR_RETURN(std::shared_ptr<const ModelSnapshot> snap,
+                          FromModel(std::move(model), *graph));
+  // The const_cast is confined to construction: the snapshot was created
+  // two lines up and has no other owner yet.
+  const_cast<ModelSnapshot&>(*snap).graph_ = std::move(graph);
+  return snap;
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::FromModel(
     std::unique_ptr<GnnModel> model, const Graph& graph) {
   if (model == nullptr) {
     return Status::InvalidArgument("ModelSnapshot::FromModel: null model");

@@ -32,13 +32,27 @@ namespace privim {
 /// A snapshot is compiled against ONE resident graph (the plan embeds the
 /// graph's edge structure); `num_nodes()` is validated by the Server at
 /// swap time.
+///
+/// Dynamic graphs: a snapshot may additionally OWN the graph it was
+/// compiled against (the graph-owning FromModel overload). That is the
+/// unit the streaming pipeline publishes — graph and model swap together,
+/// atomically, through Server::SwapGraphAndSnapshot, and the retired
+/// graph stays alive exactly as long as in-flight queries still hold the
+/// retired snapshot (docs/streaming.md).
 class ModelSnapshot {
  public:
   /// Builds a servable snapshot from a loaded model. Fails with
   /// FailedPrecondition when the model's input width does not match the
-  /// structural feature dim of `graph` (kNodeFeatureDim).
+  /// structural feature dim of `graph` (kNodeFeatureDim). The snapshot
+  /// borrows `graph` (owned_graph() stays null); the caller keeps it
+  /// alive — the Server's original static-graph contract.
   static Result<std::shared_ptr<const ModelSnapshot>> FromModel(
       std::unique_ptr<GnnModel> model, const Graph& graph);
+
+  /// Graph-owning variant: the snapshot keeps `graph` alive and exposes
+  /// it via owned_graph(). Required by Server::SwapGraphAndSnapshot.
+  static Result<std::shared_ptr<const ModelSnapshot>> FromModel(
+      std::unique_ptr<GnnModel> model, std::shared_ptr<const Graph> graph);
 
   /// One-call restore-and-compile: LoadModel(path) + FromModel. Error
   /// statuses name `path` and hint at version/artifact mismatches
@@ -64,10 +78,15 @@ class ModelSnapshot {
   std::span<const float> flat_params() const { return flat_params_; }
   const Matrix& features() const { return features_; }
 
+  /// The graph this snapshot keeps alive, or null when it was built
+  /// against a borrowed graph (the static-serving path).
+  const std::shared_ptr<const Graph>& owned_graph() const { return graph_; }
+
  private:
   ModelSnapshot() = default;
 
   uint64_t id_ = 0;
+  std::shared_ptr<const Graph> graph_;
   std::unique_ptr<GnnModel> model_;
   GraphContext ctx_;  // The plan borrows ctx_'s edge vectors.
   Matrix features_;

@@ -322,6 +322,35 @@ TEST(GraphTest, EnsureInCsrMatchesEagerConstruction) {
   EXPECT_EQ(lazy.MaxInDegree(), eager.MaxInDegree());
 }
 
+TEST(GraphTest, EnsureInCsrIsIdempotent) {
+  // Regression: EnsureInCsr on a graph that already carries its in-CSR
+  // must be a no-op, not a rebuild. Sharded extraction and the streaming
+  // pipeline call it defensively on every handoff; the in_csr_builds()
+  // counter pins that only the first call (or an eager build) pays.
+  GraphBuilder lazy_b(5);
+  ASSERT_TRUE(lazy_b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(lazy_b.AddEdge(3, 1).ok());
+  GraphBuildOptions opts;
+  opts.build_in_csr = false;
+  Graph lazy = std::move(lazy_b.Build(opts)).ValueOrDie();
+  EXPECT_EQ(lazy.in_csr_builds(), 0u);
+  ASSERT_TRUE(lazy.EnsureInCsr().ok());
+  EXPECT_EQ(lazy.in_csr_builds(), 1u);
+  const uint64_t fp = lazy.IdentityFingerprint();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(lazy.EnsureInCsr().ok());
+  }
+  EXPECT_EQ(lazy.in_csr_builds(), 1u);
+  EXPECT_EQ(lazy.IdentityFingerprint(), fp);
+
+  GraphBuilder eager_b(5);
+  ASSERT_TRUE(eager_b.AddEdge(0, 1).ok());
+  Graph eager = std::move(eager_b.Build()).ValueOrDie();
+  EXPECT_EQ(eager.in_csr_builds(), 1u);
+  ASSERT_TRUE(eager.EnsureInCsr().ok());
+  EXPECT_EQ(eager.in_csr_builds(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Offset-width selection
 

@@ -85,13 +85,13 @@ void TortureAt(size_t num_threads) {
   const std::vector<QueryRequest> variants = Variants();
   std::map<uint64_t, std::vector<Expected>> expected;
   {
-    QueryEngine engine(g);
+    QueryEngine engine;
     for (const auto& snap : {snap_a, snap_b}) {
       std::vector<Expected>& per_variant = expected[snap->id()];
       for (const QueryRequest& req : variants) {
         QueryResponse resp;
         ASSERT_TRUE(
-            engine.Execute(snap.get(), nullptr, req, resp).ok());
+            engine.Execute(g, snap.get(), nullptr, req, resp).ok());
         per_variant.push_back(
             Expected{resp.seeds, resp.values, resp.spread});
       }

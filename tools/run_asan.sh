@@ -23,7 +23,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DPRIVIM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target obs_test sampling_test sampling_properties_test im_test \
-  plan_test simd_test serve_test scale_test shard_test
+  plan_test simd_test serve_test scale_test shard_test stream_test
 
 export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}
 export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
@@ -49,6 +49,12 @@ export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
 # scheduler's cross-thread stage handoff — raw-lifetime code that must
 # stay memory-clean while shards run concurrently.
 "$BUILD_DIR/tests/shard_test"
+# Streaming pipeline (src/stream/): the delta's overlay rows, the view's
+# two-pointer row merges over spans of base storage, and the in-place
+# regeneration of repaired RR sets share buffers across repair worker
+# threads — raw-lifetime code that must stay memory-clean while the
+# stream mutates under it.
+"$BUILD_DIR/tests/stream_test"
 # Million-node O(ball) properties (ctest label `scale`, env-gated): the
 # streaming two-pass build, the blocked arc storage, and the lazy in-CSR
 # scatter are exactly the raw-offset code paths where an off-by-one only

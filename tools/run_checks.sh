@@ -77,6 +77,17 @@ echo "== stage 1e: sharded pipeline suite + overlap-scheduler gate =="
 ctest --test-dir "$BUILD_DIR" -L shard -j"$(nproc)" --output-on-failure
 "$BUILD_DIR/bench/bench_micro" --benchmark_filter='ShardOverlap'
 
+echo "== stage 1f: streaming pipeline suite + O(ball) update gate =="
+# `ctest -L stream` selects the src/stream/ suite (GraphDelta/GraphView
+# overlay semantics, incremental-vs-full RR-sketch bit-identity at threads
+# {1,8}, continual-observation epsilon monotonicity, kill-and-resume
+# bit-identity, the graph+model serving hot swap). The bench_micro
+# StreamUpdate case then applies real update batches to a 50k-node graph
+# and exits nonzero if a 16-event batch repairs more than 25% of the
+# resident sketch — the O(ball) locality contract of docs/streaming.md.
+ctest --test-dir "$BUILD_DIR" -L stream -j"$(nproc)" --output-on-failure
+"$BUILD_DIR/bench/bench_micro" --benchmark_filter='StreamUpdate'
+
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "Tier-1 clean (sanitizer stages skipped)."
   exit 0

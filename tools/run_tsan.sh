@@ -21,7 +21,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DPRIVIM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target runtime_test core_test sampling_test sampling_properties_test \
-  im_test plan_test serve_test shard_test
+  im_test plan_test serve_test shard_test stream_test
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
@@ -47,5 +47,11 @@ export PRIVIM_THREADS=${PRIVIM_THREADS:-4}
 # data race, tests/shard/shard_pipeline_test.cc), and the merge of
 # per-shard results back onto the orchestration thread.
 "$BUILD_DIR/tests/shard_test"
+# The streaming pipeline's concurrency surface: parallel RR-set repair
+# workers regenerating disjoint sets of one shared sketch, the retraining
+# rounds re-entering the (threaded) Pipeline facade, and the PublishTo
+# handoff of a freshly compacted graph into the server's RCU-style
+# published state while query workers hold references.
+"$BUILD_DIR/tests/stream_test"
 
 echo "TSan run clean."
